@@ -1,0 +1,29 @@
+"""Shared helpers for the experiment-regenerating benchmarks.
+
+Every benchmark prints its regenerated table/series and also writes it
+to ``benchmarks/results/<experiment>.txt`` so the artifacts survive
+pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a regenerated artifact and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The characterization experiments are deterministic and heavy, so a
+    single round is both sufficient and honest.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Regenerates paper Fig. 4: per-task work distribution and imbalance.
+
+Paper shape: significant variation in data-parallel computation across
+tasks; max/mean ratios in the single-digit multiples for most kernels
+(4.1-8.3x on the paper's full-size datasets), with phmm showing the
+heaviest tail (rare regions orders of magnitude above the mean).
+"""
+
+from benchmarks._util import emit, once
+from repro.core.datasets import DatasetSize
+from repro.perf.report import render_table, sig
+from repro.perf.workstats import figure4
+
+
+def test_fig4(benchmark):
+    stats = once(benchmark, figure4, DatasetSize.SMALL)
+    table = render_table(
+        "Fig 4: per-task data-parallel work (small datasets)",
+        ["kernel", "unit", "tasks", "mean", "median", "max", "p99", "max/mean"],
+        [
+            (
+                s.kernel,
+                s.unit,
+                s.n_tasks,
+                sig(s.mean),
+                sig(s.median),
+                s.maximum,
+                sig(s.p99),
+                f"{s.max_over_mean:.1f}x",
+            )
+            for s in stats
+        ],
+    )
+    emit("fig4", table)
+    by_name = {s.kernel: s for s in stats}
+    # every irregular kernel shows real imbalance
+    for s in stats:
+        assert s.max_over_mean > 1.2, s.kernel
+    # phmm's lognormal region depths give it one of the heaviest tails
+    phmm_ratio = by_name["phmm"].max_over_mean
+    assert phmm_ratio >= sorted(s.max_over_mean for s in stats)[len(stats) // 2]

@@ -1,0 +1,36 @@
+"""Regenerates paper Fig. 5: dynamic instruction breakdown.
+
+Paper shape: phmm is the only CPU kernel with floating-point work;
+phmm, bsw and spoa (poa) have high vector fractions; memory-intensive
+fmi has a higher load share than compute-intensive bsw/phmm/chain.
+"""
+
+from benchmarks._util import emit, once
+from repro.core.instrument import OP_CATEGORIES
+from repro.perf.mix import figure5
+from repro.perf.report import pct, render_table
+
+
+def test_fig5(benchmark):
+    rows = once(benchmark, figure5)
+    table = render_table(
+        "Fig 5: dynamic operation breakdown",
+        ["kernel", *OP_CATEGORIES],
+        [
+            (r.kernel, *(pct(r.fractions[c]) for c in OP_CATEGORIES))
+            for r in rows
+        ],
+    )
+    emit("fig5", table)
+    by_name = {r.kernel: r for r in rows}
+    # phmm is the lone FP CPU kernel (abea and the NN kernels are the
+    # GPU-class FP ones)
+    assert by_name["phmm"].fractions["fp"] > 0.4
+    for name in ("fmi", "bsw", "dbg", "chain", "poa", "kmer-cnt", "pileup"):
+        assert by_name[name].fractions["fp"] == 0.0, name
+    # vectorized kernels
+    for name in ("bsw", "poa"):
+        assert by_name[name].fractions["vector"] > 0.25, name
+    # fmi's load share exceeds the compute-intensive kernels'
+    assert by_name["fmi"].memory_fraction > by_name["chain"].memory_fraction
+    assert by_name["fmi"].memory_fraction > by_name["kmer-cnt"].memory_fraction * 0.8

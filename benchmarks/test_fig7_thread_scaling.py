@@ -1,0 +1,40 @@
+"""Regenerates paper Fig. 7: thread scaling of the irregular CPU kernels.
+
+Paper shape: bsw, dbg, phmm and spoa scale (near-)perfectly; fmi and
+chain nearly so; kmer-cnt saturates random-access memory bandwidth and
+stops scaling; pileup stays sublinear.
+"""
+
+from benchmarks._util import emit, once
+from repro.perf.report import render_table
+from repro.perf.scaling import figure7
+
+
+def test_fig7(benchmark):
+    curves = once(benchmark, figure7, 8)
+    table = render_table(
+        "Fig 7: simulated speedup vs threads (dynamic scheduling + bandwidth model)",
+        ["kernel", *(f"T={t}" for t in (1, 2, 4, 8)), "bw fraction"],
+        [
+            (
+                c.kernel,
+                *(f"{c.speedup_at(t):.2f}" for t in (1, 2, 4, 8)),
+                f"{c.bandwidth_fraction:.2f}",
+            )
+            for c in curves
+        ],
+    )
+    emit("fig7", table)
+    speedup8 = {c.kernel: c.speedup_at(8) for c in curves}
+    # compute-bound kernels scale near-linearly
+    for name in ("bsw", "chain", "poa"):
+        assert speedup8[name] > 6.5, name
+    assert speedup8["fmi"] > 5.5  # near-perfect with a slight droop
+    # kmer-cnt flattens hard (paper: barely above 1x)
+    assert speedup8["kmer-cnt"] < 2.5
+    assert speedup8["kmer-cnt"] < speedup8["pileup"]
+    # monotone non-degrading up to the knee for the scalable kernels
+    for c in curves:
+        if c.kernel == "kmer-cnt":
+            continue
+        assert c.speedup_at(4) >= c.speedup_at(2) * 0.95, c.kernel

@@ -1,0 +1,38 @@
+"""Regenerates paper Fig. 8: cache miss rates and data-stall cycles.
+
+Paper shape: fmi and kmer-cnt stall 41.5% / 69.2% of cycles on data;
+every other kernel stays under ~20%.
+"""
+
+from benchmarks._util import emit, once
+from repro.perf.memory import figure8
+from repro.perf.report import pct, render_table
+
+
+def test_fig8(benchmark):
+    rows = once(benchmark, figure8)
+    table = render_table(
+        "Fig 8: cache miss rates and estimated data-stall fraction",
+        ["kernel", "L1 miss", "L2 miss", "LLC miss", "stall cycles"],
+        [
+            (
+                r.kernel,
+                pct(r.l1_miss_rate),
+                pct(r.l2_miss_rate),
+                pct(r.llc_miss_rate),
+                pct(r.stall_fraction),
+            )
+            for r in rows
+        ],
+    )
+    emit("fig8", table)
+    stall = {r.kernel: r.stall_fraction for r in rows}
+    # the two memory-bound kernels stall the most, kmer-cnt worst
+    assert stall["kmer-cnt"] > stall["fmi"] > 0.3
+    assert stall["kmer-cnt"] > 0.6
+    for name in ("bsw", "phmm", "chain", "poa", "grm"):
+        assert stall[name] < 0.2, name
+    # fmi touches cold Occ lines constantly: very high L1 miss rate
+    l1 = {r.kernel: r.l1_miss_rate for r in rows}
+    assert l1["fmi"] > 0.5
+    assert l1["phmm"] < 0.1

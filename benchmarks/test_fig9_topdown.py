@@ -1,0 +1,43 @@
+"""Regenerates paper Fig. 9: top-down bottleneck analysis.
+
+Paper shape: fmi and kmer-cnt spend 44.4% / 86.6% of slots waiting for
+data; bsw, chain and phmm retire >50% of slots; grm retires the most
+(87.7%), being CPU-friendly dense matrix multiplication.
+"""
+
+from benchmarks._util import emit, once
+from repro.perf.report import pct, render_table
+from repro.perf.topdown_fig import figure9
+
+
+def test_fig9(benchmark):
+    rows = once(benchmark, figure9)
+    table = render_table(
+        "Fig 9: top-down pipeline-slot breakdown",
+        ["kernel", "retiring", "frontend", "bad spec", "backend-mem", "backend-core"],
+        [
+            (
+                r.kernel,
+                pct(r.slots.retiring),
+                pct(r.slots.frontend),
+                pct(r.slots.bad_speculation),
+                pct(r.slots.backend_memory),
+                pct(r.slots.backend_core),
+            )
+            for r in rows
+        ],
+    )
+    emit("fig9", table)
+    slots = {r.kernel: r.slots for r in rows}
+    # memory-bound pair
+    assert slots["kmer-cnt"].backend_memory > 0.6
+    assert slots["fmi"].backend_memory > 0.35
+    assert slots["kmer-cnt"].backend_memory > slots["fmi"].backend_memory
+    # compute-bound kernels retire most slots
+    for name in ("bsw", "chain", "phmm", "poa"):
+        assert slots[name].retiring > 0.5, name
+    # grm retires the most of all kernels (paper: 87.7%)
+    assert slots["grm"].retiring == max(s.retiring for s in slots.values())
+    # every breakdown sums to one
+    for r in rows:
+        assert abs(sum(r.slots.as_dict().values()) - 1.0) < 1e-9

@@ -1,0 +1,25 @@
+"""Suite-level kernel throughput: wall time per kernel on the small
+datasets (workload preparation excluded, as in the original suite).
+
+Not a paper table per se -- the paper reports native runtimes -- but the
+per-kernel timing is the suite's basic deliverable and anchors all
+relative comparisons.
+"""
+
+import pytest
+
+from repro.core.benchmark import load_benchmark
+from repro.core.datasets import DatasetSize
+from repro.core.registry import kernel_names
+
+
+@pytest.mark.parametrize("name", kernel_names())
+def test_kernel_small(benchmark, name):
+    bench = load_benchmark(name)
+    workload = bench.prepare(DatasetSize.SMALL)
+    output, task_work = benchmark.pedantic(
+        bench.execute, args=(workload,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["tasks"] = len(task_work)
+    benchmark.extra_info["total_work"] = sum(task_work)
+    assert task_work

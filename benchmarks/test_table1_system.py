@@ -1,0 +1,35 @@
+"""Regenerates paper Table I: baseline system configuration.
+
+The paper's table describes the measured machine (Xeon E3-1240 v5,
+32 KB L1, 256 KB L2, 8 MB LLC, 31.79 GB/s, Titan Xp); ours describes
+the *modelled* machine the simulators implement -- the same class of
+platform, and the single source every model in ``repro.uarch`` reads.
+"""
+
+from benchmarks._util import emit, once
+from repro.perf.report import render_table
+from repro.uarch.cache import CacheHierarchy
+from repro.uarch.machine import DEFAULT_MACHINE
+
+
+def build_table1() -> str:
+    return render_table(
+        "Table I: modelled system configuration",
+        ["component", "configuration"],
+        DEFAULT_MACHINE.rows(),
+    )
+
+
+def test_table1(benchmark):
+    table = once(benchmark, build_table1)
+    emit("table1", table)
+    # the simulators really do use this configuration
+    h = CacheHierarchy()
+    assert h.l1.size == DEFAULT_MACHINE.l1d.size_bytes
+    assert h.l2.size == DEFAULT_MACHINE.l2.size_bytes
+    assert h.llc.size == DEFAULT_MACHINE.llc.size_bytes
+    assert h.llc.assoc == DEFAULT_MACHINE.llc.associativity
+    assert h.dram.row_bytes == DEFAULT_MACHINE.dram_row_bytes
+    # the paper's platform class
+    assert "8 threads" in table
+    assert "31.79" in table

@@ -1,0 +1,41 @@
+"""Regenerates paper Table III: data-parallelism granularity per irregular
+kernel, with the measured data-parallel work from real runs."""
+
+from benchmarks._util import emit, once
+from repro.core.datasets import DatasetSize
+from repro.core.registry import irregular_kernels
+from repro.perf.report import render_table, sig
+from repro.perf.workstats import task_work_stats
+
+
+def build_table3():
+    rows = []
+    stats = {}
+    for info in irregular_kernels():
+        s = task_work_stats(info.name, DatasetSize.SMALL)
+        stats[info.name] = s
+        rows.append(
+            (
+                info.name,
+                info.granularity,
+                info.work_unit,
+                s.n_tasks,
+                sig(s.mean),
+                s.maximum,
+            )
+        )
+    table = render_table(
+        "Table III: parallelism granularity and measured data-parallel work (small)",
+        ["kernel", "granularity", "work unit", "tasks", "mean work", "max work"],
+        rows,
+    )
+    return table, stats
+
+
+def test_table3(benchmark):
+    table, stats = once(benchmark, build_table3)
+    emit("table3", table)
+    assert set(stats) == {"fmi", "bsw", "dbg", "phmm", "chain", "poa", "abea", "pileup"}
+    for s in stats.values():
+        assert s.mean > 0
+        assert s.maximum >= s.mean

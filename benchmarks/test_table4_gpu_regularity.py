@@ -1,0 +1,44 @@
+"""Regenerates paper Table IV: GPU control-flow and compute regularity.
+
+Paper values: both kernels avoid branch divergence entirely (100%);
+abea: 75.09% warp efficiency, 70.18% non-predicated, 70.53% SM
+utilization, 31.41% occupancy.  nn-base: 100% / 94.43% / 99.83% /
+88.47%.
+"""
+
+from benchmarks._util import emit, once
+from repro.perf.gpu import table4
+from repro.perf.report import pct, render_table
+
+PAPER = {
+    "abea": {"warp": 0.7509, "nonpred": 0.7018, "sm": 0.7053, "occ": 0.3141},
+    "nn-base": {"warp": 1.0, "nonpred": 0.9443, "sm": 0.9983, "occ": 0.8847},
+}
+
+
+def test_table4(benchmark):
+    profiles = once(benchmark, table4)
+    abea, nnbase = profiles["abea"], profiles["nn-base"]
+    table = render_table(
+        "Table IV: GPU kernel control flow and compute regularity",
+        ["metric", "abea (paper)", "abea (ours)", "nn-base (paper)", "nn-base (ours)"],
+        [
+            ("Branch efficiency", "100%", pct(abea.branch_efficiency), "100%", pct(nnbase.branch_efficiency)),
+            ("Warp efficiency", pct(PAPER["abea"]["warp"]), pct(abea.warp_efficiency), pct(PAPER["nn-base"]["warp"]), pct(nnbase.warp_efficiency)),
+            ("Non-predicated warp eff.", pct(PAPER["abea"]["nonpred"]), pct(abea.non_predicated_efficiency), pct(PAPER["nn-base"]["nonpred"]), pct(nnbase.non_predicated_efficiency)),
+            ("SM utilization", pct(PAPER["abea"]["sm"]), pct(abea.sm_utilization), pct(PAPER["nn-base"]["sm"]), pct(nnbase.sm_utilization)),
+            ("Occupancy", pct(PAPER["abea"]["occ"]), pct(abea.occupancy), pct(PAPER["nn-base"]["occ"]), pct(nnbase.occupancy)),
+        ],
+    )
+    emit("table4", table)
+    # both kernels are branch-divergence free
+    assert abea.branch_efficiency == 1.0 and nnbase.branch_efficiency == 1.0
+    # abea's banded DP is less regular than nn-base's dense math on
+    # every other metric, by the paper's margins (within a loose band)
+    assert abs(abea.warp_efficiency - PAPER["abea"]["warp"]) < 0.10
+    assert abs(abea.non_predicated_efficiency - PAPER["abea"]["nonpred"]) < 0.10
+    assert abs(abea.occupancy - PAPER["abea"]["occ"]) < 0.05
+    assert abs(abea.sm_utilization - PAPER["abea"]["sm"]) < 0.10
+    assert nnbase.warp_efficiency > 0.99
+    assert nnbase.non_predicated_efficiency > 0.9
+    assert abs(nnbase.occupancy - PAPER["nn-base"]["occ"]) < 0.05

@@ -1,0 +1,48 @@
+"""Regenerates paper Table V: GPU global-memory bandwidth efficiency.
+
+Paper values: abea 25.5% load / 68.5% store efficiency (pore-model
+gathers and band spills); nn-base 70.3% load / 100% store (strided stem
+windows vs. perfectly coalesced outputs).
+"""
+
+from benchmarks._util import emit, once
+from repro.perf.gpu import table5
+from repro.perf.report import pct, render_table
+
+PAPER = {
+    "abea": {"load": 0.255, "store": 0.685},
+    "nn-base": {"load": 0.703, "store": 1.0},
+}
+
+
+def test_table5(benchmark):
+    profiles = once(benchmark, table5)
+    abea, nnbase = profiles["abea"], profiles["nn-base"]
+    table = render_table(
+        "Table V: useful fraction of GPU global memory bandwidth",
+        ["metric", "abea (paper)", "abea (ours)", "nn-base (paper)", "nn-base (ours)"],
+        [
+            (
+                "Global load efficiency",
+                pct(PAPER["abea"]["load"]),
+                pct(abea.load_efficiency),
+                pct(PAPER["nn-base"]["load"]),
+                pct(nnbase.load_efficiency),
+            ),
+            (
+                "Global store efficiency",
+                pct(PAPER["abea"]["store"]),
+                pct(abea.store_efficiency),
+                pct(PAPER["nn-base"]["store"]),
+                pct(nnbase.store_efficiency),
+            ),
+        ],
+    )
+    emit("table5", table)
+    # ordering: abea wastes far more load bandwidth than nn-base
+    assert abea.load_efficiency < nnbase.load_efficiency
+    assert abea.load_efficiency < 0.5
+    assert 0.5 < nnbase.load_efficiency < 0.95
+    # stores: nn-base perfectly coalesced, abea not quite
+    assert nnbase.store_efficiency == 1.0
+    assert 0.5 < abea.store_efficiency < 1.0

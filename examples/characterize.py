@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's characterization tables and figures.
+
+Runs the instrumented kernels through the cache/DRAM/top-down/SIMT
+models and prints every artifact of Section IV: Figs. 4-9 and Tables
+IV/V.  Equivalent to ``pytest benchmarks/ --benchmark-only`` but as a
+single readable report (a few minutes of pure-Python simulation).
+
+Usage::
+
+    python examples/characterize.py [--figures 4,5,6,...]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.instrument import OP_CATEGORIES
+from repro.perf.gpu import table4
+from repro.perf.memory import figure6, figure8
+from repro.perf.mix import figure5
+from repro.perf.report import pct, render_table, sig
+from repro.perf.scaling import figure7
+from repro.perf.topdown_fig import figure9
+from repro.perf.workstats import figure4
+
+
+def show_fig4() -> None:
+    stats = figure4()
+    print(render_table(
+        "Fig 4: per-task work distribution",
+        ["kernel", "unit", "tasks", "mean", "max", "max/mean"],
+        [(s.kernel, s.unit, s.n_tasks, sig(s.mean), s.maximum, f"{s.max_over_mean:.1f}x")
+         for s in stats],
+    ))
+
+
+def show_fig5() -> None:
+    rows = figure5()
+    print(render_table(
+        "Fig 5: dynamic operation breakdown",
+        ["kernel", *OP_CATEGORIES],
+        [(r.kernel, *(pct(r.fractions[c]) for c in OP_CATEGORIES)) for r in rows],
+    ))
+
+
+def show_fig6() -> None:
+    rows = figure6()
+    print(render_table(
+        "Fig 6: off-chip BPKI (paper: fmi 66.8, kmer-cnt 484.1, spoa 6.6, phmm 0.02)",
+        ["kernel", "BPKI", "page-open"],
+        [(r.kernel, sig(r.bpki), pct(r.dram_page_open_rate)) for r in rows],
+    ))
+
+
+def show_fig7() -> None:
+    curves = figure7()
+    print(render_table(
+        "Fig 7: simulated thread scaling",
+        ["kernel", "T=2", "T=4", "T=8"],
+        [(c.kernel, *(f"{c.speedup_at(t):.2f}x" for t in (2, 4, 8))) for c in curves],
+    ))
+
+
+def show_fig8() -> None:
+    rows = figure8()
+    print(render_table(
+        "Fig 8: cache misses and stalls (paper: fmi 41.5%, kmer-cnt 69.2% stalls)",
+        ["kernel", "L1 miss", "L2 miss", "stall"],
+        [(r.kernel, pct(r.l1_miss_rate), pct(r.l2_miss_rate), pct(r.stall_fraction))
+         for r in rows],
+    ))
+
+
+def show_fig9() -> None:
+    rows = figure9()
+    print(render_table(
+        "Fig 9: top-down analysis (paper: grm 87.7% retiring; kmer-cnt 86.6% memory)",
+        ["kernel", "retiring", "bad spec", "backend-mem", "backend-core"],
+        [(r.kernel, pct(r.slots.retiring), pct(r.slots.bad_speculation),
+          pct(r.slots.backend_memory), pct(r.slots.backend_core)) for r in rows],
+    ))
+
+
+def show_tables45() -> None:
+    profiles = table4()
+    metrics = [
+        ("Branch efficiency", "branch_efficiency"),
+        ("Warp efficiency", "warp_efficiency"),
+        ("Non-predicated warp eff.", "non_predicated_efficiency"),
+        ("SM utilization", "sm_utilization"),
+        ("Occupancy", "occupancy"),
+        ("Global load efficiency", "load_efficiency"),
+        ("Global store efficiency", "store_efficiency"),
+    ]
+    print(render_table(
+        "Tables IV/V: GPU kernel metrics",
+        ["metric", "abea", "nn-base"],
+        [(name, pct(getattr(profiles["abea"], attr)), pct(getattr(profiles["nn-base"], attr)))
+         for name, attr in metrics],
+    ))
+
+
+SHOWS = {
+    "4": show_fig4,
+    "5": show_fig5,
+    "6": show_fig6,
+    "7": show_fig7,
+    "8": show_fig8,
+    "9": show_fig9,
+    "gpu": show_tables45,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--figures",
+        default="4,5,6,7,8,9,gpu",
+        help="comma-separated subset of: " + ",".join(SHOWS),
+    )
+    args = parser.parse_args()
+    for key in args.figures.split(","):
+        key = key.strip()
+        if key not in SHOWS:
+            raise SystemExit(f"unknown figure {key!r}; choose from {','.join(SHOWS)}")
+        SHOWS[key]()
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: run every GenomicsBench kernel through the uniform driver.
+
+Prepares each kernel's small synthetic workload, executes it, and prints
+task counts, total data-parallel work and kernel wall time -- the
+suite-level view the paper's Table II/III summarize.
+
+Usage::
+
+    python examples/quickstart.py [--size small|large] [--kernel NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.benchmark import load_benchmark
+from repro.core.datasets import DatasetSize
+from repro.core.registry import get_kernel, kernel_names
+from repro.perf.report import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", choices=["small", "large"], default="small")
+    parser.add_argument(
+        "--kernel", choices=kernel_names(), default=None, help="run one kernel only"
+    )
+    args = parser.parse_args()
+    size = DatasetSize(args.size)
+    names = [args.kernel] if args.kernel else kernel_names()
+
+    rows = []
+    for name in names:
+        info = get_kernel(name)
+        bench = load_benchmark(name)
+        t0 = time.perf_counter()
+        workload = bench.prepare(size)
+        prep = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        _, task_work = bench.execute(workload)
+        kernel_s = time.perf_counter() - t1
+        rows.append(
+            (
+                name,
+                info.tool,
+                len(task_work),
+                f"{sum(task_work):,}",
+                f"{prep:.2f}s",
+                f"{kernel_s:.2f}s",
+            )
+        )
+        print(f"  finished {name} ({kernel_s:.2f}s kernel)")
+    print()
+    print(
+        render_table(
+            f"GenomicsBench reproduction: {size.value} datasets",
+            ["kernel", "tool", "tasks", "total work", "prepare", "kernel time"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

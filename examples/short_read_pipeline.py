@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Reference-guided short-read analysis (paper Fig. 1a), end to end.
+
+Composes four kernels the way BWA-MEM + GATK do:
+
+1. **fmi + bsw** -- the :class:`repro.mapper.ReadMapper` seeds reads with
+   SMEMs and verifies placements with Smith-Waterman, emitting
+   SAM-style records with CIGARs and mapping qualities,
+2. **dbg**  -- candidate regions are re-assembled into haplotypes,
+3. **phmm** -- pair-HMM likelihoods genotype each region
+   (:func:`repro.phmm.genotyping.genotype_region`),
+
+then reports how many of the planted SNVs were recovered.
+
+Usage::
+
+    python examples/short_read_pipeline.py [--genome-len 40000] [--coverage 25]
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import defaultdict
+
+import numpy as np
+
+from repro.dbg.assemble import assemble_region
+from repro.mapper.mapper import ReadMapper
+from repro.phmm.forward import BatchedPairHMM
+from repro.phmm.genotyping import genotype_region
+from repro.sequence.simulate import ShortReadSimulator, mutate_genome, random_genome
+
+READ_LEN = 120
+REGION = 300  # re-assembly window around a candidate site
+
+
+def find_candidate_sites(genome, mapped):
+    """Mismatch-pileup screen over the mapper's records."""
+    mismatches = defaultdict(int)
+    depth = defaultdict(int)
+    for res in mapped:
+        rec = res.record
+        for off, base in enumerate(rec.seq):
+            p = rec.pos + off
+            if 0 <= p < len(genome):
+                depth[p] += 1
+                if genome[p] != base:
+                    mismatches[p] += 1
+    return sorted(
+        p for p, m in mismatches.items() if depth[p] >= 8 and m / depth[p] >= 0.25
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--genome-len", type=int, default=40_000)
+    parser.add_argument("--coverage", type=float, default=25.0)
+    parser.add_argument("--seed", type=int, default=2021)
+    args = parser.parse_args()
+
+    print(f"simulating a {args.genome_len:,} bp reference and a mutated sample...")
+    genome = random_genome(args.genome_len, seed=args.seed)
+    sample, variants = mutate_genome(
+        genome, seed=args.seed + 1, snp_rate=8e-4, indel_rate=0
+    )
+    truth = {v.pos: v for v in variants}
+    print(f"  planted {len(truth)} SNVs")
+
+    print("building the read mapper (fmi index + bsw extension)...")
+    mapper = ReadMapper(genome, contig="chr1")
+    sim = ShortReadSimulator(read_len=READ_LEN, error_rate=0.002)
+    reads = sim.simulate_coverage(sample, args.coverage, seed=args.seed + 2)
+    print(f"  simulated {len(reads)} reads at {args.coverage}x")
+
+    print("1) fmi + bsw: mapping...")
+    results = mapper.map_all(reads)
+    mapped = [r for r in results if r.mapped and r.record.mapq >= 20]
+    print(f"  mapped {len(mapped)}/{len(reads)} reads at MAPQ >= 20")
+    correct = sum(
+        1
+        for read, res in zip(reads, results)
+        if res.mapped and abs(res.record.pos - read.ref_start) <= 8
+    )
+    print(f"  {correct}/{len(reads)} placed at their true position")
+
+    print("2) dbg + 3) phmm: assembling and genotyping candidate regions...")
+    sites = find_candidate_sites(genome, mapped)
+    print(f"  {len(sites)} candidate sites")
+    hmm = BatchedPairHMM()
+    called = {}
+    for site in sites:
+        lo = max(0, site - REGION // 2)
+        hi = min(len(genome), lo + REGION)
+        region_results = [
+            res for res in mapped
+            if res.record.pos + len(res.record.seq) > lo and res.record.pos < hi
+        ]
+        assembly = assemble_region(
+            genome[lo:hi], [res.record.seq for res in region_results], k_init=21
+        )
+        if not assembly.acyclic or len(assembly.haplotypes) < 2:
+            continue
+        scored = [
+            (res.record.seq, res.record.quals) for res in region_results[:24]
+        ]
+        likes, _ = hmm.region_likelihoods(scored, assembly.haplotypes)
+        call = genotype_region(likes)
+        for hap_idx in {call.hap_a, call.hap_b}:
+            hap = assembly.haplotypes[hap_idx]
+            ref_hap = genome[lo:hi]
+            if hap == ref_hap or len(hap) != len(ref_hap):
+                continue
+            for off, (a, b) in enumerate(zip(ref_hap, hap)):
+                if a != b:
+                    called[lo + off] = b
+    recovered = sum(1 for p, alt in called.items() if p in truth and truth[p].alt == alt)
+    print()
+    print(f"called {len(called)} SNVs; {recovered}/{len(truth)} planted variants "
+          f"recovered exactly, {len(called) - recovered} extra calls")
+
+
+if __name__ == "__main__":
+    main()

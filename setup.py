@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Enables ``python setup.py develop`` in offline environments whose pip
+cannot build PEP-517 editable installs (no ``wheel`` package).  All
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""GenomicsBench reproduction: genomics kernels and characterization.
+
+A pure-Python reproduction of *GenomicsBench: A Benchmark Suite for
+Genomics* (ISPASS 2021): the twelve benchmark kernels, the sequencing
+substrates they depend on, and the microarchitectural characterization
+harness that regenerates the paper's tables and figures.
+
+Entry points:
+
+* ``repro.core.load_benchmark(name)`` -- uniform driver for any kernel.
+* ``repro.core.KERNELS`` -- the kernel catalogue (Tables II/III metadata).
+* ``repro.perf`` -- the characterization harness (Figs. 4-9, Tables IV/V).
+* Kernel subpackages (``repro.fmindex``, ``repro.align``, ...) -- direct
+  library APIs for each algorithm.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    KERNELS,
+    Benchmark,
+    DatasetSize,
+    Instrumentation,
+    RunResult,
+    get_kernel,
+    kernel_names,
+    load_benchmark,
+)
+
+__all__ = [
+    "Benchmark",
+    "DatasetSize",
+    "Instrumentation",
+    "KERNELS",
+    "RunResult",
+    "__version__",
+    "get_kernel",
+    "kernel_names",
+    "load_benchmark",
+]

@@ -1,0 +1,14 @@
+"""Adaptive banded event alignment (the ``abea`` kernel).
+
+Reproduces the ABEA algorithm of Nanopolish/f5c: dynamic-programming
+alignment of a read's detected signal events to the k-mer trajectory of
+a reference sequence, restricted to a fixed-width band that adaptively
+slides right or down depending on where the best scores sit.  Scoring
+is 32-bit floating-point Gaussian log-likelihood against the pore model
+-- the compute profile that puts abea between sequence alignment and
+the neural kernels in the paper's GPU characterization.
+"""
+
+from repro.abea.align import AbeaResult, adaptive_banded_align
+
+__all__ = ["AbeaResult", "adaptive_banded_align"]

@@ -1,0 +1,223 @@
+"""The adaptive banded event alignment dynamic program.
+
+The DP matrix has one row per detected event and one column per
+reference k-mer.  Each anti-diagonal is windowed to ``bandwidth``
+cells; after computing a band the window slides *right* when the
+band's best cell sits in its right half (events are being consumed
+faster than k-mers) and *down* otherwise -- Suzuki-Kasahara adaptive
+banding as implemented in Nanopolish/f5c.
+
+Transitions (all in log space, float32):
+
+* ``step``  -- diagonal: next event emitted by the next k-mer,
+* ``stay``  -- vertical: another event from the same k-mer (k-mers are
+  over-represented by multiple events, the reason bands must adapt),
+* ``skip``  -- horizontal: a k-mer that emitted no event (no emission
+  term).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instrument import Instrumentation
+from repro.signal.events import Event
+from repro.signal.pore_model import PoreModel
+
+_NEG = np.float32(-1e30)
+
+#: Default transition log-probabilities (nanopolish-like magnitudes).
+LP_STEP = math.log(0.65)
+LP_STAY = math.log(0.25)
+LP_SKIP = math.log(0.10)
+
+
+@dataclass
+class AbeaResult:
+    """Outcome of one event-to-reference alignment.
+
+    ``path`` maps event indices to k-mer indices (one entry per aligned
+    event, in event order); ``cells`` counts band cells computed -- the
+    kernel's work unit.
+    """
+
+    score: float
+    path: list[tuple[int, int]]
+    cells: int
+    bands: int
+
+
+def adaptive_banded_align(
+    events: list[Event],
+    reference: str,
+    model: PoreModel,
+    bandwidth: int = 50,
+    instr: Instrumentation | None = None,
+    band_log: list | None = None,
+) -> AbeaResult:
+    """Align detected ``events`` to the k-mers of ``reference``.
+
+    When ``band_log`` is a list, per-band geometry tuples
+    ``(valid_mask, kmer_values)`` are appended to it -- the GPU warp
+    profiler replays them to compute Table IV/V metrics.
+    """
+    if bandwidth < 4 or bandwidth % 2:
+        raise ValueError("bandwidth must be an even integer >= 4")
+    n_events = len(events)
+    kmers = model.sequence_kmers(reference)
+    n_kmers = int(kmers.size)
+    if n_events == 0:
+        raise ValueError("no events to align")
+    event_means = np.array([e.mean for e in events], dtype=np.float64)
+    half = bandwidth // 2
+    n_bands = n_events + n_kmers + 1
+    scores = np.full((n_bands, bandwidth), _NEG, dtype=np.float32)
+    moves = np.zeros((n_bands, bandwidth), dtype=np.uint8)  # 0=none 1=step 2=stay 3=skip
+    # band t covers cells with i + j == t; ll_kmer[t] is the kmer index
+    # of the band's offset-0 cell: cell at offset o has j = ll_kmer + o,
+    # i = t - j.
+    ll_kmer = np.zeros(n_bands, dtype=np.int64)
+    ll_kmer[0] = -half
+    # band 0 contains the origin cell (0, 0)
+    scores[0, half] = 0.0
+    cells = 0
+    offs = np.arange(bandwidth)
+    for t in range(1, n_bands):
+        # adaptive move: follow the best cell of the previous band
+        prev = scores[t - 1]
+        best_off = int(np.argmax(prev))
+        move_right = best_off >= half
+        # geometry guards: keep the band inside the matrix corners
+        lo_j_next = ll_kmer[t - 1] + (1 if move_right else 0)
+        if lo_j_next + bandwidth <= 0:
+            move_right = True
+        if ll_kmer[t - 1] >= n_kmers:
+            move_right = False
+        ll_kmer[t] = ll_kmer[t - 1] + (1 if move_right else 0)
+        shift_1 = int(ll_kmer[t] - ll_kmer[t - 1])  # 0 (down) or 1 (right)
+        shift_2 = int(ll_kmer[t] - ll_kmer[t - 2]) if t >= 2 else 0
+        j = ll_kmer[t] + offs
+        i = t - j
+        valid = (i >= 1) & (i <= n_events) & (j >= 1) & (j <= n_kmers)
+        if not valid.any():
+            continue
+        cells += int(valid.sum())
+        if band_log is not None:
+            band_log.append((valid.copy(), kmers[np.clip(j - 1, 0, n_kmers - 1)]))
+
+        def gather(band_scores: np.ndarray, delta: int) -> np.ndarray:
+            src = offs + delta
+            ok = (src >= 0) & (src < bandwidth)
+            out = np.full(bandwidth, _NEG, dtype=np.float32)
+            out[ok] = band_scores[src[ok]]
+            return out
+
+        # up (i-1, j): previous band, offset o + shift_1
+        up = gather(scores[t - 1], shift_1)
+        # left (i, j-1): previous band, offset o - 1 + shift_1
+        left = gather(scores[t - 1], shift_1 - 1)
+        # diag (i-1, j-1): band t-2, offset o - 1 + shift_2
+        # diag (i-1, j-1) in band t-2; at t == 1 no valid cell needs it
+        diag = gather(scores[t - 2], shift_2 - 1) if t >= 2 else np.full(
+            bandwidth, _NEG, dtype=np.float32
+        )
+        emit = np.full(bandwidth, 0.0, dtype=np.float32)
+        vi = np.nonzero(valid)[0]
+        emit_vals = model.log_emission(
+            event_means[np.clip(i[vi] - 1, 0, n_events - 1)],
+            kmers[np.clip(j[vi] - 1, 0, n_kmers - 1)],
+        )
+        emit[vi] = emit_vals.astype(np.float32)
+        cand_step = diag + np.float32(LP_STEP) + emit
+        cand_stay = up + np.float32(LP_STAY) + emit
+        cand_skip = left + np.float32(LP_SKIP)
+        stacked = np.stack([cand_step, cand_stay, cand_skip])
+        choice = np.argmax(stacked, axis=0)
+        best = stacked[choice, offs]
+        band = np.where(valid, best, _NEG)
+        scores[t] = band
+        moves[t] = np.where(valid & (band > _NEG / 2), choice + 1, 0)
+        if instr is not None:
+            n_valid = int(valid.sum())
+            instr.counts.add("fp", 14 * n_valid)
+            instr.counts.add("load", 4 * n_valid)
+            instr.counts.add("store", 2 * n_valid)
+            instr.counts.add("scalar_int", 3 * n_valid)
+            instr.counts.add("branch", 2 * n_valid)
+    final_t = n_events + n_kmers
+    final_off = n_kmers - int(ll_kmer[final_t])
+    if 0 <= final_off < bandwidth and scores[final_t, final_off] > _NEG / 2:
+        score = float(scores[final_t, final_off])
+        end = (final_t, final_off)
+    else:  # terminal cell fell outside the adaptive band: take best last cells
+        t_best, o_best, s_best = 0, half, float(_NEG)
+        for t in range(n_bands - 1, max(n_bands - bandwidth, 0), -1):
+            o = int(np.argmax(scores[t]))
+            if float(scores[t, o]) > s_best:
+                t_best, o_best, s_best = t, o, float(scores[t, o])
+        score = s_best
+        end = (t_best, o_best)
+    path = _traceback(moves, ll_kmer, end, n_events, n_kmers, bandwidth)
+    if instr is not None and instr.trace is not None:
+        _trace(instr, n_bands, bandwidth, n_kmers)
+    return AbeaResult(score=score, path=path, cells=cells, bands=n_bands)
+
+
+def _traceback(
+    moves: np.ndarray,
+    ll_kmer: np.ndarray,
+    end: tuple[int, int],
+    n_events: int,
+    n_kmers: int,
+    bandwidth: int,
+) -> list[tuple[int, int]]:
+    """Recover the event-to-kmer path from the move matrix."""
+    t, o = end
+    path = []
+    while t > 0:
+        mv = int(moves[t, o])
+        if mv == 0:
+            break
+        j = int(ll_kmer[t]) + o
+        i = t - j
+        if mv in (1, 2):  # step/stay consumed event i against kmer j
+            path.append((i - 1, j - 1))
+        shift_1 = int(ll_kmer[t] - ll_kmer[t - 1])
+        if mv == 1:  # diagonal
+            shift_2 = int(ll_kmer[t] - ll_kmer[t - 2]) if t >= 2 else 0
+            t, o = t - 2, o - 1 + shift_2
+            if t < 0:
+                break
+        elif mv == 2:  # up
+            t, o = t - 1, o + shift_1
+        else:  # left
+            t, o = t - 1, o - 1 + shift_1
+        if not 0 <= o < bandwidth:
+            break
+    path.reverse()
+    return path
+
+
+def _trace(
+    instr: Instrumentation, n_bands: int, bandwidth: int, n_kmers: int
+) -> None:
+    """Record band-buffer streaming plus pore-model gather accesses."""
+    trace = instr.trace
+    assert trace is not None
+    if "abea.bands" not in trace.regions:
+        trace.alloc("abea.bands", 1 << 20)
+        trace.alloc("abea.model", 4096 * 16)
+    bands = trace.region("abea.bands")
+    model = trace.region("abea.model")
+    band_bytes = bandwidth * 4
+    for t in range(0, n_bands, 4):  # sampled: every 4th band
+        start = (t * band_bytes) % (bands.size - 3 * band_bytes - 64)
+        trace.read_stream(bands, start, 2 * band_bytes, access_size=64)
+        trace.write_stream(bands, start + 2 * band_bytes, band_bytes, access_size=64)
+        # scattered pore-model lookups across the band
+        trace.read(model, (hash((t, 1)) % 4000) * 16, 16)
+        trace.read(model, (hash((t, 2)) % 4000) * 16, 16)
+    _ = n_kmers

@@ -1,0 +1,86 @@
+"""Benchmark adapter for the ``abea`` kernel.
+
+Workload: synthetic nanopore reads (raw signal synthesized from the
+pore model, segmented back into events) aligned to their true reference
+spans -- the signal-to-reference step of methylation calling.  One task
+= one read; its work is the number of band cells computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.abea.align import AbeaResult, adaptive_banded_align
+from repro.core.benchmark import Benchmark
+from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
+from repro.core.instrument import Instrumentation
+from repro.signal.events import Event, detect_events
+from repro.signal.pore_model import PoreModel
+from repro.signal.synth import synthesize_signal
+from repro.sequence.simulate import random_genome
+
+
+@dataclass
+class AbeaTask:
+    """One read's detected events plus its reference span."""
+
+    events: list[Event]
+    reference: str
+
+
+@dataclass
+class AbeaWorkload:
+    """Prepared inputs: event/reference pairs and the pore model."""
+
+    tasks: list[AbeaTask]
+    model: PoreModel
+    bandwidth: int = 50
+
+
+class AbeaBenchmark(Benchmark):
+    """Drives adaptive banded event alignment over reads."""
+
+    name = "abea"
+
+    def prepare(self, size: DatasetSize) -> AbeaWorkload:
+        params = dataset_params(self.name, size)
+        seed = dataset_seed(self.name, size)
+        rng = np.random.default_rng(seed)
+        model = PoreModel()
+        genome = random_genome(20 * params["mean_read_len"], seed=rng)
+        tasks = []
+        for r in range(params["n_reads"]):
+            # gamma-distributed read lengths, like real nanopore runs
+            length = max(100, int(rng.gamma(3.0, params["mean_read_len"] / 3.0)))
+            length = min(length, len(genome) - 1)
+            start = int(rng.integers(0, len(genome) - length))
+            ref = genome[start : start + length]
+            signal = synthesize_signal(
+                ref,
+                model,
+                seed=rng,
+                samples_per_kmer=params["samples_per_base"],
+                name=f"sig{r}",
+            )
+            events = detect_events(signal.samples)
+            tasks.append(AbeaTask(events=events, reference=ref))
+        return AbeaWorkload(tasks=tasks, model=model)
+
+    def execute(
+        self, workload: AbeaWorkload, instr: Instrumentation | None = None
+    ) -> tuple[list[AbeaResult], list[int]]:
+        outputs = []
+        task_work = []
+        for task in workload.tasks:
+            result = adaptive_banded_align(
+                task.events,
+                task.reference,
+                workload.model,
+                bandwidth=workload.bandwidth,
+                instr=instr,
+            )
+            outputs.append(result)
+            task_work.append(result.cells)
+        return outputs, task_work

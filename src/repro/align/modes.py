@@ -1,0 +1,134 @@
+"""Global and semi-global alignment modes.
+
+The suite's bsw kernel is local (Smith-Waterman), but the surrounding
+tools also need global (Needleman-Wunsch -- e.g. GATK aligning a
+haplotype back to the reference to derive variant positions) and
+*glocal* alignment (query-global/target-local -- fitting a read inside
+a reference window).  Both share the affine-gap recurrence with the
+local kernel; only initialization, the 0-floor and the end-cell differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.scoring import ScoringScheme
+from repro.sequence.alphabet import encode
+
+_NEG = -(1 << 30)
+
+
+@dataclass(frozen=True)
+class GlobalResult:
+    """Outcome of a global or glocal alignment."""
+
+    score: int
+    cigar_ops: tuple[tuple[str, int], ...]  # over {"M", "I", "D"}
+    target_start: int  # 0 for global; window offset for glocal
+
+    @property
+    def query_span(self) -> int:
+        return sum(n for op, n in self.cigar_ops if op in ("M", "I"))
+
+    @property
+    def target_span(self) -> int:
+        return sum(n for op, n in self.cigar_ops if op in ("M", "D"))
+
+
+def _affine_matrices(q, t, scheme):
+    m, n = len(q), len(t)
+    go, ge = scheme.gap_open, scheme.gap_extend
+    H = np.full((m + 1, n + 1), _NEG, dtype=np.int64)
+    E = np.full((m + 1, n + 1), _NEG, dtype=np.int64)
+    F = np.full((m + 1, n + 1), _NEG, dtype=np.int64)
+    return H, E, F, go, ge
+
+
+def _fill(q, t, scheme, H, E, F):
+    go, ge = scheme.gap_open, scheme.gap_extend
+    for i in range(1, len(q) + 1):
+        qi = int(q[i - 1])
+        for j in range(1, len(t) + 1):
+            s = scheme.match if qi == int(t[j - 1]) else -scheme.mismatch
+            E[i, j] = max(E[i, j - 1] - ge, H[i, j - 1] - go - ge)
+            F[i, j] = max(F[i - 1, j] - ge, H[i - 1, j] - go - ge)
+            H[i, j] = max(H[i - 1, j - 1] + s, E[i, j], F[i, j])
+
+
+def _traceback(q, t, scheme, H, E, F, i, j, stop_at_row0: bool):
+    """Walk back to (0, 0) (global) or to row 0 (glocal)."""
+    go, ge = scheme.gap_open, scheme.gap_extend
+    ops: list[str] = []
+    state = "H"
+    while i > 0 or (j > 0 and not stop_at_row0):
+        if state == "H":
+            if i > 0 and j > 0:
+                s = scheme.match if q[i - 1] == t[j - 1] else -scheme.mismatch
+                if H[i, j] == H[i - 1, j - 1] + s:
+                    ops.append("M")
+                    i, j = i - 1, j - 1
+                    continue
+            if j > 0 and H[i, j] == E[i, j]:
+                state = "E"
+            elif i > 0 and H[i, j] == F[i, j]:
+                state = "F"
+            else:  # boundary gap run
+                if i == 0:
+                    ops.append("D")
+                    j -= 1
+                else:
+                    ops.append("I")
+                    i -= 1
+        elif state == "E":
+            ops.append("D")
+            if E[i, j] == H[i, j - 1] - go - ge:
+                state = "H"
+            j -= 1
+        else:
+            ops.append("I")
+            if F[i, j] == H[i - 1, j] - go - ge:
+                state = "H"
+            i -= 1
+    ops.reverse()
+    merged: list[tuple[str, int]] = []
+    for op in ops:
+        if merged and merged[-1][0] == op:
+            merged[-1] = (op, merged[-1][1] + 1)
+        else:
+            merged.append((op, 1))
+    return tuple(merged), j
+
+
+def nw_global(query: str, target: str, scheme: ScoringScheme | None = None) -> GlobalResult:
+    """Needleman-Wunsch: both sequences aligned end to end."""
+    scheme = scheme or ScoringScheme()
+    q, t = encode(query), encode(target)
+    H, E, F, go, ge = _affine_matrices(q, t, scheme)
+    H[0, 0] = 0
+    for j in range(1, len(t) + 1):
+        E[0, j] = -(go + j * ge)
+        H[0, j] = E[0, j]
+    for i in range(1, len(q) + 1):
+        F[i, 0] = -(go + i * ge)
+        H[i, 0] = F[i, 0]
+    _fill(q, t, scheme, H, E, F)
+    ops, _ = _traceback(q, t, scheme, H, E, F, len(q), len(t), stop_at_row0=False)
+    return GlobalResult(score=int(H[len(q), len(t)]), cigar_ops=ops, target_start=0)
+
+
+def glocal(query: str, target: str, scheme: ScoringScheme | None = None) -> GlobalResult:
+    """Fit the whole query inside the target (free target ends)."""
+    scheme = scheme or ScoringScheme()
+    q, t = encode(query), encode(target)
+    H, E, F, go, ge = _affine_matrices(q, t, scheme)
+    H[0, :] = 0  # free start anywhere on the target
+    for i in range(1, len(q) + 1):
+        F[i, 0] = -(go + i * ge)
+        H[i, 0] = F[i, 0]
+    _fill(q, t, scheme, H, E, F)
+    last = H[len(q), :]
+    j_end = int(np.argmax(last))
+    ops, j_start = _traceback(q, t, scheme, H, E, F, len(q), j_end, stop_at_row0=True)
+    return GlobalResult(score=int(last[j_end]), cigar_ops=ops, target_start=j_start)

@@ -1,0 +1,44 @@
+"""Scoring parameters for affine-gap local alignment.
+
+Defaults are BWA-MEM's (``-A 1 -B 4 -O 6 -E 1``): unit match reward,
+mismatch penalty 4, gap open 6 and gap extend 1, where opening a gap of
+length ``k`` costs ``gap_open + k * gap_extend``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScoringScheme:
+    """Affine-gap scoring: all penalties are stored as positive numbers."""
+
+    match: int = 1
+    mismatch: int = 4
+    gap_open: int = 6
+    gap_extend: int = 1
+
+    def __post_init__(self) -> None:
+        if self.match <= 0:
+            raise ValueError("match reward must be positive")
+        if self.mismatch < 0 or self.gap_open < 0 or self.gap_extend <= 0:
+            raise ValueError("penalties must be non-negative (gap extend positive)")
+
+    def substitution(self, a: int, b: int) -> int:
+        """Score of aligning base codes ``a`` and ``b``."""
+        return self.match if a == b else -self.mismatch
+
+    def matrix(self) -> np.ndarray:
+        """4x4 substitution matrix for vectorized kernels."""
+        m = np.full((4, 4), -self.mismatch, dtype=np.int32)
+        np.fill_diagonal(m, self.match)
+        return m
+
+    def gap_cost(self, length: int) -> int:
+        """Total penalty of a gap of ``length`` bases."""
+        if length <= 0:
+            return 0
+        return self.gap_open + length * self.gap_extend

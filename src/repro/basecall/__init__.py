@@ -1,0 +1,15 @@
+"""Neural-network basecalling (the ``nn-base`` kernel).
+
+Reproduces the structure of ONT's Bonito basecaller: raw current is
+normalized and cut into fixed-size chunks, a convolutional network of
+depthwise-separable blocks (Swish activations, batch norm) maps each
+chunk to per-timestep base probabilities, and a CTC decoder emits the
+sequence; chunk calls are stitched by trimming their overlap.  The
+fixed chunking is what gives this kernel its perfectly regular GPU
+profile in the paper (100% warp efficiency, near-full occupancy).
+"""
+
+from repro.basecall.model import BonitoLikeModel
+from repro.basecall.basecaller import Basecaller, chunk_signal, normalize_signal
+
+__all__ = ["Basecaller", "BonitoLikeModel", "chunk_signal", "normalize_signal"]

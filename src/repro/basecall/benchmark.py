@@ -1,0 +1,65 @@
+"""Benchmark adapter for the ``nn-base`` kernel.
+
+Workload: fixed-length chunks of synthetic nanopore signal, the unit
+Bonito processes.  Compute is regular; one task = one chunk, and its
+work is the network's floating-point operation count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.basecall.basecaller import Basecaller, chunk_signal, normalize_signal
+from repro.basecall.model import BonitoLikeModel
+from repro.core.benchmark import Benchmark
+from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
+from repro.core.instrument import Instrumentation
+from repro.signal.pore_model import PoreModel
+from repro.signal.synth import synthesize_signal
+from repro.sequence.simulate import random_genome
+
+
+@dataclass
+class NnBaseWorkload:
+    """Prepared inputs: normalized signal chunks plus the model."""
+
+    chunks: list[np.ndarray]
+    basecaller: Basecaller
+
+
+class NnBaseBenchmark(Benchmark):
+    """Drives CNN basecalling over signal chunks."""
+
+    name = "nn-base"
+
+    def prepare(self, size: DatasetSize) -> NnBaseWorkload:
+        params = dataset_params(self.name, size)
+        seed = dataset_seed(self.name, size)
+        rng = np.random.default_rng(seed)
+        model = PoreModel()
+        chunk_len = params["chunk_len"]
+        basecaller = Basecaller(
+            BonitoLikeModel(), chunk_len=chunk_len, overlap=chunk_len // 10
+        )
+        # synthesize one long read and cut it into the requested chunks
+        needed = params["n_chunks"] * chunk_len + chunk_len
+        seq_len = max(200, needed // 8)  # ~8 samples per base
+        genome = random_genome(seq_len, seed=rng)
+        signal = synthesize_signal(genome, model, seed=rng, samples_per_kmer=9.0)
+        normalized = normalize_signal(signal.samples)
+        chunks = chunk_signal(normalized, chunk_len, basecaller.overlap)
+        chunks = chunks[: params["n_chunks"]]
+        return NnBaseWorkload(chunks=chunks, basecaller=basecaller)
+
+    def execute(
+        self, workload: NnBaseWorkload, instr: Instrumentation | None = None
+    ) -> tuple[list[str], list[int]]:
+        outputs = []
+        task_work = []
+        ops = workload.basecaller._ops_per_chunk
+        for chunk in workload.chunks:
+            outputs.append(workload.basecaller.call_chunk(chunk, instr=instr))
+            task_work.append(ops)
+        return outputs, task_work

@@ -1,0 +1,72 @@
+"""The Bonito-like convolutional basecalling network.
+
+Architecture (mirroring Bonito's CTC model family): a strided stem
+convolution downsamples the raw signal 3x, a stack of
+depthwise-separable convolution blocks (depthwise k=15 + pointwise k=1,
+batch norm, Swish) builds context, and a pointwise head produces
+log-probabilities over ``{blank, A, C, G, T}`` per output timestep.
+Weights are deterministic for a seed; the original runs a trained
+checkpoint, but layer shapes and dataflow -- the characterized
+quantities -- are identical in kind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm1d, Conv1d, Sequential, Swish
+
+
+def _log_softmax(x: np.ndarray, axis: int = 0) -> np.ndarray:
+    m = x.max(axis=axis, keepdims=True)
+    z = x - m
+    return z - np.log(np.exp(z).sum(axis=axis, keepdims=True))
+
+
+class BonitoLikeModel:
+    """CNN mapping a signal chunk to CTC log-probabilities."""
+
+    #: stem downsampling factor (Bonito's stride-3 first convolution)
+    STRIDE = 3
+
+    def __init__(
+        self, channels: int = 64, n_blocks: int = 4, seed: int = 20210321
+    ) -> None:
+        if channels < 8 or n_blocks < 1:
+            raise ValueError("need at least 8 channels and 1 block")
+        rng = np.random.default_rng(seed)
+        layers = [
+            Conv1d(1, channels, kernel=9, stride=self.STRIDE, rng=rng),
+            BatchNorm1d(channels, rng=rng),
+            Swish(),
+        ]
+        for _ in range(n_blocks):
+            layers.extend(
+                [
+                    Conv1d(channels, channels, kernel=15, groups=channels, rng=rng),
+                    Conv1d(channels, channels, kernel=1, rng=rng),
+                    BatchNorm1d(channels, rng=rng),
+                    Swish(),
+                ]
+            )
+        layers.append(Conv1d(channels, 5, kernel=1, rng=rng))
+        self.net = Sequential(*layers)
+        self.channels = channels
+        self.n_blocks = n_blocks
+
+    def forward(self, chunk: np.ndarray) -> np.ndarray:
+        """Log-probabilities ``(T_out, 5)`` for a normalized 1-D chunk."""
+        if chunk.ndim != 1:
+            raise ValueError("expected a 1-D signal chunk")
+        x = chunk.astype(np.float32)[None, :]  # (1, T)
+        logits = self.net.forward(x)  # (5, T_out)
+        return _log_softmax(logits, axis=0).T
+
+    def op_count(self, chunk_len: int) -> int:
+        """Floating-point work for one chunk of ``chunk_len`` samples."""
+        probe = np.zeros((1, chunk_len), dtype=np.float32)
+        return self.net.op_count(probe)
+
+    def output_length(self, chunk_len: int) -> int:
+        """Timesteps produced for a chunk of ``chunk_len`` samples."""
+        return self.forward(np.zeros(chunk_len, dtype=np.float32)).shape[0]

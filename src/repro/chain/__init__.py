@@ -1,0 +1,21 @@
+"""Anchor chaining (the ``chain`` kernel).
+
+Reproduces Minimap2's chaining stage for read-overlap estimation: shared
+minimizer seeds (anchors) between a pair of long reads are grouped into
+co-linear chains by a 1-D dynamic program that scores each anchor
+against a bounded window of predecessors (default 25), with the
+concave gap cost of the Minimap2 paper.
+"""
+
+from repro.chain.minimizer import Minimizer, minimizers
+from repro.chain.anchors import Anchor, anchors_between
+from repro.chain.chaining import Chain, chain_anchors
+
+__all__ = [
+    "Anchor",
+    "Chain",
+    "Minimizer",
+    "anchors_between",
+    "chain_anchors",
+    "minimizers",
+]

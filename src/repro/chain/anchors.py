@@ -1,0 +1,57 @@
+"""Anchor generation: shared minimizers between two reads.
+
+An anchor ``(x, y, length)`` asserts that ``length`` bases starting at
+position ``x`` of read A match those at position ``y`` of read B.
+Highly repetitive minimizer values are dropped above an occurrence cap,
+as Minimap2 drops high-frequency seeds.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.chain.minimizer import minimizers
+
+
+@dataclass(frozen=True, order=True)
+class Anchor:
+    """A shared seed between two sequences (sorted by ``x`` then ``y``)."""
+
+    x: int
+    y: int
+    length: int
+
+
+def anchors_between(
+    read_a: str,
+    read_b: str,
+    k: int = 15,
+    w: int = 10,
+    max_occurrences: int = 8,
+) -> list[Anchor]:
+    """Anchors from minimizers common to ``read_a`` and ``read_b``.
+
+    Minimizer values occurring more than ``max_occurrences`` times in
+    either read are skipped.  Anchors come back sorted by ``(x, y)``,
+    the order the chaining DP requires.
+    """
+    mins_a = minimizers(read_a, k=k, w=w)
+    mins_b = minimizers(read_b, k=k, w=w)
+    by_value: dict[int, list[int]] = defaultdict(list)
+    for m in mins_b:
+        by_value[m.value].append(m.position)
+    counts_a: dict[int, int] = defaultdict(int)
+    for m in mins_a:
+        counts_a[m.value] += 1
+    anchors = []
+    for m in mins_a:
+        positions = by_value.get(m.value)
+        if not positions:
+            continue
+        if len(positions) > max_occurrences or counts_a[m.value] > max_occurrences:
+            continue
+        for y in positions:
+            anchors.append(Anchor(x=m.position, y=y, length=k))
+    anchors.sort()
+    return anchors

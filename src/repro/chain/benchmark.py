@@ -1,0 +1,88 @@
+"""Benchmark adapter for the ``chain`` kernel.
+
+Workload: pairs of simulated PacBio-scale long reads drawn from one
+genome, as in all-vs-all overlap estimation.  Pairs mix truly
+overlapping reads (shared genome span, so their minimizers chain into a
+long co-linear run) and disjoint reads (anchors are spurious repeats).
+One task = one read pair; its work is the number of input anchors
+(paper Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chain.anchors import Anchor, anchors_between
+from repro.chain.chaining import Chain, chain_anchors
+from repro.core.benchmark import Benchmark
+from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
+from repro.core.instrument import Instrumentation
+from repro.sequence.alphabet import reverse_complement
+from repro.sequence.simulate import LongReadSimulator, random_genome
+
+
+@dataclass
+class ChainTask:
+    """One pair's anchors plus the ground-truth overlap length."""
+
+    anchors: list[Anchor]
+    true_overlap: int
+
+
+@dataclass
+class ChainWorkload:
+    """Prepared inputs: anchor sets for read pairs."""
+
+    tasks: list[ChainTask]
+
+
+class ChainBenchmark(Benchmark):
+    """Drives Minimap2-style chaining over read-pair anchor sets."""
+
+    name = "chain"
+
+    def prepare(self, size: DatasetSize) -> ChainWorkload:
+        params = dataset_params(self.name, size)
+        seed = dataset_seed(self.name, size)
+        rng = np.random.default_rng(seed)
+        mean_len = params["mean_read_len"]
+        genome = random_genome(max(60_000, 6 * mean_len), seed=rng)
+        sim = LongReadSimulator(
+            mean_len=mean_len, error_rate=0.05, sub_frac=1.0, ins_frac=0.0, del_frac=0.0
+        )
+        # Overlap candidates from all-vs-all seeding are enriched for true
+        # overlaps; model that as 75% genuinely overlapping pairs.
+        tasks = []
+        for t in range(params["n_tasks"]):
+            span = len(genome) - 2 * mean_len - 1
+            start_a = int(rng.integers(0, span))
+            if rng.random() < 0.75:
+                shift = int(rng.integers(mean_len // 8, (7 * mean_len) // 8))
+            else:
+                shift = mean_len + int(rng.integers(0, mean_len))
+            start_b = min(start_a + shift, len(genome) - mean_len - 1)
+            piece_a = genome[start_a : start_a + 2 * mean_len]
+            piece_b = genome[start_b : start_b + 2 * mean_len]
+            a = sim.simulate(piece_a, 1, seed=rng, name_prefix=f"a{t}_")[0]
+            b = sim.simulate(piece_b, 1, seed=rng, name_prefix=f"b{t}_")[0]
+            # overlap estimation canonicalizes strands before chaining
+            seq_a = reverse_complement(a.sequence) if a.strand == "-" else a.sequence
+            seq_b = reverse_complement(b.sequence) if b.strand == "-" else b.sequence
+            lo = max(start_a + a.ref_start, start_b + b.ref_start)
+            hi = min(start_a + a.ref_end, start_b + b.ref_end)
+            anchors = anchors_between(seq_a, seq_b)
+            tasks.append(ChainTask(anchors=anchors, true_overlap=max(0, hi - lo)))
+        return ChainWorkload(tasks=tasks)
+
+    def execute(
+        self, workload: ChainWorkload, instr: Instrumentation | None = None
+    ) -> tuple[list[list[Chain]], list[int]]:
+        outputs = []
+        task_work = []
+        for task in workload.tasks:
+            chains = chain_anchors(task.anchors, instr=instr)
+            outputs.append(chains)
+            task_work.append(len(task.anchors))
+        return outputs, task_work

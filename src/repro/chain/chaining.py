@@ -1,0 +1,137 @@
+"""The Minimap2 chaining dynamic program.
+
+For anchors sorted by position, the maximal chaining score of anchor
+``i`` is (paper Section III)::
+
+    score(i) = max( max_j { score(j) + alpha(j, i) - beta(j, i) }, w_i )
+
+where ``j`` ranges over the previous ``N`` anchors (default 25),
+``alpha`` is the number of new matching bases anchor ``i`` contributes
+after overlap with ``j``, and ``beta`` is Minimap2's concave gap cost
+``0.01 * avg_len * |dq - dr| + 0.5 * log2 |dq - dr|``.  Backtracking the
+best-scoring anchor recovers the primary chain -- the overlap region
+between the two reads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.chain.anchors import Anchor
+from repro.core.instrument import Instrumentation
+
+
+@dataclass
+class Chain:
+    """A scored co-linear chain of anchors."""
+
+    anchors: list[Anchor]
+    score: float
+
+    def __len__(self) -> int:
+        return len(self.anchors)
+
+    @property
+    def span_a(self) -> tuple[int, int]:
+        """Covered interval on read A (start of first to end of last anchor)."""
+        if not self.anchors:
+            return (0, 0)
+        return self.anchors[0].x, self.anchors[-1].x + self.anchors[-1].length
+
+    @property
+    def span_b(self) -> tuple[int, int]:
+        """Covered interval on read B."""
+        if not self.anchors:
+            return (0, 0)
+        return self.anchors[0].y, self.anchors[-1].y + self.anchors[-1].length
+
+
+def _gap_cost(gap: int, avg_len: float) -> float:
+    """Minimap2's concave gap penalty."""
+    if gap == 0:
+        return 0.0
+    return 0.01 * avg_len * gap + 0.5 * math.log2(gap)
+
+
+def chain_anchors(
+    anchors: list[Anchor],
+    max_predecessors: int = 25,
+    max_gap: int = 5_000,
+    min_chain_score: float = 40.0,
+    instr: Instrumentation | None = None,
+) -> list[Chain]:
+    """Chain sorted anchors; returns chains above ``min_chain_score``.
+
+    Chains are reported best-score first, each anchor assigned to at
+    most one chain (primary chains only, as in Minimap2's ``--no-sec``
+    behaviour at this stage).
+    """
+    n = len(anchors)
+    if n == 0:
+        return []
+    score = [float(a.length) for a in anchors]
+    parent = [-1] * n
+    checks = 0
+    for i in range(1, n):
+        ai = anchors[i]
+        lo = max(0, i - max_predecessors)
+        best = score[i]
+        best_j = -1
+        for j in range(i - 1, lo - 1, -1):
+            checks += 1
+            aj = anchors[j]
+            dq = ai.x - aj.x
+            dr = ai.y - aj.y
+            if dq <= 0 or dr <= 0:
+                continue
+            if dq > max_gap or dr > max_gap:
+                continue
+            alpha = min(dq, dr, ai.length)
+            gap = abs(dq - dr)
+            candidate = score[j] + alpha - _gap_cost(gap, ai.length)
+            if candidate > best:
+                best = candidate
+                best_j = j
+        score[i] = best
+        parent[i] = best_j
+    if instr is not None:
+        # the gap cost uses an integer ilog2 in Minimap2, so the whole
+        # predecessor check is scalar integer work
+        instr.counts.add("scalar_int", 11 * checks)
+        instr.counts.add("load", 2 * checks)
+        instr.counts.add("branch", 3 * checks)
+        instr.counts.add("store", 2 * n)
+        if instr.trace is not None:
+            _trace_anchors(instr, n, max_predecessors)
+    # Extract chains greedily from the best remaining end anchor.
+    used = [False] * n
+    order = sorted(range(n), key=lambda idx: -score[idx])
+    chains = []
+    for end in order:
+        if used[end] or score[end] < min_chain_score:
+            continue
+        path = []
+        node = end
+        while node != -1 and not used[node]:
+            path.append(anchors[node])
+            used[node] = True
+            node = parent[node]
+        path.reverse()
+        chains.append(Chain(anchors=path, score=score[end]))
+    return chains
+
+
+def _trace_anchors(instr: Instrumentation, n: int, window: int) -> None:
+    """Record the anchor-array access pattern: for each anchor, a sweep
+    over its predecessor window (16-byte anchors, cache-line granular)."""
+    trace = instr.trace
+    assert trace is not None
+    name = "chain.anchors"
+    if name not in trace.regions:
+        trace.alloc(name, 1 << 22)  # shared arena for all tasks' anchor arrays
+    region = trace.region(name)
+    for i in range(1, n):
+        lo = max(0, i - window)
+        start = (lo * 16) % (region.size - window * 16 - 64)
+        trace.read_stream(region, start, (i - lo) * 16, access_size=64)

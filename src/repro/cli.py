@@ -1,0 +1,196 @@
+"""Command-line interface of the benchmark suite.
+
+``python -m repro <command>`` (or the ``genomicsbench`` console script):
+
+* ``list``          -- the kernel catalogue with Tables II/III metadata
+* ``run``           -- execute kernels and report tasks/work/time
+* ``characterize``  -- regenerate a figure or table from the paper
+* ``datasets``      -- show the synthetic dataset parameters
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.benchmark import load_benchmark
+from repro.core.datasets import DatasetSize, dataset_params
+from repro.core.registry import KERNELS, get_kernel, kernel_names
+from repro.perf.report import render_table
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for info in KERNELS.values():
+        rows.append(
+            (
+                info.name,
+                info.tool,
+                info.motif.value,
+                info.pattern.value,
+                info.granularity or "-",
+                info.work_unit or "-",
+            )
+        )
+    print(
+        render_table(
+            "GenomicsBench kernels",
+            ["kernel", "tool", "motif", "compute", "granularity", "work unit"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = args.kernels or kernel_names()
+    size = DatasetSize(args.size)
+    rows = []
+    for name in names:
+        get_kernel(name)  # validate early with a helpful error
+        bench = load_benchmark(name)
+        t0 = time.perf_counter()
+        workload = bench.prepare(size)
+        prep = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        _, task_work = bench.execute(workload)
+        elapsed = time.perf_counter() - t1
+        rows.append(
+            (name, len(task_work), f"{sum(task_work):,}", f"{prep:.2f}s", f"{elapsed:.2f}s")
+        )
+        print(f"  {name}: {elapsed:.2f}s", file=sys.stderr)
+    print(
+        render_table(
+            f"kernel runs ({size.value} datasets)",
+            ["kernel", "tasks", "total work", "prepare", "kernel time"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _characterize(args: argparse.Namespace) -> int:
+    from repro.perf import gpu, memory, mix, scaling, topdown_fig, workstats
+    from repro.core.instrument import OP_CATEGORIES
+    from repro.perf.report import pct, sig
+
+    artifact = args.artifact
+    if artifact == "fig4":
+        stats = workstats.figure4()
+        print(render_table(
+            "Fig 4",
+            ["kernel", "tasks", "mean", "max", "max/mean"],
+            [(s.kernel, s.n_tasks, sig(s.mean), s.maximum, f"{s.max_over_mean:.1f}x") for s in stats],
+        ))
+    elif artifact == "fig5":
+        rows = mix.figure5()
+        print(render_table(
+            "Fig 5",
+            ["kernel", *OP_CATEGORIES],
+            [(r.kernel, *(pct(r.fractions[c]) for c in OP_CATEGORIES)) for r in rows],
+        ))
+    elif artifact in ("fig6", "fig8"):
+        rows = memory.figure6()
+        print(render_table(
+            "Fig 6/8",
+            ["kernel", "BPKI", "L1 miss", "stall"],
+            [(r.kernel, sig(r.bpki), pct(r.l1_miss_rate), pct(r.stall_fraction)) for r in rows],
+        ))
+    elif artifact == "fig7":
+        curves = scaling.figure7()
+        print(render_table(
+            "Fig 7",
+            ["kernel", "T=2", "T=4", "T=8"],
+            [(c.kernel, *(f"{c.speedup_at(t):.2f}x" for t in (2, 4, 8))) for c in curves],
+        ))
+    elif artifact == "fig9":
+        rows = topdown_fig.figure9()
+        print(render_table(
+            "Fig 9",
+            ["kernel", "retiring", "backend-mem"],
+            [(r.kernel, pct(r.slots.retiring), pct(r.slots.backend_memory)) for r in rows],
+        ))
+    elif artifact in ("table4", "table5"):
+        profiles = gpu.table4()
+        print(render_table(
+            "Tables IV/V",
+            ["metric", "abea", "nn-base"],
+            [
+                (m, pct(getattr(profiles["abea"], a)), pct(getattr(profiles["nn-base"], a)))
+                for m, a in (
+                    ("warp efficiency", "warp_efficiency"),
+                    ("occupancy", "occupancy"),
+                    ("load efficiency", "load_efficiency"),
+                    ("store efficiency", "store_efficiency"),
+                )
+            ],
+        ))
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown artifact {artifact}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    if args.export:
+        from repro.data.export import export_dataset
+
+        names = args.kernels or kernel_names()
+        for name in names:
+            get_kernel(name)  # validate with a helpful error
+            paths = export_dataset(name, args.size, args.export)
+            print(f"{name}: {len(paths)} files under {paths[0].parent}")
+        return 0
+    rows = []
+    for name in kernel_names():
+        for size in DatasetSize:
+            params = dataset_params(name, size)
+            rows.append(
+                (name, size.value, ", ".join(f"{k}={v}" for k, v in params.items()))
+            )
+    print(render_table("synthetic datasets", ["kernel", "size", "parameters"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="genomicsbench", description="GenomicsBench reproduction suite"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the kernel catalogue").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="execute kernels")
+    # no argparse `choices`: with nargs="*" Python 3.11 rejects the empty
+    # list; kernel names are validated by get_kernel instead
+    run.add_argument("kernels", nargs="*", help="kernels (default: all)")
+    run.add_argument("--size", choices=["small", "large"], default="small")
+    run.set_defaults(func=_cmd_run)
+
+    char = sub.add_parser("characterize", help="regenerate a paper artifact")
+    char.add_argument(
+        "artifact",
+        choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table4", "table5"],
+    )
+    char.set_defaults(func=_characterize)
+
+    data = sub.add_parser(
+        "datasets", help="show dataset parameters or export datasets to files"
+    )
+    data.add_argument("kernels", nargs="*", help="kernels (default: all)")
+    data.add_argument("--size", choices=["small", "large"], default="small")
+    data.add_argument("--export", metavar="DIR", help="write datasets under DIR")
+    data.set_defaults(func=_cmd_datasets)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

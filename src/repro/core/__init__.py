@@ -1,0 +1,49 @@
+"""Core framework of the GenomicsBench reproduction.
+
+This subpackage holds everything the twelve kernels share:
+
+* :mod:`repro.core.registry` -- the kernel catalogue with the metadata the
+  paper reports in Tables II and III (pipeline, motif, parallelism
+  granularity, data-parallel work unit).
+* :mod:`repro.core.instrument` -- operation counters and memory-access
+  tracing, the pure-Python stand-ins for the MICA pintool and hardware
+  performance counters used in the paper.
+* :mod:`repro.core.datasets` -- the small/large dataset size registry and
+  deterministic seeds for the synthetic workload generators.
+* :mod:`repro.core.benchmark` -- the benchmark protocol every kernel
+  adapter implements, plus the factory that loads an adapter by name.
+"""
+
+from repro.core.benchmark import Benchmark, RunResult, load_benchmark
+from repro.core.datasets import DatasetSize, dataset_params
+from repro.core.instrument import Instrumentation, MemoryTrace, OpCounts, Region
+from repro.core.registry import (
+    KERNELS,
+    ComputePattern,
+    Device,
+    KernelInfo,
+    Motif,
+    Pipeline,
+    get_kernel,
+    kernel_names,
+)
+
+__all__ = [
+    "Benchmark",
+    "ComputePattern",
+    "DatasetSize",
+    "Device",
+    "Instrumentation",
+    "KERNELS",
+    "KernelInfo",
+    "MemoryTrace",
+    "Motif",
+    "OpCounts",
+    "Pipeline",
+    "Region",
+    "RunResult",
+    "dataset_params",
+    "get_kernel",
+    "kernel_names",
+    "load_benchmark",
+]

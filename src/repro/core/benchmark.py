@@ -1,0 +1,113 @@
+"""Benchmark protocol and adapter factory.
+
+Every kernel subpackage ships a ``benchmark`` module with one class
+implementing :class:`Benchmark`.  The adapter knows how to
+
+* generate the kernel's synthetic workload at a registered
+  :class:`~repro.core.datasets.DatasetSize`,
+* run the kernel over that workload (optionally instrumented), and
+* report per-task work in the kernel's natural unit (cell updates,
+  Occ-table lookups, ...) for the parallelism characterization.
+
+The characterization harness in :mod:`repro.perf` and the table/figure
+benchmarks drive kernels exclusively through this protocol.
+"""
+
+from __future__ import annotations
+
+import abc
+import importlib
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.datasets import DatasetSize
+from repro.core.instrument import Instrumentation
+from repro.core.registry import get_kernel
+
+
+@dataclass
+class RunResult:
+    """Outcome of one benchmark execution.
+
+    ``output`` is the kernel's real result (alignments, counts, graphs,
+    consensus sequences, ...), kept so tests can assert correctness of the
+    benchmarked path.  ``task_work`` holds the data-parallel work of each
+    task in the kernel's natural unit -- the quantity Fig. 4 plots.
+    """
+
+    kernel: str
+    size: DatasetSize
+    output: Any
+    task_work: list[int]
+    wall_seconds: float
+    instr: Instrumentation | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of independent data-parallel tasks executed."""
+        return len(self.task_work)
+
+    @property
+    def total_work(self) -> int:
+        """Total data-parallel work across all tasks."""
+        return sum(self.task_work)
+
+
+class Benchmark(abc.ABC):
+    """Uniform driver interface over one GenomicsBench kernel."""
+
+    #: Registry name of the kernel this adapter drives (e.g. ``"fmi"``).
+    name: str
+
+    @abc.abstractmethod
+    def prepare(self, size: DatasetSize) -> Any:
+        """Generate (deterministically) the synthetic workload for ``size``."""
+
+    @abc.abstractmethod
+    def execute(self, workload: Any, instr: Instrumentation | None = None) -> tuple[Any, list[int]]:
+        """Run the kernel over ``workload``.
+
+        Returns ``(output, task_work)`` where ``task_work`` lists the
+        data-parallel work performed by each independent task.
+        """
+
+    def run(self, size: DatasetSize | str, instr: Instrumentation | None = None) -> RunResult:
+        """Prepare the workload and execute it, timing the kernel only."""
+        if isinstance(size, str):
+            size = DatasetSize(size)
+        workload = self.prepare(size)
+        start = time.perf_counter()
+        output, task_work = self.execute(workload, instr=instr)
+        elapsed = time.perf_counter() - start
+        return RunResult(
+            kernel=self.name,
+            size=size,
+            output=output,
+            task_work=task_work,
+            wall_seconds=elapsed,
+            instr=instr,
+        )
+
+
+def load_benchmark(name: str) -> Benchmark:
+    """Instantiate the adapter for kernel ``name``.
+
+    Adapters live at ``<kernel package>.benchmark`` and are looked up via
+    the kernel registry, so adding a kernel means registering it once and
+    dropping a ``benchmark`` module in its package.
+    """
+    info = get_kernel(name)
+    module = importlib.import_module(f"{info.package}.benchmark")
+    for attr in vars(module).values():
+        if (
+            isinstance(attr, type)
+            and issubclass(attr, Benchmark)
+            and attr is not Benchmark
+            and getattr(attr, "name", None) == name
+        ):
+            return attr()
+    raise ImportError(
+        f"{info.package}.benchmark defines no Benchmark subclass named {name!r}"
+    )

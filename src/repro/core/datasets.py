@@ -1,0 +1,160 @@
+"""Dataset size registry for the synthetic workloads.
+
+The paper ships each kernel with a *small* and a *large* input (Section
+III lists them per kernel: 1M/10M human reads for fmi, chromosome-22
+regions for dbg/phmm, C. elegans PacBio anchors for chain, ...).  Those
+datasets are either proprietary, hundreds of gigabytes, or both, and the
+original kernels are native code.  This reproduction substitutes
+deterministic synthetic workloads whose *statistical shape* (read length,
+error rate, coverage, task-count ratios between small and large) matches
+the paper, scaled down so pure Python finishes in seconds to minutes.
+
+Every generator in the kernel subpackages takes its parameters from this
+registry so tests, examples and benchmarks agree on what "small" means.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+
+class DatasetSize(enum.Enum):
+    """The two input scales the paper ships for every kernel."""
+
+    SMALL = "small"
+    LARGE = "large"
+
+
+#: Base seed; per-kernel seeds are derived so workloads are independent.
+BASE_SEED = 20210328  # ISPASS 2021 conference date
+
+#: Per-kernel synthetic dataset parameters.
+#:
+#: The paper's large datasets are roughly 5-10x the small ones; we keep
+#: the same ratio.  Absolute sizes are scaled for pure Python (see
+#: EXPERIMENTS.md for the per-kernel scale factors).
+_PARAMS: dict[str, dict[DatasetSize, dict[str, Any]]] = {
+    "fmi": {
+        # Paper: 1M / 10M human short reads (151 bp) vs. GRCh38.
+        DatasetSize.SMALL: {"genome_len": 200_000, "n_reads": 800, "read_len": 151},
+        DatasetSize.LARGE: {"genome_len": 1_000_000, "n_reads": 8_000, "read_len": 151},
+    },
+    "bsw": {
+        # Paper: seed-extension pairs from BWA-MEM on human short reads.
+        DatasetSize.SMALL: {"n_pairs": 1_000, "mean_len": 120, "len_sd": 30},
+        DatasetSize.LARGE: {"n_pairs": 10_000, "mean_len": 120, "len_sd": 30},
+    },
+    "dbg": {
+        # Paper: chr22 16M-16.5M region vs. whole chr22 (Platinum Genomes).
+        DatasetSize.SMALL: {
+            "n_regions": 25,
+            "region_len": 400,
+            "coverage": 30,
+            "read_len": 100,
+            "kmer_size": 25,
+        },
+        DatasetSize.LARGE: {
+            "n_regions": 250,
+            "region_len": 400,
+            "coverage": 30,
+            "read_len": 100,
+            "kmer_size": 25,
+        },
+    },
+    "phmm": {
+        # Paper: read-haplotype pairs fed to GATK calcLikelihoodScore.
+        DatasetSize.SMALL: {
+            "n_regions": 12,
+            "reads_per_region": 16,
+            "haplotypes_per_region": 4,
+            "read_len": 100,
+            "haplotype_len": 160,
+        },
+        DatasetSize.LARGE: {
+            "n_regions": 120,
+            "reads_per_region": 16,
+            "haplotypes_per_region": 4,
+            "read_len": 100,
+            "haplotype_len": 160,
+        },
+    },
+    "chain": {
+        # Paper: anchors for 1K / 10K C. elegans PacBio reads vs. themselves.
+        DatasetSize.SMALL: {"n_tasks": 60, "mean_read_len": 8_000, "anchor_rate": 0.01},
+        DatasetSize.LARGE: {"n_tasks": 600, "mean_read_len": 8_000, "anchor_rate": 0.01},
+    },
+    "poa": {
+        # Paper: 1000 / 6000 Racon consensus windows (S. aureus polishing).
+        DatasetSize.SMALL: {"n_windows": 30, "window_len": 200, "depth": 12, "error_rate": 0.08},
+        DatasetSize.LARGE: {"n_windows": 180, "window_len": 200, "depth": 12, "error_rate": 0.08},
+    },
+    "kmer-cnt": {
+        # Paper: Flye k-mer counting over ONT read sets.
+        DatasetSize.SMALL: {"total_bases": 400_000, "read_len": 5_000, "kmer_size": 17, "error_rate": 0.08},
+        DatasetSize.LARGE: {"total_bases": 4_000_000, "read_len": 5_000, "kmer_size": 17, "error_rate": 0.08},
+    },
+    "abea": {
+        # Paper: 1K / 10K NA12878 FAST5 reads vs. GRCh38 chr22.
+        DatasetSize.SMALL: {"n_reads": 12, "mean_read_len": 600, "samples_per_base": 9.0},
+        DatasetSize.LARGE: {"n_reads": 120, "mean_read_len": 600, "samples_per_base": 9.0},
+    },
+    "grm": {
+        # Paper: 2504 individuals x 194K (chr22) / 1.07M (chr1) variants.
+        DatasetSize.SMALL: {"n_individuals": 160, "n_variants": 4_000},
+        DatasetSize.LARGE: {"n_individuals": 320, "n_variants": 22_000},
+    },
+    "nn-base": {
+        # Paper: Bonito on 4000-sample signal chunks.
+        DatasetSize.SMALL: {"n_chunks": 3, "chunk_len": 2_000},
+        DatasetSize.LARGE: {"n_chunks": 12, "chunk_len": 2_000},
+    },
+    "pileup": {
+        # Paper: ONT reads vs. S. aureus / HG002 chr20, 100 kb regions.
+        DatasetSize.SMALL: {
+            "genome_len": 100_000,
+            "coverage": 20,
+            "mean_read_len": 5_000,
+            "region_size": 10_000,
+            "error_rate": 0.08,
+        },
+        DatasetSize.LARGE: {
+            "genome_len": 500_000,
+            "coverage": 30,
+            "mean_read_len": 5_000,
+            "region_size": 10_000,
+            "error_rate": 0.08,
+        },
+    },
+    "nn-variant": {
+        # Paper: first 10K / 500K reference positions of chr20 q13.12.
+        DatasetSize.SMALL: {"n_positions": 150, "coverage": 30},
+        DatasetSize.LARGE: {"n_positions": 1_500, "coverage": 30},
+    },
+}
+
+
+def dataset_params(kernel: str, size: DatasetSize | str) -> dict[str, Any]:
+    """Parameters of the synthetic dataset for ``kernel`` at ``size``.
+
+    Returns a copy, so callers may tweak values (examples do this to run
+    even faster demo inputs) without corrupting the registry.
+    """
+    if isinstance(size, str):
+        size = DatasetSize(size)
+    try:
+        per_kernel = _PARAMS[kernel]
+    except KeyError:
+        raise KeyError(
+            f"no dataset registered for kernel {kernel!r}; "
+            f"known kernels: {', '.join(_PARAMS)}"
+        ) from None
+    return dict(per_kernel[size])
+
+
+def dataset_seed(kernel: str, size: DatasetSize | str) -> int:
+    """Deterministic RNG seed for ``kernel``'s dataset at ``size``."""
+    if isinstance(size, str):
+        size = DatasetSize(size)
+    kernel_index = list(_PARAMS).index(kernel)
+    return BASE_SEED + 1000 * kernel_index + (0 if size is DatasetSize.SMALL else 1)

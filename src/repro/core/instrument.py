@@ -1,0 +1,229 @@
+"""Operation counting and memory-access tracing.
+
+The paper characterizes its kernels with the MICA pintool (dynamic
+instruction mix, Fig. 5) and hardware performance counters (cache misses
+and stalls, Figs. 6, 8, 9).  Neither exists for Python, so the kernels in
+this repository carry lightweight instrumentation hooks instead:
+
+* :class:`OpCounts` tallies abstract operations in the same categories the
+  paper plots -- scalar integer, floating point, vector, load, store,
+  branch and other.  Kernels add whole-loop totals computed from the real
+  work they performed, so the proportions reflect executed behaviour
+  rather than static estimates.
+* :class:`MemoryTrace` records the address stream of the accesses that
+  dominate each kernel's memory behaviour (Occ-table lookups, hash-bucket
+  probes, DP-row sweeps, ...).  The trace feeds the cache and DRAM
+  simulators in :mod:`repro.uarch`.
+
+Both are optional: every kernel accepts ``instr=None`` and skips the hooks
+entirely on the fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Operation categories, mirroring the Fig. 5 legend of the paper.
+OP_CATEGORIES = (
+    "scalar_int",
+    "fp",
+    "vector",
+    "load",
+    "store",
+    "branch",
+    "other",
+)
+
+#: Cache line size assumed throughout the microarchitectural model (bytes).
+CACHE_LINE = 64
+
+
+class OpCounts:
+    """Tally of abstract dynamic operations by category.
+
+    The categories follow the paper's Fig. 5 breakdown.  Counts are plain
+    integers; kernels typically add aggregate totals per task (for example
+    ``counts.add("fp", 9 * cells)`` after filling a PairHMM matrix) rather
+    than incrementing per operation.
+    """
+
+    __slots__ = OP_CATEGORIES
+
+    def __init__(self, **initial: int) -> None:
+        for cat in OP_CATEGORIES:
+            setattr(self, cat, int(initial.pop(cat, 0)))
+        if initial:
+            raise TypeError(f"unknown operation categories: {sorted(initial)}")
+
+    def add(self, category: str, n: int = 1) -> None:
+        """Add ``n`` operations to ``category``.
+
+        Raises :class:`AttributeError` for unknown categories so typos in
+        kernel instrumentation fail loudly.
+        """
+        setattr(self, category, getattr(self, category) + n)
+
+    def merge(self, other: "OpCounts") -> None:
+        """Accumulate another tally into this one in place."""
+        for cat in OP_CATEGORIES:
+            setattr(self, cat, getattr(self, cat) + getattr(other, cat))
+
+    @property
+    def total(self) -> int:
+        """Total dynamic operations across all categories."""
+        return sum(getattr(self, cat) for cat in OP_CATEGORIES)
+
+    def as_dict(self) -> dict[str, int]:
+        """Counts keyed by category name."""
+        return {cat: getattr(self, cat) for cat in OP_CATEGORIES}
+
+    def fractions(self) -> dict[str, float]:
+        """Per-category fraction of the total (all zero if empty)."""
+        total = self.total
+        if total == 0:
+            return {cat: 0.0 for cat in OP_CATEGORIES}
+        return {cat: getattr(self, cat) / total for cat in OP_CATEGORIES}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OpCounts):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{cat}={getattr(self, cat)}" for cat in OP_CATEGORIES if getattr(self, cat)
+        )
+        return f"OpCounts({inner})"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named range of the simulated address space.
+
+    Kernels allocate one region per logical data structure (the Occ table,
+    a hash table, a DP row buffer, ...) so traces stay interpretable and
+    the cache simulator can attribute misses to structures.
+    """
+
+    name: str
+    base: int
+    size: int
+
+    def addr(self, offset: int) -> int:
+        """Absolute address of byte ``offset`` within the region."""
+        if offset < 0 or offset >= self.size:
+            raise IndexError(
+                f"offset {offset} outside region {self.name!r} of size {self.size}"
+            )
+        return self.base + offset
+
+
+class MemoryTrace:
+    """Recorder for a kernel's dominant memory accesses.
+
+    The trace is a flat sequence of ``(address, size, is_write)`` tuples in
+    program order.  Regions are carved from a single simulated address
+    space with cache-line alignment and a guard gap so distinct structures
+    never share a line.
+    """
+
+    _GUARD = 4096  # gap between regions, bytes
+
+    def __init__(self) -> None:
+        self._cursor = 1 << 20  # leave the null page and low memory empty
+        self._regions: dict[str, Region] = {}
+        self._addrs: list[int] = []
+        self._sizes: list[int] = []
+        self._writes: list[bool] = []
+
+    # -- address space management ------------------------------------
+
+    def alloc(self, name: str, size: int) -> Region:
+        """Allocate a named region of ``size`` bytes and return it."""
+        if size <= 0:
+            raise ValueError(f"region size must be positive, got {size}")
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        base = self._cursor
+        region = Region(name=name, base=base, size=size)
+        self._regions[name] = region
+        aligned = (size + CACHE_LINE - 1) // CACHE_LINE * CACHE_LINE
+        self._cursor = base + aligned + self._GUARD
+        return region
+
+    def region(self, name: str) -> Region:
+        """Look up a previously allocated region by name."""
+        return self._regions[name]
+
+    @property
+    def regions(self) -> dict[str, Region]:
+        """All allocated regions keyed by name."""
+        return dict(self._regions)
+
+    # -- recording -----------------------------------------------------
+
+    def read(self, region: Region, offset: int, size: int = 4) -> None:
+        """Record a read of ``size`` bytes at ``offset`` within ``region``."""
+        self._addrs.append(region.base + offset)
+        self._sizes.append(size)
+        self._writes.append(False)
+
+    def write(self, region: Region, offset: int, size: int = 4) -> None:
+        """Record a write of ``size`` bytes at ``offset`` within ``region``."""
+        self._addrs.append(region.base + offset)
+        self._sizes.append(size)
+        self._writes.append(True)
+
+    def read_stream(
+        self, region: Region, start: int, nbytes: int, access_size: int = 8
+    ) -> None:
+        """Record a sequential read sweep.
+
+        Models streaming access (e.g. scanning a read) as consecutive
+        ``access_size``-byte reads covering ``nbytes`` from ``start``.
+        """
+        for off in range(start, start + nbytes, access_size):
+            self._addrs.append(region.base + off)
+            self._sizes.append(min(access_size, start + nbytes - off))
+            self._writes.append(False)
+
+    def write_stream(
+        self, region: Region, start: int, nbytes: int, access_size: int = 8
+    ) -> None:
+        """Record a sequential write sweep (see :meth:`read_stream`)."""
+        for off in range(start, start + nbytes, access_size):
+            self._addrs.append(region.base + off)
+            self._sizes.append(min(access_size, start + nbytes - off))
+            self._writes.append(True)
+
+    # -- inspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._addrs)
+
+    def accesses(self):
+        """Iterate ``(address, size, is_write)`` in program order."""
+        return zip(self._addrs, self._sizes, self._writes)
+
+    def clear(self) -> None:
+        """Drop recorded accesses but keep the region map."""
+        self._addrs.clear()
+        self._sizes.clear()
+        self._writes.clear()
+
+
+@dataclass
+class Instrumentation:
+    """Bundle passed to kernels running in characterized mode.
+
+    ``counts`` is always present; ``trace`` may be ``None`` when only the
+    instruction mix is wanted (tracing is the expensive part).
+    """
+
+    counts: OpCounts = field(default_factory=OpCounts)
+    trace: MemoryTrace | None = None
+
+    @classmethod
+    def with_trace(cls) -> "Instrumentation":
+        """Convenience constructor enabling both counters and tracing."""
+        return cls(counts=OpCounts(), trace=MemoryTrace())

@@ -1,0 +1,308 @@
+"""Catalogue of the twelve GenomicsBench kernels.
+
+The registry encodes the metadata the paper reports in Table II
+(parallelism motif, compute regularity, device) and Table III (data
+parallelism granularity and the data-parallel computation each task
+performs).  The characterization harness and the table-regenerating
+benchmarks read this catalogue rather than hard-coding kernel lists.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Pipeline(enum.Enum):
+    """Sequencing-analysis pipeline a kernel belongs to (paper Fig. 1)."""
+
+    REFERENCE_GUIDED = "reference-guided assembly"
+    DE_NOVO = "de novo assembly"
+    METAGENOMICS = "metagenomics classification"
+    POPULATION = "population genomics"
+
+
+class Device(enum.Flag):
+    """Execution targets shipped for a kernel in the original suite."""
+
+    CPU = enum.auto()
+    GPU = enum.auto()
+
+
+class Motif(enum.Enum):
+    """Parallelism motif, following the taxonomy the paper cites.
+
+    Dynamic-programming kernels are further distinguished by dependency
+    dimensionality and input type in :class:`KernelInfo` fields.
+    """
+
+    DP_2D_BANDED = "2D banded dynamic programming"
+    DP_2D_FULL = "2D full-matrix dynamic programming"
+    DP_1D = "1D dynamic programming"
+    DP_GRAPH = "graph dynamic programming"
+    INDEX_LOOKUP = "index lookup / backward search"
+    HASH_GRAPH = "hash table + graph construction"
+    HASH_COUNT = "hash table counting"
+    DENSE_LINALG = "dense linear algebra"
+    NEURAL_NET = "neural network inference"
+    RECORD_PARSE = "alignment record parsing"
+
+
+class ComputePattern(enum.Enum):
+    """Regular vs. irregular compute, the paper's key dichotomy."""
+
+    REGULAR = "regular"
+    IRREGULAR = "irregular"
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """Static description of one benchmark kernel.
+
+    Attributes mirror the columns of the paper's Tables II and III:
+
+    * ``granularity`` -- the unit of task-level data parallelism
+      ("Read", "Genome Region", ...); ``None`` for the regular-compute
+      kernels Table III omits.
+    * ``work_unit`` -- the data-parallel computation counted per task
+      ("# Cell Updates", "# Occ Table Lookups", ...).
+    """
+
+    name: str
+    display_name: str
+    tool: str
+    pipeline: Pipeline
+    stage: str
+    device: Device
+    motif: Motif
+    pattern: ComputePattern
+    granularity: str | None
+    work_unit: str | None
+    uses_fp: bool
+    vectorized: bool
+    package: str
+
+    @property
+    def is_gpu(self) -> bool:
+        """True when the original suite ships a GPU implementation."""
+        return bool(self.device & Device.GPU)
+
+
+_K = KernelInfo
+
+#: The twelve kernels, in the order the paper introduces them (Section III).
+KERNELS: dict[str, KernelInfo] = {
+    k.name: k
+    for k in (
+        _K(
+            name="fmi",
+            display_name="FM-Index Search",
+            tool="BWA-MEM2",
+            pipeline=Pipeline.REFERENCE_GUIDED,
+            stage="seeding (super-maximal exact match search)",
+            device=Device.CPU,
+            motif=Motif.INDEX_LOOKUP,
+            pattern=ComputePattern.IRREGULAR,
+            granularity="Read",
+            work_unit="# Occ Table Lookups",
+            uses_fp=False,
+            vectorized=False,
+            package="repro.fmindex",
+        ),
+        _K(
+            name="bsw",
+            display_name="Banded Smith-Waterman",
+            tool="BWA-MEM2",
+            pipeline=Pipeline.REFERENCE_GUIDED,
+            stage="seed extension",
+            device=Device.CPU,
+            motif=Motif.DP_2D_BANDED,
+            pattern=ComputePattern.IRREGULAR,
+            granularity="Seed",
+            work_unit="# Cell Updates",
+            uses_fp=False,
+            vectorized=True,
+            package="repro.align",
+        ),
+        _K(
+            name="dbg",
+            display_name="De-Bruijn Graph Construction",
+            tool="Platypus",
+            pipeline=Pipeline.REFERENCE_GUIDED,
+            stage="local reassembly for variant calling",
+            device=Device.CPU,
+            motif=Motif.HASH_GRAPH,
+            pattern=ComputePattern.IRREGULAR,
+            granularity="Genome Region",
+            work_unit="# Hash Table Lookups",
+            uses_fp=False,
+            vectorized=False,
+            package="repro.dbg",
+        ),
+        _K(
+            name="phmm",
+            display_name="Pairwise Hidden Markov Model",
+            tool="GATK HaplotypeCaller",
+            pipeline=Pipeline.REFERENCE_GUIDED,
+            stage="read-haplotype likelihood",
+            device=Device.CPU,
+            motif=Motif.DP_2D_FULL,
+            pattern=ComputePattern.IRREGULAR,
+            granularity="Genome Region",
+            work_unit="# Cell Updates",
+            uses_fp=True,
+            vectorized=True,
+            package="repro.phmm",
+        ),
+        _K(
+            name="chain",
+            display_name="Chaining",
+            tool="Minimap2",
+            pipeline=Pipeline.DE_NOVO,
+            stage="overlap estimation",
+            device=Device.CPU,
+            motif=Motif.DP_1D,
+            pattern=ComputePattern.IRREGULAR,
+            granularity="Read",
+            work_unit="# Input Anchors",
+            uses_fp=False,
+            vectorized=False,
+            package="repro.chain",
+        ),
+        _K(
+            name="poa",
+            display_name="Partial-Order Alignment",
+            tool="Racon",
+            pipeline=Pipeline.DE_NOVO,
+            stage="assembly polishing",
+            device=Device.CPU,
+            motif=Motif.DP_GRAPH,
+            pattern=ComputePattern.IRREGULAR,
+            granularity="Read Chunk Window",
+            work_unit="# Cell Updates",
+            uses_fp=False,
+            vectorized=True,
+            package="repro.poa",
+        ),
+        _K(
+            name="kmer-cnt",
+            display_name="K-mer Counting",
+            tool="Flye",
+            pipeline=Pipeline.DE_NOVO,
+            stage="solid k-mer selection for assembly",
+            device=Device.CPU,
+            motif=Motif.HASH_COUNT,
+            pattern=ComputePattern.REGULAR,
+            granularity=None,
+            work_unit=None,
+            uses_fp=False,
+            vectorized=False,
+            package="repro.kmer",
+        ),
+        _K(
+            name="abea",
+            display_name="Adaptive Banded Event Alignment",
+            tool="Nanopolish (f5c)",
+            pipeline=Pipeline.REFERENCE_GUIDED,
+            stage="signal-to-reference alignment for methylation calling",
+            device=Device.CPU | Device.GPU,
+            motif=Motif.DP_2D_BANDED,
+            pattern=ComputePattern.IRREGULAR,
+            granularity="Read",
+            work_unit="# Cell Updates",
+            uses_fp=True,
+            vectorized=False,
+            package="repro.abea",
+        ),
+        _K(
+            name="grm",
+            display_name="Genomic Relationship Matrix",
+            tool="PLINK2",
+            pipeline=Pipeline.POPULATION,
+            stage="ancestry-relationship estimation",
+            device=Device.CPU,
+            motif=Motif.DENSE_LINALG,
+            pattern=ComputePattern.REGULAR,
+            granularity=None,
+            work_unit=None,
+            uses_fp=True,
+            vectorized=True,
+            package="repro.grm",
+        ),
+        _K(
+            name="nn-base",
+            display_name="Neural Network Basecalling",
+            tool="Bonito",
+            pipeline=Pipeline.DE_NOVO,
+            stage="basecalling",
+            device=Device.GPU,
+            motif=Motif.NEURAL_NET,
+            pattern=ComputePattern.REGULAR,
+            granularity=None,
+            work_unit=None,
+            uses_fp=True,
+            vectorized=True,
+            package="repro.basecall",
+        ),
+        _K(
+            name="pileup",
+            display_name="Pileup Counting",
+            tool="Medaka",
+            pipeline=Pipeline.REFERENCE_GUIDED,
+            stage="variant-calling preprocessing",
+            device=Device.CPU,
+            motif=Motif.RECORD_PARSE,
+            pattern=ComputePattern.IRREGULAR,
+            granularity="Genome Region",
+            work_unit="# Read Lookups",
+            uses_fp=False,
+            vectorized=False,
+            package="repro.pileup",
+        ),
+        _K(
+            name="nn-variant",
+            display_name="Neural Network Variant Calling",
+            tool="Clair",
+            pipeline=Pipeline.REFERENCE_GUIDED,
+            stage="variant calling",
+            device=Device.GPU,
+            motif=Motif.NEURAL_NET,
+            pattern=ComputePattern.REGULAR,
+            granularity=None,
+            work_unit=None,
+            uses_fp=True,
+            vectorized=True,
+            package="repro.variant",
+        ),
+    )
+}
+
+
+def kernel_names() -> list[str]:
+    """Names of all twelve kernels in paper order."""
+    return list(KERNELS)
+
+
+def get_kernel(name: str) -> KernelInfo:
+    """Look up a kernel by name, raising :class:`KeyError` with the valid set."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; valid kernels: {', '.join(KERNELS)}"
+        ) from None
+
+
+def irregular_kernels() -> list[KernelInfo]:
+    """Kernels with irregular compute (the rows of the paper's Table III)."""
+    return [k for k in KERNELS.values() if k.pattern is ComputePattern.IRREGULAR]
+
+
+def cpu_kernels() -> list[KernelInfo]:
+    """Kernels with a CPU implementation in the original suite."""
+    return [k for k in KERNELS.values() if k.device & Device.CPU]
+
+
+def gpu_kernels() -> list[KernelInfo]:
+    """Kernels with a GPU implementation in the original suite."""
+    return [k for k in KERNELS.values() if k.device & Device.GPU]

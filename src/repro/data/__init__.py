@@ -1,0 +1,13 @@
+"""Dataset materialization.
+
+The original suite ships each kernel's inputs as files (FASTA/FASTQ
+reads, BAM alignments, FAST5 signal, genotype matrices).  This
+subpackage writes our synthetic equivalents to disk in standard formats
+so the workloads can be inspected, versioned, or fed to external tools:
+``export_dataset("fmi", "small", "datasets/")`` produces the same
+inputs the benchmark adapters generate in memory.
+"""
+
+from repro.data.export import export_all, export_dataset
+
+__all__ = ["export_all", "export_dataset"]

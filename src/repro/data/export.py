@@ -1,0 +1,233 @@
+"""Per-kernel dataset exporters.
+
+Each exporter prepares the kernel's workload through its benchmark
+adapter (so exported files and in-memory runs are bit-identical
+inputs) and writes it in the closest standard format:
+
+==========  =====================================================
+kernel      files written
+==========  =====================================================
+fmi         ``reference.fasta``, ``reads.fastq``
+bsw         ``pairs.fasta`` (query/target records interleaved)
+dbg         ``regions.fasta``, ``reads_<region>.fasta``
+phmm        ``haplotypes_<region>.fasta``, ``reads_<region>.fastq``
+chain       ``anchors.tsv`` (x, y, length per task)
+poa         ``window_<i>.fasta``
+kmer-cnt    ``reads.fasta``
+abea        ``reference_<i>.fasta``, ``events_<i>.tsv``
+grm         ``genotypes.tsv``, ``frequencies.tsv``
+nn-base     ``chunks.tsv`` (one normalized chunk per row)
+pileup      ``reference.fasta``, ``alignments.sam``
+nn-variant  ``tensors.npy``
+==========  =====================================================
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.core.benchmark import load_benchmark
+from repro.core.datasets import DatasetSize
+from repro.core.registry import kernel_names
+from repro.io.fasta import FastaRecord, write_fasta
+from repro.io.fastq import FastqRecord, write_fastq
+from repro.sequence.quality import quality_string
+
+
+def _outdir(base: str | pathlib.Path, kernel: str, size: DatasetSize) -> pathlib.Path:
+    path = pathlib.Path(base) / kernel / size.value
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _export_fmi(workload, out: pathlib.Path) -> list[str]:
+    # the index holds genome + revcomp; recover the forward half
+    glen = workload.genome_len
+    # reconstruct from the forward FM-index codes
+    from repro.sequence.alphabet import decode
+
+    genome = decode(workload.index.forward._codes[:glen])
+    (out / "reference.fasta").write_text(
+        write_fasta([FastaRecord(name="ref", sequence=genome)])
+    )
+    records = [
+        FastqRecord(
+            name=r.name, sequence=r.sequence, qualities=quality_string(r.qualities)
+        )
+        for r in workload.reads
+    ]
+    (out / "reads.fastq").write_text(write_fastq(records))
+    return ["reference.fasta", "reads.fastq"]
+
+
+def _export_bsw(workload, out: pathlib.Path) -> list[str]:
+    records = []
+    for i, (q, t) in enumerate(workload.pairs):
+        records.append(FastaRecord(name=f"pair{i}_query", sequence=q))
+        records.append(FastaRecord(name=f"pair{i}_target", sequence=t))
+    (out / "pairs.fasta").write_text(write_fasta(records))
+    return ["pairs.fasta"]
+
+
+def _export_dbg(workload, out: pathlib.Path) -> list[str]:
+    files = []
+    refs = [
+        FastaRecord(name=f"region{i}", sequence=r.reference)
+        for i, r in enumerate(workload.regions)
+    ]
+    (out / "regions.fasta").write_text(write_fasta(refs))
+    files.append("regions.fasta")
+    for i, region in enumerate(workload.regions):
+        records = [
+            FastaRecord(name=f"r{i}_{j}", sequence=seq)
+            for j, seq in enumerate(region.reads)
+        ]
+        name = f"reads_region{i}.fasta"
+        (out / name).write_text(write_fasta(records))
+        files.append(name)
+    return files
+
+
+def _export_phmm(workload, out: pathlib.Path) -> list[str]:
+    files = []
+    for i, region in enumerate(workload.regions):
+        haps = [
+            FastaRecord(name=f"hap{i}_{j}", sequence=h)
+            for j, h in enumerate(region.haplotypes)
+        ]
+        hap_name = f"haplotypes_region{i}.fasta"
+        (out / hap_name).write_text(write_fasta(haps))
+        reads = [
+            FastqRecord(
+                name=f"read{i}_{j}",
+                sequence=seq,
+                qualities=quality_string(quals),
+            )
+            for j, (seq, quals) in enumerate(region.reads)
+        ]
+        read_name = f"reads_region{i}.fastq"
+        (out / read_name).write_text(write_fastq(reads))
+        files.extend((hap_name, read_name))
+    return files
+
+
+def _export_chain(workload, out: pathlib.Path) -> list[str]:
+    lines = ["task\tx\ty\tlength"]
+    for t, task in enumerate(workload.tasks):
+        for a in task.anchors:
+            lines.append(f"{t}\t{a.x}\t{a.y}\t{a.length}")
+    (out / "anchors.tsv").write_text("\n".join(lines) + "\n")
+    return ["anchors.tsv"]
+
+
+def _export_poa(workload, out: pathlib.Path) -> list[str]:
+    files = []
+    for i, window in enumerate(workload.windows):
+        records = [FastaRecord(name="truth", sequence=window.truth)] + [
+            FastaRecord(name=f"chunk{j}", sequence=s)
+            for j, s in enumerate(window.sequences)
+        ]
+        name = f"window_{i}.fasta"
+        (out / name).write_text(write_fasta(records))
+        files.append(name)
+    return files
+
+
+def _export_kmer(workload, out: pathlib.Path) -> list[str]:
+    records = [
+        FastaRecord(name=f"read{i}", sequence=seq)
+        for i, seq in enumerate(workload.reads)
+    ]
+    (out / "reads.fasta").write_text(write_fasta(records))
+    return ["reads.fasta"]
+
+
+def _export_abea(workload, out: pathlib.Path) -> list[str]:
+    files = []
+    for i, task in enumerate(workload.tasks):
+        ref_name = f"reference_{i}.fasta"
+        (out / ref_name).write_text(
+            write_fasta([FastaRecord(name=f"ref{i}", sequence=task.reference)])
+        )
+        lines = ["start\tlength\tmean\tstdv"] + [
+            f"{e.start}\t{e.length}\t{e.mean:.4f}\t{e.stdv:.4f}"
+            for e in task.events
+        ]
+        ev_name = f"events_{i}.tsv"
+        (out / ev_name).write_text("\n".join(lines) + "\n")
+        files.extend((ref_name, ev_name))
+    return files
+
+
+def _export_grm(workload, out: pathlib.Path) -> list[str]:
+    np.savetxt(out / "genotypes.tsv", workload.data.genotypes, fmt="%d", delimiter="\t")
+    np.savetxt(out / "frequencies.tsv", workload.data.frequencies, delimiter="\t")
+    return ["genotypes.tsv", "frequencies.tsv"]
+
+
+def _export_nnbase(workload, out: pathlib.Path) -> list[str]:
+    np.savetxt(out / "chunks.tsv", np.stack(workload.chunks), delimiter="\t")
+    return ["chunks.tsv"]
+
+
+def _export_pileup(workload, out: pathlib.Path) -> list[str]:
+    (out / "reference.fasta").write_text(
+        write_fasta([FastaRecord(name="chr1", sequence=workload.genome)])
+    )
+    lines = []
+    seen = set()
+    for _, records in workload.tasks:
+        for rec in records:
+            if rec.qname not in seen:  # records repeat across regions
+                seen.add(rec.qname)
+                lines.append(rec.to_sam_line())
+    (out / "alignments.sam").write_text("\n".join(lines) + "\n")
+    return ["reference.fasta", "alignments.sam"]
+
+
+def _export_nnvariant(workload, out: pathlib.Path) -> list[str]:
+    np.save(out / "tensors.npy", np.stack(workload.tensors))
+    return ["tensors.npy"]
+
+
+_EXPORTERS = {
+    "fmi": _export_fmi,
+    "bsw": _export_bsw,
+    "dbg": _export_dbg,
+    "phmm": _export_phmm,
+    "chain": _export_chain,
+    "poa": _export_poa,
+    "kmer-cnt": _export_kmer,
+    "abea": _export_abea,
+    "grm": _export_grm,
+    "nn-base": _export_nnbase,
+    "pileup": _export_pileup,
+    "nn-variant": _export_nnvariant,
+}
+
+
+def export_dataset(
+    kernel: str, size: DatasetSize | str, base_dir: str | pathlib.Path
+) -> list[pathlib.Path]:
+    """Materialize one kernel's dataset; returns the written paths."""
+    if isinstance(size, str):
+        size = DatasetSize(size)
+    try:
+        exporter = _EXPORTERS[kernel]
+    except KeyError:
+        raise KeyError(
+            f"no exporter for kernel {kernel!r}; known: {', '.join(_EXPORTERS)}"
+        ) from None
+    workload = load_benchmark(kernel).prepare(size)
+    out = _outdir(base_dir, kernel, size)
+    names = exporter(workload, out)
+    return [out / n for n in names]
+
+
+def export_all(
+    base_dir: str | pathlib.Path, size: DatasetSize | str = DatasetSize.SMALL
+) -> dict[str, list[pathlib.Path]]:
+    """Materialize every kernel's dataset under ``base_dir``."""
+    return {name: export_dataset(name, size, base_dir) for name in kernel_names()}

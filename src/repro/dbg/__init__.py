@@ -1,0 +1,14 @@
+"""Local De-Bruijn graph assembly (the ``dbg`` kernel).
+
+Reproduces the re-assembly step of the Platypus variant caller (also
+used by GATK HaplotypeCaller): reads aligned to a small reference region
+are decomposed into k-mers and woven into a De-Bruijn graph whose
+traversal yields candidate haplotypes.  A hash table tracks inserted
+nodes -- the data-parallel work unit Table III counts for this kernel --
+and graph construction retries with a larger k when cycles appear.
+"""
+
+from repro.dbg.graph import DeBruijnGraph
+from repro.dbg.assemble import RegionAssembly, assemble_region
+
+__all__ = ["DeBruijnGraph", "RegionAssembly", "assemble_region"]

@@ -1,0 +1,82 @@
+"""Region re-assembly: build, retry on cycles, enumerate haplotypes.
+
+Platypus re-assembles the reads aligned to each small reference window
+(a few hundred bases).  If the De-Bruijn graph is cyclic at the initial
+k-mer size -- repeats shorter than k collapse into cycles -- the graph
+is rebuilt with a larger k until acyclic or the size ladder is
+exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instrument import Instrumentation
+from repro.dbg.graph import DeBruijnGraph
+
+
+@dataclass
+class RegionAssembly:
+    """Result of assembling one region.
+
+    ``haplotypes`` lists candidate sequences between the reference's
+    first and last k-mer; ``k_used`` is the k-mer size that produced an
+    acyclic graph (``None`` in ``haplotypes``-empty failures);
+    ``hash_lookups`` is the kernel's work unit for the region.
+    """
+
+    haplotypes: list[str]
+    k_used: int
+    hash_lookups: int
+    acyclic: bool
+
+
+def assemble_region(
+    reference: str,
+    reads: list[str],
+    k_init: int = 25,
+    k_max: int = 65,
+    k_step: int = 10,
+    min_edge_weight: int = 2,
+    max_haplotypes: int = 64,
+    instr: Instrumentation | None = None,
+) -> RegionAssembly:
+    """Assemble candidate haplotypes for one reference region.
+
+    Returns the last attempt's assembly; ``acyclic`` is ``False`` only
+    when every k up to ``k_max`` still produced a cycle (the caller then
+    falls back to the reference haplotype, as Platypus does).
+    """
+    if len(reference) < k_init:
+        raise ValueError(
+            f"reference region ({len(reference)} bp) shorter than k={k_init}"
+        )
+    total_lookups = 0
+    k = k_init
+    while True:
+        graph = DeBruijnGraph(k)
+        graph.add_sequence(reference, is_ref=True, instr=instr)
+        for read in reads:
+            graph.add_sequence(read, instr=instr)
+        total_lookups += graph.lookups
+        if not graph.has_cycle():
+            graph.prune(min_edge_weight)
+            source = reference[:k]
+            sink = reference[-k:]
+            haplotypes = graph.enumerate_haplotypes(
+                source, sink, max_haplotypes=max_haplotypes
+            )
+            return RegionAssembly(
+                haplotypes=haplotypes,
+                k_used=k,
+                hash_lookups=total_lookups,
+                acyclic=True,
+            )
+        k += k_step
+        if k > k_max or k > len(reference):
+            return RegionAssembly(
+                haplotypes=[reference],
+                k_used=k - k_step,
+                hash_lookups=total_lookups,
+                acyclic=False,
+            )

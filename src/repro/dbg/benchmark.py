@@ -1,0 +1,81 @@
+"""Benchmark adapter for the ``dbg`` kernel.
+
+Workload: per region, a reference window plus reads sampled (with
+errors) from a mutated copy of that window -- the aligned-read sets a
+variant caller hands to its local assembler.  One task = one region;
+its work is the number of hash-table lookups issued while building the
+graph (paper Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.benchmark import Benchmark
+from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
+from repro.core.instrument import Instrumentation
+from repro.dbg.assemble import RegionAssembly, assemble_region
+from repro.sequence.alphabet import reverse_complement
+from repro.sequence.simulate import ShortReadSimulator, mutate_genome, random_genome
+
+
+@dataclass
+class DbgRegion:
+    """One assembly task: reference window and its aligned reads."""
+
+    reference: str
+    reads: list[str]
+
+
+@dataclass
+class DbgWorkload:
+    """Prepared inputs: independent assembly regions."""
+
+    regions: list[DbgRegion]
+    kmer_size: int
+
+
+class DbgBenchmark(Benchmark):
+    """Drives local De-Bruijn re-assembly over independent regions."""
+
+    name = "dbg"
+
+    def prepare(self, size: DatasetSize) -> DbgWorkload:
+        params = dataset_params(self.name, size)
+        seed = dataset_seed(self.name, size)
+        rng = np.random.default_rng(seed)
+        regions = []
+        for r in range(params["n_regions"]):
+            ref = random_genome(params["region_len"], seed=rng)
+            sample, _ = mutate_genome(
+                ref, seed=rng, snp_rate=5e-3, indel_rate=1e-3, max_indel=6
+            )
+            # lognormal depth for the long-tailed per-task work of Fig. 4
+            coverage = max(5.0, rng.lognormal(np.log(params["coverage"]), 0.6))
+            sim = ShortReadSimulator(read_len=params["read_len"], error_rate=0.005)
+            reads = sim.simulate_coverage(sample, coverage, seed=rng, name_prefix=f"d{r}_")
+            # aligned records are stored in reference orientation
+            oriented = [
+                reverse_complement(rd.sequence) if rd.strand == "-" else rd.sequence
+                for rd in reads
+            ]
+            regions.append(DbgRegion(reference=ref, reads=oriented))
+        return DbgWorkload(regions=regions, kmer_size=params["kmer_size"])
+
+    def execute(
+        self, workload: DbgWorkload, instr: Instrumentation | None = None
+    ) -> tuple[list[RegionAssembly], list[int]]:
+        outputs = []
+        task_work = []
+        for region in workload.regions:
+            result = assemble_region(
+                region.reference,
+                region.reads,
+                k_init=workload.kmer_size,
+                instr=instr,
+            )
+            outputs.append(result)
+            task_work.append(result.hash_lookups)
+        return outputs, task_work

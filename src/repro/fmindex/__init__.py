@@ -1,0 +1,32 @@
+"""FM-index search (the ``fmi`` kernel).
+
+Reproduces the super-maximal exact match (SMEM) seeding computation of
+BWA-MEM2: a Burrows-Wheeler-transform based full-text index over the
+reference genome, backward search driven by Occ-table lookups, and SMEM
+enumeration for short reads.  The Occ table uses BWA-style cache-line
+checkpoints, and the instrumented path records every checkpoint access
+-- the irregular, page-opening stream that makes this kernel
+memory-bound in the paper (66.8 BPKI, 41.5% stall cycles).
+"""
+
+from repro.fmindex.batched import InterleavedSearch
+from repro.fmindex.bidir import BiFMIndex, BiInterval
+from repro.fmindex.index import FMIndex
+from repro.fmindex.inexact import InexactHit, inexact_locate, inexact_search
+from repro.fmindex.sa import bwt_from_sa, suffix_array
+from repro.fmindex.smem import SMEM, find_smems, matching_statistics
+
+__all__ = [
+    "BiFMIndex",
+    "BiInterval",
+    "FMIndex",
+    "InexactHit",
+    "InterleavedSearch",
+    "SMEM",
+    "bwt_from_sa",
+    "find_smems",
+    "inexact_locate",
+    "inexact_search",
+    "matching_statistics",
+    "suffix_array",
+]

@@ -1,0 +1,82 @@
+"""Benchmark adapter for the ``fmi`` kernel.
+
+Workload: a synthetic reference genome is indexed offline (index
+construction is not part of the timed kernel, as in the original suite),
+short reads are simulated from a mutated sample of that reference, and
+the timed kernel enumerates SMEM seeds for every read.  One task = one
+read; its data-parallel work is the number of Occ-table lookups it
+issued (paper Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.benchmark import Benchmark
+from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
+from repro.core.instrument import Instrumentation, OpCounts
+from repro.fmindex.bidir import BiFMIndex
+from repro.sequence.alphabet import reverse_complement
+from repro.sequence.simulate import Read, ShortReadSimulator, mutate_genome, random_genome
+
+
+@dataclass
+class FmiWorkload:
+    """Prepared inputs: a built index plus the reads to seed.
+
+    The index covers ``genome + revcomp(genome)`` so reverse-strand reads
+    seed too, as with BWA's FMD-index; ``genome_len`` lets hits in the
+    second half be mapped back to forward-strand coordinates.
+    """
+
+    index: BiFMIndex
+    reads: list[Read]
+    genome_len: int
+    min_seed_len: int = 19
+
+
+class FmiBenchmark(Benchmark):
+    """Drives SMEM seeding, the ``fmi`` kernel."""
+
+    name = "fmi"
+
+    def prepare(self, size: DatasetSize) -> FmiWorkload:
+        params = dataset_params(self.name, size)
+        seed = dataset_seed(self.name, size)
+        genome = random_genome(params["genome_len"], seed=seed)
+        sample, _ = mutate_genome(genome, seed=seed + 1)
+        sim = ShortReadSimulator(read_len=params["read_len"])
+        reads = sim.simulate(sample, params["n_reads"], seed=seed + 2)
+        both_strands = genome + reverse_complement(genome)
+        return FmiWorkload(
+            index=BiFMIndex(both_strands), reads=reads, genome_len=len(genome)
+        )
+
+    def execute(
+        self, workload: FmiWorkload, instr: Instrumentation | None = None
+    ) -> tuple[list[list[tuple[int, int, int, str]]], list[int]]:
+        index = workload.index
+        glen = workload.genome_len
+        all_seeds = []
+        task_work = []
+        for read in workload.reads:
+            per_read = Instrumentation(
+                counts=OpCounts(), trace=instr.trace if instr else None
+            )
+            raw = index.seed_read(
+                read.sequence,
+                min_seed_len=workload.min_seed_len,
+                instr=per_read,
+            )
+            seeds = []
+            for read_start, pos, length in raw:
+                if pos < glen:
+                    seeds.append((read_start, pos, length, "+"))
+                else:  # hit in the reverse-complement half: map back
+                    seeds.append((read_start, 2 * glen - pos - length, length, "-"))
+            all_seeds.append(seeds)
+            # every Occ lookup is one recorded load
+            task_work.append(per_read.counts.load)
+            if instr is not None:
+                instr.counts.merge(per_read.counts)
+        return all_seeds, task_work

@@ -1,0 +1,132 @@
+"""Super-maximal exact match (SMEM) enumeration.
+
+BWA-MEM seeds alignments with SMEMs: exact read-to-reference matches
+that cannot be extended in either direction and are not contained in a
+longer such match.  BWA computes them with a bidirectional FMD-index;
+this reproduction derives the identical match set from *matching
+statistics* computed by backward search alone:
+
+For each end position ``e`` of the read, backward search yields the
+longest substring ``P[s(e)..e]`` occurring in the reference.  ``s`` is
+non-decreasing in ``e``, the match ``[s(e), e]`` is left-maximal by
+construction and right-maximal exactly when ``s(e+1) > s(e)`` (or ``e``
+is the last position); deduplicating equal start positions by keeping
+the longest end yields precisely the SMEM set.  The Occ-table access
+stream -- the behaviour the paper characterizes -- is the same backward
+extension loop BWA-MEM2 performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instrument import Instrumentation
+from repro.sequence.alphabet import encode
+from repro.fmindex.index import FMIndex
+
+
+@dataclass(frozen=True)
+class SMEM:
+    """One super-maximal exact match of a read against the reference.
+
+    ``start``/``end`` delimit the half-open read interval; ``sa_lo``/
+    ``sa_hi`` its suffix-array interval (so ``sa_hi - sa_lo`` is the
+    occurrence count).
+    """
+
+    start: int
+    end: int
+    sa_lo: int
+    sa_hi: int
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    @property
+    def occurrences(self) -> int:
+        """Number of reference positions matching this SMEM."""
+        return self.sa_hi - self.sa_lo
+
+
+def matching_statistics(
+    index: FMIndex, read: str, instr: Instrumentation | None = None
+) -> list[int]:
+    """Matching statistics ``s`` of ``read`` against ``index``.
+
+    ``s[e]`` is the smallest start such that ``read[s[e]:e+1]`` occurs in
+    the reference (``e + 1`` when even the single base is absent).
+    Computed by restarting backward search at every end position, the
+    same per-position extension loop as BWA-MEM's seeding.
+    """
+    codes = encode(read)
+    n = len(codes)
+    starts = []
+    for e in range(n):
+        lo, hi = index.full_interval()
+        s = e + 1
+        for i in range(e, -1, -1):
+            nlo, nhi = index.extend_backward((lo, hi), int(codes[i]), instr)
+            if nlo >= nhi:
+                break
+            lo, hi = nlo, nhi
+            s = i
+        starts.append(s)
+    return starts
+
+
+def find_smems(
+    index: FMIndex,
+    read: str,
+    min_seed_len: int = 19,
+    instr: Instrumentation | None = None,
+) -> list[SMEM]:
+    """All SMEMs of ``read`` of length at least ``min_seed_len``.
+
+    ``min_seed_len`` defaults to BWA-MEM's ``-k 19``.  The returned list
+    is ordered by read start position.
+    """
+    codes = encode(read)
+    n = len(codes)
+    if n == 0:
+        return []
+    starts = matching_statistics(index, read, instr)
+    # Right-maximal candidates: s strictly increases after e, or e is last.
+    candidates: list[tuple[int, int]] = []
+    for e in range(n):
+        if starts[e] > e:  # no match ends here at all
+            continue
+        if e == n - 1 or starts[e + 1] > starts[e]:
+            candidates.append((starts[e], e + 1))
+    # Deduplicate identical starts, keeping the longest match.
+    best_by_start: dict[int, tuple[int, int]] = {}
+    for s, e in candidates:
+        if s not in best_by_start or e > best_by_start[s][1]:
+            best_by_start[s] = (s, e)
+    smems = []
+    for s, e in sorted(best_by_start.values()):
+        if e - s < min_seed_len:
+            continue
+        lo, hi = index.search(read[s:e])
+        smems.append(SMEM(start=s, end=e, sa_lo=lo, sa_hi=hi))
+    return smems
+
+
+def seed_read(
+    index: FMIndex,
+    read: str,
+    min_seed_len: int = 19,
+    max_occ: int = 500,
+    instr: Instrumentation | None = None,
+) -> list[tuple[int, int, int]]:
+    """SMEM seeds as ``(read_start, ref_pos, length)`` triples.
+
+    Matches occurring more than ``max_occ`` times (repeats) are dropped,
+    as BWA-MEM drops seeds above its occurrence cap.
+    """
+    seeds = []
+    for smem in find_smems(index, read, min_seed_len=min_seed_len, instr=instr):
+        if smem.occurrences > max_occ:
+            continue
+        for pos in index.locate((smem.sa_lo, smem.sa_hi), instr=instr):
+            seeds.append((smem.start, pos, len(smem)))
+    return seeds

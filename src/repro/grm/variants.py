@@ -1,0 +1,66 @@
+"""SNV genotype simulation for population-genomics kernels.
+
+Stands in for the 1000 Genomes Phase-3 call set: allele frequencies are
+drawn from a Beta distribution skewed toward rare variants (as real
+site-frequency spectra are), genotypes follow Hardy-Weinberg
+proportions, and a block of relatives with elevated sharing is planted
+so the GRM has detectable off-diagonal structure to verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class GenotypeData:
+    """A cohort's genotypes plus the frequencies used to simulate them.
+
+    ``genotypes`` has shape ``(n_individuals, n_variants)`` with values
+    in {0, 1, 2}; ``frequencies`` are the per-site non-reference allele
+    frequencies; ``related_pairs`` lists planted relative pairs.
+    """
+
+    genotypes: np.ndarray
+    frequencies: np.ndarray
+    related_pairs: list[tuple[int, int]]
+
+    @property
+    def n_individuals(self) -> int:
+        return self.genotypes.shape[0]
+
+    @property
+    def n_variants(self) -> int:
+        return self.genotypes.shape[1]
+
+
+def simulate_genotypes(
+    n_individuals: int,
+    n_variants: int,
+    seed: int,
+    n_related_pairs: int = 4,
+    sharing: float = 0.5,
+) -> GenotypeData:
+    """Simulate a cohort with a few planted first-degree relative pairs.
+
+    Relatives share each genotype with probability ``sharing`` (0.5
+    mimics parent-child identity-by-descent on one haplotype).
+    """
+    if n_individuals < 2 or n_variants < 1:
+        raise ValueError("need at least 2 individuals and 1 variant")
+    rng = np.random.default_rng(seed)
+    # site frequency spectrum skewed to rare variants, floored for GRM math
+    freqs = np.clip(rng.beta(0.8, 3.0, size=n_variants), 0.02, 0.98)
+    draws = rng.random((n_individuals, n_variants, 2))
+    genotypes = (draws < freqs[None, :, None]).sum(axis=2).astype(np.int8)
+    related = []
+    for p in range(min(n_related_pairs, n_individuals // 2)):
+        a, b = 2 * p, 2 * p + 1
+        share = rng.random(n_variants) < sharing
+        genotypes[b, share] = genotypes[a, share]
+        related.append((a, b))
+    return GenotypeData(
+        genotypes=genotypes, frequencies=freqs, related_pairs=related
+    )

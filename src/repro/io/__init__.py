@@ -1,0 +1,30 @@
+"""Sequence file formats and alignment records.
+
+Minimal, dependency-free implementations of the formats the original
+tools exchange: FASTA and FASTQ for reads and references, CIGAR strings
+and SAM-like alignment records for mapped reads, and genomic region
+arithmetic.  The pileup kernel and variant-calling substrates consume
+these records exactly as Medaka/Clair consume BAM files.
+"""
+
+from repro.io.cigar import Cigar, CigarOp, cigar_from_truth_ops
+from repro.io.fasta import FastaRecord, parse_fasta, write_fasta
+from repro.io.fastq import FastqRecord, parse_fastq, write_fastq
+from repro.io.regions import GenomicRegion, partition_genome
+from repro.io.sam import AlignmentRecord, simulate_alignments
+
+__all__ = [
+    "AlignmentRecord",
+    "Cigar",
+    "CigarOp",
+    "FastaRecord",
+    "FastqRecord",
+    "GenomicRegion",
+    "cigar_from_truth_ops",
+    "parse_fasta",
+    "parse_fastq",
+    "partition_genome",
+    "simulate_alignments",
+    "write_fasta",
+    "write_fastq",
+]

@@ -1,0 +1,82 @@
+"""FASTA reading and writing.
+
+Handles the subset of FASTA the genomics tools actually exchange:
+``>name description`` headers, arbitrary line wrapping, upper/lower case
+sequence.  Parsing accepts a string, an iterable of lines or an open
+text file.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from typing import IO
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA entry: ``name`` is the first header token."""
+
+    name: str
+    sequence: str
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def _lines(source: str | IO[str] | Iterable[str]) -> Iterator[str]:
+    if isinstance(source, str):
+        return iter(source.splitlines())
+    return iter(source)
+
+
+def parse_fasta(source: str | IO[str] | Iterable[str]) -> list[FastaRecord]:
+    """Parse FASTA records from a string, line iterable or open file."""
+    records: list[FastaRecord] = []
+    name: str | None = None
+    description = ""
+    chunks: list[str] = []
+
+    def flush() -> None:
+        if name is None:
+            return
+        records.append(
+            FastaRecord(name=name, sequence="".join(chunks), description=description)
+        )
+
+    for raw in _lines(source):
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith(">"):
+            flush()
+            header = line[1:].strip()
+            if not header:
+                raise ValueError("FASTA header with empty name")
+            name, _, description = header.partition(" ")
+            chunks = []
+        else:
+            if name is None:
+                raise ValueError("FASTA sequence data before any header")
+            chunks.append(line.strip())
+    flush()
+    return records
+
+
+def write_fasta(records: Iterable[FastaRecord], wrap: int = 60) -> str:
+    """Render records to FASTA text with ``wrap``-column sequence lines."""
+    if wrap <= 0:
+        raise ValueError("wrap width must be positive")
+    out: list[str] = []
+    for rec in records:
+        header = f">{rec.name}"
+        if rec.description:
+            header += f" {rec.description}"
+        out.append(header)
+        seq = rec.sequence
+        for i in range(0, len(seq), wrap):
+            out.append(seq[i : i + wrap])
+        if not seq:
+            out.append("")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,91 @@
+"""FASTQ reading and writing.
+
+Four-line FASTQ only (the format modern sequencers emit): header,
+sequence, ``+`` separator, quality string of equal length.  Conversion
+to and from the simulator's :class:`~repro.sequence.simulate.Read`
+objects keeps qualities as integer Phred arrays.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from typing import IO
+
+import numpy as np
+
+from repro.sequence.quality import parse_quality_string, quality_string
+from repro.sequence.simulate import Read
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ entry with its raw quality string."""
+
+    name: str
+    sequence: str
+    qualities: str
+
+    def __post_init__(self) -> None:
+        if len(self.sequence) != len(self.qualities):
+            raise ValueError(
+                f"record {self.name}: sequence length {len(self.sequence)} != "
+                f"quality length {len(self.qualities)}"
+            )
+
+    def phred(self) -> np.ndarray:
+        """Integer Phred scores of the quality string."""
+        return parse_quality_string(self.qualities)
+
+
+def _lines(source: str | IO[str] | Iterable[str]) -> Iterator[str]:
+    if isinstance(source, str):
+        return iter(source.splitlines())
+    return iter(source)
+
+
+def parse_fastq(source: str | IO[str] | Iterable[str]) -> list[FastqRecord]:
+    """Parse four-line FASTQ records."""
+    records: list[FastqRecord] = []
+    lines = [ln.rstrip("\n") for ln in _lines(source) if ln.strip()]
+    if len(lines) % 4 != 0:
+        raise ValueError(f"FASTQ input has {len(lines)} non-empty lines, not a multiple of 4")
+    for i in range(0, len(lines), 4):
+        header, seq, sep, qual = lines[i : i + 4]
+        if not header.startswith("@"):
+            raise ValueError(f"expected '@' header at record {i // 4}, got {header!r}")
+        if not sep.startswith("+"):
+            raise ValueError(f"expected '+' separator at record {i // 4}, got {sep!r}")
+        name = header[1:].split()[0] if len(header) > 1 else ""
+        if not name:
+            raise ValueError(f"FASTQ record {i // 4} has an empty name")
+        records.append(FastqRecord(name=name, sequence=seq, qualities=qual))
+    return records
+
+
+def write_fastq(records: Iterable[FastqRecord]) -> str:
+    """Render records to FASTQ text."""
+    out: list[str] = []
+    for rec in records:
+        out.extend((f"@{rec.name}", rec.sequence, "+", rec.qualities))
+    return "\n".join(out) + "\n"
+
+
+def read_to_fastq(read: Read) -> FastqRecord:
+    """Convert a simulated read to a FASTQ record."""
+    return FastqRecord(
+        name=read.name,
+        sequence=read.sequence,
+        qualities=quality_string(read.qualities),
+    )
+
+
+def fastq_to_read(record: FastqRecord) -> Read:
+    """Convert a FASTQ record to a simulator read (no ground truth)."""
+    return Read(
+        name=record.name,
+        sequence=record.sequence,
+        qualities=record.phred(),
+        ref_start=-1,
+        ref_end=-1,
+    )

@@ -1,0 +1,74 @@
+"""Genomic region arithmetic.
+
+The irregular kernels parallelize over genome regions (Table III); this
+module provides the region type and the fixed-size partitioning the
+pileup kernel applies ("distributing the processing of different 100
+kilobase regions of the reference genome to different CPU threads").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class GenomicRegion:
+    """Half-open interval ``[start, end)`` on a named contig."""
+
+    contig: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"region start must be non-negative, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(f"region end {self.end} must exceed start {self.start}")
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def __str__(self) -> str:
+        return f"{self.contig}:{self.start}-{self.end}"
+
+    def contains(self, pos: int) -> bool:
+        """True when reference position ``pos`` lies in the region."""
+        return self.start <= pos < self.end
+
+    def overlaps(self, other: "GenomicRegion") -> bool:
+        """True when the two regions share at least one base."""
+        return (
+            self.contig == other.contig
+            and self.start < other.end
+            and other.start < self.end
+        )
+
+    def intersect(self, other: "GenomicRegion") -> "GenomicRegion | None":
+        """The overlapping sub-region, or ``None`` if disjoint."""
+        if not self.overlaps(other):
+            return None
+        return GenomicRegion(
+            contig=self.contig,
+            start=max(self.start, other.start),
+            end=min(self.end, other.end),
+        )
+
+
+def partition_genome(
+    contig: str, length: int, region_size: int
+) -> list[GenomicRegion]:
+    """Split ``[0, length)`` into consecutive regions of ``region_size``.
+
+    The final region absorbs the remainder, mirroring how Medaka tiles
+    the reference for its pileup workers.
+    """
+    if length <= 0:
+        raise ValueError("contig length must be positive")
+    if region_size <= 0:
+        raise ValueError("region size must be positive")
+    regions = []
+    for start in range(0, length, region_size):
+        regions.append(
+            GenomicRegion(contig=contig, start=start, end=min(start + region_size, length))
+        )
+    return regions

@@ -1,0 +1,154 @@
+"""SAM-like alignment records and a truth-based alignment simulator.
+
+The pileup and variant-calling kernels consume *aligned* reads.  The
+original suite feeds them BAM files produced by Minimap2/BWA-MEM; here a
+ground-truth simulator produces equivalent records directly: the read
+simulator knows exactly where each read came from and which errors were
+injected, so the CIGAR is exact rather than estimated by a mapper.
+
+Records follow SAM conventions: ``SEQ`` is stored in reference
+orientation (reverse-strand reads are reverse-complemented), ``CIGAR``
+is in reference orientation, and the 0x10 flag marks reverse reads.
+Positions are 0-based in memory and converted to 1-based only in SAM
+text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.io.cigar import Cigar, cigar_from_truth_ops
+from repro.io.regions import GenomicRegion
+from repro.sequence.alphabet import reverse_complement
+from repro.sequence.quality import parse_quality_string, quality_string
+from repro.sequence.simulate import LongReadSimulator
+
+#: SAM flag bit for reverse-strand alignments.
+FLAG_REVERSE = 0x10
+#: SAM flag bit for unmapped reads.
+FLAG_UNMAPPED = 0x4
+
+
+@dataclass
+class AlignmentRecord:
+    """One aligned read, equivalent to a single-end SAM/BAM record."""
+
+    qname: str
+    flag: int
+    rname: str
+    pos: int  # 0-based leftmost reference coordinate
+    mapq: int
+    cigar: Cigar
+    seq: str
+    quals: np.ndarray
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cigar.query_length and self.cigar.query_length != len(self.seq):
+            raise ValueError(
+                f"record {self.qname}: CIGAR consumes {self.cigar.query_length} "
+                f"query bases but SEQ has {len(self.seq)}"
+            )
+        if len(self.quals) != len(self.seq):
+            raise ValueError(
+                f"record {self.qname}: {len(self.quals)} qualities for "
+                f"{len(self.seq)} bases"
+            )
+
+    @property
+    def is_reverse(self) -> bool:
+        """True for reverse-strand alignments."""
+        return bool(self.flag & FLAG_REVERSE)
+
+    @property
+    def is_unmapped(self) -> bool:
+        """True for unmapped records."""
+        return bool(self.flag & FLAG_UNMAPPED)
+
+    @property
+    def reference_end(self) -> int:
+        """0-based exclusive end of the reference span."""
+        return self.pos + self.cigar.reference_length
+
+    def region(self) -> GenomicRegion:
+        """The reference region this alignment covers."""
+        return GenomicRegion(contig=self.rname, start=self.pos, end=self.reference_end)
+
+    def overlaps(self, region: GenomicRegion) -> bool:
+        """True when the alignment touches ``region``."""
+        return self.region().overlaps(region)
+
+    def to_sam_line(self) -> str:
+        """Render as one tab-separated SAM body line (1-based POS)."""
+        return "\t".join(
+            (
+                self.qname,
+                str(self.flag),
+                self.rname,
+                str(self.pos + 1),
+                str(self.mapq),
+                str(self.cigar),
+                "*",
+                "0",
+                "0",
+                self.seq,
+                quality_string(self.quals),
+            )
+        )
+
+    @classmethod
+    def from_sam_line(cls, line: str) -> "AlignmentRecord":
+        """Parse one SAM body line (mate fields are ignored)."""
+        fields = line.rstrip("\n").split("\t")
+        if len(fields) < 11:
+            raise ValueError(f"SAM line has {len(fields)} fields, expected >= 11")
+        return cls(
+            qname=fields[0],
+            flag=int(fields[1]),
+            rname=fields[2],
+            pos=int(fields[3]) - 1,
+            mapq=int(fields[4]),
+            cigar=Cigar.parse(fields[5]),
+            seq=fields[9],
+            quals=parse_quality_string(fields[10]),
+        )
+
+
+def simulate_alignments(
+    genome: str,
+    contig: str,
+    coverage: float,
+    seed: int,
+    simulator: LongReadSimulator | None = None,
+    mapq: int = 60,
+) -> list[AlignmentRecord]:
+    """Simulate long reads and return their ground-truth alignments.
+
+    Records come back coordinate-sorted (as from ``samtools sort``), with
+    exact CIGARs reconstructed from the injected errors.
+    """
+    sim = simulator or LongReadSimulator()
+    reads = sim.simulate_coverage(genome, coverage, seed, keep_ops=True)
+    records = []
+    for read in reads:
+        ops = read.tags["truth_ops"]
+        reverse = read.strand == "-"
+        cigar = cigar_from_truth_ops(ops, reverse=reverse)
+        seq = reverse_complement(read.sequence) if reverse else read.sequence
+        quals = read.qualities[::-1].copy() if reverse else read.qualities
+        records.append(
+            AlignmentRecord(
+                qname=read.name,
+                flag=FLAG_REVERSE if reverse else 0,
+                rname=contig,
+                pos=read.ref_start,
+                mapq=mapq,
+                cigar=cigar,
+                seq=seq,
+                quals=quals,
+            )
+        )
+    records.sort(key=lambda r: r.pos)
+    return records

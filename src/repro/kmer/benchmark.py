@@ -1,0 +1,57 @@
+"""Benchmark adapter for the ``kmer-cnt`` kernel.
+
+Workload: ONT-profile long reads at assembly coverage over one genome.
+This kernel has *regular* compute (Table III omits it): the natural
+task decomposition is per read batch, and work per batch is its k-mer
+count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.benchmark import Benchmark
+from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
+from repro.core.instrument import Instrumentation
+from repro.kmer.counting import CountResult, KmerCounter
+from repro.sequence.simulate import LongReadSimulator, random_genome
+
+
+@dataclass
+class KmerWorkload:
+    """Prepared inputs: reads plus counting parameters."""
+
+    reads: list[str]
+    kmer_size: int
+    expected_kmers: int
+
+
+class KmerBenchmark(Benchmark):
+    """Drives canonical k-mer counting over a long-read set."""
+
+    name = "kmer-cnt"
+
+    def prepare(self, size: DatasetSize) -> KmerWorkload:
+        params = dataset_params(self.name, size)
+        seed = dataset_seed(self.name, size)
+        genome_len = max(50_000, params["total_bases"] // 10)  # ~10x coverage
+        genome = random_genome(genome_len, seed=seed)
+        sim = LongReadSimulator(
+            mean_len=params["read_len"], error_rate=params["error_rate"]
+        )
+        n_reads = max(1, params["total_bases"] // params["read_len"])
+        reads = sim.simulate(genome, n_reads, seed=seed + 1)
+        k = params["kmer_size"]
+        expected = sum(max(0, len(r.sequence) - k + 1) for r in reads)
+        return KmerWorkload(
+            reads=[r.sequence for r in reads], kmer_size=k, expected_kmers=expected
+        )
+
+    def execute(
+        self, workload: KmerWorkload, instr: Instrumentation | None = None
+    ) -> tuple[CountResult, list[int]]:
+        counter = KmerCounter(workload.kmer_size, workload.expected_kmers)
+        task_work = []
+        for read in workload.reads:
+            task_work.append(counter.add_read(read, instr=instr))
+        return counter.finish(), task_work

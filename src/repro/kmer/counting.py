@@ -1,0 +1,82 @@
+"""The k-mer counting kernel.
+
+Streams reads, canonicalizes their k-mers and counts them in the hash
+table; afterwards *solid* k-mers (count within a coverage-derived
+window, as Flye selects them) seed assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instrument import Instrumentation
+from repro.kmer.hashing import canonical_kmers
+from repro.kmer.table import HashTable
+
+
+@dataclass
+class CountResult:
+    """Counting outcome: the table plus summary statistics."""
+
+    table: HashTable
+    total_kmers: int
+    distinct_kmers: int
+
+    def histogram(self, max_count: int = 16) -> np.ndarray:
+        """Occurrence histogram: ``h[c]`` = k-mers seen exactly ``c`` times
+        (``c`` capped at ``max_count``)."""
+        h = np.zeros(max_count + 1, dtype=np.int64)
+        for _, count in self.table.items():
+            h[min(count, max_count)] += 1
+        return h
+
+    def solid_kmers(self, min_count: int = 3) -> list[int]:
+        """Packed k-mers seen at least ``min_count`` times."""
+        return [key for key, count in self.table.items() if count >= min_count]
+
+
+class KmerCounter:
+    """Counts canonical k-mers of read batches into one shared table."""
+
+    def __init__(self, k: int, expected_kmers: int) -> None:
+        if not 1 <= k <= 31:
+            raise ValueError("k must lie in [1, 31]")
+        self.k = k
+        # size the table below the 0.7 load-factor ceiling
+        self.table = HashTable(max(8, int(expected_kmers / 0.55)))
+        self.total = 0
+
+    def add_read(self, seq: str, instr: Instrumentation | None = None) -> int:
+        """Count the k-mers of one read; returns how many it contributed."""
+        kmers = canonical_kmers(seq, self.k)
+        if instr is not None:
+            # rolling 2-bit packing + reverse-complement canonicalization
+            n = int(kmers.size)
+            instr.counts.add("scalar_int", 10 * n)
+            instr.counts.add("vector", 2 * n)
+            instr.counts.add("load", n)
+            instr.counts.add("branch", n)
+        self.table.insert_batch(kmers, instr=instr)
+        self.total += kmers.size
+        return int(kmers.size)
+
+    def finish(self) -> CountResult:
+        """Freeze and summarize the counting run."""
+        return CountResult(
+            table=self.table,
+            total_kmers=self.total,
+            distinct_kmers=self.table.size,
+        )
+
+
+def count_reads(
+    reads: list[str], k: int, instr: Instrumentation | None = None
+) -> CountResult:
+    """Count canonical k-mers across ``reads`` (convenience wrapper)."""
+    expected = sum(max(0, len(r) - k + 1) for r in reads)
+    counter = KmerCounter(k, expected_kmers=expected)
+    for read in reads:
+        counter.add_read(read, instr=instr)
+    return counter.finish()

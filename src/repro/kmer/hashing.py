@@ -1,0 +1,58 @@
+"""K-mer packing, canonicalization and hashing.
+
+K-mers up to 31 bases pack into one ``uint64`` (2 bits per base).
+Counting uses *canonical* k-mers -- the smaller of a k-mer and its
+reverse complement -- so both strands of a fragment contribute to the
+same counter, as in Flye and every modern counter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sequence.alphabet import encode
+
+_U64 = np.uint64
+
+
+def pack_kmers(codes: np.ndarray, k: int) -> np.ndarray:
+    """2-bit pack every k-mer of a code array into ``uint64`` values."""
+    if not 1 <= k <= 31:
+        raise ValueError("k must lie in [1, 31] to pack into 64 bits")
+    codes = np.asarray(codes, dtype=np.uint64)
+    n = codes.size - k + 1
+    if n <= 0:
+        return np.empty(0, dtype=np.uint64)
+    packed = np.zeros(n, dtype=np.uint64)
+    for offset in range(k):
+        packed = (packed << _U64(2)) | codes[offset : offset + n]
+    return packed
+
+
+def revcomp_packed(packed: np.ndarray, k: int) -> np.ndarray:
+    """Reverse complement of packed k-mers, fully vectorized."""
+    out = np.zeros_like(packed, dtype=np.uint64)
+    work = (~packed) & ((_U64(1) << _U64(2 * k)) - _U64(1))  # complement bases
+    for _ in range(k):
+        out = (out << _U64(2)) | (work & _U64(3))
+        work >>= _U64(2)
+    return out
+
+
+def canonical_kmers(seq: str, k: int) -> np.ndarray:
+    """Canonical packed k-mers of ``seq`` in position order."""
+    codes = encode(seq)
+    fwd = pack_kmers(codes, k)
+    rev = revcomp_packed(fwd, k)
+    return np.minimum(fwd, rev)
+
+
+def splitmix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer: a fast, well-mixed 64-bit hash."""
+    x = np.asarray(x, dtype=np.uint64).copy()
+    with np.errstate(over="ignore"):
+        x += _U64(0x9E3779B97F4A7C15)
+        x = (x ^ (x >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> _U64(27))) * _U64(0x94D049BB133111EB)
+        x ^= x >> _U64(31)
+    return x

@@ -1,0 +1,218 @@
+"""Open-addressing hash tables for k-mer counters.
+
+:class:`HashTable` is the production counter: linear probing with
+batched, vectorized insertion (all pending keys probe in lockstep;
+collided keys advance to the next slot and retry).  The probe addresses
+are exactly what a scalar insertion loop would touch, so the recorded
+trace reproduces the kernel's random-access memory behaviour.
+
+:class:`RobinHoodTable` is a scalar reference implementing robin-hood
+displacement -- the cache-friendlier probing the paper suggests as a
+potential optimization -- used by the ablation benchmark to compare
+probe-length distributions at equal load factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instrument import Instrumentation
+from repro.kmer.hashing import splitmix64
+
+#: Sentinel for an empty slot (no valid 2-bit-packed k-mer is all-ones).
+EMPTY = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Modelled bucket footprint in bytes (8-byte key + 2-byte counter, padded).
+BUCKET_BYTES = 16
+
+
+class HashTable:
+    """Linear-probing counter over ``uint64`` keys."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 8:
+            raise ValueError("capacity must be at least 8")
+        self.capacity = 1 << int(np.ceil(np.log2(capacity)))
+        self.keys = np.full(self.capacity, EMPTY, dtype=np.uint64)
+        self.counts = np.zeros(self.capacity, dtype=np.int64)
+        self.size = 0
+        self.total_probes = 0
+
+    def _slots(self, keys: np.ndarray) -> np.ndarray:
+        return (splitmix64(keys) & np.uint64(self.capacity - 1)).astype(np.int64)
+
+    def insert_batch(
+        self, keys: np.ndarray, instr: Instrumentation | None = None
+    ) -> None:
+        """Count every key in ``keys`` (duplicates within the batch allowed).
+
+        Lockstep linear probing: at each round every pending key examines
+        its current slot; keys that find their own key or an empty slot
+        settle, the rest advance one slot.  Equivalent to scalar
+        insertion (slot contents are claimed in deterministic key order
+        on ties), and every probe is accounted and traceable.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return
+        if self.size + keys.size > 0.85 * self.capacity:
+            raise RuntimeError(
+                f"hash table too full ({self.size}+{keys.size} of {self.capacity}); "
+                "size it for the workload as the original tools do"
+            )
+        # collapse duplicates so each distinct key probes once per batch
+        uniq, batch_counts = np.unique(keys, return_counts=True)
+        slots = self._slots(uniq)
+        pending = np.arange(uniq.size)
+        while pending.size:
+            s = slots[pending]
+            self.total_probes += pending.size
+            if instr is not None:
+                self._account(instr, s, pending.size)
+            occupant = self.keys[s]
+            match = occupant == uniq[pending]
+            empty = occupant == EMPTY
+            # claim empty slots; ties (same slot wanted by several keys)
+            # resolved by letting the first in key order win this round
+            claim_idx = pending[empty]
+            if claim_idx.size:
+                claim_slots = s[empty]
+                first = np.unique(claim_slots, return_index=True)[1]
+                winners = claim_idx[first]
+                self.keys[slots[winners]] = uniq[winners]
+                self.size += winners.size
+                won = np.zeros(uniq.size, dtype=bool)
+                won[winners] = True
+                match = match | won[pending]
+            settled = match & (self.keys[slots[pending]] == uniq[pending])
+            done = pending[settled]
+            if done.size:
+                self.counts[slots[done]] += batch_counts[done]
+            pending = pending[~settled]
+            slots[pending] = (slots[pending] + 1) & (self.capacity - 1)
+
+    def _account(self, instr: Instrumentation, s: np.ndarray, n: int) -> None:
+        # per probe: key fetch/compare, hash mix, index masking, counter
+        # update -- the inner loop of a native counter like Flye's
+        instr.counts.add("load", 3 * n)
+        instr.counts.add("store", n)
+        instr.counts.add("scalar_int", 28 * n)
+        instr.counts.add("branch", 4 * n)
+        trace = instr.trace
+        if trace is not None:
+            name = "kmer.table"
+            # The paper's table is ~8 GB; model at least a large-LLC
+            # multiple so counter updates stay cold, as they are at scale.
+            model_bytes = max(self.capacity * BUCKET_BYTES, 1 << 28)
+            if name not in trace.regions:
+                trace.alloc(name, model_bytes)
+            region = trace.region(name)
+            n_buckets = region.size // BUCKET_BYTES
+            for slot in s:
+                bucket = (int(slot) * n_buckets) // self.capacity
+                off = min(bucket, n_buckets - 1) * BUCKET_BYTES
+                trace.read(region, off, BUCKET_BYTES)
+                trace.write(region, off + 8, 2)
+
+    def get(self, key: int) -> int:
+        """Count stored for ``key`` (0 if absent)."""
+        key = np.uint64(key)
+        slot = int(self._slots(np.array([key]))[0])
+        for _ in range(self.capacity):
+            k = self.keys[slot]
+            if k == key:
+                return int(self.counts[slot])
+            if k == EMPTY:
+                return 0
+            slot = (slot + 1) & (self.capacity - 1)
+        return 0
+
+    def items(self):
+        """Iterate ``(key, count)`` over occupied slots."""
+        occupied = np.nonzero(self.keys != EMPTY)[0]
+        for slot in occupied:
+            yield int(self.keys[slot]), int(self.counts[slot])
+
+    @property
+    def load_factor(self) -> float:
+        """Fraction of slots occupied."""
+        return self.size / self.capacity
+
+    def probe_lengths(self) -> np.ndarray:
+        """Displacement of each stored key from its home slot."""
+        occupied = np.nonzero(self.keys != EMPTY)[0]
+        home = self._slots(self.keys[occupied])
+        return (occupied - home) & (self.capacity - 1)
+
+
+class RobinHoodTable:
+    """Scalar robin-hood hash table (reference for the ablation).
+
+    Insertion displaces richer occupants (those closer to their home
+    slot), equalizing probe distances -- the optimization the paper
+    suggests for the k-mer counter's poor locality.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 8:
+            raise ValueError("capacity must be at least 8")
+        self.capacity = 1 << int(np.ceil(np.log2(capacity)))
+        self.keys = np.full(self.capacity, EMPTY, dtype=np.uint64)
+        self.counts = np.zeros(self.capacity, dtype=np.int64)
+        self.size = 0
+        self.total_probes = 0
+
+    def _home(self, key: np.uint64) -> int:
+        return int(splitmix64(np.array([key], dtype=np.uint64))[0]) & (self.capacity - 1)
+
+    def insert(self, key: int, count: int = 1) -> None:
+        """Count ``key`` once (or ``count`` times)."""
+        if self.size >= 0.9 * self.capacity:
+            raise RuntimeError("robin-hood table too full")
+        key = np.uint64(key)
+        slot = self._home(key)
+        dist = 0
+        pending_count = count
+        while True:
+            self.total_probes += 1
+            occupant = self.keys[slot]
+            if occupant == EMPTY:
+                self.keys[slot] = key
+                self.counts[slot] = pending_count
+                self.size += 1
+                return
+            if occupant == key:
+                self.counts[slot] += pending_count
+                return
+            occ_dist = (slot - self._home(occupant)) & (self.capacity - 1)
+            if occ_dist < dist:  # rob the rich: swap and keep probing
+                self.keys[slot], key = key, occupant
+                self.counts[slot], pending_count = pending_count, int(self.counts[slot])
+                dist = occ_dist
+            slot = (slot + 1) & (self.capacity - 1)
+            dist += 1
+
+    def get(self, key: int) -> int:
+        """Count stored for ``key`` (0 if absent)."""
+        key = np.uint64(key)
+        slot = self._home(key)
+        dist = 0
+        while True:
+            occupant = self.keys[slot]
+            if occupant == key:
+                return int(self.counts[slot])
+            if occupant == EMPTY:
+                return 0
+            if ((slot - self._home(occupant)) & (self.capacity - 1)) < dist:
+                return 0  # robin-hood invariant: key would have been here
+            slot = (slot + 1) & (self.capacity - 1)
+            dist += 1
+
+    def probe_lengths(self) -> np.ndarray:
+        """Displacement of each stored key from its home slot."""
+        occupied = np.nonzero(self.keys != EMPTY)[0]
+        out = []
+        for slot in occupied:
+            home = self._home(self.keys[slot])
+            out.append((int(slot) - home) & (self.capacity - 1))
+        return np.array(out, dtype=np.int64)

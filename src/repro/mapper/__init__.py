@@ -1,0 +1,12 @@
+"""Short-read mapping: the fmi + bsw kernels composed BWA-MEM-style.
+
+The two reference-guided kernels exist to serve one flow: SMEM seeds
+locate candidate placements, banded Smith-Waterman verifies and scores
+them, and the winner becomes an alignment record with a CIGAR and a
+mapping quality.  :class:`ReadMapper` packages that flow as a library
+API producing :class:`~repro.io.sam.AlignmentRecord` objects.
+"""
+
+from repro.mapper.mapper import MappingResult, ReadMapper
+
+__all__ = ["MappingResult", "ReadMapper"]

@@ -1,0 +1,200 @@
+"""The read mapper: seed, cluster, extend, pick, emit.
+
+Mapping one read follows BWA-MEM's stages:
+
+1. **Seed** -- SMEMs against a both-strands FM-index locate exact match
+   positions.
+2. **Cluster** -- seeds sharing a strand and (approximate) diagonal are
+   one candidate placement; a candidate's weight is its total seed
+   length.
+3. **Extend** -- the best candidates are verified with full
+   Smith-Waterman (with traceback) against a reference window,
+   producing score and CIGAR.
+4. **Pick** -- the top alignment wins; mapping quality derives from its
+   margin over the runner-up, BWA-style (repeat placements score
+   nearly equal, collapsing MAPQ toward zero).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.pairwise import traceback_alignment
+from repro.align.scoring import ScoringScheme
+from repro.fmindex.bidir import BiFMIndex
+from repro.io.cigar import Cigar, CigarOp
+from repro.io.sam import FLAG_REVERSE, FLAG_UNMAPPED, AlignmentRecord
+from repro.sequence.alphabet import reverse_complement
+
+
+@dataclass
+class MappingResult:
+    """One read's mapping outcome."""
+
+    record: AlignmentRecord
+    score: int
+    runner_up_score: int
+    n_candidates: int
+
+    @property
+    def mapped(self) -> bool:
+        return not bool(self.record.flag & FLAG_UNMAPPED)
+
+
+@dataclass
+class _Candidate:
+    strand: str
+    diagonal: int  # reference position minus read position
+    seed_bases: int
+
+
+class ReadMapper:
+    """Maps reads against one reference contig."""
+
+    #: extra reference bases included on each side of the extension window
+    PAD = 12
+
+    def __init__(
+        self,
+        reference: str,
+        contig: str = "chr1",
+        min_seed_len: int = 19,
+        max_candidates: int = 4,
+        scheme: ScoringScheme | None = None,
+    ) -> None:
+        if not reference:
+            raise ValueError("reference must be non-empty")
+        self.reference = reference
+        self.contig = contig
+        self.min_seed_len = min_seed_len
+        self.max_candidates = max_candidates
+        self.scheme = scheme or ScoringScheme(match=1, mismatch=4, gap_open=6, gap_extend=1)
+        # index both strands, as BWA's FMD-index effectively does
+        self._glen = len(reference)
+        self.index = BiFMIndex(reference + reverse_complement(reference))
+
+    # -- stages ----------------------------------------------------------
+
+    def _seed(self, seq: str) -> list[tuple[int, int, int, str]]:
+        """Seeds as ``(read_start, forward_ref_pos, length, strand)``."""
+        seeds = []
+        for read_start, pos, length in self.index.seed_read(
+            seq, min_seed_len=self.min_seed_len
+        ):
+            if pos < self._glen:
+                seeds.append((read_start, pos, length, "+"))
+            else:
+                fwd = 2 * self._glen - pos - length
+                seeds.append((read_start, fwd, length, "-"))
+        return seeds
+
+    def _cluster(self, seq: str, seeds) -> list[_Candidate]:
+        """Group seeds into candidate placements by strand + diagonal."""
+        buckets: dict[tuple[str, int], int] = defaultdict(int)
+        n = len(seq)
+        for read_start, pos, length, strand in seeds:
+            if strand == "+":
+                diagonal = pos - read_start
+            else:
+                # reverse-strand seed: read coordinates flip
+                diagonal = pos - (n - read_start - length)
+            buckets[(strand, diagonal // 8)] += length  # 8 bp diagonal slack
+        candidates = [
+            _Candidate(strand=strand, diagonal=diag_bin * 8, seed_bases=w)
+            for (strand, diag_bin), w in buckets.items()
+        ]
+        candidates.sort(key=lambda c: -c.seed_bases)
+        return candidates[: self.max_candidates]
+
+    def _extend(self, seq: str, candidate: _Candidate):
+        """Smith-Waterman a candidate window; returns (score, record fields)."""
+        n = len(seq)
+        query = seq if candidate.strand == "+" else reverse_complement(seq)
+        window_start = max(0, candidate.diagonal - self.PAD)
+        window_end = min(self._glen, candidate.diagonal + n + self.PAD)
+        if window_end - window_start < self.min_seed_len:
+            return None
+        target = self.reference[window_start:window_end]
+        result, ops, q_start, t_start = traceback_alignment(query, target, self.scheme)
+        if result.score <= 0:
+            return None
+        cigar_ops: list[tuple[CigarOp, int]] = []
+        if q_start:
+            cigar_ops.append((CigarOp.SOFT_CLIP, q_start))
+        for op, length in ops:
+            cigar_ops.append((CigarOp(op), length))
+        tail = len(query) - result.query_end
+        if tail:
+            cigar_ops.append((CigarOp.SOFT_CLIP, tail))
+        return (
+            result.score,
+            candidate.strand,
+            window_start + t_start,
+            Cigar(cigar_ops),
+            query,
+        )
+
+    # -- public API -------------------------------------------------------
+
+    def map_read(
+        self, seq: str, quals: np.ndarray | None = None, name: str = "read"
+    ) -> MappingResult:
+        """Map one read; always returns a record (possibly unmapped)."""
+        if quals is None:
+            quals = np.full(len(seq), 30, dtype=np.int64)
+        seeds = self._seed(seq)
+        candidates = self._cluster(seq, seeds)
+        extensions = []
+        for cand in candidates:
+            ext = self._extend(seq, cand)
+            if ext is not None:
+                extensions.append(ext)
+        if not extensions:
+            record = AlignmentRecord(
+                qname=name,
+                flag=FLAG_UNMAPPED,
+                rname="*",
+                pos=0,
+                mapq=0,
+                cigar=Cigar([]),
+                seq=seq,
+                quals=quals,
+            )
+            return MappingResult(record=record, score=0, runner_up_score=0, n_candidates=0)
+        extensions.sort(key=lambda e: -e[0])
+        score, strand, pos, cigar, oriented = extensions[0]
+        runner_up = extensions[1][0] if len(extensions) > 1 else 0
+        oriented_quals = quals[::-1].copy() if strand == "-" else quals
+        record = AlignmentRecord(
+            qname=name,
+            flag=FLAG_REVERSE if strand == "-" else 0,
+            rname=self.contig,
+            pos=pos,
+            mapq=self._mapq(score, runner_up, len(seq)),
+            cigar=cigar,
+            seq=oriented,
+            quals=oriented_quals,
+        )
+        return MappingResult(
+            record=record,
+            score=score,
+            runner_up_score=runner_up,
+            n_candidates=len(extensions),
+        )
+
+    def map_all(self, reads) -> list[MappingResult]:
+        """Map simulator reads (uses their names, sequences, qualities)."""
+        return [
+            self.map_read(r.sequence, r.qualities, name=r.name) for r in reads
+        ]
+
+    def _mapq(self, best: int, runner_up: int, read_len: int) -> int:
+        """BWA-flavoured mapping quality from the score margin."""
+        if best <= 0:
+            return 0
+        margin = (best - runner_up) / max(1.0, float(best))
+        quality = 60.0 * margin * min(1.0, best / (0.8 * read_len))
+        return int(np.clip(round(quality), 0, 60))

@@ -1,0 +1,26 @@
+"""Metagenomics classification and abundance estimation (paper Fig. 1c).
+
+The third pipeline GenomicsBench covers: reads from a mixed microbial
+sample are aligned against a *pan-genome* (the concatenated references
+of every candidate organism, as Centrifuge/Minimap2 use) and the
+sample's composition is estimated from the classifications.  This
+subpackage composes the suite's kernels into that pipeline:
+
+* :class:`~repro.meta.classify.PanGenomeIndex` -- a minimizer index over
+  all reference genomes; reads are classified by chaining their shared
+  minimizers against each candidate (the ``chain`` kernel's role in
+  Minimap2-based classification).
+* :func:`~repro.meta.abundance.estimate_abundances` -- an EM estimator
+  that resolves multi-mapped reads into organism abundances, as
+  abundance profilers do.
+"""
+
+from repro.meta.classify import Classification, PanGenomeIndex
+from repro.meta.abundance import AbundanceResult, estimate_abundances
+
+__all__ = [
+    "AbundanceResult",
+    "Classification",
+    "PanGenomeIndex",
+    "estimate_abundances",
+]

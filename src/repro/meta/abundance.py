@@ -1,0 +1,105 @@
+"""Abundance estimation from read classifications.
+
+Multi-mapped reads (close scores against several organisms) cannot be
+assigned outright; abundance profilers resolve them with
+expectation-maximization: given current abundance estimates, each
+ambiguous read is split proportionally to ``abundance * score`` across
+its candidates (E step), and abundances are re-estimated from the
+fractional assignments (M step), iterating to convergence.  Abundances
+are length-normalized so organisms with longer genomes do not inflate
+their share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.meta.classify import Classification
+
+
+@dataclass
+class AbundanceResult:
+    """Estimated composition of the sample.
+
+    ``abundances`` are length-normalized organism fractions summing to
+    one over classified reads; ``read_fractions`` holds the final
+    fractional assignment of every classified read.
+    """
+
+    abundances: dict[str, float]
+    read_fractions: dict[str, dict[str, float]]
+    n_classified: int
+    n_unclassified: int
+    iterations: int
+
+    def top(self, k: int = 5) -> list[tuple[str, float]]:
+        """The ``k`` most abundant organisms."""
+        ranked = sorted(self.abundances.items(), key=lambda kv: -kv[1])
+        return ranked[:k]
+
+
+def estimate_abundances(
+    classifications: list[Classification],
+    genome_lengths: dict[str, int],
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+) -> AbundanceResult:
+    """EM abundance estimation over classified reads."""
+    if not genome_lengths:
+        raise ValueError("genome lengths required for length normalization")
+    organisms = sorted(genome_lengths)
+    index = {name: i for i, name in enumerate(organisms)}
+    lengths = np.array([genome_lengths[o] for o in organisms], dtype=np.float64)
+    classified = [c for c in classifications if c.scores]
+    n_unclassified = len(classifications) - len(classified)
+    if not classified:
+        return AbundanceResult(
+            abundances={o: 0.0 for o in organisms},
+            read_fractions={},
+            n_classified=0,
+            n_unclassified=n_unclassified,
+            iterations=0,
+        )
+    # sparse score matrix: per read, (organism indices, scores)
+    read_cands = []
+    for c in classified:
+        idx = np.array([index[o] for o in c.scores], dtype=np.int64)
+        sc = np.array([c.scores[o] for o in c.scores], dtype=np.float64)
+        read_cands.append((idx, sc))
+    theta = np.full(len(organisms), 1.0 / len(organisms))
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        counts = np.zeros(len(organisms))
+        for idx, sc in read_cands:
+            weights = theta[idx] * sc
+            total = weights.sum()
+            if total <= 0:
+                weights = np.ones_like(sc)
+                total = weights.sum()
+            counts[idx] += weights / total
+        # length normalization: abundance is per-base sampling propensity
+        new_theta = (counts / lengths)
+        new_theta /= new_theta.sum()
+        delta = float(np.abs(new_theta - theta).max())
+        theta = new_theta
+        if delta < tolerance:
+            break
+    fractions: dict[str, dict[str, float]] = {}
+    for c, (idx, sc) in zip(classified, read_cands):
+        weights = theta[idx] * sc
+        total = weights.sum()
+        if total <= 0:
+            weights = np.ones_like(sc)
+            total = weights.sum()
+        fractions[c.read_name] = {
+            organisms[int(i)]: float(w / total) for i, w in zip(idx, weights)
+        }
+    return AbundanceResult(
+        abundances={o: float(theta[index[o]]) for o in organisms},
+        read_fractions=fractions,
+        n_classified=len(classified),
+        n_unclassified=n_unclassified,
+        iterations=iterations,
+    )

@@ -1,0 +1,113 @@
+"""Read classification against a pan-genome.
+
+A pan-genome index holds the minimizer sketch of every reference genome
+(both strands, as classification tools index canonically).  Classifying
+a read looks its minimizers up in the shared table, groups hits by
+organism, and chains each candidate's anchors with the Minimap2 chaining
+DP; the chain scores become per-organism evidence.  Reads whose best and
+runner-up scores are close remain *ambiguous* -- the multi-mapping mass
+the abundance EM redistributes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.chain.anchors import Anchor
+from repro.chain.chaining import chain_anchors
+from repro.chain.minimizer import minimizers
+from repro.core.instrument import Instrumentation
+from repro.sequence.alphabet import reverse_complement
+
+
+@dataclass
+class Classification:
+    """Outcome of classifying one read.
+
+    ``scores`` maps organism name to its best chain score; ``best`` is
+    the top-scoring organism or ``None`` when nothing chained.
+    ``ambiguous`` marks reads whose runner-up is within ``margin`` of
+    the winner (they count fractionally in abundance estimation).
+    """
+
+    read_name: str
+    scores: dict[str, float]
+    best: str | None
+    ambiguous: bool
+
+    def candidates(self) -> list[str]:
+        """Organisms with any chaining evidence, best first."""
+        return sorted(self.scores, key=lambda k: -self.scores[k])
+
+
+class PanGenomeIndex:
+    """Minimizer index over a set of reference genomes."""
+
+    def __init__(self, k: int = 15, w: int = 10, max_occurrences: int = 32) -> None:
+        self.k = k
+        self.w = w
+        self.max_occurrences = max_occurrences
+        #: minimizer value -> [(organism, position), ...]
+        self._table: dict[int, list[tuple[str, int]]] = defaultdict(list)
+        self.organisms: dict[str, int] = {}  # name -> genome length
+
+    def add_genome(self, name: str, sequence: str) -> None:
+        """Index one reference genome (both strands)."""
+        if name in self.organisms:
+            raise ValueError(f"organism {name!r} already indexed")
+        if len(sequence) < self.k:
+            raise ValueError(f"genome {name!r} shorter than k={self.k}")
+        self.organisms[name] = len(sequence)
+        for strand_seq in (sequence, reverse_complement(sequence)):
+            for m in minimizers(strand_seq, k=self.k, w=self.w):
+                self._table[m.value].append((name, m.position))
+
+    def classify(
+        self,
+        read: str,
+        name: str = "read",
+        min_chain_score: float = 60.0,
+        ambiguity_margin: float = 0.9,
+        instr: Instrumentation | None = None,
+    ) -> Classification:
+        """Classify one read against the indexed organisms."""
+        if not self.organisms:
+            raise RuntimeError("index is empty; add genomes first")
+        per_organism: dict[str, list[Anchor]] = defaultdict(list)
+        for m in minimizers(read, k=self.k, w=self.w):
+            hits = self._table.get(m.value)
+            if not hits or len(hits) > self.max_occurrences:
+                continue
+            for organism, pos in hits:
+                per_organism[organism].append(
+                    Anchor(x=m.position, y=pos, length=self.k)
+                )
+        scores: dict[str, float] = {}
+        for organism, anchors in per_organism.items():
+            anchors.sort()
+            chains = chain_anchors(
+                anchors, min_chain_score=min_chain_score, instr=instr
+            )
+            if chains:
+                scores[organism] = chains[0].score
+        if not scores:
+            return Classification(read_name=name, scores={}, best=None, ambiguous=False)
+        ranked = sorted(scores.items(), key=lambda kv: -kv[1])
+        best, best_score = ranked[0]
+        ambiguous = (
+            len(ranked) > 1 and ranked[1][1] >= ambiguity_margin * best_score
+        )
+        return Classification(
+            read_name=name, scores=scores, best=best, ambiguous=ambiguous
+        )
+
+    def classify_all(
+        self,
+        reads: list[tuple[str, str]],
+        instr: Instrumentation | None = None,
+    ) -> list[Classification]:
+        """Classify ``(name, sequence)`` reads; order preserved."""
+        return [
+            self.classify(seq, name=name, instr=instr) for name, seq in reads
+        ]

@@ -1,0 +1,38 @@
+"""Neural-network substrate for the basecalling and variant kernels.
+
+A small from-scratch inference stack (numpy forward passes only, as the
+paper characterizes inference): 1-D convolutions with grouping for
+depthwise-separable blocks, batch normalization, activations, dense
+layers, LSTM / bidirectional LSTM, and CTC decoding (greedy and prefix
+beam search).  Weights are deterministic given a seed; the original
+kernels run trained PyTorch models, but the characterized quantity --
+layer shapes and dataflow -- is preserved (see DESIGN.md).
+"""
+
+from repro.nn.layers import (
+    BatchNorm1d,
+    Conv1d,
+    Dense,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Swish,
+    Tanh,
+)
+from repro.nn.lstm import LSTM, BiLSTM
+from repro.nn.ctc import ctc_beam_search, ctc_greedy_decode
+
+__all__ = [
+    "BatchNorm1d",
+    "BiLSTM",
+    "Conv1d",
+    "ctc_beam_search",
+    "ctc_greedy_decode",
+    "Dense",
+    "LSTM",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "Swish",
+    "Tanh",
+]

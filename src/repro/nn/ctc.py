@@ -1,0 +1,92 @@
+"""Connectionist temporal classification decoding.
+
+Basecallers emit per-timestep probabilities over ``{blank, A, C, G, T}``
+and a CTC decoder recovers the base sequence: collapse consecutive
+repeats, drop blanks.  Both the fast greedy decoder and a prefix beam
+search (the higher-accuracy decoder Bonito can use) are provided.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+import numpy as np
+
+#: Index of the CTC blank symbol in the probability alphabet.
+BLANK = 0
+
+#: Alphabet decoded by positions 1..4.
+CTC_ALPHABET = "ACGT"
+
+
+def ctc_greedy_decode(log_probs: np.ndarray) -> str:
+    """Best-path decode: argmax per step, collapse repeats, drop blanks.
+
+    ``log_probs`` has shape ``(T, 5)`` with column 0 the blank.
+    """
+    if log_probs.ndim != 2 or log_probs.shape[1] != len(CTC_ALPHABET) + 1:
+        raise ValueError(f"expected (T, 5) log-probabilities, got {log_probs.shape}")
+    path = np.argmax(log_probs, axis=1)
+    out = []
+    prev = BLANK
+    for sym in path:
+        sym = int(sym)
+        if sym != BLANK and sym != prev:
+            out.append(CTC_ALPHABET[sym - 1])
+        prev = sym
+    return "".join(out)
+
+
+def _logsumexp2(a: float, b: float) -> float:
+    if a == -math.inf:
+        return b
+    if b == -math.inf:
+        return a
+    hi, lo = (a, b) if a > b else (b, a)
+    return hi + math.log1p(math.exp(lo - hi))
+
+
+def ctc_beam_search(log_probs: np.ndarray, beam_width: int = 8) -> str:
+    """Prefix beam search over CTC output.
+
+    Tracks, per prefix, the log-probabilities of ending in a blank and
+    in a non-blank; returns the highest-probability prefix.  With
+    ``beam_width=1`` this still differs from greedy decoding because it
+    sums over alignments of the same prefix.
+    """
+    if beam_width < 1:
+        raise ValueError("beam width must be positive")
+    if log_probs.ndim != 2 or log_probs.shape[1] != len(CTC_ALPHABET) + 1:
+        raise ValueError(f"expected (T, 5) log-probabilities, got {log_probs.shape}")
+    # beams: prefix -> (log P(prefix ending in blank), log P(ending non-blank))
+    beams: dict[str, tuple[float, float]] = {"": (0.0, -math.inf)}
+    for t in range(log_probs.shape[0]):
+        lp = log_probs[t]
+        nxt: dict[str, tuple[float, float]] = defaultdict(
+            lambda: (-math.inf, -math.inf)
+        )
+        for prefix, (p_b, p_nb) in beams.items():
+            total = _logsumexp2(p_b, p_nb)
+            # extend with blank: prefix unchanged
+            b0, nb0 = nxt[prefix]
+            nxt[prefix] = (_logsumexp2(b0, total + float(lp[BLANK])), nb0)
+            for ci, ch in enumerate(CTC_ALPHABET, start=1):
+                p_ch = float(lp[ci])
+                if prefix and prefix[-1] == ch:
+                    # same symbol: repeat within prefix needs a blank gap
+                    b0, nb0 = nxt[prefix]
+                    nxt[prefix] = (b0, _logsumexp2(nb0, p_nb + p_ch))
+                    ext = prefix + ch
+                    b1, nb1 = nxt[ext]
+                    nxt[ext] = (b1, _logsumexp2(nb1, p_b + p_ch))
+                else:
+                    ext = prefix + ch
+                    b1, nb1 = nxt[ext]
+                    nxt[ext] = (b1, _logsumexp2(nb1, total + p_ch))
+        ranked = sorted(
+            nxt.items(), key=lambda kv: -_logsumexp2(kv[1][0], kv[1][1])
+        )
+        beams = dict(ranked[:beam_width])
+    best = max(beams.items(), key=lambda kv: _logsumexp2(kv[1][0], kv[1][1]))
+    return best[0]

@@ -1,0 +1,196 @@
+"""Feed-forward layers: convolutions, normalization, activations, dense.
+
+All layers operate on ``float32`` arrays.  Convolutional layers use the
+``(channels, time)`` layout; every layer exposes ``forward(x)`` plus an
+``op_count(x_shape)`` estimate so the characterization harness can
+attribute floating-point work without timing instrumentation inside the
+hot loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Layer:
+    """Base class: stateless ``forward`` plus work accounting."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def op_count(self, x: np.ndarray) -> int:
+        """Approximate floating-point operations for input ``x``."""
+        return 0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+def _init(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    """He-style initialization, deterministic under the given rng."""
+    return (rng.standard_normal(shape) * np.sqrt(2.0 / max(1, fan_in))).astype(
+        np.float32
+    )
+
+
+class Conv1d(Layer):
+    """1-D convolution over ``(C_in, T)`` inputs.
+
+    ``groups=C_in`` with ``out_channels=C_in`` gives a depthwise
+    convolution; pairing it with a pointwise ``kernel=1`` Conv1d forms
+    the depthwise-separable blocks of Bonito's CNN.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int | None = None,
+        groups: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("channels must divide evenly into groups")
+        if kernel < 1 or stride < 1:
+            raise ValueError("kernel and stride must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = (kernel - 1) // 2 if padding is None else padding
+        self.groups = groups
+        cin_g = in_channels // groups
+        self.weight = _init(rng, (out_channels, cin_g, kernel), cin_g * kernel)
+        self.bias = np.zeros(out_channels, dtype=np.float32)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        c, t = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        if self.padding:
+            x = np.pad(x, ((0, 0), (self.padding, self.padding)))
+        windows = np.lib.stride_tricks.sliding_window_view(x, self.kernel, axis=1)
+        windows = windows[:, :: self.stride, :]  # (C_in, T_out, K)
+        g = self.groups
+        cin_g = self.in_channels // g
+        cout_g = self.out_channels // g
+        t_out = windows.shape[1]
+        out = np.empty((self.out_channels, t_out), dtype=np.float32)
+        for gi in range(g):
+            w = self.weight[gi * cout_g : (gi + 1) * cout_g]
+            win = windows[gi * cin_g : (gi + 1) * cin_g]
+            out[gi * cout_g : (gi + 1) * cout_g] = np.einsum(
+                "oik,itk->ot", w, win, optimize=True
+            )
+        return out + self.bias[:, None]
+
+    def op_count(self, x: np.ndarray) -> int:
+        t_out = (x.shape[1] + 2 * self.padding - self.kernel) // self.stride + 1
+        return 2 * self.out_channels * (self.in_channels // self.groups) * self.kernel * t_out
+
+
+class BatchNorm1d(Layer):
+    """Inference-mode batch normalization over channels."""
+
+    def __init__(self, channels: int, rng: np.random.Generator | None = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.channels = channels
+        # frozen statistics, as loaded from a trained checkpoint
+        self.mean = (0.1 * rng.standard_normal(channels)).astype(np.float32)
+        self.var = (1.0 + 0.1 * rng.random(channels)).astype(np.float32)
+        self.gamma = np.ones(channels, dtype=np.float32)
+        self.beta = np.zeros(channels, dtype=np.float32)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        scale = self.gamma / np.sqrt(self.var + 1e-5)
+        return (x - self.mean[:, None]) * scale[:, None] + self.beta[:, None]
+
+    def op_count(self, x: np.ndarray) -> int:
+        return 4 * x.size
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def op_count(self, x: np.ndarray) -> int:
+        return x.size
+
+
+class Sigmoid(Layer):
+    """Logistic activation."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
+
+    def op_count(self, x: np.ndarray) -> int:
+        return 4 * x.size
+
+
+class Tanh(Layer):
+    """Hyperbolic-tangent activation."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def op_count(self, x: np.ndarray) -> int:
+        return 4 * x.size
+
+
+class Swish(Layer):
+    """Swish (SiLU) activation, Bonito's nonlinearity."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x / (1.0 + np.exp(-x))
+
+    def op_count(self, x: np.ndarray) -> int:
+        return 5 * x.size
+
+
+class Dense(Layer):
+    """Fully connected layer over the last axis."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = _init(rng, (in_features, out_features), in_features)
+        self.bias = np.zeros(out_features, dtype=np.float32)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(f"expected {self.in_features} features, got {x.shape[-1]}")
+        return x @ self.weight + self.bias
+
+    def op_count(self, x: np.ndarray) -> int:
+        rows = int(np.prod(x.shape[:-1])) if x.ndim > 1 else 1
+        return 2 * rows * self.in_features * self.out_features
+
+
+class Sequential(Layer):
+    """A chain of layers applied in order."""
+
+    def __init__(self, *layers: Layer) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def op_count(self, x: np.ndarray) -> int:
+        total = 0
+        for layer in self.layers:
+            total += layer.op_count(x)
+            x = layer.forward(x)
+        return total

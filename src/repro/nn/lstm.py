@@ -1,0 +1,91 @@
+"""Recurrent layers: LSTM and bidirectional LSTM.
+
+Clair's variant caller stacks bidirectional LSTMs over the 33-position
+pileup window; these implementations run the standard gate equations in
+``float32`` with time-step loops (the sequential dependency is inherent
+-- it is why the paper's RNN kernels behave differently from the CNN
+basecaller on GPUs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer, _init
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+class LSTM(Layer):
+    """Single-direction LSTM over ``(T, F)`` inputs, returning ``(T, H)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        rng: np.random.Generator | None = None,
+        reverse: bool = False,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.hidden = hidden
+        self.reverse = reverse
+        self.w_x = _init(rng, (in_features, 4 * hidden), in_features)
+        self.w_h = _init(rng, (hidden, 4 * hidden), hidden)
+        self.bias = np.zeros(4 * hidden, dtype=np.float32)
+        # forget-gate bias of 1, the standard trained-model convention
+        self.bias[hidden : 2 * hidden] = 1.0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(f"expected (T, {self.in_features}) input, got {x.shape}")
+        t_len = x.shape[0]
+        h = np.zeros(self.hidden, dtype=np.float32)
+        c = np.zeros(self.hidden, dtype=np.float32)
+        out = np.empty((t_len, self.hidden), dtype=np.float32)
+        order = range(t_len - 1, -1, -1) if self.reverse else range(t_len)
+        pre_x = x @ self.w_x  # hoist the input projection out of the loop
+        hh = self.hidden
+        for t in order:
+            gates = pre_x[t] + h @ self.w_h + self.bias
+            i = _sigmoid(gates[:hh])
+            f = _sigmoid(gates[hh : 2 * hh])
+            g = np.tanh(gates[2 * hh : 3 * hh])
+            o = _sigmoid(gates[3 * hh :])
+            c = f * c + i * g
+            h = o * np.tanh(c)
+            out[t] = h
+        return out
+
+    def op_count(self, x: np.ndarray) -> int:
+        t_len = x.shape[0]
+        return t_len * (
+            2 * self.in_features * 4 * self.hidden
+            + 2 * self.hidden * 4 * self.hidden
+            + 30 * self.hidden
+        )
+
+
+class BiLSTM(Layer):
+    """Bidirectional LSTM: concatenated forward and backward passes."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.forward_lstm = LSTM(in_features, hidden, rng=rng)
+        self.backward_lstm = LSTM(in_features, hidden, rng=rng, reverse=True)
+        self.hidden = hidden
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.concatenate(
+            [self.forward_lstm.forward(x), self.backward_lstm.forward(x)], axis=1
+        )
+
+    def op_count(self, x: np.ndarray) -> int:
+        return self.forward_lstm.op_count(x) + self.backward_lstm.op_count(x)

@@ -1,0 +1,20 @@
+"""Characterization harness: regenerates the paper's tables and figures.
+
+Each module maps to one paper artifact:
+
+* :mod:`repro.perf.workstats`   -- Fig. 4, per-task work imbalance
+* :mod:`repro.perf.mix`         -- Fig. 5, dynamic instruction breakdown
+* :mod:`repro.perf.memory`      -- Fig. 6 (BPKI) and Fig. 8 (miss rates,
+  stall cycles) via the cache/DRAM simulators
+* :mod:`repro.perf.scaling`     -- Fig. 7, thread-scaling simulation
+* :mod:`repro.perf.topdown_fig` -- Fig. 9, top-down bottleneck shares
+* :mod:`repro.perf.gpu`         -- Tables IV and V, SIMT warp metrics
+* :mod:`repro.perf.report`      -- plain-text table rendering
+
+The ``benchmarks/`` tree wraps these in pytest-benchmark targets, one
+per experiment id in DESIGN.md.
+"""
+
+from repro.perf.characterize import InstrumentedRun, run_instrumented
+
+__all__ = ["InstrumentedRun", "run_instrumented"]

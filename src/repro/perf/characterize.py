@@ -1,0 +1,83 @@
+"""Shared instrumented-run driver for the characterization harness.
+
+Running a kernel with counters and a memory trace, then pushing the
+trace through the cache hierarchy, is the step every figure needs; this
+module does it once and caches results per (kernel, size) within a
+process so the figure modules can share runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.benchmark import RunResult, load_benchmark
+from repro.core.datasets import DatasetSize
+from repro.core.instrument import Instrumentation
+from repro.uarch.cache import CacheHierarchy, HierarchyStats
+
+#: Per-kernel memory-level-parallelism factors for the top-down model:
+#: dependent lookups (fmi's backward search, hash probes) expose nearly
+#: the whole miss latency; streaming/batched kernels overlap misses.
+MLP = {
+    "fmi": 1.6,
+    "kmer-cnt": 1.2,
+    "dbg": 3.0,
+    "pileup": 2.0,
+    "bsw": 6.0,
+    "phmm": 8.0,
+    "chain": 5.0,
+    "poa": 4.0,
+    "grm": 10.0,
+    "nn-base": 8.0,
+    "nn-variant": 8.0,
+    "abea": 6.0,
+}
+
+
+@dataclass
+class InstrumentedRun:
+    """One kernel's instrumented execution plus simulated memory stats."""
+
+    kernel: str
+    result: RunResult
+    instr: Instrumentation
+    memstats: HierarchyStats | None
+
+    @property
+    def instructions(self) -> int:
+        """Total abstract dynamic operations executed."""
+        return self.instr.counts.total
+
+
+_CACHE: dict[tuple[str, DatasetSize, bool], InstrumentedRun] = {}
+
+
+def run_instrumented(
+    kernel: str,
+    size: DatasetSize | str = DatasetSize.SMALL,
+    trace: bool = True,
+    reuse: bool = True,
+) -> InstrumentedRun:
+    """Run ``kernel`` with counters (and optionally a memory trace).
+
+    With ``trace`` the recorded access stream is replayed through the
+    cache hierarchy; results are memoized per process unless ``reuse``
+    is disabled.
+    """
+    if isinstance(size, str):
+        size = DatasetSize(size)
+    key = (kernel, size, trace)
+    if reuse and key in _CACHE:
+        return _CACHE[key]
+    instr = Instrumentation.with_trace() if trace else Instrumentation()
+    bench = load_benchmark(kernel)
+    result = bench.run(size, instr=instr)
+    memstats = None
+    if trace and instr.trace is not None:
+        hierarchy = CacheHierarchy()
+        memstats = hierarchy.run_trace(instr.trace, instructions=instr.counts.total)
+        instr.trace.clear()  # free the access lists once simulated
+    run = InstrumentedRun(kernel=kernel, result=result, instr=instr, memstats=memstats)
+    if reuse:
+        _CACHE[key] = run
+    return run

@@ -1,0 +1,159 @@
+"""GPU kernel profiles (paper Tables IV and V).
+
+The two GPU kernels are replayed through the SIMT warp model using
+their *actual* execution geometry:
+
+* **abea** -- each read is one thread block of ``ceil(W/32)`` warps,
+  one thread per band cell, synchronizing between bands (f5c's layout).
+  The real adaptive-band run supplies the per-band valid masks
+  (predication) and the k-mer values whose pore-model gathers dominate
+  global loads; bands and traceback moves spill to global memory while
+  the previous three bands live in shared memory, exactly the balance
+  the paper describes.
+* **nn-base** -- one thread per output element per layer; weights and
+  the small matrix-vector products live in shared memory (per the
+  paper), so global traffic is the strided input windows of the
+  downsampling stem, the contiguous activations and the final output
+  -- which is why the stem's stride-3 windows pull load efficiency down
+  while stores stay perfectly coalesced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abea.align import adaptive_banded_align
+from repro.basecall.model import BonitoLikeModel
+from repro.core.benchmark import load_benchmark
+from repro.core.datasets import DatasetSize
+from repro.nn.layers import BatchNorm1d, Conv1d, Swish
+from repro.uarch.simt import WARP_SIZE, WarpProfile
+
+#: Modelled streaming multiprocessor limits (Pascal-class, Titan Xp).
+SM_THREADS = 2048
+SM_SHARED_BYTES = 48 * 1024
+SM_MAX_BLOCKS = 32
+
+#: Warp-issue bubble charged per inter-warp synchronization (cycles
+#: relative to one band's per-warp instruction count).
+SYNC_BUBBLE = 5
+
+#: Compute instructions issued per warp per band in the abea kernel
+#: (three candidate scores, max-reduce, emission evaluation).
+ABEA_INSTR_PER_BAND = 12
+
+
+def profile_abea_gpu(
+    size: DatasetSize = DatasetSize.SMALL, bandwidth: int = 50
+) -> WarpProfile:
+    """Replay the abea workload through the warp model."""
+    bench = load_benchmark("abea")
+    workload = bench.prepare(size)
+    profile = WarpProfile()
+    n_warps = (bandwidth + WARP_SIZE - 1) // WARP_SIZE
+    total_bands = 0
+    for task in workload.tasks:
+        band_log: list = []
+        adaptive_banded_align(
+            task.events,
+            task.reference,
+            workload.model,
+            bandwidth=bandwidth,
+            band_log=band_log,
+        )
+        total_bands += len(band_log)
+        for valid, kmer_vals in band_log:
+            for w in range(n_warps):
+                lo = w * WARP_SIZE
+                hi = min(lo + WARP_SIZE, bandwidth)
+                active = hi - lo
+                inactive_cells = int(np.count_nonzero(~valid[lo:hi]))
+                # uniform branch at the band head: no divergence, the
+                # invalid cells are handled by predication
+                profile.issue(active, is_branch=True, divergent=False)
+                profile.issue(
+                    active,
+                    predicated_off=inactive_cells,
+                    count=ABEA_INSTR_PER_BAND,
+                )
+                offs = np.arange(lo, hi)
+                v = valid[lo:hi]
+                if v.any():
+                    # pore-model gather: addresses keyed by k-mer value
+                    profile.memory(kmer_vals[lo:hi][v] * 8, 8, is_store=False)
+                    # event means: contiguous but band-skewed floats
+                    profile.memory(offs[v] * 4, 4, is_store=False)
+                # band row and traceback move spill to global memory
+                profile.memory(offs * 4, 4, is_store=True)
+                profile.memory(offs, 1, is_store=True)
+    # occupancy: one block per read, 2 warps each, bounded by the shared
+    # memory the three live bands + event window consume
+    threads_per_block = n_warps * WARP_SIZE
+    shared_per_block = 3 * bandwidth * 4 + 4_000  # bands + event staging
+    blocks = min(SM_MAX_BLOCKS, SM_SHARED_BYTES // shared_per_block, 10)
+    profile.occupancy = blocks * threads_per_block / SM_THREADS
+    # utilization: issue slots lost to the per-band inter-warp barrier
+    profile.sm_utilization = ABEA_INSTR_PER_BAND / (ABEA_INSTR_PER_BAND + SYNC_BUBBLE)
+    profile.extra["bands"] = total_bands
+    return profile
+
+
+def profile_nnbase_gpu(
+    model: BonitoLikeModel | None = None, chunk_len: int = 2_000
+) -> WarpProfile:
+    """Replay the Bonito-like CNN's layer geometry through the warp model."""
+    model = model or BonitoLikeModel()
+    profile = WarpProfile()
+    t = chunk_len
+    for layer in model.net.layers:
+        if isinstance(layer, Conv1d):
+            t_out = (t + 2 * layer.padding - layer.kernel) // layer.stride + 1
+            threads = layer.out_channels * t_out
+            full_warps, tail = divmod(threads, WARP_SIZE)
+            taps = layer.kernel * (layer.in_channels // layer.groups)
+            # compute: one fused MAC issue per tap per warp (weights in
+            # shared memory, so no global load for them)
+            if full_warps:
+                profile.issue(WARP_SIZE, count=full_warps * taps)
+                profile.issue(WARP_SIZE, is_branch=True, count=full_warps)
+            if tail:
+                profile.issue(WARP_SIZE, predicated_off=WARP_SIZE - tail, count=taps)
+                profile.issue(WARP_SIZE, is_branch=True)
+            # global loads: each thread reads its input window element;
+            # threads are consecutive output timesteps, so the address
+            # stride is the layer's stride (the stem's 3 hurts)
+            lanes = np.arange(WARP_SIZE)
+            for k in range(layer.kernel):
+                addrs = (lanes * layer.stride + k) * 4
+                profile.memory(addrs, 4, is_store=False, count=max(1, full_warps))
+            # output store: contiguous
+            profile.memory(lanes * 4, 4, is_store=True, count=max(1, full_warps))
+            t = t_out
+        elif isinstance(layer, (BatchNorm1d, Swish)):
+            threads = layer.channels * t if isinstance(layer, BatchNorm1d) else 0
+            if threads == 0:
+                continue
+            full_warps, tail = divmod(threads, WARP_SIZE)
+            lanes = np.arange(WARP_SIZE)
+            if full_warps:
+                profile.issue(WARP_SIZE, count=full_warps * 4)
+                profile.memory(lanes * 4, 4, is_store=False, count=full_warps)
+                profile.memory(lanes * 4, 4, is_store=True, count=full_warps)
+            if tail:
+                profile.issue(WARP_SIZE, predicated_off=WARP_SIZE - tail, count=4)
+    # occupancy: large uniform grids, 256-thread blocks, register-bound
+    threads_per_block = 256
+    blocks = 7  # register pressure limit of the fused conv kernels
+    profile.occupancy = blocks * threads_per_block / SM_THREADS
+    profile.sm_utilization = 0.995  # no synchronization between warps
+    return profile
+
+
+def table4(size: DatasetSize = DatasetSize.SMALL) -> dict[str, WarpProfile]:
+    """Table IV: control-flow and compute regularity of the GPU kernels."""
+    return {"abea": profile_abea_gpu(size), "nn-base": profile_nnbase_gpu()}
+
+
+def table5(size: DatasetSize = DatasetSize.SMALL) -> dict[str, WarpProfile]:
+    """Table V: global-memory efficiency (same profiles as Table IV)."""
+    return table4(size)

@@ -1,0 +1,68 @@
+"""Dynamic instruction breakdown (paper Fig. 5).
+
+The paper runs the MICA pintool to classify dynamic instructions; here
+the instrumented kernels classify their own executed operations into
+the same categories.  Expected shape: phmm is the only FP-dominant CPU
+kernel; bsw, phmm and spoa are vector-heavy; fmi is load-heavy scalar
+integer; compute-intensive kernels (bsw, phmm, chain) have a lower
+load/store share than fmi.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.datasets import DatasetSize
+from repro.core.instrument import OP_CATEGORIES
+from repro.perf.characterize import run_instrumented
+
+#: Kernels shown in Fig. 5 (grm is excluded there for measurement
+#: reasons; we can include it, but keep the paper's set reproducible).
+FIG5_KERNELS = (
+    "fmi",
+    "bsw",
+    "dbg",
+    "phmm",
+    "chain",
+    "poa",
+    "kmer-cnt",
+    "abea",
+    "nn-base",
+    "pileup",
+    "nn-variant",
+)
+
+
+@dataclass
+class MixRow:
+    """One kernel's operation-category fractions (summing to 1)."""
+
+    kernel: str
+    fractions: dict[str, float]
+    total_ops: int
+
+    def fraction(self, category: str) -> float:
+        if category not in OP_CATEGORIES:
+            raise KeyError(f"unknown category {category!r}")
+        return self.fractions[category]
+
+    @property
+    def memory_fraction(self) -> float:
+        """Loads plus stores, the paper's memory-instruction share."""
+        return self.fractions["load"] + self.fractions["store"]
+
+
+def instruction_mix(
+    kernel: str, size: DatasetSize = DatasetSize.SMALL
+) -> MixRow:
+    """Operation-mix fractions for one kernel (no memory trace needed)."""
+    run = run_instrumented(kernel, size, trace=False)
+    counts = run.instr.counts
+    return MixRow(
+        kernel=kernel, fractions=counts.fractions(), total_ops=counts.total
+    )
+
+
+def figure5(size: DatasetSize = DatasetSize.SMALL) -> list[MixRow]:
+    """Fig. 5 data: instruction mix for every characterized kernel."""
+    return [instruction_mix(name, size) for name in FIG5_KERNELS]

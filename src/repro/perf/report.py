@@ -1,0 +1,40 @@
+"""Plain-text rendering of the regenerated tables and figures.
+
+Every benchmark target prints its artifact through these helpers so
+the regenerated rows/series appear in the same layout as the paper's.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width table with a title rule."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells
+    ]
+    return "\n".join([title, rule, line, rule, *body, rule])
+
+
+def pct(x: float) -> str:
+    """Format a fraction as a percentage with two decimals."""
+    return f"{100.0 * x:.2f}%"
+
+
+def sig(x: float, digits: int = 3) -> str:
+    """Format a float with ``digits`` significant digits."""
+    if x == 0:
+        return "0"
+    return f"{x:.{digits}g}"

@@ -1,0 +1,66 @@
+"""Top-down bottleneck breakdown (paper Fig. 9).
+
+Combines each kernel's operation counts with its simulated memory
+behaviour through the top-down slot model.  Expected shape: fmi and
+kmer-cnt dominated by backend-memory slots (44.4% / 86.6% in the
+paper); bsw, chain and phmm retire more than half their slots; grm
+retires the most (87.7%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.datasets import DatasetSize
+from repro.perf.characterize import MLP, run_instrumented
+from repro.perf.memory import MEMORY_KERNELS
+from repro.uarch.topdown import TopDownModel, TopDownResult
+
+#: Branch-misprediction rates by compute pattern: data-dependent
+#: branching (hash probes, graph walks) mispredicts more than streaming
+#: loops.
+#: Vector/FP port-pressure charge per op: dense FMA pipelines (grm,
+#: the NN kernels) saturate ports far less than blend/shuffle-heavy DP.
+PORT_PRESSURE = {
+    "grm": 0.08,
+    "bsw": 0.3,
+    "phmm": 0.3,
+    "poa": 0.3,
+}
+
+MISPREDICT = {
+    "fmi": 0.04,
+    "dbg": 0.05,
+    "kmer-cnt": 0.03,
+    "pileup": 0.05,
+    "chain": 0.03,
+    "poa": 0.03,
+    "bsw": 0.015,
+    "phmm": 0.01,
+    "grm": 0.002,
+}
+
+
+@dataclass
+class TopDownRow:
+    """One kernel's pipeline-slot attribution."""
+
+    kernel: str
+    slots: TopDownResult
+
+
+def topdown(kernel: str, size: DatasetSize = DatasetSize.SMALL) -> TopDownRow:
+    """Top-down slot shares for one kernel."""
+    run = run_instrumented(kernel, size, trace=True)
+    assert run.memstats is not None
+    model = TopDownModel(
+        mlp=MLP.get(kernel, 4.0),
+        mispredict_rate=MISPREDICT.get(kernel, 0.02),
+        port_pressure=PORT_PRESSURE.get(kernel, 0.3),
+    )
+    return TopDownRow(kernel=kernel, slots=model.analyze(run.instr.counts, run.memstats))
+
+
+def figure9(size: DatasetSize = DatasetSize.SMALL) -> list[TopDownRow]:
+    """Fig. 9 data: top-down analysis for the CPU kernels."""
+    return [topdown(name, size) for name in MEMORY_KERNELS]

@@ -1,0 +1,61 @@
+"""Per-task work distribution (paper Fig. 4).
+
+For every irregular kernel, Fig. 4 scatters the data-parallel work of
+each task and highlights the imbalance: max/mean ratios of 4.1-8.3x for
+most kernels, with rare extreme outliers for phmm.  This module
+computes the same statistics from real task executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.benchmark import load_benchmark
+from repro.core.datasets import DatasetSize
+from repro.core.registry import irregular_kernels
+
+
+@dataclass
+class WorkStats:
+    """Distribution summary of one kernel's per-task work."""
+
+    kernel: str
+    unit: str
+    n_tasks: int
+    mean: float
+    median: float
+    maximum: int
+    minimum: int
+    p99: float
+
+    @property
+    def max_over_mean(self) -> float:
+        """The imbalance ratio Fig. 4 highlights."""
+        return self.maximum / self.mean if self.mean else 0.0
+
+
+def task_work_stats(kernel: str, size: DatasetSize = DatasetSize.SMALL) -> WorkStats:
+    """Execute ``kernel`` and summarize its per-task work distribution."""
+    bench = load_benchmark(kernel)
+    result = bench.run(size)
+    work = np.asarray(result.task_work, dtype=np.float64)
+    from repro.core.registry import get_kernel
+
+    info = get_kernel(kernel)
+    return WorkStats(
+        kernel=kernel,
+        unit=info.work_unit or "# Work Items",
+        n_tasks=int(work.size),
+        mean=float(work.mean()),
+        median=float(np.median(work)),
+        maximum=int(work.max()),
+        minimum=int(work.min()),
+        p99=float(np.percentile(work, 99)),
+    )
+
+
+def figure4(size: DatasetSize = DatasetSize.SMALL) -> list[WorkStats]:
+    """Fig. 4 data: work-imbalance statistics for the irregular kernels."""
+    return [task_work_stats(info.name, size) for info in irregular_kernels()]

@@ -1,0 +1,25 @@
+"""Pairwise Hidden Markov Model likelihoods (the ``phmm`` kernel).
+
+Reproduces GATK HaplotypeCaller's ``calcLikelihoodScore``: the forward
+algorithm of a 3-state (match / insertion / deletion) pair-HMM scoring a
+read against a candidate haplotype, with emission priors from the read's
+base qualities.  Like the GATK AVX kernel it computes in single
+precision and falls back to double precision for the rare pairs whose
+likelihood underflows -- the paper calls phmm out as the only CPU kernel
+dominated by floating-point work.
+"""
+
+from repro.phmm.model import HMMParameters, emission_priors
+from repro.phmm.forward import (
+    BatchedPairHMM,
+    forward_likelihood,
+    log10_likelihood,
+)
+
+__all__ = [
+    "BatchedPairHMM",
+    "HMMParameters",
+    "emission_priors",
+    "forward_likelihood",
+    "log10_likelihood",
+]

@@ -1,0 +1,117 @@
+"""Benchmark adapter for the ``phmm`` kernel.
+
+Workload: per genome region, a set of candidate haplotypes (mutated
+copies of the region's reference) and a set of reads sampled from those
+haplotypes with quality-annotated errors -- the read-haplotype pair
+inputs of GATK's ``calcLikelihoodScore``.  Read counts per region are
+drawn from a long-tailed lognormal so the per-task work imbalance the
+paper highlights for phmm (rare regions with orders-of-magnitude more
+cell updates) appears at our scale.  One task = one region; its work is
+``sum(|read| * |haplotype|)`` cell updates over all its pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.benchmark import Benchmark
+from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
+from repro.core.instrument import Instrumentation
+from repro.phmm.forward import BatchedPairHMM
+from repro.sequence.alphabet import reverse_complement
+from repro.sequence.simulate import ShortReadSimulator, mutate_genome, random_genome
+
+
+@dataclass
+class PhmmRegion:
+    """One re-assembly region: reads (with qualities) vs. haplotypes."""
+
+    reads: list[tuple[str, np.ndarray]]
+    haplotypes: list[str]
+
+    @property
+    def cell_updates(self) -> int:
+        """Total DP cells for all read-haplotype pairs of the region."""
+        return sum(
+            len(read) * len(hap)
+            for read, _ in self.reads
+            for hap in self.haplotypes
+        )
+
+
+@dataclass
+class PhmmWorkload:
+    """Prepared inputs: independent regions, each a task."""
+
+    regions: list[PhmmRegion]
+
+
+def make_regions(
+    n_regions: int,
+    reads_per_region: float,
+    haplotypes_per_region: int,
+    read_len: int,
+    haplotype_len: int,
+    seed: int,
+) -> list[PhmmRegion]:
+    """Generate pair-HMM regions with long-tailed read counts."""
+    rng = np.random.default_rng(seed)
+    regions = []
+    for r in range(n_regions):
+        ref = random_genome(haplotype_len, seed=rng)
+        n_haps = max(2, int(rng.integers(2, 2 * haplotypes_per_region)))
+        haplotypes = [ref]
+        for _ in range(n_haps - 1):
+            hap, _ = mutate_genome(ref, seed=rng, snp_rate=0.02, indel_rate=0.005)
+            haplotypes.append(hap)
+        # lognormal read depth: most regions near the mean, a heavy tail
+        n_reads = max(2, int(rng.lognormal(np.log(reads_per_region), 0.9)))
+        sim = ShortReadSimulator(read_len=min(read_len, haplotype_len), error_rate=0.01)
+        source = haplotypes[int(rng.integers(0, len(haplotypes)))]
+        reads = sim.simulate(source, n_reads, seed=rng, name_prefix=f"r{r}_")
+        # aligned reads reach the likelihood kernel in reference orientation
+        oriented = [
+            (
+                reverse_complement(rd.sequence) if rd.strand == "-" else rd.sequence,
+                rd.qualities[::-1].copy() if rd.strand == "-" else rd.qualities,
+            )
+            for rd in reads
+        ]
+        regions.append(PhmmRegion(reads=oriented, haplotypes=haplotypes))
+    return regions
+
+
+class PhmmBenchmark(Benchmark):
+    """Drives the batched wavefront PairHMM over independent regions."""
+
+    name = "phmm"
+
+    def prepare(self, size: DatasetSize) -> PhmmWorkload:
+        params = dataset_params(self.name, size)
+        seed = dataset_seed(self.name, size)
+        return PhmmWorkload(
+            regions=make_regions(
+                params["n_regions"],
+                params["reads_per_region"],
+                params["haplotypes_per_region"],
+                params["read_len"],
+                params["haplotype_len"],
+                seed,
+            )
+        )
+
+    def execute(
+        self, workload: PhmmWorkload, instr: Instrumentation | None = None
+    ) -> tuple[list[np.ndarray], list[int]]:
+        engine = BatchedPairHMM()
+        outputs = []
+        task_work = []
+        for region in workload.regions:
+            likes, _ = engine.region_likelihoods(
+                region.reads, region.haplotypes, instr=instr
+            )
+            outputs.append(likes)
+            task_work.append(region.cell_updates)
+        return outputs, task_work

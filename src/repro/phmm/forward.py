@@ -1,0 +1,213 @@
+"""Forward-algorithm engines for the pair-HMM.
+
+:func:`forward_likelihood` is the plain double-precision reference.
+:class:`BatchedPairHMM` is the production engine: it advances all
+read-haplotype pairs of a genome region in lockstep along anti-diagonals
+(wavefront intra-task parallelism, paper Fig. 2d), computing in float32
+and re-running underflowing pairs in float64 -- the same
+single-precision-with-double-rescue scheme as GATK's AVX kernel.
+
+Recurrences (paper Section III)::
+
+    M[i,j] = P[i,j] * (t_mm*M[i-1,j-1] + t_im*I[i-1,j-1] + t_dm*D[i-1,j-1])
+    I[i,j] = t_mi*M[i-1,j] + t_ii*I[i-1,j]
+    D[i,j] = t_md*M[i,j-1] + t_dd*D[i,j-1]
+
+with free start along the haplotype (``D[0,j] = 1/n``) and the final
+likelihood ``sum_j M[m,j] + I[m,j]``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.instrument import Instrumentation
+from repro.phmm.model import HMMParameters, emission_priors
+
+#: Below this float32 result the engine recomputes the pair in float64.
+UNDERFLOW_THRESHOLD = 1e-28
+
+#: Abstract operations accounted per cell update (muls + adds of the
+#: three recurrences), used by the instruction-mix characterization.
+FP_OPS_PER_CELL = 12
+
+
+def forward_likelihood(
+    read: str,
+    qualities: np.ndarray,
+    haplotype: str,
+    params: HMMParameters | None = None,
+) -> float:
+    """Reference forward likelihood in double precision (row-wise loops)."""
+    params = params or HMMParameters()
+    t = params.transitions()
+    m, n = len(read), len(haplotype)
+    if m == 0 or n == 0:
+        raise ValueError("read and haplotype must be non-empty")
+    priors = emission_priors(read, qualities, haplotype)
+    M = np.zeros((m + 1, n + 1), dtype=np.float64)
+    I = np.zeros((m + 1, n + 1), dtype=np.float64)
+    D = np.zeros((m + 1, n + 1), dtype=np.float64)
+    D[0, :] = 1.0 / n
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            M[i, j] = priors[i - 1, j - 1] * (
+                t["mm"] * M[i - 1, j - 1]
+                + t["im"] * I[i - 1, j - 1]
+                + t["dm"] * D[i - 1, j - 1]
+            )
+            I[i, j] = t["mi"] * M[i - 1, j] + t["ii"] * I[i - 1, j]
+            D[i, j] = t["md"] * M[i, j - 1] + t["dd"] * D[i, j - 1]
+    return float(np.sum(M[m, 1:]) + np.sum(I[m, 1:]))
+
+
+def log10_likelihood(
+    read: str,
+    qualities: np.ndarray,
+    haplotype: str,
+    params: HMMParameters | None = None,
+) -> float:
+    """``log10`` of the reference forward likelihood."""
+    return math.log10(forward_likelihood(read, qualities, haplotype, params))
+
+
+class BatchedPairHMM:
+    """Wavefront engine over all pairs of one region, float32 + rescue."""
+
+    def __init__(self, params: HMMParameters | None = None) -> None:
+        self.params = params or HMMParameters()
+
+    def region_likelihoods(
+        self,
+        reads: list[tuple[str, np.ndarray]],
+        haplotypes: list[str],
+        instr: Instrumentation | None = None,
+    ) -> tuple[np.ndarray, int]:
+        """Likelihood matrix of shape ``(len(reads), len(haplotypes))``.
+
+        Returns the matrix and the number of pairs that needed the
+        double-precision rescue pass.
+        """
+        pairs = [
+            (read, quals, hap) for read, quals in reads for hap in haplotypes
+        ]
+        likes, rescued = self._run_pairs(pairs, instr)
+        return likes.reshape(len(reads), len(haplotypes)), rescued
+
+    def _run_pairs(
+        self,
+        pairs: list[tuple[str, np.ndarray, str]],
+        instr: Instrumentation | None,
+    ) -> tuple[np.ndarray, int]:
+        likes = self._lockstep(pairs, np.float32, instr)
+        low = np.nonzero(likes < UNDERFLOW_THRESHOLD)[0]
+        rescued = 0
+        if low.size:
+            redo = [pairs[int(k)] for k in low]
+            fixed = self._lockstep(redo, np.float64, instr)
+            likes = likes.astype(np.float64)
+            likes[low] = fixed
+            rescued = int(low.size)
+        return np.asarray(likes, dtype=np.float64), rescued
+
+    def _lockstep(
+        self,
+        pairs: list[tuple[str, np.ndarray, str]],
+        dtype,
+        instr: Instrumentation | None,
+    ) -> np.ndarray:
+        t = self.params.transitions()
+        B = len(pairs)
+        mlens = np.array([len(p[0]) for p in pairs], dtype=np.int64)
+        nlens = np.array([len(p[2]) for p in pairs], dtype=np.int64)
+        m_max = int(mlens.max())
+        n_max = int(nlens.max())
+        priors = np.zeros((B, m_max + 1, n_max + 1), dtype=dtype)
+        for b, (read, quals, hap) in enumerate(pairs):
+            priors[b, 1 : len(read) + 1, 1 : len(hap) + 1] = emission_priors(
+                read, quals, hap
+            )
+        size = m_max + 1
+        # state arrays indexed by read coordinate i along each anti-diagonal
+        M2 = np.zeros((B, size), dtype=dtype)
+        M1 = np.zeros((B, size), dtype=dtype)
+        I2 = np.zeros((B, size), dtype=dtype)
+        I1 = np.zeros((B, size), dtype=dtype)
+        D2 = np.zeros((B, size), dtype=dtype)
+        D1 = np.zeros((B, size), dtype=dtype)
+        inv_n = (1.0 / nlens).astype(dtype)
+        # diagonal d holds cells (i, d - i); boundary row 0 has D = 1/n
+        D2[:, 0] = inv_n  # cell (0, 0) lives on diagonal 0
+        D1[:, 0] = inv_n  # cell (0, 1) lives on diagonal 1
+        acc = np.zeros(B, dtype=np.float64)
+        lanes = np.arange(B)
+        cells = 0
+        for d in range(2, m_max + n_max + 1):
+            lo = max(1, d - n_max)
+            hi = min(m_max, d - 1)
+            idx = np.arange(lo, hi + 1)
+            cells += idx.size * B
+            p = priors[:, idx, d - idx]
+            M_new = np.zeros((B, size), dtype=dtype)
+            I_new = np.zeros((B, size), dtype=dtype)
+            D_new = np.zeros((B, size), dtype=dtype)
+            M_new[:, idx] = p * (
+                t["mm"] * M2[:, idx - 1]
+                + t["im"] * I2[:, idx - 1]
+                + t["dm"] * D2[:, idx - 1]
+            )
+            # I consumes a read base: predecessor (i-1, j) sits at index
+            # i-1 on diagonal d-1.  D consumes a haplotype base: its
+            # predecessor (i, j-1) keeps row index i on diagonal d-1.
+            I_new[:, idx] = t["mi"] * M1[:, idx - 1] + t["ii"] * I1[:, idx - 1]
+            D_new[:, idx] = t["md"] * M1[:, idx] + t["dd"] * D1[:, idx]
+            # boundary: cell (0, d) has D = 1/n, M = I = 0
+            if d <= n_max:
+                D_new[:, 0] = inv_n
+            # the diagonal-(d-2) boundary cell (0, d-2) feeds M via D2[:, -1]?
+            # handled naturally: D2[:, 0] held 1/n while d-2 <= n.
+            # accumulate final-row contributions: cell (mlen, j) on d = mlen + j
+            j_here = d - mlens
+            take = (j_here >= 1) & (j_here <= nlens)
+            if take.any():
+                rows = mlens[take]
+                acc[take] += (
+                    M_new[lanes[take], rows].astype(np.float64)
+                    + I_new[lanes[take], rows].astype(np.float64)
+                )
+            M2, M1 = M1, M_new
+            I2, I1 = I1, I_new
+            D2, D1 = D1, D_new
+        if instr is not None:
+            instr.counts.add("fp", FP_OPS_PER_CELL * cells)
+            instr.counts.add("load", 6 * cells)
+            instr.counts.add("store", 3 * cells)
+            instr.counts.add("scalar_int", cells)
+            instr.counts.add("branch", cells // 4)
+            if instr.trace is not None:
+                self._trace(instr, B, m_max, len(pairs))
+        return acc
+
+    #: lanes of the modelled AVX engine (8 x float32), which bounds the
+    #: working set the trace records
+    TRACE_LANES = 8
+
+    def _trace(self, instr: Instrumentation, B: int, m_max: int, n_pairs: int) -> None:
+        """Record the small, reused state-array footprint (near-zero BPKI).
+
+        The real kernel processes 8 pairs per vector with six small state
+        rows -- a few KB that never leave L1, which is why phmm shows
+        0.02 BPKI in the paper.
+        """
+        trace = instr.trace
+        assert trace is not None
+        name = "phmm.state"
+        sweep = 6 * self.TRACE_LANES * (m_max + 1) * 4
+        if name not in trace.regions:
+            trace.alloc(name, sweep)
+        region = trace.region(name)
+        sweep = min(region.size, sweep)
+        trace.read_stream(region, 0, sweep, access_size=64)
+        trace.write_stream(region, 0, sweep, access_size=64)

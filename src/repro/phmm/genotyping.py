@@ -1,0 +1,83 @@
+"""Diploid genotyping from read-haplotype likelihoods.
+
+GATK's step after ``calcLikelihoodScore``: given the matrix of
+per-read, per-haplotype likelihoods a region's pair-HMM produced, score
+every unordered haplotype *pair* (a diploid genotype) and pick the
+maximum-posterior pair.  A read's likelihood under a genotype is the
+average of its likelihoods under the two haplotypes (it was sampled
+from one of them with equal probability).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class GenotypeCall:
+    """The chosen haplotype pair for one region.
+
+    ``hap_a``/``hap_b`` index the region's haplotype list;
+    ``log10_posterior`` is the normalized posterior of the winning pair
+    and ``log10_odds`` its margin over the runner-up (the confidence
+    GATK reports as GQ, up to scaling).
+    """
+
+    hap_a: int
+    hap_b: int
+    log10_posterior: float
+    log10_odds: float
+
+    @property
+    def is_homozygous(self) -> bool:
+        return self.hap_a == self.hap_b
+
+
+def genotype_region(
+    likelihoods: np.ndarray,
+    min_likelihood: float = 1e-300,
+) -> GenotypeCall:
+    """Call the best diploid genotype from a likelihood matrix.
+
+    ``likelihoods[i, j]`` is the pair-HMM likelihood of read ``i`` under
+    haplotype ``j`` (linear space, as
+    :meth:`~repro.phmm.forward.BatchedPairHMM.region_likelihoods`
+    returns).  All unordered pairs, including homozygous ones, compete
+    under a flat prior.
+    """
+    likes = np.asarray(likelihoods, dtype=np.float64)
+    if likes.ndim != 2 or likes.size == 0:
+        raise ValueError("expected a non-empty (reads x haplotypes) matrix")
+    n_reads, n_haps = likes.shape
+    log_likes = np.log10(np.maximum(likes, min_likelihood))
+    pair_scores: dict[tuple[int, int], float] = {}
+    for a, b in itertools.combinations_with_replacement(range(n_haps), 2):
+        # P(read | {a, b}) = (P(read|a) + P(read|b)) / 2, in log10 space
+        stacked = np.stack([log_likes[:, a], log_likes[:, b]])
+        per_read = _log10_mean_exp(stacked)
+        pair_scores[(a, b)] = float(per_read.sum())
+    ranked = sorted(pair_scores.items(), key=lambda kv: -kv[1])
+    (best_pair, best_score) = ranked[0]
+    runner_up = ranked[1][1] if len(ranked) > 1 else best_score - 99.0
+    total = _log10_sum(np.array(list(pair_scores.values())))
+    return GenotypeCall(
+        hap_a=best_pair[0],
+        hap_b=best_pair[1],
+        log10_posterior=best_score - total,
+        log10_odds=best_score - runner_up,
+    )
+
+
+def _log10_sum(values: np.ndarray) -> float:
+    m = float(values.max())
+    return m + math.log10(float(np.power(10.0, values - m).sum()))
+
+
+def _log10_mean_exp(stacked: np.ndarray) -> np.ndarray:
+    """Per-column ``log10`` of the mean of ``10**rows``."""
+    m = stacked.max(axis=0)
+    return m + np.log10(np.power(10.0, stacked - m).mean(axis=0))

@@ -1,0 +1,15 @@
+"""Pileup counting (the ``pileup`` kernel).
+
+Reproduces Medaka's variant-calling preprocessing: for every reference
+position of a region, count the aligned bases by identity and strand,
+plus insertion and deletion support, by walking the CIGAR string of
+every overlapping alignment record.  Regions are processed
+independently -- the kernel's task-level parallelism -- and the
+record-walking random access is what makes it memory-bound in the
+paper.
+"""
+
+from repro.pileup.counts import PileupCounts, count_region
+from repro.pileup.regions import reads_by_region
+
+__all__ = ["PileupCounts", "count_region", "reads_by_region"]

@@ -1,0 +1,61 @@
+"""Benchmark adapter for the ``pileup`` kernel.
+
+Workload: ground-truth alignments of ONT-profile long reads over a
+genome, tiled into fixed regions.  One task = one region; its work is
+the number of alignment-record lookups it performs (paper Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.benchmark import Benchmark
+from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
+from repro.core.instrument import Instrumentation
+from repro.io.regions import GenomicRegion
+from repro.io.sam import AlignmentRecord, simulate_alignments
+from repro.pileup.counts import PileupCounts, count_region
+from repro.pileup.regions import reads_by_region
+from repro.sequence.simulate import LongReadSimulator, random_genome
+
+
+@dataclass
+class PileupWorkload:
+    """Prepared inputs: per-region record lists (plus the genome truth)."""
+
+    genome: str
+    tasks: list[tuple[GenomicRegion, list[AlignmentRecord]]]
+
+
+class PileupBenchmark(Benchmark):
+    """Drives pileup counting over reference regions."""
+
+    name = "pileup"
+
+    CONTIG = "chr1"
+
+    def prepare(self, size: DatasetSize) -> PileupWorkload:
+        params = dataset_params(self.name, size)
+        seed = dataset_seed(self.name, size)
+        genome = random_genome(params["genome_len"], seed=seed)
+        sim = LongReadSimulator(
+            mean_len=params["mean_read_len"], error_rate=params["error_rate"]
+        )
+        records = simulate_alignments(
+            genome, self.CONTIG, params["coverage"], seed=seed + 1, simulator=sim
+        )
+        tasks = reads_by_region(
+            records, self.CONTIG, len(genome), params["region_size"]
+        )
+        return PileupWorkload(genome=genome, tasks=tasks)
+
+    def execute(
+        self, workload: PileupWorkload, instr: Instrumentation | None = None
+    ) -> tuple[list[PileupCounts], list[int]]:
+        outputs = []
+        task_work = []
+        for region, records in workload.tasks:
+            pile = count_region(records, region, instr=instr)
+            outputs.append(pile)
+            task_work.append(pile.n_records)
+        return outputs, task_work

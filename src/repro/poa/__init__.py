@@ -1,0 +1,21 @@
+"""Partial-order alignment (the ``poa`` kernel).
+
+Reproduces Racon's consensus engine: reads covering a window are
+incrementally aligned to a partial-order graph (each node one base,
+weighted edges recording read support), and the consensus is extracted
+with the heaviest-bundle algorithm.  Aligning a sequence to the graph
+costs ``O((2*n_p + 1) * n * |V|)`` -- the irregular, graph-shaped
+dynamic programming the paper contrasts with plain Smith-Waterman.
+"""
+
+from repro.poa.graph import POAGraph
+from repro.poa.align import GraphAligner, GraphAlignment
+from repro.poa.consensus import consensus_window, heaviest_bundle
+
+__all__ = [
+    "GraphAligner",
+    "GraphAlignment",
+    "POAGraph",
+    "consensus_window",
+    "heaviest_bundle",
+]

@@ -1,0 +1,96 @@
+"""Benchmark adapter for the ``poa`` kernel.
+
+Workload: Racon-style polishing windows.  Each window holds a draft
+backbone (itself error-containing) plus the window-clipped chunks of
+the long reads covering it; the kernel builds the POA graph and emits
+the consensus.  One task = one window; its work is the number of
+(in-degree weighted) cell updates (paper Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.benchmark import Benchmark
+from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
+from repro.core.instrument import Instrumentation
+from repro.poa.consensus import consensus_window
+from repro.sequence.simulate import LongReadSimulator, random_genome
+
+
+@dataclass
+class PoaWindow:
+    """One consensus task: the true sequence and its noisy copies."""
+
+    truth: str
+    sequences: list[str]
+
+
+@dataclass
+class PoaWorkload:
+    """Prepared inputs: independent consensus windows."""
+
+    windows: list[PoaWindow]
+
+
+def make_windows(
+    n_windows: int, window_len: int, depth: float, error_rate: float, seed: int
+) -> list[PoaWindow]:
+    """Generate polishing windows with noisy read chunks.
+
+    Depth varies per window (Poisson around the mean) and chunks are
+    full-window spans with ONT-profile errors, like the window slices
+    Racon cuts from its alignments.
+    """
+    rng = np.random.default_rng(seed)
+    sim = LongReadSimulator(
+        mean_len=window_len * 4, min_len=window_len, error_rate=error_rate
+    )
+    windows = []
+    for _ in range(n_windows):
+        truth = random_genome(window_len, seed=rng)
+        n_seqs = max(3, int(rng.poisson(depth)))
+        chunks = []
+        for s in range(n_seqs):
+            # simulate a read spanning the window, keep reference orientation
+            read = sim.simulate(truth, 1, seed=rng, name_prefix=f"w{s}_")[0]
+            seq = read.sequence
+            if read.strand == "-":
+                from repro.sequence.alphabet import reverse_complement
+
+                seq = reverse_complement(seq)
+            chunks.append(seq)
+        windows.append(PoaWindow(truth=truth, sequences=chunks))
+    return windows
+
+
+class PoaBenchmark(Benchmark):
+    """Drives POA consensus over independent windows."""
+
+    name = "poa"
+
+    def prepare(self, size: DatasetSize) -> PoaWorkload:
+        params = dataset_params(self.name, size)
+        seed = dataset_seed(self.name, size)
+        return PoaWorkload(
+            windows=make_windows(
+                params["n_windows"],
+                params["window_len"],
+                params["depth"],
+                params["error_rate"],
+                seed,
+            )
+        )
+
+    def execute(
+        self, workload: PoaWorkload, instr: Instrumentation | None = None
+    ) -> tuple[list[str], list[int]]:
+        outputs = []
+        task_work = []
+        for window in workload.windows:
+            consensus, _, cells = consensus_window(window.sequences, instr=instr)
+            outputs.append(consensus)
+            task_work.append(cells)
+        return outputs, task_work

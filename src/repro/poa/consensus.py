@@ -1,0 +1,67 @@
+"""Consensus extraction: the heaviest-bundle algorithm.
+
+After all window reads are woven into the partial-order graph, the
+consensus is the path carrying the most read support: a reverse
+topological dynamic program picks, per node, its heaviest outgoing
+edge, and the best chain from a source node spells the corrected
+window sequence.
+"""
+
+from __future__ import annotations
+
+from repro.core.instrument import Instrumentation
+from repro.poa.align import GraphAligner
+from repro.poa.graph import POAGraph
+
+
+def heaviest_bundle(graph: POAGraph) -> str:
+    """Consensus sequence along the heaviest path of ``graph``."""
+    if not len(graph):
+        return ""
+    order = graph.topological_order()
+    score: dict[int, int] = {}
+    nxt: dict[int, int | None] = {}
+    for v in reversed(order):
+        best_score = 0
+        best_next: int | None = None
+        for u, w in graph.out_edges[v].items():
+            cand = w + score[u]
+            if cand > best_score or (
+                cand == best_score and best_next is not None and score[u] > score[best_next]
+            ):
+                best_score = cand
+                best_next = u
+        score[v] = best_score
+        nxt[v] = best_next
+    starts = [v for v in order if not graph.in_edges[v]]
+    start = max(starts, key=lambda v: score[v] + graph.weights[v])
+    out = []
+    node: int | None = start
+    while node is not None:
+        out.append(graph.bases[node])
+        node = nxt[node]
+    return "".join(out)
+
+
+def consensus_window(
+    sequences: list[str],
+    aligner: GraphAligner | None = None,
+    instr: Instrumentation | None = None,
+) -> tuple[str, POAGraph, int]:
+    """Racon-style consensus of one window.
+
+    Builds the graph from the first sequence (the backbone), aligns and
+    merges the rest, and extracts the heaviest-bundle consensus.
+    Returns ``(consensus, graph, cell_updates)``.
+    """
+    if not sequences:
+        raise ValueError("a window needs at least one sequence")
+    aligner = aligner or GraphAligner()
+    graph = POAGraph()
+    graph.add_first_sequence(sequences[0])
+    cells = 0
+    for seq in sequences[1:]:
+        alignment = aligner.align(graph, seq, instr=instr)
+        graph.merge_alignment(seq, alignment.pairs)
+        cells += alignment.cells
+    return heaviest_bundle(graph), graph, cells

@@ -1,0 +1,131 @@
+"""The partial-order graph.
+
+Nodes carry one base each; directed edges carry the number of reads
+supporting the transition.  Nodes aligned to each other across reads
+(same column, different base) form an *aligned ring*, so later reads can
+reuse an existing alternative instead of forking a new branch -- the
+classic POA construction of Lee, Grasso & Sharlow (2002) as used by
+spoa/Racon.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+
+class POAGraph:
+    """A growing partial-order alignment graph."""
+
+    def __init__(self) -> None:
+        self.bases: list[str] = []
+        self.weights: list[int] = []  # read support per node
+        self.out_edges: list[dict[int, int]] = []  # node -> {succ: weight}
+        self.in_edges: list[set[int]] = []
+        self.aligned: list[set[int]] = []  # aligned-ring partners
+        self.n_sequences = 0
+
+    def __len__(self) -> int:
+        return len(self.bases)
+
+    def add_node(self, base: str) -> int:
+        """Create a fresh node for ``base``; returns its id."""
+        if len(base) != 1 or base not in "ACGT":
+            raise ValueError(f"node base must be one of ACGT, got {base!r}")
+        node = len(self.bases)
+        self.bases.append(base)
+        self.weights.append(0)
+        self.out_edges.append({})
+        self.in_edges.append(set())
+        self.aligned.append(set())
+        return node
+
+    def add_edge(self, src: int, dst: int, weight: int = 1) -> None:
+        """Add (or reinforce) the edge ``src -> dst``."""
+        if src == dst:
+            raise ValueError("self-edges would make the graph cyclic")
+        self.out_edges[src][dst] = self.out_edges[src].get(dst, 0) + weight
+        self.in_edges[dst].add(src)
+
+    def add_first_sequence(self, seq: str) -> list[int]:
+        """Seed an empty graph with the backbone sequence."""
+        if len(self.bases):
+            raise ValueError("graph already seeded; use align-and-merge")
+        nodes = []
+        prev = None
+        for base in seq:
+            node = self.add_node(base)
+            self.weights[node] += 1
+            if prev is not None:
+                self.add_edge(prev, node)
+            prev = node
+            nodes.append(node)
+        self.n_sequences = 1
+        return nodes
+
+    def merge_alignment(
+        self, seq: str, alignment: list[tuple[int | None, int | None]]
+    ) -> list[int]:
+        """Weave an aligned sequence into the graph.
+
+        ``alignment`` pairs graph nodes with query positions: ``(v, q)``
+        is a (mis)match, ``(v, None)`` a deletion (graph base skipped by
+        the read), ``(None, q)`` an insertion (read base absent from the
+        graph path).  Returns the node chain the sequence now follows.
+        """
+        chain: list[int] = []
+        prev: int | None = None
+        for v, q in alignment:
+            if q is None:
+                continue  # deletion consumes no read base, adds no node
+            base = seq[q]
+            node = None
+            if v is not None:
+                if self.bases[v] == base:
+                    node = v
+                else:
+                    for sib in self.aligned[v]:
+                        if self.bases[sib] == base:
+                            node = sib
+                            break
+                    if node is None:
+                        node = self.add_node(base)
+                        ring = self.aligned[v] | {v}
+                        for member in ring:
+                            self.aligned[member].add(node)
+                        self.aligned[node] = ring
+            else:
+                node = self.add_node(base)
+            self.weights[node] += 1
+            if prev is not None:
+                self.add_edge(prev, node)
+            prev = node
+            chain.append(node)
+        self.n_sequences += 1
+        return chain
+
+    def topological_order(self) -> list[int]:
+        """Kahn topological order; raises on cycles (must never happen)."""
+        indeg = [len(s) for s in self.in_edges]
+        queue = deque(v for v, d in enumerate(indeg) if d == 0)
+        order = []
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            for u in self.out_edges[v]:
+                indeg[u] -= 1
+                if indeg[u] == 0:
+                    queue.append(u)
+        if len(order) != len(self.bases):
+            raise RuntimeError("partial-order graph contains a cycle")
+        return order
+
+    @property
+    def n_edges(self) -> int:
+        """Directed edges currently in the graph."""
+        return sum(len(out) for out in self.out_edges)
+
+    def mean_in_degree(self) -> float:
+        """Average predecessors per node (the paper's ``n_p``)."""
+        if not self.bases:
+            return 0.0
+        return sum(len(s) for s in self.in_edges) / len(self.bases)

@@ -1,0 +1,51 @@
+"""Sequence substrate: alphabet encoding, qualities and read simulation.
+
+The paper's datasets are real sequencing runs (Illumina short reads, ONT
+and PacBio long reads).  This subpackage provides the deterministic
+synthetic equivalents: a reference-genome generator, mutation into sample
+genomes with ground-truth variants, and short/long read simulators with
+the error profiles the paper quotes (<=1% substitution-dominated for
+short reads, 5-15% indel-heavy for nanopore long reads).
+"""
+
+from repro.sequence.alphabet import (
+    BASES,
+    complement,
+    decode,
+    encode,
+    is_valid,
+    reverse_complement,
+)
+from repro.sequence.quality import (
+    error_probability,
+    phred_to_prob,
+    prob_to_phred,
+    quality_string,
+)
+from repro.sequence.simulate import (
+    LongReadSimulator,
+    Read,
+    ShortReadSimulator,
+    Variant,
+    mutate_genome,
+    random_genome,
+)
+
+__all__ = [
+    "BASES",
+    "LongReadSimulator",
+    "Read",
+    "ShortReadSimulator",
+    "Variant",
+    "complement",
+    "decode",
+    "encode",
+    "error_probability",
+    "is_valid",
+    "mutate_genome",
+    "phred_to_prob",
+    "prob_to_phred",
+    "quality_string",
+    "random_genome",
+    "reverse_complement",
+]

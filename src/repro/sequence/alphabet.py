@@ -1,0 +1,80 @@
+"""DNA alphabet encoding shared by all kernels.
+
+Sequences cross public APIs as Python strings over ``ACGT`` (plus ``N``
+for unknown bases where a kernel tolerates them); kernels work internally
+on numpy ``uint8`` code arrays where ``A=0, C=1, G=2, T=3``.  This 2-bit
+code ordering is lexicographic, which the FM-index and k-mer packing rely
+on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Canonical base order; code i corresponds to ``BASES[i]``.
+BASES = "ACGT"
+
+#: Code reserved for unknown/ambiguous bases in tolerant contexts.
+N_CODE = 4
+
+_ENCODE_LUT = np.full(256, 255, dtype=np.uint8)
+for _i, _b in enumerate(BASES):
+    _ENCODE_LUT[ord(_b)] = _i
+    _ENCODE_LUT[ord(_b.lower())] = _i
+_ENCODE_LUT[ord("N")] = N_CODE
+_ENCODE_LUT[ord("n")] = N_CODE
+
+_DECODE_LUT = np.frombuffer((BASES + "N").encode(), dtype=np.uint8)
+
+_COMPLEMENT_STR = str.maketrans("ACGTNacgtn", "TGCANtgcan")
+
+#: Complement of each code (A<->T, C<->G, N->N).
+COMPLEMENT_CODE = np.array([3, 2, 1, 0, 4], dtype=np.uint8)
+
+
+def encode(seq: str, allow_n: bool = False) -> np.ndarray:
+    """Encode a DNA string to a ``uint8`` code array.
+
+    Raises :class:`ValueError` on characters outside ``ACGTacgt`` (and
+    ``Nn`` unless ``allow_n``), identifying the first offender.
+    """
+    raw = np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
+    codes = _ENCODE_LUT[raw]
+    limit = N_CODE if allow_n else N_CODE - 1
+    bad = np.nonzero(codes > limit)[0]
+    if bad.size:
+        pos = int(bad[0])
+        raise ValueError(f"invalid base {seq[pos]!r} at position {pos}")
+    return codes
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode a ``uint8`` code array back to a DNA string."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and int(codes.max()) > N_CODE:
+        raise ValueError("code array contains values outside the alphabet")
+    return _DECODE_LUT[codes].tobytes().decode("ascii")
+
+
+def is_valid(seq: str, allow_n: bool = False) -> bool:
+    """True when ``seq`` contains only alphabet characters."""
+    try:
+        encode(seq, allow_n=allow_n)
+    except ValueError:
+        return False
+    return True
+
+
+def complement(seq: str) -> str:
+    """Watson-Crick complement of a DNA string (case-preserving)."""
+    return seq.translate(_COMPLEMENT_STR)
+
+
+def reverse_complement(seq: str) -> str:
+    """Reverse complement of a DNA string."""
+    return complement(seq)[::-1]
+
+
+def reverse_complement_codes(codes: np.ndarray) -> np.ndarray:
+    """Reverse complement of a code array."""
+    return COMPLEMENT_CODE[np.asarray(codes, dtype=np.uint8)][::-1]

@@ -1,0 +1,53 @@
+"""Phred base-quality scores.
+
+Basecallers attach a quality to every base; the PairHMM kernel consumes
+them as floating-point error probabilities when computing its emission
+priors, and the read simulators generate them consistently with the
+errors they inject.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: ASCII offset of the Sanger/Illumina-1.8 quality encoding.
+PHRED_OFFSET = 33
+
+#: Highest quality we emit (Q41 is the Illumina ceiling).
+MAX_PHRED = 41
+
+
+def phred_to_prob(q) -> np.ndarray:
+    """Error probability for Phred score(s) ``q`` (``10^(-q/10)``)."""
+    return np.power(10.0, -np.asarray(q, dtype=np.float64) / 10.0)
+
+
+def prob_to_phred(p) -> np.ndarray:
+    """Phred score(s) for error probability ``p``, clipped to [0, MAX_PHRED]."""
+    p = np.asarray(p, dtype=np.float64)
+    if np.any(p < 0) or np.any(p > 1):
+        raise ValueError("error probabilities must lie in [0, 1]")
+    with np.errstate(divide="ignore"):
+        q = -10.0 * np.log10(p)
+    return np.clip(q, 0.0, MAX_PHRED)
+
+
+def quality_string(quals: np.ndarray) -> str:
+    """Render integer Phred scores as a FASTQ quality string."""
+    quals = np.asarray(quals)
+    if quals.size and (quals.min() < 0 or quals.max() > 93):
+        raise ValueError("Phred scores must lie in [0, 93] for FASTQ encoding")
+    return (quals.astype(np.uint8) + PHRED_OFFSET).tobytes().decode("ascii")
+
+
+def parse_quality_string(qstr: str) -> np.ndarray:
+    """Parse a FASTQ quality string back to integer Phred scores."""
+    raw = np.frombuffer(qstr.encode("ascii"), dtype=np.uint8)
+    if raw.size and raw.min() < PHRED_OFFSET:
+        raise ValueError("quality string contains characters below '!'")
+    return (raw - PHRED_OFFSET).astype(np.int64)
+
+
+def error_probability(qstr: str) -> np.ndarray:
+    """Per-base error probabilities of a FASTQ quality string."""
+    return phred_to_prob(parse_quality_string(qstr))

@@ -1,0 +1,436 @@
+"""Deterministic genome and read simulators.
+
+These stand in for the paper's real datasets (human SRR7733443 short
+reads, NA12878 nanopore reads, C. elegans PacBio reads, ...).  The
+simulators reproduce the properties the kernels are sensitive to:
+
+* short reads: fixed length (151 bp default), substitution-dominated
+  errors well under 1%, high qualities that dip at error positions;
+* long reads: broad gamma-distributed lengths (kilobases), 5-15% errors
+  split across substitutions, insertions and deletions, mediocre
+  qualities -- the ONT/PacBio profile that drives POA, pileup, chaining
+  and k-mer counting behaviour.
+
+All randomness flows through a caller-supplied seed so every workload in
+the suite is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sequence.alphabet import decode, encode, reverse_complement_codes
+
+
+@dataclass(frozen=True)
+class Variant:
+    """A ground-truth difference between sample and reference.
+
+    ``pos`` is the 0-based reference coordinate.  For SNPs, ``ref`` and
+    ``alt`` are single bases; for insertions ``ref`` is empty; for
+    deletions ``alt`` is empty.
+    """
+
+    pos: int
+    ref: str
+    alt: str
+
+    @property
+    def kind(self) -> str:
+        """One of ``"SNP"``, ``"INS"``, ``"DEL"``."""
+        if len(self.ref) == len(self.alt) == 1:
+            return "SNP"
+        if len(self.ref) < len(self.alt):
+            return "INS"
+        return "DEL"
+
+
+@dataclass
+class Read:
+    """A simulated sequencing read with its ground truth.
+
+    ``ref_start`` / ``ref_end`` delimit the reference span the fragment
+    was drawn from and ``strand`` records whether the read is the reverse
+    complement of that span.  ``qualities`` are integer Phred scores, one
+    per base of ``sequence``.
+    """
+
+    name: str
+    sequence: str
+    qualities: np.ndarray
+    ref_start: int
+    ref_end: int
+    strand: str = "+"
+    truth_errors: int = 0
+    tags: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def __post_init__(self) -> None:
+        if len(self.qualities) != len(self.sequence):
+            raise ValueError(
+                f"read {self.name}: {len(self.qualities)} qualities for "
+                f"{len(self.sequence)} bases"
+            )
+        if self.strand not in "+-":
+            raise ValueError(f"strand must be '+' or '-', got {self.strand!r}")
+
+
+def random_genome(length: int, seed: int | np.random.Generator, gc: float = 0.41) -> str:
+    """Generate a random reference genome of ``length`` bases.
+
+    ``gc`` sets the GC content (the human genome is ~41% GC, which
+    matters for k-mer statistics).  Short tandem repeats are injected at
+    a low rate so seed/chain kernels see realistic repeat structure.
+    """
+    if length <= 0:
+        raise ValueError("genome length must be positive")
+    if not 0.0 < gc < 1.0:
+        raise ValueError("gc content must lie strictly between 0 and 1")
+    rng = np.random.default_rng(seed)
+    at = (1.0 - gc) / 2.0
+    p = np.array([at, gc / 2.0, gc / 2.0, at])
+    codes = rng.choice(4, size=length, p=p).astype(np.uint8)
+    # Inject short tandem repeats: copy a 20-200 bp unit 2-5 times.
+    # Only at genome scale -- sub-kilobase windows stay repeat-free.
+    n_repeats = length // 20_000
+    for _ in range(n_repeats):
+        unit_len = int(rng.integers(20, 200))
+        copies = int(rng.integers(2, 6))
+        span = unit_len * copies
+        if span >= length:
+            continue
+        start = int(rng.integers(0, length - span))
+        unit = codes[start : start + unit_len].copy()
+        for c in range(1, copies):
+            codes[start + c * unit_len : start + (c + 1) * unit_len] = unit
+    return decode(codes)
+
+
+def mutate_genome(
+    genome: str,
+    seed: int | np.random.Generator,
+    snp_rate: float = 1e-3,
+    indel_rate: float = 1e-4,
+    max_indel: int = 10,
+) -> tuple[str, list[Variant]]:
+    """Derive a sample genome from a reference with ground-truth variants.
+
+    Rates follow human heterozygosity (~1 SNP per kilobase, indels an
+    order of magnitude rarer).  Returns the mutated genome and the
+    variant list sorted by position; variant positions never overlap.
+    """
+    rng = np.random.default_rng(seed)
+    codes = encode(genome)
+    n = len(codes)
+    out: list[str] = []
+    variants: list[Variant] = []
+    pos = 0
+    prev = 0
+    while pos < n:
+        r = rng.random()
+        if r < snp_rate:
+            out.append(genome[prev:pos])
+            alt_code = (int(codes[pos]) + int(rng.integers(1, 4))) % 4
+            alt = "ACGT"[alt_code]
+            out.append(alt)
+            variants.append(Variant(pos=pos, ref=genome[pos], alt=alt))
+            pos += 1
+            prev = pos
+        elif r < snp_rate + indel_rate:
+            out.append(genome[prev:pos])
+            size = int(rng.integers(1, max_indel + 1))
+            if rng.random() < 0.5:  # insertion before pos
+                ins_codes = rng.integers(0, 4, size=size).astype(np.uint8)
+                ins = decode(ins_codes)
+                out.append(ins)
+                variants.append(Variant(pos=pos, ref="", alt=ins))
+                prev = pos  # the base at pos flushes with the next segment
+                pos += 1
+            else:  # deletion of `size` bases at pos
+                size = min(size, n - pos)
+                variants.append(Variant(pos=pos, ref=genome[pos : pos + size], alt=""))
+                pos += size
+                prev = pos
+        else:
+            pos += 1
+    out.append(genome[prev:])
+    return "".join(out), variants
+
+
+def _inject_errors(
+    codes: np.ndarray,
+    rng: np.random.Generator,
+    error_rate: float,
+    sub_frac: float,
+    ins_frac: float,
+    del_frac: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Apply sequencing errors to an encoded fragment.
+
+    Returns ``(new_codes, error_mask, ops)``.  ``error_mask`` marks output
+    positions produced by an error (substituted or inserted bases) so
+    quality generation can dip there.  ``ops`` gives the per-input-base
+    operation (0=match, 1=substitution, 2=insertion after the base,
+    3=deletion) from which a ground-truth CIGAR can be reconstructed.
+    """
+    n = len(codes)
+    total = sub_frac + ins_frac + del_frac
+    if total <= 0:
+        raise ValueError("error fractions must sum to a positive value")
+    probs = [
+        1.0 - error_rate,
+        error_rate * sub_frac / total,
+        error_rate * ins_frac / total,
+        error_rate * del_frac / total,
+    ]
+    ops = rng.choice(4, size=n, p=probs)  # 0=match 1=sub 2=ins 3=del
+    work = codes.copy()
+    sub_idx = np.nonzero(ops == 1)[0]
+    if sub_idx.size:
+        work[sub_idx] = (work[sub_idx] + rng.integers(1, 4, size=sub_idx.size)) % 4
+    counts = np.ones(n, dtype=np.int64)
+    counts[ops == 2] = 2  # original base followed by an inserted one
+    counts[ops == 3] = 0
+    out = np.repeat(work, counts)
+    err = np.repeat(ops == 1, counts)  # substituted bases carry their flag
+    ends = np.cumsum(counts)
+    ins_out_idx = ends[ops == 2] - 1
+    if ins_out_idx.size:
+        out[ins_out_idx] = rng.integers(0, 4, size=ins_out_idx.size)
+        err[ins_out_idx] = True
+    return out.astype(np.uint8), err, ops
+
+
+def _qualities(
+    rng: np.random.Generator,
+    err_mask: np.ndarray,
+    good_mean: float,
+    good_sd: float,
+    bad_mean: float,
+    bad_sd: float,
+) -> np.ndarray:
+    """Draw Phred qualities, lower at error positions."""
+    n = len(err_mask)
+    q = rng.normal(good_mean, good_sd, size=n)
+    n_bad = int(np.count_nonzero(err_mask))
+    if n_bad:
+        q[err_mask] = rng.normal(bad_mean, bad_sd, size=n_bad)
+    return np.clip(np.rint(q), 2, 41).astype(np.int64)
+
+
+class ShortReadSimulator:
+    """Illumina-style short-read simulator.
+
+    Fixed-length reads, substitution-only errors at ``error_rate``
+    (default 0.2%, mid-range for modern Illumina chemistry), qualities
+    near Q36 dipping to ~Q12 at injected errors.  Reads are drawn
+    uniformly from both strands.
+    """
+
+    def __init__(self, read_len: int = 151, error_rate: float = 0.002) -> None:
+        if read_len <= 0:
+            raise ValueError("read length must be positive")
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError("error rate must lie in [0, 1)")
+        self.read_len = read_len
+        self.error_rate = error_rate
+
+    def simulate(
+        self,
+        genome: str,
+        n_reads: int,
+        seed: int | np.random.Generator,
+        name_prefix: str = "sr",
+    ) -> list[Read]:
+        """Sample ``n_reads`` reads from ``genome``."""
+        if len(genome) < self.read_len:
+            raise ValueError(
+                f"genome ({len(genome)} bp) shorter than read length {self.read_len}"
+            )
+        rng = np.random.default_rng(seed)
+        codes = encode(genome)
+        starts = rng.integers(0, len(genome) - self.read_len + 1, size=n_reads)
+        strands = rng.random(n_reads) < 0.5
+        reads = []
+        for i in range(n_reads):
+            start = int(starts[i])
+            frag = codes[start : start + self.read_len]
+            if strands[i]:
+                frag = reverse_complement_codes(frag)
+            out, err, ops = _inject_errors(frag, rng, self.error_rate, 1.0, 0.0, 0.0)
+            n_err = int(np.count_nonzero(ops))
+            quals = _qualities(rng, err, 36.0, 3.0, 12.0, 3.0)
+            reads.append(
+                Read(
+                    name=f"{name_prefix}{i}",
+                    sequence=decode(out),
+                    qualities=quals,
+                    ref_start=start,
+                    ref_end=start + self.read_len,
+                    strand="-" if strands[i] else "+",
+                    truth_errors=n_err,
+                )
+            )
+        return reads
+
+    def simulate_coverage(
+        self,
+        genome: str,
+        coverage: float,
+        seed: int | np.random.Generator,
+        name_prefix: str = "sr",
+    ) -> list[Read]:
+        """Sample enough reads to cover ``genome`` ``coverage``-fold."""
+        n_reads = max(1, int(round(coverage * len(genome) / self.read_len)))
+        return self.simulate(genome, n_reads, seed, name_prefix=name_prefix)
+
+    def simulate_pairs(
+        self,
+        genome: str,
+        n_pairs: int,
+        seed: int | np.random.Generator,
+        insert_mean: float = 400.0,
+        insert_sd: float = 50.0,
+        name_prefix: str = "pe",
+    ) -> list[tuple[Read, Read]]:
+        """Sample paired-end reads: the two ends of sequenced fragments.
+
+        Fragments have Gaussian insert sizes; read 1 covers the
+        fragment's 5' end on the forward strand, read 2 its 3' end on
+        the reverse strand (standard FR orientation).  Pair members are
+        named ``<prefix><i>/1`` and ``<prefix><i>/2``.
+        """
+        if insert_mean < self.read_len:
+            raise ValueError("insert size must cover at least one read length")
+        rng = np.random.default_rng(seed)
+        codes = encode(genome)
+        pairs = []
+        for i in range(n_pairs):
+            insert = int(np.clip(rng.normal(insert_mean, insert_sd),
+                                 self.read_len, len(genome)))
+            start = int(rng.integers(0, len(genome) - insert + 1))
+            r1_frag = codes[start : start + self.read_len]
+            r2_frag = reverse_complement_codes(
+                codes[start + insert - self.read_len : start + insert]
+            )
+            members = []
+            for mate, frag in ((1, r1_frag), (2, r2_frag)):
+                out, err, ops = _inject_errors(frag, rng, self.error_rate, 1.0, 0.0, 0.0)
+                quals = _qualities(rng, err, 36.0, 3.0, 12.0, 3.0)
+                if mate == 1:
+                    ref_start, strand = start, "+"
+                else:
+                    ref_start, strand = start + insert - self.read_len, "-"
+                members.append(
+                    Read(
+                        name=f"{name_prefix}{i}/{mate}",
+                        sequence=decode(out),
+                        qualities=quals,
+                        ref_start=ref_start,
+                        ref_end=ref_start + self.read_len,
+                        strand=strand,
+                        truth_errors=int(np.count_nonzero(ops)),
+                        tags={"insert_size": insert, "mate": mate},
+                    )
+                )
+            pairs.append((members[0], members[1]))
+        return pairs
+
+
+class LongReadSimulator:
+    """ONT/PacBio-style long-read simulator.
+
+    Read lengths follow a gamma distribution around ``mean_len``; errors
+    default to 8% split 40/30/30 between substitutions, insertions and
+    deletions -- the noisy-long-read profile that makes POA, ABEA and
+    pileup counting hard.
+    """
+
+    def __init__(
+        self,
+        mean_len: int = 8_000,
+        min_len: int = 200,
+        error_rate: float = 0.08,
+        sub_frac: float = 0.4,
+        ins_frac: float = 0.3,
+        del_frac: float = 0.3,
+    ) -> None:
+        if mean_len <= min_len:
+            raise ValueError("mean read length must exceed the minimum length")
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError("error rate must lie in [0, 1)")
+        self.mean_len = mean_len
+        self.min_len = min_len
+        self.error_rate = error_rate
+        self.sub_frac = sub_frac
+        self.ins_frac = ins_frac
+        self.del_frac = del_frac
+
+    def _lengths(self, rng: np.random.Generator, n: int, genome_len: int) -> np.ndarray:
+        shape = 2.5  # gamma shape: long right tail, like real ONT runs
+        lens = rng.gamma(shape, self.mean_len / shape, size=n)
+        return np.clip(lens, self.min_len, genome_len).astype(np.int64)
+
+    def simulate(
+        self,
+        genome: str,
+        n_reads: int,
+        seed: int | np.random.Generator,
+        name_prefix: str = "lr",
+        keep_ops: bool = False,
+    ) -> list[Read]:
+        """Sample ``n_reads`` long reads from ``genome``.
+
+        With ``keep_ops`` the per-base truth operations (match/sub/ins/
+        del, in read orientation) are stored in ``read.tags["truth_ops"]``
+        so callers can reconstruct ground-truth CIGAR strings.
+        """
+        if len(genome) < self.min_len:
+            raise ValueError("genome shorter than the minimum read length")
+        rng = np.random.default_rng(seed)
+        codes = encode(genome)
+        lens = self._lengths(rng, n_reads, len(genome))
+        reads = []
+        for i in range(n_reads):
+            length = int(lens[i])
+            start = int(rng.integers(0, len(genome) - length + 1))
+            frag = codes[start : start + length]
+            reverse = bool(rng.random() < 0.5)
+            if reverse:
+                frag = reverse_complement_codes(frag)
+            out, err, ops = _inject_errors(
+                frag, rng, self.error_rate, self.sub_frac, self.ins_frac, self.del_frac
+            )
+            n_err = int(np.count_nonzero(ops))
+            quals = _qualities(rng, err, 14.0, 4.0, 7.0, 2.0)
+            read = Read(
+                name=f"{name_prefix}{i}",
+                sequence=decode(out),
+                qualities=quals,
+                ref_start=start,
+                ref_end=start + length,
+                strand="-" if reverse else "+",
+                truth_errors=n_err,
+            )
+            if keep_ops:
+                read.tags["truth_ops"] = ops
+            reads.append(read)
+        return reads
+
+    def simulate_coverage(
+        self,
+        genome: str,
+        coverage: float,
+        seed: int | np.random.Generator,
+        name_prefix: str = "lr",
+        keep_ops: bool = False,
+    ) -> list[Read]:
+        """Sample enough long reads to cover ``genome`` ``coverage``-fold."""
+        n_reads = max(1, int(round(coverage * len(genome) / self.mean_len)))
+        return self.simulate(
+            genome, n_reads, seed, name_prefix=name_prefix, keep_ops=keep_ops
+        )

@@ -1,0 +1,22 @@
+"""Nanopore signal substrate: pore model, synthesis, event detection.
+
+The abea and nn-base kernels consume raw nanopore current. Real FAST5
+data is unavailable offline, so this subpackage provides the synthetic
+equivalent: a deterministic k-mer pore model (current level and spread
+per 6-mer), signal synthesis that emits a noisy, duration-jittered
+sample run per k-mer as DNA ratchets through the pore, and the
+t-statistic event segmentation nanopolish applies before alignment.
+"""
+
+from repro.signal.pore_model import PORE_K, PoreModel
+from repro.signal.synth import SignalRead, synthesize_signal
+from repro.signal.events import Event, detect_events
+
+__all__ = [
+    "Event",
+    "PORE_K",
+    "PoreModel",
+    "SignalRead",
+    "detect_events",
+    "synthesize_signal",
+]

@@ -1,0 +1,32 @@
+"""Microarchitecture simulation substrate.
+
+The paper characterizes its kernels with hardware performance counters,
+VTune and nvprof.  This subpackage is the pure-Python stand-in: a
+set-associative multi-level cache hierarchy and DRAM row-buffer model
+driven by the kernels' recorded access traces (Figs. 6 and 8), a
+top-down pipeline-slot model combining operation counts with memory
+behaviour (Fig. 9), and a SIMT warp-execution model for the GPU kernels
+(Tables IV and V).  All models are first-order: calibrated for
+rank-order fidelity across kernels, not cycle accuracy.
+"""
+
+from repro.uarch.cache import Cache, CacheHierarchy, HierarchyStats
+from repro.uarch.machine import DEFAULT_MACHINE, CacheConfig, MachineConfig
+from repro.uarch.memory import DramModel, DramStats
+from repro.uarch.topdown import TopDownModel, TopDownResult
+from repro.uarch.simt import WarpProfile, coalesce_transactions
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "DEFAULT_MACHINE",
+    "MachineConfig",
+    "CacheHierarchy",
+    "DramModel",
+    "DramStats",
+    "HierarchyStats",
+    "TopDownModel",
+    "TopDownResult",
+    "WarpProfile",
+    "coalesce_transactions",
+]

@@ -1,0 +1,217 @@
+"""Set-associative cache hierarchy simulator.
+
+Write-allocate, write-back caches with true LRU replacement, arranged
+in an inclusive-by-construction three-level hierarchy modelled on the
+paper's Skylake-class machine (32 KB 8-way L1D, 256 KB 8-way L2, 8 MB
+16-way LLC, 64-byte lines).  The hierarchy consumes the access streams
+the instrumented kernels record and reports per-level hit/miss counts
+plus the DRAM line traffic that the row-buffer model and the BPKI
+figure consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.instrument import CACHE_LINE, MemoryTrace
+from repro.uarch.machine import DEFAULT_MACHINE
+from repro.uarch.memory import DramModel, DramStats
+
+
+class Cache:
+    """One cache level: set-associative, LRU, write-back."""
+
+    def __init__(self, name: str, size: int, assoc: int, line: int = CACHE_LINE) -> None:
+        if size % (assoc * line):
+            raise ValueError(f"{name}: size must be a multiple of assoc * line")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line = line
+        self.n_sets = size // (assoc * line)
+        # per-set LRU: an insertion-ordered dict of line tag -> dirty flag
+        self._sets: list[dict[int, bool]] = [dict() for _ in range(self.n_sets)]
+        self.accesses = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def reset_stats(self) -> None:
+        """Zero the counters without flushing cache contents."""
+        self.accesses = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0 when never accessed)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def access(self, line_addr: int, is_write: bool) -> tuple[bool, int | None]:
+        """Access one line.
+
+        Returns ``(hit, writeback_line)`` where ``writeback_line`` is
+        the address of a dirty line evicted to make room (or ``None``).
+        """
+        self.accesses += 1
+        s = self._sets[line_addr % self.n_sets]
+        if line_addr in s:
+            dirty = s.pop(line_addr)
+            s[line_addr] = dirty or is_write  # move to MRU position
+            return True, None
+        self.misses += 1
+        writeback = None
+        if len(s) >= self.assoc:
+            victim, victim_dirty = next(iter(s.items()))
+            del s[victim]
+            self.evictions += 1
+            if victim_dirty:
+                self.writebacks += 1
+                writeback = victim
+        s[line_addr] = is_write
+        return False, writeback
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate statistics of one simulation run."""
+
+    accesses: int
+    l1_misses: int
+    l2_misses: int
+    llc_misses: int
+    dram: DramStats
+    instructions: int = 0
+    per_region_misses: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """L2 misses per L2 access (= per L1 miss)."""
+        return self.l2_misses / self.l1_misses if self.l1_misses else 0.0
+
+    @property
+    def llc_miss_rate(self) -> float:
+        return self.llc_misses / self.l2_misses if self.l2_misses else 0.0
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram.bytes_transferred
+
+    def bpki(self, instructions: int | None = None) -> float:
+        """Off-chip bytes per kilo-instruction (paper Fig. 6)."""
+        n = instructions if instructions is not None else self.instructions
+        if n <= 0:
+            return 0.0
+        return self.dram_bytes / (n / 1000.0)
+
+
+class CacheHierarchy:
+    """Three-level hierarchy in front of the DRAM model."""
+
+    def __init__(
+        self,
+        l1_size: int | None = None,
+        l1_assoc: int | None = None,
+        l2_size: int | None = None,
+        l2_assoc: int | None = None,
+        llc_size: int | None = None,
+        llc_assoc: int | None = None,
+        line: int = CACHE_LINE,
+    ) -> None:
+        m = DEFAULT_MACHINE
+        self.line = line
+        self.l1 = Cache("L1D", l1_size or m.l1d.size_bytes, l1_assoc or m.l1d.associativity, line)
+        self.l2 = Cache("L2", l2_size or m.l2.size_bytes, l2_assoc or m.l2.associativity, line)
+        self.llc = Cache("LLC", llc_size or m.llc.size_bytes, llc_assoc or m.llc.associativity, line)
+        self.dram = DramModel(
+            n_banks=m.dram_banks, row_bytes=m.dram_row_bytes, line_bytes=line
+        )
+
+    def access(self, addr: int, size: int, is_write: bool) -> None:
+        """Run one program access (may straddle line boundaries)."""
+        first = addr // self.line
+        last = (addr + max(size, 1) - 1) // self.line
+        for line_addr in range(first, last + 1):
+            self._access_line(line_addr, is_write)
+
+    def _access_line(self, line_addr: int, is_write: bool) -> None:
+        hit, wb = self.l1.access(line_addr, is_write)
+        if wb is not None:
+            self.l2.access(wb, True)  # dirty line falls into L2
+        if hit:
+            return
+        hit, wb = self.l2.access(line_addr, is_write)
+        if wb is not None:
+            self.llc.access(wb, True)
+        if hit:
+            return
+        hit, wb = self.llc.access(line_addr, is_write)
+        if wb is not None:
+            self.dram.access(wb, True)  # dirty LLC eviction writes back
+        if not hit:
+            self.dram.access(line_addr, False)  # line fill
+
+    def run_trace(
+        self,
+        trace: MemoryTrace,
+        instructions: int = 0,
+        attribute_regions: bool = False,
+    ) -> HierarchyStats:
+        """Replay a recorded trace and return the statistics.
+
+        With ``attribute_regions`` the returned stats break LLC misses
+        down by the named region each address belongs to -- the
+        "which structure is thrashing" view VTune's memory-access
+        analysis gives.
+        """
+        per_region: dict[str, int] = {}
+        if attribute_regions:
+            spans = sorted(
+                (r.base, r.base + r.size, name)
+                for name, r in trace.regions.items()
+            )
+            for addr, size, is_write in trace.accesses():
+                before = self.llc.misses
+                self.access(addr, size, is_write)
+                delta = self.llc.misses - before
+                if delta:
+                    name = _region_of(spans, addr)
+                    per_region[name] = per_region.get(name, 0) + delta
+        else:
+            for addr, size, is_write in trace.accesses():
+                self.access(addr, size, is_write)
+        stats = self.stats(instructions)
+        stats.per_region_misses = per_region
+        return stats
+
+    def stats(self, instructions: int = 0) -> HierarchyStats:
+        """Current counter snapshot."""
+        return HierarchyStats(
+            accesses=self.l1.accesses,
+            l1_misses=self.l1.misses,
+            l2_misses=self.l2.misses,
+            llc_misses=self.llc.misses,
+            dram=self.dram.stats(),
+            instructions=instructions,
+        )
+
+
+def _region_of(spans: list[tuple[int, int, str]], addr: int) -> str:
+    """Name of the region containing ``addr`` (binary search)."""
+    import bisect
+
+    i = bisect.bisect_right(spans, (addr, float("inf"), "")) - 1
+    if 0 <= i < len(spans):
+        base, end, name = spans[i]
+        if base <= addr < end:
+            return name
+    return "<unattributed>"

@@ -1,0 +1,73 @@
+"""The modelled machine configuration (paper Table I).
+
+The paper characterizes a Skylake-class Xeon E3-1240 v5 (8 threads,
+AVX2) with a three-level cache hierarchy and 31.79 GB/s of DRAM
+bandwidth, plus a Titan Xp for the GPU kernels.  This module is the
+single source of truth for the parameters every simulator in
+:mod:`repro.uarch` uses, so the regenerated Table I and the models can
+never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level's geometry."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+
+    def describe(self) -> str:
+        size = self.size_bytes
+        if size >= 1 << 20:
+            text = f"{size >> 20} MB"
+        else:
+            text = f"{size >> 10} KB"
+        return f"{text}, {self.associativity}-way, {self.line_bytes} B lines"
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The modelled CPU/GPU platform."""
+
+    cpu: str = "Skylake-class Xeon (modelled), AVX2, 1 socket, 8 threads"
+    frequency_ghz: float = 3.5
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1D", 32 * 1024, 8)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L2", 256 * 1024, 8)
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig("LLC", 8 * 1024 * 1024, 16)
+    )
+    dram_bandwidth_gbs: float = 31.79
+    dram_banks: int = 16
+    dram_row_bytes: int = 8 * 1024
+    gpu: str = "Pascal-class (modelled Titan Xp), 12 GB GDDR5X"
+    gpu_sm_threads: int = 2048
+    gpu_shared_bytes: int = 48 * 1024
+
+    def rows(self) -> list[tuple[str, str]]:
+        """Table I rows: (component, configuration)."""
+        return [
+            ("CPU", f"{self.cpu} @ {self.frequency_ghz} GHz"),
+            ("L1D cache", self.l1d.describe()),
+            ("L2 cache", self.l2.describe()),
+            ("LLC", self.llc.describe()),
+            (
+                "Memory",
+                f"{self.dram_bandwidth_gbs} GB/s peak, {self.dram_banks} banks, "
+                f"{self.dram_row_bytes // 1024} KB rows",
+            ),
+            ("GPU", self.gpu),
+        ]
+
+
+#: The configuration every simulator defaults to.
+DEFAULT_MACHINE = MachineConfig()

@@ -1,0 +1,147 @@
+"""SIMT warp-execution model (paper Tables IV and V).
+
+GPUs issue instructions per 32-thread warp; efficiency metrics fall out
+of how many threads are active, how many are merely predicated off, and
+how well each warp's memory addresses coalesce into 32-byte
+transactions.  :class:`WarpProfile` accumulates those statistics while
+a kernel model replays its real control flow and address streams (the
+per-kernel replay drivers live in :mod:`repro.perf.gpu`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Threads per warp on the modelled GPU.
+WARP_SIZE = 32
+
+#: Global-memory transaction granularity in bytes.
+TRANSACTION_BYTES = 32
+
+
+def coalesce_transactions(
+    addresses: np.ndarray, access_bytes: int, transaction_bytes: int = TRANSACTION_BYTES
+) -> int:
+    """Memory transactions one warp access generates.
+
+    Each active thread touches ``access_bytes`` at its address; the
+    memory system fetches the distinct ``transaction_bytes`` segments
+    covering them.
+    """
+    if access_bytes < 1:
+        raise ValueError("access size must be positive")
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.size == 0:
+        return 0
+    first = addresses // transaction_bytes
+    last = (addresses + access_bytes - 1) // transaction_bytes
+    segments = set()
+    for f, l in zip(first, last):
+        segments.update(range(int(f), int(l) + 1))
+    return len(segments)
+
+
+@dataclass
+class WarpProfile:
+    """Accumulated SIMT execution statistics for one kernel."""
+
+    issued: int = 0
+    active_thread_slots: int = 0
+    non_predicated_slots: int = 0
+    branches: int = 0
+    divergent_branches: int = 0
+    load_transactions: int = 0
+    load_useful_bytes: int = 0
+    store_transactions: int = 0
+    store_useful_bytes: int = 0
+    #: supplied by the kernel model (launch geometry vs. SM resources)
+    occupancy: float = 0.0
+    sm_utilization: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    # -- recording ---------------------------------------------------------
+
+    def issue(
+        self,
+        active: int,
+        predicated_off: int = 0,
+        is_branch: bool = False,
+        divergent: bool = False,
+        count: int = 1,
+    ) -> None:
+        """Record ``count`` identical warp instructions.
+
+        ``active`` counts threads participating at all (the rest exited
+        or were masked by divergence); of those, ``predicated_off``
+        execute but produce no result (guard predication).
+        """
+        if not 0 <= active <= WARP_SIZE:
+            raise ValueError(f"active threads must be 0..{WARP_SIZE}")
+        if predicated_off > active:
+            raise ValueError("predicated-off threads cannot exceed active ones")
+        if count < 1:
+            raise ValueError("count must be positive")
+        self.issued += count
+        self.active_thread_slots += active * count
+        self.non_predicated_slots += (active - predicated_off) * count
+        if is_branch:
+            self.branches += count
+            if divergent:
+                self.divergent_branches += count
+
+    def memory(
+        self,
+        addresses: np.ndarray,
+        access_bytes: int,
+        is_store: bool,
+        count: int = 1,
+    ) -> None:
+        """Record ``count`` warp global-memory accesses with this pattern."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        addresses = np.asarray(addresses, dtype=np.int64)
+        tx = coalesce_transactions(addresses, access_bytes) * count
+        useful = int(addresses.size) * access_bytes * count
+        if is_store:
+            self.store_transactions += tx
+            self.store_useful_bytes += useful
+        else:
+            self.load_transactions += tx
+            self.load_useful_bytes += useful
+
+    # -- metrics (Table IV / V definitions) -----------------------------
+
+    @property
+    def branch_efficiency(self) -> float:
+        """Fraction of branches with no divergence."""
+        if self.branches == 0:
+            return 1.0
+        return 1.0 - self.divergent_branches / self.branches
+
+    @property
+    def warp_efficiency(self) -> float:
+        """Average fraction of active threads per issued warp instruction."""
+        if self.issued == 0:
+            return 0.0
+        return self.active_thread_slots / (self.issued * WARP_SIZE)
+
+    @property
+    def non_predicated_efficiency(self) -> float:
+        """Warp efficiency counting only non-predicated threads."""
+        if self.issued == 0:
+            return 0.0
+        return self.non_predicated_slots / (self.issued * WARP_SIZE)
+
+    @property
+    def load_efficiency(self) -> float:
+        """Useful fraction of global-load bandwidth."""
+        fetched = self.load_transactions * TRANSACTION_BYTES
+        return self.load_useful_bytes / fetched if fetched else 1.0
+
+    @property
+    def store_efficiency(self) -> float:
+        """Useful fraction of global-store bandwidth."""
+        written = self.store_transactions * TRANSACTION_BYTES
+        return self.store_useful_bytes / written if written else 1.0

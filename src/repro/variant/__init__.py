@@ -1,0 +1,28 @@
+"""Neural-network variant calling (the ``nn-variant`` kernel).
+
+Reproduces Clair's long-read variant caller: per candidate reference
+position, a ``33 x 8 x 4`` tensor summarizing the pileup of the 16
+flanking bases on each side (4 bases x 2 strands, under 4 encodings:
+raw counts and insertion / deletion / alternative-allele support) feeds
+stacked bidirectional LSTMs with task-specific heads predicting
+zygosity, genotype and indel length.  A rule-based threshold caller is
+included as the classical baseline for the examples and tests.
+"""
+
+from repro.variant.tensors import FLANK, TENSOR_SHAPE, position_tensor
+from repro.variant.clair import ClairLikeModel, VariantPrediction
+from repro.variant.simple_caller import SimpleCall, call_variants_simple
+from repro.variant.vcf import VcfRecord, parse_vcf, write_vcf
+
+__all__ = [
+    "VcfRecord",
+    "parse_vcf",
+    "write_vcf",
+    "ClairLikeModel",
+    "FLANK",
+    "SimpleCall",
+    "TENSOR_SHAPE",
+    "VariantPrediction",
+    "call_variants_simple",
+    "position_tensor",
+]

@@ -1,0 +1,86 @@
+"""Benchmark adapter for the ``nn-variant`` kernel.
+
+Workload: consecutive reference positions of a pileup region (the paper
+variant-calls the first 10K/500K positions of its region), each encoded
+as a ``33 x 8 x 4`` tensor and pushed through the Clair-like network.
+Compute is regular; one task = one position, work = FP operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.benchmark import Benchmark
+from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
+from repro.core.instrument import Instrumentation
+from repro.io.regions import GenomicRegion
+from repro.io.sam import simulate_alignments
+from repro.pileup.counts import count_region
+from repro.sequence.simulate import LongReadSimulator, mutate_genome, random_genome
+from repro.variant.clair import ClairLikeModel, VariantPrediction
+from repro.variant.tensors import FLANK, position_tensor
+
+
+@dataclass
+class NnVariantWorkload:
+    """Prepared inputs: per-position tensors plus the model."""
+
+    tensors: list[np.ndarray]
+    model: ClairLikeModel
+
+
+class NnVariantBenchmark(Benchmark):
+    """Drives the Clair-like network over candidate positions."""
+
+    name = "nn-variant"
+
+    CONTIG = "chr20"
+
+    def prepare(self, size: DatasetSize) -> NnVariantWorkload:
+        params = dataset_params(self.name, size)
+        seed = dataset_seed(self.name, size)
+        n_positions = params["n_positions"]
+        genome_len = n_positions + 4 * FLANK + 2_000
+        genome = random_genome(genome_len, seed=seed)
+        sample, _ = mutate_genome(genome, seed=seed + 1, snp_rate=2e-3)
+        sim = LongReadSimulator(mean_len=3_000, error_rate=0.08)
+        records = simulate_alignments(
+            sample, self.CONTIG, params["coverage"], seed=seed + 2, simulator=sim
+        )
+        region = GenomicRegion(self.CONTIG, 0, genome_len)
+        pile = count_region(records, region)
+        tensors = [
+            position_tensor(pile, genome, pos)
+            for pos in range(FLANK, FLANK + n_positions)
+        ]
+        return NnVariantWorkload(tensors=tensors, model=ClairLikeModel())
+
+    def execute(
+        self, workload: NnVariantWorkload, instr: Instrumentation | None = None
+    ) -> tuple[list[VariantPrediction], list[int]]:
+        model = workload.model
+        ops = model.op_count()
+        outputs = []
+        task_work = []
+        for tensor in workload.tensors:
+            outputs.append(model.forward(tensor))
+            task_work.append(ops)
+            if instr is not None:
+                instr.counts.add("fp", ops)
+                instr.counts.add("vector", ops // 8)
+                instr.counts.add("load", ops // 16)
+                instr.counts.add("store", ops // 64)
+                if instr.trace is not None:
+                    self._trace(instr)
+        return outputs, task_work
+
+    def _trace(self, instr: Instrumentation) -> None:
+        trace = instr.trace
+        assert trace is not None
+        if "nnvar.weights" not in trace.regions:
+            trace.alloc("nnvar.weights", 1 << 19)
+        w = trace.region("nnvar.weights")
+        # the RNN weights are re-streamed once per timestep of the window
+        trace.read_stream(w, 0, w.size, access_size=64)

@@ -1,0 +1,97 @@
+"""The Clair-like recurrent variant-calling network.
+
+Two stacked bidirectional LSTMs read the 33-position window (input
+features: the flattened ``8 x 4`` per-position planes), followed by a
+shared dense layer and three task heads: zygosity (hom-ref / het /
+hom-alt), genotype (the 10 unordered base pairs) and indel length
+(-4 .. +4).  Weights are deterministic per seed; the original runs a
+trained checkpoint (see DESIGN.md on this substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.lstm import BiLSTM
+from repro.variant.tensors import TENSOR_SHAPE, normalize_tensor
+
+#: Unordered genotype pairs for the genotype head.
+GENOTYPES = ("AA", "AC", "AG", "AT", "CC", "CG", "CT", "GG", "GT", "TT")
+
+#: Zygosity classes.
+ZYGOSITIES = ("hom-ref", "het", "hom-alt")
+
+#: Indel length classes: -4 .. +4.
+INDEL_LENGTHS = tuple(range(-4, 5))
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    z = x - x.max()
+    e = np.exp(z)
+    return e / e.sum()
+
+
+@dataclass
+class VariantPrediction:
+    """Head outputs for one candidate position."""
+
+    zygosity: np.ndarray  # (3,)
+    genotype: np.ndarray  # (10,)
+    indel_length: np.ndarray  # (9,)
+
+    @property
+    def zygosity_call(self) -> str:
+        return ZYGOSITIES[int(np.argmax(self.zygosity))]
+
+    @property
+    def genotype_call(self) -> str:
+        return GENOTYPES[int(np.argmax(self.genotype))]
+
+    @property
+    def indel_call(self) -> int:
+        return INDEL_LENGTHS[int(np.argmax(self.indel_length))]
+
+
+class ClairLikeModel:
+    """Bi-LSTM variant caller over pileup window tensors."""
+
+    def __init__(self, hidden: int = 48, seed: int = 20200408) -> None:
+        rng = np.random.default_rng(seed)
+        features = TENSOR_SHAPE[1] * TENSOR_SHAPE[2]  # 32
+        self.rnn1 = BiLSTM(features, hidden, rng=rng)
+        self.rnn2 = BiLSTM(2 * hidden, hidden, rng=rng)
+        self.shared = Dense(2 * hidden, 64, rng=rng)
+        self.relu = ReLU()
+        self.head_zygosity = Dense(64, len(ZYGOSITIES), rng=rng)
+        self.head_genotype = Dense(64, len(GENOTYPES), rng=rng)
+        self.head_indel = Dense(64, len(INDEL_LENGTHS), rng=rng)
+        self.hidden = hidden
+
+    def forward(self, tensor: np.ndarray) -> VariantPrediction:
+        """Predict for one ``33 x 8 x 4`` position tensor."""
+        if tensor.shape != TENSOR_SHAPE:
+            raise ValueError(f"expected tensor of shape {TENSOR_SHAPE}, got {tensor.shape}")
+        x = normalize_tensor(tensor).reshape(TENSOR_SHAPE[0], -1).astype(np.float32)
+        h = self.rnn2.forward(self.rnn1.forward(x))
+        centre = h[TENSOR_SHAPE[0] // 2]  # the candidate position's state
+        shared = self.relu.forward(self.shared.forward(centre))
+        return VariantPrediction(
+            zygosity=_softmax(self.head_zygosity.forward(shared)),
+            genotype=_softmax(self.head_genotype.forward(shared)),
+            indel_length=_softmax(self.head_indel.forward(shared)),
+        )
+
+    def op_count(self) -> int:
+        """Floating-point work per position tensor."""
+        probe = np.zeros(
+            (TENSOR_SHAPE[0], TENSOR_SHAPE[1] * TENSOR_SHAPE[2]), dtype=np.float32
+        )
+        ops = self.rnn1.op_count(probe)
+        probe2 = np.zeros((TENSOR_SHAPE[0], 2 * self.hidden), dtype=np.float32)
+        ops += self.rnn2.op_count(probe2)
+        ops += 2 * 2 * self.hidden * 64 + 64
+        ops += 2 * 64 * (len(ZYGOSITIES) + len(GENOTYPES) + len(INDEL_LENGTHS))
+        return ops

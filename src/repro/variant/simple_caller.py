@@ -1,0 +1,65 @@
+"""Rule-based pileup variant caller.
+
+The classical baseline the neural callers replaced: call a substitution
+where a non-reference base reaches an allele-fraction threshold at
+adequate depth, splitting homozygous from heterozygous by fraction.
+Used by the examples to demonstrate end-to-end variant discovery with
+verifiable output, and by tests as ground truth for tensor plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pileup.counts import PileupCounts
+from repro.sequence.alphabet import encode
+
+
+@dataclass(frozen=True)
+class SimpleCall:
+    """One called substitution."""
+
+    position: int  # absolute reference coordinate
+    ref: str
+    alt: str
+    depth: int
+    allele_fraction: float
+    zygosity: str  # "het" or "hom-alt"
+
+
+def call_variants_simple(
+    pile: PileupCounts,
+    reference: str,
+    min_depth: int = 8,
+    min_fraction: float = 0.2,
+    hom_fraction: float = 0.75,
+) -> list[SimpleCall]:
+    """Call substitutions from a region's pileup counts."""
+    region = pile.region
+    ref_codes = encode(reference[region.start : region.end])
+    totals = pile.bases.sum(axis=2)  # (L, 4)
+    depth = totals.sum(axis=1)
+    calls = []
+    for rel in range(len(region)):
+        d = int(depth[rel])
+        if d < min_depth:
+            continue
+        ref_code = int(ref_codes[rel])
+        counts = totals[rel]
+        alt_code = int(np.argmax(np.where(np.arange(4) == ref_code, -1, counts)))
+        af = counts[alt_code] / d
+        if af < min_fraction:
+            continue
+        calls.append(
+            SimpleCall(
+                position=region.start + rel,
+                ref="ACGT"[ref_code],
+                alt="ACGT"[alt_code],
+                depth=d,
+                allele_fraction=float(af),
+                zygosity="hom-alt" if af >= hom_fraction else "het",
+            )
+        )
+    return calls

@@ -1,0 +1,68 @@
+"""Clair input tensor generation from pileup counts.
+
+For a candidate position, Clair summarizes the pileup of the 33-base
+window centred there (16 flanking bases each side) as a ``33 x 8 x 4``
+tensor: 8 channels are the four bases split by strand, and the 4 planes
+encode (a) raw pileup counts, (b) insertion support, (c) deletion
+support and (d) support for non-reference alleles, the latter three
+relative to plane (a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pileup.counts import PileupCounts
+from repro.sequence.alphabet import encode
+
+#: Flanking bases on each side of the candidate position.
+FLANK = 16
+
+#: The Clair input tensor shape: (window, base x strand, encoding).
+TENSOR_SHAPE = (2 * FLANK + 1, 8, 4)
+
+
+def position_tensor(
+    pile: PileupCounts,
+    reference: str,
+    position: int,
+) -> np.ndarray:
+    """Build the ``33 x 8 x 4`` tensor for reference ``position``.
+
+    ``reference`` is the full contig sequence (used for plane (d)'s
+    non-reference support); ``position`` is an absolute reference
+    coordinate that must lie within ``pile.region`` with full flanks.
+    """
+    region = pile.region
+    lo = position - FLANK
+    hi = position + FLANK + 1
+    if lo < region.start or hi > region.end:
+        raise ValueError(
+            f"position {position} lacks {FLANK}-base flanks inside {region}"
+        )
+    window = slice(lo - region.start, hi - region.start)
+    bases = pile.bases[window].astype(np.float32)  # (33, 4, 2)
+    ins = pile.insertions[window].astype(np.float32)  # (33, 2)
+    dels = pile.deletions[window].astype(np.float32)  # (33, 2)
+    ref_codes = encode(reference[lo:hi])
+    out = np.zeros(TENSOR_SHAPE, dtype=np.float32)
+    # channels: base b on forward strand -> 2b, reverse strand -> 2b + 1
+    for strand in (0, 1):
+        out[:, strand::2, 0] = bases[:, :, strand]
+        # insertion/deletion support is not base-resolved: spread over
+        # the channel block of the reference base, as Clair does
+        ref_onehot = np.zeros((2 * FLANK + 1, 4), dtype=np.float32)
+        ref_onehot[np.arange(2 * FLANK + 1), ref_codes] = 1.0
+        out[:, strand::2, 1] = ref_onehot * ins[:, strand : strand + 1]
+        out[:, strand::2, 2] = ref_onehot * dels[:, strand : strand + 1]
+        alt = bases[:, :, strand].copy()
+        alt[np.arange(2 * FLANK + 1), ref_codes] = 0.0  # zero the ref base
+        out[:, strand::2, 3] = alt
+    return out
+
+
+def normalize_tensor(tensor: np.ndarray) -> np.ndarray:
+    """Depth-normalize a position tensor (Clair scales by coverage)."""
+    depth = tensor[:, :, 0].sum(axis=1, keepdims=True)
+    scale = np.maximum(depth, 1.0)
+    return tensor / scale[:, :, None]

@@ -1,0 +1,96 @@
+"""VCF output for variant calls.
+
+Variant callers ship their results as VCF; this writer covers the
+subset the suite produces: single-sample substitution records with
+depth, allele fraction and genotype, plus round-trip parsing for tests
+and downstream tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.variant.simple_caller import SimpleCall
+
+#: Columns of a VCF body line.
+VCF_COLUMNS = ("CHROM", "POS", "ID", "REF", "ALT", "QUAL", "FILTER", "INFO", "FORMAT")
+
+
+@dataclass(frozen=True)
+class VcfRecord:
+    """One parsed VCF data line (single sample)."""
+
+    chrom: str
+    pos: int  # 0-based in memory; VCF text is 1-based
+    ref: str
+    alt: str
+    qual: float
+    genotype: str
+    depth: int
+    allele_fraction: float
+
+
+def write_vcf(
+    calls: list[SimpleCall],
+    contig: str,
+    contig_length: int,
+    sample: str = "SAMPLE",
+    source: str = "repro-genomicsbench",
+) -> str:
+    """Render calls as single-sample VCF text (v4.2)."""
+    lines = [
+        "##fileformat=VCFv4.2",
+        f"##source={source}",
+        f"##contig=<ID={contig},length={contig_length}>",
+        '##INFO=<ID=DP,Number=1,Type=Integer,Description="Read depth">',
+        '##INFO=<ID=AF,Number=1,Type=Float,Description="Allele fraction">',
+        '##FORMAT=<ID=GT,Number=1,Type=String,Description="Genotype">',
+        "#" + "\t".join(VCF_COLUMNS) + "\t" + sample,
+    ]
+    for call in sorted(calls, key=lambda c: c.position):
+        genotype = "1/1" if call.zygosity == "hom-alt" else "0/1"
+        qual = min(99.0, 10.0 * call.depth * call.allele_fraction / 4.0)
+        lines.append(
+            "\t".join(
+                (
+                    contig,
+                    str(call.position + 1),
+                    ".",
+                    call.ref,
+                    call.alt,
+                    f"{qual:.1f}",
+                    "PASS",
+                    f"DP={call.depth};AF={call.allele_fraction:.3f}",
+                    "GT",
+                    genotype,
+                )
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_vcf(text: str) -> list[VcfRecord]:
+    """Parse the single-sample VCF subset :func:`write_vcf` produces."""
+    records = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        if len(fields) < 10:
+            raise ValueError(f"VCF line has {len(fields)} fields, expected >= 10")
+        info = dict(
+            item.split("=", 1) for item in fields[7].split(";") if "=" in item
+        )
+        records.append(
+            VcfRecord(
+                chrom=fields[0],
+                pos=int(fields[1]) - 1,
+                ref=fields[3],
+                alt=fields[4],
+                qual=float(fields[5]),
+                genotype=fields[9],
+                depth=int(info.get("DP", 0)),
+                allele_fraction=float(info.get("AF", 0.0)),
+            )
+        )
+    return records

@@ -1,0 +1,91 @@
+"""Tests for adaptive banded event alignment."""
+
+import numpy as np
+import pytest
+
+from repro.abea.align import adaptive_banded_align
+from repro.core.instrument import Instrumentation
+from repro.signal.events import detect_events
+from repro.signal.pore_model import PoreModel
+from repro.signal.synth import synthesize_signal
+from repro.sequence.simulate import random_genome
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = PoreModel()
+    ref = random_genome(300, seed=42)
+    sig = synthesize_signal(ref, model, seed=1, samples_per_kmer=9.0)
+    events = detect_events(sig.samples)
+    return model, ref, events
+
+
+class TestAlignment:
+    def test_path_monotone_and_complete(self, setup):
+        model, ref, events = setup
+        res = adaptive_banded_align(events, ref, model)
+        assert res.path
+        ev = [p[0] for p in res.path]
+        km = [p[1] for p in res.path]
+        assert ev == sorted(ev)
+        assert km == sorted(km)
+        # the alignment reaches the end of both sequences
+        assert ev[-1] >= len(events) - 3
+        assert km[-1] >= len(ref) - model.k + 1 - 3
+
+    def test_path_roughly_linear(self, setup):
+        model, ref, events = setup
+        res = adaptive_banded_align(events, ref, model)
+        ev = np.array([p[0] for p in res.path], dtype=float)
+        km = np.array([p[1] for p in res.path], dtype=float)
+        assert np.corrcoef(ev, km)[0, 1] > 0.99
+
+    def test_true_reference_beats_wrong(self, setup):
+        model, ref, events = setup
+        wrong = random_genome(300, seed=99)
+        good = adaptive_banded_align(events, ref, model)
+        bad = adaptive_banded_align(events, wrong, model)
+        assert good.score > bad.score + 50
+
+    def test_cells_bounded_by_band(self, setup):
+        model, ref, events = setup
+        res = adaptive_banded_align(events, ref, model, bandwidth=50)
+        n_kmers = len(ref) - model.k + 1
+        assert res.cells <= res.bands * 50
+        assert res.cells < len(events) * n_kmers  # far below the full matrix
+
+    def test_wider_band_computes_more(self, setup):
+        model, ref, events = setup
+        narrow = adaptive_banded_align(events, ref, model, bandwidth=24)
+        wide = adaptive_banded_align(events, ref, model, bandwidth=100)
+        assert wide.cells > narrow.cells
+
+    def test_band_log_geometry(self, setup):
+        model, ref, events = setup
+        log = []
+        res = adaptive_banded_align(events, ref, model, bandwidth=50, band_log=log)
+        assert sum(int(v.sum()) for v, _ in log) == res.cells
+        for valid, kmer_vals in log:
+            assert valid.shape == (50,)
+            assert kmer_vals.shape == (50,)
+
+    def test_validation(self, setup):
+        model, ref, events = setup
+        with pytest.raises(ValueError):
+            adaptive_banded_align(events, ref, model, bandwidth=7)  # odd
+        with pytest.raises(ValueError):
+            adaptive_banded_align([], ref, model)
+
+    def test_instrumentation_fp_heavy(self, setup):
+        model, ref, events = setup
+        instr = Instrumentation.with_trace()
+        adaptive_banded_align(events, ref, model, instr=instr)
+        fr = instr.counts.fractions()
+        assert fr["fp"] > 0.4
+        assert len(instr.trace) > 0
+
+    def test_deterministic(self, setup):
+        model, ref, events = setup
+        a = adaptive_banded_align(events, ref, model)
+        b = adaptive_banded_align(events, ref, model)
+        assert a.score == b.score and a.path == b.path

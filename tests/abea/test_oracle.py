@@ -1,0 +1,74 @@
+"""ABEA vs. an unbanded full-matrix oracle.
+
+On small inputs a full O(events x kmers) event-alignment DP is feasible;
+with a band wide enough to cover the whole matrix, the adaptive banded
+kernel must reproduce the oracle's score exactly, and with realistic
+bands it must stay close (the band only prunes provably poor regions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.abea.align import LP_SKIP, LP_STAY, LP_STEP, adaptive_banded_align
+from repro.signal.events import detect_events
+from repro.signal.pore_model import PoreModel
+from repro.signal.synth import synthesize_signal
+from repro.sequence.simulate import random_genome
+
+
+def full_matrix_align(events, reference, model):
+    """Unbanded event-alignment DP in float32 (the oracle)."""
+    kmers = model.sequence_kmers(reference)
+    n_ev, n_km = len(events), kmers.size
+    means = np.array([e.mean for e in events])
+    NEG = np.float32(-1e30)
+    score = np.full((n_ev + 1, n_km + 1), NEG, dtype=np.float32)
+    score[0, 0] = 0.0
+    emit = model.log_emission(means[:, None], kmers[None, :]).astype(np.float32)
+    for i in range(0, n_ev + 1):
+        for j in range(0, n_km + 1):
+            if i == 0 and j == 0:
+                continue
+            cands = []
+            if i >= 1 and j >= 1:
+                cands.append(score[i - 1, j - 1] + np.float32(LP_STEP) + emit[i - 1, j - 1])
+                cands.append(score[i - 1, j] + np.float32(LP_STAY) + emit[i - 1, j - 1])
+            if j >= 1 and i >= 1:
+                cands.append(score[i, j - 1] + np.float32(LP_SKIP))
+            if cands:
+                score[i, j] = max(cands)
+    return float(score[n_ev, n_km])
+
+
+@pytest.fixture(scope="module")
+def small_case():
+    model = PoreModel()
+    ref = random_genome(60, seed=31)
+    sig = synthesize_signal(ref, model, seed=32, samples_per_kmer=8.0)
+    events = detect_events(sig.samples)
+    return model, ref, events
+
+
+class TestOracle:
+    def test_wide_band_matches_oracle(self, small_case):
+        model, ref, events = small_case
+        oracle = full_matrix_align(events, ref, model)
+        n_cells = max(len(events), len(ref) - model.k + 1)
+        wide = 2 * ((n_cells + 2) // 2 + 1)  # covers the whole matrix
+        banded = adaptive_banded_align(events, ref, model, bandwidth=wide)
+        assert banded.score == pytest.approx(oracle, rel=1e-5)
+
+    def test_narrow_band_close_to_oracle(self, small_case):
+        model, ref, events = small_case
+        oracle = full_matrix_align(events, ref, model)
+        banded = adaptive_banded_align(events, ref, model, bandwidth=16)
+        # banding can only prune; scores must not exceed the oracle and
+        # should stay close on well-behaved synthetic signal
+        assert banded.score <= oracle + 1e-3
+        assert banded.score > oracle - 0.15 * abs(oracle) - 5.0
+
+    def test_band_cells_far_below_full(self, small_case):
+        model, ref, events = small_case
+        banded = adaptive_banded_align(events, ref, model, bandwidth=16)
+        full_cells = len(events) * (len(ref) - model.k + 1)
+        assert banded.cells < 0.6 * full_cells

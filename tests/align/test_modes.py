@@ -1,0 +1,84 @@
+"""Tests for global and glocal alignment modes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.modes import glocal, nw_global
+from repro.align.scoring import ScoringScheme
+from repro.sequence.simulate import random_genome
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+SCHEME = ScoringScheme(match=2, mismatch=3, gap_open=4, gap_extend=1)
+
+
+class TestGlobal:
+    def test_identical(self):
+        r = nw_global("ACGTACGT", "ACGTACGT", SCHEME)
+        assert r.score == 16
+        assert r.cigar_ops == (("M", 8),)
+
+    def test_single_gap(self):
+        r = nw_global("ACGTCGT", "ACGTACGT", SCHEME)
+        assert r.score == 2 * 7 - (4 + 1)
+        assert sum(n for op, n in r.cigar_ops if op == "D") == 1
+
+    def test_all_mismatch_still_global(self):
+        r = nw_global("AAAA", "TTTT", SCHEME)
+        assert r.cigar_ops == (("M", 4),)
+        assert r.score == -12
+
+    def test_length_difference_forces_gaps(self):
+        r = nw_global("AC", "ACGGGG", SCHEME)
+        assert r.query_span == 2
+        assert r.target_span == 6
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna, dna)
+    def test_spans_cover_both_sequences(self, q, t):
+        r = nw_global(q, t, SCHEME)
+        assert r.query_span == len(q)
+        assert r.target_span == len(t)
+        assert r.target_start == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(dna)
+    def test_self_alignment_is_all_match(self, seq):
+        r = nw_global(seq, seq, SCHEME)
+        assert r.cigar_ops == (("M", len(seq)),)
+        assert r.score == 2 * len(seq)
+
+
+class TestGlocal:
+    def test_query_fits_inside_target(self):
+        target = random_genome(200, seed=1)
+        query = target[60:100]
+        r = glocal(query, target, SCHEME)
+        assert r.score == 2 * 40
+        assert r.target_start == 60
+        assert r.cigar_ops == (("M", 40),)
+
+    def test_whole_query_always_consumed(self):
+        target = random_genome(100, seed=2)
+        query = target[20:50] + "A" * 4  # trailing junk must still align
+        r = glocal(query, target, SCHEME)
+        assert r.query_span == len(query)
+
+    def test_beats_global_when_query_is_substring(self):
+        target = random_genome(120, seed=3)
+        query = target[40:80]
+        assert glocal(query, target, SCHEME).score > nw_global(query, target, SCHEME).score
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna, dna)
+    def test_glocal_at_least_global(self, q, t):
+        """Free target ends can only help."""
+        assert glocal(q, t, SCHEME).score >= nw_global(q, t, SCHEME).score
+
+    @settings(max_examples=20, deadline=None)
+    @given(dna, dna)
+    def test_target_window_consistent(self, q, t):
+        r = glocal(q, t, SCHEME)
+        assert 0 <= r.target_start <= len(t)
+        assert r.target_start + r.target_span <= len(t)
+        assert r.query_span == len(q)

@@ -1,0 +1,135 @@
+"""Tests for scalar and wavefront Smith-Waterman."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.pairwise import sw_scalar, sw_wavefront, traceback_alignment
+from repro.align.scoring import ScoringScheme
+from repro.sequence.simulate import random_genome
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=60)
+
+
+class TestScoring:
+    def test_defaults_are_bwa(self):
+        s = ScoringScheme()
+        assert (s.match, s.mismatch, s.gap_open, s.gap_extend) == (1, 4, 6, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(match=0)
+        with pytest.raises(ValueError):
+            ScoringScheme(gap_extend=0)
+
+    def test_matrix(self):
+        m = ScoringScheme(match=2, mismatch=3).matrix()
+        assert m[0, 0] == 2 and m[0, 1] == -3
+
+    def test_gap_cost(self):
+        s = ScoringScheme()
+        assert s.gap_cost(0) == 0
+        assert s.gap_cost(3) == 6 + 3
+
+
+class TestScalar:
+    def test_identical_sequences(self):
+        r = sw_scalar("ACGTACGT", "ACGTACGT", ScoringScheme(match=2))
+        assert r.score == 16
+        assert (r.query_end, r.target_end) == (8, 8)
+
+    def test_no_similarity(self):
+        r = sw_scalar("AAAA", "TTTT")
+        assert r.score == 0
+
+    def test_local_substring(self):
+        # with heavy mismatch/gap penalties the best local alignment is
+        # the longest common substring, here "ACGTA" (length 5)
+        scheme = ScoringScheme(match=2, mismatch=10, gap_open=10, gap_extend=5)
+        r = sw_scalar("GGGGGACGTA", "TTACGTATT", scheme)
+        assert r.score == 2 * 5
+
+    def test_gap_alignment(self):
+        # query = target with 2-base deletion; affine gap beats restart
+        t = "ACGTACGTACGTACGT"
+        q = t[:6] + t[8:]
+        scheme = ScoringScheme(match=2, mismatch=4, gap_open=3, gap_extend=1)
+        r = sw_scalar(q, t, scheme)
+        assert r.score == 2 * len(q) - (3 + 2 * 1)
+
+    def test_band_limits_cells(self):
+        a = random_genome(60, seed=1)
+        b = random_genome(60, seed=2)
+        full = sw_scalar(a, b)
+        banded = sw_scalar(a, b, band=5)
+        assert banded.cells < full.cells
+        assert full.cells == 3600
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            sw_scalar("ACGT", "ACGT", band=0)
+
+    def test_zdrop_terminates_early(self):
+        # seed-extension shape: a strong shared prefix, then divergence --
+        # the score peaks and the remaining rows can never catch up
+        common = random_genome(40, seed=3)
+        q = common + random_genome(80, seed=4)
+        t = common + random_genome(80, seed=5)
+        full = sw_scalar(q, t)
+        dropped = sw_scalar(q, t, zdrop=10)
+        assert dropped.zdropped
+        assert dropped.cells < full.cells
+        assert dropped.score == full.score  # the peak was reached before the drop
+
+
+class TestWavefrontEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(dna, dna, st.sampled_from([None, 3, 8, 20]))
+    def test_matches_scalar(self, q, t, band):
+        r1 = sw_scalar(q, t, band=band)
+        r2 = sw_wavefront(q, t, band=band)
+        assert r1.score == r2.score
+        assert r1.cells == r2.cells
+
+    @settings(max_examples=20, deadline=None)
+    @given(dna, dna)
+    def test_custom_scheme(self, q, t):
+        scheme = ScoringScheme(match=3, mismatch=2, gap_open=4, gap_extend=2)
+        assert sw_scalar(q, t, scheme).score == sw_wavefront(q, t, scheme).score
+
+    def test_zdrop_reduces_cells(self):
+        common = random_genome(40, seed=5)
+        q = common + random_genome(100, seed=6)
+        t = common + random_genome(100, seed=7)
+        full = sw_wavefront(q, t)
+        dropped = sw_wavefront(q, t, zdrop=10)
+        assert dropped.zdropped
+        assert dropped.cells < full.cells
+
+
+class TestTraceback:
+    def test_exact_match(self):
+        r, ops, qs, ts = traceback_alignment("ACGT", "ACGT")
+        assert ops == [("M", 4)]
+        assert (qs, ts) == (0, 0)
+
+    def test_local_start_positions(self):
+        r, ops, qs, ts = traceback_alignment("TTTTACGT", "GGACGTGG")
+        assert (qs, ts) == (4, 2)
+        assert ops == [("M", 4)]
+
+    def test_alignment_spans_consistent(self):
+        q = random_genome(50, seed=7)
+        t = q[:20] + "AA" + q[22:]  # two substitutions
+        r, ops, qs, ts = traceback_alignment(q, t)
+        q_span = sum(n for op, n in ops if op in ("M", "I"))
+        t_span = sum(n for op, n in ops if op in ("M", "D"))
+        assert qs + q_span == r.query_end
+        assert ts + t_span == r.target_end
+
+    @settings(max_examples=20, deadline=None)
+    @given(dna, dna)
+    def test_traceback_score_matches_scalar(self, q, t):
+        r, _, _, _ = traceback_alignment(q, t)
+        assert r.score == sw_scalar(q, t).score

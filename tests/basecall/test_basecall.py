@@ -1,0 +1,117 @@
+"""Tests for the Bonito-like basecaller."""
+
+import numpy as np
+import pytest
+
+from repro.basecall.basecaller import Basecaller, chunk_signal, normalize_signal
+from repro.basecall.model import BonitoLikeModel
+from repro.core.instrument import Instrumentation
+
+
+class TestNormalization:
+    def test_median_mad(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0, 100.0])
+        norm = normalize_signal(samples)
+        assert abs(np.median(norm)) < 1e-6
+
+    def test_robust_to_outliers(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(90.0, 5.0, 1_000)
+        with_outliers = base.copy()
+        with_outliers[:10] = 1e6
+        a = normalize_signal(base)[500]
+        b = normalize_signal(with_outliers)[500]
+        assert abs(a - b) < 0.5
+
+
+class TestChunking:
+    def test_exact_chunks(self):
+        chunks = chunk_signal(np.arange(100, dtype=np.float32), 40, 10)
+        assert all(len(c) == 40 for c in chunks)
+        # step 30: starts at 0, 30, 60 -> covers everything
+        assert len(chunks) == 3
+
+    def test_overlap_contents(self):
+        x = np.arange(100, dtype=np.float32)
+        chunks = chunk_signal(x, 40, 10)
+        assert np.array_equal(chunks[0][30:], chunks[1][:10])
+
+    def test_last_chunk_padded(self):
+        chunks = chunk_signal(np.arange(50, dtype=np.float32), 40, 10)
+        assert len(chunks[-1]) == 40
+        assert chunks[-1][-1] == 0.0
+
+    def test_empty(self):
+        assert chunk_signal(np.array([]), 40, 10) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_signal(np.arange(10, dtype=np.float32), 10, 5)
+
+
+class TestModel:
+    def test_output_shape_and_normalization(self):
+        model = BonitoLikeModel(channels=16, n_blocks=2)
+        lp = model.forward(np.zeros(300, dtype=np.float32))
+        assert lp.shape[1] == 5
+        assert lp.shape[0] == 100  # stride-3 stem
+        # rows are log-probabilities
+        assert np.allclose(np.exp(lp).sum(axis=1), 1.0, atol=1e-5)
+
+    def test_deterministic_per_seed(self):
+        x = np.random.default_rng(1).standard_normal(300).astype(np.float32)
+        a = BonitoLikeModel(channels=16, n_blocks=1, seed=5).forward(x)
+        b = BonitoLikeModel(channels=16, n_blocks=1, seed=5).forward(x)
+        assert np.array_equal(a, b)
+
+    def test_op_count_scales_with_chunk(self):
+        model = BonitoLikeModel(channels=16, n_blocks=1)
+        assert model.op_count(600) > 1.5 * model.op_count(300)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BonitoLikeModel(channels=4)
+        model = BonitoLikeModel(channels=16, n_blocks=1)
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((2, 10), dtype=np.float32))
+
+
+class TestBasecaller:
+    @pytest.fixture(scope="class")
+    def caller(self):
+        return Basecaller(
+            BonitoLikeModel(channels=16, n_blocks=2), chunk_len=600, overlap=60
+        )
+
+    def test_basecall_produces_sequence(self, caller):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(90.0, 10.0, 2_000).astype(np.float32)
+        result = caller.basecall(samples)
+        assert result.n_chunks == 4
+        assert set(result.sequence) <= set("ACGT")
+        assert result.fp_ops == 4 * caller._ops_per_chunk
+
+    def test_empty_signal(self, caller):
+        result = caller.basecall(np.array([], dtype=np.float32))
+        assert result.sequence == "" and result.n_chunks == 0
+
+    def test_deterministic(self, caller):
+        rng = np.random.default_rng(3)
+        samples = rng.normal(90.0, 10.0, 1_500).astype(np.float32)
+        assert caller.basecall(samples).sequence == caller.basecall(samples).sequence
+
+    def test_stitching_shorter_than_concatenation(self, caller):
+        rng = np.random.default_rng(4)
+        samples = rng.normal(90.0, 10.0, 2_400).astype(np.float32)
+        stitched = caller.basecall(samples).sequence
+        raw_total = sum(
+            len(caller.call_chunk(c))
+            for c in chunk_signal(normalize_signal(samples), 600, 60)
+        )
+        assert len(stitched) <= raw_total
+
+    def test_instrumentation(self, caller):
+        instr = Instrumentation.with_trace()
+        caller.call_chunk(np.zeros(600, dtype=np.float32), instr=instr)
+        assert instr.counts.fp > 0
+        assert len(instr.trace) > 0

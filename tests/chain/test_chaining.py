@@ -1,0 +1,119 @@
+"""Tests for anchor generation and the chaining DP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.anchors import Anchor, anchors_between
+from repro.chain.chaining import Chain, chain_anchors
+from repro.core.instrument import Instrumentation
+from repro.sequence.simulate import random_genome
+
+
+class TestAnchors:
+    def test_identical_reads_anchor_diagonal(self):
+        g = random_genome(1_500, seed=1)
+        anchors = anchors_between(g, g)
+        assert anchors
+        diag = sum(1 for a in anchors if a.x == a.y)
+        assert diag / len(anchors) > 0.9
+
+    def test_overlapping_reads_offset_diagonal(self):
+        g = random_genome(4_000, seed=2)
+        a, b = g[:3_000], g[1_000:4_000]
+        anchors = anchors_between(a, b)
+        offsets = [an.x - an.y for an in anchors]
+        # the true offset is 1000 for anchors inside the overlap
+        assert sum(1 for o in offsets if o == 1_000) > len(offsets) // 2
+
+    def test_unrelated_reads_few_anchors(self):
+        a = random_genome(3_000, seed=3)
+        b = random_genome(3_000, seed=4)
+        assert len(anchors_between(a, b)) < 5
+
+    def test_sorted_by_position(self):
+        g = random_genome(2_000, seed=5)
+        anchors = anchors_between(g[:1_500], g[500:])
+        assert anchors == sorted(anchors)
+
+    def test_repeat_cap(self):
+        unit = random_genome(40, seed=6)
+        rep = unit * 50
+        anchors = anchors_between(rep, rep, max_occurrences=4)
+        # highly repetitive minimizers are dropped, bounding the blowup
+        assert len(anchors) < 50 * 50
+
+
+class TestChaining:
+    def test_empty(self):
+        assert chain_anchors([]) == []
+
+    def test_colinear_anchors_form_one_chain(self):
+        anchors = [Anchor(x=10 * i, y=10 * i, length=15) for i in range(20)]
+        chains = chain_anchors(anchors, min_chain_score=10)
+        assert len(chains) == 1
+        assert len(chains[0]) == 20
+        assert chains[0].score > 15 * 10
+
+    def test_noncolinear_anchor_excluded(self):
+        anchors = sorted(
+            [Anchor(x=10 * i, y=10 * i, length=15) for i in range(10)]
+            + [Anchor(x=55, y=500, length=15)]
+        )
+        chains = chain_anchors(anchors, min_chain_score=10)
+        assert all((a.x - a.y) == 0 for a in chains[0].anchors)
+
+    def test_score_definition_single_pair(self):
+        # two anchors on the same diagonal, 100 apart: alpha = 15, beta = 0
+        anchors = [Anchor(0, 0, 15), Anchor(100, 100, 15)]
+        chains = chain_anchors(anchors, min_chain_score=1)
+        assert chains[0].score == pytest.approx(30.0)
+
+    def test_gap_penalty_applied(self):
+        import math
+
+        anchors = [Anchor(0, 0, 15), Anchor(100, 90, 15)]  # gap = 10
+        chains = chain_anchors(anchors, min_chain_score=1)
+        expected = 15 + 15 - (0.01 * 15 * 10 + 0.5 * math.log2(10))
+        assert chains[0].score == pytest.approx(expected)
+
+    def test_min_score_filters(self):
+        anchors = [Anchor(0, 0, 15)]
+        assert chain_anchors(anchors, min_chain_score=40) == []
+        assert len(chain_anchors(anchors, min_chain_score=10)) == 1
+
+    def test_chains_sorted_by_score(self):
+        # two separate co-linear runs of different lengths
+        run1 = [Anchor(10 * i, 10 * i, 15) for i in range(12)]
+        run2 = [Anchor(5_000 + 10 * i, 20_000 + 10 * i, 15) for i in range(4)]
+        chains = chain_anchors(sorted(run1 + run2), min_chain_score=10)
+        assert len(chains) == 2
+        assert chains[0].score >= chains[1].score
+
+    def test_max_gap_splits_chains(self):
+        run1 = [Anchor(10 * i, 10 * i, 15) for i in range(5)]
+        run2 = [Anchor(50_000 + 10 * i, 50_000 + 10 * i, 15) for i in range(5)]
+        chains = chain_anchors(sorted(run1 + run2), max_gap=5_000, min_chain_score=10)
+        assert len(chains) == 2
+
+    def test_spans(self):
+        anchors = [Anchor(0, 100, 15), Anchor(50, 150, 15)]
+        chains = chain_anchors(anchors, min_chain_score=1)
+        assert chains[0].span_a == (0, 65)
+        assert chains[0].span_b == (100, 165)
+
+    def test_instrumentation(self):
+        anchors = [Anchor(10 * i, 10 * i, 15) for i in range(30)]
+        instr = Instrumentation.with_trace()
+        chain_anchors(anchors, instr=instr)
+        assert instr.counts.scalar_int > 0
+        assert len(instr.trace) > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3000), st.integers(0, 3000)), max_size=40))
+    def test_chains_are_strictly_colinear(self, coords):
+        anchors = sorted({Anchor(x, y, 15) for x, y in coords})
+        for chain in chain_anchors(anchors, min_chain_score=1):
+            for a, b in zip(chain.anchors, chain.anchors[1:]):
+                assert b.x > a.x and b.y > a.y

@@ -1,0 +1,81 @@
+"""Tests for minimizer sketching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.minimizer import kmer_hashes, minimizers
+from repro.sequence.simulate import random_genome
+
+dna = st.text(alphabet="ACGT", min_size=20, max_size=300)
+
+
+class TestHashes:
+    def test_count(self):
+        assert kmer_hashes("ACGTACGT", 5).size == 4
+
+    def test_deterministic(self):
+        a = kmer_hashes("ACGTACGTAC", 5)
+        b = kmer_hashes("ACGTACGTAC", 5)
+        assert np.array_equal(a, b)
+
+    def test_identical_kmers_hash_equal(self):
+        h = kmer_hashes("ACGACG", 3)
+        assert h[0] == h[3]  # both "ACG"
+
+    def test_short_sequence(self):
+        assert kmer_hashes("AC", 5).size == 0
+
+
+class TestMinimizers:
+    def test_positions_strictly_increasing(self):
+        g = random_genome(2_000, seed=1)
+        mins = minimizers(g, k=15, w=10)
+        positions = [m.position for m in mins]
+        assert positions == sorted(set(positions))
+
+    def test_window_coverage(self):
+        """Every window of w consecutive k-mers contains a minimizer."""
+        g = random_genome(1_000, seed=2)
+        k, w = 11, 8
+        mins = minimizers(g, k=k, w=w)
+        picked = {m.position for m in mins}
+        n_kmers = len(g) - k + 1
+        for start in range(n_kmers - w + 1):
+            assert any(p in picked for p in range(start, start + w))
+
+    def test_minimizer_is_window_minimum(self):
+        g = random_genome(500, seed=3)
+        k, w = 9, 6
+        hashes = kmer_hashes(g, k)
+        for m in minimizers(g, k=k, w=w):
+            assert m.value == int(hashes[m.position])
+
+    def test_density_about_2_over_w(self):
+        g = random_genome(20_000, seed=4)
+        w = 10
+        mins = minimizers(g, k=15, w=w)
+        density = len(mins) / (len(g) - 15 + 1)
+        assert 1.0 / w < density < 3.0 / w
+
+    def test_shared_substring_shares_minimizers(self):
+        g = random_genome(3_000, seed=5)
+        a = g[0:2_000]
+        b = g[1_000:3_000]
+        vals_a = {m.value for m in minimizers(a)}
+        vals_b = {m.value for m in minimizers(b)}
+        assert len(vals_a & vals_b) > 20
+
+    def test_tiny_sequence_single_minimizer(self):
+        mins = minimizers("ACGTACGTACG", k=5, w=20)
+        assert len(mins) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimizers("ACGT", k=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(dna)
+    def test_deterministic_property(self, seq):
+        assert minimizers(seq, k=7, w=5) == minimizers(seq, k=7, w=5)

@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fmi" in out and "nn-variant" in out
+        assert out.count("\n") >= 14
+
+    def test_run_single_kernel(self, capsys):
+        assert main(["run", "grm", "--size", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "grm" in out and "total work" in out
+
+    def test_run_rejects_unknown_kernel(self):
+        with pytest.raises(KeyError, match="valid kernels"):
+            main(["run", "nope"])
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "genome_len" in out
+        assert out.count("small") >= 12 and out.count("large") >= 12
+
+    def test_characterize_choices(self):
+        with pytest.raises(SystemExit):
+            main(["characterize", "fig1"])
+
+    def test_characterize_fig4(self, capsys):
+        assert main(["characterize", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "max/mean" in out
+
+    def test_datasets_export(self, capsys, tmp_path):
+        assert main(["datasets", "grm", "--export", str(tmp_path)]) == 0
+        assert (tmp_path / "grm" / "small" / "genotypes.tsv").exists()

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sequence.simulate import random_genome
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for test-local randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def genome_1k() -> str:
+    """A 1 kb deterministic reference genome."""
+    return random_genome(1_000, seed=42)
+
+
+@pytest.fixture
+def genome_10k() -> str:
+    """A 10 kb deterministic reference genome."""
+    return random_genome(10_000, seed=43)

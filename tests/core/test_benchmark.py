@@ -1,0 +1,54 @@
+"""Tests for the benchmark protocol and adapter factory."""
+
+import pytest
+
+from repro.core.benchmark import Benchmark, RunResult, load_benchmark
+from repro.core.datasets import DatasetSize
+from repro.core.registry import kernel_names
+
+
+def test_every_kernel_has_an_adapter():
+    for name in kernel_names():
+        bench = load_benchmark(name)
+        assert isinstance(bench, Benchmark)
+        assert bench.name == name
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(KeyError):
+        load_benchmark("bogus")
+
+
+def test_run_result_properties():
+    result = RunResult(
+        kernel="x",
+        size=DatasetSize.SMALL,
+        output=None,
+        task_work=[1, 2, 3],
+        wall_seconds=0.5,
+    )
+    assert result.n_tasks == 3
+    assert result.total_work == 6
+
+
+def test_run_produces_consistent_result():
+    bench = load_benchmark("grm")  # the fastest kernel
+    result = bench.run(DatasetSize.SMALL)
+    assert result.kernel == "grm"
+    assert result.size is DatasetSize.SMALL
+    assert result.n_tasks > 0
+    assert result.wall_seconds > 0
+    assert all(w > 0 for w in result.task_work)
+
+
+def test_run_accepts_string_size():
+    bench = load_benchmark("grm")
+    result = bench.run("small")
+    assert result.size is DatasetSize.SMALL
+
+
+def test_prepare_is_deterministic():
+    bench = load_benchmark("bsw")
+    w1 = bench.prepare(DatasetSize.SMALL)
+    w2 = bench.prepare(DatasetSize.SMALL)
+    assert w1.pairs == w2.pairs

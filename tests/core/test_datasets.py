@@ -1,0 +1,59 @@
+"""Tests for the dataset size registry."""
+
+import pytest
+
+from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
+from repro.core.registry import kernel_names
+
+
+def test_every_kernel_has_both_sizes():
+    for name in kernel_names():
+        small = dataset_params(name, DatasetSize.SMALL)
+        large = dataset_params(name, DatasetSize.LARGE)
+        assert small and large
+
+
+def test_large_exceeds_small():
+    # the paper's large datasets are ~5-10x the small ones; every kernel
+    # must scale up in at least one driving parameter
+    grows = {
+        "fmi": "n_reads",
+        "bsw": "n_pairs",
+        "dbg": "n_regions",
+        "phmm": "n_regions",
+        "chain": "n_tasks",
+        "poa": "n_windows",
+        "kmer-cnt": "total_bases",
+        "abea": "n_reads",
+        "grm": "n_variants",
+        "nn-base": "n_chunks",
+        "pileup": "genome_len",
+        "nn-variant": "n_positions",
+    }
+    for name, param in grows.items():
+        small = dataset_params(name, DatasetSize.SMALL)
+        large = dataset_params(name, DatasetSize.LARGE)
+        assert large[param] > small[param], name
+
+
+def test_string_size_accepted():
+    assert dataset_params("fmi", "small") == dataset_params("fmi", DatasetSize.SMALL)
+
+
+def test_unknown_kernel():
+    with pytest.raises(KeyError):
+        dataset_params("nope", DatasetSize.SMALL)
+
+
+def test_params_are_copies():
+    p = dataset_params("fmi", DatasetSize.SMALL)
+    p["n_reads"] = -1
+    assert dataset_params("fmi", DatasetSize.SMALL)["n_reads"] > 0
+
+
+def test_seeds_unique_across_kernels_and_sizes():
+    seeds = set()
+    for name in kernel_names():
+        for size in DatasetSize:
+            seeds.add(dataset_seed(name, size))
+    assert len(seeds) == 24

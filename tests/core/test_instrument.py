@@ -1,0 +1,143 @@
+"""Tests for operation counters and memory traces."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.instrument import (
+    CACHE_LINE,
+    OP_CATEGORIES,
+    Instrumentation,
+    MemoryTrace,
+    OpCounts,
+)
+
+
+class TestOpCounts:
+    def test_starts_empty(self):
+        counts = OpCounts()
+        assert counts.total == 0
+        assert all(v == 0 for v in counts.as_dict().values())
+
+    def test_add_and_total(self):
+        counts = OpCounts()
+        counts.add("load", 3)
+        counts.add("fp", 2)
+        counts.add("load")
+        assert counts.load == 4
+        assert counts.fp == 2
+        assert counts.total == 6
+
+    def test_constructor_kwargs(self):
+        counts = OpCounts(load=5, branch=1)
+        assert counts.load == 5 and counts.branch == 1
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(TypeError):
+            OpCounts(bogus=1)
+        counts = OpCounts()
+        with pytest.raises(AttributeError):
+            counts.add("bogus", 1)
+
+    def test_merge(self):
+        a = OpCounts(load=1, store=2)
+        b = OpCounts(load=10, fp=5)
+        a.merge(b)
+        assert a.load == 11 and a.store == 2 and a.fp == 5
+
+    def test_fractions_sum_to_one(self):
+        counts = OpCounts(scalar_int=3, load=1)
+        fr = counts.fractions()
+        assert abs(sum(fr.values()) - 1.0) < 1e-12
+        assert fr["scalar_int"] == 0.75
+
+    def test_fractions_empty(self):
+        assert all(v == 0.0 for v in OpCounts().fractions().values())
+
+    def test_equality(self):
+        assert OpCounts(load=1) == OpCounts(load=1)
+        assert OpCounts(load=1) != OpCounts(load=2)
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(OP_CATEGORIES), st.integers(0, 1000)),
+            max_size=50,
+        )
+    )
+    def test_total_is_sum_of_adds(self, adds):
+        counts = OpCounts()
+        for cat, n in adds:
+            counts.add(cat, n)
+        assert counts.total == sum(n for _, n in adds)
+
+
+class TestMemoryTrace:
+    def test_alloc_regions_disjoint(self):
+        trace = MemoryTrace()
+        a = trace.alloc("a", 100)
+        b = trace.alloc("b", 200)
+        assert a.base + a.size <= b.base
+        assert a.base % CACHE_LINE == 0 or a.base > 0
+
+    def test_alloc_duplicate_rejected(self):
+        trace = MemoryTrace()
+        trace.alloc("x", 10)
+        with pytest.raises(ValueError):
+            trace.alloc("x", 10)
+
+    def test_alloc_invalid_size(self):
+        with pytest.raises(ValueError):
+            MemoryTrace().alloc("x", 0)
+
+    def test_region_addr_bounds(self):
+        trace = MemoryTrace()
+        r = trace.alloc("r", 64)
+        assert r.addr(0) == r.base
+        assert r.addr(63) == r.base + 63
+        with pytest.raises(IndexError):
+            r.addr(64)
+        with pytest.raises(IndexError):
+            r.addr(-1)
+
+    def test_read_write_recorded_in_order(self):
+        trace = MemoryTrace()
+        r = trace.alloc("r", 1024)
+        trace.read(r, 0, 4)
+        trace.write(r, 8, 8)
+        accesses = list(trace.accesses())
+        assert accesses == [(r.base, 4, False), (r.base + 8, 8, True)]
+
+    def test_stream_covers_range(self):
+        trace = MemoryTrace()
+        r = trace.alloc("r", 1024)
+        trace.read_stream(r, 0, 100, access_size=32)
+        sizes = [s for _, s, _ in trace.accesses()]
+        assert sum(sizes) == 100
+        assert len(trace) == 4  # 32+32+32+4
+
+    def test_clear_keeps_regions(self):
+        trace = MemoryTrace()
+        r = trace.alloc("r", 64)
+        trace.read(r, 0)
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.region("r") is r
+
+    @given(st.lists(st.integers(1, 4096), min_size=1, max_size=20))
+    def test_regions_never_overlap(self, sizes):
+        trace = MemoryTrace()
+        regions = [trace.alloc(f"r{i}", s) for i, s in enumerate(sizes)]
+        spans = sorted((r.base, r.base + r.size) for r in regions)
+        for (a0, a1), (b0, _) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+
+class TestInstrumentation:
+    def test_default_has_no_trace(self):
+        instr = Instrumentation()
+        assert instr.trace is None
+        assert instr.counts.total == 0
+
+    def test_with_trace(self):
+        instr = Instrumentation.with_trace()
+        assert instr.trace is not None

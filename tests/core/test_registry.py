@@ -1,0 +1,95 @@
+"""Tests for the kernel catalogue (paper Tables II/III metadata)."""
+
+import pytest
+
+from repro.core.registry import (
+    KERNELS,
+    ComputePattern,
+    Device,
+    Motif,
+    cpu_kernels,
+    get_kernel,
+    gpu_kernels,
+    irregular_kernels,
+    kernel_names,
+)
+
+
+def test_twelve_kernels():
+    assert len(KERNELS) == 12
+
+
+def test_paper_order():
+    assert kernel_names() == [
+        "fmi",
+        "bsw",
+        "dbg",
+        "phmm",
+        "chain",
+        "poa",
+        "kmer-cnt",
+        "abea",
+        "grm",
+        "nn-base",
+        "pileup",
+        "nn-variant",
+    ]
+
+
+def test_get_kernel_known():
+    info = get_kernel("fmi")
+    assert info.tool == "BWA-MEM2"
+    assert info.motif is Motif.INDEX_LOOKUP
+
+
+def test_get_kernel_unknown():
+    with pytest.raises(KeyError, match="valid kernels"):
+        get_kernel("nope")
+
+
+def test_irregular_set_matches_table3():
+    names = {k.name for k in irregular_kernels()}
+    assert names == {"fmi", "bsw", "dbg", "phmm", "chain", "poa", "abea", "pileup"}
+
+
+def test_irregular_kernels_have_granularity_and_unit():
+    for info in irregular_kernels():
+        assert info.granularity, info.name
+        assert info.work_unit, info.name
+
+
+def test_regular_kernels_have_no_granularity():
+    for info in KERNELS.values():
+        if info.pattern is ComputePattern.REGULAR:
+            assert info.granularity is None
+            assert info.work_unit is None
+
+
+def test_gpu_kernels():
+    names = {k.name for k in gpu_kernels()}
+    assert names == {"abea", "nn-base", "nn-variant"}
+
+
+def test_cpu_kernels_cover_the_rest():
+    names = {k.name for k in cpu_kernels()}
+    assert "fmi" in names and "nn-base" not in names
+    assert "abea" in names  # abea ships both CPU and GPU versions
+
+
+def test_table3_work_units():
+    assert get_kernel("fmi").work_unit == "# Occ Table Lookups"
+    assert get_kernel("bsw").work_unit == "# Cell Updates"
+    assert get_kernel("dbg").work_unit == "# Hash Table Lookups"
+    assert get_kernel("chain").work_unit == "# Input Anchors"
+    assert get_kernel("pileup").work_unit == "# Read Lookups"
+
+
+def test_phmm_is_fp():
+    assert get_kernel("phmm").uses_fp
+    assert not get_kernel("bsw").uses_fp
+
+
+def test_is_gpu_flag():
+    assert get_kernel("nn-base").is_gpu
+    assert not get_kernel("grm").is_gpu
+    assert get_kernel("abea").device & Device.CPU

@@ -1,0 +1,84 @@
+"""Tests for dataset materialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import DatasetSize
+from repro.core.registry import kernel_names
+from repro.data.export import export_dataset
+from repro.io.fasta import parse_fasta
+from repro.io.fastq import parse_fastq
+from repro.io.sam import AlignmentRecord
+
+
+def test_unknown_kernel(tmp_path):
+    with pytest.raises(KeyError):
+        export_dataset("nope", "small", tmp_path)
+
+
+def test_every_kernel_has_an_exporter():
+    from repro.data.export import _EXPORTERS
+
+    assert set(_EXPORTERS) == set(kernel_names())
+
+
+def test_fmi_roundtrip(tmp_path):
+    paths = export_dataset("fmi", DatasetSize.SMALL, tmp_path)
+    by_name = {p.name: p for p in paths}
+    ref = parse_fasta(by_name["reference.fasta"].read_text())
+    assert len(ref) == 1 and len(ref[0].sequence) > 0
+    reads = parse_fastq(by_name["reads.fastq"].read_text())
+    assert len(reads) == 800  # the small dataset's read count
+    assert all(set(r.sequence) <= set("ACGT") for r in reads[:20])
+
+
+def test_bsw_pairs_interleaved(tmp_path):
+    paths = export_dataset("bsw", DatasetSize.SMALL, tmp_path)
+    records = parse_fasta(paths[0].read_text())
+    assert len(records) == 2 * 1000
+    assert records[0].name.endswith("_query")
+    assert records[1].name.endswith("_target")
+
+
+def test_grm_matrix_roundtrip(tmp_path):
+    paths = export_dataset("grm", DatasetSize.SMALL, tmp_path)
+    by_name = {p.name: p for p in paths}
+    geno = np.loadtxt(by_name["genotypes.tsv"], dtype=np.int64, delimiter="\t")
+    assert geno.shape == (160, 4_000)
+    assert set(np.unique(geno)) <= {0, 1, 2}
+    freqs = np.loadtxt(by_name["frequencies.tsv"], delimiter="\t")
+    assert freqs.shape == (4_000,)
+
+
+def test_pileup_sam_parses_back(tmp_path):
+    paths = export_dataset("pileup", DatasetSize.SMALL, tmp_path)
+    by_name = {p.name: p for p in paths}
+    lines = by_name["alignments.sam"].read_text().strip().split("\n")
+    assert len(lines) > 100
+    rec = AlignmentRecord.from_sam_line(lines[0])
+    assert rec.cigar.query_length == len(rec.seq)
+    # record names are unique despite region overlap duplication
+    names = [ln.split("\t")[0] for ln in lines]
+    assert len(names) == len(set(names))
+
+
+def test_nn_variant_tensors(tmp_path):
+    paths = export_dataset("nn-variant", DatasetSize.SMALL, tmp_path)
+    tensors = np.load(paths[0])
+    assert tensors.shape == (150, 33, 8, 4)
+
+
+def test_chain_anchor_table(tmp_path):
+    paths = export_dataset("chain", DatasetSize.SMALL, tmp_path)
+    lines = paths[0].read_text().strip().split("\n")
+    assert lines[0] == "task\tx\ty\tlength"
+    assert len(lines) > 100
+
+
+@pytest.mark.parametrize("kernel", kernel_names())
+def test_every_export_writes_files(kernel, tmp_path):
+    paths = export_dataset(kernel, DatasetSize.SMALL, tmp_path)
+    assert paths
+    for p in paths:
+        assert p.exists()
+        assert p.stat().st_size > 0

@@ -1,0 +1,78 @@
+"""Tests for region re-assembly (the dbg kernel top level)."""
+
+import pytest
+
+from repro.dbg.assemble import assemble_region
+from repro.sequence.simulate import random_genome
+
+
+def perfect_reads(seq: str, read_len: int = 60, step: int = 7) -> list[str]:
+    return [seq[i : i + read_len] for i in range(0, len(seq) - read_len + 1, step)]
+
+
+class TestAssembly:
+    def test_snp_yields_both_haplotypes(self):
+        ref = random_genome(200, seed=11)
+        alt = ref[:100] + ("A" if ref[100] != "A" else "C") + ref[101:]
+        res = assemble_region(ref, perfect_reads(alt), k_init=21)
+        assert res.acyclic
+        assert ref in res.haplotypes
+        assert alt in res.haplotypes
+
+    def test_deletion_haplotype(self):
+        ref = random_genome(200, seed=12)
+        alt = ref[:100] + ref[110:]  # 10 bp deletion
+        res = assemble_region(ref, perfect_reads(alt), k_init=21)
+        assert res.acyclic
+        assert alt in res.haplotypes
+
+    def test_no_reads_gives_reference_only(self):
+        ref = random_genome(150, seed=13)
+        res = assemble_region(ref, [], k_init=21)
+        assert res.haplotypes == [ref]
+
+    def test_cycle_escalates_k(self):
+        unit = random_genome(30, seed=14)
+        ref = unit * 3 + random_genome(80, seed=15)
+        res = assemble_region(ref, [], k_init=15, k_max=95, k_step=20)
+        # a 30 bp tandem repeat forces k beyond 30 (or outright failure)
+        assert res.k_used > 15 or not res.acyclic
+
+    def test_unresolvable_repeat_reports_failure(self):
+        unit = random_genome(80, seed=16)
+        ref = unit * 3
+        res = assemble_region(ref, [], k_init=25, k_max=65, k_step=10)
+        assert not res.acyclic
+        assert res.haplotypes == [ref]  # falls back to the reference
+
+    def test_lookups_accumulate_across_retries(self):
+        unit = random_genome(30, seed=17)
+        ref = unit * 3 + random_genome(100, seed=18)
+        res = assemble_region(ref, perfect_reads(ref), k_init=15, k_max=55, k_step=20)
+        single = assemble_region(ref, perfect_reads(ref), k_init=res.k_used)
+        if res.k_used > 15:
+            assert res.hash_lookups > single.hash_lookups
+
+    def test_short_reference_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_region("ACGT", [], k_init=25)
+
+    def test_noisy_reads_still_recover_variant(self):
+        import numpy as np
+
+        from repro.sequence.simulate import ShortReadSimulator
+
+        rng = np.random.default_rng(19)
+        ref = random_genome(300, seed=20)
+        alt = ref[:150] + ("G" if ref[150] != "G" else "T") + ref[151:]
+        sim = ShortReadSimulator(read_len=80, error_rate=0.005)
+        reads = sim.simulate_coverage(alt, 30, seed=rng)
+        from repro.sequence.alphabet import reverse_complement
+
+        oriented = [
+            reverse_complement(r.sequence) if r.strand == "-" else r.sequence
+            for r in reads
+        ]
+        res = assemble_region(ref, oriented, k_init=21)
+        assert res.acyclic
+        assert alt in res.haplotypes

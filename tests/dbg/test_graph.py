@@ -1,0 +1,133 @@
+"""Tests for the De-Bruijn graph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instrument import Instrumentation
+from repro.dbg.graph import DeBruijnGraph
+
+dna = st.text(alphabet="ACGT", min_size=6, max_size=60)
+
+
+class TestConstruction:
+    def test_simple_path(self):
+        g = DeBruijnGraph(3)
+        g.add_sequence("ACGTA")
+        assert g.n_nodes == 3  # ACG, CGT, GTA
+        assert g.n_edges == 2
+
+    def test_kmer_counts(self):
+        g = DeBruijnGraph(3)
+        g.add_sequence("ACGACG")  # ACG x2
+        assert g.nodes["ACG"] == 2
+
+    def test_edge_weights_accumulate(self):
+        g = DeBruijnGraph(3)
+        g.add_sequence("ACGT")
+        g.add_sequence("ACGT")
+        assert g.edges["ACG"]["CGT"] == 2
+
+    def test_short_sequence_ignored(self):
+        g = DeBruijnGraph(5)
+        g.add_sequence("ACG")
+        assert g.n_nodes == 0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            DeBruijnGraph(1)
+
+    def test_lookups_counted(self):
+        g = DeBruijnGraph(3)
+        g.add_sequence("ACGTACGT")
+        assert g.lookups == 6  # 8 - 3 + 1 k-mers
+
+    def test_instrumented_trace(self):
+        g = DeBruijnGraph(3)
+        instr = Instrumentation.with_trace()
+        g.add_sequence("ACGTACGT", instr=instr)
+        assert instr.counts.load > 0
+        assert len(instr.trace) == g.lookups
+
+    @given(dna)
+    def test_nodes_are_all_kmers(self, seq):
+        k = 4
+        g = DeBruijnGraph(k)
+        g.add_sequence(seq)
+        expected = {seq[i : i + k] for i in range(len(seq) - k + 1)}
+        assert set(g.nodes) == expected
+
+
+class TestCycles:
+    def test_linear_is_acyclic(self):
+        g = DeBruijnGraph(3)
+        g.add_sequence("ACGTCA")
+        assert not g.has_cycle()
+
+    def test_repeat_creates_cycle(self):
+        g = DeBruijnGraph(3)
+        g.add_sequence("ACGACGACG")  # ACG -> CGA -> GAC -> ACG
+        assert g.has_cycle()
+
+    def test_larger_k_breaks_cycle(self):
+        g = DeBruijnGraph(7)
+        g.add_sequence("ACGACGACG")
+        assert not g.has_cycle()
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna)
+    def test_cycle_detection_matches_networkx(self, seq):
+        import networkx as nx
+
+        g = DeBruijnGraph(4)
+        g.add_sequence(seq)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(g.nodes)
+        for src, out in g.edges.items():
+            for dst in out:
+                nxg.add_edge(src, dst)
+        assert g.has_cycle() == (not nx.is_directed_acyclic_graph(nxg))
+
+
+class TestPruneAndPaths:
+    def test_prune_removes_weak_edges(self):
+        g = DeBruijnGraph(3)
+        g.add_sequence("ACGT")  # weight-1 edges
+        g.add_sequence("ACGA")
+        g.add_sequence("ACGA")
+        g.prune(min_weight=2)
+        assert "CGA" in g.edges["ACG"]
+        assert "CGT" not in g.edges["ACG"]
+
+    def test_prune_keeps_reference_edges(self):
+        g = DeBruijnGraph(3)
+        g.add_sequence("ACGT", is_ref=True)
+        g.prune(min_weight=5)
+        assert "CGT" in g.edges["ACG"]
+
+    def test_enumerate_simple(self):
+        g = DeBruijnGraph(3)
+        g.add_sequence("ACGTAC")
+        haps = g.enumerate_haplotypes("ACG", "TAC")
+        assert haps == ["ACGTAC"]
+
+    def test_enumerate_branching(self):
+        # two sequences differing by one base share source and sink k-mers
+        g = DeBruijnGraph(3)
+        g.add_sequence("AACGATT")
+        g.add_sequence("AACTATT")
+        haps = g.enumerate_haplotypes("AAC", "ATT")
+        assert haps == ["AACGATT", "AACTATT"]
+
+    def test_enumerate_missing_nodes(self):
+        g = DeBruijnGraph(3)
+        g.add_sequence("ACGT")
+        assert g.enumerate_haplotypes("TTT", "ACG") == []
+
+    def test_max_haplotypes_bound(self):
+        g = DeBruijnGraph(3)
+        # dense cluster: many alternative middles
+        for mid in ("AAA", "AAC", "AAG", "AAT"):
+            g.add_sequence("CGT" + mid + "TGC")
+        haps = g.enumerate_haplotypes("CGT", "TGC", max_haplotypes=2)
+        assert len(haps) <= 2

@@ -1,0 +1,45 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the fast configurations run here (the full-size runs are exercised
+manually / in benchmarks); each test checks the script's key success
+line appears.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def run_example(script, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(REPO / "examples" / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_single_kernel():
+    out = run_example("quickstart.py", "--kernel", "grm")
+    assert "grm" in out and "total work" in out
+
+
+def test_nanopore_signal_small():
+    out = run_example("nanopore_signal.py", "--read-len", "300")
+    assert "path correlation" in out
+    assert "margin" in out
+
+
+def test_variant_calling_small():
+    out = run_example("variant_calling.py", "--genome-len", "12000", "--coverage", "20")
+    assert "precision" in out and "recall" in out
+
+
+def test_metagenomics_small():
+    out = run_example("metagenomics_abundance.py", "--n-reads", "40")
+    assert "Estimated sample composition" in out

@@ -1,0 +1,62 @@
+"""Tests for interleaved backward search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instrument import Instrumentation
+from repro.fmindex.batched import InterleavedSearch
+from repro.fmindex.index import FMIndex
+from repro.sequence.simulate import random_genome
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=40)
+
+
+@pytest.fixture(scope="module")
+def index():
+    return FMIndex(random_genome(3_000, seed=61))
+
+
+class TestInterleavedSearch:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(dna, min_size=0, max_size=25), st.sampled_from([1, 3, 8, 64]))
+    def test_matches_serial(self, queries, width):
+        idx = FMIndex("ACGTACGTTTGACAGT" * 8)
+        serial = [idx.search(q) for q in queries]
+        batched = InterleavedSearch(idx, width=width).search_all(queries)
+        assert batched == serial
+
+    def test_results_in_input_order(self, index):
+        g = random_genome(3_000, seed=61)
+        queries = [g[100:120], "TTTTTTTTTTTTTTTTTTTTTTTTTTTTTT", g[500:525]]
+        results = InterleavedSearch(index, width=2).search_all(queries)
+        assert results[0][1] > results[0][0]  # present
+        assert results[2][1] > results[2][0]
+
+    def test_achieved_mlp_tracks_width(self, index):
+        g = random_genome(3_000, seed=61)
+        queries = [g[i : i + 25] for i in range(0, 2_000, 40)]
+        narrow = InterleavedSearch(index, width=1)
+        narrow.search_all(queries)
+        wide = InterleavedSearch(index, width=16)
+        wide.search_all(queries)
+        assert narrow.achieved_mlp == 1.0
+        assert wide.achieved_mlp > 10.0
+
+    def test_same_lookup_count_as_serial(self, index):
+        g = random_genome(3_000, seed=61)
+        queries = [g[i : i + 20] for i in range(0, 400, 21)]
+        serial_instr = Instrumentation()
+        for q in queries:
+            index.search(q, instr=serial_instr)
+        batched_instr = Instrumentation()
+        InterleavedSearch(index, width=8).search_all(queries, instr=batched_instr)
+        assert batched_instr.counts.load == serial_instr.counts.load
+
+    def test_empty_query_handled(self, index):
+        results = InterleavedSearch(index, width=4).search_all(["", "ACG"])
+        assert results[0] == index.full_interval()
+
+    def test_width_validation(self, index):
+        with pytest.raises(ValueError):
+            InterleavedSearch(index, width=0)

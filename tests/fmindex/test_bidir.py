@@ -1,0 +1,79 @@
+"""Tests for the bidirectional FM-index extension arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instrument import Instrumentation
+from repro.fmindex.bidir import BiFMIndex
+from repro.sequence.simulate import random_genome
+
+dna = st.text(alphabet="ACGT", min_size=4, max_size=80)
+
+
+def interval_of(index, pattern):
+    return index.search(pattern)
+
+
+class TestBiInterval:
+    def test_init_interval_counts(self):
+        bi = BiFMIndex("ACGTACGA")
+        for c, base in enumerate("ACGT"):
+            iv = bi.init_interval(c)
+            assert iv.size == "ACGTACGA".count(base)
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna)
+    def test_backward_extension_matches_plain_search(self, text):
+        bi = BiFMIndex(text)
+        # grow a pattern backward from the text's last 6 bases
+        pattern = ""
+        iv = None
+        for ch in reversed(text[-6:]):
+            c = "ACGT".index(ch)
+            iv = bi.extend_backward(iv, c) if iv is not None else bi.init_interval(c)
+            pattern = ch + pattern
+            lo, hi = interval_of(bi.forward, pattern)
+            assert (iv.lo_f, iv.size) == (lo, max(0, hi - lo)) or iv.size == 0 and hi <= lo
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna)
+    def test_forward_extension_matches_reverse_search(self, text):
+        bi = BiFMIndex(text)
+        pattern = ""
+        iv = None
+        for ch in text[:6]:
+            c = "ACGT".index(ch)
+            iv = bi.extend_forward(iv, c) if iv is not None else bi.init_interval(c)
+            pattern = pattern + ch
+            # forward interval must match a fresh backward search
+            lo, hi = interval_of(bi.forward, pattern)
+            assert iv.size == max(0, hi - lo)
+            if iv.size:
+                assert iv.lo_f == lo
+            # reverse half locates the reversed pattern in the reversed text
+            lo_r, hi_r = interval_of(bi.reverse, pattern[::-1])
+            if iv.size:
+                assert (iv.lo_r, iv.size) == (lo_r, hi_r - lo_r)
+
+    @settings(max_examples=20, deadline=None)
+    @given(dna)
+    def test_mixed_extensions_consistent(self, text):
+        """Extending A then prepending B equals searching B+mid+A directly."""
+        bi = BiFMIndex(text)
+        mid = text[len(text) // 2]
+        iv = bi.init_interval("ACGT".index(mid))
+        left = text[0]
+        right = text[-1]
+        iv = bi.extend_forward(iv, "ACGT".index(right))
+        iv = bi.extend_backward(iv, "ACGT".index(left))
+        pattern = left + mid + right
+        lo, hi = interval_of(bi.forward, pattern)
+        assert iv.size == max(0, hi - lo)
+
+    def test_instrumented_lookups(self):
+        bi = BiFMIndex(random_genome(500, seed=4))
+        instr = Instrumentation()
+        iv = bi.init_interval(0)
+        bi.extend_backward(iv, 1, instr=instr)
+        # one extension = two occ4 checkpoint fetches
+        assert instr.counts.load == 2 * 12

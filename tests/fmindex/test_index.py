@@ -1,0 +1,107 @@
+"""Tests for FM-index backward search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instrument import Instrumentation
+from repro.fmindex.index import FMIndex
+from repro.sequence.simulate import random_genome
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=120)
+
+
+def brute_count(text: str, query: str) -> int:
+    count = 0
+    start = 0
+    while True:
+        hit = text.find(query, start)
+        if hit < 0:
+            return count
+        count += 1
+        start = hit + 1
+
+
+class TestSearch:
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            FMIndex("")
+
+    def test_count_known(self):
+        idx = FMIndex("GATTACA")
+        assert idx.count("A") == 3
+        assert idx.count("TA") == 1
+        assert idx.count("GATTACA") == 1
+        assert idx.count("GG") == 0
+
+    def test_locate_known(self):
+        idx = FMIndex("GATTACA")
+        lo, hi = idx.search("T")
+        assert idx.locate((lo, hi)) == [2, 3]
+
+    def test_locate_max_hits(self):
+        idx = FMIndex("AAAAAA")
+        lo, hi = idx.search("A")
+        assert hi - lo == 6
+        assert len(idx.locate((lo, hi), max_hits=3)) == 3
+
+    def test_occ_bounds(self):
+        idx = FMIndex("ACGT")
+        with pytest.raises(IndexError):
+            idx.occ(0, -1)
+        with pytest.raises(IndexError):
+            idx.occ(0, 100)
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna, dna)
+    def test_count_matches_brute_force(self, text, query):
+        idx = FMIndex(text)
+        assert idx.count(query) == brute_count(text, query)
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna)
+    def test_every_substring_found(self, text):
+        idx = FMIndex(text)
+        # sample a handful of substrings; locate must return true positions
+        for start in range(0, len(text), max(1, len(text) // 4)):
+            for length in (1, 3, 7):
+                sub = text[start : start + length]
+                if not sub:
+                    continue
+                lo, hi = idx.search(sub)
+                positions = idx.locate((lo, hi))
+                assert start in positions
+                for p in positions:
+                    assert text[p : p + len(sub)] == sub
+
+
+class TestOccConsistency:
+    def test_occ_matches_checkpointed(self):
+        text = random_genome(3_000, seed=17)
+        idx = FMIndex(text)
+        for c in range(4):
+            for i in range(0, idx.bwt.size + 1, 37):
+                assert idx.occ(c, i) == idx.occ_checkpointed(c, i)
+
+    def test_occ4_matches_occ(self):
+        idx = FMIndex(random_genome(500, seed=18))
+        for i in range(0, idx.bwt.size + 1, 13):
+            assert idx.occ4(i) == tuple(idx.occ(c, i) for c in range(4))
+
+
+class TestInstrumentation:
+    def test_lookups_counted_and_traced(self):
+        idx = FMIndex(random_genome(2_000, seed=19))
+        instr = Instrumentation.with_trace()
+        idx.search("ACGTACGT", instr=instr)
+        assert instr.counts.load > 0
+        assert len(instr.trace) > 0
+        assert "fmi.occ" in instr.trace.regions
+
+    def test_trace_offsets_inside_region(self):
+        idx = FMIndex(random_genome(2_000, seed=20))
+        instr = Instrumentation.with_trace()
+        idx.search("ACGT", instr=instr)
+        region = instr.trace.region("fmi.occ")
+        for addr, size, _ in instr.trace.accesses():
+            assert region.base <= addr < region.base + region.size

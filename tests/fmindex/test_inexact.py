@@ -1,0 +1,76 @@
+"""Tests for inexact (backtracking) FM-index search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fmindex.index import FMIndex
+from repro.fmindex.inexact import inexact_locate, inexact_search
+from repro.sequence.simulate import random_genome
+
+
+def brute_inexact(text: str, query: str, k: int) -> dict[int, int]:
+    """All positions of ``query`` within ``k`` substitutions."""
+    out = {}
+    for pos in range(len(text) - len(query) + 1):
+        mm = sum(1 for a, b in zip(query, text[pos : pos + len(query)]) if a != b)
+        if mm <= k:
+            out[pos] = mm
+    return out
+
+
+class TestInexactSearch:
+    def test_exact_is_zero_budget(self):
+        idx = FMIndex("GATTACA")
+        hits = inexact_search(idx, "TTA", max_mismatches=0)
+        assert len(hits) == 1
+        assert hits[0].mismatches == 0
+
+    def test_one_mismatch_found(self):
+        idx = FMIndex("AAAACGTAAAA")
+        # "ACGA" matches "ACGT" with one substitution
+        hits = inexact_search(idx, "ACGA", max_mismatches=1)
+        assert any(h.mismatches == 1 for h in hits)
+
+    def test_budget_validation(self):
+        idx = FMIndex("ACGT")
+        with pytest.raises(ValueError):
+            inexact_search(idx, "AC", max_mismatches=-1)
+
+    def test_empty_query(self):
+        idx = FMIndex("ACGT")
+        hits = inexact_search(idx, "", max_mismatches=1)
+        assert hits[0].count == idx.bwt.size
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 5_000), st.integers(0, 2))
+    def test_matches_brute_force(self, seed, budget):
+        rng = np.random.default_rng(seed)
+        text = random_genome(int(rng.integers(30, 150)), seed=int(rng.integers(1e9)))
+        qlen = int(rng.integers(4, 10))
+        start = int(rng.integers(0, len(text) - qlen))
+        query = list(text[start : start + qlen])
+        for _ in range(int(rng.integers(0, 3))):
+            p = int(rng.integers(0, qlen))
+            query[p] = "ACGT"[int(rng.integers(4))]
+        query = "".join(query)
+        got = dict(inexact_locate(FMIndex(text), query, max_mismatches=budget, max_hits=10_000))
+        assert got == brute_inexact(text, query, budget)
+
+    def test_mismatch_counts_are_minimal(self):
+        text = random_genome(200, seed=5)
+        idx = FMIndex(text)
+        query = text[50:62]
+        located = dict(inexact_locate(idx, query, max_mismatches=2))
+        # the exact occurrence reports zero mismatches even though it is
+        # also reachable through substitute-then-match-back paths
+        assert located[50] == 0
+
+    def test_budget_widens_hits(self):
+        text = random_genome(500, seed=6)
+        idx = FMIndex(text)
+        query = text[100:115]
+        exact = inexact_locate(idx, query, max_mismatches=0, max_hits=10_000)
+        loose = inexact_locate(idx, query, max_mismatches=2, max_hits=10_000)
+        assert len(loose) >= len(exact)

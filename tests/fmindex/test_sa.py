@@ -1,0 +1,73 @@
+"""Tests for suffix array and BWT construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fmindex.sa import bwt_from_sa, suffix_array, verify_suffix_array
+from repro.sequence.alphabet import encode
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=200)
+
+
+def test_known_example():
+    # suffixes of "GATTACA$": $, A$, ACA$, ATTACA$, CA$, GATTACA$, TACA$, TTACA$
+    sa = suffix_array(encode("GATTACA"))
+    assert sa.tolist() == [7, 6, 4, 1, 5, 0, 3, 2]
+
+
+def test_single_base():
+    assert suffix_array(encode("A")).tolist() == [1, 0]
+
+
+def test_repetitive_text():
+    sa = suffix_array(encode("AAAA"))
+    assert sa.tolist() == [4, 3, 2, 1, 0]
+
+
+def test_rejects_bad_codes():
+    with pytest.raises(ValueError):
+        suffix_array(np.array([0, 5], dtype=np.uint8))
+    with pytest.raises(ValueError):
+        suffix_array(np.zeros((2, 2), dtype=np.uint8))
+
+
+@settings(max_examples=50, deadline=None)
+@given(dna)
+def test_suffix_array_correct(seq):
+    codes = encode(seq)
+    sa = suffix_array(codes)
+    assert verify_suffix_array(codes, sa)
+
+
+@given(dna)
+def test_bwt_is_permutation_of_text(seq):
+    codes = encode(seq)
+    sa = suffix_array(codes)
+    bwt, primary = bwt_from_sa(codes, sa)
+    assert bwt.size == codes.size + 1
+    assert 0 <= primary < bwt.size
+    # excluding the primary slot, the BWT contains exactly the text's bases
+    mask = np.ones(bwt.size, dtype=bool)
+    mask[primary] = False
+    assert sorted(bwt[mask].tolist()) == sorted(codes.tolist())
+
+
+def test_bwt_known():
+    # BWT of "GATTACA$" (sorted rotations' last column) is "ACTGA$TA";
+    # with the sentinel virtual, primary marks its slot.
+    codes = encode("GATTACA")
+    sa = suffix_array(codes)
+    bwt, primary = bwt_from_sa(codes, sa)
+    expected = "ACTGA$TA"
+    for i, ch in enumerate(expected):
+        if ch == "$":
+            assert primary == i
+        else:
+            assert "ACGT"[bwt[i]] == ch
+
+
+def test_bwt_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        bwt_from_sa(encode("ACGT"), np.arange(3))

@@ -1,0 +1,136 @@
+"""Tests for SMEM enumeration: matching statistics and the bidirectional
+algorithm, cross-validated against each other and against brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fmindex.bidir import BiFMIndex
+from repro.fmindex.index import FMIndex
+from repro.fmindex.smem import find_smems, matching_statistics
+from repro.sequence.simulate import random_genome
+
+
+def brute_smems(text: str, read: str, min_len: int = 1) -> set[tuple[int, int]]:
+    """All super-maximal exact matches by exhaustive search."""
+    n = len(read)
+    maximal = set()
+    for s in range(n):
+        for e in range(s + 1, n + 1):
+            if read[s:e] not in text:
+                continue
+            left_ext = s > 0 and read[s - 1 : e] in text
+            right_ext = e < n and read[s : e + 1] in text
+            if not left_ext and not right_ext:
+                maximal.add((s, e))
+    # drop matches contained in longer maximal matches
+    return {
+        (s, e)
+        for s, e in maximal
+        if not any(
+            (s2 <= s and e <= e2) and (s2, e2) != (s, e) for s2, e2 in maximal
+        )
+        and e - s >= min_len
+    }
+
+
+class TestMatchingStatistics:
+    def test_full_match(self):
+        text = random_genome(400, seed=1)
+        idx = FMIndex(text)
+        read = text[100:140]
+        ms = matching_statistics(idx, read)
+        assert ms[-1] == 0  # whole read occurs
+
+    def test_nondecreasing(self):
+        text = random_genome(300, seed=2)
+        idx = FMIndex(text)
+        read = text[50:80] + "T" + text[120:150]
+        ms = matching_statistics(idx, read)
+        assert all(a <= b for a, b in zip(ms, ms[1:]))
+
+    def test_definition(self):
+        """ms[e] is the smallest s with read[s:e+1] present in the text."""
+        text = random_genome(200, seed=3)
+        idx = FMIndex(text)
+        read = text[20:45] + "GGGG" + text[90:110]
+        ms = matching_statistics(idx, read)
+        for e, s in enumerate(ms):
+            if s <= e:
+                assert read[s : e + 1] in text
+            if s > 0:
+                assert read[s - 1 : e + 1] not in text
+
+
+class TestSmemCorrectness:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 3))
+    def test_matches_brute_force(self, seed, n_mut):
+        rng = np.random.default_rng(seed)
+        text = random_genome(150, seed=int(rng.integers(1e9)))
+        s = int(rng.integers(0, 100))
+        read = list(text[s : s + 50])
+        for _ in range(n_mut):
+            p = int(rng.integers(0, len(read)))
+            read[p] = "ACGT"[int(rng.integers(4))]
+        read = "".join(read)
+        idx = FMIndex(text)
+        got = {(m.start, m.end) for m in find_smems(idx, read, min_seed_len=4)}
+        expected = brute_smems(text, read, min_len=4)
+        assert got == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_bidir_equals_matching_statistics(self, seed):
+        rng = np.random.default_rng(seed)
+        text = random_genome(int(rng.integers(60, 300)), seed=int(rng.integers(1e9)))
+        bi = BiFMIndex(text)
+        length = min(60, len(text) - 1)
+        start = int(rng.integers(0, len(text) - length))
+        read = list(text[start : start + length])
+        for _ in range(int(rng.integers(0, 5))):
+            p = int(rng.integers(0, length))
+            read[p] = "ACGT"[int(rng.integers(4))]
+        read = "".join(read)
+        a = [(m.start, m.end, m.sa_lo, m.sa_hi) for m in bi.find_smems(read, min_seed_len=5)]
+        b = [(m.start, m.end, m.sa_lo, m.sa_hi) for m in find_smems(bi.forward, read, min_seed_len=5)]
+        assert a == b
+
+    def test_min_seed_len_filters(self):
+        text = random_genome(500, seed=9)
+        idx = FMIndex(text)
+        read = text[100:200]
+        for min_len in (10, 50, 99):
+            for m in find_smems(idx, read, min_seed_len=min_len):
+                assert len(m) >= min_len
+
+    def test_occurrence_counts(self):
+        text = "ACGTACGTACGT"
+        idx = FMIndex(text)
+        smems = find_smems(idx, "ACGTACGTACGT", min_seed_len=4)
+        assert len(smems) == 1
+        assert smems[0].occurrences == 1
+
+
+class TestSeeding:
+    def test_seed_positions_are_real_matches(self):
+        text = random_genome(2_000, seed=11)
+        bi = BiFMIndex(text)
+        read = text[500:620]
+        seeds = bi.seed_read(read, min_seed_len=19)
+        assert seeds
+        for read_start, ref_pos, length in seeds:
+            assert text[ref_pos : ref_pos + length] == read[read_start : read_start + length]
+        # the true position must be among the seeds
+        assert any(ref_pos == 500 + rs for rs, ref_pos, _ in seeds)
+
+    def test_max_occ_drops_repeats(self):
+        text = "ACGTACGT" * 200  # a 19bp+ window occurs ~200 times
+        bi = BiFMIndex(text)
+        read = text[:40]
+        assert bi.seed_read(read, min_seed_len=19, max_occ=10) == []
+
+    def test_empty_read(self):
+        idx = FMIndex("ACGTAC")
+        assert find_smems(idx, "") == []

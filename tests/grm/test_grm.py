@@ -1,0 +1,88 @@
+"""Tests for genotype simulation and the GRM kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instrument import Instrumentation
+from repro.grm.grm import grm_blocked, grm_reference, top_relationships
+from repro.grm.variants import simulate_genotypes
+
+
+class TestGenotypes:
+    def test_shapes_and_range(self):
+        data = simulate_genotypes(20, 300, seed=1)
+        assert data.genotypes.shape == (20, 300)
+        assert data.frequencies.shape == (300,)
+        assert set(np.unique(data.genotypes)) <= {0, 1, 2}
+        assert (data.frequencies >= 0.02).all() and (data.frequencies <= 0.98).all()
+
+    def test_hardy_weinberg_frequencies(self):
+        data = simulate_genotypes(400, 2_000, seed=2, n_related_pairs=0)
+        observed = data.genotypes.mean(axis=0) / 2.0  # allele frequency
+        # observed frequencies track the simulated ones
+        corr = np.corrcoef(observed, data.frequencies)[0, 1]
+        assert corr > 0.97
+
+    def test_related_pairs_recorded(self):
+        data = simulate_genotypes(20, 100, seed=3, n_related_pairs=3)
+        assert len(data.related_pairs) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_genotypes(1, 100, seed=1)
+
+
+class TestGrm:
+    def test_blocked_equals_reference(self):
+        data = simulate_genotypes(25, 500, seed=4)
+        ref = grm_reference(data)
+        for block in (7, 64, 1_000):
+            assert np.allclose(grm_blocked(data, block=block), ref)
+
+    def test_symmetry(self):
+        data = simulate_genotypes(30, 400, seed=5)
+        g = grm_blocked(data)
+        assert np.allclose(g, g.T)
+
+    def test_diagonal_near_one(self):
+        data = simulate_genotypes(60, 5_000, seed=6, n_related_pairs=0)
+        g = grm_blocked(data)
+        assert abs(np.mean(np.diag(g)) - 1.0) < 0.1
+
+    def test_unrelated_off_diagonal_near_zero(self):
+        data = simulate_genotypes(40, 5_000, seed=7, n_related_pairs=0)
+        g = grm_blocked(data)
+        off = g[np.triu_indices(40, k=1)]
+        assert abs(off.mean()) < 0.05
+
+    def test_relatives_detected(self):
+        data = simulate_genotypes(50, 4_000, seed=8, n_related_pairs=5)
+        g = grm_blocked(data)
+        top = top_relationships(g, k=5)
+        found = {tuple(sorted(p)) for p in data.related_pairs}
+        got = {tuple(sorted((a, b))) for a, b, _ in top}
+        assert found == got
+        # first-degree sharing=0.5 gives relatedness around 0.4-0.6
+        for _, _, value in top:
+            assert 0.25 < value < 0.75
+
+    def test_block_validation(self):
+        data = simulate_genotypes(10, 50, seed=9)
+        with pytest.raises(ValueError):
+            grm_blocked(data, block=0)
+
+    def test_instrumentation_fp_and_vector(self):
+        data = simulate_genotypes(20, 300, seed=10)
+        instr = Instrumentation.with_trace()
+        grm_blocked(data, block=64, instr=instr)
+        fr = instr.counts.fractions()
+        assert fr["fp"] + fr["vector"] > 0.7  # dense matmul
+        assert len(instr.trace) > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(3, 20), st.integers(10, 200), st.integers(0, 1_000))
+    def test_blocked_reference_property(self, n, s, seed):
+        data = simulate_genotypes(n, s, seed=seed, n_related_pairs=0)
+        assert np.allclose(grm_blocked(data, block=17), grm_reference(data))

@@ -1,0 +1,38 @@
+"""Integration tests: every kernel end-to-end through the uniform driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import load_benchmark
+from repro.core.datasets import DatasetSize
+from repro.core.instrument import Instrumentation
+from repro.core.registry import kernel_names
+
+
+@pytest.mark.parametrize("name", kernel_names())
+def test_kernel_runs_small(name):
+    bench = load_benchmark(name)
+    result = bench.run(DatasetSize.SMALL)
+    assert result.n_tasks > 0
+    assert result.total_work > 0
+    assert all(w >= 0 for w in result.task_work)
+
+
+@pytest.mark.parametrize("name", ["grm", "chain", "dbg", "nn-base"])
+def test_kernel_deterministic(name):
+    bench = load_benchmark(name)
+    a = bench.run(DatasetSize.SMALL)
+    b = bench.run(DatasetSize.SMALL)
+    assert a.task_work == b.task_work
+
+
+@pytest.mark.parametrize("name", ["fmi", "bsw", "kmer-cnt", "pileup"])
+def test_instrumentation_does_not_change_output(name):
+    bench = load_benchmark(name)
+    workload = bench.prepare(DatasetSize.SMALL)
+    plain, plain_work = bench.execute(workload)
+    instr = Instrumentation.with_trace()
+    traced, traced_work = bench.execute(bench.prepare(DatasetSize.SMALL), instr=instr)
+    assert plain_work == traced_work
+    assert instr.counts.total > 0
+    assert len(instr.trace) > 0

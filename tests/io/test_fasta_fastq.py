@@ -1,0 +1,100 @@
+"""Tests for FASTA and FASTQ parsing and writing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.io.fasta import FastaRecord, parse_fasta, write_fasta
+from repro.io.fastq import (
+    FastqRecord,
+    fastq_to_read,
+    parse_fastq,
+    read_to_fastq,
+    write_fastq,
+)
+from repro.sequence.simulate import Read
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")), min_size=1, max_size=12
+)
+dna = st.text(alphabet="ACGT", min_size=1, max_size=150)
+
+
+class TestFasta:
+    def test_parse_basic(self):
+        recs = parse_fasta(">chr1 human\nACGT\nTTTT\n>chr2\nGG\n")
+        assert recs == [
+            FastaRecord(name="chr1", sequence="ACGTTTTT", description="human"),
+            FastaRecord(name="chr2", sequence="GG"),
+        ]
+
+    def test_parse_skips_blank_lines(self):
+        recs = parse_fasta(">a\nAC\n\nGT\n")
+        assert recs[0].sequence == "ACGT"
+
+    def test_parse_rejects_headerless_data(self):
+        with pytest.raises(ValueError):
+            parse_fasta("ACGT\n")
+
+    def test_parse_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            parse_fasta(">\nACGT\n")
+
+    def test_write_wraps(self):
+        text = write_fasta([FastaRecord(name="x", sequence="A" * 130)], wrap=60)
+        lines = text.strip().split("\n")
+        assert lines[0] == ">x"
+        assert [len(ln) for ln in lines[1:]] == [60, 60, 10]
+
+    def test_write_invalid_wrap(self):
+        with pytest.raises(ValueError):
+            write_fasta([], wrap=0)
+
+    @given(st.lists(st.tuples(names, dna), min_size=1, max_size=10, unique_by=lambda t: t[0]))
+    def test_roundtrip(self, entries):
+        recs = [FastaRecord(name=n, sequence=s) for n, s in entries]
+        assert parse_fasta(write_fasta(recs)) == recs
+
+
+class TestFastq:
+    def test_parse_basic(self):
+        recs = parse_fastq("@r1\nACGT\n+\nIIII\n")
+        assert recs == [FastqRecord(name="r1", sequence="ACGT", qualities="IIII")]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FastqRecord(name="r", sequence="ACGT", qualities="II")
+
+    def test_parse_rejects_bad_structure(self):
+        with pytest.raises(ValueError):
+            parse_fastq("@r1\nACGT\n+\n")  # 3 lines
+        with pytest.raises(ValueError):
+            parse_fastq("r1\nACGT\n+\nIIII\n")  # missing @
+        with pytest.raises(ValueError):
+            parse_fastq("@r1\nACGT\nX\nIIII\n")  # missing +
+
+    def test_phred(self):
+        rec = FastqRecord(name="r", sequence="AC", qualities="!I")
+        assert rec.phred().tolist() == [0, 40]
+
+    @given(st.lists(st.tuples(names, dna), min_size=1, max_size=10))
+    def test_roundtrip(self, entries):
+        recs = [
+            FastqRecord(name=n, sequence=s, qualities="I" * len(s)) for n, s in entries
+        ]
+        assert parse_fastq(write_fastq(recs)) == recs
+
+    def test_read_conversion_roundtrip(self):
+        read = Read(
+            name="r9",
+            sequence="ACGT",
+            qualities=np.array([10, 20, 30, 40]),
+            ref_start=5,
+            ref_end=9,
+        )
+        rec = read_to_fastq(read)
+        back = fastq_to_read(rec)
+        assert back.name == "r9"
+        assert back.sequence == "ACGT"
+        assert back.qualities.tolist() == [10, 20, 30, 40]

@@ -1,0 +1,109 @@
+"""Tests for SAM-like alignment records and the alignment simulator."""
+
+import numpy as np
+import pytest
+
+from repro.io.cigar import Cigar
+from repro.io.regions import GenomicRegion
+from repro.io.sam import FLAG_REVERSE, AlignmentRecord, simulate_alignments
+from repro.sequence.alphabet import reverse_complement
+from repro.sequence.simulate import LongReadSimulator
+
+
+def make_record(**overrides):
+    fields = dict(
+        qname="r1",
+        flag=0,
+        rname="chr1",
+        pos=100,
+        mapq=60,
+        cigar=Cigar.parse("4M"),
+        seq="ACGT",
+        quals=np.array([30, 30, 30, 30]),
+    )
+    fields.update(overrides)
+    return AlignmentRecord(**fields)
+
+
+class TestAlignmentRecord:
+    def test_reference_end(self):
+        rec = make_record(cigar=Cigar.parse("2M1D1M1I"), seq="ACGT")
+        assert rec.reference_end == 100 + 4  # 2M + 1D + 1M
+
+    def test_cigar_seq_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            make_record(cigar=Cigar.parse("5M"))
+
+    def test_qual_length_enforced(self):
+        with pytest.raises(ValueError):
+            make_record(quals=np.array([30]))
+
+    def test_flags(self):
+        assert not make_record().is_reverse
+        assert make_record(flag=FLAG_REVERSE).is_reverse
+
+    def test_region_and_overlap(self):
+        rec = make_record()
+        assert rec.region() == GenomicRegion("chr1", 100, 104)
+        assert rec.overlaps(GenomicRegion("chr1", 103, 200))
+        assert not rec.overlaps(GenomicRegion("chr1", 104, 200))
+
+    def test_sam_line_roundtrip(self):
+        rec = make_record(cigar=Cigar.parse("2M1I1M"), seq="ACGT")
+        line = rec.to_sam_line()
+        assert line.split("\t")[3] == "101"  # 1-based POS
+        back = AlignmentRecord.from_sam_line(line)
+        assert back.qname == rec.qname
+        assert back.pos == rec.pos
+        assert back.cigar == rec.cigar
+        assert back.seq == rec.seq
+        assert back.quals.tolist() == rec.quals.tolist()
+
+    def test_from_sam_line_rejects_short(self):
+        with pytest.raises(ValueError):
+            AlignmentRecord.from_sam_line("a\tb\tc")
+
+
+class TestSimulateAlignments:
+    def test_records_sorted_and_consistent(self, genome_10k):
+        recs = simulate_alignments(
+            genome_10k, "chr1", 3.0, seed=1,
+            simulator=LongReadSimulator(mean_len=1_500),
+        )
+        assert recs
+        positions = [r.pos for r in recs]
+        assert positions == sorted(positions)
+        for r in recs:
+            assert r.cigar.query_length == len(r.seq)
+            assert r.reference_end <= len(genome_10k)
+
+    def test_cigar_matches_truth_errorfree(self, genome_10k):
+        recs = simulate_alignments(
+            genome_10k, "chr1", 2.0, seed=2,
+            simulator=LongReadSimulator(mean_len=1_000, error_rate=0.0),
+        )
+        for r in recs:
+            span = r.cigar.reference_length
+            assert str(r.cigar) == f"{span}M"
+            assert r.seq == genome_10k[r.pos : r.pos + span]
+
+    def test_reverse_reads_stored_in_reference_orientation(self, genome_10k):
+        recs = simulate_alignments(
+            genome_10k, "chr1", 3.0, seed=3,
+            simulator=LongReadSimulator(mean_len=1_000, error_rate=0.0),
+        )
+        reverse = [r for r in recs if r.is_reverse]
+        assert reverse, "expected some reverse-strand reads"
+        for r in reverse:
+            # SEQ is in reference orientation: matches the genome directly
+            assert r.seq == genome_10k[r.pos : r.reference_end]
+
+    def test_noisy_cigars_reconstruct_reference_span(self, genome_10k):
+        recs = simulate_alignments(
+            genome_10k, "chr1", 2.0, seed=4,
+            simulator=LongReadSimulator(mean_len=1_000, error_rate=0.1),
+        )
+        for r in recs:
+            assert r.cigar.reference_length == r.reference_end - r.pos
+            # errors are present, so most reads have indel ops
+        assert any(len(r.cigar) > 1 for r in recs)

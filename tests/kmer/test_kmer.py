@@ -1,0 +1,156 @@
+"""Tests for k-mer packing, hash tables and counting."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instrument import Instrumentation
+from repro.kmer.counting import KmerCounter, count_reads
+from repro.kmer.hashing import canonical_kmers, pack_kmers, revcomp_packed, splitmix64
+from repro.kmer.table import EMPTY, HashTable, RobinHoodTable
+from repro.sequence.alphabet import encode, reverse_complement
+from repro.sequence.simulate import random_genome
+
+dna = st.text(alphabet="ACGT", min_size=8, max_size=150)
+
+
+class TestPacking:
+    def test_pack_known(self):
+        # "ACGT" -> 0b00011011 = 27
+        assert pack_kmers(encode("ACGT"), 4).tolist() == [27]
+
+    def test_pack_count(self):
+        assert pack_kmers(encode("ACGTACGT"), 5).size == 4
+
+    def test_pack_bounds(self):
+        with pytest.raises(ValueError):
+            pack_kmers(encode("ACGT"), 32)
+
+    @given(dna, st.integers(2, 15))
+    def test_packed_values_distinct_iff_kmers_distinct(self, seq, k):
+        if len(seq) < k:
+            return
+        packed = pack_kmers(encode(seq), k)
+        strings = [seq[i : i + k] for i in range(len(seq) - k + 1)]
+        for i in range(len(strings)):
+            for j in range(i + 1, min(i + 10, len(strings))):
+                assert (packed[i] == packed[j]) == (strings[i] == strings[j])
+
+    @given(dna)
+    def test_revcomp_packed_matches_string(self, seq):
+        k = 7
+        if len(seq) < k:
+            return
+        fwd = pack_kmers(encode(seq), k)
+        rc = revcomp_packed(fwd, k)
+        rc_str = pack_kmers(encode(reverse_complement(seq)), k)[::-1]
+        assert np.array_equal(rc, rc_str)
+
+    @given(dna)
+    def test_canonical_strand_invariant(self, seq):
+        k = 7
+        if len(seq) < k:
+            return
+        a = np.sort(canonical_kmers(seq, k))
+        b = np.sort(canonical_kmers(reverse_complement(seq), k))
+        assert np.array_equal(a, b)
+
+    def test_splitmix_deterministic_and_mixing(self):
+        x = np.arange(1000, dtype=np.uint64)
+        h = splitmix64(x)
+        assert np.array_equal(h, splitmix64(x))
+        assert np.unique(h).size == 1000  # no collisions on tiny input
+
+
+class TestHashTable:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 500), min_size=0, max_size=800))
+    def test_matches_counter(self, values):
+        table = HashTable(4096)
+        keys = np.array(values, dtype=np.uint64)
+        for i in range(0, len(keys), 97):
+            table.insert_batch(keys[i : i + 97])
+        truth = Counter(values)
+        for k, v in truth.items():
+            assert table.get(k) == v
+        assert table.size == len(truth)
+        assert table.get(10**9) == 0
+
+    def test_items_roundtrip(self):
+        table = HashTable(64)
+        table.insert_batch(np.array([5, 5, 9], dtype=np.uint64))
+        assert dict(table.items()) == {5: 2, 9: 1}
+
+    def test_overfill_rejected(self):
+        table = HashTable(8)
+        with pytest.raises(RuntimeError):
+            table.insert_batch(np.arange(100, dtype=np.uint64))
+
+    def test_probe_lengths_grow_with_load(self):
+        rng = np.random.default_rng(3)
+        light = HashTable(1 << 14)
+        heavy = HashTable(1 << 14)
+        light.insert_batch(rng.integers(0, 2**62, 1_000).astype(np.uint64))
+        heavy.insert_batch(rng.integers(0, 2**62, 10_000).astype(np.uint64))
+        assert heavy.probe_lengths().mean() > light.probe_lengths().mean()
+
+    def test_instrumented_probes_traced(self):
+        table = HashTable(1 << 10)
+        instr = Instrumentation.with_trace()
+        table.insert_batch(np.arange(50, dtype=np.uint64), instr=instr)
+        assert len(instr.trace) == 2 * table.total_probes  # read + write
+
+
+class TestRobinHood:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(0, 300), min_size=0, max_size=400))
+    def test_matches_counter(self, values):
+        table = RobinHoodTable(1024)
+        for v in values:
+            table.insert(v)
+        truth = Counter(values)
+        for k, v in truth.items():
+            assert table.get(k) == v
+        assert table.get(10**9) == 0
+
+    def test_probe_variance_below_linear(self):
+        """Robin hood equalizes displacement: lower variance at high load."""
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 2**62, 6_000).astype(np.uint64)
+        lin = HashTable(1 << 13)
+        rh = RobinHoodTable(1 << 13)
+        lin.insert_batch(keys)
+        for k in keys:
+            rh.insert(int(k))
+        assert rh.probe_lengths().max() <= lin.probe_lengths().max()
+        assert rh.probe_lengths().var() < lin.probe_lengths().var()
+
+
+class TestCounting:
+    def test_counts_match_python(self, genome_1k):
+        k = 9
+        result = count_reads([genome_1k], k)
+        truth = Counter(canonical_kmers(genome_1k, k).tolist())
+        assert result.distinct_kmers == len(truth)
+        for kmer, n in list(truth.items())[:50]:
+            assert result.table.get(kmer) == n
+
+    def test_coverage_shows_in_histogram(self, genome_1k):
+        reads = [genome_1k] * 5  # every k-mer seen 5 times
+        result = count_reads(reads, 11)
+        hist = result.histogram(8)
+        assert hist[5] > 0.9 * result.distinct_kmers
+
+    def test_solid_kmers_threshold(self, genome_1k):
+        result = count_reads([genome_1k] * 3, 11)
+        solid = result.solid_kmers(min_count=3)
+        assert len(solid) == result.distinct_kmers
+        # only genome-internal repeats (both-strand occurrences) exceed 3x
+        assert len(result.solid_kmers(min_count=4)) < 0.05 * result.distinct_kmers
+
+    def test_counter_validation(self):
+        with pytest.raises(ValueError):
+            KmerCounter(0, expected_kmers=10)

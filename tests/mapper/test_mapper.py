@@ -1,0 +1,109 @@
+"""Tests for the composed read mapper."""
+
+import numpy as np
+import pytest
+
+from repro.mapper.mapper import ReadMapper
+from repro.sequence.alphabet import reverse_complement
+from repro.sequence.simulate import ShortReadSimulator, mutate_genome, random_genome
+
+
+@pytest.fixture(scope="module")
+def mapper():
+    return ReadMapper(random_genome(30_000, seed=91), contig="chrT")
+
+
+@pytest.fixture(scope="module")
+def genome(mapper):
+    return mapper.reference
+
+
+class TestExactReads:
+    def test_forward_read_exact_position(self, mapper, genome):
+        read = genome[5_000:5_120]
+        result = mapper.map_read(read)
+        assert result.mapped
+        assert result.record.pos == 5_000
+        assert str(result.record.cigar) == "120M"
+        assert not result.record.is_reverse
+        assert result.record.mapq >= 50
+
+    def test_reverse_read(self, mapper, genome):
+        read = reverse_complement(genome[8_000:8_120])
+        result = mapper.map_read(read)
+        assert result.mapped
+        assert result.record.pos == 8_000
+        assert result.record.is_reverse
+        # SEQ stored in reference orientation
+        assert result.record.seq == genome[8_000:8_120]
+
+    def test_record_consistency(self, mapper, genome):
+        result = mapper.map_read(genome[100:250])
+        rec = result.record
+        assert rec.cigar.query_length == len(rec.seq)
+        assert rec.reference_end <= len(genome)
+
+
+class TestVariantReads:
+    def test_substitutions_tolerated(self, mapper, genome):
+        read = list(genome[12_000:12_120])
+        for i in (30, 60, 90):
+            read[i] = "A" if read[i] != "A" else "C"
+        result = mapper.map_read("".join(read))
+        assert result.mapped
+        assert result.record.pos == 12_000
+        assert str(result.record.cigar) == "120M"  # mismatches are M
+
+    def test_deletion_in_read(self, mapper, genome):
+        read = genome[15_000:15_060] + genome[15_065:15_125]
+        result = mapper.map_read(read)
+        assert result.mapped
+        assert result.record.pos == 15_000
+        assert "D" in str(result.record.cigar)
+        assert result.record.cigar.reference_length == 125
+
+    def test_insertion_in_read(self, mapper, genome):
+        read = genome[18_000:18_060] + "ACGTA" + genome[18_060:18_120]
+        result = mapper.map_read(read)
+        assert result.mapped
+        assert result.record.pos == 18_000
+        assert "I" in str(result.record.cigar)
+
+
+class TestUnmappableAndRepeats:
+    def test_random_read_unmapped(self, mapper):
+        alien = random_genome(120, seed=555)
+        result = mapper.map_read(alien)
+        assert not result.mapped
+        assert result.record.mapq == 0
+
+    def test_repeat_read_low_mapq(self):
+        unit = random_genome(300, seed=77)
+        genome = unit * 6 + random_genome(2_000, seed=78)
+        m = ReadMapper(genome)
+        unique = m.map_read(genome[-1_500:-1_380])
+        repeat = m.map_read(unit[50:170])
+        assert unique.record.mapq > repeat.record.mapq
+        assert repeat.record.mapq <= 10  # near-equal placements collapse MAPQ
+
+
+class TestBulk:
+    def test_simulated_reads_accuracy(self, mapper, genome):
+        sample, _ = mutate_genome(genome, seed=92)
+        sim = ShortReadSimulator(read_len=120, error_rate=0.005)
+        reads = sim.simulate(sample, 60, seed=93)
+        results = mapper.map_all(reads)
+        mapped = [r for r in results if r.mapped]
+        assert len(mapped) >= 0.95 * len(reads)
+        correct = sum(
+            1
+            for read, res in zip(reads, results)
+            if res.mapped and abs(res.record.pos - read.ref_start) <= 8
+        )
+        assert correct >= 0.95 * len(mapped)
+
+    def test_names_preserved(self, mapper, genome):
+        sim = ShortReadSimulator(read_len=100)
+        reads = sim.simulate(genome, 3, seed=94)
+        results = mapper.map_all(reads)
+        assert [r.record.qname for r in results] == [rd.name for rd in reads]

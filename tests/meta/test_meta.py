@@ -1,0 +1,155 @@
+"""Tests for metagenomics classification and abundance estimation."""
+
+import numpy as np
+import pytest
+
+from repro.meta.abundance import estimate_abundances
+from repro.meta.classify import Classification, PanGenomeIndex
+from repro.sequence.alphabet import reverse_complement
+from repro.sequence.simulate import LongReadSimulator, random_genome
+
+
+@pytest.fixture(scope="module")
+def pan_index():
+    index = PanGenomeIndex()
+    genomes = {}
+    for i, name in enumerate(("ecoli", "saureus", "paeruginosa")):
+        genomes[name] = random_genome(12_000, seed=100 + i)
+        index.add_genome(name, genomes[name])
+    return index, genomes
+
+
+class TestIndex:
+    def test_duplicate_rejected(self, pan_index):
+        index, genomes = pan_index
+        with pytest.raises(ValueError):
+            index.add_genome("ecoli", genomes["ecoli"])
+
+    def test_short_genome_rejected(self):
+        with pytest.raises(ValueError):
+            PanGenomeIndex().add_genome("tiny", "ACGT")
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(RuntimeError):
+            PanGenomeIndex().classify("ACGT" * 100)
+
+
+class TestClassification:
+    def test_reads_classified_to_source(self, pan_index):
+        index, genomes = pan_index
+        sim = LongReadSimulator(mean_len=2_000, min_len=800, error_rate=0.05)
+        correct = total = 0
+        for name, genome in genomes.items():
+            for r in sim.simulate(genome, 8, seed=hash(name) % 2**31):
+                c = index.classify(r.sequence)
+                total += 1
+                correct += c.best == name
+        assert correct / total > 0.9
+
+    def test_reverse_strand_reads_classified(self, pan_index):
+        index, genomes = pan_index
+        read = reverse_complement(genomes["saureus"][3_000:5_000])
+        assert index.classify(read).best == "saureus"
+
+    def test_foreign_read_unclassified(self, pan_index):
+        index, _ = pan_index
+        alien = random_genome(2_000, seed=999)
+        c = index.classify(alien)
+        assert c.best is None or max(c.scores.values()) < 120
+
+    def test_shared_region_is_ambiguous(self):
+        index = PanGenomeIndex()
+        core = random_genome(4_000, seed=7)
+        a = core + random_genome(4_000, seed=8)
+        b = core + random_genome(4_000, seed=9)
+        index.add_genome("strainA", a)
+        index.add_genome("strainB", b)
+        c = index.classify(core[500:2_500])
+        assert set(c.scores) == {"strainA", "strainB"}
+        assert c.ambiguous
+
+    def test_candidates_sorted(self, pan_index):
+        index, genomes = pan_index
+        c = index.classify(genomes["ecoli"][1_000:3_000])
+        cands = c.candidates()
+        assert cands[0] == "ecoli"
+        scores = [c.scores[x] for x in cands]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestAbundance:
+    def _mock(self, name, scores, ambiguous=False):
+        best = max(scores, key=scores.get) if scores else None
+        return Classification(read_name=name, scores=scores, best=best, ambiguous=ambiguous)
+
+    def test_unambiguous_proportions(self):
+        lengths = {"a": 10_000, "b": 10_000}
+        cls = [self._mock(f"r{i}", {"a": 100.0}) for i in range(30)]
+        cls += [self._mock(f"s{i}", {"b": 100.0}) for i in range(10)]
+        res = estimate_abundances(cls, lengths)
+        assert res.abundances["a"] == pytest.approx(0.75, abs=0.02)
+        assert res.n_classified == 40
+
+    def test_length_normalization(self):
+        # equal read counts from a 2x longer genome mean half the abundance
+        lengths = {"long": 20_000, "short": 10_000}
+        cls = [self._mock(f"r{i}", {"long": 100.0}) for i in range(20)]
+        cls += [self._mock(f"s{i}", {"short": 100.0}) for i in range(20)]
+        res = estimate_abundances(cls, lengths)
+        assert res.abundances["short"] == pytest.approx(2 / 3, abs=0.02)
+
+    def test_em_resolves_ambiguous_reads(self):
+        lengths = {"a": 10_000, "b": 10_000}
+        # 20 reads uniquely a, 2 uniquely b, 10 ambiguous: EM should pull
+        # most ambiguous mass toward a
+        cls = [self._mock(f"a{i}", {"a": 100.0}) for i in range(20)]
+        cls += [self._mock(f"b{i}", {"b": 100.0}) for i in range(2)]
+        cls += [
+            self._mock(f"x{i}", {"a": 100.0, "b": 100.0}, ambiguous=True)
+            for i in range(10)
+        ]
+        res = estimate_abundances(cls, lengths)
+        assert res.abundances["a"] > 0.8
+        amb = res.read_fractions["x0"]
+        assert amb["a"] > 0.8
+        assert amb["a"] + amb["b"] == pytest.approx(1.0)
+
+    def test_unclassified_counted(self):
+        lengths = {"a": 1_000}
+        cls = [self._mock("r0", {"a": 50.0}), self._mock("r1", {})]
+        res = estimate_abundances(cls, lengths)
+        assert res.n_unclassified == 1
+
+    def test_all_unclassified(self):
+        res = estimate_abundances([self._mock("r", {})], {"a": 1_000})
+        assert res.n_classified == 0
+        assert res.abundances["a"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_abundances([], {})
+
+    def test_abundances_sum_to_one(self):
+        lengths = {"a": 5_000, "b": 8_000, "c": 3_000}
+        rng = np.random.default_rng(4)
+        cls = []
+        for i in range(50):
+            orgs = rng.choice(["a", "b", "c"], size=int(rng.integers(1, 4)), replace=False)
+            cls.append(self._mock(f"r{i}", {o: float(rng.uniform(50, 150)) for o in orgs}))
+        res = estimate_abundances(cls, lengths)
+        assert sum(res.abundances.values()) == pytest.approx(1.0)
+
+    def test_end_to_end_mixture(self, pan_index):
+        """A 70/20/10 mixture is recovered within a reasonable margin."""
+        index, genomes = pan_index
+        sim = LongReadSimulator(mean_len=1_500, min_len=600, error_rate=0.05)
+        mixture = {"ecoli": 35, "saureus": 10, "paeruginosa": 5}
+        reads = []
+        for name, n in mixture.items():
+            for i, r in enumerate(sim.simulate(genomes[name], n, seed=hash(name) % 10**6)):
+                reads.append((f"{name}_{i}", r.sequence))
+        cls = index.classify_all(reads)
+        res = estimate_abundances(cls, {n: len(g) for n, g in genomes.items()})
+        assert res.top(1)[0][0] == "ecoli"
+        assert res.abundances["ecoli"] == pytest.approx(0.7, abs=0.12)
+        assert res.abundances["paeruginosa"] < res.abundances["saureus"] + 0.08

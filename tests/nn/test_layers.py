@@ -1,0 +1,132 @@
+"""Tests for the neural-network layer substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import BatchNorm1d, Conv1d, Dense, ReLU, Sequential, Sigmoid, Swish, Tanh
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestConv1d:
+    def test_output_shape(self):
+        conv = Conv1d(3, 8, kernel=5, rng=rng())
+        out = conv.forward(np.zeros((3, 100), dtype=np.float32))
+        assert out.shape == (8, 100)  # same-padding default
+
+    def test_stride_downsamples(self):
+        conv = Conv1d(1, 4, kernel=9, stride=3, rng=rng())
+        out = conv.forward(np.zeros((1, 99), dtype=np.float32))
+        assert out.shape[1] == (99 + 2 * 4 - 9) // 3 + 1
+
+    def test_identity_kernel(self):
+        conv = Conv1d(1, 1, kernel=1, rng=rng())
+        conv.weight[:] = 1.0
+        conv.bias[:] = 0.0
+        x = np.arange(10, dtype=np.float32)[None, :]
+        assert np.allclose(conv.forward(x), x)
+
+    def test_known_convolution(self):
+        conv = Conv1d(1, 1, kernel=3, padding=0, rng=rng())
+        conv.weight[0, 0] = [1.0, 2.0, 3.0]
+        conv.bias[:] = 1.0
+        x = np.array([[1.0, 1.0, 1.0, 2.0]], dtype=np.float32)
+        out = conv.forward(x)
+        assert np.allclose(out, [[1 + 2 + 3 + 1, 1 + 2 + 6 + 1]])
+
+    def test_depthwise_channels_independent(self):
+        conv = Conv1d(4, 4, kernel=3, groups=4, rng=rng())
+        x = np.zeros((4, 20), dtype=np.float32)
+        x[2, 10] = 1.0
+        out = conv.forward(x) - conv.bias[:, None]
+        # only channel 2 responds to a channel-2 impulse
+        assert np.abs(out[2]).sum() > 0
+        for c in (0, 1, 3):
+            assert np.abs(out[c]).sum() == 0
+
+    def test_matches_scipy(self):
+        from scipy.signal import correlate
+
+        conv = Conv1d(2, 3, kernel=5, padding=0, rng=rng())
+        x = rng().standard_normal((2, 40)).astype(np.float32)
+        out = conv.forward(x)
+        for o in range(3):
+            expected = sum(
+                correlate(x[i], conv.weight[o, i], mode="valid") for i in range(2)
+            )
+            assert np.allclose(out[o], expected + conv.bias[o], atol=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Conv1d(3, 4, kernel=3, groups=2)
+        with pytest.raises(ValueError):
+            Conv1d(2, 2, kernel=0)
+        conv = Conv1d(2, 2, kernel=3)
+        with pytest.raises(ValueError):
+            conv.forward(np.zeros((3, 10), dtype=np.float32))
+
+    def test_op_count_positive(self):
+        conv = Conv1d(4, 8, kernel=5)
+        assert conv.op_count(np.zeros((4, 100), dtype=np.float32)) > 0
+
+
+class TestActivationsAndNorm:
+    def test_relu(self):
+        assert np.allclose(ReLU().forward(np.array([-1.0, 2.0])), [0.0, 2.0])
+
+    def test_sigmoid_range(self):
+        y = Sigmoid().forward(np.linspace(-5, 5, 11))
+        assert (y > 0).all() and (y < 1).all()
+        assert y[5] == pytest.approx(0.5)
+
+    def test_tanh(self):
+        assert Tanh().forward(np.array([0.0]))[0] == 0.0
+
+    def test_swish(self):
+        x = np.array([0.0, 10.0])
+        y = Swish().forward(x)
+        assert y[0] == 0.0
+        assert y[1] == pytest.approx(10.0, rel=1e-3)
+
+    def test_batchnorm_normalizes(self):
+        bn = BatchNorm1d(2, rng=rng())
+        x = np.stack([np.full(10, bn.mean[0]), np.full(10, bn.mean[1])]).astype(
+            np.float32
+        )
+        out = bn.forward(x)
+        assert np.allclose(out, 0.0, atol=1e-5)
+
+
+class TestDense:
+    def test_shape_and_values(self):
+        d = Dense(3, 2, rng=rng())
+        d.weight[:] = np.arange(6).reshape(3, 2)
+        d.bias[:] = [1.0, -1.0]
+        out = d.forward(np.array([1.0, 0.0, 1.0], dtype=np.float32))
+        assert np.allclose(out, [0 + 4 + 1, 1 + 5 - 1])
+
+    def test_batched_input(self):
+        d = Dense(4, 5, rng=rng())
+        out = d.forward(np.zeros((7, 4), dtype=np.float32))
+        assert out.shape == (7, 5)
+
+    def test_feature_check(self):
+        with pytest.raises(ValueError):
+            Dense(4, 5).forward(np.zeros(3, dtype=np.float32))
+
+
+class TestSequential:
+    def test_chains_layers(self):
+        seq = Sequential(Dense(4, 8, rng=rng()), ReLU(), Dense(8, 2, rng=rng()))
+        out = seq.forward(np.ones(4, dtype=np.float32))
+        assert out.shape == (2,)
+
+    def test_op_count_sums(self):
+        d1, d2 = Dense(4, 8, rng=rng()), Dense(8, 2, rng=rng())
+        seq = Sequential(d1, ReLU(), d2)
+        x = np.ones(4, dtype=np.float32)
+        assert seq.op_count(x) == d1.op_count(x) + 8 + d2.op_count(np.ones(8, dtype=np.float32))

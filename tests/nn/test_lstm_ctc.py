@@ -1,0 +1,119 @@
+"""Tests for LSTM layers and CTC decoders."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.ctc import BLANK, CTC_ALPHABET, ctc_beam_search, ctc_greedy_decode
+from repro.nn.lstm import LSTM, BiLSTM
+
+
+class TestLSTM:
+    def test_output_shape(self):
+        lstm = LSTM(8, 16, rng=np.random.default_rng(1))
+        out = lstm.forward(np.zeros((20, 8), dtype=np.float32))
+        assert out.shape == (20, 16)
+
+    def test_state_carries_information(self):
+        lstm = LSTM(4, 8, rng=np.random.default_rng(2))
+        x = np.zeros((10, 4), dtype=np.float32)
+        x[0, :] = 5.0  # impulse at t=0
+        out_impulse = lstm.forward(x)
+        out_zero = lstm.forward(np.zeros_like(x))
+        # the impulse influences later timesteps (recurrence works)
+        assert not np.allclose(out_impulse[5], out_zero[5])
+
+    def test_reverse_direction(self):
+        fwd = LSTM(4, 8, rng=np.random.default_rng(3))
+        rev = LSTM(4, 8, rng=np.random.default_rng(3), reverse=True)
+        x = np.random.default_rng(4).standard_normal((12, 4)).astype(np.float32)
+        assert np.allclose(fwd.forward(x[::-1])[::-1], rev.forward(x), atol=1e-6)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            LSTM(4, 8).forward(np.zeros((10, 5), dtype=np.float32))
+
+    def test_bilstm_concatenates(self):
+        bi = BiLSTM(4, 8, rng=np.random.default_rng(5))
+        out = bi.forward(np.zeros((10, 4), dtype=np.float32))
+        assert out.shape == (10, 16)
+
+    def test_op_count(self):
+        lstm = LSTM(4, 8)
+        assert lstm.op_count(np.zeros((10, 4), dtype=np.float32)) > 0
+
+
+def logits_for(path):
+    """Near-deterministic log-probabilities spelling a symbol path."""
+    out = np.full((len(path), 5), -12.0)
+    for t, s in enumerate(path):
+        out[t, s] = -1e-5
+    return out
+
+
+class TestGreedyDecode:
+    def test_collapse_and_blanks(self):
+        assert ctc_greedy_decode(logits_for([1, 1, 0, 2, 2, 0, 3, 4])) == "ACGT"
+
+    def test_blank_separated_repeat(self):
+        assert ctc_greedy_decode(logits_for([0, 1, 0, 1, 0])) == "AA"
+
+    def test_all_blanks(self):
+        assert ctc_greedy_decode(logits_for([0, 0, 0])) == ""
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ctc_greedy_decode(np.zeros((5, 4)))
+
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=50))
+    def test_greedy_equals_manual_collapse(self, path):
+        decoded = ctc_greedy_decode(logits_for(path))
+        manual = []
+        prev = BLANK
+        for s in path:
+            if s != BLANK and s != prev:
+                manual.append(CTC_ALPHABET[s - 1])
+            prev = s
+        assert decoded == "".join(manual)
+
+
+class TestBeamSearch:
+    def test_matches_greedy_on_sharp_logits(self):
+        path = [1, 0, 2, 2, 0, 3, 0, 4, 4]
+        lp = logits_for(path)
+        assert ctc_beam_search(lp, beam_width=4) == ctc_greedy_decode(lp)
+
+    def test_sums_over_alignments(self):
+        """Beam search can beat greedy: two alignments of 'A' outweigh
+        one slightly better blank path."""
+        lp = np.log(
+            np.array(
+                [
+                    [0.4, 0.6, 0.0, 0.0, 0.0],
+                    [0.6, 0.4, 0.0, 0.0, 0.0],
+                ]
+            )
+            + 1e-12
+        )
+        # greedy path: blank,blank?? argmax t0 = 'A'(0.6), t1 = blank(0.6) -> "A"
+        # P("") = 0.4*0.6 = 0.24; P("A") = 0.6*0.6 + 0.4*0.6 + 0.6*0.4 = 0.84
+        assert ctc_beam_search(lp, beam_width=4) == "A"
+
+    def test_beam_width_one_still_valid(self):
+        lp = logits_for([1, 0, 2])
+        assert ctc_beam_search(lp, beam_width=1) == "AC"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ctc_beam_search(logits_for([1]), beam_width=0)
+        with pytest.raises(ValueError):
+            ctc_beam_search(np.zeros((5, 3)))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=12))
+    def test_agrees_with_greedy_when_unambiguous(self, path):
+        lp = logits_for(path)
+        assert ctc_beam_search(lp, beam_width=8) == ctc_greedy_decode(lp)

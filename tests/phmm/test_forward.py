@@ -1,0 +1,122 @@
+"""Tests for the PairHMM forward algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instrument import Instrumentation
+from repro.phmm.forward import BatchedPairHMM, forward_likelihood, log10_likelihood
+from repro.phmm.model import HMMParameters, emission_priors
+from repro.sequence.simulate import random_genome
+
+dna = st.text(alphabet="ACGT", min_size=2, max_size=20)
+
+
+def quals(n, q=30):
+    return np.full(n, q, dtype=np.int64)
+
+
+class TestModel:
+    def test_transition_rows_sum_to_one(self):
+        t = HMMParameters().transitions()
+        assert t["mm"] + t["mi"] + t["md"] == pytest.approx(1.0)
+        assert t["im"] + t["ii"] == pytest.approx(1.0)
+        assert t["dm"] + t["dd"] == pytest.approx(1.0)
+
+    def test_priors_shape_and_values(self):
+        p = emission_priors("AC", quals(2, 20), "ACG")
+        assert p.shape == (2, 3)
+        assert p[0, 0] == pytest.approx(0.99)  # A vs A at Q20
+        assert p[0, 1] == pytest.approx(0.01 / 3)  # A vs C
+
+    def test_priors_quality_length_check(self):
+        with pytest.raises(ValueError):
+            emission_priors("AC", quals(3), "ACG")
+
+
+class TestReference:
+    def test_probability_range(self):
+        like = forward_likelihood("ACGT", quals(4), "ACGT")
+        assert 0.0 < like < 1.0
+
+    def test_match_beats_mismatch(self):
+        hap = "ACGTACGTAC"
+        good = forward_likelihood(hap, quals(10), hap)
+        bad = forward_likelihood("ACGTACGTTT", quals(10), hap)
+        assert good > bad
+
+    def test_higher_quality_sharpens(self):
+        hap = "ACGTACGT"
+        like_q40 = forward_likelihood(hap, quals(8, 40), hap)
+        like_q10 = forward_likelihood(hap, quals(8, 10), hap)
+        assert like_q40 > like_q10
+
+    def test_low_quality_softens_mismatch(self):
+        hap = "ACGTACGT"
+        read = "ACGTACGA"
+        # a mismatch at a low-quality base hurts less
+        q_hi = quals(8, 40)
+        q_lo = q_hi.copy()
+        q_lo[-1] = 5
+        assert forward_likelihood(read, q_lo, hap) > forward_likelihood(read, q_hi, hap)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            forward_likelihood("", quals(0), "ACG")
+
+    def test_log10(self):
+        hap = "ACGTAC"
+        assert log10_likelihood(hap, quals(6), hap) == pytest.approx(
+            math.log10(forward_likelihood(hap, quals(6), hap))
+        )
+
+    def test_total_probability_bound(self):
+        """Summing likelihood over all length-2 reads is <= 1 (sub-stochastic)."""
+        hap = "ACGT"
+        total = 0.0
+        for a in "ACGT":
+            for b in "ACGT":
+                total += forward_likelihood(a + b, quals(2, 40), hap)
+        assert total <= 1.0 + 1e-9
+
+
+class TestBatched:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(dna, min_size=1, max_size=5), st.lists(dna, min_size=1, max_size=4))
+    def test_matches_reference(self, reads, haps):
+        engine = BatchedPairHMM()
+        pairs = [(r, quals(len(r))) for r in reads]
+        likes, _ = engine.region_likelihoods(pairs, haps)
+        for i, (r, q) in enumerate(pairs):
+            for j, h in enumerate(haps):
+                assert likes[i, j] == pytest.approx(
+                    forward_likelihood(r, q, h), rel=5e-4
+                )
+
+    def test_underflow_rescue_triggers(self):
+        # ~33 Q40 mismatches put the likelihood near 1e-150: below the
+        # float32 range but comfortably inside float64 -- exactly the
+        # case GATK's double-precision rescue exists for
+        hap = random_genome(120, seed=21)
+        read = list(hap[:100])
+        for i in range(0, 100, 3):
+            read[i] = "A" if read[i] != "A" else "C"
+        read = "".join(read)
+        engine = BatchedPairHMM()
+        likes, rescued = engine.region_likelihoods([(read, quals(100, 40))], [hap])
+        assert rescued == 1
+        ref = forward_likelihood(read, quals(100, 40), hap)
+        assert ref > 0.0
+        assert likes[0, 0] == pytest.approx(ref, rel=1e-6)
+
+    def test_instrumentation_fp_dominant(self):
+        engine = BatchedPairHMM()
+        instr = Instrumentation()
+        engine.region_likelihoods(
+            [("ACGTACGTAC", quals(10))], ["ACGTACGTACGT"], instr=instr
+        )
+        fr = instr.counts.fractions()
+        assert fr["fp"] > 0.4  # phmm is the FP kernel (Fig. 5)

@@ -1,0 +1,73 @@
+"""Tests for diploid genotyping on pair-HMM likelihoods."""
+
+import numpy as np
+import pytest
+
+from repro.phmm.forward import BatchedPairHMM
+from repro.phmm.genotyping import GenotypeCall, genotype_region
+from repro.sequence.simulate import ShortReadSimulator, random_genome
+
+
+class TestGenotypeRegion:
+    def test_homozygous_reference(self):
+        # all reads strongly support haplotype 0
+        likes = np.array([[1e-5, 1e-30]] * 10)
+        call = genotype_region(likes)
+        assert (call.hap_a, call.hap_b) == (0, 0)
+        assert call.is_homozygous
+        # the het runner-up loses log10(2) per read: 10 reads -> ~3.01
+        assert call.log10_odds == pytest.approx(10 * np.log10(2), abs=0.1)
+
+    def test_heterozygous_split(self):
+        # half the reads support each haplotype: het pair wins
+        likes = np.array([[1e-5, 1e-30]] * 8 + [[1e-30, 1e-5]] * 8)
+        call = genotype_region(likes)
+        assert (call.hap_a, call.hap_b) == (0, 1)
+        assert not call.is_homozygous
+
+    def test_posterior_normalized(self):
+        likes = np.array([[1e-5, 1e-6], [1e-6, 1e-5]])
+        call = genotype_region(likes)
+        assert call.log10_posterior <= 0.0
+
+    def test_three_haplotypes_best_pair(self):
+        likes = np.array(
+            [[1e-5, 1e-30, 1e-30]] * 6 + [[1e-30, 1e-30, 1e-5]] * 6
+        )
+        call = genotype_region(likes)
+        assert {call.hap_a, call.hap_b} == {0, 2}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            genotype_region(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            genotype_region(np.zeros(5))
+
+    def test_end_to_end_het_snp(self):
+        """Reads simulated 50/50 from two haplotypes genotype as het."""
+        ref = random_genome(150, seed=41)
+        alt = ref[:75] + ("A" if ref[75] != "A" else "C") + ref[76:]
+        sim = ShortReadSimulator(read_len=100, error_rate=0.005)
+        reads = []
+        for hap, seed in ((ref, 1), (alt, 2)):
+            for r in sim.simulate(hap, 10, seed=seed):
+                if r.strand == "+":  # keep reference orientation simple
+                    reads.append((r.sequence, r.qualities))
+        engine = BatchedPairHMM()
+        likes, _ = engine.region_likelihoods(reads, [ref, alt])
+        call = genotype_region(likes)
+        assert {call.hap_a, call.hap_b} == {0, 1}
+
+    def test_end_to_end_hom_alt(self):
+        ref = random_genome(150, seed=43)
+        alt = ref[:75] + ("G" if ref[75] != "G" else "T") + ref[76:]
+        sim = ShortReadSimulator(read_len=100, error_rate=0.005)
+        reads = [
+            (r.sequence, r.qualities)
+            for r in sim.simulate(alt, 20, seed=3)
+            if r.strand == "+"
+        ]
+        engine = BatchedPairHMM()
+        likes, _ = engine.region_likelihoods(reads, [ref, alt])
+        call = genotype_region(likes)
+        assert (call.hap_a, call.hap_b) == (1, 1)

@@ -1,0 +1,124 @@
+"""Tests for pileup counting."""
+
+import numpy as np
+import pytest
+
+from repro.core.instrument import Instrumentation
+from repro.io.cigar import Cigar
+from repro.io.regions import GenomicRegion
+from repro.io.sam import FLAG_REVERSE, AlignmentRecord, simulate_alignments
+from repro.pileup.counts import count_region
+from repro.pileup.regions import reads_by_region
+from repro.sequence.simulate import LongReadSimulator
+
+
+def record(pos, cigar, seq, flag=0, name="r"):
+    return AlignmentRecord(
+        qname=name,
+        flag=flag,
+        rname="c",
+        pos=pos,
+        mapq=60,
+        cigar=Cigar.parse(cigar),
+        seq=seq,
+        quals=np.full(len(seq), 30),
+    )
+
+
+class TestCounting:
+    def test_simple_match(self):
+        region = GenomicRegion("c", 0, 10)
+        pile = count_region([record(2, "4M", "ACGT")], region)
+        assert pile.n_records == 1
+        assert pile.bases[2, 0, 0] == 1  # A at pos 2, forward
+        assert pile.bases[3, 1, 0] == 1  # C at pos 3
+        assert pile.depth().tolist() == [0, 0, 1, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_reverse_strand_column(self):
+        region = GenomicRegion("c", 0, 10)
+        pile = count_region([record(0, "2M", "AC", flag=FLAG_REVERSE)], region)
+        assert pile.bases[0, 0, 1] == 1
+        assert pile.bases[0, 0, 0] == 0
+
+    def test_deletion_counted(self):
+        region = GenomicRegion("c", 0, 10)
+        pile = count_region([record(0, "2M3D2M", "ACGT")], region)
+        assert pile.deletions[2:5, 0].tolist() == [1, 1, 1]
+        assert pile.depth()[3] == 1  # deletion contributes to depth
+
+    def test_insertion_anchored(self):
+        region = GenomicRegion("c", 0, 10)
+        pile = count_region([record(0, "2M2I2M", "ACGGGT")], region)
+        assert pile.insertions[1, 0] == 1  # anchored after base 1
+        assert pile.bases[2, 2, 0] == 1  # G continues at ref pos 2
+
+    def test_clipping_to_region(self):
+        region = GenomicRegion("c", 5, 8)
+        pile = count_region([record(0, "10M", "ACGTACGTAC")], region)
+        assert pile.depth().tolist() == [1, 1, 1]
+        # bases taken from the correct read offsets: read[5:8] = "CGT"
+        assert pile.bases[0, 1, 0] == 1  # C
+        assert pile.bases[1, 2, 0] == 1  # G
+        assert pile.bases[2, 3, 0] == 1  # T
+
+    def test_non_overlapping_skipped(self):
+        region = GenomicRegion("c", 100, 110)
+        pile = count_region([record(0, "4M", "ACGT")], region)
+        assert pile.n_records == 0
+
+    def test_consensus_majority(self):
+        region = GenomicRegion("c", 0, 4)
+        recs = [record(0, "4M", "ACGT", name=f"r{i}") for i in range(3)]
+        recs.append(record(0, "4M", "TCGT", name="odd"))
+        pile = count_region(recs, region)
+        assert pile.consensus() == "ACGT"
+
+    def test_consensus_uncovered_is_n(self):
+        region = GenomicRegion("c", 0, 6)
+        pile = count_region([record(0, "2M", "AC")], region)
+        assert pile.consensus() == "ACNNNN"
+
+    def test_instrumentation(self):
+        region = GenomicRegion("c", 0, 10)
+        instr = Instrumentation.with_trace()
+        count_region([record(0, "4M", "ACGT")], region, instr=instr)
+        assert instr.counts.load > 0
+        assert len(instr.trace) > 0
+
+
+class TestRegionPartitioning:
+    def test_records_assigned_to_all_touched_regions(self, genome_10k):
+        records = simulate_alignments(
+            genome_10k, "chr1", 3.0, seed=1,
+            simulator=LongReadSimulator(mean_len=2_000),
+        )
+        tasks = reads_by_region(records, "chr1", len(genome_10k), 2_500)
+        assert len(tasks) == 4
+        # every record appears in every region it overlaps
+        for region, hits in tasks:
+            for rec in records:
+                assert (rec in hits) == rec.overlaps(region)
+
+    def test_boundary_spanning_record_in_both(self):
+        rec = record(2_400, "200M", "A" * 200)
+        tasks = reads_by_region([rec], "c", 5_000, 2_500)
+        assert rec in tasks[0][1] and rec in tasks[1][1]
+
+    def test_end_to_end_consensus_accuracy(self, genome_10k):
+        records = simulate_alignments(
+            genome_10k, "chr1", 15.0, seed=2,
+            simulator=LongReadSimulator(mean_len=2_000, error_rate=0.08),
+        )
+        tasks = reads_by_region(records, "chr1", len(genome_10k), 2_500)
+        match = total = 0
+        for region, hits in tasks:
+            pile = count_region(hits, region)
+            cons = pile.consensus()
+            depth = pile.depth()
+            truth = genome_10k[region.start : region.end]
+            for c, t, d in zip(cons, truth, depth):
+                if d >= 8:
+                    total += 1
+                    match += c == t
+        assert total > 5_000
+        assert match / total > 0.995

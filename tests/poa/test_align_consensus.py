@@ -1,0 +1,148 @@
+"""Tests for graph alignment and heaviest-bundle consensus."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.pairwise import sw_scalar
+from repro.align.scoring import ScoringScheme
+from repro.core.instrument import Instrumentation
+from repro.poa.align import GraphAligner
+from repro.poa.consensus import consensus_window, heaviest_bundle
+from repro.poa.graph import POAGraph
+from repro.sequence.alphabet import reverse_complement
+from repro.sequence.simulate import LongReadSimulator, random_genome
+
+dna = st.text(alphabet="ACGT", min_size=3, max_size=40)
+
+
+def linear_graph(seq: str) -> POAGraph:
+    g = POAGraph()
+    g.add_first_sequence(seq)
+    return g
+
+
+class TestAligner:
+    def test_exact_match_score(self):
+        al = GraphAligner().align(linear_graph("ACGTACGT"), "ACGTACGT")
+        assert al.score == 5 * 8
+        assert all(v is not None and q is not None for v, q in al.pairs)
+
+    def test_pairs_cover_query(self):
+        al = GraphAligner().align(linear_graph("ACGTACGT"), "ACGAACGT")
+        consumed = [q for _, q in al.pairs if q is not None]
+        assert consumed == list(range(8))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GraphAligner(match=-1)
+        with pytest.raises(ValueError):
+            GraphAligner().align(POAGraph(), "ACGT")
+        with pytest.raises(ValueError):
+            GraphAligner().align(linear_graph("ACG"), "")
+
+    @settings(max_examples=25, deadline=None)
+    @given(dna, dna)
+    def test_linear_graph_matches_pairwise_dp(self, backbone, query):
+        """Against a linear graph, POA alignment is plain sequence
+        alignment: scores must match an equivalent query-global DP."""
+        al = GraphAligner(match=2, mismatch=-3, gap=-4).align(
+            linear_graph(backbone), query
+        )
+        assert al.score == _query_global_linear(query, backbone, 2, -3, -4)
+
+    def test_graph_branch_improves_score(self):
+        g = linear_graph("ACGTACGT")
+        aligner = GraphAligner()
+        variant = "ACCTACGT"
+        before = aligner.align(g, variant).score
+        al = aligner.align(g, variant)
+        g.merge_alignment(variant, al.pairs)
+        after = aligner.align(g, variant).score
+        assert after > before  # the variant branch now matches exactly
+        assert after == 5 * 8
+
+    def test_cells_reflect_in_degree(self):
+        g = linear_graph("ACGTACGT")
+        a1 = GraphAligner().align(g, "ACGTACGT")
+        al = GraphAligner().align(g, "ACCTACGT")
+        g.merge_alignment("ACCTACGT", al.pairs)
+        a2 = GraphAligner().align(g, "ACGTACGT")
+        assert a2.cells > a1.cells
+
+    def test_instrumentation(self):
+        instr = Instrumentation.with_trace()
+        GraphAligner().align(linear_graph("ACGTACGTACGTACGT"), "ACGTACGT", instr=instr)
+        assert instr.counts.vector > 0
+        assert len(instr.trace) > 0
+
+
+def _query_global_linear(query: str, target: str, match: int, mismatch: int, gap: int) -> int:
+    """Query-global, target-free-ends DP with linear gaps (oracle).
+
+    Row 0 is the virtual source (leading insertions cost ``j * gap``);
+    every target position may also start fresh from the virtual row,
+    mirroring the aligner's free graph start.
+    """
+    m, n = len(query), len(target)
+    rows = [[j * gap for j in range(m + 1)]]
+    best = rows[0][m]
+    for v in range(1, n + 1):
+        cur: list[int] = [0] * (m + 1)
+        preds = [v - 1, 0] if v > 1 else [0]
+        for j in range(m + 1):
+            cands = []
+            for pi in preds:
+                p = rows[pi]
+                if j > 0:
+                    s = match if query[j - 1] == target[v - 1] else mismatch
+                    cands.append(p[j - 1] + s)
+                cands.append(p[j] + gap)
+            if j > 0:
+                cands.append(cur[j - 1] + gap)
+            cur[j] = max(cands)
+        rows.append(cur)
+        best = max(best, cur[m])
+    return best
+
+
+class TestConsensus:
+    def test_single_sequence(self):
+        cons, graph, cells = consensus_window(["ACGTACGT"])
+        assert cons == "ACGTACGT"
+        assert cells == 0
+
+    def test_majority_vote_on_snp(self):
+        seqs = ["ACGTACGTACGTACGTACGT"] * 5 + ["ACGTACGAACGTACGTACGT"] * 2
+        cons, _, _ = consensus_window(seqs)
+        assert cons == "ACGTACGTACGTACGTACGT"
+
+    def test_minority_backbone_corrected(self):
+        # the backbone itself carries the error; the majority fixes it
+        truth = "ACGTACGTACGTACGTACGT"
+        wrong = "ACGTACGAACGTACGTACGT"
+        cons, _, _ = consensus_window([wrong] + [truth] * 6)
+        assert cons == truth
+
+    def test_error_correction_beats_reads(self):
+        truth = random_genome(150, seed=5)
+        sim = LongReadSimulator(mean_len=600, min_len=150, error_rate=0.08)
+        seqs = []
+        for i in range(11):
+            r = sim.simulate(truth, 1, seed=i)[0]
+            seqs.append(
+                reverse_complement(r.sequence) if r.strand == "-" else r.sequence
+            )
+        cons, _, _ = consensus_window(seqs)
+        scheme = ScoringScheme(match=1, mismatch=2, gap_open=2, gap_extend=1)
+        cons_score = sw_scalar(cons, truth, scheme).score
+        best_read = max(sw_scalar(s, truth, scheme).score for s in seqs)
+        assert cons_score > best_read
+
+    def test_heaviest_bundle_empty(self):
+        assert heaviest_bundle(POAGraph()) == ""
+
+    def test_window_requires_sequences(self):
+        with pytest.raises(ValueError):
+            consensus_window([])

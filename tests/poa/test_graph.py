@@ -1,0 +1,105 @@
+"""Tests for the partial-order graph."""
+
+import pytest
+
+from repro.poa.graph import POAGraph
+
+
+class TestBasics:
+    def test_seed_graph(self):
+        g = POAGraph()
+        nodes = g.add_first_sequence("ACGT")
+        assert len(g) == 4
+        assert g.n_edges == 3
+        assert [g.bases[n] for n in nodes] == list("ACGT")
+        assert g.n_sequences == 1
+
+    def test_seed_twice_rejected(self):
+        g = POAGraph()
+        g.add_first_sequence("ACGT")
+        with pytest.raises(ValueError):
+            g.add_first_sequence("ACGT")
+
+    def test_node_validation(self):
+        g = POAGraph()
+        with pytest.raises(ValueError):
+            g.add_node("N")
+        with pytest.raises(ValueError):
+            g.add_node("AC")
+
+    def test_self_edge_rejected(self):
+        g = POAGraph()
+        n = g.add_node("A")
+        with pytest.raises(ValueError):
+            g.add_edge(n, n)
+
+    def test_topological_order(self):
+        g = POAGraph()
+        g.add_first_sequence("ACGTAC")
+        order = g.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for src, out in enumerate(g.out_edges):
+            for dst in out:
+                assert pos[src] < pos[dst]
+
+    def test_cycle_detected(self):
+        g = POAGraph()
+        a = g.add_node("A")
+        b = g.add_node("C")
+        g.add_edge(a, b)
+        g.add_edge(b, a)
+        with pytest.raises(RuntimeError):
+            g.topological_order()
+
+
+class TestMerging:
+    def test_identical_sequence_adds_nothing(self):
+        g = POAGraph()
+        nodes = g.add_first_sequence("ACGT")
+        alignment = [(n, i) for i, n in enumerate(nodes)]
+        g.merge_alignment("ACGT", alignment)
+        assert len(g) == 4
+        assert all(w == 2 for w in g.weights)
+
+    def test_mismatch_creates_ring_node(self):
+        g = POAGraph()
+        nodes = g.add_first_sequence("ACGT")
+        alignment = [(nodes[0], 0), (nodes[1], 1), (nodes[2], 2), (nodes[3], 3)]
+        g.merge_alignment("ACAT", alignment)  # G -> A at position 2
+        assert len(g) == 5
+        new = 4
+        assert g.bases[new] == "A"
+        assert nodes[2] in g.aligned[new]
+        assert new in g.aligned[nodes[2]]
+
+    def test_third_sequence_reuses_ring_node(self):
+        g = POAGraph()
+        nodes = g.add_first_sequence("ACGT")
+        alignment = [(nodes[i], i) for i in range(4)]
+        g.merge_alignment("ACAT", alignment)
+        g.merge_alignment("ACAT", alignment)  # same variant again
+        assert len(g) == 5  # no sixth node
+        assert g.weights[4] == 2
+
+    def test_insertion_creates_branch(self):
+        g = POAGraph()
+        nodes = g.add_first_sequence("ACGT")
+        alignment = [
+            (nodes[0], 0),
+            (nodes[1], 1),
+            (None, 2),  # inserted base
+            (nodes[2], 3),
+            (nodes[3], 4),
+        ]
+        g.merge_alignment("ACTGT", alignment)
+        assert len(g) == 5
+        assert g.mean_in_degree() > 3 / 4  # the fork adds in-edges
+
+    def test_deletion_skips_node(self):
+        g = POAGraph()
+        nodes = g.add_first_sequence("ACGT")
+        alignment = [(nodes[0], 0), (nodes[1], 1), (nodes[2], None), (nodes[3], 2)]
+        g.merge_alignment("ACT", alignment)
+        # an edge now jumps over the deleted node
+        assert nodes[3] in g.out_edges[nodes[1]]
+        g.topological_order()  # still acyclic

@@ -1,0 +1,68 @@
+"""Property tests on POA invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.poa.align import GraphAligner
+from repro.poa.consensus import consensus_window
+from repro.poa.graph import POAGraph
+
+dna = st.text(alphabet="ACGT", min_size=5, max_size=60)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dna, st.integers(2, 6))
+def test_identical_copies_consensus_is_identity(seq, n_copies):
+    """Consensus of n identical sequences is the sequence itself."""
+    cons, graph, _ = consensus_window([seq] * n_copies)
+    assert cons == seq
+    assert len(graph) == len(seq)  # no branch nodes were created
+
+
+@settings(max_examples=30, deadline=None)
+@given(dna)
+def test_self_alignment_is_perfect(seq):
+    g = POAGraph()
+    g.add_first_sequence(seq)
+    al = GraphAligner().align(g, seq)
+    assert al.score == 5 * len(seq)
+    # and re-merging the same sequence adds no nodes
+    g.merge_alignment(seq, al.pairs)
+    assert len(g) == len(seq)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(dna, min_size=2, max_size=6))
+def test_merging_never_creates_cycles(seqs):
+    """Arbitrary merge sequences keep the graph a DAG."""
+    aligner = GraphAligner()
+    graph = POAGraph()
+    graph.add_first_sequence(seqs[0])
+    for seq in seqs[1:]:
+        alignment = aligner.align(graph, seq)
+        graph.merge_alignment(seq, alignment.pairs)
+    graph.topological_order()  # raises on a cycle
+    assert graph.n_sequences == len(seqs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(dna, st.integers(0, 2**31))
+def test_alignment_pairs_consume_query_in_order(seq, seed):
+    """Traceback pairs consume every query base exactly once, in order."""
+    rng = np.random.default_rng(seed)
+    backbone = "".join("ACGT"[i] for i in rng.integers(0, 4, max(5, len(seq))))
+    g = POAGraph()
+    g.add_first_sequence(backbone)
+    al = GraphAligner().align(g, seq)
+    consumed = [q for _, q in al.pairs if q is not None]
+    assert consumed == list(range(len(seq)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(dna)
+def test_consensus_deterministic(seq):
+    mutated = ("A" if seq[0] != "A" else "C") + seq[1:]
+    a, _, _ = consensus_window([seq, mutated, seq])
+    b, _, _ = consensus_window([seq, mutated, seq])
+    assert a == b

@@ -1,0 +1,86 @@
+"""Tests for DNA alphabet encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sequence.alphabet import (
+    BASES,
+    complement,
+    decode,
+    encode,
+    is_valid,
+    reverse_complement,
+    reverse_complement_codes,
+)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+
+
+def test_encode_known():
+    assert encode("ACGT").tolist() == [0, 1, 2, 3]
+
+
+def test_encode_lowercase():
+    assert encode("acgt").tolist() == [0, 1, 2, 3]
+
+
+def test_encode_rejects_invalid():
+    with pytest.raises(ValueError, match="position 2"):
+        encode("ACXT")
+
+
+def test_encode_n_handling():
+    with pytest.raises(ValueError):
+        encode("ACN")
+    assert encode("ACN", allow_n=True).tolist() == [0, 1, 4]
+
+
+def test_decode_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        decode(np.array([7], dtype=np.uint8))
+
+
+def test_complement():
+    assert complement("ACGT") == "TGCA"
+    assert complement("aCgT") == "tGcA"  # case preserved
+
+
+def test_reverse_complement_known():
+    assert reverse_complement("AACG") == "CGTT"
+
+
+def test_is_valid():
+    assert is_valid("ACGT")
+    assert not is_valid("ACGU")
+    assert is_valid("ACGTN", allow_n=True)
+    assert not is_valid("ACGTN")
+
+
+@given(dna)
+def test_roundtrip(seq):
+    assert decode(encode(seq)) == seq
+
+
+@given(dna)
+def test_revcomp_involution(seq):
+    assert reverse_complement(reverse_complement(seq)) == seq
+
+
+@given(dna)
+def test_revcomp_codes_matches_string(seq):
+    assert decode(reverse_complement_codes(encode(seq))) == reverse_complement(seq)
+
+
+@given(dna)
+def test_codes_in_range(seq):
+    codes = encode(seq)
+    assert codes.dtype == np.uint8
+    if codes.size:
+        assert codes.max() <= 3
+
+
+def test_base_order_is_lexicographic():
+    assert BASES == "ACGT"
+    assert sorted(BASES) == list(BASES)

@@ -1,0 +1,64 @@
+"""Tests for Phred quality conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sequence.quality import (
+    MAX_PHRED,
+    error_probability,
+    parse_quality_string,
+    phred_to_prob,
+    prob_to_phred,
+    quality_string,
+)
+
+
+def test_phred_to_prob_known():
+    assert phred_to_prob(10) == pytest.approx(0.1)
+    assert phred_to_prob(20) == pytest.approx(0.01)
+    assert phred_to_prob(30) == pytest.approx(0.001)
+
+
+def test_prob_to_phred_known():
+    assert float(prob_to_phred(0.1)) == pytest.approx(10.0)
+
+
+def test_prob_to_phred_clipping():
+    assert float(prob_to_phred(1e-30)) == MAX_PHRED
+    assert float(prob_to_phred(1.0)) == 0.0
+
+
+def test_prob_to_phred_rejects_invalid():
+    with pytest.raises(ValueError):
+        prob_to_phred(-0.1)
+    with pytest.raises(ValueError):
+        prob_to_phred(1.5)
+
+
+def test_quality_string_known():
+    assert quality_string(np.array([0, 41])) == "!" + chr(33 + 41)
+
+
+def test_quality_string_bounds():
+    with pytest.raises(ValueError):
+        quality_string(np.array([-1]))
+    with pytest.raises(ValueError):
+        quality_string(np.array([94]))
+
+
+def test_error_probability_roundtrip():
+    probs = error_probability(quality_string(np.array([10, 20, 30])))
+    assert probs == pytest.approx([0.1, 0.01, 0.001])
+
+
+@given(st.lists(st.integers(0, 93), max_size=100))
+def test_quality_string_roundtrip(quals):
+    arr = np.array(quals, dtype=np.int64)
+    assert parse_quality_string(quality_string(arr)).tolist() == quals
+
+
+@given(st.floats(0.0, 40.0))
+def test_phred_prob_inverse(q):
+    assert float(prob_to_phred(phred_to_prob(q))) == pytest.approx(q, abs=1e-9)

@@ -1,0 +1,207 @@
+"""Tests for genome and read simulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence.alphabet import is_valid, reverse_complement
+from repro.sequence.simulate import (
+    LongReadSimulator,
+    ShortReadSimulator,
+    Variant,
+    mutate_genome,
+    random_genome,
+)
+
+
+class TestRandomGenome:
+    def test_length_and_alphabet(self):
+        g = random_genome(500, seed=1)
+        assert len(g) == 500
+        assert is_valid(g)
+
+    def test_deterministic(self):
+        assert random_genome(300, seed=7) == random_genome(300, seed=7)
+
+    def test_seed_changes_output(self):
+        assert random_genome(300, seed=7) != random_genome(300, seed=8)
+
+    def test_gc_content_respected(self):
+        g = random_genome(50_000, seed=3, gc=0.3)
+        gc = sum(1 for b in g if b in "GC") / len(g)
+        assert 0.25 < gc < 0.35
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_genome(0, seed=1)
+        with pytest.raises(ValueError):
+            random_genome(10, seed=1, gc=1.0)
+
+    def test_small_windows_are_repeat_free(self):
+        # sub-20kb sequences get no injected tandem repeat (matters for dbg)
+        g1 = random_genome(400, seed=9)
+        g2 = random_genome(400, seed=9)
+        assert g1 == g2
+
+
+class TestMutateGenome:
+    def test_no_mutation_at_zero_rates(self, genome_1k):
+        sample, variants = mutate_genome(genome_1k, seed=1, snp_rate=0, indel_rate=0)
+        assert sample == genome_1k
+        assert variants == []
+
+    def test_snps_recorded_faithfully(self, genome_10k):
+        sample, variants = mutate_genome(genome_10k, seed=2, snp_rate=5e-3, indel_rate=0)
+        assert len(sample) == len(genome_10k)
+        snps = [v for v in variants if v.kind == "SNP"]
+        assert snps, "expected some SNPs at 5e-3 over 10kb"
+        for v in snps:
+            assert genome_10k[v.pos] == v.ref
+            assert sample[v.pos] == v.alt
+            assert v.ref != v.alt
+
+    def test_variants_sorted_non_overlapping(self, genome_10k):
+        _, variants = mutate_genome(genome_10k, seed=3, snp_rate=2e-3, indel_rate=5e-4)
+        positions = [v.pos for v in variants]
+        assert positions == sorted(positions)
+        for a, b in zip(variants, variants[1:]):
+            assert a.pos + max(1, len(a.ref)) <= b.pos
+
+    def test_indel_kinds(self):
+        v_ins = Variant(pos=5, ref="", alt="AC")
+        v_del = Variant(pos=5, ref="ACG", alt="")
+        v_snp = Variant(pos=5, ref="A", alt="C")
+        assert (v_ins.kind, v_del.kind, v_snp.kind) == ("INS", "DEL", "SNP")
+
+    def test_length_changes_match_indels(self, genome_10k):
+        sample, variants = mutate_genome(genome_10k, seed=4, snp_rate=0, indel_rate=2e-3)
+        delta = sum(len(v.alt) - len(v.ref) for v in variants)
+        assert len(sample) == len(genome_10k) + delta
+
+
+class TestShortReadSimulator:
+    def test_read_fields(self, genome_1k):
+        reads = ShortReadSimulator(read_len=100).simulate(genome_1k, 20, seed=1)
+        assert len(reads) == 20
+        for r in reads:
+            assert len(r) == 100
+            assert len(r.qualities) == 100
+            assert 0 <= r.ref_start <= len(genome_1k) - 100
+            assert r.ref_end == r.ref_start + 100
+
+    def test_zero_error_reads_match_genome(self, genome_1k):
+        reads = ShortReadSimulator(read_len=80, error_rate=0.0).simulate(
+            genome_1k, 30, seed=2
+        )
+        for r in reads:
+            frag = genome_1k[r.ref_start : r.ref_end]
+            expected = reverse_complement(frag) if r.strand == "-" else frag
+            assert r.sequence == expected
+            assert r.truth_errors == 0
+
+    def test_error_rate_approximate(self, genome_10k):
+        sim = ShortReadSimulator(read_len=150, error_rate=0.05)
+        reads = sim.simulate(genome_10k, 200, seed=3)
+        total_errors = sum(r.truth_errors for r in reads)
+        rate = total_errors / (200 * 150)
+        assert 0.035 < rate < 0.065
+
+    def test_errors_get_low_quality(self, genome_10k):
+        sim = ShortReadSimulator(read_len=150, error_rate=0.05)
+        reads = sim.simulate(genome_10k, 50, seed=4)
+        # substitution-only: error positions are where read differs from truth
+        low, high = [], []
+        for r in reads:
+            frag = genome_10k[r.ref_start : r.ref_end]
+            truth = reverse_complement(frag) if r.strand == "-" else frag
+            for q, a, b in zip(r.qualities, r.sequence, truth):
+                (low if a != b else high).append(q)
+        assert np.mean(low) < np.mean(high) - 10
+
+    def test_coverage_read_count(self, genome_10k):
+        sim = ShortReadSimulator(read_len=100)
+        reads = sim.simulate_coverage(genome_10k, 5.0, seed=5)
+        assert len(reads) == 500
+
+    def test_genome_too_short(self):
+        with pytest.raises(ValueError):
+            ShortReadSimulator(read_len=100).simulate("ACGT", 1, seed=1)
+
+
+class TestLongReadSimulator:
+    def test_lengths_distributed(self, genome_10k):
+        sim = LongReadSimulator(mean_len=2_000, min_len=100)
+        reads = sim.simulate(genome_10k, 100, seed=1)
+        lens = [len(r) for r in reads]
+        # errors change lengths slightly; check the broad distribution
+        assert min(lens) >= 80
+        assert 1_000 < np.mean(lens) < 3_500
+
+    def test_indel_errors_change_length(self, genome_10k):
+        sim = LongReadSimulator(mean_len=2_000, error_rate=0.1)
+        reads = sim.simulate(genome_10k, 20, seed=2)
+        assert any(len(r) != r.ref_end - r.ref_start for r in reads)
+
+    def test_keep_ops_reconstructs_cigar_lengths(self, genome_10k):
+        sim = LongReadSimulator(mean_len=1_000, error_rate=0.1)
+        reads = sim.simulate(genome_10k, 10, seed=3, keep_ops=True)
+        for r in reads:
+            ops = r.tags["truth_ops"]
+            assert len(ops) == r.ref_end - r.ref_start
+            # ops fully explain the read length
+            n_read = int(np.sum(ops == 0) + np.sum(ops == 1) + 2 * np.sum(ops == 2))
+            assert n_read == len(r)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            LongReadSimulator(mean_len=100, min_len=100)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(100, 2000), st.integers(0, 2**31))
+def test_mutate_roundtrip_property(length, seed):
+    """Applying recorded variants to the reference reproduces the sample."""
+    genome = random_genome(length, seed=1)
+    sample, variants = mutate_genome(genome, seed=seed)
+    rebuilt = []
+    pos = 0
+    for v in variants:
+        rebuilt.append(genome[pos : v.pos])
+        rebuilt.append(v.alt)
+        pos = v.pos + len(v.ref)
+    rebuilt.append(genome[pos:])
+    assert "".join(rebuilt) == sample
+
+
+class TestPairedEnd:
+    def test_pair_geometry(self, genome_10k):
+        sim = ShortReadSimulator(read_len=100, error_rate=0.0)
+        pairs = sim.simulate_pairs(genome_10k, 50, seed=1)
+        assert len(pairs) == 50
+        for r1, r2 in pairs:
+            assert r1.strand == "+" and r2.strand == "-"
+            assert r1.name.endswith("/1") and r2.name.endswith("/2")
+            insert = r1.tags["insert_size"]
+            # FR orientation: read 2 ends exactly at fragment end
+            assert r2.ref_end == r1.ref_start + insert
+            assert insert >= 100
+
+    def test_error_free_pairs_match_genome(self, genome_10k):
+        sim = ShortReadSimulator(read_len=80, error_rate=0.0)
+        for r1, r2 in sim.simulate_pairs(genome_10k, 20, seed=2):
+            assert r1.sequence == genome_10k[r1.ref_start : r1.ref_end]
+            frag2 = genome_10k[r2.ref_start : r2.ref_end]
+            assert r2.sequence == reverse_complement(frag2)
+
+    def test_insert_distribution(self, genome_10k):
+        sim = ShortReadSimulator(read_len=100)
+        pairs = sim.simulate_pairs(genome_10k, 300, seed=3, insert_mean=500, insert_sd=40)
+        inserts = [r1.tags["insert_size"] for r1, _ in pairs]
+        assert 480 < np.mean(inserts) < 520
+        assert 25 < np.std(inserts) < 60
+
+    def test_insert_validation(self, genome_1k):
+        sim = ShortReadSimulator(read_len=100)
+        with pytest.raises(ValueError):
+            sim.simulate_pairs(genome_1k, 1, seed=1, insert_mean=50)

@@ -1,0 +1,127 @@
+"""Tests for the nanopore signal substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal.events import detect_events
+from repro.signal.pore_model import PoreModel
+from repro.signal.synth import synthesize_signal
+from repro.sequence.simulate import random_genome
+
+dna = st.text(alphabet="ACGT", min_size=10, max_size=100)
+
+
+class TestPoreModel:
+    def test_levels_in_range(self):
+        m = PoreModel()
+        assert m.levels.shape == (4**6,)
+        assert 70.0 <= m.levels.min() and m.levels.max() <= 130.0
+        assert (m.spreads > 0).all()
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(PoreModel(seed=3).levels, PoreModel(seed=3).levels)
+        assert not np.array_equal(PoreModel(seed=3).levels, PoreModel(seed=4).levels)
+
+    def test_sequence_kmers(self):
+        m = PoreModel(k=3)
+        kmers = m.sequence_kmers("ACGTA")
+        assert kmers.size == 3
+        # "ACG" = 0b000110 = 6
+        assert int(kmers[0]) == 6
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            PoreModel(k=6).sequence_kmers("ACG")
+
+    def test_log_emission_peaks_at_level(self):
+        m = PoreModel()
+        kmer = np.array([100])
+        at_level = m.log_emission(m.levels[100], kmer)
+        off_level = m.log_emission(m.levels[100] + 5.0, kmer)
+        assert at_level > off_level
+
+    @given(dna)
+    def test_expected_levels_shape(self, seq):
+        m = PoreModel()
+        if len(seq) < m.k:
+            return
+        levels = m.expected_levels(seq)
+        assert levels.shape == (len(seq) - m.k + 1,)
+
+
+class TestSynthesis:
+    def test_sample_count_scales(self):
+        m = PoreModel()
+        seq = random_genome(200, seed=1)
+        sig = synthesize_signal(seq, m, seed=2, samples_per_kmer=9.0)
+        n_kmers = len(seq) - m.k + 1
+        assert 5 * n_kmers < len(sig) < 14 * n_kmers
+
+    def test_kmer_starts_consistent(self):
+        m = PoreModel()
+        seq = random_genome(100, seed=3)
+        sig = synthesize_signal(seq, m, seed=4)
+        assert sig.kmer_starts.size == len(seq) - m.k + 1
+        assert sig.kmer_starts[0] == 0
+        assert np.all(np.diff(sig.kmer_starts) >= 0)
+
+    def test_signal_tracks_model_levels(self):
+        m = PoreModel()
+        seq = random_genome(80, seed=5)
+        sig = synthesize_signal(seq, m, seed=6, noise_sd=0.1, skip_prob=0.0)
+        levels = m.expected_levels(seq)
+        starts = sig.kmer_starts
+        for i in range(len(levels) - 1):
+            run = sig.samples[starts[i] : starts[i + 1]]
+            assert abs(run.mean() - levels[i]) < 1.0
+
+    def test_skips_recorded(self):
+        m = PoreModel()
+        seq = random_genome(300, seed=7)
+        sig = synthesize_signal(seq, m, seed=8, skip_prob=0.3)
+        assert sig.skipped.any()
+
+    def test_validation(self):
+        m = PoreModel()
+        with pytest.raises(ValueError):
+            synthesize_signal("ACGTACGTAC", m, seed=1, samples_per_kmer=0.5)
+
+
+class TestEventDetection:
+    def test_two_level_signal_splits(self):
+        samples = np.concatenate([np.full(50, 80.0), np.full(50, 120.0)])
+        events = detect_events(samples, threshold=4.0)
+        assert len(events) == 2
+        assert abs(events[0].mean - 80.0) < 1.0
+        assert abs(events[1].mean - 120.0) < 1.0
+
+    def test_flat_signal_one_event(self):
+        rng = np.random.default_rng(1)
+        samples = 100.0 + 0.2 * rng.standard_normal(200)
+        events = detect_events(samples)
+        assert len(events) == 1
+
+    def test_empty(self):
+        assert detect_events(np.array([])) == []
+
+    def test_events_partition_signal(self):
+        m = PoreModel()
+        seq = random_genome(150, seed=9)
+        sig = synthesize_signal(seq, m, seed=10)
+        events = detect_events(sig.samples)
+        assert events[0].start == 0
+        assert events[-1].start + events[-1].length == len(sig)
+        for a, b in zip(events, events[1:]):
+            assert a.start + a.length == b.start
+
+    def test_event_count_near_kmer_count(self):
+        """Detected events per k-mer should be O(1) (the paper notes up
+        to ~2x over-representation on real data)."""
+        m = PoreModel()
+        seq = random_genome(400, seed=11)
+        sig = synthesize_signal(seq, m, seed=12)
+        events = detect_events(sig.samples)
+        n_kmers = len(seq) - m.k + 1
+        assert 0.4 * n_kmers < len(events) < 2.5 * n_kmers

@@ -1,0 +1,122 @@
+"""Tests for the cache hierarchy simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instrument import MemoryTrace
+from repro.uarch.cache import Cache, CacheHierarchy
+
+
+class TestCache:
+    def test_geometry(self):
+        c = Cache("L1", 32 * 1024, 8)
+        assert c.n_sets == 64
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Cache("x", 1000, 3)
+
+    def test_hit_after_miss(self):
+        c = Cache("L1", 1024, 2)
+        hit, _ = c.access(5, False)
+        assert not hit
+        hit, _ = c.access(5, False)
+        assert hit
+        assert c.accesses == 2 and c.misses == 1
+
+    def test_lru_eviction(self):
+        c = Cache("L1", 2 * 64 * 4, 2)  # 4 sets, 2 ways
+        a, b, d = 0, 4, 8  # all map to set 0
+        c.access(a, False)
+        c.access(b, False)
+        c.access(a, False)  # refresh a; b becomes LRU
+        c.access(d, False)  # evicts b
+        hit, _ = c.access(a, False)
+        assert hit
+        hit, _ = c.access(b, False)
+        assert not hit
+
+    def test_dirty_writeback(self):
+        c = Cache("L1", 2 * 64 * 1, 1)  # direct-mapped, 2 sets
+        c.access(0, True)  # dirty
+        _, wb = c.access(2, False)  # same set, evicts line 0
+        assert wb == 0
+        assert c.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = Cache("L1", 2 * 64 * 1, 1)
+        c.access(0, False)
+        _, wb = c.access(2, False)
+        assert wb is None
+
+    def test_working_set_within_capacity_all_hits(self):
+        c = Cache("L1", 32 * 1024, 8)
+        lines = list(range(256))  # 16 KB working set
+        for ln in lines:
+            c.access(ln, False)
+        c.reset_stats()
+        for _ in range(4):
+            for ln in lines:
+                c.access(ln, False)
+        assert c.misses == 0
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=500))
+    def test_stats_invariants(self, addresses):
+        c = Cache("L1", 4 * 1024, 4)
+        for a in addresses:
+            c.access(a, False)
+        assert c.accesses == len(addresses)
+        assert 0 <= c.misses <= c.accesses
+        assert c.misses >= len(set(addresses)) - c.size // c.line or True
+        # compulsory misses at least one per distinct line (bounded above)
+        assert c.misses >= min(len(set(addresses)), 1)
+
+
+class TestHierarchy:
+    def test_streaming_misses_all_levels(self):
+        h = CacheHierarchy(l1_size=4 * 1024, l2_size=16 * 1024, llc_size=64 * 1024)
+        trace = MemoryTrace()
+        r = trace.alloc("big", 1 << 20)
+        trace.read_stream(r, 0, 1 << 20, access_size=64)
+        stats = h.run_trace(trace, instructions=1_000_000)
+        assert stats.l1_miss_rate > 0.99
+        assert stats.dram_bytes >= (1 << 20)
+        assert stats.bpki() == pytest.approx(stats.dram_bytes / 1_000.0)
+
+    def test_small_working_set_stays_on_chip(self):
+        h = CacheHierarchy()
+        trace = MemoryTrace()
+        r = trace.alloc("small", 8 * 1024)
+        for _ in range(10):
+            trace.read_stream(r, 0, 8 * 1024, access_size=64)
+        stats = h.run_trace(trace)
+        # only compulsory DRAM fills
+        assert stats.dram.reads == 8 * 1024 // 64
+
+    def test_l2_resident_set(self):
+        h = CacheHierarchy(l1_size=4 * 1024)
+        trace = MemoryTrace()
+        r = trace.alloc("mid", 64 * 1024)  # > L1, < L2
+        for _ in range(5):
+            trace.read_stream(r, 0, 64 * 1024, access_size=64)
+        stats = h.run_trace(trace)
+        assert stats.l1_miss_rate > 0.9  # thrashes L1
+        assert stats.l2_misses == 1024  # compulsory only
+
+    def test_straddling_access_touches_two_lines(self):
+        h = CacheHierarchy()
+        h.access(60, 8, False)  # bytes 60..67 cross a line boundary
+        assert h.l1.accesses == 2
+
+    def test_sub_line_accesses_coalesce_in_l1(self):
+        h = CacheHierarchy()
+        for off in range(0, 64, 8):
+            h.access(off, 8, False)
+        assert h.l1.misses == 1
+        assert h.l1.accesses == 8
+
+    def test_bpki_zero_without_instructions(self):
+        h = CacheHierarchy()
+        assert h.stats().bpki() == 0.0

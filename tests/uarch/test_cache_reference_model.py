@@ -1,0 +1,62 @@
+"""Property test: the cache simulator against an independent LRU model."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.cache import Cache
+
+
+class ReferenceLRU:
+    """Straightforward set-associative LRU cache (the oracle)."""
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self.sets = [OrderedDict() for _ in range(n_sets)]
+        self.misses = 0
+
+    def access(self, line: int) -> None:
+        s = self.sets[line % self.n_sets]
+        if line in s:
+            s.move_to_end(line)
+            return
+        self.misses += 1
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+        s[line] = True
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 300), min_size=1, max_size=600),
+    st.sampled_from([(4, 1), (4, 2), (8, 4), (16, 8)]),
+)
+def test_miss_counts_match_reference(lines, geometry):
+    n_sets, assoc = geometry
+    cache = Cache("test", n_sets * assoc * 64, assoc)
+    assert cache.n_sets == n_sets
+    oracle = ReferenceLRU(n_sets, assoc)
+    for line in lines:
+        cache.access(line, is_write=False)
+        oracle.access(line)
+    assert cache.misses == oracle.misses
+    assert cache.accesses == len(lines)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 100), st.booleans()), min_size=1, max_size=300))
+def test_writeback_only_for_dirty_lines(accesses):
+    cache = Cache("test", 2 * 2 * 64, 2)  # tiny: 2 sets x 2 ways
+    writebacks = []
+    written = set()
+    for line, is_write in accesses:
+        if is_write:
+            written.add(line)
+        _, wb = cache.access(line, is_write)
+        if wb is not None:
+            writebacks.append(wb)
+    # a line can only be written back if it was ever written
+    assert all(wb in written for wb in writebacks)
+    assert cache.writebacks == len(writebacks)

@@ -1,0 +1,103 @@
+"""Tests for the DRAM row-buffer model and the top-down slot model."""
+
+import pytest
+
+from repro.core.instrument import OpCounts
+from repro.uarch.cache import HierarchyStats
+from repro.uarch.memory import DramModel, DramStats
+from repro.uarch.topdown import TopDownModel
+
+
+class TestDram:
+    def test_sequential_lines_hit_open_row(self):
+        d = DramModel(row_bytes=8 * 1024)
+        hits = [d.access(i, False) for i in range(128)]  # one row = 128 lines
+        assert not hits[0]  # first opens the row
+        assert all(hits[1:])
+        assert d.stats().row_hit_rate == pytest.approx(127 / 128)
+
+    def test_random_far_accesses_open_rows(self):
+        d = DramModel()
+        for i in range(100):
+            d.access(i * 1_000_003, False)
+        assert d.stats().page_open_rate > 0.9
+
+    def test_bank_interleaving_keeps_rows_open(self):
+        d = DramModel(n_banks=4, row_bytes=1_024)
+        # alternate between two rows in different banks
+        row_a_line = 0  # row 0 -> bank 0
+        row_b_line = 1_024 // 64  # row 1 -> bank 1
+        d.access(row_a_line, False)
+        d.access(row_b_line, False)
+        assert d.access(row_a_line, False)
+        assert d.access(row_b_line, False)
+
+    def test_traffic_accounting(self):
+        d = DramModel(line_bytes=64)
+        d.access(0, False)
+        d.access(1, True)
+        st = d.stats()
+        assert st.reads == 1 and st.writes == 1
+        assert st.bytes_transferred == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramModel(n_banks=0)
+
+
+def make_stats(accesses=1000, l1=100, l2=50, llc=20, row_opens=15):
+    dram = DramStats(
+        accesses=llc, reads=llc, row_hits=llc - row_opens, row_opens=row_opens,
+        bytes_transferred=llc * 64,
+    )
+    return HierarchyStats(
+        accesses=accesses, l1_misses=l1, l2_misses=l2, llc_misses=llc, dram=dram
+    )
+
+
+class TestTopDown:
+    def test_fractions_sum_to_one(self):
+        model = TopDownModel()
+        counts = OpCounts(scalar_int=800, load=150, branch=50)
+        res = model.analyze(counts, make_stats())
+        assert sum(res.as_dict().values()) == pytest.approx(1.0)
+
+    def test_no_misses_means_high_retiring(self):
+        model = TopDownModel()
+        counts = OpCounts(scalar_int=10_000)
+        res = model.analyze(counts, make_stats(l1=0, l2=0, llc=0, row_opens=0))
+        assert res.retiring > 0.9
+        assert res.backend_memory == 0.0
+
+    def test_dram_heavy_is_memory_bound(self):
+        model = TopDownModel(mlp=1.5)
+        counts = OpCounts(scalar_int=1_000, load=500)
+        res = model.analyze(counts, make_stats(accesses=500, l1=400, l2=380, llc=350, row_opens=300))
+        assert res.backend_memory > 0.5
+
+    def test_low_mlp_exposes_more_latency(self):
+        counts = OpCounts(scalar_int=5_000, load=1_000)
+        stats = make_stats(accesses=1_000, l1=500, l2=400, llc=300, row_opens=200)
+        exposed = TopDownModel(mlp=1.0).analyze(counts, stats)
+        overlapped = TopDownModel(mlp=8.0).analyze(counts, stats)
+        assert exposed.backend_memory > overlapped.backend_memory
+
+    def test_vector_heavy_charges_core(self):
+        model = TopDownModel()
+        counts = OpCounts(vector=10_000)
+        res = model.analyze(counts, make_stats(l1=0, l2=0, llc=0, row_opens=0))
+        assert res.backend_core > 0.1
+
+    def test_branches_charge_bad_speculation(self):
+        model = TopDownModel(mispredict_rate=0.1)
+        counts = OpCounts(scalar_int=1_000, branch=1_000)
+        res = model.analyze(counts, make_stats(l1=0, l2=0, llc=0, row_opens=0))
+        assert res.bad_speculation > 0.2
+
+    def test_empty_counts(self):
+        res = TopDownModel().analyze(OpCounts(), make_stats(0, 0, 0, 0, 0))
+        assert res.retiring == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopDownModel(mlp=0.5)

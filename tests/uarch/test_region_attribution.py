@@ -1,0 +1,40 @@
+"""Tests for per-region LLC-miss attribution."""
+
+from repro.core.instrument import MemoryTrace
+from repro.uarch.cache import CacheHierarchy
+
+
+class TestAttribution:
+    def test_misses_attributed_to_structures(self):
+        trace = MemoryTrace()
+        hot = trace.alloc("hot", 4 * 1024)  # fits everywhere
+        cold = trace.alloc("cold", 1 << 21)  # streams through
+        for _ in range(4):
+            trace.read_stream(hot, 0, hot.size, access_size=64)
+        trace.read_stream(cold, 0, cold.size, access_size=64)
+        h = CacheHierarchy(llc_size=1 << 20, llc_assoc=16)
+        stats = h.run_trace(trace, attribute_regions=True)
+        assert set(stats.per_region_misses) <= {"hot", "cold"}
+        assert stats.per_region_misses["cold"] > 100
+        assert stats.per_region_misses.get("hot", 0) <= hot.size // 64
+        assert sum(stats.per_region_misses.values()) == stats.llc_misses
+
+    def test_attribution_off_by_default(self):
+        trace = MemoryTrace()
+        r = trace.alloc("r", 1 << 16)
+        trace.read_stream(r, 0, r.size, access_size=64)
+        stats = CacheHierarchy().run_trace(trace)
+        assert stats.per_region_misses == {}
+
+    def test_kernel_trace_attribution(self):
+        """fmi's LLC misses must land on the Occ/SA structures."""
+        from repro.core.datasets import DatasetSize
+        from repro.core.instrument import Instrumentation
+        from repro.core.benchmark import load_benchmark
+
+        bench = load_benchmark("kmer-cnt")
+        instr = Instrumentation.with_trace()
+        workload = bench.prepare(DatasetSize.SMALL)
+        bench.execute(workload, instr=instr)
+        stats = CacheHierarchy().run_trace(instr.trace, attribute_regions=True)
+        assert set(stats.per_region_misses) == {"kmer.table"}

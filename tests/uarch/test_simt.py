@@ -1,0 +1,99 @@
+"""Tests for the SIMT warp-execution model."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.simt import WARP_SIZE, WarpProfile, coalesce_transactions
+
+
+class TestCoalescing:
+    def test_contiguous_4b_loads(self):
+        addrs = np.arange(32) * 4
+        assert coalesce_transactions(addrs, 4) == 4  # 128 B in 4 x 32 B
+
+    def test_strided_loads_waste_transactions(self):
+        addrs = np.arange(32) * 12  # stride 3 floats
+        tx = coalesce_transactions(addrs, 4)
+        assert tx == 12  # spans 384 B
+
+    def test_fully_scattered(self):
+        addrs = np.arange(32) * 1_000
+        assert coalesce_transactions(addrs, 4) == 32
+
+    def test_same_address_broadcast(self):
+        addrs = np.zeros(32, dtype=np.int64)
+        assert coalesce_transactions(addrs, 4) == 1
+
+    def test_straddling_access(self):
+        assert coalesce_transactions(np.array([30]), 4) == 2
+
+    def test_empty(self):
+        assert coalesce_transactions(np.array([], dtype=np.int64), 4) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coalesce_transactions(np.array([0]), 0)
+
+
+class TestWarpProfile:
+    def test_full_warp_efficiency(self):
+        p = WarpProfile()
+        p.issue(32, count=10)
+        assert p.warp_efficiency == 1.0
+        assert p.non_predicated_efficiency == 1.0
+
+    def test_partial_warp(self):
+        p = WarpProfile()
+        p.issue(18)
+        assert p.warp_efficiency == pytest.approx(18 / 32)
+
+    def test_predication_tracked_separately(self):
+        p = WarpProfile()
+        p.issue(32, predicated_off=8)
+        assert p.warp_efficiency == 1.0
+        assert p.non_predicated_efficiency == pytest.approx(24 / 32)
+
+    def test_branch_efficiency(self):
+        p = WarpProfile()
+        p.issue(32, is_branch=True, divergent=False, count=9)
+        p.issue(32, is_branch=True, divergent=True)
+        assert p.branch_efficiency == pytest.approx(0.9)
+
+    def test_no_branches_is_perfect(self):
+        assert WarpProfile().branch_efficiency == 1.0
+
+    def test_load_efficiency_contiguous(self):
+        p = WarpProfile()
+        p.memory(np.arange(32) * 4, 4, is_store=False)
+        assert p.load_efficiency == 1.0
+
+    def test_load_efficiency_scattered(self):
+        p = WarpProfile()
+        p.memory(np.arange(32) * 256, 8, is_store=False)
+        assert p.load_efficiency == pytest.approx(8 / 32)
+
+    def test_store_efficiency_independent(self):
+        p = WarpProfile()
+        p.memory(np.arange(32) * 4, 4, is_store=True)
+        p.memory(np.arange(32) * 512, 4, is_store=False)
+        assert p.store_efficiency == 1.0
+        assert p.load_efficiency < 0.2
+
+    def test_count_scales_stats(self):
+        a, b = WarpProfile(), WarpProfile()
+        for _ in range(5):
+            a.memory(np.arange(16) * 4, 4, is_store=False)
+            a.issue(16)
+        b.memory(np.arange(16) * 4, 4, is_store=False, count=5)
+        b.issue(16, count=5)
+        assert a.load_transactions == b.load_transactions
+        assert a.warp_efficiency == b.warp_efficiency
+
+    def test_validation(self):
+        p = WarpProfile()
+        with pytest.raises(ValueError):
+            p.issue(33)
+        with pytest.raises(ValueError):
+            p.issue(8, predicated_off=9)
+        with pytest.raises(ValueError):
+            p.issue(8, count=0)

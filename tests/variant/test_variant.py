@@ -1,0 +1,128 @@
+"""Tests for Clair tensors, the network and the rule-based caller."""
+
+import numpy as np
+import pytest
+
+from repro.io.regions import GenomicRegion
+from repro.io.sam import simulate_alignments
+from repro.pileup.counts import count_region
+from repro.sequence.simulate import LongReadSimulator, mutate_genome, random_genome
+from repro.variant.clair import ClairLikeModel, GENOTYPES, ZYGOSITIES
+from repro.variant.simple_caller import call_variants_simple
+from repro.variant.tensors import FLANK, TENSOR_SHAPE, normalize_tensor, position_tensor
+
+
+@pytest.fixture(scope="module")
+def pileup_setup():
+    genome = random_genome(4_000, seed=51)
+    sample, variants = mutate_genome(genome, seed=52, snp_rate=3e-3, indel_rate=0)
+    records = simulate_alignments(
+        sample, "c", 30.0, seed=53,
+        simulator=LongReadSimulator(mean_len=1_500, error_rate=0.05),
+    )
+    region = GenomicRegion("c", 0, len(genome))
+    pile = count_region(records, region)
+    return genome, variants, pile
+
+
+class TestTensors:
+    def test_shape(self, pileup_setup):
+        genome, _, pile = pileup_setup
+        t = position_tensor(pile, genome, 100)
+        assert t.shape == TENSOR_SHAPE
+
+    def test_flank_bounds_enforced(self, pileup_setup):
+        genome, _, pile = pileup_setup
+        with pytest.raises(ValueError):
+            position_tensor(pile, genome, FLANK - 1)
+        with pytest.raises(ValueError):
+            position_tensor(pile, genome, len(genome) - FLANK)
+
+    def test_raw_counts_plane_matches_pileup(self, pileup_setup):
+        genome, _, pile = pileup_setup
+        pos = 200
+        t = position_tensor(pile, genome, pos)
+        centre = FLANK
+        for base in range(4):
+            for strand in (0, 1):
+                assert t[centre, 2 * base + strand, 0] == pile.bases[pos, base, strand]
+
+    def test_alt_plane_zero_at_reference_base(self, pileup_setup):
+        genome, _, pile = pileup_setup
+        pos = 300
+        t = position_tensor(pile, genome, pos)
+        ref_code = "ACGT".index(genome[pos])
+        assert t[FLANK, 2 * ref_code, 3] == 0.0
+        assert t[FLANK, 2 * ref_code + 1, 3] == 0.0
+
+    def test_alt_plane_lights_up_at_snp(self, pileup_setup):
+        genome, variants, pile = pileup_setup
+        snps = [v for v in variants if FLANK < v.pos < len(genome) - FLANK - 1]
+        assert snps
+        hot = cold = 0.0
+        for v in snps:
+            t = position_tensor(pile, genome, v.pos)
+            hot += t[FLANK, :, 3].sum()
+            ref_t = position_tensor(pile, genome, v.pos + 5)
+            cold += ref_t[FLANK, :, 3].sum()
+        assert hot > 3 * cold
+
+    def test_normalize_bounds(self, pileup_setup):
+        genome, _, pile = pileup_setup
+        t = normalize_tensor(position_tensor(pile, genome, 150))
+        assert t[:, :, 0].max() <= 1.0 + 1e-6
+
+
+class TestClairModel:
+    def test_heads_are_distributions(self, pileup_setup):
+        genome, _, pile = pileup_setup
+        model = ClairLikeModel(hidden=16)
+        pred = model.forward(position_tensor(pile, genome, 120))
+        for head in (pred.zygosity, pred.genotype, pred.indel_length):
+            assert head.sum() == pytest.approx(1.0, abs=1e-5)
+            assert (head >= 0).all()
+        assert pred.zygosity_call in ZYGOSITIES
+        assert pred.genotype_call in GENOTYPES
+        assert -4 <= pred.indel_call <= 4
+
+    def test_shape_validation(self):
+        model = ClairLikeModel(hidden=16)
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((10, 8, 4), dtype=np.float32))
+
+    def test_deterministic(self, pileup_setup):
+        genome, _, pile = pileup_setup
+        t = position_tensor(pile, genome, 140)
+        a = ClairLikeModel(hidden=16, seed=9).forward(t)
+        b = ClairLikeModel(hidden=16, seed=9).forward(t)
+        assert np.array_equal(a.zygosity, b.zygosity)
+
+    def test_op_count(self):
+        assert ClairLikeModel(hidden=16).op_count() > 100_000
+
+
+class TestSimpleCaller:
+    def test_recovers_planted_snps(self, pileup_setup):
+        genome, variants, pile = pileup_setup
+        calls = call_variants_simple(pile, genome)
+        truth = {v.pos: v for v in variants if v.kind == "SNP"}
+        called = {c.position: c for c in calls}
+        hits = set(truth) & set(called)
+        assert len(hits) / len(truth) > 0.9
+        for pos in hits:
+            assert called[pos].ref == truth[pos].ref
+            assert called[pos].alt == truth[pos].alt
+        # precision: few spurious calls
+        assert len(set(called) - set(truth)) <= max(2, len(truth) // 5)
+
+    def test_homozygous_zygosity(self, pileup_setup):
+        genome, variants, pile = pileup_setup
+        calls = call_variants_simple(pile, genome)
+        # mutate_genome plants homozygous variants; high AF expected
+        hom = [c for c in calls if c.zygosity == "hom-alt"]
+        assert len(hom) > len(calls) * 0.7
+
+    def test_min_depth_filter(self, pileup_setup):
+        genome, _, pile = pileup_setup
+        none = call_variants_simple(pile, genome, min_depth=10_000)
+        assert none == []

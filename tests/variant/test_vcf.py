@@ -1,0 +1,67 @@
+"""Tests for VCF writing and parsing."""
+
+import pytest
+
+from repro.variant.simple_caller import SimpleCall
+from repro.variant.vcf import parse_vcf, write_vcf
+
+
+def call(pos, ref="A", alt="C", depth=20, af=0.5, zyg="het"):
+    return SimpleCall(
+        position=pos, ref=ref, alt=alt, depth=depth, allele_fraction=af, zygosity=zyg
+    )
+
+
+class TestVcf:
+    def test_header_present(self):
+        text = write_vcf([], "chr1", 1_000)
+        assert text.startswith("##fileformat=VCFv4.2")
+        assert "##contig=<ID=chr1,length=1000>" in text
+        assert "#CHROM" in text
+
+    def test_records_sorted_and_one_based(self):
+        text = write_vcf([call(100), call(5)], "chr1", 1_000)
+        body = [ln for ln in text.splitlines() if not ln.startswith("#")]
+        assert body[0].split("\t")[1] == "6"
+        assert body[1].split("\t")[1] == "101"
+
+    def test_genotype_encoding(self):
+        text = write_vcf(
+            [call(1, zyg="het"), call(2, zyg="hom-alt")], "chr1", 100
+        )
+        body = [ln.split("\t") for ln in text.splitlines() if not ln.startswith("#")]
+        assert body[0][9] == "0/1"
+        assert body[1][9] == "1/1"
+
+    def test_roundtrip(self):
+        calls = [call(10, "G", "T", depth=33, af=0.48), call(50, "C", "A", zyg="hom-alt", af=0.97)]
+        records = parse_vcf(write_vcf(calls, "chrX", 10_000))
+        assert len(records) == 2
+        assert records[0].pos == 10
+        assert records[0].ref == "G" and records[0].alt == "T"
+        assert records[0].depth == 33
+        assert records[0].allele_fraction == pytest.approx(0.48)
+        assert records[1].genotype == "1/1"
+
+    def test_parse_rejects_short_lines(self):
+        with pytest.raises(ValueError):
+            parse_vcf("chr1\t1\t.\tA\tC\n")
+
+    def test_end_to_end_with_caller(self, genome_10k):
+        from repro.io.regions import GenomicRegion
+        from repro.io.sam import simulate_alignments
+        from repro.pileup.counts import count_region
+        from repro.sequence.simulate import LongReadSimulator, mutate_genome
+        from repro.variant.simple_caller import call_variants_simple
+
+        sample, variants = mutate_genome(genome_10k, seed=71, snp_rate=2e-3, indel_rate=0)
+        records = simulate_alignments(
+            sample, "c", 25, seed=72,
+            simulator=LongReadSimulator(mean_len=2_000, error_rate=0.05),
+        )
+        pile = count_region(records, GenomicRegion("c", 0, len(genome_10k)))
+        calls = call_variants_simple(pile, genome_10k)
+        vcf_records = parse_vcf(write_vcf(calls, "c", len(genome_10k)))
+        truth = {v.pos for v in variants if v.kind == "SNP"}
+        got = {r.pos for r in vcf_records}
+        assert len(truth & got) / max(1, len(truth)) > 0.8
