@@ -17,9 +17,9 @@ from repro.core.registry import kernel_names
 def test_kernel_small(benchmark, name):
     bench = load_benchmark(name)
     workload = bench.prepare(DatasetSize.SMALL)
-    output, task_work = benchmark.pedantic(
+    result = benchmark.pedantic(
         bench.execute, args=(workload,), rounds=1, iterations=1
     )
-    benchmark.extra_info["tasks"] = len(task_work)
-    benchmark.extra_info["total_work"] = sum(task_work)
-    assert task_work
+    benchmark.extra_info["tasks"] = result.n_tasks
+    benchmark.extra_info["total_work"] = result.total_work
+    assert result.task_work

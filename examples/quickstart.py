@@ -1,24 +1,24 @@
 #!/usr/bin/env python3
 """Quickstart: run every GenomicsBench kernel through the uniform driver.
 
-Prepares each kernel's small synthetic workload, executes it, and prints
-task counts, total data-parallel work and kernel wall time -- the
-suite-level view the paper's Table II/III summarize.
+Prepares each kernel's small synthetic workload, executes it through the
+parallel engine, and prints task counts, total data-parallel work and
+kernel wall time -- the suite-level view the paper's Table II/III
+summarize.
 
 Usage::
 
-    python examples/quickstart.py [--size small|large] [--kernel NAME]
+    python examples/quickstart.py [--size small|large] [--kernel NAME] [--jobs N]
 """
 
 from __future__ import annotations
 
 import argparse
-import time
 
-from repro.core.benchmark import load_benchmark
 from repro.core.datasets import DatasetSize
 from repro.core.registry import get_kernel, kernel_names
 from repro.perf.report import render_table
+from repro.runner import ParallelRunner
 
 
 def main() -> None:
@@ -27,31 +27,28 @@ def main() -> None:
     parser.add_argument(
         "--kernel", choices=kernel_names(), default=None, help="run one kernel only"
     )
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     args = parser.parse_args()
     size = DatasetSize(args.size)
     names = [args.kernel] if args.kernel else kernel_names()
+    runner = ParallelRunner(jobs=args.jobs, measure_serial=False)
 
     rows = []
     for name in names:
         info = get_kernel(name)
-        bench = load_benchmark(name)
-        t0 = time.perf_counter()
-        workload = bench.prepare(size)
-        prep = time.perf_counter() - t0
-        t1 = time.perf_counter()
-        _, task_work = bench.execute(workload)
-        kernel_s = time.perf_counter() - t1
+        run = runner.run(name, size)
+        record = run.record
         rows.append(
             (
                 name,
                 info.tool,
-                len(task_work),
-                f"{sum(task_work):,}",
-                f"{prep:.2f}s",
-                f"{kernel_s:.2f}s",
+                record.n_tasks,
+                f"{record.total_work:,}",
+                f"{record.prepare_seconds:.2f}s",
+                f"{record.execute_seconds:.2f}s",
             )
         )
-        print(f"  finished {name} ({kernel_s:.2f}s kernel)")
+        print(f"  finished {name} ({record.execute_seconds:.2f}s kernel)")
     print()
     print(
         render_table(

@@ -12,8 +12,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.abea.align import AbeaResult, adaptive_banded_align
-from repro.core.benchmark import Benchmark
+from collections.abc import Sequence
+
+from repro.abea.align import adaptive_banded_align
+from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
 from repro.signal.events import Event, detect_events
@@ -68,12 +70,20 @@ class AbeaBenchmark(Benchmark):
             tasks.append(AbeaTask(events=events, reference=ref))
         return AbeaWorkload(tasks=tasks, model=model)
 
-    def execute(
-        self, workload: AbeaWorkload, instr: Instrumentation | None = None
-    ) -> tuple[list[AbeaResult], list[int]]:
+    def task_count(self, workload: AbeaWorkload) -> int:
+        return len(workload.tasks)
+
+    def execute_shard(
+        self,
+        workload: AbeaWorkload,
+        indices: Sequence[int],
+        instr: Instrumentation | None = None,
+    ) -> ExecutionResult:
         outputs = []
         task_work = []
-        for task in workload.tasks:
+        meta = []
+        for i in indices:
+            task = workload.tasks[i]
             result = adaptive_banded_align(
                 task.events,
                 task.reference,
@@ -83,4 +93,5 @@ class AbeaBenchmark(Benchmark):
             )
             outputs.append(result)
             task_work.append(result.cells)
-        return outputs, task_work
+            meta.append({"events": len(task.events), "ref_len": len(task.reference)})
+        return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)

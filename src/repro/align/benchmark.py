@@ -14,9 +14,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from collections.abc import Sequence
+
 from repro.align.batched import BatchedSW
 from repro.align.scoring import ScoringScheme
-from repro.core.benchmark import Benchmark
+from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
 from repro.sequence.alphabet import decode
@@ -87,11 +89,22 @@ class BswBenchmark(Benchmark):
         )
         return BswWorkload(pairs=pairs, scheme=ScoringScheme(), band=self.BAND)
 
-    def execute(
-        self, workload: BswWorkload, instr: Instrumentation | None = None
-    ) -> tuple[list[int], list[int]]:
+    def task_count(self, workload: BswWorkload) -> int:
+        return len(workload.pairs)
+
+    def execute_shard(
+        self,
+        workload: BswWorkload,
+        indices: Sequence[int],
+        instr: Instrumentation | None = None,
+    ) -> ExecutionResult:
         engine = BatchedSW(scheme=workload.scheme, band=workload.band)
-        results, stats = engine.align_batch(workload.pairs, instr=instr)
+        pairs = [workload.pairs[i] for i in indices]
+        results, stats = engine.align_batch(pairs, instr=instr)
         scores = [r.score for r in results]
         task_work = [r.cells for r in results]
-        return scores, task_work
+        meta = [
+            {"qlen": len(q), "tlen": len(t), "score": r.score}
+            for (q, t), r in zip(pairs, results)
+        ]
+        return ExecutionResult(output=scores, task_work=task_work, task_meta=meta)

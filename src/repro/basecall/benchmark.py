@@ -11,9 +11,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from collections.abc import Sequence
+
 from repro.basecall.basecaller import Basecaller, chunk_signal, normalize_signal
 from repro.basecall.model import BonitoLikeModel
-from repro.core.benchmark import Benchmark
+from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
 from repro.signal.pore_model import PoreModel
@@ -53,13 +55,22 @@ class NnBaseBenchmark(Benchmark):
         chunks = chunks[: params["n_chunks"]]
         return NnBaseWorkload(chunks=chunks, basecaller=basecaller)
 
-    def execute(
-        self, workload: NnBaseWorkload, instr: Instrumentation | None = None
-    ) -> tuple[list[str], list[int]]:
+    def task_count(self, workload: NnBaseWorkload) -> int:
+        return len(workload.chunks)
+
+    def execute_shard(
+        self,
+        workload: NnBaseWorkload,
+        indices: Sequence[int],
+        instr: Instrumentation | None = None,
+    ) -> ExecutionResult:
         outputs = []
         task_work = []
+        meta = []
         ops = workload.basecaller._ops_per_chunk
-        for chunk in workload.chunks:
+        for i in indices:
+            chunk = workload.chunks[i]
             outputs.append(workload.basecaller.call_chunk(chunk, instr=instr))
             task_work.append(ops)
-        return outputs, task_work
+            meta.append({"samples": int(chunk.shape[0])})
+        return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)

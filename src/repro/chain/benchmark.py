@@ -14,9 +14,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from collections.abc import Sequence
+
 from repro.chain.anchors import Anchor, anchors_between
-from repro.chain.chaining import Chain, chain_anchors
-from repro.core.benchmark import Benchmark
+from repro.chain.chaining import chain_anchors
+from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
 from repro.sequence.alphabet import reverse_complement
@@ -76,13 +78,24 @@ class ChainBenchmark(Benchmark):
             tasks.append(ChainTask(anchors=anchors, true_overlap=max(0, hi - lo)))
         return ChainWorkload(tasks=tasks)
 
-    def execute(
-        self, workload: ChainWorkload, instr: Instrumentation | None = None
-    ) -> tuple[list[list[Chain]], list[int]]:
+    def task_count(self, workload: ChainWorkload) -> int:
+        return len(workload.tasks)
+
+    def execute_shard(
+        self,
+        workload: ChainWorkload,
+        indices: Sequence[int],
+        instr: Instrumentation | None = None,
+    ) -> ExecutionResult:
         outputs = []
         task_work = []
-        for task in workload.tasks:
+        meta = []
+        for i in indices:
+            task = workload.tasks[i]
             chains = chain_anchors(task.anchors, instr=instr)
             outputs.append(chains)
             task_work.append(len(task.anchors))
-        return outputs, task_work
+            meta.append(
+                {"n_chains": len(chains), "true_overlap": task.true_overlap}
+            )
+        return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)

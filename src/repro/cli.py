@@ -3,21 +3,48 @@
 ``python -m repro <command>`` (or the ``genomicsbench`` console script):
 
 * ``list``          -- the kernel catalogue with Tables II/III metadata
-* ``run``           -- execute kernels and report tasks/work/time
+* ``run``           -- execute kernels through the parallel engine
 * ``characterize``  -- regenerate a figure or table from the paper
 * ``datasets``      -- show the synthetic dataset parameters
+* ``runner``        -- engine/cache introspection
+
+Output contract: ``run`` and ``characterize`` (and ``list``) take
+``--format {table,json}`` and ``--out FILE``.  Commands build
+:class:`repro.perf.report.Report` values; rendering lives entirely
+behind the formatter interface in :mod:`repro.perf.report`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
+from pathlib import Path
 
-from repro.core.benchmark import load_benchmark
 from repro.core.datasets import DatasetSize, dataset_params
 from repro.core.registry import KERNELS, get_kernel, kernel_names
-from repro.perf.report import render_table
+from repro.perf.report import FORMAT_CHOICES, Report, get_formatter
+
+
+def _emit(reports: list[Report], args: argparse.Namespace) -> None:
+    """Render ``reports`` per ``--format`` and write to ``--out`` or stdout."""
+    formatter = get_formatter(getattr(args, "format", "table"))
+    text = formatter.render(reports)
+    out = getattr(args, "out", None)
+    if out:
+        Path(out).write_text(text + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    else:
+        print(text)
+
+
+def _add_output_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=FORMAT_CHOICES,
+        default="table",
+        help="output format (default: table)",
+    )
+    parser.add_argument("--out", metavar="FILE", help="write output to FILE")
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -33,39 +60,69 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 info.work_unit or "-",
             )
         )
-    print(
-        render_table(
-            "GenomicsBench kernels",
-            ["kernel", "tool", "motif", "compute", "granularity", "work unit"],
-            rows,
-        )
+    _emit(
+        [
+            Report(
+                title="GenomicsBench kernels",
+                headers=["kernel", "tool", "motif", "compute", "granularity", "work unit"],
+                rows=rows,
+            )
+        ],
+        args,
     )
     return 0
 
 
+def _make_cache(args: argparse.Namespace):
+    from repro.runner import WorkloadCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    return WorkloadCache(getattr(args, "cache_dir", None))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.runner import ParallelRunner
+
     names = args.kernels or kernel_names()
-    size = DatasetSize(args.size)
-    rows = []
     for name in names:
-        get_kernel(name)  # validate early with a helpful error
-        bench = load_benchmark(name)
-        t0 = time.perf_counter()
-        workload = bench.prepare(size)
-        prep = time.perf_counter() - t0
-        t1 = time.perf_counter()
-        _, task_work = bench.execute(workload)
-        elapsed = time.perf_counter() - t1
+        get_kernel(name)  # validate all names early with a helpful error
+    size = DatasetSize(args.size)
+    runner = ParallelRunner(
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        cache=_make_cache(args),
+        measure_serial=False if args.no_baseline else None,
+    )
+    rows = []
+    records = []
+    for name in names:
+        run = runner.run(name, size)
+        rec = run.record
+        records.append(rec.to_dict())
+        prep = "cached" if rec.prepare_cached else f"{rec.prepare_seconds:.2f}s"
+        speedup = rec.speedup_vs_serial
         rows.append(
-            (name, len(task_work), f"{sum(task_work):,}", f"{prep:.2f}s", f"{elapsed:.2f}s")
+            (
+                name,
+                rec.n_tasks,
+                f"{rec.total_work:,}",
+                prep,
+                f"{rec.execute_seconds:.2f}s",
+                f"{speedup:.2f}x" if speedup is not None else "-",
+            )
         )
-        print(f"  {name}: {elapsed:.2f}s", file=sys.stderr)
-    print(
-        render_table(
-            f"kernel runs ({size.value} datasets)",
-            ["kernel", "tasks", "total work", "prepare", "kernel time"],
-            rows,
-        )
+        print(f"  {name}: {rec.execute_seconds:.2f}s", file=sys.stderr)
+    _emit(
+        [
+            Report(
+                title=f"kernel runs ({size.value} datasets, jobs={args.jobs})",
+                headers=["kernel", "tasks", "total work", "prepare", "kernel time", "speedup"],
+                rows=rows,
+                data=records if len(records) > 1 else records[0],
+            )
+        ],
+        args,
     )
     return 0
 
@@ -78,56 +135,136 @@ def _characterize(args: argparse.Namespace) -> int:
     artifact = args.artifact
     if artifact == "fig4":
         stats = workstats.figure4()
-        print(render_table(
-            "Fig 4",
-            ["kernel", "tasks", "mean", "max", "max/mean"],
-            [(s.kernel, s.n_tasks, sig(s.mean), s.maximum, f"{s.max_over_mean:.1f}x") for s in stats],
-        ))
+        report = Report(
+            title="Fig 4",
+            headers=["kernel", "tasks", "mean", "max", "max/mean"],
+            rows=[
+                (s.kernel, s.n_tasks, sig(s.mean), s.maximum, f"{s.max_over_mean:.1f}x")
+                for s in stats
+            ],
+            data=[
+                {
+                    "kernel": s.kernel,
+                    "n_tasks": s.n_tasks,
+                    "mean": s.mean,
+                    "max": s.maximum,
+                    "max_over_mean": s.max_over_mean,
+                }
+                for s in stats
+            ],
+        )
     elif artifact == "fig5":
         rows = mix.figure5()
-        print(render_table(
-            "Fig 5",
-            ["kernel", *OP_CATEGORIES],
-            [(r.kernel, *(pct(r.fractions[c]) for c in OP_CATEGORIES)) for r in rows],
-        ))
+        report = Report(
+            title="Fig 5",
+            headers=["kernel", *OP_CATEGORIES],
+            rows=[
+                (r.kernel, *(pct(r.fractions[c]) for c in OP_CATEGORIES)) for r in rows
+            ],
+            data=[{"kernel": r.kernel, **r.fractions} for r in rows],
+        )
     elif artifact in ("fig6", "fig8"):
         rows = memory.figure6()
-        print(render_table(
-            "Fig 6/8",
-            ["kernel", "BPKI", "L1 miss", "stall"],
-            [(r.kernel, sig(r.bpki), pct(r.l1_miss_rate), pct(r.stall_fraction)) for r in rows],
-        ))
+        report = Report(
+            title="Fig 6/8",
+            headers=["kernel", "BPKI", "L1 miss", "stall"],
+            rows=[
+                (r.kernel, sig(r.bpki), pct(r.l1_miss_rate), pct(r.stall_fraction))
+                for r in rows
+            ],
+            data=[
+                {
+                    "kernel": r.kernel,
+                    "bpki": r.bpki,
+                    "l1_miss_rate": r.l1_miss_rate,
+                    "stall_fraction": r.stall_fraction,
+                }
+                for r in rows
+            ],
+        )
     elif artifact == "fig7":
-        curves = scaling.figure7()
-        print(render_table(
-            "Fig 7",
-            ["kernel", "T=2", "T=4", "T=8"],
-            [(c.kernel, *(f"{c.speedup_at(t):.2f}x" for t in (2, 4, 8))) for c in curves],
-        ))
+        if args.measured:
+            comps = scaling.figure7_comparison(threads=(1, 2, 4, 8))
+            report = Report(
+                title="Fig 7 (simulated vs measured)",
+                headers=[
+                    "kernel",
+                    "sim T=2", "sim T=4", "sim T=8",
+                    "meas T=2", "meas T=4", "meas T=8",
+                ],
+                rows=[
+                    (
+                        c.kernel,
+                        *(f"{c.simulated.speedup_at(t):.2f}x" for t in (2, 4, 8)),
+                        *(f"{c.measured.speedup_at(t):.2f}x" for t in (2, 4, 8)),
+                    )
+                    for c in comps
+                ],
+                data=[
+                    {
+                        "kernel": c.kernel,
+                        "threads": c.measured.threads,
+                        "simulated": c.simulated.speedups,
+                        "measured": c.measured.speedups,
+                    }
+                    for c in comps
+                ],
+            )
+        else:
+            curves = scaling.figure7()
+            report = Report(
+                title="Fig 7",
+                headers=["kernel", "T=2", "T=4", "T=8"],
+                rows=[
+                    (c.kernel, *(f"{c.speedup_at(t):.2f}x" for t in (2, 4, 8)))
+                    for c in curves
+                ],
+                data=[
+                    {"kernel": c.kernel, "threads": c.threads, "speedups": c.speedups}
+                    for c in curves
+                ],
+            )
     elif artifact == "fig9":
         rows = topdown_fig.figure9()
-        print(render_table(
-            "Fig 9",
-            ["kernel", "retiring", "backend-mem"],
-            [(r.kernel, pct(r.slots.retiring), pct(r.slots.backend_memory)) for r in rows],
-        ))
+        report = Report(
+            title="Fig 9",
+            headers=["kernel", "retiring", "backend-mem"],
+            rows=[
+                (r.kernel, pct(r.slots.retiring), pct(r.slots.backend_memory))
+                for r in rows
+            ],
+            data=[
+                {
+                    "kernel": r.kernel,
+                    "retiring": r.slots.retiring,
+                    "backend_memory": r.slots.backend_memory,
+                }
+                for r in rows
+            ],
+        )
     elif artifact in ("table4", "table5"):
         profiles = gpu.table4()
-        print(render_table(
-            "Tables IV/V",
-            ["metric", "abea", "nn-base"],
-            [
+        metrics = (
+            ("warp efficiency", "warp_efficiency"),
+            ("occupancy", "occupancy"),
+            ("load efficiency", "load_efficiency"),
+            ("store efficiency", "store_efficiency"),
+        )
+        report = Report(
+            title="Tables IV/V",
+            headers=["metric", "abea", "nn-base"],
+            rows=[
                 (m, pct(getattr(profiles["abea"], a)), pct(getattr(profiles["nn-base"], a)))
-                for m, a in (
-                    ("warp efficiency", "warp_efficiency"),
-                    ("occupancy", "occupancy"),
-                    ("load efficiency", "load_efficiency"),
-                    ("store efficiency", "store_efficiency"),
-                )
+                for m, a in metrics
             ],
-        ))
+            data={
+                kernel: {a: getattr(profile, a) for _, a in metrics}
+                for kernel, profile in profiles.items()
+            },
+        )
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown artifact {artifact}")
+    _emit([report], args)
     return 0
 
 
@@ -148,7 +285,83 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
             rows.append(
                 (name, size.value, ", ".join(f"{k}={v}" for k, v in params.items()))
             )
-    print(render_table("synthetic datasets", ["kernel", "size", "parameters"], rows))
+    _emit(
+        [Report(title="synthetic datasets", headers=["kernel", "size", "parameters"], rows=rows)],
+        args,
+    )
+    return 0
+
+
+def _cmd_runner(args: argparse.Namespace) -> int:
+    import multiprocessing
+    import os
+
+    from repro.core.benchmark import load_benchmark
+    from repro.runner import WorkloadCache, default_chunk_size, default_cache_dir
+
+    cache = WorkloadCache(args.cache_dir)
+    if args.clear_cache:
+        removed = cache.clear()
+        print(f"removed {removed} cached workload(s) from {cache.root}")
+        return 0
+
+    reports = []
+    env_rows = [
+        ("cpu count", os.cpu_count() or 1),
+        ("start methods", ", ".join(multiprocessing.get_all_start_methods())),
+        ("cache dir", str(cache.root)),
+        ("default cache dir", str(default_cache_dir())),
+    ]
+    reports.append(
+        Report(
+            title="execution engine",
+            headers=["property", "value"],
+            rows=env_rows,
+            data={str(k): str(v) for k, v in env_rows},
+        )
+    )
+
+    shard_rows = []
+    shard_data = []
+    for name in kernel_names():
+        bench = load_benchmark(name)
+        workload = bench.prepare(DatasetSize.SMALL)
+        n = bench.task_count(workload)
+        sharded = n is not None
+        chunk = default_chunk_size(n, 4) if sharded else "-"
+        shard_rows.append(
+            (name, "yes" if sharded else "no (serial)", n if sharded else "-", chunk)
+        )
+        shard_data.append(
+            {
+                "kernel": name,
+                "shardable": sharded,
+                "small_tasks": n,
+                "default_chunk_jobs4": chunk if sharded else None,
+            }
+        )
+    reports.append(
+        Report(
+            title="task sharding (small datasets)",
+            headers=["kernel", "shardable", "tasks", "chunk @ jobs=4"],
+            rows=shard_rows,
+            data=shard_data,
+        )
+    )
+
+    entries = cache.entries()
+    reports.append(
+        Report(
+            title=f"workload cache ({len(entries)} entries)",
+            headers=["kernel", "size", "bytes", "path"],
+            rows=[(e.kernel, e.size, f"{e.bytes:,}", str(e.path)) for e in entries],
+            data=[
+                {"kernel": e.kernel, "size": e.size, "bytes": e.bytes, "path": str(e.path)}
+                for e in entries
+            ],
+        )
+    )
+    _emit(reports, args)
     return 0
 
 
@@ -158,15 +371,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="show the kernel catalogue").set_defaults(
-        func=_cmd_list
-    )
+    lst = sub.add_parser("list", help="show the kernel catalogue")
+    _add_output_options(lst)
+    lst.set_defaults(func=_cmd_list)
 
-    run = sub.add_parser("run", help="execute kernels")
+    run = sub.add_parser("run", help="execute kernels through the parallel engine")
     # no argparse `choices`: with nargs="*" Python 3.11 rejects the empty
     # list; kernel names are validated by get_kernel instead
     run.add_argument("kernels", nargs="*", help="kernels (default: all)")
     run.add_argument("--size", choices=["small", "large"], default="small")
+    run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for task sharding (default: 1 = serial)",
+    )
+    run.add_argument(
+        "--chunk-size", type=int, default=None, metavar="K",
+        help="tasks per dynamically scheduled chunk (default: auto)",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true", help="skip the on-disk workload cache"
+    )
+    run.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="workload cache root (default: $GENOMICSBENCH_CACHE_DIR or ~/.cache/genomicsbench/workloads)",
+    )
+    run.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the serial baseline run that measures parallel speedup",
+    )
+    _add_output_options(run)
     run.set_defaults(func=_cmd_run)
 
     char = sub.add_parser("characterize", help="regenerate a paper artifact")
@@ -174,6 +407,11 @@ def build_parser() -> argparse.ArgumentParser:
         "artifact",
         choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table4", "table5"],
     )
+    char.add_argument(
+        "--measured", action="store_true",
+        help="fig7 only: run the parallel engine and report measured next to simulated speedups",
+    )
+    _add_output_options(char)
     char.set_defaults(func=_characterize)
 
     data = sub.add_parser(
@@ -182,7 +420,18 @@ def build_parser() -> argparse.ArgumentParser:
     data.add_argument("kernels", nargs="*", help="kernels (default: all)")
     data.add_argument("--size", choices=["small", "large"], default="small")
     data.add_argument("--export", metavar="DIR", help="write datasets under DIR")
+    _add_output_options(data)
     data.set_defaults(func=_cmd_datasets)
+
+    eng = sub.add_parser("runner", help="inspect the execution engine and cache")
+    eng.add_argument(
+        "--cache-dir", metavar="DIR", default=None, help="workload cache root"
+    )
+    eng.add_argument(
+        "--clear-cache", action="store_true", help="delete every cached workload"
+    )
+    _add_output_options(eng)
+    eng.set_defaults(func=_cmd_runner)
     return parser
 
 

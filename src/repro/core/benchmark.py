@@ -5,12 +5,40 @@ implementing :class:`Benchmark`.  The adapter knows how to
 
 * generate the kernel's synthetic workload at a registered
   :class:`~repro.core.datasets.DatasetSize`,
-* run the kernel over that workload (optionally instrumented), and
+* split that workload into its independent data-parallel tasks and run
+  any contiguous shard of them (optionally instrumented), and
 * report per-task work in the kernel's natural unit (cell updates,
   Occ-table lookups, ...) for the parallelism characterization.
 
-The characterization harness in :mod:`repro.perf` and the table/figure
-benchmarks drive kernels exclusively through this protocol.
+The characterization harness in :mod:`repro.perf`, the parallel
+execution engine in :mod:`repro.runner` and the table/figure benchmarks
+drive kernels exclusively through this protocol.
+
+Execution contract
+------------------
+
+:meth:`Benchmark.execute` returns an :class:`ExecutionResult` -- the
+kernel's real output, the per-task work list, and optional per-task
+metadata.  Adapters implement the task-sharding pair
+
+* :meth:`Benchmark.task_count` -- how many independent tasks the
+  prepared workload contains, and
+* :meth:`Benchmark.execute_shard` -- run a subset of those tasks,
+  identified by index, returning an :class:`ExecutionResult` for just
+  that shard;
+
+the default :meth:`Benchmark.execute` runs the single shard covering
+every task and merges it through :meth:`Benchmark.merge_shards`, so the
+serial path and the sharded path are the *same code*.  Kernels whose
+output is not a per-task list (grm's accumulated matrix, kmer-cnt's
+shared hash table) override :meth:`merge_shards` with an
+order-preserving reduction so parallel and serial results stay
+bit-identical.
+
+Legacy adapters that still return an ``(output, task_work)`` tuple from
+``execute`` keep working for one release: every caller routes results
+through :func:`as_execution_result`, which adapts the tuple and emits a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
@@ -18,6 +46,8 @@ from __future__ import annotations
 import abc
 import importlib
 import time
+import warnings
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -27,13 +57,84 @@ from repro.core.registry import get_kernel
 
 
 @dataclass
-class RunResult:
-    """Outcome of one benchmark execution.
+class ExecutionResult:
+    """Outcome of executing a kernel (or one shard of its tasks).
 
     ``output`` is the kernel's real result (alignments, counts, graphs,
-    consensus sequences, ...), kept so tests can assert correctness of the
-    benchmarked path.  ``task_work`` holds the data-parallel work of each
-    task in the kernel's natural unit -- the quantity Fig. 4 plots.
+    consensus sequences, ...); for shardable kernels it is a list
+    parallel to ``task_work`` unless the adapter documents otherwise.
+    ``task_work`` holds the data-parallel work of each task in the
+    kernel's natural unit -- the quantity Fig. 4 plots.  ``task_meta``
+    optionally carries one small, JSON-serializable dict per task
+    (seed counts, band widths, region coordinates, ...).
+
+    For compatibility with the retired ``(output, task_work)`` tuple
+    contract the result still unpacks like a 2-tuple::
+
+        output, task_work = bench.execute(workload)
+    """
+
+    output: Any
+    task_work: list[int]
+    task_meta: list[dict[str, Any]] | None = None
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of independent data-parallel tasks executed."""
+        return len(self.task_work)
+
+    @property
+    def total_work(self) -> int:
+        """Total data-parallel work across all tasks."""
+        return sum(self.task_work)
+
+    # -- legacy tuple protocol ----------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        yield self.output
+        yield self.task_work
+
+    def __len__(self) -> int:
+        return 2
+
+    def __getitem__(self, index: int) -> Any:
+        return (self.output, self.task_work)[index]
+
+
+def as_execution_result(value: Any, kernel: str = "<unknown>") -> ExecutionResult:
+    """Coerce an ``execute``/``execute_shard`` return to :class:`ExecutionResult`.
+
+    Old-style adapters returned a bare ``(output, task_work)`` tuple;
+    adapt those here (with a :class:`DeprecationWarning`) so the engine,
+    the harness and ``Benchmark.run`` all consume one shape.  This shim
+    is scheduled for removal one release after the ExecutionResult
+    migration.
+    """
+    if isinstance(value, ExecutionResult):
+        return value
+    if isinstance(value, tuple) and len(value) == 2:
+        warnings.warn(
+            f"benchmark {kernel!r} returned a legacy (output, task_work) tuple "
+            "from execute(); return an ExecutionResult instead -- tuple "
+            "returns will stop being accepted in the next release",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        output, task_work = value
+        return ExecutionResult(output=output, task_work=list(task_work))
+    raise TypeError(
+        f"benchmark {kernel!r} returned {type(value).__name__}; expected an "
+        "ExecutionResult (or the deprecated (output, task_work) tuple)"
+    )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one end-to-end benchmark run (prepare + execute).
+
+    ``output`` is the kernel's real result, kept so tests can assert
+    correctness of the benchmarked path.  ``task_work`` holds the
+    data-parallel work of each task in the kernel's natural unit.
     """
 
     kernel: str
@@ -42,6 +143,9 @@ class RunResult:
     task_work: list[int]
     wall_seconds: float
     instr: Instrumentation | None = None
+    task_meta: list[dict[str, Any]] | None = None
+    prepare_seconds: float = 0.0
+    prepare_cached: bool = False
     extra: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -65,29 +169,99 @@ class Benchmark(abc.ABC):
     def prepare(self, size: DatasetSize) -> Any:
         """Generate (deterministically) the synthetic workload for ``size``."""
 
-    @abc.abstractmethod
-    def execute(self, workload: Any, instr: Instrumentation | None = None) -> tuple[Any, list[int]]:
-        """Run the kernel over ``workload``.
+    # -- task sharding --------------------------------------------------
 
-        Returns ``(output, task_work)`` where ``task_work`` lists the
-        data-parallel work performed by each independent task.
+    def task_count(self, workload: Any) -> int | None:
+        """Number of independent tasks in ``workload``.
+
+        ``None`` means the adapter does not expose task sharding; the
+        engine then falls back to calling :meth:`execute` serially.
         """
+        return None
+
+    def execute_shard(
+        self,
+        workload: Any,
+        indices: Sequence[int],
+        instr: Instrumentation | None = None,
+    ) -> ExecutionResult:
+        """Run the tasks named by ``indices`` (ascending, in-range).
+
+        Shards must be independent: running ``[0..k)`` and ``[k..n)``
+        separately and merging through :meth:`merge_shards` must equal
+        running ``[0..n)`` in one call.
+        """
+        raise NotImplementedError(
+            f"benchmark {self.name!r} does not implement task sharding"
+        )
+
+    def merge_shards(self, shards: Sequence[ExecutionResult]) -> ExecutionResult:
+        """Combine shard results (already in ascending task order).
+
+        The default concatenates per-task output lists, work lists and
+        metadata.  Kernels with an aggregate output (a summed matrix, a
+        shared counting table) override this with an order-preserving
+        reduction so parallel output is bit-identical to serial.
+        """
+        if not shards:
+            return ExecutionResult(output=[], task_work=[])
+        output: list[Any] = []
+        task_work: list[int] = []
+        metas: list[dict[str, Any]] = []
+        have_meta = any(s.task_meta is not None for s in shards)
+        for shard in shards:
+            output.extend(shard.output)
+            task_work.extend(shard.task_work)
+            if have_meta:
+                metas.extend(shard.task_meta or [{} for _ in shard.task_work])
+        return ExecutionResult(
+            output=output,
+            task_work=task_work,
+            task_meta=metas if have_meta else None,
+        )
+
+    # -- execution ------------------------------------------------------
+
+    def execute(
+        self, workload: Any, instr: Instrumentation | None = None
+    ) -> ExecutionResult:
+        """Run the kernel over the whole ``workload`` serially.
+
+        The default implementation executes the single shard covering
+        every task, so serial runs exercise exactly the code path the
+        parallel engine shards.  Adapters without task sharding override
+        this directly.
+        """
+        n = self.task_count(workload)
+        if n is None:
+            raise NotImplementedError(
+                f"benchmark {self.name!r} must implement either execute() or "
+                "the task_count()/execute_shard() pair"
+            )
+        shard = as_execution_result(
+            self.execute_shard(workload, range(n), instr=instr), self.name
+        )
+        return self.merge_shards([shard])
 
     def run(self, size: DatasetSize | str, instr: Instrumentation | None = None) -> RunResult:
         """Prepare the workload and execute it, timing the kernel only."""
         if isinstance(size, str):
             size = DatasetSize(size)
+        t0 = time.perf_counter()
         workload = self.prepare(size)
+        prepare_seconds = time.perf_counter() - t0
         start = time.perf_counter()
-        output, task_work = self.execute(workload, instr=instr)
+        result = as_execution_result(self.execute(workload, instr=instr), self.name)
         elapsed = time.perf_counter() - start
         return RunResult(
             kernel=self.name,
             size=size,
-            output=output,
-            task_work=task_work,
+            output=result.output,
+            task_work=result.task_work,
             wall_seconds=elapsed,
             instr=instr,
+            task_meta=result.task_meta,
+            prepare_seconds=prepare_seconds,
         )
 
 

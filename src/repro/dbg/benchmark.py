@@ -13,10 +13,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.benchmark import Benchmark
+from collections.abc import Sequence
+
+from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
-from repro.dbg.assemble import RegionAssembly, assemble_region
+from repro.dbg.assemble import assemble_region
 from repro.sequence.alphabet import reverse_complement
 from repro.sequence.simulate import ShortReadSimulator, mutate_genome, random_genome
 
@@ -64,12 +66,20 @@ class DbgBenchmark(Benchmark):
             regions.append(DbgRegion(reference=ref, reads=oriented))
         return DbgWorkload(regions=regions, kmer_size=params["kmer_size"])
 
-    def execute(
-        self, workload: DbgWorkload, instr: Instrumentation | None = None
-    ) -> tuple[list[RegionAssembly], list[int]]:
+    def task_count(self, workload: DbgWorkload) -> int:
+        return len(workload.regions)
+
+    def execute_shard(
+        self,
+        workload: DbgWorkload,
+        indices: Sequence[int],
+        instr: Instrumentation | None = None,
+    ) -> ExecutionResult:
         outputs = []
         task_work = []
-        for region in workload.regions:
+        meta = []
+        for i in indices:
+            region = workload.regions[i]
             result = assemble_region(
                 region.reference,
                 region.reads,
@@ -78,4 +88,5 @@ class DbgBenchmark(Benchmark):
             )
             outputs.append(result)
             task_work.append(result.hash_lookups)
-        return outputs, task_work
+            meta.append({"reads": len(region.reads)})
+        return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)

@@ -10,9 +10,10 @@ issued (paper Table III).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.core.benchmark import Benchmark
+from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation, OpCounts
 from repro.fmindex.bidir import BiFMIndex
@@ -52,14 +53,22 @@ class FmiBenchmark(Benchmark):
             index=BiFMIndex(both_strands), reads=reads, genome_len=len(genome)
         )
 
-    def execute(
-        self, workload: FmiWorkload, instr: Instrumentation | None = None
-    ) -> tuple[list[list[tuple[int, int, int, str]]], list[int]]:
+    def task_count(self, workload: FmiWorkload) -> int:
+        return len(workload.reads)
+
+    def execute_shard(
+        self,
+        workload: FmiWorkload,
+        indices: Sequence[int],
+        instr: Instrumentation | None = None,
+    ) -> ExecutionResult:
         index = workload.index
         glen = workload.genome_len
         all_seeds = []
         task_work = []
-        for read in workload.reads:
+        meta = []
+        for i in indices:
+            read = workload.reads[i]
             per_read = Instrumentation(
                 counts=OpCounts(), trace=instr.trace if instr else None
             )
@@ -77,6 +86,7 @@ class FmiBenchmark(Benchmark):
             all_seeds.append(seeds)
             # every Occ lookup is one recorded load
             task_work.append(per_read.counts.load)
+            meta.append({"read": read.name, "n_seeds": len(seeds)})
             if instr is not None:
                 instr.counts.merge(per_read.counts)
-        return all_seeds, task_work
+        return ExecutionResult(output=all_seeds, task_work=task_work, task_meta=meta)

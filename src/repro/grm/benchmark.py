@@ -3,18 +3,25 @@
 Workload: a simulated cohort genotype matrix.  Compute is regular
 (Table III omits granularity); tasks are variant blocks and work per
 task is the block's multiply-accumulate count.
+
+Sharding: each task computes one block's unnormalized ``Z Z^T``
+contribution; :meth:`GrmBenchmark.merge_shards` folds the per-block
+partials in block order and normalizes, exactly the accumulation
+:func:`~repro.grm.grm.grm_blocked` performs -- so parallel and serial
+outputs are bit-identical despite floating-point non-associativity.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.benchmark import Benchmark
+from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
-from repro.grm.grm import grm_blocked
+from repro.grm.grm import grm_block_partial
 from repro.grm.variants import GenotypeData, simulate_genotypes
 
 #: Variants per streamed block (PLINK2 streams in multiples of 64).
@@ -42,14 +49,42 @@ class GrmBenchmark(Benchmark):
             )
         )
 
-    def execute(
-        self, workload: GrmWorkload, instr: Instrumentation | None = None
-    ) -> tuple[np.ndarray, list[int]]:
+    def task_count(self, workload: GrmWorkload) -> int:
+        s = workload.data.n_variants
+        return (s + BLOCK - 1) // BLOCK
+
+    def execute_shard(
+        self,
+        workload: GrmWorkload,
+        indices: Sequence[int],
+        instr: Instrumentation | None = None,
+    ) -> ExecutionResult:
         data = workload.data
-        grm = grm_blocked(data, block=BLOCK, instr=instr)
         n = data.n_individuals
+        partials = []
         task_work = []
-        for lo in range(0, data.n_variants, BLOCK):
+        meta = []
+        for i in indices:
+            lo = i * BLOCK
             hi = min(lo + BLOCK, data.n_variants)
+            partials.append(grm_block_partial(data, lo, hi, instr=instr))
             task_work.append(2 * n * n * (hi - lo))
-        return grm, task_work
+            meta.append({"variants": [lo, hi]})
+        return ExecutionResult(output=partials, task_work=task_work, task_meta=meta)
+
+    def merge_shards(self, shards: Sequence[ExecutionResult]) -> ExecutionResult:
+        merged = super().merge_shards(shards)
+        partials = merged.output
+        if not partials:
+            return merged
+        # fold in block order, matching grm_blocked's serial accumulation
+        out = np.zeros_like(partials[0])
+        s = 0
+        for partial, meta in zip(partials, merged.task_meta or []):
+            out += partial
+            lo, hi = meta["variants"]
+            s += hi - lo
+        out /= s
+        return ExecutionResult(
+            output=out, task_work=merged.task_work, task_meta=merged.task_meta
+        )

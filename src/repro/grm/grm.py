@@ -31,6 +31,38 @@ def grm_reference(data: GenotypeData) -> np.ndarray:
     return out
 
 
+def grm_block_partial(
+    data: GenotypeData,
+    lo: int,
+    hi: int,
+    instr: Instrumentation | None = None,
+) -> np.ndarray:
+    """Unnormalized GRM contribution of the variant block ``[lo, hi)``.
+
+    Standardizes the block's genotypes and returns ``Z Z^T``; summing the
+    per-block partials in block order and dividing by the variant count
+    reproduces :func:`grm_blocked` bit for bit, which is what lets the
+    parallel engine shard the computation over blocks.
+    """
+    x = data.genotypes
+    p = data.frequencies
+    n = data.n_individuals
+    pb = p[lo:hi]
+    z = (x[:, lo:hi].astype(np.float64) - 2.0 * pb) / np.sqrt(2.0 * pb * (1.0 - pb))
+    partial = z @ z.T
+    if instr is not None:
+        width = hi - lo
+        flops = 2 * n * n * width + 3 * n * width
+        instr.counts.add("vector", flops // 8)  # 8-lane FMA model
+        instr.counts.add("fp", flops)
+        instr.counts.add("load", (n * width + n * n) // 8)
+        instr.counts.add("store", (n * n) // 8)
+        instr.counts.add("scalar_int", n * width // 64)
+        if instr.trace is not None:
+            _trace_block(instr, n, width, lo)
+    return partial
+
+
 def grm_blocked(
     data: GenotypeData,
     block: int = 512,
@@ -39,25 +71,11 @@ def grm_blocked(
     """Blocked-matmul GRM, streaming variants in chunks of ``block``."""
     if block < 1:
         raise ValueError("block size must be positive")
-    x = data.genotypes
-    p = data.frequencies
-    n, s = x.shape
+    n, s = data.genotypes.shape
     out = np.zeros((n, n), dtype=np.float64)
     for lo in range(0, s, block):
         hi = min(lo + block, s)
-        pb = p[lo:hi]
-        z = (x[:, lo:hi].astype(np.float64) - 2.0 * pb) / np.sqrt(2.0 * pb * (1.0 - pb))
-        out += z @ z.T
-        if instr is not None:
-            width = hi - lo
-            flops = 2 * n * n * width + 3 * n * width
-            instr.counts.add("vector", flops // 8)  # 8-lane FMA model
-            instr.counts.add("fp", flops)
-            instr.counts.add("load", (n * width + n * n) // 8)
-            instr.counts.add("store", (n * n) // 8)
-            instr.counts.add("scalar_int", n * width // 64)
-            if instr.trace is not None:
-                _trace_block(instr, n, width, lo)
+        out += grm_block_partial(data, lo, hi, instr=instr)
     out /= s
     return out
 

@@ -8,12 +8,14 @@ count.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.core.benchmark import Benchmark
+from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
 from repro.kmer.counting import CountResult, KmerCounter
+from repro.kmer.table import HashTable
 from repro.sequence.simulate import LongReadSimulator, random_genome
 
 
@@ -47,11 +49,40 @@ class KmerBenchmark(Benchmark):
             reads=[r.sequence for r in reads], kmer_size=k, expected_kmers=expected
         )
 
-    def execute(
-        self, workload: KmerWorkload, instr: Instrumentation | None = None
-    ) -> tuple[CountResult, list[int]]:
-        counter = KmerCounter(workload.kmer_size, workload.expected_kmers)
-        task_work = []
-        for read in workload.reads:
-            task_work.append(counter.add_read(read, instr=instr))
-        return counter.finish(), task_work
+    def task_count(self, workload: KmerWorkload) -> int:
+        return len(workload.reads)
+
+    def execute_shard(
+        self,
+        workload: KmerWorkload,
+        indices: Sequence[int],
+        instr: Instrumentation | None = None,
+    ) -> ExecutionResult:
+        k = workload.kmer_size
+        reads = [workload.reads[i] for i in indices]
+        expected = sum(max(0, len(r) - k + 1) for r in reads)
+        counter = KmerCounter(k, expected_kmers=max(8, expected))
+        task_work = [counter.add_read(read, instr=instr) for read in reads]
+        return ExecutionResult(output=counter.finish(), task_work=task_work)
+
+    def merge_shards(self, shards: Sequence[ExecutionResult]) -> ExecutionResult:
+        """Fold per-shard counting tables into one shared table.
+
+        Counts are integers, so any fold order yields the serial counts;
+        the merged table is sized exactly as the serial counter sizes
+        its own (from the total k-mer count), keeping the load factor --
+        and therefore the probe statistics the trace models -- stable.
+        """
+        if len(shards) == 1:
+            shard = shards[0]
+            return ExecutionResult(output=shard.output, task_work=shard.task_work)
+        total = sum(s.output.total_kmers for s in shards)
+        table = HashTable(max(8, int(total / 0.55)))
+        for shard in shards:
+            keys, counts = shard.output.table.occupied()
+            table.insert_batch(keys, weights=counts)
+        task_work = [w for s in shards for w in s.task_work]
+        merged = CountResult(
+            table=table, total_kmers=total, distinct_kmers=table.size
+        )
+        return ExecutionResult(output=merged, task_work=task_work)

@@ -42,7 +42,11 @@ class HashTable:
         return (splitmix64(keys) & np.uint64(self.capacity - 1)).astype(np.int64)
 
     def insert_batch(
-        self, keys: np.ndarray, instr: Instrumentation | None = None
+        self,
+        keys: np.ndarray,
+        instr: Instrumentation | None = None,
+        *,
+        weights: np.ndarray | None = None,
     ) -> None:
         """Count every key in ``keys`` (duplicates within the batch allowed).
 
@@ -51,6 +55,10 @@ class HashTable:
         settle, the rest advance one slot.  Equivalent to scalar
         insertion (slot contents are claimed in deterministic key order
         on ties), and every probe is accounted and traceable.
+
+        ``weights`` gives each key a count other than 1 -- the merge
+        path of the parallel engine uses this to fold per-shard tables
+        into one without replaying every original occurrence.
         """
         keys = np.asarray(keys, dtype=np.uint64)
         if keys.size == 0:
@@ -61,7 +69,11 @@ class HashTable:
                 "size it for the workload as the original tools do"
             )
         # collapse duplicates so each distinct key probes once per batch
-        uniq, batch_counts = np.unique(keys, return_counts=True)
+        if weights is None:
+            uniq, batch_counts = np.unique(keys, return_counts=True)
+        else:
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            batch_counts = np.bincount(inverse, weights=weights).astype(np.int64)
         slots = self._slots(uniq)
         pending = np.arange(uniq.size)
         while pending.size:
@@ -132,6 +144,11 @@ class HashTable:
         occupied = np.nonzero(self.keys != EMPTY)[0]
         for slot in occupied:
             yield int(self.keys[slot]), int(self.counts[slot])
+
+    def occupied(self) -> tuple[np.ndarray, np.ndarray]:
+        """Arrays of (distinct keys, their counts), in slot order."""
+        mask = self.keys != EMPTY
+        return self.keys[mask], self.counts[mask]
 
     @property
     def load_factor(self) -> float:

@@ -12,7 +12,7 @@ the abundance EM redistributes.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.chain.anchors import Anchor
 from repro.chain.chaining import chain_anchors

@@ -1,12 +1,24 @@
-"""Plain-text rendering of the regenerated tables and figures.
+"""Rendering of regenerated tables, figures and run results.
 
-Every benchmark target prints its artifact through these helpers so
-the regenerated rows/series appear in the same layout as the paper's.
+Two layers:
+
+* :func:`render_table` -- the fixed-width table primitive every artifact
+  has always printed through.
+* :class:`Report` plus the formatter interface -- the CLI's output
+  contract.  Commands build :class:`Report` values (a titled table plus
+  the raw, JSON-ready data behind it) and hand them to a
+  :class:`Formatter` chosen by ``--format``; ``table`` renders the
+  classic fixed-width layout, ``json`` emits the structured payload for
+  machine consumption.
 """
 
 from __future__ import annotations
 
+import abc
+import json
 from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
 
 
 def render_table(
@@ -28,6 +40,14 @@ def render_table(
     return "\n".join([title, rule, line, rule, *body, rule])
 
 
+def _json_default(obj: Any) -> Any:
+    """``json.dumps`` fallback: unwrap numpy scalars to Python numbers."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"{type(obj).__name__} is not JSON serializable")
+
+
 def pct(x: float) -> str:
     """Format a fraction as a percentage with two decimals."""
     return f"{100.0 * x:.2f}%"
@@ -38,3 +58,83 @@ def sig(x: float, digits: int = 3) -> str:
     if x == 0:
         return "0"
     return f"{x:.{digits}g}"
+
+
+@dataclass
+class Report:
+    """One renderable artifact: a titled table plus its raw data.
+
+    ``rows`` feed the fixed-width table; ``data`` is the JSON-ready
+    payload (defaults to rows zipped with headers).  Commands that
+    already have a structured record (e.g. a
+    :class:`~repro.runner.record.RunRecord` dict) pass it as ``data`` so
+    ``--format json`` loses nothing to table formatting.
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: Sequence[Sequence[object]]
+    data: Any = None
+
+    def payload(self) -> Any:
+        """The structured form ``--format json`` serializes."""
+        if self.data is not None:
+            return self.data
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+
+class Formatter(abc.ABC):
+    """Renders a sequence of reports to one output string."""
+
+    #: Name used by ``--format``.
+    name: str
+
+    @abc.abstractmethod
+    def render(self, reports: Sequence[Report]) -> str:
+        """Serialize ``reports`` for the terminal or a file."""
+
+
+class TableFormatter(Formatter):
+    """The classic fixed-width table layout."""
+
+    name = "table"
+
+    def render(self, reports: Sequence[Report]) -> str:
+        return "\n\n".join(
+            render_table(r.title, list(r.headers), r.rows) for r in reports
+        )
+
+
+class JsonFormatter(Formatter):
+    """Structured JSON: one object per report, keyed by title."""
+
+    name = "json"
+
+    def __init__(self, indent: int | None = 2) -> None:
+        self.indent = indent
+
+    def render(self, reports: Sequence[Report]) -> str:
+        if len(reports) == 1:
+            doc: Any = {"title": reports[0].title, "data": reports[0].payload()}
+        else:
+            doc = [{"title": r.title, "data": r.payload()} for r in reports]
+        return json.dumps(doc, indent=self.indent, default=_json_default)
+
+
+_FORMATTERS: dict[str, type[Formatter]] = {
+    TableFormatter.name: TableFormatter,
+    JsonFormatter.name: JsonFormatter,
+}
+
+#: Valid ``--format`` choices, in declaration order.
+FORMAT_CHOICES = tuple(_FORMATTERS)
+
+
+def get_formatter(name: str) -> Formatter:
+    """Instantiate the formatter registered as ``name``."""
+    try:
+        return _FORMATTERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown format {name!r}; valid formats: {', '.join(_FORMATTERS)}"
+        ) from None

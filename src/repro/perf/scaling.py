@@ -13,6 +13,7 @@ linearly.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.core.benchmark import load_benchmark
@@ -108,3 +109,67 @@ def figure7(
 ) -> list[ScalingCurve]:
     """Fig. 7 data: scaling curves for the multithreaded CPU kernels."""
     return [scaling_curve(name, max_threads, size) for name in SCALING_KERNELS]
+
+
+def measured_scaling_curve(
+    kernel: str,
+    threads: Sequence[int] = (1, 2, 4, 8),
+    size: DatasetSize = DatasetSize.SMALL,
+) -> ScalingCurve:
+    """*Measured* scaling curve via the multiprocess execution engine.
+
+    Where :func:`scaling_curve` simulates OpenMP dynamic scheduling from
+    task inventories, this prepares the workload once and actually runs
+    it under :class:`repro.runner.ParallelRunner` at each worker count;
+    speedups are wall-clock ratios against the in-process serial path.
+    Real speedup is bounded by the machine's core count (on a single
+    -core host every multiprocess point pays IPC overhead for nothing),
+    which is precisely the hardware sensitivity Fig. 7 exists to show.
+    """
+    from repro.runner.engine import ParallelRunner
+
+    bench = load_benchmark(kernel)
+    workload = bench.prepare(size)
+    serial = ParallelRunner(jobs=1).execute(bench, workload, size)
+    speedups = []
+    for t in threads:
+        if t == 1:
+            speedups.append(1.0)
+            continue
+        run = ParallelRunner(jobs=t, measure_serial=False).execute(
+            bench, workload, size
+        )
+        speedups.append(serial.record.execute_seconds / run.record.execute_seconds)
+    return ScalingCurve(
+        kernel=kernel,
+        threads=list(threads),
+        speedups=speedups,
+        bandwidth_fraction=0.0,
+    )
+
+
+@dataclass
+class ScalingComparison:
+    """Simulated and measured Fig. 7 curves for one kernel, side by side."""
+
+    kernel: str
+    simulated: ScalingCurve
+    measured: ScalingCurve
+
+
+def figure7_comparison(
+    kernels: Sequence[str] = SCALING_KERNELS,
+    threads: Sequence[int] = (1, 2, 4, 8),
+    size: DatasetSize = DatasetSize.SMALL,
+) -> list[ScalingComparison]:
+    """Measured-vs-simulated Fig. 7: one comparison per kernel."""
+    out = []
+    for name in kernels:
+        out.append(
+            ScalingComparison(
+                kernel=name,
+                simulated=scaling_curve(name, max(threads), size),
+                measured=measured_scaling_curve(name, threads, size),
+            )
+        )
+    return out

@@ -16,7 +16,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.benchmark import Benchmark
+from collections.abc import Sequence
+
+from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
 from repro.phmm.forward import BatchedPairHMM
@@ -102,16 +104,27 @@ class PhmmBenchmark(Benchmark):
             )
         )
 
-    def execute(
-        self, workload: PhmmWorkload, instr: Instrumentation | None = None
-    ) -> tuple[list[np.ndarray], list[int]]:
+    def task_count(self, workload: PhmmWorkload) -> int:
+        return len(workload.regions)
+
+    def execute_shard(
+        self,
+        workload: PhmmWorkload,
+        indices: Sequence[int],
+        instr: Instrumentation | None = None,
+    ) -> ExecutionResult:
         engine = BatchedPairHMM()
         outputs = []
         task_work = []
-        for region in workload.regions:
+        meta = []
+        for i in indices:
+            region = workload.regions[i]
             likes, _ = engine.region_likelihoods(
                 region.reads, region.haplotypes, instr=instr
             )
             outputs.append(likes)
             task_work.append(region.cell_updates)
-        return outputs, task_work
+            meta.append(
+                {"reads": len(region.reads), "haplotypes": len(region.haplotypes)}
+            )
+        return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)

@@ -7,14 +7,15 @@ the number of alignment-record lookups it performs (paper Table III).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.core.benchmark import Benchmark
+from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
 from repro.io.regions import GenomicRegion
 from repro.io.sam import AlignmentRecord, simulate_alignments
-from repro.pileup.counts import PileupCounts, count_region
+from repro.pileup.counts import count_region
 from repro.pileup.regions import reads_by_region
 from repro.sequence.simulate import LongReadSimulator, random_genome
 
@@ -49,13 +50,22 @@ class PileupBenchmark(Benchmark):
         )
         return PileupWorkload(genome=genome, tasks=tasks)
 
-    def execute(
-        self, workload: PileupWorkload, instr: Instrumentation | None = None
-    ) -> tuple[list[PileupCounts], list[int]]:
+    def task_count(self, workload: PileupWorkload) -> int:
+        return len(workload.tasks)
+
+    def execute_shard(
+        self,
+        workload: PileupWorkload,
+        indices: Sequence[int],
+        instr: Instrumentation | None = None,
+    ) -> ExecutionResult:
         outputs = []
         task_work = []
-        for region, records in workload.tasks:
+        meta = []
+        for i in indices:
+            region, records = workload.tasks[i]
             pile = count_region(records, region, instr=instr)
             outputs.append(pile)
             task_work.append(pile.n_records)
-        return outputs, task_work
+            meta.append({"region": f"{region.contig}:{region.start}-{region.end}"})
+        return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)

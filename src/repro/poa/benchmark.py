@@ -13,7 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.benchmark import Benchmark
+from collections.abc import Sequence
+
+from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
 from repro.poa.consensus import consensus_window
@@ -84,13 +86,22 @@ class PoaBenchmark(Benchmark):
             )
         )
 
-    def execute(
-        self, workload: PoaWorkload, instr: Instrumentation | None = None
-    ) -> tuple[list[str], list[int]]:
+    def task_count(self, workload: PoaWorkload) -> int:
+        return len(workload.windows)
+
+    def execute_shard(
+        self,
+        workload: PoaWorkload,
+        indices: Sequence[int],
+        instr: Instrumentation | None = None,
+    ) -> ExecutionResult:
         outputs = []
         task_work = []
-        for window in workload.windows:
+        meta = []
+        for i in indices:
+            window = workload.windows[i]
             consensus, _, cells = consensus_window(window.sequences, instr=instr)
             outputs.append(consensus)
             task_work.append(cells)
-        return outputs, task_work
+            meta.append({"depth": len(window.sequences)})
+        return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)

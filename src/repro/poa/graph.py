@@ -10,7 +10,7 @@ spoa/Racon.
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import deque
 
 
 class POAGraph:

@@ -1,0 +1,34 @@
+"""Parallel execution engine for the benchmark suite.
+
+``repro.runner`` turns the task inventories every kernel adapter
+exposes (:meth:`Benchmark.task_count` / :meth:`Benchmark.execute_shard`)
+into real multiprocess execution with OpenMP-style dynamic chunk
+scheduling, an on-disk workload cache, and structured JSON run records:
+
+* :class:`ParallelRunner` / :func:`run_kernel` -- the engine
+* :class:`WorkloadCache` -- ``(kernel, size, seed)``-keyed prepare cache
+* :class:`RunRecord` -- schema-versioned machine-readable results
+"""
+
+from repro.runner.cache import WorkloadCache, cache_key, default_cache_dir
+from repro.runner.engine import (
+    EngineRun,
+    ParallelRunner,
+    default_chunk_size,
+    run_kernel,
+)
+from repro.runner.record import SCHEMA, ChunkTrace, RunRecord, WorkerStats
+
+__all__ = [
+    "SCHEMA",
+    "ChunkTrace",
+    "EngineRun",
+    "ParallelRunner",
+    "RunRecord",
+    "WorkerStats",
+    "WorkloadCache",
+    "cache_key",
+    "default_cache_dir",
+    "default_chunk_size",
+    "run_kernel",
+]

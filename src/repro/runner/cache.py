@@ -1,0 +1,146 @@
+"""On-disk workload cache.
+
+``Benchmark.prepare`` dominates wall time for several kernels (index
+construction for fmi, signal synthesis for abea, alignment simulation
+for pileup) even though the prepared workload is a pure function of
+``(kernel, size)`` -- every generator seeds its RNG from
+:func:`repro.core.datasets.dataset_seed`.  The cache pickles prepared
+workloads so repeated ``run``/``characterize`` invocations skip the
+prepare phase entirely.
+
+Keying and invalidation
+-----------------------
+
+An entry's filename embeds the kernel, the size, and a digest over
+
+* the dataset parameters registered for ``(kernel, size)``,
+* the derived dataset seed, and
+* the cache format version (:data:`CACHE_VERSION`).
+
+Changing any dataset parameter or seed therefore *automatically*
+invalidates the entry (a new digest means a new filename; stale files
+are ignored and can be vacuumed with ``clear``).  Workload *shape*
+changes that keep parameters identical -- editing a generator -- require
+either bumping :data:`CACHE_VERSION` or ``genomicsbench runner
+--clear-cache``.  Unpicklable or truncated entries are treated as
+misses, never errors.
+
+The cache root defaults to ``~/.cache/genomicsbench/workloads`` and can
+be overridden with the ``GENOMICSBENCH_CACHE_DIR`` environment variable
+or per-call via ``cache_dir``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
+
+#: Bump when the pickled workload layout changes incompatibly.
+CACHE_VERSION = 1
+
+_ENV_VAR = "GENOMICSBENCH_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root (env override, else the XDG-ish default)."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "genomicsbench" / "workloads"
+
+
+def cache_key(kernel: str, size: DatasetSize | str) -> str:
+    """Deterministic entry name for ``(kernel, size)``.
+
+    The digest covers dataset parameters, the derived seed and the cache
+    format version, so parameter or seed changes invalidate by renaming.
+    """
+    if isinstance(size, str):
+        size = DatasetSize(size)
+    params = dataset_params(kernel, size)
+    seed = dataset_seed(kernel, size)
+    fingerprint = repr(
+        (CACHE_VERSION, kernel, size.value, seed, sorted(params.items()))
+    )
+    digest = hashlib.sha256(fingerprint.encode()).hexdigest()[:16]
+    return f"{kernel}-{size.value}-{digest}"
+
+
+@dataclass
+class CacheEntry:
+    """One cached workload file."""
+
+    kernel: str
+    size: str
+    path: Path
+    bytes: int
+
+
+class WorkloadCache:
+    """Pickle-backed store of prepared workloads keyed by (kernel, size)."""
+
+    def __init__(self, cache_dir: Path | str | None = None) -> None:
+        self.root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+
+    def path_for(self, kernel: str, size: DatasetSize | str) -> Path:
+        return self.root / f"{cache_key(kernel, size)}.pkl"
+
+    def load(self, kernel: str, size: DatasetSize | str) -> Any | None:
+        """The cached workload, or ``None`` on any kind of miss."""
+        path = self.path_for(kernel, size)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # corrupt or incompatible entry: drop it and regenerate
+            path.unlink(missing_ok=True)
+            return None
+
+    def store(self, kernel: str, size: DatasetSize | str, workload: Any) -> Path | None:
+        """Pickle ``workload`` atomically; returns the path (None if unpicklable)."""
+        path = self.path_for(kernel, size)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(workload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except (pickle.PicklingError, TypeError, AttributeError):
+            return None
+        return path
+
+    def entries(self) -> list[CacheEntry]:
+        """All entries currently on disk, sorted by name."""
+        if not self.root.is_dir():
+            return []
+        out = []
+        for path in sorted(self.root.glob("*.pkl")):
+            kernel, _, rest = path.stem.rpartition("-")
+            kernel, _, size = kernel.rpartition("-")
+            out.append(
+                CacheEntry(
+                    kernel=kernel, size=size, path=path, bytes=path.stat().st_size
+                )
+            )
+        return out
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        for entry in self.entries():
+            entry.path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,283 @@
+"""Multiprocess execution engine with dynamic chunk scheduling.
+
+The paper's thread-scaling experiment (Fig. 7) runs every kernel's
+independent tasks under OpenMP ``schedule(dynamic)``.  This engine is
+that execution model made real for the reproduction: the task index
+space ``[0, n)`` is cut into contiguous chunks, a pool of worker
+processes pulls the next chunk the moment it goes idle (greedy list
+scheduling -- exactly what ``schedule(dynamic)`` approximates and what
+:func:`repro.perf.scaling.dynamic_makespan` simulates), and the shard
+results are merged back in task order through
+:meth:`Benchmark.merge_shards`, so parallel output is bit-identical to
+the serial path.
+
+Workers are forked *after* the workload is prepared, so they inherit it
+copy-on-write instead of re-pickling it per chunk; on platforms without
+``fork`` the workload is shipped once per worker through the pool
+initializer.  Every run produces a :class:`~repro.runner.record.RunRecord`
+with the chunk trace, per-worker busy times and (optionally) the
+measured speedup over an in-process serial execution of the same
+prepared workload.
+
+The engine does not thread :class:`~repro.core.instrument.Instrumentation`
+through workers -- counters and traces are a characterization concern
+and stay on the serial path (``jobs=1`` or :mod:`repro.perf`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.benchmark import (
+    Benchmark,
+    ExecutionResult,
+    as_execution_result,
+    load_benchmark,
+)
+from repro.core.datasets import DatasetSize
+from repro.runner.cache import WorkloadCache
+from repro.runner.record import ChunkTrace, RunRecord, WorkerStats
+
+#: Chunks handed out per worker on average; OpenMP's dynamic default is
+#: chunk=1, but per-chunk IPC in Python argues for coarser grains while
+#: still leaving several steals per worker to absorb task-size skew.
+CHUNKS_PER_WORKER = 8
+
+#: (benchmark, workload) inherited by forked workers, set pre-fork.
+_WORKER_STATE: tuple[Benchmark, Any] | None = None
+
+
+def _init_worker(bench: Benchmark, workload: Any) -> None:
+    """Pool initializer for spawn-style platforms (no fork inheritance)."""
+    global _WORKER_STATE
+    _WORKER_STATE = (bench, workload)
+
+
+def _run_chunk(start: int, stop: int) -> tuple[int, int, ExecutionResult, int, float, float]:
+    """Execute tasks ``[start, stop)`` in a worker; timestamps are absolute."""
+    assert _WORKER_STATE is not None, "worker started without benchmark state"
+    bench, workload = _WORKER_STATE
+    t0 = time.perf_counter()
+    result = as_execution_result(
+        bench.execute_shard(workload, range(start, stop)), bench.name
+    )
+    t1 = time.perf_counter()
+    return start, stop, result, os.getpid(), t0, t1
+
+
+def default_chunk_size(n_tasks: int, jobs: int) -> int:
+    """Chunk size leaving ~:data:`CHUNKS_PER_WORKER` pulls per worker."""
+    if n_tasks <= 0:
+        return 1
+    return max(1, -(-n_tasks // (jobs * CHUNKS_PER_WORKER)))
+
+
+@dataclass
+class EngineRun:
+    """An engine execution: the JSON-ready record plus live objects."""
+
+    record: RunRecord
+    output: Any
+    result: ExecutionResult
+
+
+class ParallelRunner:
+    """Shards a kernel's tasks across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` executes in-process through exactly the
+        serial path (no pool, no IPC).
+    chunk_size:
+        Tasks per dynamically scheduled chunk; default
+        :func:`default_chunk_size`.
+    cache:
+        A :class:`WorkloadCache` (or ``None`` to always prepare).
+    measure_serial:
+        Also time an in-process serial execution and record the
+        speedup.  Default: only when ``jobs > 1``.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        chunk_size: int | None = None,
+        cache: WorkloadCache | None = None,
+        measure_serial: bool | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self.cache = cache
+        self.measure_serial = measure_serial
+
+    # -- workload acquisition -----------------------------------------
+
+    def prepare(self, bench: Benchmark, size: DatasetSize) -> tuple[Any, float, bool]:
+        """(workload, prepare_seconds, cache_hit) honoring the cache."""
+        if self.cache is not None:
+            t0 = time.perf_counter()
+            workload = self.cache.load(bench.name, size)
+            if workload is not None:
+                return workload, time.perf_counter() - t0, True
+        t0 = time.perf_counter()
+        workload = bench.prepare(size)
+        prepare_seconds = time.perf_counter() - t0
+        if self.cache is not None:
+            self.cache.store(bench.name, size, workload)
+        return workload, prepare_seconds, False
+
+    # -- execution ----------------------------------------------------
+
+    def run(self, kernel: str, size: DatasetSize | str = DatasetSize.SMALL) -> EngineRun:
+        """Prepare (or load) the workload for ``kernel`` and execute it."""
+        if isinstance(size, str):
+            size = DatasetSize(size)
+        bench = load_benchmark(kernel)
+        workload, prepare_seconds, cached = self.prepare(bench, size)
+        return self.execute(
+            bench, workload, size, prepare_seconds=prepare_seconds, prepare_cached=cached
+        )
+
+    def execute(
+        self,
+        bench: Benchmark,
+        workload: Any,
+        size: DatasetSize,
+        prepare_seconds: float = 0.0,
+        prepare_cached: bool = False,
+    ) -> EngineRun:
+        """Execute a prepared workload, sharded across ``jobs`` workers."""
+        n_tasks = bench.task_count(workload)
+        serial_seconds = None
+        measure = (
+            self.measure_serial
+            if self.measure_serial is not None
+            else self.jobs > 1
+        )
+        if measure:
+            t0 = time.perf_counter()
+            as_execution_result(bench.execute(workload), bench.name)
+            serial_seconds = time.perf_counter() - t0
+
+        if self.jobs == 1 or n_tasks is None or n_tasks <= 1:
+            result, chunks, workers, elapsed = self._execute_serial(bench, workload)
+            chunk_size = max(1, len(result.task_work))
+        else:
+            chunk_size = self.chunk_size or default_chunk_size(n_tasks, self.jobs)
+            result, chunks, workers, elapsed = self._execute_parallel(
+                bench, workload, n_tasks, chunk_size
+            )
+
+        record = RunRecord(
+            kernel=bench.name,
+            size=size.value,
+            jobs=self.jobs if n_tasks is not None else 1,
+            chunk_size=chunk_size,
+            n_tasks=result.n_tasks,
+            total_work=result.total_work,
+            task_work=list(result.task_work),
+            prepare_seconds=prepare_seconds,
+            prepare_cached=prepare_cached,
+            execute_seconds=elapsed,
+            serial_seconds=serial_seconds,
+            task_meta=result.task_meta,
+            chunks=chunks,
+            workers=workers,
+        )
+        return EngineRun(record=record, output=result.output, result=result)
+
+    def _execute_serial(
+        self, bench: Benchmark, workload: Any
+    ) -> tuple[ExecutionResult, list[ChunkTrace], list[WorkerStats], float]:
+        t0 = time.perf_counter()
+        result = as_execution_result(bench.execute(workload), bench.name)
+        elapsed = time.perf_counter() - t0
+        chunks = [
+            ChunkTrace(worker=0, start=0, stop=result.n_tasks, begin=0.0, end=elapsed)
+        ]
+        workers = [
+            WorkerStats(
+                worker=0,
+                pid=os.getpid(),
+                chunks=1,
+                tasks=result.n_tasks,
+                busy_seconds=elapsed,
+            )
+        ]
+        return result, chunks, workers, elapsed
+
+    def _execute_parallel(
+        self, bench: Benchmark, workload: Any, n_tasks: int, chunk_size: int
+    ) -> tuple[ExecutionResult, list[ChunkTrace], list[WorkerStats], float]:
+        global _WORKER_STATE
+        bounds = [
+            (lo, min(lo + chunk_size, n_tasks))
+            for lo in range(0, n_tasks, chunk_size)
+        ]
+        methods = multiprocessing.get_all_start_methods()
+        use_fork = "fork" in methods
+        ctx = multiprocessing.get_context("fork" if use_fork else "spawn")
+        jobs = min(self.jobs, len(bounds))
+        _WORKER_STATE = (bench, workload)  # forked children inherit this
+        initargs = () if use_fork else (bench, workload)
+        initializer = None if use_fork else _init_worker
+        t0 = time.perf_counter()
+        try:
+            with ctx.Pool(jobs, initializer=initializer, initargs=initargs) as pool:
+                # one async task per chunk: idle workers pull the next
+                # pending chunk off the shared queue = dynamic scheduling
+                futures = [pool.apply_async(_run_chunk, b) for b in bounds]
+                raw = [f.get() for f in futures]
+        finally:
+            _WORKER_STATE = None
+        elapsed = time.perf_counter() - t0
+
+        raw.sort(key=lambda r: r[0])
+        pids: dict[int, int] = {}
+        chunks: list[ChunkTrace] = []
+        per_worker: dict[int, WorkerStats] = {}
+        for start, stop, _, pid, w0, w1 in raw:
+            worker = pids.setdefault(pid, len(pids))
+            chunks.append(
+                ChunkTrace(
+                    worker=worker,
+                    start=start,
+                    stop=stop,
+                    begin=max(0.0, w0 - t0),
+                    end=max(0.0, w1 - t0),
+                )
+            )
+            stats = per_worker.setdefault(
+                worker,
+                WorkerStats(worker=worker, pid=pid, chunks=0, tasks=0, busy_seconds=0.0),
+            )
+            stats.chunks += 1
+            stats.tasks += stop - start
+            stats.busy_seconds += w1 - w0
+        result = bench.merge_shards([r[2] for r in raw])
+        workers = [per_worker[w] for w in sorted(per_worker)]
+        return result, chunks, workers, elapsed
+
+
+def run_kernel(
+    kernel: str,
+    size: DatasetSize | str = DatasetSize.SMALL,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+    cache: WorkloadCache | None = None,
+    measure_serial: bool | None = None,
+) -> EngineRun:
+    """One-call convenience over :class:`ParallelRunner`."""
+    runner = ParallelRunner(
+        jobs=jobs, chunk_size=chunk_size, cache=cache, measure_serial=measure_serial
+    )
+    return runner.run(kernel, size)

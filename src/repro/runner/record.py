@@ -1,0 +1,137 @@
+"""Structured, JSON-serializable records of engine runs.
+
+Every ``genomicsbench run`` invocation produces one :class:`RunRecord`
+per kernel.  The record is the machine-readable execution contract of
+the suite: per-task work, the dynamic-scheduling chunk trace, per-worker
+busy times, cache provenance of the workload, and the measured speedup
+over the serial path.  ``--format json`` emits exactly this structure,
+and downstream tooling (regression tracking, scaling plots) consumes it
+through :func:`RunRecord.from_json` -- so the schema carries an explicit
+version and only grows, never mutates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+#: Schema identifier embedded in every serialized record.  Bump the
+#: trailing version only for incompatible changes; additions are free.
+SCHEMA = "genomicsbench.run/1"
+
+
+def json_default(obj: Any) -> Any:
+    """``json.dumps`` fallback: unwrap numpy scalars to Python numbers."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"{type(obj).__name__} is not JSON serializable")
+
+
+@dataclass
+class ChunkTrace:
+    """One dynamically scheduled chunk of tasks, as a worker ran it.
+
+    ``start``/``stop`` delimit the half-open task-index range; ``begin``
+    and ``end`` are wall-clock offsets (seconds) from the moment the
+    engine started dispatching, comparable across workers.
+    """
+
+    worker: int
+    start: int
+    stop: int
+    begin: float
+    end: float
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.begin
+
+
+@dataclass
+class WorkerStats:
+    """Aggregate view of one worker process."""
+
+    worker: int
+    pid: int
+    chunks: int
+    tasks: int
+    busy_seconds: float
+
+
+@dataclass
+class RunRecord:
+    """Everything one engine run measured, ready for JSON."""
+
+    kernel: str
+    size: str
+    jobs: int
+    chunk_size: int
+    n_tasks: int
+    total_work: int
+    task_work: list[int]
+    prepare_seconds: float
+    prepare_cached: bool
+    execute_seconds: float
+    serial_seconds: float | None = None
+    task_meta: list[dict[str, Any]] | None = None
+    chunks: list[ChunkTrace] = field(default_factory=list)
+    workers: list[WorkerStats] = field(default_factory=list)
+    schema: str = SCHEMA
+
+    @property
+    def speedup_vs_serial(self) -> float | None:
+        """Measured parallel speedup (``None`` without a serial baseline)."""
+        if self.serial_seconds is None or self.execute_seconds <= 0:
+            return None
+        return self.serial_seconds / self.execute_seconds
+
+    @property
+    def scheduling_efficiency(self) -> float | None:
+        """Busy time across workers divided by ``jobs * makespan``.
+
+        1.0 means no worker ever idled -- the quantity OpenMP dynamic
+        scheduling maximizes and Fig. 7's imbalance degrades.
+        """
+        if not self.workers or self.execute_seconds <= 0:
+            return None
+        busy = sum(w.busy_seconds for w in self.workers)
+        return busy / (self.jobs * self.execute_seconds)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form with derived metrics materialized."""
+        d = asdict(self)
+        d["speedup_vs_serial"] = self.speedup_vs_serial
+        d["scheduling_efficiency"] = self.scheduling_efficiency
+        return d
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=json_default)
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "RunRecord":
+        schema = d.get("schema", SCHEMA)
+        if schema != SCHEMA:
+            raise ValueError(f"unsupported run-record schema {schema!r}")
+        return cls(
+            kernel=d["kernel"],
+            size=d["size"],
+            jobs=d["jobs"],
+            chunk_size=d["chunk_size"],
+            n_tasks=d["n_tasks"],
+            total_work=d["total_work"],
+            task_work=list(d["task_work"]),
+            prepare_seconds=d["prepare_seconds"],
+            prepare_cached=d["prepare_cached"],
+            execute_seconds=d["execute_seconds"],
+            serial_seconds=d.get("serial_seconds"),
+            task_meta=d.get("task_meta"),
+            chunks=[ChunkTrace(**c) for c in d.get("chunks", [])],
+            workers=[WorkerStats(**w) for w in d.get("workers", [])],
+            schema=schema,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        return cls.from_dict(json.loads(text))

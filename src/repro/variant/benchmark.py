@@ -12,14 +12,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.benchmark import Benchmark
+from collections.abc import Sequence
+
+from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
 from repro.io.regions import GenomicRegion
 from repro.io.sam import simulate_alignments
 from repro.pileup.counts import count_region
 from repro.sequence.simulate import LongReadSimulator, mutate_genome, random_genome
-from repro.variant.clair import ClairLikeModel, VariantPrediction
+from repro.variant.clair import ClairLikeModel
 from repro.variant.tensors import FLANK, position_tensor
 
 
@@ -57,16 +59,25 @@ class NnVariantBenchmark(Benchmark):
         ]
         return NnVariantWorkload(tensors=tensors, model=ClairLikeModel())
 
-    def execute(
-        self, workload: NnVariantWorkload, instr: Instrumentation | None = None
-    ) -> tuple[list[VariantPrediction], list[int]]:
+    def task_count(self, workload: NnVariantWorkload) -> int:
+        return len(workload.tensors)
+
+    def execute_shard(
+        self,
+        workload: NnVariantWorkload,
+        indices: Sequence[int],
+        instr: Instrumentation | None = None,
+    ) -> ExecutionResult:
         model = workload.model
         ops = model.op_count()
         outputs = []
         task_work = []
-        for tensor in workload.tensors:
+        meta = []
+        for i in indices:
+            tensor = workload.tensors[i]
             outputs.append(model.forward(tensor))
             task_work.append(ops)
+            meta.append({"position": FLANK + i})
             if instr is not None:
                 instr.counts.add("fp", ops)
                 instr.counts.add("vector", ops // 8)
@@ -74,7 +85,7 @@ class NnVariantBenchmark(Benchmark):
                 instr.counts.add("store", ops // 64)
                 if instr.trace is not None:
                     self._trace(instr)
-        return outputs, task_work
+        return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)
 
     def _trace(self, instr: Instrumentation) -> None:
         trace = instr.trace

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.align.batched import BatchedSW, BatchStats
 from repro.align.benchmark import make_extension_pairs
 from repro.align.pairwise import sw_scalar
-from repro.align.scoring import ScoringScheme
 from repro.core.instrument import Instrumentation
 
 dna = st.text(alphabet="ACGT", min_size=2, max_size=40)

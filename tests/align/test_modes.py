@@ -1,6 +1,5 @@
 """Tests for global and glocal alignment modes."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,12 +1,11 @@
 """Tests for anchor generation and the chaining DP."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.chain.anchors import Anchor, anchors_between
-from repro.chain.chaining import Chain, chain_anchors
+from repro.chain.chaining import chain_anchors
 from repro.core.instrument import Instrumentation
 from repro.sequence.simulate import random_genome
 

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.runner.record import SCHEMA, RunRecord
 
 
 class TestParser:
@@ -17,13 +20,42 @@ class TestParser:
         assert out.count("\n") >= 14
 
     def test_run_single_kernel(self, capsys):
-        assert main(["run", "grm", "--size", "small"]) == 0
+        assert main(["run", "grm", "--size", "small", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "grm" in out and "total work" in out
 
     def test_run_rejects_unknown_kernel(self):
         with pytest.raises(KeyError, match="valid kernels"):
             main(["run", "nope"])
+
+    def test_run_parallel_jobs(self, capsys):
+        assert main(["run", "grm", "--jobs", "2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs=2" in out and "speedup" in out
+
+    def test_run_json_format_emits_schema_stable_record(self, capsys):
+        assert main(["run", "grm", "--no-cache", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        record = RunRecord.from_dict(doc["data"])
+        assert record.schema == SCHEMA
+        assert record.kernel == "grm"
+        assert record.n_tasks == len(record.task_work) > 0
+
+    def test_run_out_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "run.json"
+        assert main(
+            ["run", "grm", "--no-cache", "--format", "json", "--out", str(out_file)]
+        ) == 0
+        assert capsys.readouterr().out == ""  # only the stderr note, no stdout
+        record = RunRecord.from_dict(json.loads(out_file.read_text())["data"])
+        assert record.kernel == "grm"
+
+    def test_run_uses_workload_cache(self, tmp_path, capsys):
+        args = ["run", "grm", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cached" in out  # second invocation reports a cache hit
 
     def test_datasets(self, capsys):
         assert main(["datasets"]) == 0

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.core.benchmark import Benchmark, RunResult, load_benchmark
+from repro.core.benchmark import (
+    Benchmark,
+    ExecutionResult,
+    RunResult,
+    as_execution_result,
+    load_benchmark,
+)
 from repro.core.datasets import DatasetSize
 from repro.core.registry import kernel_names
 
@@ -52,3 +58,89 @@ def test_prepare_is_deterministic():
     w1 = bench.prepare(DatasetSize.SMALL)
     w2 = bench.prepare(DatasetSize.SMALL)
     assert w1.pairs == w2.pairs
+
+
+def test_execution_result_unpacks_like_legacy_tuple():
+    result = ExecutionResult(output=["a", "b"], task_work=[1, 2])
+    output, task_work = result
+    assert output == ["a", "b"]
+    assert task_work == [1, 2]
+    assert len(result) == 2
+    assert result[0] == ["a", "b"] and result[1] == [1, 2]
+    assert result.n_tasks == 2 and result.total_work == 3
+
+
+def test_as_execution_result_passes_through():
+    result = ExecutionResult(output=[], task_work=[])
+    assert as_execution_result(result, "x") is result
+
+
+def test_as_execution_result_adapts_legacy_tuple_with_warning():
+    with pytest.warns(DeprecationWarning, match="legacy"):
+        result = as_execution_result((["out"], [7]), "legacy-kernel")
+    assert isinstance(result, ExecutionResult)
+    assert result.output == ["out"]
+    assert result.task_work == [7]
+
+
+def test_as_execution_result_rejects_garbage():
+    with pytest.raises(TypeError, match="expected an ExecutionResult"):
+        as_execution_result("nonsense", "x")
+
+
+def test_legacy_tuple_adapter_still_runs():
+    """A not-yet-migrated adapter keeps working through Benchmark.run."""
+
+    class LegacyBenchmark(Benchmark):
+        name = "legacy"
+
+        def prepare(self, size):
+            return [1, 2, 3]
+
+        def execute(self, workload, instr=None):
+            return list(workload), [w * 10 for w in workload]
+
+    with pytest.warns(DeprecationWarning):
+        result = LegacyBenchmark().run(DatasetSize.SMALL)
+    assert result.task_work == [10, 20, 30]
+    assert result.output == [1, 2, 3]
+
+
+def test_every_kernel_exposes_task_sharding():
+    for name in kernel_names():
+        bench = load_benchmark(name)
+        workload = bench.prepare(DatasetSize.SMALL)
+        n = bench.task_count(workload)
+        assert n is not None and n > 0, name
+
+
+def test_execute_shard_subset_matches_full_run():
+    bench = load_benchmark("chain")
+    workload = bench.prepare(DatasetSize.SMALL)
+    full = bench.execute(workload)
+    n = bench.task_count(workload)
+    merged = bench.merge_shards(
+        [
+            bench.execute_shard(workload, range(0, n // 2)),
+            bench.execute_shard(workload, range(n // 2, n)),
+        ]
+    )
+    assert merged.task_work == full.task_work
+    assert merged.output == full.output
+
+
+def test_default_merge_shards_concatenates_in_order():
+    bench = load_benchmark("chain")  # uses the default merge
+    a = ExecutionResult(output=["x"], task_work=[1], task_meta=[{"i": 0}])
+    b = ExecutionResult(output=["y", "z"], task_work=[2, 3], task_meta=[{"i": 1}, {"i": 2}])
+    merged = bench.merge_shards([a, b])
+    assert merged.output == ["x", "y", "z"]
+    assert merged.task_work == [1, 2, 3]
+    assert merged.task_meta == [{"i": 0}, {"i": 1}, {"i": 2}]
+    assert bench.merge_shards([]).n_tasks == 0
+
+
+def test_run_records_prepare_timing():
+    result = load_benchmark("grm").run(DatasetSize.SMALL)
+    assert result.prepare_seconds > 0
+    assert result.prepare_cached is False

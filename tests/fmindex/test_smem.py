@@ -2,7 +2,6 @@
 algorithm, cross-validated against each other and against brute force."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

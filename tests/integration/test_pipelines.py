@@ -6,7 +6,6 @@ polishing (align -> pileup -> consensus).
 """
 
 import numpy as np
-import pytest
 
 from repro.align.batched import BatchedSW
 from repro.dbg.assemble import assemble_region

@@ -1,6 +1,5 @@
 """Integration tests: every kernel end-to-end through the uniform driver."""
 
-import numpy as np
 import pytest
 
 from repro.core.benchmark import load_benchmark
@@ -30,9 +29,9 @@ def test_kernel_deterministic(name):
 def test_instrumentation_does_not_change_output(name):
     bench = load_benchmark(name)
     workload = bench.prepare(DatasetSize.SMALL)
-    plain, plain_work = bench.execute(workload)
+    plain = bench.execute(workload)
     instr = Instrumentation.with_trace()
-    traced, traced_work = bench.execute(bench.prepare(DatasetSize.SMALL), instr=instr)
-    assert plain_work == traced_work
+    traced = bench.execute(bench.prepare(DatasetSize.SMALL), instr=instr)
+    assert plain.task_work == traced.task_work
     assert instr.counts.total > 0
     assert len(instr.trace) > 0

@@ -6,7 +6,6 @@ import pytest
 from repro.io.cigar import Cigar
 from repro.io.regions import GenomicRegion
 from repro.io.sam import FLAG_REVERSE, AlignmentRecord, simulate_alignments
-from repro.sequence.alphabet import reverse_complement
 from repro.sequence.simulate import LongReadSimulator
 
 

@@ -10,9 +10,8 @@ from hypothesis import strategies as st
 from repro.core.instrument import Instrumentation
 from repro.kmer.counting import KmerCounter, count_reads
 from repro.kmer.hashing import canonical_kmers, pack_kmers, revcomp_packed, splitmix64
-from repro.kmer.table import EMPTY, HashTable, RobinHoodTable
+from repro.kmer.table import HashTable, RobinHoodTable
 from repro.sequence.alphabet import encode, reverse_complement
-from repro.sequence.simulate import random_genome
 
 dna = st.text(alphabet="ACGT", min_size=8, max_size=150)
 

@@ -1,6 +1,5 @@
 """Tests for the composed read mapper."""
 
-import numpy as np
 import pytest
 
 from repro.mapper.mapper import ReadMapper

@@ -1,6 +1,5 @@
 """Tests for LSTM layers and CTC decoders."""
 
-import math
 
 import numpy as np
 import pytest

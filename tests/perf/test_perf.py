@@ -6,15 +6,24 @@ Slower than unit tests but still seconds-scale; the full regeneration
 lives in benchmarks/.
 """
 
-import numpy as np
+import json
+
 import pytest
 
 from repro.core.datasets import DatasetSize
 from repro.perf.characterize import run_instrumented
 from repro.perf.gpu import profile_abea_gpu, profile_nnbase_gpu
 from repro.perf.mix import instruction_mix
-from repro.perf.report import pct, render_table, sig
-from repro.perf.scaling import dynamic_makespan
+from repro.perf.report import (
+    JsonFormatter,
+    Report,
+    TableFormatter,
+    get_formatter,
+    pct,
+    render_table,
+    sig,
+)
+from repro.perf.scaling import dynamic_makespan, measured_scaling_curve
 from repro.perf.workstats import task_work_stats
 
 
@@ -121,3 +130,40 @@ class TestReport:
         assert pct(0.5) == "50.00%"
         assert sig(0.0) == "0"
         assert sig(1234.5, 3) == "1.23e+03"
+
+
+class TestFormatters:
+    REPORT = Report(title="T", headers=["k", "v"], rows=[["a", 1], ["b", 2]])
+
+    def test_get_formatter(self):
+        assert isinstance(get_formatter("table"), TableFormatter)
+        assert isinstance(get_formatter("json"), JsonFormatter)
+        with pytest.raises(KeyError, match="unknown format"):
+            get_formatter("xml")
+
+    def test_table_formatter_matches_render_table(self):
+        out = TableFormatter().render([self.REPORT])
+        assert out == render_table("T", ["k", "v"], [["a", 1], ["b", 2]])
+
+    def test_json_formatter_single_report(self):
+        doc = json.loads(JsonFormatter().render([self.REPORT]))
+        assert doc["title"] == "T"
+        assert doc["data"] == [{"k": "a", "v": 1}, {"k": "b", "v": 2}]
+
+    def test_json_formatter_multiple_reports(self):
+        doc = json.loads(JsonFormatter().render([self.REPORT, self.REPORT]))
+        assert isinstance(doc, list) and len(doc) == 2
+
+    def test_structured_data_payload_wins_over_rows(self):
+        report = Report(title="T", headers=["k"], rows=[["a"]], data={"n": 3})
+        doc = json.loads(JsonFormatter().render([report]))
+        assert doc["data"] == {"n": 3}
+
+
+class TestMeasuredScaling:
+    def test_measured_curve_shape(self):
+        curve = measured_scaling_curve("grm", threads=(1, 2), size=DatasetSize.SMALL)
+        assert curve.kernel == "grm"
+        assert list(curve.threads) == [1, 2]
+        assert len(curve.speedups) == 2
+        assert all(s > 0 for s in curve.speedups)

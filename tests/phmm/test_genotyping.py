@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.phmm.forward import BatchedPairHMM
-from repro.phmm.genotyping import GenotypeCall, genotype_region
+from repro.phmm.genotyping import genotype_region
 from repro.sequence.simulate import ShortReadSimulator, random_genome
 
 

@@ -1,7 +1,6 @@
 """Tests for pileup counting."""
 
 import numpy as np
-import pytest
 
 from repro.core.instrument import Instrumentation
 from repro.io.cigar import Cigar

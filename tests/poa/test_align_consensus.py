@@ -1,6 +1,5 @@
 """Tests for graph alignment and heaviest-bundle consensus."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,0 +1,96 @@
+"""Tests for the on-disk workload cache."""
+
+import pickle
+
+import numpy as np
+
+from repro.core.benchmark import load_benchmark
+from repro.core.datasets import DatasetSize
+from repro.runner.cache import WorkloadCache, cache_key
+from repro.runner.engine import ParallelRunner
+
+
+def test_cache_key_is_stable_and_distinct():
+    assert cache_key("grm", "small") == cache_key("grm", DatasetSize.SMALL)
+    assert cache_key("grm", "small") != cache_key("grm", "large")
+    assert cache_key("grm", "small") != cache_key("fmi", "small")
+
+
+def test_cache_key_tracks_dataset_params(monkeypatch):
+    """Editing a registered dataset parameter must invalidate the entry."""
+    from repro.core import datasets
+
+    before = cache_key("grm", "small")
+    patched = {k: {s: dict(p) for s, p in v.items()} for k, v in datasets._PARAMS.items()}
+    patched["grm"][DatasetSize.SMALL]["n_variants"] += 1
+    monkeypatch.setattr(datasets, "_PARAMS", patched)
+    assert cache_key("grm", "small") != before
+
+
+def test_second_run_hits_cache_and_skips_prepare(tmp_path, monkeypatch):
+    cache = WorkloadCache(tmp_path)
+    first = ParallelRunner(jobs=1, cache=cache).run("grm", "small")
+    assert first.record.prepare_cached is False
+    assert cache.path_for("grm", "small").exists()
+
+    # prove prepare() is never called again: make it explode
+    bench_cls = type(load_benchmark("grm"))
+    def boom(self, size):
+        raise AssertionError("prepare() ran despite a cache hit")
+    monkeypatch.setattr(bench_cls, "prepare", boom)
+
+    second = ParallelRunner(jobs=1, cache=cache).run("grm", "small")
+    assert second.record.prepare_cached is True
+    assert np.array_equal(first.output, second.output)
+    assert second.record.task_work == first.record.task_work
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = WorkloadCache(tmp_path)
+    path = cache.path_for("grm", "small")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"not a pickle")
+    assert cache.load("grm", "small") is None
+    assert not path.exists()  # dropped, will be regenerated
+
+
+def test_store_load_round_trip(tmp_path):
+    cache = WorkloadCache(tmp_path)
+    bench = load_benchmark("kmer-cnt")
+    workload = bench.prepare(DatasetSize.SMALL)
+    assert cache.store("kmer-cnt", "small", workload) is not None
+    loaded = cache.load("kmer-cnt", "small")
+    assert loaded is not None
+    assert loaded.reads == workload.reads
+    assert loaded.kmer_size == workload.kmer_size
+
+
+def test_unpicklable_workload_is_not_cached(tmp_path):
+    cache = WorkloadCache(tmp_path)
+    assert cache.store("grm", "small", lambda: None) is None
+    assert cache.load("grm", "small") is None
+
+
+def test_entries_and_clear(tmp_path):
+    cache = WorkloadCache(tmp_path)
+    assert cache.entries() == []
+    bench = load_benchmark("grm")
+    cache.store("grm", "small", bench.prepare(DatasetSize.SMALL))
+    entries = cache.entries()
+    assert len(entries) == 1
+    assert entries[0].kernel == "grm"
+    assert entries[0].size == "small"
+    assert entries[0].bytes > 0
+    assert cache.clear() == 1
+    assert cache.entries() == []
+
+
+def test_every_kernel_workload_is_picklable():
+    """The cache only helps if prepared workloads survive pickling."""
+    from repro.core.registry import kernel_names
+
+    for name in kernel_names():
+        bench = load_benchmark(name)
+        workload = bench.prepare(DatasetSize.SMALL)
+        blob = pickle.dumps(workload, protocol=pickle.HIGHEST_PROTOCOL)
+        assert pickle.loads(blob) is not None

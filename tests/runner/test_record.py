@@ -1,0 +1,71 @@
+"""Tests for the structured run-record schema."""
+
+import json
+
+import pytest
+
+from repro.runner.record import SCHEMA, ChunkTrace, RunRecord, WorkerStats
+from repro.runner.engine import run_kernel
+
+
+def _record(**overrides) -> RunRecord:
+    base = dict(
+        kernel="grm",
+        size="small",
+        jobs=2,
+        chunk_size=4,
+        n_tasks=8,
+        total_work=100,
+        task_work=[10, 20, 30, 40],
+        prepare_seconds=0.5,
+        prepare_cached=False,
+        execute_seconds=2.0,
+        serial_seconds=3.0,
+        chunks=[ChunkTrace(worker=0, start=0, stop=4, begin=0.0, end=2.0)],
+        workers=[WorkerStats(worker=0, pid=123, chunks=1, tasks=4, busy_seconds=2.0)],
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+def test_json_round_trip():
+    rec = _record()
+    clone = RunRecord.from_json(rec.to_json())
+    assert clone == rec
+    assert clone.chunks[0].seconds == pytest.approx(2.0)
+
+
+def test_round_trip_through_plain_json_loads():
+    doc = json.loads(_record().to_json())
+    assert doc["schema"] == SCHEMA
+    assert doc["kernel"] == "grm"
+    assert doc["task_work"] == [10, 20, 30, 40]
+    assert doc["speedup_vs_serial"] == pytest.approx(1.5)
+    assert doc["scheduling_efficiency"] == pytest.approx(0.5)
+
+
+def test_unknown_schema_rejected():
+    doc = json.loads(_record().to_json())
+    doc["schema"] = "genomicsbench.run/999"
+    with pytest.raises(ValueError, match="schema"):
+        RunRecord.from_dict(doc)
+
+
+def test_derived_metrics_none_without_baseline():
+    rec = _record(serial_seconds=None)
+    assert rec.speedup_vs_serial is None
+    doc = json.loads(rec.to_json())
+    assert doc["serial_seconds"] is None
+    assert doc["speedup_vs_serial"] is None
+
+
+def test_engine_record_serializes_for_every_field(tmp_path):
+    """A real engine record (numpy ints and all) must be valid JSON."""
+    run = run_kernel("grm", "small", jobs=2)
+    text = run.record.to_json()
+    doc = json.loads(text)
+    assert doc["schema"] == SCHEMA
+    assert doc["n_tasks"] == len(doc["task_work"])
+    clone = RunRecord.from_json(text)
+    assert clone.kernel == "grm"
+    assert clone.n_tasks == run.record.n_tasks

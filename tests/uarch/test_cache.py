@@ -1,8 +1,7 @@
 """Tests for the cache hierarchy simulator."""
 
-import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.instrument import MemoryTrace

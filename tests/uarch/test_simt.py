@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.uarch.simt import WARP_SIZE, WarpProfile, coalesce_transactions
+from repro.uarch.simt import WarpProfile, coalesce_transactions
 
 
 class TestCoalescing:
