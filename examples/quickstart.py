@@ -4,11 +4,14 @@
 Prepares each kernel's small synthetic workload, executes it through the
 parallel engine, and prints task counts, total data-parallel work and
 kernel wall time -- the suite-level view the paper's Table II/III
-summarize.
+summarize.  With ``--trace`` the run also writes a Chrome trace-event
+JSON (open it in chrome://tracing or https://ui.perfetto.dev) and prints
+each kernel's engine metrics.
 
 Usage::
 
-    python examples/quickstart.py [--size small|large] [--kernel NAME] [--jobs N]
+    python examples/quickstart.py [--size small|large] [--kernel NAME]
+                                  [--jobs N] [--trace FILE]
 """
 
 from __future__ import annotations
@@ -17,7 +20,7 @@ import argparse
 
 from repro.core.datasets import DatasetSize
 from repro.core.registry import get_kernel, kernel_names
-from repro.perf.report import render_table
+from repro.perf.report import metrics_rows, render_table
 from repro.runner import ParallelRunner
 
 
@@ -28,16 +31,28 @@ def main() -> None:
         "--kernel", choices=kernel_names(), default=None, help="run one kernel only"
     )
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome trace of the run and print per-kernel metrics",
+    )
     args = parser.parse_args()
     size = DatasetSize(args.size)
     names = [args.kernel] if args.kernel else kernel_names()
-    runner = ParallelRunner(jobs=args.jobs, measure_serial=False)
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+    runner = ParallelRunner(jobs=args.jobs, measure_serial=False, tracer=tracer)
 
     rows = []
+    metrics_tables = []
     for name in names:
         info = get_kernel(name)
         run = runner.run(name, size)
         record = run.record
+        if args.trace and record.metrics:
+            metrics_tables.append((name, metrics_rows(record.metrics)))
         rows.append(
             (
                 name,
@@ -57,6 +72,13 @@ def main() -> None:
             rows,
         )
     )
+    for name, metric_rows in metrics_tables:
+        print()
+        print(render_table(f"{name} metrics", ["metric", "value"], metric_rows))
+    if tracer is not None:
+        path = tracer.export(args.trace)
+        n_spans = len(tracer.spans)
+        print(f"\nwrote {n_spans} spans to {path} -- open in chrome://tracing")
 
 
 if __name__ == "__main__":

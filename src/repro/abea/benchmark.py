@@ -18,6 +18,7 @@ from repro.abea.align import adaptive_banded_align
 from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
+from repro.obs.trace import kernel_span
 from repro.signal.events import Event, detect_events
 from repro.signal.pore_model import PoreModel
 from repro.signal.synth import synthesize_signal
@@ -82,16 +83,17 @@ class AbeaBenchmark(Benchmark):
         outputs = []
         task_work = []
         meta = []
-        for i in indices:
-            task = workload.tasks[i]
-            result = adaptive_banded_align(
-                task.events,
-                task.reference,
-                workload.model,
-                bandwidth=workload.bandwidth,
-                instr=instr,
-            )
-            outputs.append(result)
-            task_work.append(result.cells)
-            meta.append({"events": len(task.events), "ref_len": len(task.reference)})
+        with kernel_span("abea.align_events", reads=len(indices)):
+            for i in indices:
+                task = workload.tasks[i]
+                result = adaptive_banded_align(
+                    task.events,
+                    task.reference,
+                    workload.model,
+                    bandwidth=workload.bandwidth,
+                    instr=instr,
+                )
+                outputs.append(result)
+                task_work.append(result.cells)
+                meta.append({"events": len(task.events), "ref_len": len(task.reference)})
         return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)

@@ -21,6 +21,7 @@ from repro.align.scoring import ScoringScheme
 from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
+from repro.obs.trace import kernel_span
 from repro.sequence.alphabet import decode
 
 
@@ -100,7 +101,8 @@ class BswBenchmark(Benchmark):
     ) -> ExecutionResult:
         engine = BatchedSW(scheme=workload.scheme, band=workload.band)
         pairs = [workload.pairs[i] for i in indices]
-        results, stats = engine.align_batch(pairs, instr=instr)
+        with kernel_span("bsw.align_batch", pairs=len(pairs)):
+            results, stats = engine.align_batch(pairs, instr=instr)
         scores = [r.score for r in results]
         task_work = [r.cells for r in results]
         meta = [

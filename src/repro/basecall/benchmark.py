@@ -18,6 +18,7 @@ from repro.basecall.model import BonitoLikeModel
 from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
+from repro.obs.trace import kernel_span
 from repro.signal.pore_model import PoreModel
 from repro.signal.synth import synthesize_signal
 from repro.sequence.simulate import random_genome
@@ -68,9 +69,10 @@ class NnBaseBenchmark(Benchmark):
         task_work = []
         meta = []
         ops = workload.basecaller._ops_per_chunk
-        for i in indices:
-            chunk = workload.chunks[i]
-            outputs.append(workload.basecaller.call_chunk(chunk, instr=instr))
-            task_work.append(ops)
-            meta.append({"samples": int(chunk.shape[0])})
+        with kernel_span("nn_base.call_chunks", chunks=len(indices)):
+            for i in indices:
+                chunk = workload.chunks[i]
+                outputs.append(workload.basecaller.call_chunk(chunk, instr=instr))
+                task_work.append(ops)
+                meta.append({"samples": int(chunk.shape[0])})
         return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)

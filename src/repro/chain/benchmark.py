@@ -21,6 +21,8 @@ from repro.chain.chaining import chain_anchors
 from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
+from repro.obs.metrics import kernel_counter
+from repro.obs.trace import kernel_span
 from repro.sequence.alphabet import reverse_complement
 from repro.sequence.simulate import LongReadSimulator, random_genome
 
@@ -90,12 +92,14 @@ class ChainBenchmark(Benchmark):
         outputs = []
         task_work = []
         meta = []
-        for i in indices:
-            task = workload.tasks[i]
-            chains = chain_anchors(task.anchors, instr=instr)
-            outputs.append(chains)
-            task_work.append(len(task.anchors))
-            meta.append(
-                {"n_chains": len(chains), "true_overlap": task.true_overlap}
-            )
+        with kernel_span("chain.chain_anchors", pairs=len(indices)):
+            for i in indices:
+                task = workload.tasks[i]
+                chains = chain_anchors(task.anchors, instr=instr)
+                outputs.append(chains)
+                task_work.append(len(task.anchors))
+                meta.append(
+                    {"n_chains": len(chains), "true_overlap": task.true_overlap}
+                )
+        kernel_counter("chain.chains", sum(len(c) for c in outputs))
         return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)

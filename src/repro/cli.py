@@ -7,6 +7,13 @@
 * ``characterize``  -- regenerate a figure or table from the paper
 * ``datasets``      -- show the synthetic dataset parameters
 * ``runner``        -- engine/cache introspection
+* ``bench``         -- record runs to a per-host history and gate on
+  throughput regressions (``bench record`` / ``bench check``)
+
+``run`` additionally takes ``--trace FILE`` (Chrome trace-event JSON of
+engine phases, per-worker chunk timelines and kernel-internal spans --
+load it in chrome://tracing or Perfetto) and ``--metrics FILE`` (the
+run's serialized metrics registries).
 
 Output contract: ``run`` and ``characterize`` (and ``list``) take
 ``--format {table,json}`` and ``--out FILE``.  Commands build
@@ -88,18 +95,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for name in names:
         get_kernel(name)  # validate all names early with a helpful error
     size = DatasetSize(args.size)
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
     runner = ParallelRunner(
         jobs=args.jobs,
         chunk_size=args.chunk_size,
         cache=_make_cache(args),
         measure_serial=False if args.no_baseline else None,
+        tracer=tracer,
+        instrument=bool(args.metrics),
     )
     rows = []
     records = []
+    metrics_by_kernel = {}
     for name in names:
         run = runner.run(name, size)
         rec = run.record
         records.append(rec.to_dict())
+        metrics_by_kernel[name] = rec.metrics
         prep = "cached" if rec.prepare_cached else f"{rec.prepare_seconds:.2f}s"
         speedup = rec.speedup_vs_serial
         rows.append(
@@ -113,6 +129,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         )
         print(f"  {name}: {rec.execute_seconds:.2f}s", file=sys.stderr)
+    if tracer is not None:
+        path = tracer.export(args.trace)
+        print(f"wrote Chrome trace to {path} (open in chrome://tracing)", file=sys.stderr)
+    if args.metrics:
+        from repro.core.serialize import write_json
+
+        path = write_json(args.metrics, metrics_by_kernel)
+        print(f"wrote metrics to {path}", file=sys.stderr)
     _emit(
         [
             Report(
@@ -365,6 +389,112 @@ def _cmd_runner(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_record(args: argparse.Namespace) -> int:
+    from repro.obs.history import BenchHistory, throughput
+    from repro.runner import ParallelRunner
+
+    names = args.kernels or kernel_names()
+    for name in names:
+        get_kernel(name)
+    size = DatasetSize(args.size)
+    runner = ParallelRunner(
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        cache=_make_cache(args),
+        measure_serial=False,  # histories track parallel throughput only
+    )
+    history = BenchHistory(args.history)
+    rows = []
+    recorded = []
+    for name in names:
+        rec = runner.run(name, size).record
+        recorded.append(rec)
+        tp = throughput(rec)
+        rows.append(
+            (
+                name,
+                rec.n_tasks,
+                f"{rec.execute_seconds:.3f}s",
+                f"{tp:,.0f}" if tp is not None else "-",
+            )
+        )
+        print(f"  {name}: {rec.execute_seconds:.3f}s", file=sys.stderr)
+    total = history.append(recorded)
+    print(f"recorded {len(recorded)} run(s); {history.path} now holds {total}", file=sys.stderr)
+    _emit(
+        [
+            Report(
+                title=f"bench record ({size.value} datasets, jobs={args.jobs})",
+                headers=["kernel", "tasks", "kernel time", "work/s"],
+                rows=rows,
+                data=[r.to_dict() for r in recorded],
+            )
+        ],
+        args,
+    )
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.obs.history import BenchHistory, check_regressions
+    from repro.perf.report import sig
+
+    history = BenchHistory(args.baseline)
+    records = history.load()
+    if not records:
+        print(f"no history at {history.path}; nothing to check", file=sys.stderr)
+        return 0
+    checks = check_regressions(
+        records, threshold=args.threshold / 100.0, window=args.window
+    )
+    rows = []
+    for c in checks:
+        ratio = c.ratio
+        rows.append(
+            (
+                c.kernel,
+                c.size,
+                c.jobs,
+                f"{c.latest:,.0f}",
+                f"{c.baseline:,.0f}" if c.baseline is not None else "-",
+                sig(ratio) if ratio is not None else "-",
+                "REGRESSED" if c.regressed else "ok",
+            )
+        )
+    regressed = [c for c in checks if c.regressed]
+    _emit(
+        [
+            Report(
+                title=(
+                    f"bench check vs rolling median "
+                    f"(threshold {args.threshold:.0f}%, window {args.window})"
+                ),
+                headers=["kernel", "size", "jobs", "work/s", "baseline", "ratio", "verdict"],
+                rows=rows,
+                data=[
+                    {
+                        "kernel": c.kernel,
+                        "size": c.size,
+                        "jobs": c.jobs,
+                        "latest": c.latest,
+                        "baseline": c.baseline,
+                        "n_baseline": c.n_baseline,
+                        "ratio": c.ratio,
+                        "regressed": c.regressed,
+                    }
+                    for c in checks
+                ],
+            )
+        ],
+        args,
+    )
+    if regressed:
+        names = ", ".join(f"{c.kernel}/{c.size}/j{c.jobs}" for c in regressed)
+        print(f"throughput regression: {names}", file=sys.stderr)
+        return 0 if args.warn_only else 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="genomicsbench", description="GenomicsBench reproduction suite"
@@ -399,6 +529,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-baseline", action="store_true",
         help="skip the serial baseline run that measures parallel speedup",
     )
+    run.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome trace-event JSON of the run to FILE",
+    )
+    run.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write per-kernel metrics registries (JSON) to FILE; "
+        "also enables op-count instrumentation on the serial path",
+    )
     _add_output_options(run)
     run.set_defaults(func=_cmd_run)
 
@@ -432,6 +571,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_output_options(eng)
     eng.set_defaults(func=_cmd_runner)
+
+    bench = sub.add_parser(
+        "bench", help="record run history and gate on throughput regressions"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    rec = bench_sub.add_parser(
+        "record", help="run kernels and append their records to the history"
+    )
+    rec.add_argument("kernels", nargs="*", help="kernels (default: all)")
+    rec.add_argument("--size", choices=["small", "large"], default="small")
+    rec.add_argument("--jobs", type=int, default=1, metavar="N")
+    rec.add_argument("--chunk-size", type=int, default=None, metavar="K")
+    rec.add_argument(
+        "--no-cache", action="store_true", help="skip the on-disk workload cache"
+    )
+    rec.add_argument("--cache-dir", metavar="DIR", default=None)
+    rec.add_argument(
+        "--history", metavar="FILE", default=None,
+        help="history file (default: BENCH_<host>.json in the current directory)",
+    )
+    _add_output_options(rec)
+    rec.set_defaults(func=_cmd_bench_record)
+
+    chk = bench_sub.add_parser(
+        "check", help="compare each config's latest run against its rolling median"
+    )
+    chk.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="history file to check (default: BENCH_<host>.json in the current directory)",
+    )
+    chk.add_argument(
+        "--threshold", type=float, default=20.0, metavar="PCT",
+        help="fail beyond this %% throughput drop (default: 20)",
+    )
+    chk.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="rolling-median window of prior runs (default: 5)",
+    )
+    chk.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (CI bring-up mode)",
+    )
+    _add_output_options(chk)
+    chk.set_defaults(func=_cmd_bench_check)
     return parser
 
 

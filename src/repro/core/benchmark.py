@@ -35,10 +35,11 @@ shared hash table) override :meth:`merge_shards` with an
 order-preserving reduction so parallel and serial results stay
 bit-identical.
 
-Legacy adapters that still return an ``(output, task_work)`` tuple from
-``execute`` keep working for one release: every caller routes results
-through :func:`as_execution_result`, which adapts the tuple and emits a
-:class:`DeprecationWarning`.
+Adapters must return an :class:`ExecutionResult`; the one-release
+``(output, task_work)`` tuple compatibility window has closed, and
+:func:`as_execution_result` now rejects tuples with a :class:`TypeError`.
+(:class:`ExecutionResult` itself still *unpacks* like a 2-tuple so old
+consuming code keeps reading results naturally.)
 """
 
 from __future__ import annotations
@@ -46,7 +47,6 @@ from __future__ import annotations
 import abc
 import importlib
 import time
-import warnings
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 from typing import Any
@@ -102,29 +102,19 @@ class ExecutionResult:
 
 
 def as_execution_result(value: Any, kernel: str = "<unknown>") -> ExecutionResult:
-    """Coerce an ``execute``/``execute_shard`` return to :class:`ExecutionResult`.
+    """Validate an ``execute``/``execute_shard`` return as :class:`ExecutionResult`.
 
-    Old-style adapters returned a bare ``(output, task_work)`` tuple;
-    adapt those here (with a :class:`DeprecationWarning`) so the engine,
-    the harness and ``Benchmark.run`` all consume one shape.  This shim
-    is scheduled for removal one release after the ExecutionResult
-    migration.
+    The legacy ``(output, task_work)`` tuple contract was retired after
+    its one-release deprecation window; anything that is not an
+    :class:`ExecutionResult` -- tuples included -- is rejected loudly so
+    stale adapters fail at the call site rather than deep in the engine.
     """
     if isinstance(value, ExecutionResult):
         return value
-    if isinstance(value, tuple) and len(value) == 2:
-        warnings.warn(
-            f"benchmark {kernel!r} returned a legacy (output, task_work) tuple "
-            "from execute(); return an ExecutionResult instead -- tuple "
-            "returns will stop being accepted in the next release",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        output, task_work = value
-        return ExecutionResult(output=output, task_work=list(task_work))
     raise TypeError(
         f"benchmark {kernel!r} returned {type(value).__name__}; expected an "
-        "ExecutionResult (or the deprecated (output, task_work) tuple)"
+        "ExecutionResult (the legacy (output, task_work) tuple contract "
+        "was removed)"
     )
 
 

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.trace import kernel_instant, kernel_span
+
 #: Operation categories, mirroring the Fig. 5 legend of the paper.
 OP_CATEGORIES = (
     "scalar_int",
@@ -149,6 +151,9 @@ class MemoryTrace:
         self._regions[name] = region
         aligned = (size + CACHE_LINE - 1) // CACHE_LINE * CACHE_LINE
         self._cursor = base + aligned + self._GUARD
+        # region allocations mark the trace timeline, so a Perfetto view
+        # shows when each simulated data structure came into existence
+        kernel_instant("mem.alloc", cat="mem", region=name, bytes=size)
         return region
 
     def region(self, name: str) -> Region:
@@ -227,3 +232,13 @@ class Instrumentation:
     def with_trace(cls) -> "Instrumentation":
         """Convenience constructor enabling both counters and tracing."""
         return cls(counts=OpCounts(), trace=MemoryTrace())
+
+    @staticmethod
+    def span(name: str, **args):
+        """A named span for an instrumented region of kernel code.
+
+        Delegates to :func:`repro.obs.trace.kernel_span`, so the span
+        lands in whichever tracer the engine has activated (and costs a
+        single global read when tracing is off).
+        """
+        return kernel_span(name, cat="kernel", **args)

@@ -1,0 +1,35 @@
+"""Shared JSON serialization helpers.
+
+Run records, the metrics registry, trace export and the report
+formatters all serialize structures that may carry numpy scalars (task
+work lists, counter values computed from arrays).  They share one
+``default`` hook so every artifact the suite writes is plain JSON with
+Python numbers, regardless of which layer produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+
+def json_default(obj: Any) -> Any:
+    """``json.dumps`` fallback: unwrap numpy scalars to Python numbers."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"{type(obj).__name__} is not JSON serializable")
+
+
+def dumps(obj: Any, indent: int | None = 2) -> str:
+    """``json.dumps`` with the suite-wide ``default`` hook."""
+    return json.dumps(obj, indent=indent, default=json_default)
+
+
+def write_json(path: Path | str, obj: Any, indent: int | None = 2) -> Path:
+    """Serialize ``obj`` to ``path`` (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps(obj, indent=indent) + "\n")
+    return path

@@ -19,6 +19,7 @@ from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
 from repro.dbg.assemble import assemble_region
+from repro.obs.trace import kernel_span
 from repro.sequence.alphabet import reverse_complement
 from repro.sequence.simulate import ShortReadSimulator, mutate_genome, random_genome
 
@@ -78,15 +79,16 @@ class DbgBenchmark(Benchmark):
         outputs = []
         task_work = []
         meta = []
-        for i in indices:
-            region = workload.regions[i]
-            result = assemble_region(
-                region.reference,
-                region.reads,
-                k_init=workload.kmer_size,
-                instr=instr,
-            )
-            outputs.append(result)
-            task_work.append(result.hash_lookups)
-            meta.append({"reads": len(region.reads)})
+        with kernel_span("dbg.assemble_regions", regions=len(indices)):
+            for i in indices:
+                region = workload.regions[i]
+                result = assemble_region(
+                    region.reference,
+                    region.reads,
+                    k_init=workload.kmer_size,
+                    instr=instr,
+                )
+                outputs.append(result)
+                task_work.append(result.hash_lookups)
+                meta.append({"reads": len(region.reads)})
         return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)

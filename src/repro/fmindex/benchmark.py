@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation, OpCounts
+from repro.obs.metrics import kernel_counter
+from repro.obs.trace import kernel_span
 from repro.fmindex.bidir import BiFMIndex
 from repro.sequence.alphabet import reverse_complement
 from repro.sequence.simulate import Read, ShortReadSimulator, mutate_genome, random_genome
@@ -67,26 +69,28 @@ class FmiBenchmark(Benchmark):
         all_seeds = []
         task_work = []
         meta = []
-        for i in indices:
-            read = workload.reads[i]
-            per_read = Instrumentation(
-                counts=OpCounts(), trace=instr.trace if instr else None
-            )
-            raw = index.seed_read(
-                read.sequence,
-                min_seed_len=workload.min_seed_len,
-                instr=per_read,
-            )
-            seeds = []
-            for read_start, pos, length in raw:
-                if pos < glen:
-                    seeds.append((read_start, pos, length, "+"))
-                else:  # hit in the reverse-complement half: map back
-                    seeds.append((read_start, 2 * glen - pos - length, length, "-"))
-            all_seeds.append(seeds)
-            # every Occ lookup is one recorded load
-            task_work.append(per_read.counts.load)
-            meta.append({"read": read.name, "n_seeds": len(seeds)})
-            if instr is not None:
-                instr.counts.merge(per_read.counts)
+        with kernel_span("fmi.seed_reads", reads=len(indices)):
+            for i in indices:
+                read = workload.reads[i]
+                per_read = Instrumentation(
+                    counts=OpCounts(), trace=instr.trace if instr else None
+                )
+                raw = index.seed_read(
+                    read.sequence,
+                    min_seed_len=workload.min_seed_len,
+                    instr=per_read,
+                )
+                seeds = []
+                for read_start, pos, length in raw:
+                    if pos < glen:
+                        seeds.append((read_start, pos, length, "+"))
+                    else:  # hit in the reverse-complement half: map back
+                        seeds.append((read_start, 2 * glen - pos - length, length, "-"))
+                all_seeds.append(seeds)
+                # every Occ lookup is one recorded load
+                task_work.append(per_read.counts.load)
+                meta.append({"read": read.name, "n_seeds": len(seeds)})
+                if instr is not None:
+                    instr.counts.merge(per_read.counts)
+        kernel_counter("fmi.seeds", sum(len(s) for s in all_seeds))
         return ExecutionResult(output=all_seeds, task_work=task_work, task_meta=meta)

@@ -22,6 +22,7 @@ from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
 from repro.grm.grm import grm_block_partial
+from repro.obs.trace import kernel_span
 from repro.grm.variants import GenotypeData, simulate_genotypes
 
 #: Variants per streamed block (PLINK2 streams in multiples of 64).
@@ -64,12 +65,13 @@ class GrmBenchmark(Benchmark):
         partials = []
         task_work = []
         meta = []
-        for i in indices:
-            lo = i * BLOCK
-            hi = min(lo + BLOCK, data.n_variants)
-            partials.append(grm_block_partial(data, lo, hi, instr=instr))
-            task_work.append(2 * n * n * (hi - lo))
-            meta.append({"variants": [lo, hi]})
+        with kernel_span("grm.block_partials", blocks=len(indices)):
+            for i in indices:
+                lo = i * BLOCK
+                hi = min(lo + BLOCK, data.n_variants)
+                partials.append(grm_block_partial(data, lo, hi, instr=instr))
+                task_work.append(2 * n * n * (hi - lo))
+                meta.append({"variants": [lo, hi]})
         return ExecutionResult(output=partials, task_work=task_work, task_meta=meta)
 
     def merge_shards(self, shards: Sequence[ExecutionResult]) -> ExecutionResult:

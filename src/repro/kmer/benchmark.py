@@ -16,6 +16,8 @@ from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
 from repro.kmer.counting import CountResult, KmerCounter
 from repro.kmer.table import HashTable
+from repro.obs.metrics import kernel_counter
+from repro.obs.trace import kernel_span
 from repro.sequence.simulate import LongReadSimulator, random_genome
 
 
@@ -62,8 +64,12 @@ class KmerBenchmark(Benchmark):
         reads = [workload.reads[i] for i in indices]
         expected = sum(max(0, len(r) - k + 1) for r in reads)
         counter = KmerCounter(k, expected_kmers=max(8, expected))
-        task_work = [counter.add_read(read, instr=instr) for read in reads]
-        return ExecutionResult(output=counter.finish(), task_work=task_work)
+        with kernel_span("kmer.count_reads", reads=len(reads)):
+            task_work = [counter.add_read(read, instr=instr) for read in reads]
+        with kernel_span("kmer.finish"):
+            result = counter.finish()
+        kernel_counter("kmer.distinct_kmers", result.distinct_kmers)
+        return ExecutionResult(output=result, task_work=task_work)
 
     def merge_shards(self, shards: Sequence[ExecutionResult]) -> ExecutionResult:
         """Fold per-shard counting tables into one shared table.

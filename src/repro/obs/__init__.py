@@ -1,0 +1,65 @@
+"""End-to-end observability: span tracing, metrics, run history.
+
+``repro.obs`` is the measurement layer the rest of the suite publishes
+into:
+
+* :mod:`repro.obs.trace` -- span tracer with Chrome trace-event export
+  (``chrome://tracing`` / Perfetto), per-worker buffers merged at shard
+  boundaries.
+* :mod:`repro.obs.metrics` -- counters, gauges and fixed-bucket
+  histograms, serialized into schema-v2 run records.
+* :mod:`repro.obs.history` -- per-host ``BENCH_<host>.json`` run
+  history plus the rolling-median regression tracker behind
+  ``genomicsbench bench check``.
+
+The tracer and the registry share one activation model: the engine (or
+a test) installs them process-wide with :func:`activated` /
+:func:`activated_metrics`, and kernels emit through the
+``kernel_*`` hooks, which cost one global read when observability is
+off.  :mod:`repro.obs.history` is imported on demand (it pulls in the
+run-record schema) rather than re-exported here.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SECONDS_BUCKETS,
+    WORK_BUCKETS,
+    activated_metrics,
+    current_metrics,
+    kernel_counter,
+    kernel_observe,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    activated,
+    chrome_events_from_record,
+    current_tracer,
+    export_record_trace,
+    kernel_instant,
+    kernel_span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SECONDS_BUCKETS",
+    "Span",
+    "Tracer",
+    "WORK_BUCKETS",
+    "activated",
+    "activated_metrics",
+    "chrome_events_from_record",
+    "current_metrics",
+    "current_tracer",
+    "export_record_trace",
+    "kernel_counter",
+    "kernel_instant",
+    "kernel_observe",
+    "kernel_span",
+]

@@ -1,0 +1,143 @@
+"""Run-history store and throughput-regression tracking.
+
+``genomicsbench bench record`` appends the engine's
+:class:`~repro.runner.record.RunRecord` for each kernel to a per-host
+history file (``BENCH_<host>.json`` -- throughput is a property of the
+machine, so histories are never compared across hosts), and
+``genomicsbench bench check`` compares the latest run of every
+``(kernel, size, jobs)`` configuration against the *rolling median* of
+the runs before it.  The median makes the baseline robust to one noisy
+run; the check exits nonzero on a >N% throughput drop, which is the CI
+perf gate the ROADMAP's "fast as the hardware allows" goal needs --
+no hot-path PR can silently slow a kernel down.
+
+Throughput is ``total_work / execute_seconds`` in the kernel's natural
+work unit (cell updates/s, Occ lookups/s, ...), so the gate tracks the
+quantity the paper's Table III defines rather than raw wall-clock,
+making it insensitive to workload-size changes that scale work and
+time together.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.serialize import write_json
+from repro.runner.record import RunRecord
+
+#: Schema identifier of the history file.
+HISTORY_SCHEMA = "genomicsbench.bench-history/1"
+
+#: Default regression threshold: fail beyond a 20% throughput drop.
+DEFAULT_THRESHOLD = 0.20
+
+#: Default rolling window: median over up to this many prior runs.
+DEFAULT_WINDOW = 5
+
+
+def default_history_path(directory: Path | str | None = None, host: str | None = None) -> Path:
+    """``BENCH_<host>.json`` under ``directory`` (default: cwd)."""
+    host = host or platform.node() or "unknown"
+    safe = "".join(c if (c.isalnum() or c in "-_.") else "-" for c in host)
+    return Path(directory or ".") / f"BENCH_{safe}.json"
+
+
+class BenchHistory:
+    """Append-only JSON store of run records for one host."""
+
+    def __init__(self, path: Path | str | None = None) -> None:
+        self.path = Path(path) if path is not None else default_history_path()
+
+    def load(self) -> list[RunRecord]:
+        """All stored records in append order (empty when absent)."""
+        try:
+            doc = json.loads(self.path.read_text())
+        except FileNotFoundError:
+            return []
+        if doc.get("schema") != HISTORY_SCHEMA:
+            raise ValueError(
+                f"{self.path} is not a bench history (schema {doc.get('schema')!r})"
+            )
+        return [RunRecord.from_dict(entry) for entry in doc.get("entries", [])]
+
+    def append(self, records: Iterable[RunRecord]) -> int:
+        """Append ``records``; returns the new total entry count."""
+        existing = self.load()
+        entries = [r.to_dict() for r in existing] + [r.to_dict() for r in records]
+        write_json(self.path, {"schema": HISTORY_SCHEMA, "entries": entries})
+        return len(entries)
+
+
+def throughput(record: RunRecord) -> float | None:
+    """Work units per second of the execute phase (``None`` if untimed)."""
+    if record.execute_seconds <= 0:
+        return None
+    return record.total_work / record.execute_seconds
+
+
+@dataclass
+class RegressionCheck:
+    """Verdict for the latest run of one ``(kernel, size, jobs)`` config."""
+
+    kernel: str
+    size: str
+    jobs: int
+    latest: float
+    baseline: float | None  # rolling median; None with no prior runs
+    n_baseline: int
+    threshold: float
+
+    @property
+    def ratio(self) -> float | None:
+        """latest / baseline throughput (>1 = faster than baseline)."""
+        if self.baseline is None or self.baseline <= 0:
+            return None
+        return self.latest / self.baseline
+
+    @property
+    def regressed(self) -> bool:
+        ratio = self.ratio
+        return ratio is not None and ratio < 1.0 - self.threshold
+
+
+def check_regressions(
+    records: list[RunRecord],
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+) -> list[RegressionCheck]:
+    """Compare each config's latest run against its rolling median.
+
+    The baseline for a configuration is the median throughput of up to
+    ``window`` runs immediately preceding the latest one.  Configurations
+    with a single run have no baseline and never regress.
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    by_config: dict[tuple[str, str, int], list[float]] = {}
+    for record in records:
+        tp = throughput(record)
+        if tp is None:
+            continue
+        by_config.setdefault((record.kernel, record.size, record.jobs), []).append(tp)
+    checks = []
+    for (kernel, size, jobs), series in sorted(by_config.items()):
+        latest = series[-1]
+        prior = series[:-1][-window:]
+        baseline = statistics.median(prior) if prior else None
+        checks.append(
+            RegressionCheck(
+                kernel=kernel,
+                size=size,
+                jobs=jobs,
+                latest=latest,
+                baseline=baseline,
+                n_baseline=len(prior),
+                threshold=threshold,
+            )
+        )
+    return checks

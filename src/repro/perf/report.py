@@ -20,6 +20,8 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from repro.core.serialize import json_default
+
 
 def render_table(
     title: str,
@@ -40,14 +42,6 @@ def render_table(
     return "\n".join([title, rule, line, rule, *body, rule])
 
 
-def _json_default(obj: Any) -> Any:
-    """``json.dumps`` fallback: unwrap numpy scalars to Python numbers."""
-    item = getattr(obj, "item", None)
-    if callable(item):
-        return item()
-    raise TypeError(f"{type(obj).__name__} is not JSON serializable")
-
-
 def pct(x: float) -> str:
     """Format a fraction as a percentage with two decimals."""
     return f"{100.0 * x:.2f}%"
@@ -58,6 +52,27 @@ def sig(x: float, digits: int = 3) -> str:
     if x == 0:
         return "0"
     return f"{x:.{digits}g}"
+
+
+def metrics_rows(metrics: dict[str, Any]) -> list[tuple[str, str]]:
+    """Flatten a serialized metrics registry into ``(metric, value)`` rows.
+
+    Accepts the ``RunRecord.metrics`` payload (the ``as_dict`` form of
+    :class:`~repro.obs.metrics.MetricsRegistry`): counters print as
+    integers, gauges with three significant digits, histograms as
+    ``count/mean`` summaries.  Rows come back sorted by metric name so
+    tables are stable across runs.
+    """
+    rows: list[tuple[str, str]] = []
+    for name, value in (metrics.get("counters") or {}).items():
+        rows.append((name, f"{int(value):,}"))
+    for name, value in (metrics.get("gauges") or {}).items():
+        rows.append((name, sig(float(value))))
+    for name, hist in (metrics.get("histograms") or {}).items():
+        count = hist.get("count", 0)
+        mean = hist.get("sum", 0.0) / count if count else 0.0
+        rows.append((name, f"n={count} mean={sig(mean)}"))
+    return sorted(rows)
 
 
 @dataclass
@@ -118,7 +133,7 @@ class JsonFormatter(Formatter):
             doc: Any = {"title": reports[0].title, "data": reports[0].payload()}
         else:
             doc = [{"title": r.title, "data": r.payload()} for r in reports]
-        return json.dumps(doc, indent=self.indent, default=_json_default)
+        return json.dumps(doc, indent=self.indent, default=json_default)
 
 
 _FORMATTERS: dict[str, type[Formatter]] = {

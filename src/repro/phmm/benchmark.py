@@ -21,6 +21,7 @@ from collections.abc import Sequence
 from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
+from repro.obs.trace import kernel_span
 from repro.phmm.forward import BatchedPairHMM
 from repro.sequence.alphabet import reverse_complement
 from repro.sequence.simulate import ShortReadSimulator, mutate_genome, random_genome
@@ -117,14 +118,15 @@ class PhmmBenchmark(Benchmark):
         outputs = []
         task_work = []
         meta = []
-        for i in indices:
-            region = workload.regions[i]
-            likes, _ = engine.region_likelihoods(
-                region.reads, region.haplotypes, instr=instr
-            )
-            outputs.append(likes)
-            task_work.append(region.cell_updates)
-            meta.append(
-                {"reads": len(region.reads), "haplotypes": len(region.haplotypes)}
-            )
+        with kernel_span("phmm.region_likelihoods", regions=len(indices)):
+            for i in indices:
+                region = workload.regions[i]
+                likes, _ = engine.region_likelihoods(
+                    region.reads, region.haplotypes, instr=instr
+                )
+                outputs.append(likes)
+                task_work.append(region.cell_updates)
+                meta.append(
+                    {"reads": len(region.reads), "haplotypes": len(region.haplotypes)}
+                )
         return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)

@@ -15,6 +15,7 @@ from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
 from repro.io.regions import GenomicRegion
 from repro.io.sam import AlignmentRecord, simulate_alignments
+from repro.obs.trace import kernel_span
 from repro.pileup.counts import count_region
 from repro.pileup.regions import reads_by_region
 from repro.sequence.simulate import LongReadSimulator, random_genome
@@ -62,10 +63,11 @@ class PileupBenchmark(Benchmark):
         outputs = []
         task_work = []
         meta = []
-        for i in indices:
-            region, records = workload.tasks[i]
-            pile = count_region(records, region, instr=instr)
-            outputs.append(pile)
-            task_work.append(pile.n_records)
-            meta.append({"region": f"{region.contig}:{region.start}-{region.end}"})
+        with kernel_span("pileup.count_regions", regions=len(indices)):
+            for i in indices:
+                region, records = workload.tasks[i]
+                pile = count_region(records, region, instr=instr)
+                outputs.append(pile)
+                task_work.append(pile.n_records)
+                meta.append({"region": f"{region.contig}:{region.start}-{region.end}"})
         return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)

@@ -18,6 +18,7 @@ from collections.abc import Sequence
 from repro.core.benchmark import Benchmark, ExecutionResult
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
+from repro.obs.trace import kernel_span
 from repro.poa.consensus import consensus_window
 from repro.sequence.simulate import LongReadSimulator, random_genome
 
@@ -98,10 +99,11 @@ class PoaBenchmark(Benchmark):
         outputs = []
         task_work = []
         meta = []
-        for i in indices:
-            window = workload.windows[i]
-            consensus, _, cells = consensus_window(window.sequences, instr=instr)
-            outputs.append(consensus)
-            task_work.append(cells)
-            meta.append({"depth": len(window.sequences)})
+        with kernel_span("poa.consensus_windows", windows=len(indices)):
+            for i in indices:
+                window = workload.windows[i]
+                consensus, _, cells = consensus_window(window.sequences, instr=instr)
+                outputs.append(consensus)
+                task_work.append(cells)
+                meta.append({"depth": len(window.sequences)})
         return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)

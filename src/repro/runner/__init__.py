@@ -17,10 +17,11 @@ from repro.runner.engine import (
     default_chunk_size,
     run_kernel,
 )
-from repro.runner.record import SCHEMA, ChunkTrace, RunRecord, WorkerStats
+from repro.runner.record import SCHEMA, SCHEMA_V1, ChunkTrace, RunRecord, WorkerStats
 
 __all__ = [
     "SCHEMA",
+    "SCHEMA_V1",
     "ChunkTrace",
     "EngineRun",
     "ParallelRunner",

@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
+from repro.obs.trace import kernel_instant, kernel_span
 
 #: Bump when the pickled workload layout changes incompatibly.
 CACHE_VERSION = 1
@@ -95,31 +96,34 @@ class WorkloadCache:
     def load(self, kernel: str, size: DatasetSize | str) -> Any | None:
         """The cached workload, or ``None`` on any kind of miss."""
         path = self.path_for(kernel, size)
-        try:
-            with path.open("rb") as fh:
-                return pickle.load(fh)
-        except FileNotFoundError:
-            return None
-        except Exception:
-            # corrupt or incompatible entry: drop it and regenerate
-            path.unlink(missing_ok=True)
-            return None
+        with kernel_span("cache.load", cat="cache", kernel=kernel):
+            try:
+                with path.open("rb") as fh:
+                    return pickle.load(fh)
+            except FileNotFoundError:
+                return None
+            except Exception:
+                # corrupt or incompatible entry: drop it and regenerate
+                kernel_instant("cache.corrupt_entry", cat="cache", path=str(path))
+                path.unlink(missing_ok=True)
+                return None
 
     def store(self, kernel: str, size: DatasetSize | str, workload: Any) -> Path | None:
         """Pickle ``workload`` atomically; returns the path (None if unpicklable)."""
         path = self.path_for(kernel, size)
         path.parent.mkdir(parents=True, exist_ok=True)
-        try:
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with kernel_span("cache.store", cat="cache", kernel=kernel):
             try:
-                with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(workload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, path)
-            except BaseException:
-                os.unlink(tmp)
-                raise
-        except (pickle.PicklingError, TypeError, AttributeError):
-            return None
+                fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        pickle.dump(workload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    os.replace(tmp, path)
+                except BaseException:
+                    os.unlink(tmp)
+                    raise
+            except (pickle.PicklingError, TypeError, AttributeError):
+                return None
         return path
 
     def entries(self) -> list[CacheEntry]:

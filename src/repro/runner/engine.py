@@ -19,16 +19,38 @@ with the chunk trace, per-worker busy times and (optionally) the
 measured speedup over an in-process serial execution of the same
 prepared workload.
 
-The engine does not thread :class:`~repro.core.instrument.Instrumentation`
-through workers -- counters and traces are a characterization concern
-and stay on the serial path (``jobs=1`` or :mod:`repro.perf`).
+Observability
+-------------
+
+The engine is the root publisher of the :mod:`repro.obs` layer:
+
+* With a :class:`~repro.obs.trace.Tracer` attached it emits nested
+  spans for every phase (``engine.prepare`` with cache lookup/generate/
+  store children, ``engine.serial_baseline``, ``engine.execute``,
+  ``engine.merge``), one ``chunk[a:b)`` span per scheduled chunk on the
+  owning worker's track, and a ``workers.active`` counter series.
+  While executing, the tracer is *activated* process-wide so kernel
+  adapters' :func:`~repro.obs.trace.kernel_span` regions record too;
+  worker processes buffer their spans locally and ship them back with
+  each chunk result, where the engine merges them at the shard
+  boundary.
+* Every run fills a :class:`~repro.obs.metrics.MetricsRegistry`
+  (prepare/execute seconds, cache hits, tasks and work per second,
+  per-task-work and per-worker histograms; with ``instrument=True`` on
+  the serial path also the per-category dynamic op counts) and embeds
+  the snapshot in the run record (schema v2).
+
+Tracing and metrics are off by default and cost nothing beyond a few
+``None`` checks on the serial fast path.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import platform
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any
 
@@ -39,6 +61,14 @@ from repro.core.benchmark import (
     load_benchmark,
 )
 from repro.core.datasets import DatasetSize
+from repro.core.instrument import Instrumentation, OpCounts
+from repro.obs.metrics import (
+    SECONDS_BUCKETS,
+    WORK_BUCKETS,
+    MetricsRegistry,
+    activated_metrics,
+)
+from repro.obs.trace import Span, Tracer, activated
 from repro.runner.cache import WorkloadCache
 from repro.runner.record import ChunkTrace, RunRecord, WorkerStats
 
@@ -47,26 +77,43 @@ from repro.runner.record import ChunkTrace, RunRecord, WorkerStats
 #: still leaving several steals per worker to absorb task-size skew.
 CHUNKS_PER_WORKER = 8
 
-#: (benchmark, workload) inherited by forked workers, set pre-fork.
-_WORKER_STATE: tuple[Benchmark, Any] | None = None
+#: (benchmark, workload, trace_enabled) inherited by forked workers.
+_WORKER_STATE: tuple[Benchmark, Any, bool] | None = None
 
 
-def _init_worker(bench: Benchmark, workload: Any) -> None:
+def _init_worker(bench: Benchmark, workload: Any, trace_enabled: bool) -> None:
     """Pool initializer for spawn-style platforms (no fork inheritance)."""
     global _WORKER_STATE
-    _WORKER_STATE = (bench, workload)
+    _WORKER_STATE = (bench, workload, trace_enabled)
 
 
-def _run_chunk(start: int, stop: int) -> tuple[int, int, ExecutionResult, int, float, float]:
-    """Execute tasks ``[start, stop)`` in a worker; timestamps are absolute."""
+def _run_chunk(
+    start: int, stop: int
+) -> tuple[int, int, ExecutionResult, int, float, float, list[Span] | None]:
+    """Execute tasks ``[start, stop)`` in a worker; timestamps are absolute.
+
+    When tracing is on, the worker records kernel spans into its own
+    fresh per-worker tracer and returns the buffer for the engine to
+    merge -- the per-worker-buffer half of the span tracer's
+    process-safety story.
+    """
     assert _WORKER_STATE is not None, "worker started without benchmark state"
-    bench, workload = _WORKER_STATE
+    bench, workload, trace_enabled = _WORKER_STATE
+    spans: list[Span] | None = None
     t0 = time.perf_counter()
-    result = as_execution_result(
-        bench.execute_shard(workload, range(start, stop)), bench.name
-    )
+    if trace_enabled:
+        tracer = Tracer()
+        with activated(tracer):
+            result = as_execution_result(
+                bench.execute_shard(workload, range(start, stop)), bench.name
+            )
+        spans = tracer.spans
+    else:
+        result = as_execution_result(
+            bench.execute_shard(workload, range(start, stop)), bench.name
+        )
     t1 = time.perf_counter()
-    return start, stop, result, os.getpid(), t0, t1
+    return start, stop, result, os.getpid(), t0, t1, spans
 
 
 def default_chunk_size(n_tasks: int, jobs: int) -> int:
@@ -101,6 +148,13 @@ class ParallelRunner:
     measure_serial:
         Also time an in-process serial execution and record the
         speedup.  Default: only when ``jobs > 1``.
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` to record engine, chunk and
+        kernel spans into (``None`` disables tracing).
+    instrument:
+        Collect per-category dynamic op counts on the serial path and
+        publish them as ``ops.*`` counters.  Ignored on the parallel
+        path (instrumentation is not threaded through workers).
     """
 
     def __init__(
@@ -109,6 +163,8 @@ class ParallelRunner:
         chunk_size: int | None = None,
         cache: WorkloadCache | None = None,
         measure_serial: bool | None = None,
+        tracer: Tracer | None = None,
+        instrument: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -118,21 +174,34 @@ class ParallelRunner:
         self.chunk_size = chunk_size
         self.cache = cache
         self.measure_serial = measure_serial
+        self.tracer = tracer
+        self.instrument = instrument
+
+    def _span(self, name: str, **args: Any):
+        """An engine-phase span, or a no-op when tracing is off."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, cat="engine", **args)
 
     # -- workload acquisition -----------------------------------------
 
     def prepare(self, bench: Benchmark, size: DatasetSize) -> tuple[Any, float, bool]:
         """(workload, prepare_seconds, cache_hit) honoring the cache."""
-        if self.cache is not None:
+        tracer_ctx = activated(self.tracer) if self.tracer is not None else nullcontext()
+        with tracer_ctx, self._span("engine.prepare", kernel=bench.name, size=size.value):
+            if self.cache is not None:
+                t0 = time.perf_counter()
+                with self._span("engine.cache_lookup"):
+                    workload = self.cache.load(bench.name, size)
+                if workload is not None:
+                    return workload, time.perf_counter() - t0, True
             t0 = time.perf_counter()
-            workload = self.cache.load(bench.name, size)
-            if workload is not None:
-                return workload, time.perf_counter() - t0, True
-        t0 = time.perf_counter()
-        workload = bench.prepare(size)
-        prepare_seconds = time.perf_counter() - t0
-        if self.cache is not None:
-            self.cache.store(bench.name, size, workload)
+            with self._span("engine.generate"):
+                workload = bench.prepare(size)
+            prepare_seconds = time.perf_counter() - t0
+            if self.cache is not None:
+                with self._span("engine.cache_store"):
+                    self.cache.store(bench.name, size, workload)
         return workload, prepare_seconds, False
 
     # -- execution ----------------------------------------------------
@@ -156,6 +225,7 @@ class ParallelRunner:
         prepare_cached: bool = False,
     ) -> EngineRun:
         """Execute a prepared workload, sharded across ``jobs`` workers."""
+        metrics = MetricsRegistry()
         n_tasks = bench.task_count(workload)
         serial_seconds = None
         measure = (
@@ -164,12 +234,15 @@ class ParallelRunner:
             else self.jobs > 1
         )
         if measure:
-            t0 = time.perf_counter()
-            as_execution_result(bench.execute(workload), bench.name)
-            serial_seconds = time.perf_counter() - t0
+            with self._span("engine.serial_baseline", kernel=bench.name):
+                t0 = time.perf_counter()
+                as_execution_result(bench.execute(workload), bench.name)
+                serial_seconds = time.perf_counter() - t0
 
         if self.jobs == 1 or n_tasks is None or n_tasks <= 1:
-            result, chunks, workers, elapsed = self._execute_serial(bench, workload)
+            result, chunks, workers, elapsed = self._execute_serial(
+                bench, workload, metrics
+            )
             chunk_size = max(1, len(result.task_work))
         else:
             chunk_size = self.chunk_size or default_chunk_size(n_tasks, self.jobs)
@@ -177,6 +250,16 @@ class ParallelRunner:
                 bench, workload, n_tasks, chunk_size
             )
 
+        self._publish_metrics(
+            metrics,
+            result=result,
+            workers=workers,
+            chunks=chunks,
+            prepare_seconds=prepare_seconds,
+            prepare_cached=prepare_cached,
+            execute_seconds=elapsed,
+            serial_seconds=serial_seconds,
+        )
         record = RunRecord(
             kernel=bench.name,
             size=size.value,
@@ -192,15 +275,84 @@ class ParallelRunner:
             task_meta=result.task_meta,
             chunks=chunks,
             workers=workers,
+            metrics=metrics.as_dict(),
+            host=platform.node() or None,
+            created_unix=time.time(),
         )
         return EngineRun(record=record, output=result.output, result=result)
 
+    def _publish_metrics(
+        self,
+        metrics: MetricsRegistry,
+        result: ExecutionResult,
+        workers: list[WorkerStats],
+        chunks: list[ChunkTrace],
+        prepare_seconds: float,
+        prepare_cached: bool,
+        execute_seconds: float,
+        serial_seconds: float | None,
+    ) -> None:
+        """Fill the run's registry from what the engine measured."""
+        metrics.counter("cache.hits").inc(1 if prepare_cached else 0)
+        metrics.counter("cache.misses").inc(0 if prepare_cached else 1)
+        metrics.gauge("cache.hit_ratio").set(1.0 if prepare_cached else 0.0)
+        metrics.gauge("run.prepare_seconds").set(prepare_seconds)
+        metrics.gauge("run.execute_seconds").set(execute_seconds)
+        if serial_seconds is not None:
+            metrics.gauge("run.serial_seconds").set(serial_seconds)
+            if execute_seconds > 0:
+                metrics.gauge("run.speedup_vs_serial").set(
+                    serial_seconds / execute_seconds
+                )
+        metrics.counter("engine.tasks").inc(result.n_tasks)
+        metrics.counter("engine.chunks").inc(len(chunks))
+        metrics.counter("engine.workers").inc(len(workers))
+        if execute_seconds > 0:
+            metrics.gauge("run.tasks_per_second").set(result.n_tasks / execute_seconds)
+            metrics.gauge("run.work_per_second").set(
+                result.total_work / execute_seconds
+            )
+            busy = sum(w.busy_seconds for w in workers)
+            if workers:
+                metrics.gauge("run.scheduling_efficiency").set(
+                    busy / (self.jobs * execute_seconds)
+                )
+        work_hist = metrics.histogram("task.work", WORK_BUCKETS)
+        for work in result.task_work:
+            work_hist.observe(work)
+        tasks_hist = metrics.histogram(
+            "worker.tasks", (1.0, 10.0, 100.0, 1_000.0, 10_000.0)
+        )
+        busy_hist = metrics.histogram("worker.busy_seconds", SECONDS_BUCKETS)
+        for worker in workers:
+            tasks_hist.observe(worker.tasks)
+            busy_hist.observe(worker.busy_seconds)
+
     def _execute_serial(
-        self, bench: Benchmark, workload: Any
+        self, bench: Benchmark, workload: Any, metrics: MetricsRegistry
     ) -> tuple[ExecutionResult, list[ChunkTrace], list[WorkerStats], float]:
-        t0 = time.perf_counter()
-        result = as_execution_result(bench.execute(workload), bench.name)
-        elapsed = time.perf_counter() - t0
+        instr = Instrumentation(counts=OpCounts()) if self.instrument else None
+        tracer_ctx = activated(self.tracer) if self.tracer is not None else nullcontext()
+        with tracer_ctx, activated_metrics(metrics), self._span(
+            "engine.execute", kernel=bench.name, jobs=1
+        ):
+            t0 = time.perf_counter()
+            result = as_execution_result(bench.execute(workload, instr=instr), bench.name)
+            elapsed = time.perf_counter() - t0
+        if instr is not None:
+            metrics.publish_op_counts(instr.counts)
+        if self.tracer is not None:
+            self.tracer.add_span(
+                Span(
+                    name=f"chunk[0:{result.n_tasks})",
+                    cat="chunk",
+                    begin=t0,
+                    end=t0 + elapsed,
+                    pid=os.getpid(),
+                    tid=0,
+                    args={"worker": 0, "tasks": result.n_tasks},
+                )
+            )
         chunks = [
             ChunkTrace(worker=0, start=0, stop=result.n_tasks, begin=0.0, end=elapsed)
         ]
@@ -227,16 +379,20 @@ class ParallelRunner:
         use_fork = "fork" in methods
         ctx = multiprocessing.get_context("fork" if use_fork else "spawn")
         jobs = min(self.jobs, len(bounds))
-        _WORKER_STATE = (bench, workload)  # forked children inherit this
-        initargs = () if use_fork else (bench, workload)
+        trace_enabled = self.tracer is not None
+        _WORKER_STATE = (bench, workload, trace_enabled)  # forked children inherit
+        initargs = () if use_fork else (bench, workload, trace_enabled)
         initializer = None if use_fork else _init_worker
         t0 = time.perf_counter()
         try:
-            with ctx.Pool(jobs, initializer=initializer, initargs=initargs) as pool:
-                # one async task per chunk: idle workers pull the next
-                # pending chunk off the shared queue = dynamic scheduling
-                futures = [pool.apply_async(_run_chunk, b) for b in bounds]
-                raw = [f.get() for f in futures]
+            with self._span(
+                "engine.execute", kernel=bench.name, jobs=jobs, chunks=len(bounds)
+            ):
+                with ctx.Pool(jobs, initializer=initializer, initargs=initargs) as pool:
+                    # one async task per chunk: idle workers pull the next
+                    # pending chunk off the shared queue = dynamic scheduling
+                    futures = [pool.apply_async(_run_chunk, b) for b in bounds]
+                    raw = [f.get() for f in futures]
         finally:
             _WORKER_STATE = None
         elapsed = time.perf_counter() - t0
@@ -245,7 +401,7 @@ class ParallelRunner:
         pids: dict[int, int] = {}
         chunks: list[ChunkTrace] = []
         per_worker: dict[int, WorkerStats] = {}
-        for start, stop, _, pid, w0, w1 in raw:
+        for start, stop, _, pid, w0, w1, spans in raw:
             worker = pids.setdefault(pid, len(pids))
             chunks.append(
                 ChunkTrace(
@@ -263,9 +419,43 @@ class ParallelRunner:
             stats.chunks += 1
             stats.tasks += stop - start
             stats.busy_seconds += w1 - w0
-        result = bench.merge_shards([r[2] for r in raw])
+            if self.tracer is not None:
+                # merge the worker's span buffer at the shard boundary,
+                # and give the chunk itself a span on the worker's track
+                if spans:
+                    self.tracer.extend(spans)
+                self.tracer.add_span(
+                    Span(
+                        name=f"chunk[{start}:{stop})",
+                        cat="chunk",
+                        begin=w0,
+                        end=w1,
+                        pid=pid,
+                        tid=0,
+                        args={"worker": worker, "tasks": stop - start},
+                    )
+                )
+        if self.tracer is not None:
+            for pid, worker in pids.items():
+                self.tracer.name_track(pid, 0, f"worker {worker}")
+            self._emit_worker_counter(raw)
+        with self._span("engine.merge", kernel=bench.name, shards=len(raw)):
+            result = bench.merge_shards([r[2] for r in raw])
         workers = [per_worker[w] for w in sorted(per_worker)]
         return result, chunks, workers, elapsed
+
+    def _emit_worker_counter(self, raw: list[tuple]) -> None:
+        """``workers.active`` counter series from the chunk timings."""
+        assert self.tracer is not None
+        boundaries: list[tuple[float, int]] = []
+        for _, _, _, _, w0, w1, _ in raw:
+            boundaries.append((w0, +1))
+            boundaries.append((w1, -1))
+        active = 0
+        pid = os.getpid()
+        for ts, delta in sorted(boundaries):
+            active += delta
+            self.tracer.counter("workers.active", active, ts=ts, pid=pid)
 
 
 def run_kernel(
@@ -275,9 +465,16 @@ def run_kernel(
     chunk_size: int | None = None,
     cache: WorkloadCache | None = None,
     measure_serial: bool | None = None,
+    tracer: Tracer | None = None,
+    instrument: bool = False,
 ) -> EngineRun:
     """One-call convenience over :class:`ParallelRunner`."""
     runner = ParallelRunner(
-        jobs=jobs, chunk_size=chunk_size, cache=cache, measure_serial=measure_serial
+        jobs=jobs,
+        chunk_size=chunk_size,
+        cache=cache,
+        measure_serial=measure_serial,
+        tracer=tracer,
+        instrument=instrument,
     )
     return runner.run(kernel, size)

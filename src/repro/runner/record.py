@@ -3,11 +3,24 @@
 Every ``genomicsbench run`` invocation produces one :class:`RunRecord`
 per kernel.  The record is the machine-readable execution contract of
 the suite: per-task work, the dynamic-scheduling chunk trace, per-worker
-busy times, cache provenance of the workload, and the measured speedup
-over the serial path.  ``--format json`` emits exactly this structure,
-and downstream tooling (regression tracking, scaling plots) consumes it
-through :func:`RunRecord.from_json` -- so the schema carries an explicit
+busy times, cache provenance of the workload, the serialized metrics
+registry of the run, and the measured speedup over the serial path.
+``--format json`` emits exactly this structure, and downstream tooling
+(the ``bench`` regression tracker, scaling plots) consumes it through
+:func:`RunRecord.from_json` -- so the schema carries an explicit
 version and only grows, never mutates.
+
+Schema history
+--------------
+
+* ``genomicsbench.run/1`` -- the original engine record.
+* ``genomicsbench.run/2`` -- adds ``metrics`` (the serialized
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot), ``host`` and
+  ``created_unix`` (provenance for the per-host bench history).
+
+:func:`RunRecord.from_dict` accepts both; v1 documents load with the
+new fields ``None`` and are upgraded in memory, so re-serializing an
+old record yields a valid v2 document.
 """
 
 from __future__ import annotations
@@ -16,17 +29,15 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Any
 
+from repro.core.serialize import json_default  # noqa: F401  (re-exported)
+from repro.core.serialize import dumps
+
 #: Schema identifier embedded in every serialized record.  Bump the
 #: trailing version only for incompatible changes; additions are free.
-SCHEMA = "genomicsbench.run/1"
+SCHEMA = "genomicsbench.run/2"
 
-
-def json_default(obj: Any) -> Any:
-    """``json.dumps`` fallback: unwrap numpy scalars to Python numbers."""
-    item = getattr(obj, "item", None)
-    if callable(item):
-        return item()
-    raise TypeError(f"{type(obj).__name__} is not JSON serializable")
+#: The previous schema version, still accepted by :func:`RunRecord.from_dict`.
+SCHEMA_V1 = "genomicsbench.run/1"
 
 
 @dataclass
@@ -78,6 +89,9 @@ class RunRecord:
     task_meta: list[dict[str, Any]] | None = None
     chunks: list[ChunkTrace] = field(default_factory=list)
     workers: list[WorkerStats] = field(default_factory=list)
+    metrics: dict[str, Any] | None = None
+    host: str | None = None
+    created_unix: float | None = None
     schema: str = SCHEMA
 
     @property
@@ -107,12 +121,12 @@ class RunRecord:
         return d
 
     def to_json(self, indent: int | None = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent, default=json_default)
+        return dumps(self.to_dict(), indent=indent)
 
     @classmethod
     def from_dict(cls, d: dict[str, Any]) -> "RunRecord":
         schema = d.get("schema", SCHEMA)
-        if schema != SCHEMA:
+        if schema not in (SCHEMA, SCHEMA_V1):
             raise ValueError(f"unsupported run-record schema {schema!r}")
         return cls(
             kernel=d["kernel"],
@@ -129,7 +143,12 @@ class RunRecord:
             task_meta=d.get("task_meta"),
             chunks=[ChunkTrace(**c) for c in d.get("chunks", [])],
             workers=[WorkerStats(**w) for w in d.get("workers", [])],
-            schema=schema,
+            metrics=d.get("metrics"),
+            host=d.get("host"),
+            created_unix=d.get("created_unix"),
+            # v1 documents upgrade in memory: the loaded object carries
+            # every v2 field (as None), so it re-serializes as v2.
+            schema=SCHEMA,
         )
 
     @classmethod

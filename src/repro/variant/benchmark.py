@@ -19,6 +19,7 @@ from repro.core.datasets import DatasetSize, dataset_params, dataset_seed
 from repro.core.instrument import Instrumentation
 from repro.io.regions import GenomicRegion
 from repro.io.sam import simulate_alignments
+from repro.obs.trace import kernel_span
 from repro.pileup.counts import count_region
 from repro.sequence.simulate import LongReadSimulator, mutate_genome, random_genome
 from repro.variant.clair import ClairLikeModel
@@ -73,18 +74,19 @@ class NnVariantBenchmark(Benchmark):
         outputs = []
         task_work = []
         meta = []
-        for i in indices:
-            tensor = workload.tensors[i]
-            outputs.append(model.forward(tensor))
-            task_work.append(ops)
-            meta.append({"position": FLANK + i})
-            if instr is not None:
-                instr.counts.add("fp", ops)
-                instr.counts.add("vector", ops // 8)
-                instr.counts.add("load", ops // 16)
-                instr.counts.add("store", ops // 64)
-                if instr.trace is not None:
-                    self._trace(instr)
+        with kernel_span("nn_variant.forward", positions=len(indices)):
+            for i in indices:
+                tensor = workload.tensors[i]
+                outputs.append(model.forward(tensor))
+                task_work.append(ops)
+                meta.append({"position": FLANK + i})
+                if instr is not None:
+                    instr.counts.add("fp", ops)
+                    instr.counts.add("vector", ops // 8)
+                    instr.counts.add("load", ops // 16)
+                    instr.counts.add("store", ops // 64)
+                    if instr.trace is not None:
+                        self._trace(instr)
         return ExecutionResult(output=outputs, task_work=task_work, task_meta=meta)
 
     def _trace(self, instr: Instrumentation) -> None:

@@ -75,3 +75,61 @@ class TestParser:
     def test_datasets_export(self, capsys, tmp_path):
         assert main(["datasets", "grm", "--export", str(tmp_path)]) == 0
         assert (tmp_path / "grm" / "small" / "genotypes.tsv").exists()
+
+    def test_run_trace_writes_chrome_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(
+            ["run", "grm", "--jobs", "2", "--no-cache", "--trace", str(trace)]
+        ) == 0
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "engine.prepare" in names and "engine.execute" in names
+        assert any(n.startswith("chunk[") for n in names)
+        assert any(e.get("cat") == "kernel" for e in doc["traceEvents"])
+
+    def test_run_metrics_writes_registry(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        assert main(["run", "grm", "--no-cache", "--metrics", str(metrics)]) == 0
+        doc = json.loads(metrics.read_text())
+        assert doc["grm"]["gauges"]["run.execute_seconds"] > 0
+        # --metrics enables op-count instrumentation on the serial path
+        assert doc["grm"]["counters"]["ops.fp"] > 0
+
+
+class TestBench:
+    def test_record_appends_history(self, tmp_path, capsys):
+        history = tmp_path / "BENCH_ci.json"
+        args = ["bench", "record", "grm", "--no-cache", "--history", str(history)]
+        assert main(args) == 0
+        assert main(args) == 0
+        doc = json.loads(history.read_text())
+        assert doc["schema"] == "genomicsbench.bench-history/1"
+        assert len(doc["entries"]) == 2
+        assert "work/s" in capsys.readouterr().out
+
+    def test_check_passes_without_regression(self, tmp_path, capsys):
+        history = tmp_path / "BENCH_ci.json"
+        for _ in range(3):
+            main(["bench", "record", "grm", "--no-cache", "--history", str(history)])
+        assert main(["bench", "check", "--baseline", str(history)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_check_fails_on_injected_slowdown(self, tmp_path, capsys):
+        history = tmp_path / "BENCH_ci.json"
+        for _ in range(3):
+            main(["bench", "record", "grm", "--no-cache", "--history", str(history)])
+        doc = json.loads(history.read_text())
+        slow = json.loads(json.dumps(doc["entries"][-1]))
+        slow["execute_seconds"] *= 2  # inject a 2x slowdown
+        doc["entries"].append(slow)
+        history.write_text(json.dumps(doc))
+        assert main(["bench", "check", "--baseline", str(history)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        # --warn-only reports but never fails (CI bring-up mode)
+        assert main(
+            ["bench", "check", "--baseline", str(history), "--warn-only"]
+        ) == 0
+
+    def test_check_with_no_history_is_a_noop(self, tmp_path):
+        missing = tmp_path / "BENCH_none.json"
+        assert main(["bench", "check", "--baseline", str(missing)]) == 0

@@ -75,12 +75,9 @@ def test_as_execution_result_passes_through():
     assert as_execution_result(result, "x") is result
 
 
-def test_as_execution_result_adapts_legacy_tuple_with_warning():
-    with pytest.warns(DeprecationWarning, match="legacy"):
-        result = as_execution_result((["out"], [7]), "legacy-kernel")
-    assert isinstance(result, ExecutionResult)
-    assert result.output == ["out"]
-    assert result.task_work == [7]
+def test_as_execution_result_rejects_legacy_tuple():
+    with pytest.raises(TypeError, match="legacy .* tuple contract"):
+        as_execution_result((["out"], [7]), "legacy-kernel")
 
 
 def test_as_execution_result_rejects_garbage():
@@ -88,8 +85,8 @@ def test_as_execution_result_rejects_garbage():
         as_execution_result("nonsense", "x")
 
 
-def test_legacy_tuple_adapter_still_runs():
-    """A not-yet-migrated adapter keeps working through Benchmark.run."""
+def test_legacy_tuple_adapter_fails_loudly():
+    """An unmigrated tuple-returning adapter now errors through Benchmark.run."""
 
     class LegacyBenchmark(Benchmark):
         name = "legacy"
@@ -100,10 +97,8 @@ def test_legacy_tuple_adapter_still_runs():
         def execute(self, workload, instr=None):
             return list(workload), [w * 10 for w in workload]
 
-    with pytest.warns(DeprecationWarning):
-        result = LegacyBenchmark().run(DatasetSize.SMALL)
-    assert result.task_work == [10, 20, 30]
-    assert result.output == [1, 2, 3]
+    with pytest.raises(TypeError, match="expected an ExecutionResult"):
+        LegacyBenchmark().run(DatasetSize.SMALL)
 
 
 def test_every_kernel_exposes_task_sharding():

@@ -1,0 +1,116 @@
+"""Tests for the run-history store and regression tracker."""
+
+import json
+
+import pytest
+
+from repro.obs.history import (
+    BenchHistory,
+    check_regressions,
+    default_history_path,
+    throughput,
+)
+from repro.runner.record import RunRecord
+
+
+def _record(kernel="grm", jobs=2, work=1_000_000, seconds=1.0):
+    return RunRecord(
+        kernel=kernel,
+        size="small",
+        jobs=jobs,
+        chunk_size=1,
+        n_tasks=8,
+        total_work=work,
+        task_work=[work // 8] * 8,
+        prepare_seconds=0.1,
+        prepare_cached=True,
+        execute_seconds=seconds,
+        serial_seconds=None,
+    )
+
+
+def test_default_history_path_sanitizes_host():
+    path = default_history_path("/tmp", host="my host!04")
+    assert path.name == "BENCH_my-host-04.json"
+
+
+def test_history_load_missing_file_is_empty(tmp_path):
+    assert BenchHistory(tmp_path / "none.json").load() == []
+
+
+def test_history_append_and_load_round_trip(tmp_path):
+    history = BenchHistory(tmp_path / "BENCH_x.json")
+    assert history.append([_record(seconds=1.0)]) == 1
+    assert history.append([_record(seconds=2.0)]) == 2
+    records = history.load()
+    assert [r.execute_seconds for r in records] == [1.0, 2.0]
+    assert all(isinstance(r, RunRecord) for r in records)
+
+
+def test_history_rejects_foreign_schema(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps({"schema": "something/else", "entries": []}))
+    with pytest.raises(ValueError, match="not a bench history"):
+        BenchHistory(path).load()
+
+
+def test_throughput():
+    assert throughput(_record(work=100, seconds=2.0)) == 50.0
+    assert throughput(_record(seconds=0.0)) is None
+
+
+def test_single_run_has_no_baseline():
+    (check,) = check_regressions([_record()])
+    assert check.baseline is None
+    assert check.ratio is None
+    assert not check.regressed
+
+
+def test_steady_throughput_passes():
+    records = [_record(seconds=1.0) for _ in range(4)]
+    (check,) = check_regressions(records)
+    assert check.baseline == pytest.approx(1_000_000)
+    assert check.ratio == pytest.approx(1.0)
+    assert not check.regressed
+
+
+def test_two_times_slowdown_regresses():
+    records = [_record(seconds=1.0) for _ in range(3)] + [_record(seconds=2.0)]
+    (check,) = check_regressions(records, threshold=0.20)
+    assert check.ratio == pytest.approx(0.5)
+    assert check.regressed
+
+
+def test_rolling_median_absorbs_one_noisy_run():
+    # one slow outlier in the window must not drag the baseline down
+    seconds = [1.0, 1.0, 5.0, 1.0, 1.0, 1.0]
+    records = [_record(seconds=s) for s in seconds]
+    (check,) = check_regressions(records, window=5)
+    assert check.baseline == pytest.approx(1_000_000)
+    assert not check.regressed
+
+
+def test_window_limits_baseline_to_recent_runs():
+    # old fast runs fall out of the window; only the last 2 priors count
+    records = [_record(seconds=0.1)] * 3 + [_record(seconds=1.0)] * 3
+    (check,) = check_regressions(records, window=2)
+    assert check.n_baseline == 2
+    assert check.baseline == pytest.approx(1_000_000)
+    assert not check.regressed
+
+
+def test_configs_are_checked_independently():
+    records = [
+        _record(kernel="grm", seconds=1.0),
+        _record(kernel="fmi", seconds=1.0),
+        _record(kernel="grm", seconds=1.0),
+        _record(kernel="fmi", seconds=4.0),
+    ]
+    checks = {c.kernel: c for c in check_regressions(records)}
+    assert not checks["grm"].regressed
+    assert checks["fmi"].regressed
+
+
+def test_check_rejects_bad_window():
+    with pytest.raises(ValueError):
+        check_regressions([], window=0)

@@ -1,0 +1,108 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.core.instrument import OpCounts
+from repro.obs.metrics import (
+    SECONDS_BUCKETS,
+    WORK_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    activated_metrics,
+    current_metrics,
+    kernel_counter,
+    kernel_observe,
+)
+
+
+def test_counter_only_increases():
+    c = Counter()
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_last_write_wins():
+    g = Gauge()
+    assert g.value is None
+    g.set(1.0)
+    g.set(2.5)
+    assert g.value == 2.5
+
+
+def test_histogram_bucketing():
+    h = Histogram(boundaries=(10.0, 100.0))
+    for v in (1, 10, 11, 1000):
+        h.observe(v)
+    # <=10 | <=100 | overflow
+    assert h.counts == [2, 1, 1]
+    assert h.count == 4
+    assert h.sum == 1022.0
+    assert h.mean == pytest.approx(255.5)
+    assert Histogram((1.0,)).mean is None
+
+
+def test_histogram_rejects_bad_boundaries():
+    with pytest.raises(ValueError):
+        Histogram(boundaries=())
+    with pytest.raises(ValueError):
+        Histogram(boundaries=(5.0, 5.0))
+    with pytest.raises(ValueError):
+        Histogram(boundaries=(5.0, 1.0))
+
+
+def test_default_buckets_are_ascending():
+    assert list(WORK_BUCKETS) == sorted(WORK_BUCKETS)
+    assert list(SECONDS_BUCKETS) == sorted(SECONDS_BUCKETS)
+
+
+def test_registry_creates_on_first_use_and_reuses():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("b") is reg.gauge("b")
+    assert reg.histogram("c") is reg.histogram("c")
+    with pytest.raises(ValueError, match="different boundaries"):
+        reg.histogram("c", boundaries=(1.0, 2.0))
+
+
+def test_registry_round_trips_through_dict():
+    reg = MetricsRegistry()
+    reg.counter("n").inc(7)
+    reg.gauge("g").set(1.5)
+    reg.histogram("h", boundaries=(10.0,)).observe(3)
+    doc = reg.as_dict()
+    assert doc["counters"] == {"n": 7}
+    assert doc["gauges"] == {"g": 1.5}
+    assert doc["histograms"]["h"]["counts"] == [1, 0]
+    back = MetricsRegistry.from_dict(doc)
+    assert back.as_dict() == doc
+
+
+def test_publish_op_counts():
+    reg = MetricsRegistry()
+    reg.publish_op_counts(OpCounts(fp=10, load=3))
+    doc = reg.as_dict()["counters"]
+    assert doc["ops.fp"] == 10
+    assert doc["ops.load"] == 3
+
+
+def test_kernel_hooks_noop_when_disabled():
+    assert current_metrics() is None
+    kernel_counter("ignored")
+    kernel_observe("also-ignored", 1.0)
+
+
+def test_kernel_hooks_publish_into_activated_registry():
+    reg = MetricsRegistry()
+    with activated_metrics(reg):
+        assert current_metrics() is reg
+        kernel_counter("seeds", 4)
+        kernel_observe("work", 50.0, boundaries=(10.0, 100.0))
+    assert current_metrics() is None
+    doc = reg.as_dict()
+    assert doc["counters"]["seeds"] == 4
+    assert doc["histograms"]["work"]["counts"] == [0, 1, 0]

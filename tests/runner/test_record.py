@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.runner.record import SCHEMA, ChunkTrace, RunRecord, WorkerStats
+from repro.runner.record import SCHEMA, SCHEMA_V1, ChunkTrace, RunRecord, WorkerStats
 from repro.runner.engine import run_kernel
 
 
@@ -49,6 +49,33 @@ def test_unknown_schema_rejected():
     doc["schema"] = "genomicsbench.run/999"
     with pytest.raises(ValueError, match="schema"):
         RunRecord.from_dict(doc)
+
+
+def test_v1_record_loads_as_v2():
+    """Records written before the observability fields still load."""
+    doc = json.loads(_record().to_json())
+    doc["schema"] = SCHEMA_V1
+    for v2_field in ("metrics", "host", "created_unix"):
+        doc.pop(v2_field, None)
+    rec = RunRecord.from_dict(doc)
+    assert rec.schema == SCHEMA  # upgraded in memory
+    assert rec.metrics is None
+    assert rec.host is None
+    assert rec.created_unix is None
+    assert rec.kernel == "grm" and rec.task_work == [10, 20, 30, 40]
+    # and re-serializes as a v2 document
+    assert json.loads(rec.to_json())["schema"] == SCHEMA
+
+
+def test_v2_fields_round_trip():
+    rec = _record(
+        metrics={"counters": {"cache.hits": 1}, "gauges": {}, "histograms": {}},
+        host="nodeA",
+        created_unix=1700000000.0,
+    )
+    clone = RunRecord.from_json(rec.to_json())
+    assert clone == rec
+    assert clone.metrics["counters"]["cache.hits"] == 1
 
 
 def test_derived_metrics_none_without_baseline():
