@@ -15,6 +15,14 @@ engine phases, per-worker chunk timelines and kernel-internal spans --
 load it in chrome://tracing or Perfetto) and ``--metrics FILE`` (the
 run's serialized metrics registries).
 
+Fault tolerance (see ``docs/fault-tolerance.md``): ``--timeout SECONDS``
+bounds each chunk's wall-clock, ``--retries N`` re-executes failed
+chunks with capped exponential backoff, ``--on-failure
+{fail,quarantine,serial}`` picks the end-of-budget policy, ``--resume``
+checkpoints completed chunks for interrupted-run recovery, and
+``--inject-faults PLAN`` (e.g. ``"kill@0,raise@2x2"``) deterministically
+injects faults for chaos testing.  Runs that quarantined chunks exit 1.
+
 Output contract: ``run`` and ``characterize`` (and ``list``) take
 ``--format {table,json}`` and ``--out FILE``.  Commands build
 :class:`repro.perf.report.Report` values; rendering lives entirely
@@ -88,6 +96,16 @@ def _make_cache(args: argparse.Namespace):
     return WorkloadCache(getattr(args, "cache_dir", None))
 
 
+def _fault_plan_arg(text: str):
+    """argparse type for ``--inject-faults`` (bad plans become usage errors)."""
+    from repro.runner import FaultPlan
+
+    try:
+        return FaultPlan.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.runner import ParallelRunner
 
@@ -100,6 +118,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.obs.trace import Tracer
 
         tracer = Tracer()
+    fault_plan = args.inject_faults or None
+    if args.resume and args.no_cache:
+        print("warning: --resume needs the workload cache; ignoring", file=sys.stderr)
     runner = ParallelRunner(
         jobs=args.jobs,
         chunk_size=args.chunk_size,
@@ -107,10 +128,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         measure_serial=False if args.no_baseline else None,
         tracer=tracer,
         instrument=bool(args.metrics),
+        timeout=args.timeout,
+        retries=args.retries,
+        on_failure=args.on_failure,
+        fault_plan=fault_plan,
+        resume=args.resume,
     )
     rows = []
     records = []
     metrics_by_kernel = {}
+    incomplete = []
     for name in names:
         run = runner.run(name, size)
         rec = run.record
@@ -118,6 +145,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         metrics_by_kernel[name] = rec.metrics
         prep = "cached" if rec.prepare_cached else f"{rec.prepare_seconds:.2f}s"
         speedup = rec.speedup_vs_serial
+        if rec.degraded:
+            health = "degraded"
+        elif rec.quarantined:
+            health = f"{len(rec.quarantined)} quarantined"
+        elif rec.retries or rec.resumed_chunks:
+            parts = []
+            if rec.retries:
+                parts.append(f"{rec.retries} retried")
+            if rec.resumed_chunks:
+                parts.append(f"{rec.resumed_chunks} resumed")
+            health = ", ".join(parts)
+        else:
+            health = "ok"
         rows.append(
             (
                 name,
@@ -126,9 +166,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 prep,
                 f"{rec.execute_seconds:.2f}s",
                 f"{speedup:.2f}x" if speedup is not None else "-",
+                health,
             )
         )
         print(f"  {name}: {rec.execute_seconds:.2f}s", file=sys.stderr)
+        if rec.quarantined:
+            incomplete.append(name)
+            print(
+                f"  {name}: {rec.quarantined_tasks} task(s) quarantined in "
+                f"{len(rec.quarantined)} chunk(s); see the failure report",
+                file=sys.stderr,
+            )
     if tracer is not None:
         path = tracer.export(args.trace)
         print(f"wrote Chrome trace to {path} (open in chrome://tracing)", file=sys.stderr)
@@ -141,13 +189,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         [
             Report(
                 title=f"kernel runs ({size.value} datasets, jobs={args.jobs})",
-                headers=["kernel", "tasks", "total work", "prepare", "kernel time", "speedup"],
+                headers=[
+                    "kernel", "tasks", "total work", "prepare", "kernel time",
+                    "speedup", "health",
+                ],
                 rows=rows,
                 data=records if len(records) > 1 else records[0],
             )
         ],
         args,
     )
+    if incomplete:
+        print(f"incomplete runs (quarantined chunks): {', '.join(incomplete)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -528,6 +582,31 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--no-baseline", action="store_true",
         help="skip the serial baseline run that measures parallel speedup",
+    )
+    run.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-chunk wall-clock budget; a worker exceeding it is "
+        "terminated and the chunk retried (default: none)",
+    )
+    run.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="per-chunk retry budget after a failure (default: 0)",
+    )
+    run.add_argument(
+        "--on-failure", choices=["fail", "quarantine", "serial"], default="fail",
+        help="policy for chunks that exhaust their retries: fail the run, "
+        "quarantine the chunk (run completes with a gap report), or "
+        "re-execute it serially in the parent (default: fail)",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="checkpoint completed chunks to the workload cache and skip "
+        "chunks already checkpointed by an interrupted earlier run",
+    )
+    run.add_argument(
+        "--inject-faults", metavar="PLAN", default=None, type=_fault_plan_arg,
+        help="deterministic fault injection for chaos testing, e.g. "
+        "'kill@0,raise@2x2,hang@1' (kind@chunk[xAttempts])",
     )
     run.add_argument(
         "--trace", metavar="FILE", default=None,

@@ -88,6 +88,16 @@ class ExecutionResult:
         """Total data-parallel work across all tasks."""
         return sum(self.task_work)
 
+    @classmethod
+    def empty(cls) -> "ExecutionResult":
+        """The zero-task result -- what merging no shards produces.
+
+        The fault-tolerant engine returns this when *every* chunk of a
+        run was quarantined; the run record's failure report, not an
+        exception from a reducer handed an empty list, tells the story.
+        """
+        return cls(output=[], task_work=[])
+
     # -- legacy tuple protocol ----------------------------------------
 
     def __iter__(self) -> Iterator[Any]:
@@ -192,9 +202,14 @@ class Benchmark(abc.ABC):
         metadata.  Kernels with an aggregate output (a summed matrix, a
         shared counting table) override this with an order-preserving
         reduction so parallel output is bit-identical to serial.
+
+        Shards need not be contiguous: under the engine's
+        ``on_failure="quarantine"`` policy the quarantined chunks are
+        simply absent, and the merged result covers the completed task
+        ranges only (the run record carries the gap report).
         """
         if not shards:
-            return ExecutionResult(output=[], task_work=[])
+            return ExecutionResult.empty()
         output: list[Any] = []
         task_work: list[int] = []
         metas: list[dict[str, Any]] = []

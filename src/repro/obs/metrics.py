@@ -39,6 +39,11 @@ WORK_BUCKETS = (10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0)
 #: Default histogram boundaries for durations in seconds.
 SECONDS_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
 
+#: Histogram boundaries for per-chunk attempt counts (fault-tolerant
+#: engine): bucket 1 is the no-retry common case, the tail is chunks
+#: that burned through most of a retry budget.
+ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0)
+
 _ACTIVE: "MetricsRegistry | None" = None
 
 

@@ -25,7 +25,7 @@ Three layers:
   without needing a live tracer.
 
 Process-safety: worker processes each record into their own fresh
-tracer (see ``repro.runner.engine._run_chunk``) and ship their span
+tracer (see ``repro.runner.supervisor._execute_chunk``) and ship their span
 buffers back with the shard result; the engine merges them with
 :meth:`Tracer.extend` at shard boundaries.  Timestamps are absolute
 ``time.perf_counter()`` readings -- comparable across forked (and, on

@@ -3,29 +3,71 @@
 ``repro.runner`` turns the task inventories every kernel adapter
 exposes (:meth:`Benchmark.task_count` / :meth:`Benchmark.execute_shard`)
 into real multiprocess execution with OpenMP-style dynamic chunk
-scheduling, an on-disk workload cache, and structured JSON run records:
+scheduling, an on-disk workload cache, structured JSON run records --
+and production-grade fault tolerance:
 
 * :class:`ParallelRunner` / :func:`run_kernel` -- the engine
-* :class:`WorkloadCache` -- ``(kernel, size, seed)``-keyed prepare cache
-* :class:`RunRecord` -- schema-versioned machine-readable results
+  (per-chunk timeouts, bounded retries with backoff, dead-worker
+  respawn, quarantine/serial policies, resume from checkpoints,
+  graceful degradation to serial execution)
+* :class:`WorkloadCache` -- ``(kernel, size, seed)``-keyed prepare
+  cache; :class:`ShardCheckpoint` -- per-chunk partial results for
+  ``--resume``
+* :class:`RunRecord` -- schema-versioned machine-readable results,
+  including the structured failure report (:class:`FailureEvent`)
+* :class:`FaultPlan` -- deterministic fault injection (raise/hang/kill
+  at chosen chunks) for chaos testing every recovery path
+* :class:`BackoffPolicy` -- the retry delay schedule
 """
 
-from repro.runner.cache import WorkloadCache, cache_key, default_cache_dir
+from repro.runner.cache import (
+    ShardCheckpoint,
+    WorkloadCache,
+    cache_key,
+    default_cache_dir,
+)
 from repro.runner.engine import (
+    MAX_OVERSUBSCRIPTION,
     EngineRun,
     ParallelRunner,
     default_chunk_size,
     run_kernel,
 )
-from repro.runner.record import SCHEMA, SCHEMA_V1, ChunkTrace, RunRecord, WorkerStats
+from repro.runner.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.runner.record import (
+    SCHEMA,
+    SCHEMA_V1,
+    SCHEMA_V2,
+    ChunkTrace,
+    FailureEvent,
+    RunRecord,
+    WorkerStats,
+)
+from repro.runner.retry import BackoffPolicy
+from repro.runner.supervisor import (
+    ON_FAILURE_CHOICES,
+    ChunkFailedError,
+    ChunkSupervisor,
+)
 
 __all__ = [
+    "MAX_OVERSUBSCRIPTION",
+    "ON_FAILURE_CHOICES",
     "SCHEMA",
     "SCHEMA_V1",
+    "SCHEMA_V2",
+    "BackoffPolicy",
+    "ChunkFailedError",
+    "ChunkSupervisor",
     "ChunkTrace",
     "EngineRun",
+    "FailureEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "ParallelRunner",
     "RunRecord",
+    "ShardCheckpoint",
     "WorkerStats",
     "WorkloadCache",
     "cache_key",

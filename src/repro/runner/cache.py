@@ -28,6 +28,20 @@ misses, never errors.
 The cache root defaults to ``~/.cache/genomicsbench/workloads`` and can
 be overridden with the ``GENOMICSBENCH_CACHE_DIR`` environment variable
 or per-call via ``cache_dir``.
+
+Shard checkpoints
+-----------------
+
+:class:`ShardCheckpoint` extends the cache with partial-*result*
+persistence for the fault-tolerant engine: every completed chunk's
+:class:`~repro.core.benchmark.ExecutionResult` is pickled under
+``<root>/checkpoints/<run key>/`` as it finishes, so a run interrupted
+mid-way (SIGKILL, power loss, CI timeout) can resume with ``run
+--resume`` and only execute the chunks it never finished.  The run key
+embeds the workload cache key *and* the sharding geometry
+``(n_tasks, chunk_size)``: changing dataset parameters, seeds or the
+chunking invalidates the checkpoint exactly like it invalidates the
+workload entry.  A completed run clears its checkpoint directory.
 """
 
 from __future__ import annotations
@@ -65,8 +79,13 @@ def cache_key(kernel: str, size: DatasetSize | str) -> str:
     """
     if isinstance(size, str):
         size = DatasetSize(size)
-    params = dataset_params(kernel, size)
-    seed = dataset_seed(kernel, size)
+    try:
+        params = dataset_params(kernel, size)
+        seed = dataset_seed(kernel, size)
+    except KeyError:
+        # unregistered (custom) benchmarks still get a stable key;
+        # without registered parameters there is nothing to fingerprint
+        params, seed = {}, None
     fingerprint = repr(
         (CACHE_VERSION, kernel, size.value, seed, sorted(params.items()))
     )
@@ -147,4 +166,98 @@ class WorkloadCache:
         for entry in self.entries():
             entry.path.unlink(missing_ok=True)
             removed += 1
+        return removed
+
+    def checkpoint(
+        self, kernel: str, size: DatasetSize | str, n_tasks: int, chunk_size: int
+    ) -> "ShardCheckpoint":
+        """The shard checkpoint for one run geometry under this cache."""
+        return ShardCheckpoint(
+            self.root / "checkpoints", kernel, size, n_tasks, chunk_size
+        )
+
+
+class ShardCheckpoint:
+    """Per-chunk result persistence for resumable runs.
+
+    One directory per ``(kernel, size, workload digest, n_tasks,
+    chunk_size)``; one pickle per completed chunk, written atomically so
+    a crash mid-store leaves a miss, never a corrupt hit.  Load errors
+    are treated as misses (the chunk simply re-executes).
+    """
+
+    def __init__(
+        self,
+        root: Path | str,
+        kernel: str,
+        size: DatasetSize | str,
+        n_tasks: int,
+        chunk_size: int,
+    ) -> None:
+        self.kernel = kernel
+        self.size = size.value if isinstance(size, DatasetSize) else size
+        self.dir = (
+            Path(root) / f"{cache_key(kernel, size)}-n{n_tasks}-c{chunk_size}"
+        )
+
+    def path_for(self, start: int, stop: int) -> Path:
+        return self.dir / f"chunk-{start:08d}-{stop:08d}.pkl"
+
+    def store(self, start: int, stop: int, result: Any) -> Path | None:
+        """Atomically persist one completed chunk result."""
+        path = self.path_for(start, stop)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except (pickle.PicklingError, TypeError, AttributeError):
+            return None
+        return path
+
+    def load(self, start: int, stop: int) -> Any | None:
+        """One chunk's checkpointed result, or ``None`` on any miss."""
+        path = self.path_for(start, stop)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+
+    def load_all(self) -> dict[tuple[int, int], Any]:
+        """Every checkpointed chunk, keyed by ``(start, stop)``."""
+        out: dict[tuple[int, int], Any] = {}
+        if not self.dir.is_dir():
+            return out
+        for path in sorted(self.dir.glob("chunk-*.pkl")):
+            try:
+                _, start_text, stop_text = path.stem.split("-")
+                key = (int(start_text), int(stop_text))
+            except ValueError:
+                continue
+            result = self.load(*key)
+            if result is not None:
+                out[key] = result
+        return out
+
+    def clear(self) -> int:
+        """Remove the checkpoint directory; returns chunks deleted."""
+        if not self.dir.is_dir():
+            return 0
+        removed = 0
+        for path in self.dir.glob("chunk-*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        try:
+            self.dir.rmdir()
+        except OSError:
+            pass
         return removed

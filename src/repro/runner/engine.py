@@ -13,11 +13,28 @@ the serial path.
 
 Workers are forked *after* the workload is prepared, so they inherit it
 copy-on-write instead of re-pickling it per chunk; on platforms without
-``fork`` the workload is shipped once per worker through the pool
-initializer.  Every run produces a :class:`~repro.runner.record.RunRecord`
-with the chunk trace, per-worker busy times and (optionally) the
-measured speedup over an in-process serial execution of the same
-prepared workload.
+``fork`` the workload is shipped once per worker as a process argument.
+Every run produces a :class:`~repro.runner.record.RunRecord` with the
+chunk trace, per-worker busy times and (optionally) the measured
+speedup over an in-process serial execution of the same prepared
+workload.
+
+Fault tolerance
+---------------
+
+Parallel dispatch goes through the supervised pool in
+:mod:`repro.runner.supervisor`: per-chunk wall-clock ``timeout``,
+bounded ``retries`` with exponential backoff
+(:class:`~repro.runner.retry.BackoffPolicy`), dead-worker detection
+and respawn, and an ``on_failure`` policy for chunks that exhaust
+their budget (fail fast, quarantine with a structured gap report, or
+re-execute serially in the parent).  When no worker pool can be
+created at all the engine *degrades* to in-process serial execution
+instead of failing, and marks the run record accordingly.  With a
+cache attached, ``resume=True`` checkpoints every completed chunk
+result so an interrupted run restarts only the unfinished shards.
+Deterministic chaos for all of these paths comes from
+:class:`~repro.runner.faults.FaultPlan` injectors.
 
 Observability
 -------------
@@ -50,6 +67,7 @@ import multiprocessing
 import os
 import platform
 import time
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any
@@ -63,57 +81,41 @@ from repro.core.benchmark import (
 from repro.core.datasets import DatasetSize
 from repro.core.instrument import Instrumentation, OpCounts
 from repro.obs.metrics import (
+    ATTEMPT_BUCKETS,
     SECONDS_BUCKETS,
     WORK_BUCKETS,
     MetricsRegistry,
     activated_metrics,
 )
 from repro.obs.trace import Span, Tracer, activated
-from repro.runner.cache import WorkloadCache
+from repro.runner.cache import ShardCheckpoint, WorkloadCache
+from repro.runner.faults import FaultPlan
 from repro.runner.record import ChunkTrace, RunRecord, WorkerStats
+from repro.runner.retry import BackoffPolicy
+from repro.runner.supervisor import (
+    ON_FAILURE_CHOICES,
+    ChunkPayload,
+    ChunkSupervisor,
+    SupervisedExecution,
+    clear_worker_state,
+    set_worker_state,
+)
 
 #: Chunks handed out per worker on average; OpenMP's dynamic default is
 #: chunk=1, but per-chunk IPC in Python argues for coarser grains while
 #: still leaving several steals per worker to absorb task-size skew.
 CHUNKS_PER_WORKER = 8
 
-#: (benchmark, workload, trace_enabled) inherited by forked workers.
-_WORKER_STATE: tuple[Benchmark, Any, bool] | None = None
+#: Hard ceiling on worker oversubscription: ``jobs`` beyond this many
+#: times the CPU count is clamped (with a warning).  Moderate
+#: oversubscription is deliberate -- the measured Fig. 7 scaling curves
+#: exist to show hardware sensitivity -- but unbounded ``jobs`` only
+#: buys scheduler thrash and memory.
+MAX_OVERSUBSCRIPTION = 8
 
-
-def _init_worker(bench: Benchmark, workload: Any, trace_enabled: bool) -> None:
-    """Pool initializer for spawn-style platforms (no fork inheritance)."""
-    global _WORKER_STATE
-    _WORKER_STATE = (bench, workload, trace_enabled)
-
-
-def _run_chunk(
-    start: int, stop: int
-) -> tuple[int, int, ExecutionResult, int, float, float, list[Span] | None]:
-    """Execute tasks ``[start, stop)`` in a worker; timestamps are absolute.
-
-    When tracing is on, the worker records kernel spans into its own
-    fresh per-worker tracer and returns the buffer for the engine to
-    merge -- the per-worker-buffer half of the span tracer's
-    process-safety story.
-    """
-    assert _WORKER_STATE is not None, "worker started without benchmark state"
-    bench, workload, trace_enabled = _WORKER_STATE
-    spans: list[Span] | None = None
-    t0 = time.perf_counter()
-    if trace_enabled:
-        tracer = Tracer()
-        with activated(tracer):
-            result = as_execution_result(
-                bench.execute_shard(workload, range(start, stop)), bench.name
-            )
-        spans = tracer.spans
-    else:
-        result = as_execution_result(
-            bench.execute_shard(workload, range(start, stop)), bench.name
-        )
-    t1 = time.perf_counter()
-    return start, stop, result, os.getpid(), t0, t1, spans
+#: Exceptions that mean "no worker pool can be created here"; the
+#: engine degrades to in-process serial execution instead of failing.
+POOL_UNAVAILABLE_ERRORS = (OSError, NotImplementedError, ImportError)
 
 
 def default_chunk_size(n_tasks: int, jobs: int) -> int:
@@ -155,6 +157,29 @@ class ParallelRunner:
         Collect per-category dynamic op counts on the serial path and
         publish them as ``ops.*`` counters.  Ignored on the parallel
         path (instrumentation is not threaded through workers).
+    timeout:
+        Per-chunk wall-clock budget in seconds; a worker exceeding it
+        is terminated and its chunk retried.  ``None`` disables.
+    retries:
+        Per-chunk re-dispatch budget after a failure (exception,
+        timeout or worker death).  Default ``0`` -- fail like a
+        pre-fault-tolerance engine would.
+    on_failure:
+        Policy for chunks that exhaust their retry budget: ``"fail"``
+        raises :class:`~repro.runner.supervisor.ChunkFailedError`,
+        ``"quarantine"`` drops the chunk and reports the gap in the
+        run record, ``"serial"`` re-executes it in the parent process.
+    backoff:
+        Retry delay policy (default: exponential, 50 ms base, 2 s cap,
+        25 % jitter).
+    fault_plan:
+        A :class:`~repro.runner.faults.FaultPlan` of injected failures
+        for chaos testing (``None`` = no injection).
+    resume:
+        With a cache attached, checkpoint each completed chunk result
+        and, on a later run of the same workload geometry, skip chunks
+        already checkpointed.  The checkpoint clears once a run
+        completes without quarantined chunks.
     """
 
     def __init__(
@@ -165,17 +190,37 @@ class ParallelRunner:
         measure_serial: bool | None = None,
         tracer: Tracer | None = None,
         instrument: bool = False,
+        timeout: float | None = None,
+        retries: int = 0,
+        on_failure: str = "fail",
+        backoff: BackoffPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        resume: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive seconds")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if on_failure not in ON_FAILURE_CHOICES:
+            raise ValueError(
+                f"on_failure must be one of {ON_FAILURE_CHOICES}, got {on_failure!r}"
+            )
         self.jobs = jobs
         self.chunk_size = chunk_size
         self.cache = cache
         self.measure_serial = measure_serial
         self.tracer = tracer
         self.instrument = instrument
+        self.timeout = timeout
+        self.retries = retries
+        self.on_failure = on_failure
+        self.backoff = backoff or BackoffPolicy()
+        self.fault_plan = fault_plan if fault_plan else None
+        self.resume = resume
 
     def _span(self, name: str, **args: Any):
         """An engine-phase span, or a no-op when tracing is off."""
@@ -227,11 +272,12 @@ class ParallelRunner:
         """Execute a prepared workload, sharded across ``jobs`` workers."""
         metrics = MetricsRegistry()
         n_tasks = bench.task_count(workload)
+        jobs = self._effective_jobs()
         serial_seconds = None
         measure = (
             self.measure_serial
             if self.measure_serial is not None
-            else self.jobs > 1
+            else jobs > 1
         )
         if measure:
             with self._span("engine.serial_baseline", kernel=bench.name):
@@ -239,16 +285,40 @@ class ParallelRunner:
                 as_execution_result(bench.execute(workload), bench.name)
                 serial_seconds = time.perf_counter() - t0
 
-        if self.jobs == 1 or n_tasks is None or n_tasks <= 1:
+        supervised: SupervisedExecution | None = None
+        resumed_chunks = 0
+        degraded = False
+        if jobs == 1 or n_tasks is None or n_tasks <= 1:
             result, chunks, workers, elapsed = self._execute_serial(
                 bench, workload, metrics
             )
             chunk_size = max(1, len(result.task_work))
         else:
-            chunk_size = self.chunk_size or default_chunk_size(n_tasks, self.jobs)
-            result, chunks, workers, elapsed = self._execute_parallel(
-                bench, workload, n_tasks, chunk_size
-            )
+            chunk_size = self._effective_chunk_size(n_tasks, jobs)
+            try:
+                result, chunks, workers, elapsed, supervised, resumed_chunks = (
+                    self._execute_parallel(
+                        bench, workload, size, n_tasks, chunk_size, jobs
+                    )
+                )
+            except POOL_UNAVAILABLE_ERRORS as exc:
+                # no worker pool on this host/config: a complete serial
+                # run beats no run at all -- degrade gracefully
+                warnings.warn(
+                    f"worker pool unavailable ({type(exc).__name__}: {exc}); "
+                    "degrading to in-process serial execution",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                degraded = True
+                jobs = 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "engine.degraded", cat="engine", error=str(exc)
+                    )
+                result, chunks, workers, elapsed = self._execute_serial(
+                    bench, workload, metrics
+                )
 
         self._publish_metrics(
             metrics,
@@ -259,11 +329,15 @@ class ParallelRunner:
             prepare_cached=prepare_cached,
             execute_seconds=elapsed,
             serial_seconds=serial_seconds,
+            jobs=jobs,
+            supervised=supervised,
+            resumed_chunks=resumed_chunks,
+            degraded=degraded,
         )
         record = RunRecord(
             kernel=bench.name,
             size=size.value,
-            jobs=self.jobs if n_tasks is not None else 1,
+            jobs=jobs if n_tasks is not None else 1,
             chunk_size=chunk_size,
             n_tasks=result.n_tasks,
             total_work=result.total_work,
@@ -278,8 +352,64 @@ class ParallelRunner:
             metrics=metrics.as_dict(),
             host=platform.node() or None,
             created_unix=time.time(),
+            failures=list(supervised.failures) if supervised is not None else [],
+            retries=supervised.retries if supervised is not None else 0,
+            quarantined=list(supervised.quarantined) if supervised is not None else [],
+            resumed_chunks=resumed_chunks,
+            degraded=degraded,
+            fault_tolerance=self._fault_tolerance_config(),
         )
         return EngineRun(record=record, output=result.output, result=result)
+
+    def _effective_jobs(self) -> int:
+        """``jobs`` clamped against runaway oversubscription.
+
+        Moderate oversubscription (up to :data:`MAX_OVERSUBSCRIPTION`
+        per CPU) is allowed with a warning -- measured scaling curves
+        rely on it -- but beyond that workers only thrash, so the
+        request is clamped instead of silently over-provisioning.
+        """
+        cpus = os.cpu_count() or 1
+        ceiling = cpus * MAX_OVERSUBSCRIPTION
+        if self.jobs > ceiling:
+            warnings.warn(
+                f"jobs={self.jobs} exceeds {MAX_OVERSUBSCRIPTION}x the "
+                f"{cpus} available CPU(s); clamping to {ceiling}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return ceiling
+        if self.jobs > cpus:
+            warnings.warn(
+                f"jobs={self.jobs} exceeds the {cpus} available CPU(s); "
+                "workers will time-share cores",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return self.jobs
+
+    def _effective_chunk_size(self, n_tasks: int, jobs: int) -> int:
+        """The configured (or default) chunk size, clamped to the workload."""
+        chunk_size = self.chunk_size or default_chunk_size(n_tasks, jobs)
+        if chunk_size > n_tasks:
+            warnings.warn(
+                f"chunk_size={chunk_size} exceeds the workload's "
+                f"{n_tasks} task(s); clamping to {n_tasks}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            chunk_size = n_tasks
+        return chunk_size
+
+    def _fault_tolerance_config(self) -> dict[str, Any]:
+        """The engine's recovery configuration, for the run record."""
+        return {
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "on_failure": self.on_failure,
+            "resume": self.resume,
+            "fault_plan": self.fault_plan.describe() if self.fault_plan else None,
+        }
 
     def _publish_metrics(
         self,
@@ -291,8 +421,13 @@ class ParallelRunner:
         prepare_cached: bool,
         execute_seconds: float,
         serial_seconds: float | None,
+        jobs: int | None = None,
+        supervised: SupervisedExecution | None = None,
+        resumed_chunks: int = 0,
+        degraded: bool = False,
     ) -> None:
         """Fill the run's registry from what the engine measured."""
+        jobs = jobs if jobs is not None else self.jobs
         metrics.counter("cache.hits").inc(1 if prepare_cached else 0)
         metrics.counter("cache.misses").inc(0 if prepare_cached else 1)
         metrics.gauge("cache.hit_ratio").set(1.0 if prepare_cached else 0.0)
@@ -315,8 +450,21 @@ class ParallelRunner:
             busy = sum(w.busy_seconds for w in workers)
             if workers:
                 metrics.gauge("run.scheduling_efficiency").set(
-                    busy / (self.jobs * execute_seconds)
+                    busy / (jobs * execute_seconds)
                 )
+        metrics.gauge("engine.degraded").set(1.0 if degraded else 0.0)
+        metrics.counter("engine.resumed_chunks").inc(resumed_chunks)
+        if supervised is not None:
+            metrics.counter("engine.retries").inc(supervised.retries)
+            metrics.counter("engine.timeouts").inc(supervised.timeouts)
+            metrics.counter("engine.worker_deaths").inc(supervised.worker_deaths)
+            metrics.counter("engine.respawns").inc(supervised.respawns)
+            metrics.counter("engine.quarantined_chunks").inc(
+                len(supervised.quarantined)
+            )
+            attempts_hist = metrics.histogram("chunk.attempts", ATTEMPT_BUCKETS)
+            for n_attempts in supervised.attempts_by_chunk.values():
+                attempts_hist.observe(n_attempts)
         work_hist = metrics.histogram("task.work", WORK_BUCKETS)
         for work in result.task_work:
             work_hist.observe(work)
@@ -367,10 +515,46 @@ class ParallelRunner:
         ]
         return result, chunks, workers, elapsed
 
+    def _checkpoint_for(
+        self, bench: Benchmark, size: DatasetSize, n_tasks: int, chunk_size: int
+    ) -> ShardCheckpoint | None:
+        if not self.resume or self.cache is None:
+            return None
+        return self.cache.checkpoint(bench.name, size, n_tasks, chunk_size)
+
+    def _serial_fallback(self, bench: Benchmark, workload: Any):
+        """Parent-side chunk executor for the ``on_failure="serial"`` policy."""
+
+        def fallback(start: int, stop: int) -> ChunkPayload:
+            tracer_ctx = (
+                activated(self.tracer) if self.tracer is not None else nullcontext()
+            )
+            t0 = time.perf_counter()
+            with tracer_ctx:
+                result = as_execution_result(
+                    bench.execute_shard(workload, range(start, stop)), bench.name
+                )
+            t1 = time.perf_counter()
+            return start, stop, result, os.getpid(), t0, t1, None
+
+        return fallback
+
     def _execute_parallel(
-        self, bench: Benchmark, workload: Any, n_tasks: int, chunk_size: int
-    ) -> tuple[ExecutionResult, list[ChunkTrace], list[WorkerStats], float]:
-        global _WORKER_STATE
+        self,
+        bench: Benchmark,
+        workload: Any,
+        size: DatasetSize,
+        n_tasks: int,
+        chunk_size: int,
+        jobs: int,
+    ) -> tuple[
+        ExecutionResult,
+        list[ChunkTrace],
+        list[WorkerStats],
+        float,
+        SupervisedExecution,
+        int,
+    ]:
         bounds = [
             (lo, min(lo + chunk_size, n_tasks))
             for lo in range(0, n_tasks, chunk_size)
@@ -378,26 +562,50 @@ class ParallelRunner:
         methods = multiprocessing.get_all_start_methods()
         use_fork = "fork" in methods
         ctx = multiprocessing.get_context("fork" if use_fork else "spawn")
-        jobs = min(self.jobs, len(bounds))
+        jobs = min(jobs, len(bounds))
         trace_enabled = self.tracer is not None
-        _WORKER_STATE = (bench, workload, trace_enabled)  # forked children inherit
-        initargs = () if use_fork else (bench, workload, trace_enabled)
-        initializer = None if use_fork else _init_worker
+        state = (bench, workload, trace_enabled, self.fault_plan)
+        set_worker_state(*state)  # forked children inherit
+
+        checkpoint = self._checkpoint_for(bench, size, n_tasks, chunk_size)
+        preloaded: dict[tuple[int, int], ChunkPayload] = {}
+        if checkpoint is not None:
+            wanted = set(bounds)
+            pid = os.getpid()
+            for chunk, result in checkpoint.load_all().items():
+                if chunk in wanted:
+                    # zero-width placeholder timings: the work happened
+                    # in an earlier, interrupted run
+                    preloaded[chunk] = (*chunk, result, pid, 0.0, 0.0, None)
+            if preloaded and self.tracer is not None:
+                self.tracer.instant(
+                    "engine.resume", cat="engine", chunks=len(preloaded)
+                )
+        resumed_chunks = len(preloaded)
+
+        supervisor = ChunkSupervisor(
+            ctx,
+            jobs,
+            spawn_state=None if use_fork else state,
+            timeout=self.timeout,
+            retries=self.retries,
+            backoff=self.backoff,
+            on_failure=self.on_failure,
+            serial_fallback=self._serial_fallback(bench, workload),
+            tracer=self.tracer,
+            on_chunk_done=checkpoint.store if checkpoint is not None else None,
+        )
         t0 = time.perf_counter()
         try:
             with self._span(
                 "engine.execute", kernel=bench.name, jobs=jobs, chunks=len(bounds)
             ):
-                with ctx.Pool(jobs, initializer=initializer, initargs=initargs) as pool:
-                    # one async task per chunk: idle workers pull the next
-                    # pending chunk off the shared queue = dynamic scheduling
-                    futures = [pool.apply_async(_run_chunk, b) for b in bounds]
-                    raw = [f.get() for f in futures]
+                supervised = supervisor.run(bounds, preloaded)
         finally:
-            _WORKER_STATE = None
+            clear_worker_state()
         elapsed = time.perf_counter() - t0
 
-        raw.sort(key=lambda r: r[0])
+        raw = sorted(supervised.payloads, key=lambda r: r[0])
         pids: dict[int, int] = {}
         chunks: list[ChunkTrace] = []
         per_worker: dict[int, WorkerStats] = {}
@@ -440,15 +648,24 @@ class ParallelRunner:
                 self.tracer.name_track(pid, 0, f"worker {worker}")
             self._emit_worker_counter(raw)
         with self._span("engine.merge", kernel=bench.name, shards=len(raw)):
-            result = bench.merge_shards([r[2] for r in raw])
+            if raw:
+                result = bench.merge_shards([r[2] for r in raw])
+            else:
+                # every chunk quarantined: an empty result with the gap
+                # report in the record beats crashing a reducer on []
+                result = ExecutionResult.empty()
         workers = [per_worker[w] for w in sorted(per_worker)]
-        return result, chunks, workers, elapsed
+        if checkpoint is not None and not supervised.quarantined:
+            checkpoint.clear()
+        return result, chunks, workers, elapsed, supervised, resumed_chunks
 
     def _emit_worker_counter(self, raw: list[tuple]) -> None:
         """``workers.active`` counter series from the chunk timings."""
         assert self.tracer is not None
         boundaries: list[tuple[float, int]] = []
         for _, _, _, _, w0, w1, _ in raw:
+            if w1 <= w0:
+                continue  # resumed placeholder, no live execution window
             boundaries.append((w0, +1))
             boundaries.append((w1, -1))
         active = 0
@@ -467,6 +684,12 @@ def run_kernel(
     measure_serial: bool | None = None,
     tracer: Tracer | None = None,
     instrument: bool = False,
+    timeout: float | None = None,
+    retries: int = 0,
+    on_failure: str = "fail",
+    backoff: BackoffPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    resume: bool = False,
 ) -> EngineRun:
     """One-call convenience over :class:`ParallelRunner`."""
     runner = ParallelRunner(
@@ -476,5 +699,11 @@ def run_kernel(
         measure_serial=measure_serial,
         tracer=tracer,
         instrument=instrument,
+        timeout=timeout,
+        retries=retries,
+        on_failure=on_failure,
+        backoff=backoff,
+        fault_plan=fault_plan,
+        resume=resume,
     )
     return runner.run(kernel, size)

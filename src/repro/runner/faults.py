@@ -1,0 +1,201 @@
+"""Deterministic fault injection for the execution engine.
+
+GenomicsBench kernels are long-running and data-parallel; a benchmark
+run is only as useful as it is *complete*, which makes worker failures
+the interesting untested path.  This module is the chaos half of the
+engine's fault-tolerance story: a :class:`FaultPlan` describes, ahead
+of time and deterministically, which scheduled chunks fail, *how* they
+fail, and for how many attempts -- so every recovery path in
+:mod:`repro.runner.supervisor` (retry, timeout, dead-worker respawn,
+quarantine) is exercised by ordinary tests instead of luck.
+
+Failure taxonomy
+----------------
+
+Injectors model the three ways a worker process stops being useful:
+
+* ``raise`` -- the chunk raises :class:`InjectedFault` (a kernel bug,
+  an OOM-kill turned exception, a corrupt input shard).
+* ``hang``  -- the worker sleeps past any reasonable deadline (a lost
+  lock, a stuck I/O syscall); only a per-chunk timeout recovers this.
+* ``kill``  -- the worker process dies abruptly via ``os._exit`` (a
+  segfault, the OOM killer, a pre-empted spot instance); only
+  dead-worker detection recovers this.
+
+Determinism
+-----------
+
+A fault fires based on *(chunk ordinal, attempt number)* only -- no
+wall clocks, no randomness at fire time.  ``FaultSpec(kind, chunk,
+attempts=k)`` fires on attempts ``0..k-1`` of that chunk and then
+heals, so a bounded-retry engine provably recovers.  Randomized plans
+(:meth:`FaultPlan.random`) draw their chunk choices from a seeded
+``random.Random`` at *construction*, keeping every schedule
+reproducible from its seed.
+
+Plans are small, picklable values: the engine ships them to worker
+processes inside the worker state, and the CLI parses them from
+``--inject-faults "kill@0,raise@2x2"``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+
+#: Injector kinds, in increasing order of recovery machinery required.
+FAULT_KINDS = ("raise", "hang", "kill")
+
+#: How long a ``hang`` injector sleeps.  Far beyond any sane per-chunk
+#: timeout, so a hung worker is only ever recovered by the supervisor's
+#: deadline, never by the sleep expiring first.
+HANG_SECONDS = 3600.0
+
+#: Exit status of a ``kill`` injector -- distinctive in worker exitcodes.
+KILL_EXIT_CODE = 87
+
+
+class InjectedFault(RuntimeError):
+    """Raised inside a worker by a ``raise`` injector."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned failure: ``kind`` at chunk ordinal ``chunk``.
+
+    ``attempts`` is how many consecutive attempts of the chunk fail
+    before the fault heals (1 = fail once, succeed on first retry).
+    """
+
+    kind: str
+    chunk: int
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.chunk < 0:
+            raise ValueError("fault chunk ordinal must be >= 0")
+        if self.attempts < 1:
+            raise ValueError("fault attempts must be >= 1")
+
+    def fires(self, chunk: int, attempt: int) -> bool:
+        """True when this spec fails ``attempt`` (0-based) of ``chunk``."""
+        return chunk == self.chunk and attempt < self.attempts
+
+    def describe(self) -> str:
+        suffix = f"x{self.attempts}" if self.attempts != 1 else ""
+        return f"{self.kind}@{self.chunk}{suffix}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected failures.
+
+    The plan is inert until the supervisor's worker loop calls
+    :meth:`fire` at the top of each chunk attempt.  Immutable and
+    picklable so forked *and* spawned workers see the same schedule.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int | None = None
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def match(self, chunk: int, attempt: int) -> FaultSpec | None:
+        """The spec that fires for ``(chunk, attempt)``, if any."""
+        for spec in self.specs:
+            if spec.fires(chunk, attempt):
+                return spec
+        return None
+
+    def fire(self, chunk: int, attempt: int) -> FaultSpec | None:
+        """Inject the planned fault for ``(chunk, attempt)``, if any.
+
+        ``raise`` raises :class:`InjectedFault`; ``hang`` sleeps
+        :data:`HANG_SECONDS`; ``kill`` exits the process immediately
+        with :data:`KILL_EXIT_CODE` (no cleanup, no exception -- the
+        closest a test can get to a segfault).  Returns the spec that
+        fired (``hang`` returns after the sleep; ``kill`` never
+        returns).
+        """
+        spec = self.match(chunk, attempt)
+        if spec is None:
+            return None
+        if spec.kind == "raise":
+            raise InjectedFault(
+                f"injected fault at chunk {chunk} attempt {attempt}"
+            )
+        if spec.kind == "hang":
+            time.sleep(HANG_SECONDS)
+        elif spec.kind == "kill":
+            os._exit(KILL_EXIT_CODE)
+        return spec
+
+    def describe(self) -> str:
+        """The plan in :meth:`parse` syntax (round-trips)."""
+        return ",".join(spec.describe() for spec in self.specs)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse ``"kill@0,raise@2x2,hang@1"`` into a plan.
+
+        Each item is ``kind@chunk`` with an optional ``xN`` attempts
+        suffix.  Whitespace around items is ignored; an empty string is
+        the empty plan.
+        """
+        specs = []
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            kind, sep, rest = item.partition("@")
+            if not sep:
+                raise ValueError(
+                    f"bad fault spec {item!r}: expected kind@chunk[xN]"
+                )
+            chunk_text, _, attempts_text = rest.partition("x")
+            try:
+                chunk = int(chunk_text)
+                attempts = int(attempts_text) if attempts_text else 1
+            except ValueError:
+                raise ValueError(
+                    f"bad fault spec {item!r}: expected kind@chunk[xN]"
+                ) from None
+            specs.append(FaultSpec(kind=kind.strip(), chunk=chunk, attempts=attempts))
+        return cls(specs=tuple(specs))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_chunks: int,
+        count: int = 1,
+        kinds: tuple[str, ...] = ("raise", "kill"),
+        max_attempts: int = 1,
+    ) -> "FaultPlan":
+        """A reproducible random plan over ``n_chunks`` chunk ordinals.
+
+        Draws ``count`` distinct chunks (capped at ``n_chunks``) and a
+        kind/attempt count for each from ``random.Random(seed)`` -- the
+        schedule is a pure function of its arguments, which is what
+        property-based tests shuffle over.  ``hang`` is excluded by
+        default because recovering it requires a timeout to elapse.
+        """
+        rng = random.Random(seed)
+        count = min(count, n_chunks)
+        chunks = rng.sample(range(n_chunks), count) if count > 0 else []
+        specs = tuple(
+            FaultSpec(
+                kind=rng.choice(list(kinds)),
+                chunk=chunk,
+                attempts=rng.randint(1, max_attempts),
+            )
+            for chunk in sorted(chunks)
+        )
+        return cls(specs=specs, seed=seed)

@@ -17,10 +17,18 @@ Schema history
 * ``genomicsbench.run/2`` -- adds ``metrics`` (the serialized
   :class:`~repro.obs.metrics.MetricsRegistry` snapshot), ``host`` and
   ``created_unix`` (provenance for the per-host bench history).
+* ``genomicsbench.run/3`` -- adds the fault-tolerance report:
+  ``failures`` (one :class:`FailureEvent` per failed chunk attempt),
+  ``retries`` (total successful-or-not re-dispatches), ``quarantined``
+  (task ranges abandoned after the retry budget), ``resumed_chunks``
+  (chunks restored from a checkpoint instead of executed), ``degraded``
+  (the run fell back to in-process serial execution because no worker
+  pool could be created) and ``fault_tolerance`` (the engine's
+  timeout/retry/on-failure configuration for the run).
 
-:func:`RunRecord.from_dict` accepts both; v1 documents load with the
-new fields ``None`` and are upgraded in memory, so re-serializing an
-old record yields a valid v2 document.
+:func:`RunRecord.from_dict` accepts all three; older documents load
+with the newer fields at their empty defaults and are upgraded in
+memory, so re-serializing an old record yields a valid v3 document.
 """
 
 from __future__ import annotations
@@ -34,9 +42,10 @@ from repro.core.serialize import dumps
 
 #: Schema identifier embedded in every serialized record.  Bump the
 #: trailing version only for incompatible changes; additions are free.
-SCHEMA = "genomicsbench.run/2"
+SCHEMA = "genomicsbench.run/3"
 
-#: The previous schema version, still accepted by :func:`RunRecord.from_dict`.
+#: Previous schema versions, still accepted by :func:`RunRecord.from_dict`.
+SCHEMA_V2 = "genomicsbench.run/2"
 SCHEMA_V1 = "genomicsbench.run/1"
 
 
@@ -72,6 +81,31 @@ class WorkerStats:
 
 
 @dataclass
+class FailureEvent:
+    """One failed attempt of one chunk, as the supervisor saw it.
+
+    ``kind`` is the detection path: ``"exception"`` (the worker
+    reported a raised error), ``"timeout"`` (the per-chunk deadline
+    elapsed and the worker was terminated) or ``"worker-died"`` (the
+    worker process exited without reporting).  ``attempt`` is 0-based;
+    ``action`` records what the supervisor did next (``"retry"``,
+    ``"quarantine"``, ``"serial"`` or ``"fail"``).  ``at_seconds`` is
+    the offset from dispatch start, comparable with the chunk trace.
+    """
+
+    kind: str
+    start: int
+    stop: int
+    attempt: int
+    action: str
+    worker: int | None = None
+    pid: int | None = None
+    error: str | None = None
+    exitcode: int | None = None
+    at_seconds: float | None = None
+
+
+@dataclass
 class RunRecord:
     """Everything one engine run measured, ready for JSON."""
 
@@ -92,6 +126,12 @@ class RunRecord:
     metrics: dict[str, Any] | None = None
     host: str | None = None
     created_unix: float | None = None
+    failures: list[FailureEvent] = field(default_factory=list)
+    retries: int = 0
+    quarantined: list[tuple[int, int]] = field(default_factory=list)
+    resumed_chunks: int = 0
+    degraded: bool = False
+    fault_tolerance: dict[str, Any] | None = None
     schema: str = SCHEMA
 
     @property
@@ -113,11 +153,23 @@ class RunRecord:
         busy = sum(w.busy_seconds for w in self.workers)
         return busy / (self.jobs * self.execute_seconds)
 
+    @property
+    def quarantined_tasks(self) -> int:
+        """How many tasks were abandoned to quarantined chunks."""
+        return sum(stop - start for start, stop in self.quarantined)
+
+    @property
+    def complete(self) -> bool:
+        """True when no task range was quarantined (full output)."""
+        return not self.quarantined
+
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form with derived metrics materialized."""
         d = asdict(self)
         d["speedup_vs_serial"] = self.speedup_vs_serial
         d["scheduling_efficiency"] = self.scheduling_efficiency
+        d["quarantined_tasks"] = self.quarantined_tasks
+        d["complete"] = self.complete
         return d
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -126,7 +178,7 @@ class RunRecord:
     @classmethod
     def from_dict(cls, d: dict[str, Any]) -> "RunRecord":
         schema = d.get("schema", SCHEMA)
-        if schema not in (SCHEMA, SCHEMA_V1):
+        if schema not in (SCHEMA, SCHEMA_V2, SCHEMA_V1):
             raise ValueError(f"unsupported run-record schema {schema!r}")
         return cls(
             kernel=d["kernel"],
@@ -146,8 +198,15 @@ class RunRecord:
             metrics=d.get("metrics"),
             host=d.get("host"),
             created_unix=d.get("created_unix"),
-            # v1 documents upgrade in memory: the loaded object carries
-            # every v2 field (as None), so it re-serializes as v2.
+            failures=[FailureEvent(**f) for f in d.get("failures", [])],
+            retries=d.get("retries", 0),
+            quarantined=[tuple(q) for q in d.get("quarantined", [])],
+            resumed_chunks=d.get("resumed_chunks", 0),
+            degraded=d.get("degraded", False),
+            fault_tolerance=d.get("fault_tolerance"),
+            # older documents upgrade in memory: the loaded object
+            # carries every newer field (empty defaults), so it
+            # re-serializes as the current schema.
             schema=SCHEMA,
         )
 

@@ -1,0 +1,83 @@
+"""Retry backoff policy for failed chunks.
+
+A failed chunk is not retried immediately: transient causes (memory
+pressure, a dying node, an overloaded host) need breathing room, and a
+poisoned chunk that fails instantly would otherwise hot-loop through
+its retry budget.  The engine therefore delays attempt ``k`` by an
+exponential-with-jitter schedule::
+
+    delay(k) = min(cap, base * factor**(k-1)) * jitter_k
+
+with ``jitter_k`` drawn uniformly from ``[1-jitter, 1]`` by a seeded
+RNG ("equal jitter" keeps the schedule monotone in expectation while
+decorrelating retries of different chunks -- the standard argument
+from the AWS architecture blog, and the same shape Omnibenchmark-style
+orchestrators use).  The *undithered* schedule (``jitter=0``) is
+strictly monotone non-decreasing and capped, which is what the timing
+unit tests pin down.
+
+The policy is a small frozen value: picklable, comparable, and
+deterministic given ``(seed, sequence of calls)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: Default first-retry delay in seconds.  Chunks are seconds-scale, so
+#: a few tens of milliseconds is noise for real runs yet long enough to
+#: keep failing-fast chunks from spinning.
+DEFAULT_BASE = 0.05
+
+#: Default multiplicative growth per attempt.
+DEFAULT_FACTOR = 2.0
+
+#: Default ceiling on any single delay, seconds.
+DEFAULT_CAP = 2.0
+
+
+@dataclass
+class BackoffPolicy:
+    """Exponential backoff with a cap and optional seeded jitter.
+
+    ``delay(attempt)`` is the wait before retry ``attempt`` (1-based:
+    attempt 1 is the first retry).  ``jitter`` in ``[0, 1)`` scales
+    each delay by a uniform draw from ``[1-jitter, 1]``; ``0`` makes
+    the schedule fully deterministic.
+    """
+
+    base: float = DEFAULT_BASE
+    factor: float = DEFAULT_FACTOR
+    cap: float = DEFAULT_CAP
+    jitter: float = 0.25
+    seed: int | None = None
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError("backoff base must be >= 0")
+        if self.factor < 1:
+            raise ValueError("backoff factor must be >= 1")
+        if self.cap < self.base:
+            raise ValueError("backoff cap must be >= base")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("backoff jitter must be in [0, 1)")
+        self._rng = random.Random(self.seed)
+
+    def raw_delay(self, attempt: int) -> float:
+        """The undithered schedule: monotone non-decreasing, capped."""
+        if attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+        return min(self.cap, self.base * self.factor ** (attempt - 1))
+
+    def delay(self, attempt: int) -> float:
+        """The jittered delay before retry ``attempt``."""
+        raw = self.raw_delay(attempt)
+        if self.jitter == 0:
+            return raw
+        return raw * (1.0 - self.jitter * self._rng.random())
+
+    def schedule(self, retries: int) -> list[float]:
+        """Raw delays for a whole retry budget (diagnostics, tests)."""
+        return [self.raw_delay(k) for k in range(1, retries + 1)]

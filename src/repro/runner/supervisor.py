@@ -1,0 +1,548 @@
+"""Supervised worker pool: timeouts, retries, respawn, quarantine.
+
+``multiprocessing.Pool`` assumes a perfect world -- a hung worker stalls
+``get()`` forever and an abruptly dead one can wedge the whole pool.
+Long-running data-parallel benchmark runs need the opposite guarantees,
+so this module implements the engine's *supervised* execution model
+with dedicated worker processes the parent fully controls:
+
+* each worker owns an inbox queue and shares one outbox queue;
+* the supervisor assigns exactly one chunk at a time per worker, so it
+  always knows which chunk a silent death or deadline overrun belongs
+  to (dynamic scheduling falls out for free: an idle worker gets the
+  next pending chunk);
+* a chunk that fails -- by raised exception, by per-chunk wall-clock
+  timeout, or by its worker dying -- is retried up to a bounded budget
+  with exponential backoff (:class:`~repro.runner.retry.BackoffPolicy`),
+  and dead or hung workers are terminated and respawned;
+* a chunk that exhausts its budget is *poisoned*: depending on the
+  ``on_failure`` policy the run fails fast, quarantines the chunk (the
+  run completes with a structured gap report), or re-executes the chunk
+  serially in the parent process;
+* every failed attempt becomes a
+  :class:`~repro.runner.record.FailureEvent` in the run record, so the
+  recovery story is part of the run's machine-readable provenance.
+
+Fault injection (:mod:`repro.runner.faults`) hooks in at the top of
+each worker-side chunk attempt, which is how the chaos tests drive
+every one of these paths deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Any, Callable
+
+from repro.core.benchmark import Benchmark, ExecutionResult, as_execution_result
+from repro.obs.trace import Span, Tracer, activated
+from repro.runner.faults import FaultPlan
+from repro.runner.record import FailureEvent
+from repro.runner.retry import BackoffPolicy
+
+#: Seconds the supervisor blocks on the outbox per loop iteration.
+POLL_SECONDS = 0.02
+
+#: Grace period for joins during shutdown/termination, seconds.
+JOIN_SECONDS = 1.0
+
+#: ``on_failure`` policies for chunks that exhaust their retry budget.
+ON_FAILURE_CHOICES = ("fail", "quarantine", "serial")
+
+#: A completed chunk attempt as shipped back from a worker:
+#: ``(start, stop, result, pid, begin, end, spans)``.
+ChunkPayload = tuple[int, int, ExecutionResult, int, float, float, "list[Span] | None"]
+
+#: (benchmark, workload, trace_enabled, fault_plan) inherited by forked
+#: workers; spawn-style platforms receive it as a process argument.
+_WORKER_STATE: tuple[Benchmark, Any, bool, FaultPlan | None] | None = None
+
+
+class ChunkFailedError(RuntimeError):
+    """A chunk exhausted its retry budget under ``on_failure="fail"``."""
+
+    def __init__(self, start: int, stop: int, failures: list[FailureEvent]) -> None:
+        last = failures[-1] if failures else None
+        detail = f": {last.error}" if last is not None and last.error else ""
+        super().__init__(
+            f"chunk [{start}:{stop}) failed after "
+            f"{sum(1 for f in failures if (f.start, f.stop) == (start, stop))} "
+            f"attempt(s){detail}"
+        )
+        self.start = start
+        self.stop = stop
+        self.failures = failures
+
+
+def set_worker_state(
+    bench: Benchmark,
+    workload: Any,
+    trace_enabled: bool,
+    fault_plan: FaultPlan | None,
+) -> None:
+    """Install the state forked workers inherit copy-on-write."""
+    global _WORKER_STATE
+    _WORKER_STATE = (bench, workload, trace_enabled, fault_plan)
+
+
+def clear_worker_state() -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = None
+
+
+def _execute_chunk(start: int, stop: int, ordinal: int, attempt: int) -> ChunkPayload:
+    """Run tasks ``[start, stop)`` in this worker (injection-aware)."""
+    assert _WORKER_STATE is not None, "worker started without benchmark state"
+    bench, workload, trace_enabled, plan = _WORKER_STATE
+    if plan is not None:
+        # deterministic chaos: may raise, sleep past any deadline, or
+        # kill this process outright -- before any real work happens
+        plan.fire(ordinal, attempt)
+    spans: list[Span] | None = None
+    t0 = time.perf_counter()
+    if trace_enabled:
+        tracer = Tracer()
+        with activated(tracer):
+            result = as_execution_result(
+                bench.execute_shard(workload, range(start, stop)), bench.name
+            )
+        spans = tracer.spans
+    else:
+        result = as_execution_result(
+            bench.execute_shard(workload, range(start, stop)), bench.name
+        )
+    t1 = time.perf_counter()
+    return start, stop, result, os.getpid(), t0, t1, spans
+
+
+def _worker_main(worker_id: int, inbox: Any, outbox: Any, state: Any) -> None:
+    """Worker loop: pull one chunk assignment, execute, report, repeat.
+
+    ``state`` is ``None`` under fork (module global inherited) and the
+    full worker-state tuple under spawn.
+    """
+    global _WORKER_STATE
+    if state is not None:
+        _WORKER_STATE = state
+    while True:
+        msg = inbox.get()
+        if msg is None:
+            return
+        start, stop, ordinal, attempt = msg
+        try:
+            payload = _execute_chunk(start, stop, ordinal, attempt)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the supervisor
+            outbox.put(
+                ("err", worker_id, start, stop, attempt, f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            outbox.put(("ok", worker_id, payload))
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle on one supervised worker process."""
+
+    worker_id: int
+    process: Any
+    inbox: Any
+    current: tuple[int, int] | None = None  # chunk bounds in flight
+    attempt: int = 0
+    deadline: float | None = None
+
+    @property
+    def idle(self) -> bool:
+        return self.current is None
+
+    def assign(
+        self, start: int, stop: int, ordinal: int, attempt: int, deadline: float | None
+    ) -> None:
+        self.current = (start, stop)
+        self.attempt = attempt
+        self.deadline = deadline
+        self.inbox.put((start, stop, ordinal, attempt))
+
+    def release(self) -> None:
+        self.current = None
+        self.attempt = 0
+        self.deadline = None
+
+
+@dataclass
+class SupervisedExecution:
+    """Everything one supervised dispatch produced."""
+
+    payloads: list[ChunkPayload]
+    failures: list[FailureEvent] = field(default_factory=list)
+    quarantined: list[tuple[int, int]] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+    respawns: int = 0
+    attempts_by_chunk: dict[tuple[int, int], int] = field(default_factory=dict)
+
+
+class ChunkSupervisor:
+    """Dispatch chunks to supervised workers with bounded recovery.
+
+    Parameters
+    ----------
+    ctx:
+        A ``multiprocessing`` context (fork or spawn).
+    jobs:
+        Worker processes to keep alive.
+    spawn_state:
+        Worker-state tuple to pass to spawned processes, or ``None``
+        when fork inheritance applies (:func:`set_worker_state` must
+        have been called first).
+    timeout:
+        Per-chunk wall-clock budget in seconds; a worker that exceeds
+        it is terminated and its chunk retried.  ``None`` disables.
+    retries:
+        Failed-chunk re-dispatch budget (per chunk).
+    backoff:
+        Delay policy between retries of the same chunk.
+    on_failure:
+        What to do with a chunk that exhausts its budget: ``"fail"``
+        raises :class:`ChunkFailedError`, ``"quarantine"`` records the
+        gap and continues, ``"serial"`` re-executes the chunk in the
+        parent process.
+    serial_fallback:
+        Parent-side executor for the ``"serial"`` policy (and only
+        then); maps ``(start, stop)`` to a :data:`ChunkPayload`.
+    tracer:
+        Optional tracer for retry/quarantine/respawn instants.
+    on_chunk_done:
+        Optional callback ``(start, stop, result)`` invoked as each
+        chunk completes -- the checkpoint hook.
+    """
+
+    def __init__(
+        self,
+        ctx: Any,
+        jobs: int,
+        spawn_state: Any = None,
+        timeout: float | None = None,
+        retries: int = 0,
+        backoff: BackoffPolicy | None = None,
+        on_failure: str = "fail",
+        serial_fallback: Callable[[int, int], ChunkPayload] | None = None,
+        tracer: Tracer | None = None,
+        on_chunk_done: Callable[[int, int, ExecutionResult], None] | None = None,
+    ) -> None:
+        if on_failure not in ON_FAILURE_CHOICES:
+            raise ValueError(
+                f"on_failure must be one of {ON_FAILURE_CHOICES}, got {on_failure!r}"
+            )
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive seconds")
+        self.ctx = ctx
+        self.jobs = jobs
+        self.spawn_state = spawn_state
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff or BackoffPolicy()
+        self.on_failure = on_failure
+        self.serial_fallback = serial_fallback
+        self.tracer = tracer
+        self.on_chunk_done = on_chunk_done
+        self._next_worker_id = 0
+        self._seq = 0
+
+    # -- worker lifecycle ---------------------------------------------
+
+    def _spawn(self, outbox: Any) -> _Worker:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        inbox = self.ctx.Queue()
+        process = self.ctx.Process(
+            target=_worker_main,
+            args=(worker_id, inbox, outbox, self.spawn_state),
+            daemon=True,
+        )
+        process.start()
+        return _Worker(worker_id=worker_id, process=process, inbox=inbox)
+
+    def _terminate(self, worker: _Worker) -> None:
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(JOIN_SECONDS)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(JOIN_SECONDS)
+
+    def _shutdown(self, workers: dict[int, _Worker]) -> None:
+        for worker in workers.values():
+            if worker.process.is_alive():
+                try:
+                    worker.inbox.put(None)
+                except (OSError, ValueError):
+                    pass
+        for worker in workers.values():
+            worker.process.join(JOIN_SECONDS)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(JOIN_SECONDS)
+        for worker in workers.values():
+            worker.inbox.close()
+
+    # -- supervision loop ---------------------------------------------
+
+    def run(
+        self,
+        bounds: list[tuple[int, int]],
+        preloaded: dict[tuple[int, int], ChunkPayload] | None = None,
+    ) -> SupervisedExecution:
+        """Execute every chunk in ``bounds`` (minus ``preloaded`` ones)."""
+        ordinals = {chunk: i for i, chunk in enumerate(bounds)}
+        results: dict[tuple[int, int], ChunkPayload] = dict(preloaded or {})
+        quarantined: set[tuple[int, int]] = set()
+        attempts: dict[tuple[int, int], int] = {}
+        out = SupervisedExecution(payloads=[])
+        pending: deque[tuple[int, int]] = deque(
+            chunk for chunk in bounds if chunk not in results
+        )
+        delayed: list[tuple[float, int, tuple[int, int]]] = []
+        epoch = time.perf_counter()
+        outbox = self.ctx.Queue()
+        workers: dict[int, _Worker] = {}
+        try:
+            for _ in range(min(self.jobs, len(pending))):
+                worker = self._spawn(outbox)
+                workers[worker.worker_id] = worker
+
+            while len(results) + len(quarantined) < len(bounds):
+                now = time.perf_counter()
+                while delayed and delayed[0][0] <= now:
+                    _, _, chunk = heappop(delayed)
+                    pending.append(chunk)
+                for worker in workers.values():
+                    if worker.idle and pending and worker.process.is_alive():
+                        chunk = pending.popleft()
+                        if chunk in results or chunk in quarantined:
+                            continue
+                        deadline = (
+                            now + self.timeout if self.timeout is not None else None
+                        )
+                        worker.assign(
+                            *chunk, ordinals[chunk], attempts.get(chunk, 0), deadline
+                        )
+                try:
+                    msg = outbox.get(timeout=POLL_SECONDS)
+                except queue_mod.Empty:
+                    msg = None
+                if msg is not None:
+                    self._handle_message(
+                        msg, workers, results, quarantined, attempts, pending,
+                        delayed, epoch, out,
+                    )
+                self._check_liveness(
+                    workers, outbox, results, quarantined, attempts, pending,
+                    delayed, epoch, out,
+                )
+        finally:
+            self._shutdown(workers)
+            outbox.close()
+
+        out.payloads = [results[chunk] for chunk in bounds if chunk in results]
+        out.quarantined = sorted(quarantined)
+        out.attempts_by_chunk = {
+            chunk: attempts.get(chunk, 0) + 1
+            for chunk in bounds
+            if chunk in results or chunk in quarantined
+        }
+        return out
+
+    # -- event handling -----------------------------------------------
+
+    def _handle_message(
+        self,
+        msg: tuple,
+        workers: dict[int, _Worker],
+        results: dict,
+        quarantined: set,
+        attempts: dict,
+        pending: deque,
+        delayed: list,
+        epoch: float,
+        out: SupervisedExecution,
+    ) -> None:
+        kind = msg[0]
+        if kind == "ok":
+            _, worker_id, payload = msg
+            chunk = (payload[0], payload[1])
+            worker = workers.get(worker_id)
+            if worker is not None and worker.current == chunk:
+                worker.release()
+            if chunk not in results and chunk not in quarantined:
+                results[chunk] = payload
+                if self.on_chunk_done is not None:
+                    self.on_chunk_done(chunk[0], chunk[1], payload[2])
+        else:  # "err"
+            _, worker_id, start, stop, attempt, error = msg
+            worker = workers.get(worker_id)
+            pid = worker.process.pid if worker is not None else None
+            if worker is not None and worker.current == (start, stop):
+                worker.release()
+            self._chunk_failed(
+                (start, stop),
+                kind="exception",
+                error=error,
+                worker_id=worker_id,
+                pid=pid,
+                exitcode=None,
+                results=results,
+                quarantined=quarantined,
+                attempts=attempts,
+                delayed=delayed,
+                epoch=epoch,
+                out=out,
+            )
+
+    def _check_liveness(
+        self,
+        workers: dict[int, _Worker],
+        outbox: Any,
+        results: dict,
+        quarantined: set,
+        attempts: dict,
+        pending: deque,
+        delayed: list,
+        epoch: float,
+        out: SupervisedExecution,
+    ) -> None:
+        now = time.perf_counter()
+        for worker_id in list(workers):
+            worker = workers[worker_id]
+            alive = worker.process.is_alive()
+            if alive and worker.current is None:
+                continue
+            if not alive:
+                # a worker died; drain any result it managed to ship
+                # first, then attribute the death to its in-flight chunk
+                chunk = worker.current
+                exitcode = worker.process.exitcode
+                if chunk is not None and chunk not in results:
+                    out.worker_deaths += 1
+                    self._chunk_failed(
+                        chunk,
+                        kind="worker-died",
+                        error=f"worker exited with code {exitcode}",
+                        worker_id=worker_id,
+                        pid=worker.process.pid,
+                        exitcode=exitcode,
+                        results=results,
+                        quarantined=quarantined,
+                        attempts=attempts,
+                        delayed=delayed,
+                        epoch=epoch,
+                        out=out,
+                    )
+                del workers[worker_id]
+                replacement = self._spawn(outbox)
+                workers[replacement.worker_id] = replacement
+                out.respawns += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "worker.respawn", cat="engine", exited=worker_id,
+                        exitcode=exitcode,
+                    )
+            elif worker.deadline is not None and now > worker.deadline:
+                chunk = worker.current
+                out.timeouts += 1
+                self._terminate(worker)
+                del workers[worker_id]
+                replacement = self._spawn(outbox)
+                workers[replacement.worker_id] = replacement
+                out.respawns += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "worker.respawn", cat="engine", exited=worker_id,
+                        reason="timeout",
+                    )
+                if chunk is not None and chunk not in results:
+                    self._chunk_failed(
+                        chunk,
+                        kind="timeout",
+                        error=f"chunk exceeded {self.timeout}s wall-clock budget",
+                        worker_id=worker_id,
+                        pid=worker.process.pid,
+                        exitcode=None,
+                        results=results,
+                        quarantined=quarantined,
+                        attempts=attempts,
+                        delayed=delayed,
+                        epoch=epoch,
+                        out=out,
+                    )
+
+    def _chunk_failed(
+        self,
+        chunk: tuple[int, int],
+        kind: str,
+        error: str | None,
+        worker_id: int | None,
+        pid: int | None,
+        exitcode: int | None,
+        results: dict,
+        quarantined: set,
+        attempts: dict,
+        delayed: list,
+        epoch: float,
+        out: SupervisedExecution,
+    ) -> None:
+        """Record one failed attempt and decide retry vs poison."""
+        start, stop = chunk
+        attempt = attempts.get(chunk, 0)
+        attempts[chunk] = attempt + 1
+        will_retry = attempt + 1 <= self.retries
+        action = "retry" if will_retry else self.on_failure
+        out.failures.append(
+            FailureEvent(
+                kind=kind,
+                start=start,
+                stop=stop,
+                attempt=attempt,
+                action=action,
+                worker=worker_id,
+                pid=pid,
+                error=error,
+                exitcode=exitcode,
+                at_seconds=time.perf_counter() - epoch,
+            )
+        )
+        if will_retry:
+            out.retries += 1
+            delay = self.backoff.delay(attempt + 1)
+            self._seq += 1
+            heappush(delayed, (time.perf_counter() + delay, self._seq, chunk))
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "chunk.retry", cat="engine", start=start, stop=stop,
+                    attempt=attempt + 1, kind=kind, delay=delay,
+                )
+            return
+        # retry budget exhausted: the chunk is poisoned
+        if self.on_failure == "fail":
+            raise ChunkFailedError(start, stop, out.failures)
+        if self.on_failure == "serial" and self.serial_fallback is not None:
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "chunk.serial_fallback", cat="engine", start=start, stop=stop
+                )
+            payload = self.serial_fallback(start, stop)
+            results[chunk] = payload
+            if self.on_chunk_done is not None:
+                self.on_chunk_done(start, stop, payload[2])
+            return
+        quarantined.add(chunk)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "chunk.quarantined", cat="engine", start=start, stop=stop, kind=kind
+            )

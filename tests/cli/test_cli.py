@@ -96,6 +96,49 @@ class TestParser:
         assert doc["grm"]["counters"]["ops.fp"] > 0
 
 
+class TestFaultTolerance:
+    def test_injected_kill_recovers_and_exits_zero(self, capsys):
+        assert main(
+            ["run", "grm", "--jobs", "2", "--no-cache", "--no-baseline",
+             "--retries", "2", "--inject-faults", "kill@1", "--format", "json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        record = RunRecord.from_dict(doc["data"])
+        assert record.schema == SCHEMA
+        assert record.retries >= 1
+        assert record.complete
+        assert any(f.kind == "worker-died" for f in record.failures)
+
+    def test_quarantine_reports_and_exits_nonzero(self, capsys):
+        assert main(
+            ["run", "grm", "--jobs", "2", "--no-cache", "--no-baseline",
+             "--on-failure", "quarantine", "--inject-faults", "raise@0x9"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "quarantined" in captured.out
+        assert "quarantined" in captured.err
+
+    def test_exhausted_retries_fail_by_default(self):
+        with pytest.raises(Exception, match=r"chunk \[0:"):
+            main(
+                ["run", "grm", "--jobs", "2", "--no-cache", "--no-baseline",
+                 "--inject-faults", "raise@0x9"]
+            )
+
+    def test_bad_fault_plan_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "grm", "--inject-faults", "explode@0"])
+        assert "fault" in capsys.readouterr().err
+
+    def test_resume_without_cache_warns(self, capsys):
+        assert main(["run", "grm", "--no-cache", "--no-baseline", "--resume"]) == 0
+        assert "--resume" in capsys.readouterr().err
+
+    def test_healthy_run_reports_ok_health(self, capsys):
+        assert main(["run", "grm", "--no-cache", "--no-baseline"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+
 class TestBench:
     def test_record_appends_history(self, tmp_path, capsys):
         history = tmp_path / "BENCH_ci.json"

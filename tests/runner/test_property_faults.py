@@ -1,0 +1,58 @@
+"""Property-based test: fault recovery never changes merged output.
+
+The engine's core correctness contract is that sharded, fault-injected,
+retried execution is *bit-identical* to the serial path.  Hypothesis
+shuffles over worker counts x injected-fault schedules (seeded, so
+every failing example replays exactly) and checks the merged output and
+per-task work lists never change.
+"""
+
+import warnings
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.datasets import DatasetSize
+from repro.runner import FaultPlan, ParallelRunner
+
+from tests.runner.test_faults import ToyBench
+
+N_TASKS = 10
+_BENCH = ToyBench(n_tasks=N_TASKS)
+_WORKLOAD = _BENCH.prepare(DatasetSize.SMALL)
+_SERIAL = ParallelRunner(jobs=1).execute(_BENCH, _WORKLOAD, DatasetSize.SMALL)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    jobs=st.sampled_from([1, 2, 4]),
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_faults=st.integers(min_value=0, max_value=3),
+    max_attempts=st.integers(min_value=1, max_value=2),
+)
+def test_merged_output_bit_identical_under_injected_faults(
+    jobs, seed, n_faults, max_attempts
+):
+    plan = FaultPlan.random(
+        seed=seed, n_chunks=N_TASKS, count=n_faults, max_attempts=max_attempts
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        run = ParallelRunner(
+            jobs=jobs,
+            chunk_size=1,
+            measure_serial=False,
+            retries=3,  # budget strictly exceeds any injected attempts
+            fault_plan=plan if jobs > 1 else None,  # serial path has no workers
+        ).execute(_BENCH, _WORKLOAD, DatasetSize.SMALL)
+    assert run.output == _SERIAL.output
+    assert run.record.task_work == _SERIAL.record.task_work
+    assert run.record.complete
+    if jobs > 1:
+        expected_failures = sum(spec.attempts for spec in plan.specs)
+        assert len(run.record.failures) == expected_failures
+        assert run.record.retries == expected_failures

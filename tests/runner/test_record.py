@@ -4,7 +4,15 @@ import json
 
 import pytest
 
-from repro.runner.record import SCHEMA, SCHEMA_V1, ChunkTrace, RunRecord, WorkerStats
+from repro.runner.record import (
+    SCHEMA,
+    SCHEMA_V1,
+    SCHEMA_V2,
+    ChunkTrace,
+    FailureEvent,
+    RunRecord,
+    WorkerStats,
+)
 from repro.runner.engine import run_kernel
 
 
@@ -51,20 +59,74 @@ def test_unknown_schema_rejected():
         RunRecord.from_dict(doc)
 
 
-def test_v1_record_loads_as_v2():
+def test_v1_record_loads_as_current():
     """Records written before the observability fields still load."""
     doc = json.loads(_record().to_json())
     doc["schema"] = SCHEMA_V1
-    for v2_field in ("metrics", "host", "created_unix"):
-        doc.pop(v2_field, None)
+    for newer_field in (
+        "metrics", "host", "created_unix",
+        "failures", "retries", "quarantined", "resumed_chunks",
+        "degraded", "fault_tolerance",
+    ):
+        doc.pop(newer_field, None)
     rec = RunRecord.from_dict(doc)
     assert rec.schema == SCHEMA  # upgraded in memory
     assert rec.metrics is None
     assert rec.host is None
     assert rec.created_unix is None
     assert rec.kernel == "grm" and rec.task_work == [10, 20, 30, 40]
-    # and re-serializes as a v2 document
+    # and re-serializes as a current-schema document
     assert json.loads(rec.to_json())["schema"] == SCHEMA
+
+
+def test_v2_record_migrates_to_v3():
+    """A pre-fault-tolerance v2 document loads with empty fault fields."""
+    doc = json.loads(_record().to_json())
+    doc["schema"] = SCHEMA_V2
+    for v3_field in (
+        "failures", "retries", "quarantined", "resumed_chunks",
+        "degraded", "fault_tolerance",
+    ):
+        doc.pop(v3_field, None)
+    rec = RunRecord.from_dict(doc)
+    assert rec.schema == SCHEMA
+    assert rec.failures == [] and rec.retries == 0
+    assert rec.quarantined == [] and rec.resumed_chunks == 0
+    assert rec.degraded is False and rec.fault_tolerance is None
+    assert rec.complete
+    # v2 observability fields survive the migration untouched
+    assert rec.kernel == "grm" and rec.serial_seconds == 3.0
+    assert json.loads(rec.to_json())["schema"] == SCHEMA
+
+
+def test_v3_fault_fields_round_trip():
+    rec = _record(
+        failures=[
+            FailureEvent(
+                kind="worker-died", start=0, stop=4, attempt=0, action="retry",
+                worker=1, pid=4242, error="worker exited with code 87",
+                exitcode=87, at_seconds=0.5,
+            ),
+            FailureEvent(
+                kind="timeout", start=4, stop=8, attempt=1, action="quarantine",
+                error="chunk exceeded 2.0s wall-clock budget",
+            ),
+        ],
+        retries=1,
+        quarantined=[(4, 8)],
+        resumed_chunks=2,
+        degraded=False,
+        fault_tolerance={"timeout": 2.0, "retries": 1, "on_failure": "quarantine",
+                         "resume": False, "fault_plan": None},
+    )
+    clone = RunRecord.from_json(rec.to_json())
+    assert clone == rec
+    assert clone.failures[0].exitcode == 87
+    assert clone.quarantined_tasks == 4
+    assert not clone.complete
+    doc = json.loads(rec.to_json())
+    assert doc["quarantined_tasks"] == 4
+    assert doc["complete"] is False
 
 
 def test_v2_fields_round_trip():

@@ -1,0 +1,60 @@
+"""Unit tests for the retry backoff policy."""
+
+import pickle
+
+import pytest
+
+from repro.runner.retry import BackoffPolicy
+
+
+def test_raw_schedule_is_monotone_nondecreasing():
+    policy = BackoffPolicy(base=0.05, factor=2.0, cap=2.0, jitter=0.0)
+    schedule = policy.schedule(12)
+    assert schedule == sorted(schedule)
+    assert schedule[0] == pytest.approx(0.05)
+    assert schedule[1] == pytest.approx(0.10)
+
+
+def test_raw_schedule_is_capped():
+    policy = BackoffPolicy(base=0.05, factor=2.0, cap=2.0, jitter=0.0)
+    assert policy.raw_delay(1_000) == pytest.approx(2.0)
+    assert all(d <= 2.0 for d in policy.schedule(50))
+
+
+def test_unjittered_delay_equals_raw():
+    policy = BackoffPolicy(base=0.1, factor=3.0, cap=10.0, jitter=0.0)
+    for attempt in range(1, 8):
+        assert policy.delay(attempt) == policy.raw_delay(attempt)
+
+
+def test_jitter_bounded_and_seeded():
+    a = BackoffPolicy(base=1.0, factor=2.0, cap=64.0, jitter=0.25, seed=42)
+    b = BackoffPolicy(base=1.0, factor=2.0, cap=64.0, jitter=0.25, seed=42)
+    delays_a = [a.delay(k) for k in range(1, 10)]
+    delays_b = [b.delay(k) for k in range(1, 10)]
+    assert delays_a == delays_b  # same seed, same draws
+    for k, d in enumerate(delays_a, start=1):
+        raw = a.raw_delay(k)
+        assert raw * 0.75 <= d <= raw
+
+
+def test_attempts_are_one_based():
+    with pytest.raises(ValueError, match="1-based"):
+        BackoffPolicy().raw_delay(0)
+
+
+def test_validates_parameters():
+    with pytest.raises(ValueError, match="base"):
+        BackoffPolicy(base=-1)
+    with pytest.raises(ValueError, match="factor"):
+        BackoffPolicy(factor=0.5)
+    with pytest.raises(ValueError, match="cap"):
+        BackoffPolicy(base=1.0, cap=0.5)
+    with pytest.raises(ValueError, match="jitter"):
+        BackoffPolicy(jitter=1.0)
+
+
+def test_policy_is_picklable():
+    policy = BackoffPolicy(seed=7)
+    clone = pickle.loads(pickle.dumps(policy))
+    assert clone.base == policy.base and clone.seed == 7
