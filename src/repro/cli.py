@@ -8,12 +8,20 @@
 * ``datasets``      -- show the synthetic dataset parameters
 * ``runner``        -- engine/cache introspection
 * ``bench``         -- record runs to a per-host history and gate on
-  throughput regressions (``bench record`` / ``bench check``)
+  throughput (and, with ``--rss-threshold``, peak-RSS) regressions
+  (``bench record`` / ``bench check``)
+* ``obs``           -- render a run record as a self-contained HTML
+  dashboard (``obs report``), compare two runs (``obs diff``) or
+  export profiles/metrics (``obs export``: folded stacks, speedscope
+  JSON, OpenMetrics textfile)
 
 ``run`` additionally takes ``--trace FILE`` (Chrome trace-event JSON of
 engine phases, per-worker chunk timelines and kernel-internal spans --
-load it in chrome://tracing or Perfetto) and ``--metrics FILE`` (the
-run's serialized metrics registries).
+load it in chrome://tracing or Perfetto), ``--metrics FILE`` (the
+run's serialized metrics registries), ``--profile`` (statistical
+sampling profiler; folded stacks and a hotspot table land in the
+schema-v4 record) and ``--telemetry`` (per-worker CPU/RSS series from
+``/proc``, a no-op off-Linux).
 
 Fault tolerance (see ``docs/fault-tolerance.md``): ``--timeout SECONDS``
 bounds each chunk's wall-clock, ``--retries N`` re-executes failed
@@ -133,6 +141,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         on_failure=args.on_failure,
         fault_plan=fault_plan,
         resume=args.resume,
+        profile=args.profile,
+        profile_hz=args.profile_hz,
+        telemetry=args.telemetry,
     )
     rows = []
     records = []
@@ -456,6 +467,7 @@ def _cmd_bench_record(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         cache=_make_cache(args),
         measure_serial=False,  # histories track parallel throughput only
+        telemetry=args.telemetry,
     )
     history = BenchHistory(args.history)
     rows = []
@@ -498,12 +510,23 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
     if not records:
         print(f"no history at {history.path}; nothing to check", file=sys.stderr)
         return 0
+    rss_threshold = (
+        args.rss_threshold / 100.0 if args.rss_threshold is not None else None
+    )
     checks = check_regressions(
-        records, threshold=args.threshold / 100.0, window=args.window
+        records,
+        threshold=args.threshold / 100.0,
+        window=args.window,
+        rss_threshold=rss_threshold,
     )
     rows = []
     for c in checks:
         ratio = c.ratio
+        verdicts = []
+        if c.regressed:
+            verdicts.append("REGRESSED")
+        if c.rss_regressed:
+            verdicts.append("RSS GREW")
         rows.append(
             (
                 c.kernel,
@@ -512,10 +535,11 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
                 f"{c.latest:,.0f}",
                 f"{c.baseline:,.0f}" if c.baseline is not None else "-",
                 sig(ratio) if ratio is not None else "-",
-                "REGRESSED" if c.regressed else "ok",
+                sig(c.rss_ratio) if c.rss_ratio is not None else "-",
+                ", ".join(verdicts) if verdicts else "ok",
             )
         )
-    regressed = [c for c in checks if c.regressed]
+    regressed = [c for c in checks if c.regressed or c.rss_regressed]
     _emit(
         [
             Report(
@@ -523,7 +547,10 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
                     f"bench check vs rolling median "
                     f"(threshold {args.threshold:.0f}%, window {args.window})"
                 ),
-                headers=["kernel", "size", "jobs", "work/s", "baseline", "ratio", "verdict"],
+                headers=[
+                    "kernel", "size", "jobs", "work/s", "baseline", "ratio",
+                    "rss ratio", "verdict",
+                ],
                 rows=rows,
                 data=[
                     {
@@ -535,6 +562,10 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
                         "n_baseline": c.n_baseline,
                         "ratio": c.ratio,
                         "regressed": c.regressed,
+                        "rss_latest": c.rss_latest,
+                        "rss_baseline": c.rss_baseline,
+                        "rss_ratio": c.rss_ratio,
+                        "rss_regressed": c.rss_regressed,
                     }
                     for c in checks
                 ],
@@ -543,9 +574,88 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
         args,
     )
     if regressed:
-        names = ", ".join(f"{c.kernel}/{c.size}/j{c.jobs}" for c in regressed)
-        print(f"throughput regression: {names}", file=sys.stderr)
+        names = ", ".join(
+            f"{c.kernel}/{c.size}/j{c.jobs}"
+            f"{' (rss)' if c.rss_regressed and not c.regressed else ''}"
+            for c in regressed
+        )
+        print(f"regression: {names}", file=sys.stderr)
         return 0 if args.warn_only else 1
+    return 0
+
+
+def _load_one_record(path: str, kernel: str | None = None):
+    """The single record ``path`` holds (optionally picked by kernel)."""
+    from repro.obs.report import load_run_records
+
+    records = load_run_records(path)
+    if kernel is not None:
+        records = [r for r in records if r.kernel == kernel]
+        if not records:
+            raise SystemExit(f"{path}: no record for kernel {kernel!r}")
+    if len(records) > 1:
+        print(
+            f"{path}: {len(records)} records; using the last "
+            f"({records[-1].kernel}/{records[-1].size}/j{records[-1].jobs})"
+            " -- pick one with --kernel",
+            file=sys.stderr,
+        )
+    return records[-1]
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import load_run_records, write_report
+
+    record = _load_one_record(args.record, args.kernel)
+    history = load_run_records(args.history) if args.history else None
+    out = args.out or f"{Path(args.record).stem}-report.html"
+    path = write_report(out, record, history)
+    print(f"wrote run report to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.report import diff_records
+
+    a = _load_one_record(args.a, args.kernel)
+    b = _load_one_record(args.b, args.kernel)
+    diff = diff_records(a, b)
+    _emit([diff.report()], args)
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.core.serialize import write_json
+    from repro.obs.profile import StackProfile, merge_profiles
+    from repro.obs.report import write_openmetrics
+
+    record = _load_one_record(args.record, args.kernel)
+    wrote = False
+    if args.folded or args.speedscope:
+        doc = record.profile
+        if not doc:
+            raise SystemExit(
+                f"{args.record}: record has no profile (re-run with --profile)"
+            )
+        merged = merge_profiles(
+            [StackProfile.from_dict(p) for p in doc.get("phases", {}).values()],
+            hz=doc.get("hz", 99.0),
+        )
+        if args.folded:
+            Path(args.folded).write_text(merged.to_folded_text() + "\n")
+            print(f"wrote folded stacks to {args.folded}", file=sys.stderr)
+            wrote = True
+        if args.speedscope:
+            name = f"{record.kernel}/{record.size}/j{record.jobs}"
+            write_json(args.speedscope, merged.to_speedscope(name))
+            print(f"wrote speedscope profile to {args.speedscope}", file=sys.stderr)
+            wrote = True
+    if args.openmetrics:
+        write_openmetrics(args.openmetrics, record)
+        print(f"wrote OpenMetrics textfile to {args.openmetrics}", file=sys.stderr)
+        wrote = True
+    if not wrote:
+        raise SystemExit("nothing to export: pass --folded, --speedscope or --openmetrics")
     return 0
 
 
@@ -613,6 +723,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome trace-event JSON of the run to FILE",
     )
     run.add_argument(
+        "--profile", action="store_true",
+        help="sample stacks during prepare/execute/merge (in each worker "
+        "on the parallel path); hotspots land in the run record",
+    )
+    run.add_argument(
+        "--profile-hz", type=float, default=99.0, metavar="HZ",
+        help="profiler sampling rate (default: 99)",
+    )
+    run.add_argument(
+        "--telemetry", action="store_true",
+        help="sample per-worker CPU/RSS/context switches from /proc "
+        "(no-op on platforms without procfs)",
+    )
+    run.add_argument(
         "--metrics", metavar="FILE", default=None,
         help="write per-kernel metrics registries (JSON) to FILE; "
         "also enables op-count instrumentation on the serial path",
@@ -671,6 +795,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--history", metavar="FILE", default=None,
         help="history file (default: BENCH_<host>.json in the current directory)",
     )
+    rec.add_argument(
+        "--telemetry", action="store_true",
+        help="sample per-worker RSS/CPU so the history can gate on memory "
+        "growth (bench check --rss-threshold)",
+    )
     _add_output_options(rec)
     rec.set_defaults(func=_cmd_bench_record)
 
@@ -690,11 +819,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="rolling-median window of prior runs (default: 5)",
     )
     chk.add_argument(
+        "--rss-threshold", type=float, default=None, metavar="PCT",
+        help="also fail beyond this %% peak-RSS growth vs the rolling "
+        "median of telemetered runs (default: memory gate off)",
+    )
+    chk.add_argument(
         "--warn-only", action="store_true",
         help="report regressions but exit 0 (CI bring-up mode)",
     )
     _add_output_options(chk)
     chk.set_defaults(func=_cmd_bench_check)
+
+    obs = sub.add_parser(
+        "obs", help="run-report dashboard, run diffing and profile export"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    rep = obs_sub.add_parser(
+        "report", help="render a run record as a self-contained HTML dashboard"
+    )
+    rep.add_argument("record", help="run-record JSON (run --format json output)")
+    rep.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="output HTML file (default: <record>-report.html)",
+    )
+    rep.add_argument(
+        "--history", metavar="FILE", default=None,
+        help="bench history file to plot a throughput trend from",
+    )
+    rep.add_argument(
+        "--kernel", metavar="NAME", default=None,
+        help="pick this kernel's record from a multi-kernel file",
+    )
+    rep.set_defaults(func=_cmd_obs_report)
+
+    diff = obs_sub.add_parser("diff", help="compare two run records")
+    diff.add_argument("a", help="baseline run-record JSON")
+    diff.add_argument("b", help="candidate run-record JSON")
+    diff.add_argument(
+        "--kernel", metavar="NAME", default=None,
+        help="pick this kernel's record from multi-kernel files",
+    )
+    _add_output_options(diff)
+    diff.set_defaults(func=_cmd_obs_diff)
+
+    exp = obs_sub.add_parser(
+        "export", help="export a record's profile and metrics to standard formats"
+    )
+    exp.add_argument("record", help="run-record JSON")
+    exp.add_argument(
+        "--kernel", metavar="NAME", default=None,
+        help="pick this kernel's record from a multi-kernel file",
+    )
+    exp.add_argument(
+        "--folded", metavar="FILE", default=None,
+        help="write Brendan Gregg folded stacks (flamegraph.pl input)",
+    )
+    exp.add_argument(
+        "--speedscope", metavar="FILE", default=None,
+        help="write a speedscope JSON profile (speedscope.app)",
+    )
+    exp.add_argument(
+        "--openmetrics", metavar="FILE", default=None,
+        help="write the run's metrics as an OpenMetrics textfile",
+    )
+    exp.set_defaults(func=_cmd_obs_export)
     return parser
 
 

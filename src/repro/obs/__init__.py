@@ -11,13 +11,21 @@ into:
 * :mod:`repro.obs.history` -- per-host ``BENCH_<host>.json`` run
   history plus the rolling-median regression tracker behind
   ``genomicsbench bench check``.
+* :mod:`repro.obs.profile` -- statistical sampling profiler: folded
+  stacks, hotspot tables and speedscope export, merged across workers
+  at shard boundaries.
+* :mod:`repro.obs.telemetry` -- per-worker ``/proc`` resource
+  sampling (CPU, RSS, context switches), a graceful no-op off-Linux.
+* :mod:`repro.obs.report` -- the self-contained HTML run dashboard,
+  ``obs diff`` run comparison and the OpenMetrics textfile exporter.
 
 The tracer and the registry share one activation model: the engine (or
 a test) installs them process-wide with :func:`activated` /
 :func:`activated_metrics`, and kernels emit through the
 ``kernel_*`` hooks, which cost one global read when observability is
-off.  :mod:`repro.obs.history` is imported on demand (it pulls in the
-run-record schema) rather than re-exported here.
+off.  :mod:`repro.obs.history` and :mod:`repro.obs.report` are
+imported on demand (they pull in the run-record schema) rather than
+re-exported here.
 """
 
 from repro.obs.metrics import (
@@ -31,6 +39,18 @@ from repro.obs.metrics import (
     current_metrics,
     kernel_counter,
     kernel_observe,
+)
+from repro.obs.profile import (
+    Hotspot,
+    SamplingProfiler,
+    StackProfile,
+    merge_profiles,
+)
+from repro.obs.telemetry import (
+    ResourceSample,
+    TelemetrySampler,
+    TelemetrySeries,
+    telemetry_supported,
 )
 from repro.obs.trace import (
     Span,
@@ -47,9 +67,15 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Hotspot",
     "MetricsRegistry",
+    "ResourceSample",
     "SECONDS_BUCKETS",
+    "SamplingProfiler",
     "Span",
+    "StackProfile",
+    "TelemetrySampler",
+    "TelemetrySeries",
     "Tracer",
     "WORK_BUCKETS",
     "activated",
@@ -62,4 +88,6 @@ __all__ = [
     "kernel_instant",
     "kernel_observe",
     "kernel_span",
+    "merge_profiles",
+    "telemetry_supported",
 ]

@@ -80,6 +80,11 @@ def throughput(record: RunRecord) -> float | None:
     return record.total_work / record.execute_seconds
 
 
+def peak_rss(record: RunRecord) -> float | None:
+    """Peak worker RSS in bytes (``None`` for runs without telemetry)."""
+    return record.peak_rss_bytes
+
+
 @dataclass
 class RegressionCheck:
     """Verdict for the latest run of one ``(kernel, size, jobs)`` config."""
@@ -91,6 +96,9 @@ class RegressionCheck:
     baseline: float | None  # rolling median; None with no prior runs
     n_baseline: int
     threshold: float
+    rss_latest: float | None = None
+    rss_baseline: float | None = None  # rolling median of telemetered runs
+    rss_threshold: float | None = None  # None = RSS gate off
 
     @property
     def ratio(self) -> float | None:
@@ -104,31 +112,60 @@ class RegressionCheck:
         ratio = self.ratio
         return ratio is not None and ratio < 1.0 - self.threshold
 
+    @property
+    def rss_ratio(self) -> float | None:
+        """latest / baseline peak RSS (>1 = more memory than baseline)."""
+        if (
+            self.rss_latest is None
+            or self.rss_baseline is None
+            or self.rss_baseline <= 0
+        ):
+            return None
+        return self.rss_latest / self.rss_baseline
+
+    @property
+    def rss_regressed(self) -> bool:
+        """Peak RSS grew past the opt-in threshold (False with gate off)."""
+        if self.rss_threshold is None:
+            return False
+        ratio = self.rss_ratio
+        return ratio is not None and ratio > 1.0 + self.rss_threshold
+
 
 def check_regressions(
     records: list[RunRecord],
     threshold: float = DEFAULT_THRESHOLD,
     window: int = DEFAULT_WINDOW,
+    rss_threshold: float | None = None,
 ) -> list[RegressionCheck]:
     """Compare each config's latest run against its rolling median.
 
     The baseline for a configuration is the median throughput of up to
     ``window`` runs immediately preceding the latest one.  Configurations
     with a single run have no baseline and never regress.
+
+    With ``rss_threshold`` set (a fraction, e.g. ``0.2`` for 20%) the
+    check additionally compares each config's latest peak RSS against
+    the rolling median of prior telemetered runs and flags growth
+    beyond the threshold.  Runs without telemetry contribute no RSS
+    data and never trip the memory gate.
     """
     if window < 1:
         raise ValueError("window must be at least 1")
-    by_config: dict[tuple[str, str, int], list[float]] = {}
+    by_config: dict[tuple[str, str, int], list[tuple[float, float | None]]] = {}
     for record in records:
         tp = throughput(record)
         if tp is None:
             continue
-        by_config.setdefault((record.kernel, record.size, record.jobs), []).append(tp)
+        by_config.setdefault((record.kernel, record.size, record.jobs), []).append(
+            (tp, peak_rss(record))
+        )
     checks = []
     for (kernel, size, jobs), series in sorted(by_config.items()):
-        latest = series[-1]
+        latest, rss_latest = series[-1]
         prior = series[:-1][-window:]
-        baseline = statistics.median(prior) if prior else None
+        baseline = statistics.median(tp for tp, _ in prior) if prior else None
+        prior_rss = [rss for _, rss in prior if rss is not None]
         checks.append(
             RegressionCheck(
                 kernel=kernel,
@@ -138,6 +175,9 @@ def check_regressions(
                 baseline=baseline,
                 n_baseline=len(prior),
                 threshold=threshold,
+                rss_latest=rss_latest,
+                rss_baseline=statistics.median(prior_rss) if prior_rss else None,
+                rss_threshold=rss_threshold,
             )
         )
     return checks

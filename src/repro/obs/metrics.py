@@ -154,8 +154,11 @@ class MetricsRegistry:
         for name, value in doc.get("counters", {}).items():
             reg.counter(name).inc(value)
         for name, value in doc.get("gauges", {}).items():
+            # register the gauge even when unset (value None) so the
+            # round-trip as_dict -> from_dict -> as_dict is lossless
+            gauge = reg.gauge(name)
             if value is not None:
-                reg.gauge(name).set(value)
+                gauge.set(value)
         for name, h in doc.get("histograms", {}).items():
             hist = reg.histogram(name, tuple(h["boundaries"]))
             hist.counts = list(h["counts"])

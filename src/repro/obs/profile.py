@@ -1,0 +1,300 @@
+"""Statistical sampling profiler: folded stacks, hotspots, speedscope.
+
+The paper's hotspot tables come from VTune; this module is the
+reproduction's Python-native equivalent.  A :class:`SamplingProfiler`
+runs a background daemon thread that wakes at a configurable rate,
+reads the *target* thread's current frame out of
+``sys._current_frames()``, and folds the stack into a
+``root;caller;...;leaf -> count`` table -- the Brendan Gregg folded
+format flame graphs and `speedscope <https://www.speedscope.app>`_ are
+built from.  Sampling observes the program from outside (no
+``sys.settrace``), so the profiled code runs unmodified and the
+overhead is bounded by ``hz`` alone: at the default 99 Hz one stack
+walk per ~10 ms, measured well under 5% on the ``bsw`` kernel and
+exactly zero when profiling is off.
+
+Profiles are plain data (:class:`StackProfile`): worker processes each
+profile their own chunks and ship the result back with the shard
+payload, and the engine merges them at shard boundaries with
+:meth:`StackProfile.merge` -- the same buffer-merging model the span
+tracer uses.  Merging is commutative and deterministic (counts add,
+output orderings are sorted), so a profile assembled from any worker
+interleaving serializes identically.
+
+Three exports per profile:
+
+* :meth:`StackProfile.to_folded_text` -- folded-stack lines for
+  ``flamegraph.pl`` and friends;
+* :meth:`StackProfile.to_speedscope` -- a speedscope JSON document;
+* :meth:`StackProfile.hotspots` -- the top-N self/cumulative table that
+  lands in schema-v4 :class:`~repro.runner.record.RunRecord`\\ s.
+
+99 Hz (not 100) keeps the sampler from beating against code that wakes
+on round 10 ms periods -- the same reason ``perf`` defaults to odd
+frequencies.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path, PurePath
+from typing import Any
+
+from repro.core.serialize import write_json
+
+#: Default sampling rate.  Odd on purpose: a 99 Hz sampler does not
+#: phase-lock with loops that wake on round 10 ms boundaries.
+DEFAULT_HZ = 99.0
+
+#: Hotspot rows kept in the run record.
+DEFAULT_TOP_N = 20
+
+#: Separator between frames of one folded stack.
+FOLD_SEP = ";"
+
+
+def frame_label(code: Any) -> str:
+    """``path:function`` for one code object, shortened for reading.
+
+    The path keeps everything from the last ``repro`` component on
+    (``repro/align/batched.py``) so suite frames are recognizable at a
+    glance; frames from elsewhere keep only their basename.
+    """
+    parts = PurePath(code.co_filename).parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            short = "/".join(parts[i:])
+            break
+    else:
+        short = parts[-1] if parts else "?"
+    return f"{short}:{code.co_name}"
+
+
+def _walk_stack(frame: Any) -> tuple[str, ...]:
+    """Frame labels root-first for ``frame`` and its callers."""
+    labels: list[str] = []
+    while frame is not None:
+        labels.append(frame_label(frame.f_code))
+        frame = frame.f_back
+    labels.reverse()
+    return tuple(labels)
+
+
+@dataclass
+class Hotspot:
+    """One row of the top-N table: a frame's self and cumulative share."""
+
+    frame: str
+    self_samples: int
+    total_samples: int
+    self_pct: float
+    total_pct: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "frame": self.frame,
+            "self_samples": self.self_samples,
+            "total_samples": self.total_samples,
+            "self_pct": self.self_pct,
+            "total_pct": self.total_pct,
+        }
+
+
+class StackProfile:
+    """Aggregated folded stacks from one or more sampling windows."""
+
+    def __init__(
+        self,
+        hz: float = DEFAULT_HZ,
+        folded: dict[str, int] | None = None,
+        samples: int = 0,
+        duration_seconds: float = 0.0,
+    ) -> None:
+        self.hz = float(hz)
+        self.folded: dict[str, int] = dict(folded or {})
+        self.samples = samples
+        self.duration_seconds = duration_seconds
+
+    def __bool__(self) -> bool:
+        return self.samples > 0
+
+    def add_stack(self, labels: tuple[str, ...]) -> None:
+        """Count one sampled stack (labels root-first)."""
+        key = FOLD_SEP.join(labels)
+        self.folded[key] = self.folded.get(key, 0) + 1
+        self.samples += 1
+
+    def merge(self, other: "StackProfile") -> "StackProfile":
+        """Fold ``other`` into this profile (counts add); returns self."""
+        for key, count in other.folded.items():
+            self.folded[key] = self.folded.get(key, 0) + count
+        self.samples += other.samples
+        self.duration_seconds += other.duration_seconds
+        return self
+
+    # -- analysis ------------------------------------------------------
+
+    def hotspots(self, top_n: int = DEFAULT_TOP_N) -> list[Hotspot]:
+        """Top-``top_n`` frames by self samples (cumulative as tiebreak).
+
+        *Self* counts samples where the frame is the leaf; *cumulative*
+        counts samples where it appears anywhere on the stack (at most
+        once per sample, so recursion cannot push a frame past 100%).
+        """
+        self_counts: dict[str, int] = {}
+        total_counts: dict[str, int] = {}
+        for key, count in self.folded.items():
+            frames = key.split(FOLD_SEP)
+            self_counts[frames[-1]] = self_counts.get(frames[-1], 0) + count
+            for frame in set(frames):
+                total_counts[frame] = total_counts.get(frame, 0) + count
+        denom = self.samples or 1
+        ranked = sorted(
+            total_counts,
+            key=lambda f: (-self_counts.get(f, 0), -total_counts[f], f),
+        )
+        return [
+            Hotspot(
+                frame=frame,
+                self_samples=self_counts.get(frame, 0),
+                total_samples=total_counts[frame],
+                self_pct=100.0 * self_counts.get(frame, 0) / denom,
+                total_pct=100.0 * total_counts[frame] / denom,
+            )
+            for frame in ranked[:top_n]
+        ]
+
+    # -- export --------------------------------------------------------
+
+    def to_folded_text(self) -> str:
+        """Brendan Gregg folded format: ``root;...;leaf count`` lines."""
+        return "\n".join(
+            f"{key} {count}" for key, count in sorted(self.folded.items())
+        )
+
+    def to_speedscope(self, name: str = "genomicsbench") -> dict[str, Any]:
+        """A speedscope ``sampled``-type JSON document."""
+        frame_index: dict[str, int] = {}
+        samples: list[list[int]] = []
+        weights: list[int] = []
+        for key, count in sorted(self.folded.items()):
+            stack = []
+            for label in key.split(FOLD_SEP):
+                if label not in frame_index:
+                    frame_index[label] = len(frame_index)
+                stack.append(frame_index[label])
+            samples.append(stack)
+            weights.append(count)
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "shared": {"frames": [{"name": label} for label in frame_index]},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": name,
+                    "unit": "none",
+                    "startValue": 0,
+                    "endValue": self.samples,
+                    "samples": samples,
+                    "weights": weights,
+                }
+            ],
+            "exporter": "genomicsbench",
+        }
+
+    def export_speedscope(self, path: Path | str, name: str = "genomicsbench") -> Path:
+        """Write the speedscope JSON document to ``path``."""
+        return write_json(path, self.to_speedscope(name))
+
+    # -- serialization -------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "hz": self.hz,
+            "samples": self.samples,
+            "duration_seconds": self.duration_seconds,
+            "folded": {k: self.folded[k] for k in sorted(self.folded)},
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "StackProfile":
+        return cls(
+            hz=doc.get("hz", DEFAULT_HZ),
+            folded=dict(doc.get("folded", {})),
+            samples=doc.get("samples", 0),
+            duration_seconds=doc.get("duration_seconds", 0.0),
+        )
+
+
+class SamplingProfiler:
+    """Samples one thread's stack from a background daemon thread.
+
+    The target is the thread that calls :meth:`start` (the engine's or
+    a worker's main thread); the sampler thread never appears in its
+    own profile because only the target's frame is read out of
+    ``sys._current_frames()``.  Use as a context manager::
+
+        with SamplingProfiler(hz=99) as prof:
+            hot_loop()
+        table = prof.profile.hotspots()
+    """
+
+    def __init__(self, hz: float = DEFAULT_HZ) -> None:
+        if hz <= 0:
+            raise ValueError("sampling hz must be positive")
+        self.hz = float(hz)
+        self.profile = StackProfile(hz=self.hz)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._target_tid: int | None = None
+        self._begin: float | None = None
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling the calling thread."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._target_tid = threading.get_ident()
+        self._begin = time.perf_counter()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._sample_loop, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> StackProfile:
+        """Stop sampling and return the accumulated profile."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join()
+            self._thread = None
+        if self._begin is not None:
+            self.profile.duration_seconds += time.perf_counter() - self._begin
+            self._begin = None
+        return self.profile
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def _sample_loop(self) -> None:
+        interval = 1.0 / self.hz
+        tid = self._target_tid
+        while not self._stop.wait(interval):
+            frame = sys._current_frames().get(tid)
+            if frame is None:  # target thread exited
+                return
+            self.profile.add_stack(_walk_stack(frame))
+
+
+def merge_profiles(profiles: list[StackProfile], hz: float = DEFAULT_HZ) -> StackProfile:
+    """Fold ``profiles`` into one (deterministic in any order)."""
+    merged = StackProfile(hz=hz)
+    for profile in profiles:
+        merged.merge(profile)
+    return merged

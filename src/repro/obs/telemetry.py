@@ -1,0 +1,311 @@
+"""Per-process resource telemetry from ``/proc`` (Linux, no deps).
+
+The paper measures each kernel's resource appetite with hardware
+counters; the closest thing a pure-Python reproduction can observe per
+*process* is what the kernel already accounts in ``/proc/self``: CPU
+time (``stat`` utime+stime), resident set size (``statm``) and context
+switches (``status``).  A :class:`TelemetrySampler` polls them from a
+background daemon thread at a fixed interval, producing a
+:class:`TelemetrySeries` -- the time series plus peak/mean summaries
+that make supervisor oversubscription and worker memory blowups
+*observable* in the run record instead of inferred from wall-clock.
+
+Worker processes each sample themselves during chunk execution and
+ship the series back with the shard payload; the engine merges series
+per worker pid (samples concatenate and sort -- merging is
+commutative) and publishes ``telemetry.*`` gauges into the run's
+metrics registry.
+
+Off Linux the module degrades to an explicit no-op:
+:func:`telemetry_supported` is False, the sampler collects nothing,
+and the serialized payload says ``"supported": false`` so downstream
+tooling renders "not available" rather than zeros.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+#: Default sampling interval, seconds.  20 Hz resolves chunk-scale
+#: behaviour while costing three small ``/proc`` reads per tick.
+DEFAULT_INTERVAL = 0.05
+
+#: Samples kept per worker in the serialized record; longer series are
+#: downsampled evenly so record size stays bounded.
+MAX_SERIES_POINTS = 240
+
+# Module-level so tests can monkeypatch the paths to simulate a
+# platform without procfs.
+_PROC_STAT = Path("/proc/self/stat")
+_PROC_STATM = Path("/proc/self/statm")
+_PROC_STATUS = Path("/proc/self/status")
+
+
+def _sysconf(name: str, fallback: int) -> int:
+    try:
+        value = os.sysconf(name)
+    except (AttributeError, OSError, ValueError):
+        return fallback
+    return value if value > 0 else fallback
+
+
+_PAGE_SIZE = _sysconf("SC_PAGE_SIZE", 4096)
+_CLK_TCK = _sysconf("SC_CLK_TCK", 100)
+
+
+def telemetry_supported() -> bool:
+    """True when ``/proc/self`` exposes the files the sampler reads."""
+    try:
+        return _PROC_STAT.exists() and _PROC_STATM.exists()
+    except OSError:  # pragma: no cover - exotic /proc failure
+        return False
+
+
+@dataclass
+class ResourceSample:
+    """One reading of the process's kernel-side resource accounting."""
+
+    ts: float  # time.perf_counter() at the read
+    cpu_seconds: float  # cumulative utime+stime
+    rss_bytes: int  # resident set size
+    ctx_switches: int  # cumulative voluntary + involuntary
+
+
+def read_resource_sample() -> ResourceSample | None:
+    """One sample of the current process, or ``None`` off-Linux."""
+    try:
+        stat = _PROC_STAT.read_text()
+        statm = _PROC_STATM.read_text()
+    except OSError:
+        return None
+    ts = time.perf_counter()
+    # stat: fields after the parenthesized comm (which may itself
+    # contain spaces); utime/stime are fields 12/13 past the ")".
+    after = stat.rsplit(")", 1)[-1].split()
+    try:
+        cpu_seconds = (int(after[11]) + int(after[12])) / _CLK_TCK
+        rss_bytes = int(statm.split()[1]) * _PAGE_SIZE
+    except (IndexError, ValueError):
+        return None
+    ctx = 0
+    try:
+        for line in _PROC_STATUS.read_text().splitlines():
+            if line.startswith(("voluntary_ctxt_switches", "nonvoluntary_ctxt_switches")):
+                ctx += int(line.rsplit(None, 1)[-1])
+    except (OSError, ValueError):
+        ctx = 0
+    return ResourceSample(ts=ts, cpu_seconds=cpu_seconds, rss_bytes=rss_bytes, ctx_switches=ctx)
+
+
+class TelemetrySeries:
+    """Resource samples of one process, with summary statistics."""
+
+    def __init__(
+        self,
+        pid: int,
+        interval: float = DEFAULT_INTERVAL,
+        samples: list[ResourceSample] | None = None,
+        supported: bool = True,
+    ) -> None:
+        self.pid = pid
+        self.interval = interval
+        self.samples: list[ResourceSample] = list(samples or [])
+        self.supported = supported
+
+    def __bool__(self) -> bool:
+        return bool(self.samples)
+
+    def extend(self, other: "TelemetrySeries") -> "TelemetrySeries":
+        """Merge another window of the same process; returns self."""
+        self.samples.extend(other.samples)
+        self.samples.sort(key=lambda s: s.ts)
+        self.supported = self.supported and other.supported
+        return self
+
+    # -- summaries -----------------------------------------------------
+
+    @property
+    def peak_rss_bytes(self) -> int | None:
+        return max((s.rss_bytes for s in self.samples), default=None)
+
+    @property
+    def mean_rss_bytes(self) -> float | None:
+        if not self.samples:
+            return None
+        return sum(s.rss_bytes for s in self.samples) / len(self.samples)
+
+    @property
+    def cpu_seconds(self) -> float | None:
+        """CPU time consumed across the sampled window(s)."""
+        if len(self.samples) < 2:
+            return None
+        return self.samples[-1].cpu_seconds - self.samples[0].cpu_seconds
+
+    @property
+    def wall_seconds(self) -> float | None:
+        if len(self.samples) < 2:
+            return None
+        return self.samples[-1].ts - self.samples[0].ts
+
+    @property
+    def mean_cpu_percent(self) -> float | None:
+        """CPU seconds over wall seconds, as a percentage of one core."""
+        cpu, wall = self.cpu_seconds, self.wall_seconds
+        if cpu is None or not wall or wall <= 0:
+            return None
+        return 100.0 * cpu / wall
+
+    @property
+    def ctx_switches(self) -> int | None:
+        if len(self.samples) < 2:
+            return None
+        return self.samples[-1].ctx_switches - self.samples[0].ctx_switches
+
+    def cpu_percent_series(self) -> list[tuple[float, float]]:
+        """Pairwise ``(ts, cpu%)`` between consecutive samples."""
+        out: list[tuple[float, float]] = []
+        for a, b in zip(self.samples, self.samples[1:]):
+            dt = b.ts - a.ts
+            if dt <= 0:
+                continue
+            out.append((b.ts, 100.0 * (b.cpu_seconds - a.cpu_seconds) / dt))
+        return out
+
+    # -- serialization -------------------------------------------------
+
+    def as_dict(
+        self, epoch: float = 0.0, max_points: int = MAX_SERIES_POINTS
+    ) -> dict[str, Any]:
+        """JSON-ready summary + (downsampled) series.
+
+        ``epoch`` rebases sample timestamps (absolute ``perf_counter``
+        readings) to run-relative seconds, matching the chunk trace.
+        Series rows are ``[ts, cpu_percent, rss_bytes]``; the first row
+        has no CPU delta and reports 0.
+        """
+        cpu_by_ts = dict(self.cpu_percent_series())
+        rows = [
+            [round(s.ts - epoch, 4), round(cpu_by_ts.get(s.ts, 0.0), 2), s.rss_bytes]
+            for s in self.samples
+        ]
+        if len(rows) > max_points > 0:
+            step = len(rows) / max_points
+            rows = [rows[int(i * step)] for i in range(max_points - 1)] + [rows[-1]]
+        return {
+            "pid": self.pid,
+            "supported": self.supported,
+            "n_samples": len(self.samples),
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "mean_rss_bytes": self.mean_rss_bytes,
+            "cpu_seconds": self.cpu_seconds,
+            "mean_cpu_percent": self.mean_cpu_percent,
+            "ctx_switches": self.ctx_switches,
+            "series": rows,
+        }
+
+
+class TelemetrySampler:
+    """Polls ``/proc/self`` from a daemon thread at a fixed interval.
+
+    Use as a context manager; :meth:`stop` (or exit) returns the
+    :class:`TelemetrySeries`.  On platforms without procfs every call
+    is a no-op and the returned series is empty with
+    ``supported=False``.
+    """
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL) -> None:
+        if interval <= 0:
+            raise ValueError("telemetry interval must be positive seconds")
+        self.interval = interval
+        self.series = TelemetrySeries(
+            pid=os.getpid(), interval=interval, supported=telemetry_supported()
+        )
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "TelemetrySampler":
+        if self._thread is not None:
+            raise RuntimeError("telemetry sampler already started")
+        if not self.series.supported:
+            return self  # explicit no-op off-Linux
+        first = read_resource_sample()
+        if first is not None:
+            self.series.samples.append(first)
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._sample_loop, name="repro-telemetry", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> TelemetrySeries:
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join()
+            self._thread = None
+            last = read_resource_sample()
+            if last is not None:
+                self.series.samples.append(last)
+        return self.series
+
+    def __enter__(self) -> "TelemetrySampler":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def _sample_loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            sample = read_resource_sample()
+            if sample is not None:
+                self.series.samples.append(sample)
+
+
+def publish_telemetry(metrics: Any, series_by_worker: dict[int, TelemetrySeries]) -> None:
+    """Publish telemetry summary gauges into a metrics registry.
+
+    Aggregates across workers: peak RSS is the max over workers (the
+    memory high-water mark of any one process), CPU% the mean over
+    workers with data, context switches the sum.  No-op when every
+    series is empty (telemetry off or unsupported).
+    """
+    peaks = [s.peak_rss_bytes for s in series_by_worker.values() if s.peak_rss_bytes]
+    cpus = [
+        s.mean_cpu_percent
+        for s in series_by_worker.values()
+        if s.mean_cpu_percent is not None
+    ]
+    switches = [s.ctx_switches for s in series_by_worker.values() if s.ctx_switches]
+    if peaks:
+        metrics.gauge("telemetry.peak_rss_bytes").set(float(max(peaks)))
+    if cpus:
+        metrics.gauge("telemetry.mean_cpu_percent").set(sum(cpus) / len(cpus))
+    if switches:
+        metrics.counter("telemetry.ctx_switches").inc(sum(switches))
+
+
+def telemetry_payload(
+    series_by_worker: dict[int, TelemetrySeries],
+    interval: float,
+    epoch: float = 0.0,
+) -> dict[str, Any]:
+    """The ``RunRecord.telemetry`` document for one run."""
+    workers = []
+    for worker in sorted(series_by_worker):
+        doc = series_by_worker[worker].as_dict(epoch=epoch)
+        doc["worker"] = worker
+        workers.append(doc)
+    peaks = [w["peak_rss_bytes"] for w in workers if w["peak_rss_bytes"]]
+    cpus = [w["mean_cpu_percent"] for w in workers if w["mean_cpu_percent"] is not None]
+    return {
+        "interval": interval,
+        "supported": any(w["supported"] for w in workers) if workers else telemetry_supported(),
+        "workers": workers,
+        "peak_rss_bytes": max(peaks) if peaks else None,
+        "mean_cpu_percent": sum(cpus) / len(cpus) if cpus else None,
+    }

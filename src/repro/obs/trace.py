@@ -185,9 +185,18 @@ class Tracer:
         with self._lock:
             return list(self._counters)
 
+    @property
+    def instants(self) -> list[InstantEvent]:
+        with self._lock:
+            return list(self._instants)
+
     def find(self, name: str) -> list[Span]:
         """All spans called ``name``."""
         return [s for s in self.spans if s.name == name]
+
+    def find_instants(self, name: str) -> list[InstantEvent]:
+        """All instant markers called ``name``."""
+        return [i for i in self.instants if i.name == name]
 
     # -- export --------------------------------------------------------
 

@@ -67,7 +67,7 @@ def metrics_rows(metrics: dict[str, Any]) -> list[tuple[str, str]]:
     for name, value in (metrics.get("counters") or {}).items():
         rows.append((name, f"{int(value):,}"))
     for name, value in (metrics.get("gauges") or {}).items():
-        rows.append((name, sig(float(value))))
+        rows.append((name, sig(float(value)) if value is not None else "-"))
     for name, hist in (metrics.get("histograms") or {}).items():
         count = hist.get("count", 0)
         mean = hist.get("sum", 0.0) / count if count else 0.0

@@ -56,9 +56,21 @@ The engine is the root publisher of the :mod:`repro.obs` layer:
   per-task-work and per-worker histograms; with ``instrument=True`` on
   the serial path also the per-category dynamic op counts) and embeds
   the snapshot in the run record (schema v2).
+* With ``profile=True`` a statistical sampling profiler
+  (:mod:`repro.obs.profile`) runs around the ``prepare``, ``execute``
+  and ``merge`` phases -- inside each worker process on the parallel
+  path, with per-chunk profiles shipped back and merged at shard
+  boundaries exactly like span buffers -- and the per-phase folded
+  stacks plus a top-N hotspot table land in the schema-v4 record.
+  The serial-baseline phase is deliberately *not* profiled so the
+  measured speedup stays clean.
+* With ``telemetry=True`` each worker samples its own ``/proc/self``
+  CPU/RSS/context-switch series during chunk execution
+  (:mod:`repro.obs.telemetry`); the engine merges series per worker,
+  embeds them in the record and publishes ``telemetry.*`` gauges.
 
-Tracing and metrics are off by default and cost nothing beyond a few
-``None`` checks on the serial fast path.
+Tracing, metrics, profiling and telemetry are off by default and cost
+nothing beyond a few ``None`` checks on the serial fast path.
 """
 
 from __future__ import annotations
@@ -69,7 +81,7 @@ import platform
 import time
 import warnings
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.benchmark import (
@@ -86,6 +98,20 @@ from repro.obs.metrics import (
     WORK_BUCKETS,
     MetricsRegistry,
     activated_metrics,
+)
+from repro.obs.profile import (
+    DEFAULT_HZ,
+    DEFAULT_TOP_N,
+    SamplingProfiler,
+    StackProfile,
+    merge_profiles,
+)
+from repro.obs.telemetry import (
+    DEFAULT_INTERVAL,
+    TelemetrySampler,
+    TelemetrySeries,
+    publish_telemetry,
+    telemetry_payload,
 )
 from repro.obs.trace import Span, Tracer, activated
 from repro.runner.cache import ShardCheckpoint, WorkloadCache
@@ -134,6 +160,21 @@ class EngineRun:
     result: ExecutionResult
 
 
+@dataclass
+class ObsCapture:
+    """Profiling/telemetry one execution path gathered.
+
+    ``profiles`` maps phase name to its sampled stacks; ``telemetry``
+    maps worker index to that process's resource series; ``epoch`` is
+    the absolute ``perf_counter`` reading telemetry timestamps are
+    rebased against (the execute-phase start).
+    """
+
+    profiles: dict[str, StackProfile] = field(default_factory=dict)
+    telemetry: dict[int, TelemetrySeries] = field(default_factory=dict)
+    epoch: float = 0.0
+
+
 class ParallelRunner:
     """Shards a kernel's tasks across worker processes.
 
@@ -180,6 +221,17 @@ class ParallelRunner:
         and, on a later run of the same workload geometry, skip chunks
         already checkpointed.  The checkpoint clears once a run
         completes without quarantined chunks.
+    profile:
+        Run the statistical sampling profiler around the prepare,
+        execute and merge phases (in each worker on the parallel
+        path); folded stacks and a hotspot table land in the record.
+    profile_hz:
+        Profiler sampling rate (default 99 Hz).
+    telemetry:
+        Sample per-worker CPU/RSS/context switches from ``/proc``
+        during execution (graceful no-op off-Linux).
+    telemetry_interval:
+        Telemetry sampling interval in seconds (default 0.05).
     """
 
     def __init__(
@@ -196,6 +248,10 @@ class ParallelRunner:
         backoff: BackoffPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         resume: bool = False,
+        profile: bool = False,
+        profile_hz: float = DEFAULT_HZ,
+        telemetry: bool = False,
+        telemetry_interval: float = DEFAULT_INTERVAL,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -209,6 +265,10 @@ class ParallelRunner:
             raise ValueError(
                 f"on_failure must be one of {ON_FAILURE_CHOICES}, got {on_failure!r}"
             )
+        if profile_hz <= 0:
+            raise ValueError("profile_hz must be positive")
+        if telemetry_interval <= 0:
+            raise ValueError("telemetry_interval must be positive seconds")
         self.jobs = jobs
         self.chunk_size = chunk_size
         self.cache = cache
@@ -221,6 +281,13 @@ class ParallelRunner:
         self.backoff = backoff or BackoffPolicy()
         self.fault_plan = fault_plan if fault_plan else None
         self.resume = resume
+        self.profile = profile
+        self.profile_hz = profile_hz
+        self.telemetry = telemetry
+        self.telemetry_interval = telemetry_interval
+        #: Phase profile captured by :meth:`prepare`, consumed by the
+        #: next :meth:`execute` (one run at a time per runner).
+        self._prepare_profile: StackProfile | None = None
 
     def _span(self, name: str, **args: Any):
         """An engine-phase span, or a no-op when tracing is off."""
@@ -232,22 +299,31 @@ class ParallelRunner:
 
     def prepare(self, bench: Benchmark, size: DatasetSize) -> tuple[Any, float, bool]:
         """(workload, prepare_seconds, cache_hit) honoring the cache."""
+        self._prepare_profile = None
+        profiler = SamplingProfiler(self.profile_hz) if self.profile else None
+        profiler_ctx = profiler if profiler is not None else nullcontext()
         tracer_ctx = activated(self.tracer) if self.tracer is not None else nullcontext()
-        with tracer_ctx, self._span("engine.prepare", kernel=bench.name, size=size.value):
-            if self.cache is not None:
+        try:
+            with tracer_ctx, profiler_ctx, self._span(
+                "engine.prepare", kernel=bench.name, size=size.value
+            ):
+                if self.cache is not None:
+                    t0 = time.perf_counter()
+                    with self._span("engine.cache_lookup"):
+                        workload = self.cache.load(bench.name, size)
+                    if workload is not None:
+                        return workload, time.perf_counter() - t0, True
                 t0 = time.perf_counter()
-                with self._span("engine.cache_lookup"):
-                    workload = self.cache.load(bench.name, size)
-                if workload is not None:
-                    return workload, time.perf_counter() - t0, True
-            t0 = time.perf_counter()
-            with self._span("engine.generate"):
-                workload = bench.prepare(size)
-            prepare_seconds = time.perf_counter() - t0
-            if self.cache is not None:
-                with self._span("engine.cache_store"):
-                    self.cache.store(bench.name, size, workload)
-        return workload, prepare_seconds, False
+                with self._span("engine.generate"):
+                    workload = bench.prepare(size)
+                prepare_seconds = time.perf_counter() - t0
+                if self.cache is not None:
+                    with self._span("engine.cache_store"):
+                        self.cache.store(bench.name, size, workload)
+            return workload, prepare_seconds, False
+        finally:
+            if profiler is not None:
+                self._prepare_profile = profiler.profile
 
     # -- execution ----------------------------------------------------
 
@@ -285,18 +361,23 @@ class ParallelRunner:
                 as_execution_result(bench.execute(workload), bench.name)
                 serial_seconds = time.perf_counter() - t0
 
+        phase_profiles: dict[str, StackProfile] = {}
+        if self._prepare_profile is not None and self._prepare_profile.samples:
+            phase_profiles["prepare"] = self._prepare_profile
+        self._prepare_profile = None
+
         supervised: SupervisedExecution | None = None
         resumed_chunks = 0
         degraded = False
         if jobs == 1 or n_tasks is None or n_tasks <= 1:
-            result, chunks, workers, elapsed = self._execute_serial(
+            result, chunks, workers, elapsed, obs = self._execute_serial(
                 bench, workload, metrics
             )
             chunk_size = max(1, len(result.task_work))
         else:
             chunk_size = self._effective_chunk_size(n_tasks, jobs)
             try:
-                result, chunks, workers, elapsed, supervised, resumed_chunks = (
+                result, chunks, workers, elapsed, supervised, resumed_chunks, obs = (
                     self._execute_parallel(
                         bench, workload, size, n_tasks, chunk_size, jobs
                     )
@@ -316,9 +397,15 @@ class ParallelRunner:
                     self.tracer.instant(
                         "engine.degraded", cat="engine", error=str(exc)
                     )
-                result, chunks, workers, elapsed = self._execute_serial(
+                result, chunks, workers, elapsed, obs = self._execute_serial(
                     bench, workload, metrics
                 )
+        phase_profiles.update(obs.profiles)
+        if self.telemetry:
+            publish_telemetry(metrics, obs.telemetry)
+        profile_doc = self._profile_payload(phase_profiles)
+        if profile_doc is not None:
+            metrics.counter("profile.samples").inc(profile_doc["samples"])
 
         self._publish_metrics(
             metrics,
@@ -358,6 +445,12 @@ class ParallelRunner:
             resumed_chunks=resumed_chunks,
             degraded=degraded,
             fault_tolerance=self._fault_tolerance_config(),
+            profile=profile_doc,
+            telemetry=(
+                telemetry_payload(obs.telemetry, self.telemetry_interval, obs.epoch)
+                if self.telemetry
+                else None
+            ),
         )
         return EngineRun(record=record, output=result.output, result=result)
 
@@ -400,6 +493,25 @@ class ParallelRunner:
             )
             chunk_size = n_tasks
         return chunk_size
+
+    def _profile_payload(
+        self, phases: dict[str, StackProfile]
+    ) -> dict[str, Any] | None:
+        """The ``RunRecord.profile`` document (``None`` with profiling off)."""
+        if not self.profile:
+            return None
+        merged = merge_profiles(list(phases.values()), hz=self.profile_hz)
+        return {
+            "hz": self.profile_hz,
+            "samples": merged.samples,
+            "duration_seconds": merged.duration_seconds,
+            "phases": {
+                name: prof.as_dict()
+                for name, prof in sorted(phases.items())
+                if prof.samples
+            },
+            "hotspots": [h.as_dict() for h in merged.hotspots(DEFAULT_TOP_N)],
+        }
 
     def _fault_tolerance_config(self) -> dict[str, Any]:
         """The engine's recovery configuration, for the run record."""
@@ -478,14 +590,34 @@ class ParallelRunner:
 
     def _execute_serial(
         self, bench: Benchmark, workload: Any, metrics: MetricsRegistry
-    ) -> tuple[ExecutionResult, list[ChunkTrace], list[WorkerStats], float]:
+    ) -> tuple[
+        ExecutionResult, list[ChunkTrace], list[WorkerStats], float, ObsCapture
+    ]:
         instr = Instrumentation(counts=OpCounts()) if self.instrument else None
         tracer_ctx = activated(self.tracer) if self.tracer is not None else nullcontext()
+        profiler = SamplingProfiler(self.profile_hz) if self.profile else None
+        telemetry = (
+            TelemetrySampler(self.telemetry_interval) if self.telemetry else None
+        )
+        obs = ObsCapture()
         with tracer_ctx, activated_metrics(metrics), self._span(
             "engine.execute", kernel=bench.name, jobs=1
         ):
             t0 = time.perf_counter()
-            result = as_execution_result(bench.execute(workload, instr=instr), bench.name)
+            obs.epoch = t0
+            try:
+                if profiler is not None:
+                    profiler.start()
+                if telemetry is not None:
+                    telemetry.start()
+                result = as_execution_result(
+                    bench.execute(workload, instr=instr), bench.name
+                )
+            finally:
+                if profiler is not None:
+                    obs.profiles["execute"] = profiler.stop()
+                if telemetry is not None:
+                    obs.telemetry[0] = telemetry.stop()
             elapsed = time.perf_counter() - t0
         if instr is not None:
             metrics.publish_op_counts(instr.counts)
@@ -513,7 +645,7 @@ class ParallelRunner:
                 busy_seconds=elapsed,
             )
         ]
-        return result, chunks, workers, elapsed
+        return result, chunks, workers, elapsed, obs
 
     def _checkpoint_for(
         self, bench: Benchmark, size: DatasetSize, n_tasks: int, chunk_size: int
@@ -535,7 +667,7 @@ class ParallelRunner:
                     bench.execute_shard(workload, range(start, stop)), bench.name
                 )
             t1 = time.perf_counter()
-            return start, stop, result, os.getpid(), t0, t1, None
+            return start, stop, result, os.getpid(), t0, t1, None, None
 
         return fallback
 
@@ -554,6 +686,7 @@ class ParallelRunner:
         float,
         SupervisedExecution,
         int,
+        ObsCapture,
     ]:
         bounds = [
             (lo, min(lo + chunk_size, n_tasks))
@@ -564,7 +697,14 @@ class ParallelRunner:
         ctx = multiprocessing.get_context("fork" if use_fork else "spawn")
         jobs = min(jobs, len(bounds))
         trace_enabled = self.tracer is not None
-        state = (bench, workload, trace_enabled, self.fault_plan)
+        state = (
+            bench,
+            workload,
+            trace_enabled,
+            self.fault_plan,
+            self.profile_hz if self.profile else None,
+            self.telemetry_interval if self.telemetry else None,
+        )
         set_worker_state(*state)  # forked children inherit
 
         checkpoint = self._checkpoint_for(bench, size, n_tasks, chunk_size)
@@ -576,7 +716,7 @@ class ParallelRunner:
                 if chunk in wanted:
                     # zero-width placeholder timings: the work happened
                     # in an earlier, interrupted run
-                    preloaded[chunk] = (*chunk, result, pid, 0.0, 0.0, None)
+                    preloaded[chunk] = (*chunk, result, pid, 0.0, 0.0, None, None)
             if preloaded and self.tracer is not None:
                 self.tracer.instant(
                     "engine.resume", cat="engine", chunks=len(preloaded)
@@ -609,7 +749,9 @@ class ParallelRunner:
         pids: dict[int, int] = {}
         chunks: list[ChunkTrace] = []
         per_worker: dict[int, WorkerStats] = {}
-        for start, stop, _, pid, w0, w1, spans in raw:
+        obs = ObsCapture(epoch=t0)
+        execute_profile = StackProfile(hz=self.profile_hz)
+        for start, stop, _, pid, w0, w1, spans, chunk_obs in raw:
             worker = pids.setdefault(pid, len(pids))
             chunks.append(
                 ChunkTrace(
@@ -627,6 +769,18 @@ class ParallelRunner:
             stats.chunks += 1
             stats.tasks += stop - start
             stats.busy_seconds += w1 - w0
+            if chunk_obs:
+                # per-worker observability merges at the shard boundary,
+                # the same model as the span buffers below
+                chunk_profile = chunk_obs.get("profile")
+                if chunk_profile is not None:
+                    execute_profile.merge(chunk_profile)
+                chunk_telemetry = chunk_obs.get("telemetry")
+                if chunk_telemetry is not None:
+                    if worker in obs.telemetry:
+                        obs.telemetry[worker].extend(chunk_telemetry)
+                    else:
+                        obs.telemetry[worker] = chunk_telemetry
             if self.tracer is not None:
                 # merge the worker's span buffer at the shard boundary,
                 # and give the chunk itself a span on the worker's track
@@ -647,23 +801,29 @@ class ParallelRunner:
             for pid, worker in pids.items():
                 self.tracer.name_track(pid, 0, f"worker {worker}")
             self._emit_worker_counter(raw)
-        with self._span("engine.merge", kernel=bench.name, shards=len(raw)):
+        merge_profiler = SamplingProfiler(self.profile_hz) if self.profile else None
+        merge_ctx = merge_profiler if merge_profiler is not None else nullcontext()
+        with merge_ctx, self._span("engine.merge", kernel=bench.name, shards=len(raw)):
             if raw:
                 result = bench.merge_shards([r[2] for r in raw])
             else:
                 # every chunk quarantined: an empty result with the gap
                 # report in the record beats crashing a reducer on []
                 result = ExecutionResult.empty()
+        if execute_profile.samples:
+            obs.profiles["execute"] = execute_profile
+        if merge_profiler is not None and merge_profiler.profile.samples:
+            obs.profiles["merge"] = merge_profiler.profile
         workers = [per_worker[w] for w in sorted(per_worker)]
         if checkpoint is not None and not supervised.quarantined:
             checkpoint.clear()
-        return result, chunks, workers, elapsed, supervised, resumed_chunks
+        return result, chunks, workers, elapsed, supervised, resumed_chunks, obs
 
     def _emit_worker_counter(self, raw: list[tuple]) -> None:
         """``workers.active`` counter series from the chunk timings."""
         assert self.tracer is not None
         boundaries: list[tuple[float, int]] = []
-        for _, _, _, _, w0, w1, _ in raw:
+        for _, _, _, _, w0, w1, _, _ in raw:
             if w1 <= w0:
                 continue  # resumed placeholder, no live execution window
             boundaries.append((w0, +1))
@@ -690,6 +850,10 @@ def run_kernel(
     backoff: BackoffPolicy | None = None,
     fault_plan: FaultPlan | None = None,
     resume: bool = False,
+    profile: bool = False,
+    profile_hz: float = DEFAULT_HZ,
+    telemetry: bool = False,
+    telemetry_interval: float = DEFAULT_INTERVAL,
 ) -> EngineRun:
     """One-call convenience over :class:`ParallelRunner`."""
     runner = ParallelRunner(
@@ -705,5 +869,9 @@ def run_kernel(
         backoff=backoff,
         fault_plan=fault_plan,
         resume=resume,
+        profile=profile,
+        profile_hz=profile_hz,
+        telemetry=telemetry,
+        telemetry_interval=telemetry_interval,
     )
     return runner.run(kernel, size)

@@ -25,10 +25,16 @@ Schema history
   (the run fell back to in-process serial execution because no worker
   pool could be created) and ``fault_tolerance`` (the engine's
   timeout/retry/on-failure configuration for the run).
+* ``genomicsbench.run/4`` -- adds the profiling substrate: ``profile``
+  (per-phase folded stacks from the sampling profiler plus the
+  merged top-N ``hotspots`` table, see :mod:`repro.obs.profile`) and
+  ``telemetry`` (per-worker CPU/RSS/context-switch series and
+  peak/mean summaries, see :mod:`repro.obs.telemetry`).  Both are
+  ``None`` unless the run enabled ``--profile`` / ``--telemetry``.
 
-:func:`RunRecord.from_dict` accepts all three; older documents load
+:func:`RunRecord.from_dict` accepts all four; older documents load
 with the newer fields at their empty defaults and are upgraded in
-memory, so re-serializing an old record yields a valid v3 document.
+memory, so re-serializing an old record yields a valid v4 document.
 """
 
 from __future__ import annotations
@@ -42,9 +48,10 @@ from repro.core.serialize import dumps
 
 #: Schema identifier embedded in every serialized record.  Bump the
 #: trailing version only for incompatible changes; additions are free.
-SCHEMA = "genomicsbench.run/3"
+SCHEMA = "genomicsbench.run/4"
 
 #: Previous schema versions, still accepted by :func:`RunRecord.from_dict`.
+SCHEMA_V3 = "genomicsbench.run/3"
 SCHEMA_V2 = "genomicsbench.run/2"
 SCHEMA_V1 = "genomicsbench.run/1"
 
@@ -132,6 +139,8 @@ class RunRecord:
     resumed_chunks: int = 0
     degraded: bool = False
     fault_tolerance: dict[str, Any] | None = None
+    profile: dict[str, Any] | None = None
+    telemetry: dict[str, Any] | None = None
     schema: str = SCHEMA
 
     @property
@@ -163,6 +172,15 @@ class RunRecord:
         """True when no task range was quarantined (full output)."""
         return not self.quarantined
 
+    @property
+    def peak_rss_bytes(self) -> float | None:
+        """Peak worker RSS from telemetry (``None`` when not sampled)."""
+        if self.telemetry and self.telemetry.get("peak_rss_bytes"):
+            return float(self.telemetry["peak_rss_bytes"])
+        gauges = (self.metrics or {}).get("gauges") or {}
+        value = gauges.get("telemetry.peak_rss_bytes")
+        return float(value) if value is not None else None
+
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form with derived metrics materialized."""
         d = asdict(self)
@@ -178,7 +196,7 @@ class RunRecord:
     @classmethod
     def from_dict(cls, d: dict[str, Any]) -> "RunRecord":
         schema = d.get("schema", SCHEMA)
-        if schema not in (SCHEMA, SCHEMA_V2, SCHEMA_V1):
+        if schema not in (SCHEMA, SCHEMA_V3, SCHEMA_V2, SCHEMA_V1):
             raise ValueError(f"unsupported run-record schema {schema!r}")
         return cls(
             kernel=d["kernel"],
@@ -204,6 +222,8 @@ class RunRecord:
             resumed_chunks=d.get("resumed_chunks", 0),
             degraded=d.get("degraded", False),
             fault_tolerance=d.get("fault_tolerance"),
+            profile=d.get("profile"),
+            telemetry=d.get("telemetry"),
             # older documents upgrade in memory: the loaded object
             # carries every newer field (empty defaults), so it
             # re-serializes as the current schema.

@@ -39,6 +39,8 @@ from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.core.benchmark import Benchmark, ExecutionResult, as_execution_result
+from repro.obs.profile import SamplingProfiler, StackProfile
+from repro.obs.telemetry import TelemetrySampler, TelemetrySeries
 from repro.obs.trace import Span, Tracer, activated
 from repro.runner.faults import FaultPlan
 from repro.runner.record import FailureEvent
@@ -53,13 +55,24 @@ JOIN_SECONDS = 1.0
 #: ``on_failure`` policies for chunks that exhaust their retry budget.
 ON_FAILURE_CHOICES = ("fail", "quarantine", "serial")
 
-#: A completed chunk attempt as shipped back from a worker:
-#: ``(start, stop, result, pid, begin, end, spans)``.
-ChunkPayload = tuple[int, int, ExecutionResult, int, float, float, "list[Span] | None"]
+#: Per-chunk observability capture shipped back alongside the result:
+#: the chunk's sampled stack profile and the worker's resource series
+#: over the chunk window (either may be absent when disabled).
+ChunkObs = "dict[str, StackProfile | TelemetrySeries]"
 
-#: (benchmark, workload, trace_enabled, fault_plan) inherited by forked
-#: workers; spawn-style platforms receive it as a process argument.
-_WORKER_STATE: tuple[Benchmark, Any, bool, FaultPlan | None] | None = None
+#: A completed chunk attempt as shipped back from a worker:
+#: ``(start, stop, result, pid, begin, end, spans, obs)``.
+ChunkPayload = tuple[
+    int, int, ExecutionResult, int, float, float, "list[Span] | None", "ChunkObs | None"
+]
+
+#: (benchmark, workload, trace_enabled, fault_plan, profile_hz,
+#: telemetry_interval) inherited by forked workers; spawn-style
+#: platforms receive it as a process argument.  ``profile_hz`` /
+#: ``telemetry_interval`` of ``None`` disable the respective sampler.
+_WORKER_STATE: (
+    tuple[Benchmark, Any, bool, FaultPlan | None, float | None, float | None] | None
+) = None
 
 
 class ChunkFailedError(RuntimeError):
@@ -83,10 +96,14 @@ def set_worker_state(
     workload: Any,
     trace_enabled: bool,
     fault_plan: FaultPlan | None,
+    profile_hz: float | None = None,
+    telemetry_interval: float | None = None,
 ) -> None:
     """Install the state forked workers inherit copy-on-write."""
     global _WORKER_STATE
-    _WORKER_STATE = (bench, workload, trace_enabled, fault_plan)
+    _WORKER_STATE = (
+        bench, workload, trace_enabled, fault_plan, profile_hz, telemetry_interval
+    )
 
 
 def clear_worker_state() -> None:
@@ -97,26 +114,41 @@ def clear_worker_state() -> None:
 def _execute_chunk(start: int, stop: int, ordinal: int, attempt: int) -> ChunkPayload:
     """Run tasks ``[start, stop)`` in this worker (injection-aware)."""
     assert _WORKER_STATE is not None, "worker started without benchmark state"
-    bench, workload, trace_enabled, plan = _WORKER_STATE
+    bench, workload, trace_enabled, plan, profile_hz, telemetry_interval = _WORKER_STATE
     if plan is not None:
         # deterministic chaos: may raise, sleep past any deadline, or
         # kill this process outright -- before any real work happens
         plan.fire(ordinal, attempt)
     spans: list[Span] | None = None
+    profiler = SamplingProfiler(profile_hz) if profile_hz else None
+    telemetry = TelemetrySampler(telemetry_interval) if telemetry_interval else None
     t0 = time.perf_counter()
-    if trace_enabled:
-        tracer = Tracer()
-        with activated(tracer):
+    try:
+        if profiler is not None:
+            profiler.start()
+        if telemetry is not None:
+            telemetry.start()
+        if trace_enabled:
+            tracer = Tracer()
+            with activated(tracer):
+                result = as_execution_result(
+                    bench.execute_shard(workload, range(start, stop)), bench.name
+                )
+            spans = tracer.spans
+        else:
             result = as_execution_result(
                 bench.execute_shard(workload, range(start, stop)), bench.name
             )
-        spans = tracer.spans
-    else:
-        result = as_execution_result(
-            bench.execute_shard(workload, range(start, stop)), bench.name
-        )
+    finally:
+        obs: dict[str, Any] | None = None
+        if profiler is not None or telemetry is not None:
+            obs = {}
+            if profiler is not None:
+                obs["profile"] = profiler.stop()
+            if telemetry is not None:
+                obs["telemetry"] = telemetry.stop()
     t1 = time.perf_counter()
-    return start, stop, result, os.getpid(), t0, t1, spans
+    return start, stop, result, os.getpid(), t0, t1, spans, obs
 
 
 def _worker_main(worker_id: int, inbox: Any, outbox: Any, state: Any) -> None:

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.telemetry import telemetry_supported
 from repro.runner.record import SCHEMA, RunRecord
 
 
@@ -176,3 +177,109 @@ class TestBench:
     def test_check_with_no_history_is_a_noop(self, tmp_path):
         missing = tmp_path / "BENCH_none.json"
         assert main(["bench", "check", "--baseline", str(missing)]) == 0
+
+    @pytest.mark.skipif(not telemetry_supported(), reason="no procfs")
+    def test_record_telemetry_lands_in_history(self, tmp_path, capsys):
+        history = tmp_path / "BENCH_ci.json"
+        assert main(
+            ["bench", "record", "grm", "--no-cache", "--telemetry",
+             "--history", str(history)]
+        ) == 0
+        (entry,) = json.loads(history.read_text())["entries"]
+        assert entry["telemetry"]["supported"]
+        assert entry["telemetry"]["peak_rss_bytes"] > 0
+
+    @pytest.mark.skipif(not telemetry_supported(), reason="no procfs")
+    def test_check_rss_threshold_gates_memory_growth(self, tmp_path, capsys):
+        history = tmp_path / "BENCH_ci.json"
+        for _ in range(3):
+            main(["bench", "record", "grm", "--no-cache", "--telemetry",
+                  "--history", str(history)])
+        doc = json.loads(history.read_text())
+        fat = json.loads(json.dumps(doc["entries"][-1]))
+        fat["telemetry"]["peak_rss_bytes"] *= 10  # inject a 10x RSS blow-up
+        doc["entries"].append(fat)
+        history.write_text(json.dumps(doc))
+        # without the flag the RSS gate stays off
+        assert main(["bench", "check", "--baseline", str(history)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["bench", "check", "--baseline", str(history),
+             "--rss-threshold", "20"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "RSS GREW" in captured.out
+        assert "(rss)" in captured.err
+        # --warn-only keeps its report-but-pass semantics for the RSS gate
+        assert main(
+            ["bench", "check", "--baseline", str(history),
+             "--rss-threshold", "20", "--warn-only"]
+        ) == 0
+
+
+class TestObs:
+    def _json_run(self, path, *extra):
+        args = ["run", "grm", "--no-cache", "--no-baseline", "--profile",
+                "--profile-hz", "997", "--telemetry",
+                "--format", "json", "--out", str(path), *extra]
+        assert main(args) == 0
+        return path
+
+    def test_run_profile_telemetry_lands_in_record(self, tmp_path):
+        out = self._json_run(tmp_path / "run.json")
+        record = RunRecord.from_dict(json.loads(out.read_text())["data"])
+        assert record.schema == SCHEMA == "genomicsbench.run/4"
+        assert record.profile is not None
+        assert record.profile["hz"] == 997.0
+        assert set(record.profile) >= {"hz", "samples", "phases", "hotspots"}
+        assert record.telemetry is not None
+        if telemetry_supported():
+            assert record.peak_rss_bytes > 0
+
+    def test_obs_report_writes_self_contained_html(self, tmp_path, capsys):
+        run = self._json_run(tmp_path / "run.json")
+        out = tmp_path / "report.html"
+        assert main(["obs", "report", str(run), "--out", str(out)]) == 0
+        assert "wrote run report" in capsys.readouterr().err
+        html = out.read_text()
+        assert "<!doctype html>" in html.lower()
+        assert "grm" in html
+        # self-contained: no external scripts, styles or images
+        assert "<script src" not in html and "<link" not in html
+
+    def test_obs_diff_reports_quantities(self, tmp_path, capsys):
+        a = self._json_run(tmp_path / "a.json")
+        b = self._json_run(tmp_path / "b.json")
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "execute seconds" in out
+
+    def test_obs_export_all_formats(self, tmp_path, capsys):
+        run = self._json_run(tmp_path / "run.json")
+        folded = tmp_path / "p.folded"
+        speedscope = tmp_path / "p.speedscope.json"
+        om = tmp_path / "m.om"
+        assert main(
+            ["obs", "export", str(run), "--folded", str(folded),
+             "--speedscope", str(speedscope), "--openmetrics", str(om)]
+        ) == 0
+        assert folded.exists()
+        ss = json.loads(speedscope.read_text())
+        assert "shared" in ss and "profiles" in ss
+        text = om.read_text()
+        assert text.endswith("# EOF\n")
+        assert "genomicsbench_" in text
+
+    def test_obs_export_without_profile_errors(self, tmp_path, capsys):
+        out = tmp_path / "plain.json"
+        assert main(
+            ["run", "grm", "--no-cache", "--no-baseline",
+             "--format", "json", "--out", str(out)]
+        ) == 0
+        with pytest.raises(SystemExit, match="--profile"):
+            main(["obs", "export", str(out), "--folded", str(tmp_path / "p")])
+
+    def test_obs_export_requires_a_target(self, tmp_path):
+        run = self._json_run(tmp_path / "run.json")
+        with pytest.raises(SystemExit, match="nothing to export"):
+            main(["obs", "export", str(run)])

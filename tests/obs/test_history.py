@@ -13,7 +13,16 @@ from repro.obs.history import (
 from repro.runner.record import RunRecord
 
 
-def _record(kernel="grm", jobs=2, work=1_000_000, seconds=1.0):
+def _record(kernel="grm", jobs=2, work=1_000_000, seconds=1.0, rss=None):
+    telemetry = None
+    if rss is not None:
+        telemetry = {
+            "interval": 0.05,
+            "supported": True,
+            "workers": [],
+            "peak_rss_bytes": float(rss),
+            "mean_cpu_percent": None,
+        }
     return RunRecord(
         kernel=kernel,
         size="small",
@@ -26,6 +35,7 @@ def _record(kernel="grm", jobs=2, work=1_000_000, seconds=1.0):
         prepare_cached=True,
         execute_seconds=seconds,
         serial_seconds=None,
+        telemetry=telemetry,
     )
 
 
@@ -114,3 +124,49 @@ def test_configs_are_checked_independently():
 def test_check_rejects_bad_window():
     with pytest.raises(ValueError):
         check_regressions([], window=0)
+
+
+def test_rss_gate_off_by_default():
+    records = [_record(rss=100), _record(rss=100), _record(rss=1000)]
+    (check,) = check_regressions(records)
+    assert check.rss_threshold is None
+    assert check.rss_ratio == pytest.approx(10.0)  # ratio still reported
+    assert not check.rss_regressed
+    assert not check.regressed
+
+
+def test_rss_growth_trips_opt_in_gate():
+    records = [_record(rss=100), _record(rss=100), _record(rss=150)]
+    (check,) = check_regressions(records, rss_threshold=0.20)
+    assert check.rss_latest == pytest.approx(150.0)
+    assert check.rss_baseline == pytest.approx(100.0)
+    assert check.rss_ratio == pytest.approx(1.5)
+    assert check.rss_regressed
+    # throughput itself is steady -- the two gates are independent
+    assert not check.regressed
+
+
+def test_rss_within_threshold_passes():
+    records = [_record(rss=100), _record(rss=100), _record(rss=110)]
+    (check,) = check_regressions(records, rss_threshold=0.20)
+    assert check.rss_ratio == pytest.approx(1.1)
+    assert not check.rss_regressed
+
+
+def test_rss_baseline_is_median_of_telemetered_priors():
+    # the un-telemetered run and the outlier are both absorbed
+    rss = [100, None, 100, 900, 100, 200]
+    records = [_record(rss=r) for r in rss]
+    (check,) = check_regressions(records, window=10, rss_threshold=0.5)
+    assert check.rss_baseline == pytest.approx(100.0)
+    assert check.rss_ratio == pytest.approx(2.0)
+    assert check.rss_regressed
+
+
+def test_runs_without_telemetry_never_trip_rss_gate():
+    records = [_record(), _record(), _record()]
+    (check,) = check_regressions(records, rss_threshold=0.01)
+    assert check.rss_latest is None
+    assert check.rss_baseline is None
+    assert check.rss_ratio is None
+    assert not check.rss_regressed

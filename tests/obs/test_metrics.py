@@ -82,6 +82,23 @@ def test_registry_round_trips_through_dict():
     assert back.as_dict() == doc
 
 
+def test_round_trip_preserves_unset_gauges():
+    """A registered-but-never-set gauge survives serialize/load cycles."""
+    reg = MetricsRegistry()
+    reg.gauge("declared.unset")
+    reg.gauge("set").set(2.0)
+    doc = reg.as_dict()
+    assert doc["gauges"] == {"declared.unset": None, "set": 2.0}
+    back = MetricsRegistry.from_dict(doc)
+    assert back.as_dict() == doc
+    # and the reloaded gauge is live, not a tombstone
+    back.gauge("declared.unset").set(9.0)
+    assert back.as_dict()["gauges"]["declared.unset"] == 9.0
+    # idempotent across repeated cycles
+    twice = MetricsRegistry.from_dict(MetricsRegistry.from_dict(doc).as_dict())
+    assert twice.as_dict() == doc
+
+
 def test_publish_op_counts():
     reg = MetricsRegistry()
     reg.publish_op_counts(OpCounts(fp=10, load=3))

@@ -1,0 +1,154 @@
+"""Tests for the statistical sampling profiler."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.profile import (
+    DEFAULT_HZ,
+    FOLD_SEP,
+    SamplingProfiler,
+    StackProfile,
+    frame_label,
+    merge_profiles,
+)
+
+
+def _busy_wait(seconds: float) -> int:
+    """A recognizably named hot loop for the sampler to catch."""
+    deadline = time.perf_counter() + seconds
+    n = 0
+    while time.perf_counter() < deadline:
+        n += 1
+    return n
+
+
+class TestFrameLabel:
+    def test_keeps_path_from_last_repro_component(self):
+        class Code:
+            co_filename = "/home/x/src/repro/align/batched.py"
+            co_name = "run"
+
+        assert frame_label(Code) == "repro/align/batched.py:run"
+
+    def test_foreign_frames_keep_basename_only(self):
+        class Code:
+            co_filename = "/usr/lib/python3/threading.py"
+            co_name = "wait"
+
+        assert frame_label(Code) == "threading.py:wait"
+
+
+class TestSamplingProfiler:
+    def test_samples_a_busy_function(self):
+        with SamplingProfiler(hz=997) as prof:
+            _busy_wait(0.25)
+        profile = prof.profile
+        assert profile.samples > 10
+        assert profile.duration_seconds == pytest.approx(0.25, abs=0.15)
+        leaves = {key.split(FOLD_SEP)[-1] for key in profile.folded}
+        assert any("_busy_wait" in leaf for leaf in leaves)
+
+    def test_hotspot_table_names_the_hot_frame(self):
+        with SamplingProfiler(hz=997) as prof:
+            _busy_wait(0.25)
+        top = prof.profile.hotspots(top_n=3)
+        assert any("_busy_wait" in h.frame for h in top)
+
+    def test_rejects_nonpositive_hz(self):
+        with pytest.raises(ValueError, match="hz"):
+            SamplingProfiler(hz=0)
+
+    def test_double_start_rejected(self):
+        prof = SamplingProfiler(hz=10)
+        prof.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                prof.start()
+        finally:
+            prof.stop()
+
+    def test_stop_without_start_is_safe(self):
+        prof = SamplingProfiler(hz=10)
+        assert prof.stop().samples == 0
+
+
+def _profile(folded, samples=None, duration=1.0, hz=DEFAULT_HZ):
+    return StackProfile(
+        hz=hz,
+        folded=dict(folded),
+        samples=samples if samples is not None else sum(folded.values()),
+        duration_seconds=duration,
+    )
+
+
+class TestStackProfile:
+    def test_hotspot_math_self_vs_cumulative(self):
+        prof = _profile({"a;b;c": 6, "a;b": 3, "a;d": 1})
+        by_frame = {h.frame: h for h in prof.hotspots()}
+        assert by_frame["c"].self_samples == 6
+        assert by_frame["b"].self_samples == 3
+        assert by_frame["b"].total_samples == 9
+        assert by_frame["a"].self_samples == 0
+        assert by_frame["a"].total_samples == 10
+        assert by_frame["a"].total_pct == 100.0
+        assert by_frame["c"].self_pct == 60.0
+
+    def test_recursive_frames_count_once_per_sample(self):
+        prof = _profile({"f;f;f": 4})
+        (f,) = prof.hotspots()
+        assert f.total_samples == 4  # not 12
+        assert f.total_pct == 100.0
+
+    def test_hotspots_ranked_by_self_then_total_then_name(self):
+        prof = _profile({"a;x": 5, "b;y": 5, "c;x": 1})
+        frames = [h.frame for h in prof.hotspots()]
+        assert frames[:2] == ["x", "y"]  # x: self 6 > y: self 5
+
+    def test_merge_is_commutative_and_deterministic(self):
+        a = _profile({"r;f": 3, "r;g": 1}, duration=0.5)
+        b = _profile({"r;f": 2, "r;h": 4}, duration=0.25)
+        ab = merge_profiles([_profile(a.folded, duration=0.5),
+                             _profile(b.folded, duration=0.25)])
+        ba = merge_profiles([_profile(b.folded, duration=0.25),
+                             _profile(a.folded, duration=0.5)])
+        assert ab.as_dict() == ba.as_dict()
+        assert ab.folded == {"r;f": 5, "r;g": 1, "r;h": 4}
+        assert ab.samples == 10
+        assert ab.duration_seconds == pytest.approx(0.75)
+        assert ab.to_folded_text() == ba.to_folded_text()
+
+    def test_as_dict_round_trip(self):
+        prof = _profile({"a;b": 2, "a;c": 7}, duration=1.5, hz=50.0)
+        clone = StackProfile.from_dict(json.loads(json.dumps(prof.as_dict())))
+        assert clone.as_dict() == prof.as_dict()
+        assert clone.hz == 50.0
+
+    def test_folded_text_format(self):
+        text = _profile({"r;leaf": 3, "r": 1}).to_folded_text()
+        assert text.splitlines() == ["r 1", "r;leaf 3"]
+
+    def test_speedscope_document_structure(self):
+        doc = _profile({"a;b": 2, "a;c": 1}).to_speedscope(name="unit")
+        json.dumps(doc)  # must be pure JSON
+        assert doc["$schema"].endswith("file-format-schema.json")
+        frames = [f["name"] for f in doc["shared"]["frames"]]
+        (profile,) = doc["profiles"]
+        assert profile["type"] == "sampled"
+        assert profile["name"] == "unit"
+        assert len(profile["samples"]) == len(profile["weights"]) == 2
+        assert sum(profile["weights"]) == 3
+        for stack in profile["samples"]:
+            assert all(0 <= i < len(frames) for i in stack)
+        # stacks reference frames root-first
+        first = profile["samples"][0]
+        assert frames[first[0]] == "a"
+
+    def test_export_speedscope_writes_file(self, tmp_path):
+        path = _profile({"a": 1}).export_speedscope(tmp_path / "p.json")
+        assert json.loads(path.read_text())["profiles"][0]["endValue"] == 1
+
+    def test_empty_profile_is_falsy(self):
+        assert not StackProfile()
+        assert _profile({"a": 1})

@@ -1,0 +1,151 @@
+"""Tests for /proc resource telemetry (and its off-Linux no-op)."""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs import telemetry as tm
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    ResourceSample,
+    TelemetrySampler,
+    TelemetrySeries,
+    publish_telemetry,
+    read_resource_sample,
+    telemetry_payload,
+    telemetry_supported,
+)
+
+requires_procfs = pytest.mark.skipif(
+    not telemetry_supported(), reason="no /proc/self on this platform"
+)
+
+
+def _series(samples, pid=1, supported=True):
+    return TelemetrySeries(pid=pid, samples=samples, supported=supported)
+
+
+def _sample(ts, cpu=0.0, rss=1000, ctx=0):
+    return ResourceSample(ts=ts, cpu_seconds=cpu, rss_bytes=rss, ctx_switches=ctx)
+
+
+class TestReadSample:
+    @requires_procfs
+    def test_reads_plausible_values(self):
+        sample = read_resource_sample()
+        assert sample is not None
+        assert sample.cpu_seconds >= 0
+        assert sample.rss_bytes > 1024 * 1024  # a Python process is > 1 MiB
+        assert sample.ctx_switches >= 0
+
+    def test_returns_none_without_procfs(self, monkeypatch):
+        missing = Path("/nonexistent/proc/stat")
+        monkeypatch.setattr(tm, "_PROC_STAT", missing)
+        monkeypatch.setattr(tm, "_PROC_STATM", missing)
+        assert read_resource_sample() is None
+        assert not telemetry_supported()
+
+
+class TestSampler:
+    @requires_procfs
+    def test_live_sampling_collects_a_series(self):
+        with TelemetrySampler(interval=0.01) as sampler:
+            deadline = time.perf_counter() + 0.15
+            while time.perf_counter() < deadline:
+                pass
+        series = sampler.series
+        assert series.supported
+        assert len(series.samples) >= 2
+        assert series.peak_rss_bytes > 0
+        assert series.wall_seconds == pytest.approx(0.15, abs=0.1)
+
+    def test_noop_without_procfs(self, monkeypatch):
+        missing = Path("/nonexistent/proc/stat")
+        monkeypatch.setattr(tm, "_PROC_STAT", missing)
+        monkeypatch.setattr(tm, "_PROC_STATM", missing)
+        with TelemetrySampler(interval=0.01) as sampler:
+            pass
+        series = sampler.series
+        assert not series.supported
+        assert series.samples == []
+        doc = telemetry_payload({0: series}, interval=0.01)
+        assert doc["supported"] is False
+        assert doc["peak_rss_bytes"] is None
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            TelemetrySampler(interval=0)
+
+
+class TestSeries:
+    def test_summaries(self):
+        series = _series(
+            [_sample(0.0, cpu=0.0, rss=100, ctx=5), _sample(2.0, cpu=1.0, rss=300, ctx=9)]
+        )
+        assert series.peak_rss_bytes == 300
+        assert series.mean_rss_bytes == 200
+        assert series.cpu_seconds == 1.0
+        assert series.wall_seconds == 2.0
+        assert series.mean_cpu_percent == 50.0
+        assert series.ctx_switches == 4
+
+    def test_summaries_none_with_too_few_samples(self):
+        series = _series([_sample(0.0)])
+        assert series.cpu_seconds is None
+        assert series.mean_cpu_percent is None
+        assert series.ctx_switches is None
+        assert series.peak_rss_bytes == 1000
+
+    def test_extend_merges_and_sorts_windows(self):
+        late = _series([_sample(2.0, rss=50), _sample(3.0, rss=60)])
+        early = _series([_sample(0.0, rss=10), _sample(1.0, rss=20)])
+        merged = late.extend(early)
+        assert [s.ts for s in merged.samples] == [0.0, 1.0, 2.0, 3.0]
+        assert merged.peak_rss_bytes == 60
+
+    def test_as_dict_rebases_timestamps_to_epoch(self):
+        series = _series([_sample(10.0, rss=1), _sample(11.0, cpu=0.5, rss=2)])
+        doc = series.as_dict(epoch=10.0)
+        assert [row[0] for row in doc["series"]] == [0.0, 1.0]
+        assert doc["series"][1][1] == 50.0  # cpu% of the second interval
+
+    def test_as_dict_downsamples_long_series_keeping_endpoints(self):
+        series = _series([_sample(float(i), rss=i) for i in range(1000)])
+        doc = series.as_dict(max_points=50)
+        assert len(doc["series"]) == 50
+        assert doc["series"][0][0] == 0.0
+        assert doc["series"][-1][0] == 999.0
+        assert doc["n_samples"] == 1000  # summary keeps the true count
+
+
+class TestPublish:
+    def test_gauges_aggregate_across_workers(self):
+        metrics = MetricsRegistry()
+        a = _series(
+            [_sample(0.0, cpu=0.0, rss=100, ctx=0), _sample(1.0, cpu=1.0, rss=200, ctx=10)]
+        )
+        b = _series(
+            [_sample(0.0, cpu=0.0, rss=400, ctx=0), _sample(1.0, cpu=0.5, rss=300, ctx=4)],
+            pid=2,
+        )
+        publish_telemetry(metrics, {0: a, 1: b})
+        doc = metrics.as_dict()
+        assert doc["gauges"]["telemetry.peak_rss_bytes"] == 400.0
+        assert doc["gauges"]["telemetry.mean_cpu_percent"] == 75.0
+        assert doc["counters"]["telemetry.ctx_switches"] == 14
+
+    def test_publish_empty_series_is_a_noop(self):
+        metrics = MetricsRegistry()
+        publish_telemetry(metrics, {0: _series([], supported=False)})
+        doc = metrics.as_dict()
+        assert doc["gauges"] == {} and doc["counters"] == {}
+
+    def test_payload_orders_workers_and_summarizes(self):
+        a = _series([_sample(0.0, rss=10), _sample(1.0, cpu=0.2, rss=20)])
+        b = _series([_sample(0.0, rss=90), _sample(1.0, cpu=0.8, rss=80)], pid=2)
+        doc = telemetry_payload({1: b, 0: a}, interval=0.05)
+        assert [w["worker"] for w in doc["workers"]] == [0, 1]
+        assert doc["peak_rss_bytes"] == 90
+        assert doc["supported"] is True
+        assert doc["interval"] == 0.05

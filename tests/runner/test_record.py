@@ -8,6 +8,7 @@ from repro.runner.record import (
     SCHEMA,
     SCHEMA_V1,
     SCHEMA_V2,
+    SCHEMA_V3,
     ChunkTrace,
     FailureEvent,
     RunRecord,
@@ -97,6 +98,51 @@ def test_v2_record_migrates_to_v3():
     # v2 observability fields survive the migration untouched
     assert rec.kernel == "grm" and rec.serial_seconds == 3.0
     assert json.loads(rec.to_json())["schema"] == SCHEMA
+
+
+def test_v3_record_migrates_to_v4():
+    """A pre-profiling v3 document loads with empty profile/telemetry."""
+    doc = json.loads(_record().to_json())
+    doc["schema"] = SCHEMA_V3
+    doc.pop("profile", None)
+    doc.pop("telemetry", None)
+    rec = RunRecord.from_dict(doc)
+    assert rec.schema == SCHEMA
+    assert rec.profile is None
+    assert rec.telemetry is None
+    assert rec.peak_rss_bytes is None
+    # v3 fault-tolerance fields survive the migration untouched
+    assert rec.kernel == "grm" and rec.complete
+    assert json.loads(rec.to_json())["schema"] == SCHEMA
+
+
+def test_v4_profile_and_telemetry_round_trip():
+    rec = _record(
+        profile={
+            "hz": 99.0,
+            "samples": 5,
+            "duration_seconds": 1.0,
+            "phases": {"execute": {"hz": 99.0, "samples": 5,
+                                   "duration_seconds": 1.0,
+                                   "folded": {"main;hot": 5}}},
+            "hotspots": [{"frame": "hot", "self_samples": 5, "total_samples": 5,
+                          "self_pct": 100.0, "total_pct": 100.0}],
+        },
+        telemetry={"interval": 0.05, "supported": True, "workers": [],
+                   "peak_rss_bytes": 4096.0, "mean_cpu_percent": 50.0},
+    )
+    clone = RunRecord.from_json(rec.to_json())
+    assert clone == rec
+    assert clone.peak_rss_bytes == 4096.0
+
+
+def test_peak_rss_falls_back_to_metrics_gauge():
+    rec = _record(
+        metrics={"counters": {}, "histograms": {},
+                 "gauges": {"telemetry.peak_rss_bytes": 1234.0}}
+    )
+    assert rec.peak_rss_bytes == 1234.0
+    assert _record().peak_rss_bytes is None
 
 
 def test_v3_fault_fields_round_trip():
