@@ -7,6 +7,9 @@ harness that regenerates the paper's tables and figures.
 
 Entry points:
 
+* ``repro.run(kernel, size, ...)`` -- execute a kernel through the
+  engine (the stable :mod:`repro.api` facade; also ``bench_record``
+  and ``render_report``).
 * ``repro.core.load_benchmark(name)`` -- uniform driver for any kernel.
 * ``repro.core.KERNELS`` -- the kernel catalogue (Tables II/III metadata).
 * ``repro.perf`` -- the characterization harness (Figs. 4-9, Tables IV/V).
@@ -30,11 +33,31 @@ from repro.core import (
 __all__ = [
     "Benchmark",
     "DatasetSize",
+    "EngineRun",
     "Instrumentation",
     "KERNELS",
+    "ObsOptions",
     "RunResult",
     "__version__",
+    "bench_record",
     "get_kernel",
     "kernel_names",
     "load_benchmark",
+    "render_report",
+    "run",
 ]
+
+_API_NAMES = {"run", "bench_record", "render_report", "ObsOptions", "EngineRun"}
+
+
+def __getattr__(name: str):
+    # the api facade (and through it the engine) loads lazily, so
+    # `import repro` stays cheap for kernel-library-only users
+    if name in _API_NAMES:
+        import repro.api as _api
+        from repro.runner.engine import EngineRun as _EngineRun
+
+        value = _EngineRun if name == "EngineRun" else getattr(_api, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

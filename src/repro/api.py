@@ -1,0 +1,205 @@
+"""Stable programmatic facade over the benchmark suite.
+
+Three functions cover what scripts, notebooks and the CLI itself need,
+with the engine's many knobs normalized at this boundary once:
+
+* :func:`run` -- execute one kernel through the engine and get an
+  :class:`~repro.runner.engine.EngineRun` (run record + live output);
+* :func:`bench_record` -- run kernels and append their records to the
+  per-host bench history used by regression gating;
+* :func:`render_report` -- turn a run record into the self-contained
+  HTML dashboard.
+
+Everything here is importable straight off the top-level package::
+
+    import repro
+    result = repro.run("fmi", "small", jobs=4)
+    repro.render_report(result.record, out="fmi-report.html")
+
+Arguments are validated eagerly with errors that enumerate the valid
+choices (unknown kernels list the registry, unknown sizes list the
+``DatasetSize`` values, unknown executors list the registered
+backends), so a typo fails at the call site rather than deep inside a
+worker.  Observability switches travel together in one
+:class:`ObsOptions` value instead of six parallel keyword arguments.
+
+This module is the *supported* API surface: ``repro.runner.engine``
+internals may reshuffle between versions (the old
+``repro.runner.engine.run_kernel`` is a deprecated shim over
+:func:`run`), but these signatures only grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.datasets import DatasetSize, coerce_size
+from repro.core.registry import get_kernel, kernel_names
+from repro.obs.profile import DEFAULT_HZ
+from repro.obs.telemetry import DEFAULT_INTERVAL
+from repro.obs.trace import Tracer
+from repro.runner.cache import WorkloadCache
+from repro.runner.engine import EngineRun, ParallelRunner
+from repro.runner.executors import Executor
+from repro.runner.faults import FaultPlan
+from repro.runner.record import RunRecord
+from repro.runner.retry import BackoffPolicy
+
+__all__ = [
+    "ObsOptions",
+    "bench_record",
+    "render_report",
+    "run",
+]
+
+
+@dataclass(frozen=True)
+class ObsOptions:
+    """Observability switches for a run, as one value.
+
+    ``tracer`` records engine/chunk/kernel spans; ``instrument``
+    collects per-category op counts on the serial path; ``profile``
+    samples stacks (at ``profile_hz``); ``telemetry`` samples
+    per-worker CPU/RSS from ``/proc`` (every ``telemetry_interval``
+    seconds).  The default is everything off -- observability costs
+    nothing unless asked for.
+    """
+
+    tracer: Tracer | None = None
+    instrument: bool = False
+    profile: bool = False
+    profile_hz: float = DEFAULT_HZ
+    telemetry: bool = False
+    telemetry_interval: float = DEFAULT_INTERVAL
+
+
+def run(
+    kernel: str,
+    size: DatasetSize | str = DatasetSize.SMALL,
+    *,
+    executor: "str | Executor | None" = None,
+    hosts: Sequence[str] | None = None,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+    cache: WorkloadCache | None = None,
+    measure_serial: bool | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    on_failure: str = "fail",
+    backoff: BackoffPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    resume: bool = False,
+    obs: ObsOptions | None = None,
+) -> EngineRun:
+    """Prepare and execute one kernel's workload through the engine.
+
+    ``executor`` picks the backend (``"local"`` supervised pool --
+    the default -- ``"serial"``, ``"distributed"`` with ``hosts``, a
+    registered third-party name, or an
+    :class:`~repro.runner.executors.Executor` instance).  Everything
+    else mirrors :class:`~repro.runner.engine.ParallelRunner`; see its
+    docstring for the fault-tolerance and caching semantics.
+    """
+    get_kernel(kernel)  # unknown kernels fail here, listing the registry
+    size = coerce_size(size)
+    o = obs or ObsOptions()
+    runner = ParallelRunner(
+        jobs=jobs,
+        executor=executor,
+        hosts=list(hosts) if hosts else None,
+        chunk_size=chunk_size,
+        cache=cache,
+        measure_serial=measure_serial,
+        tracer=o.tracer,
+        instrument=o.instrument,
+        timeout=timeout,
+        retries=retries,
+        on_failure=on_failure,
+        backoff=backoff,
+        fault_plan=fault_plan,
+        resume=resume,
+        profile=o.profile,
+        profile_hz=o.profile_hz,
+        telemetry=o.telemetry,
+        telemetry_interval=o.telemetry_interval,
+    )
+    return runner.run(kernel, size)
+
+
+def bench_record(
+    kernels: Sequence[str] | None = None,
+    size: DatasetSize | str = DatasetSize.SMALL,
+    *,
+    executor: "str | Executor | None" = None,
+    hosts: Sequence[str] | None = None,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+    cache: WorkloadCache | None = None,
+    history: "Path | str | None" = None,
+    telemetry: bool = False,
+) -> list[RunRecord]:
+    """Run kernels and append their records to the bench history.
+
+    ``kernels`` of ``None`` runs the full catalogue.  Returns the
+    recorded :class:`~repro.runner.record.RunRecord` values after
+    appending them to ``history`` (default: the per-host
+    ``BENCH_<host>.json`` used by ``bench check`` regression gating).
+    The serial baseline is skipped -- histories track parallel
+    throughput only.
+    """
+    from repro.obs.history import BenchHistory
+
+    names = list(kernels) if kernels else kernel_names()
+    for name in names:
+        get_kernel(name)
+    size = coerce_size(size)
+    runner = ParallelRunner(
+        jobs=jobs,
+        executor=executor,
+        hosts=list(hosts) if hosts else None,
+        chunk_size=chunk_size,
+        cache=cache,
+        measure_serial=False,
+        telemetry=telemetry,
+    )
+    records = [runner.run(name, size).record for name in names]
+    BenchHistory(history).append(records)
+    return records
+
+
+def render_report(
+    record: "RunRecord | Path | str",
+    out: "Path | str | None" = None,
+    history: "Sequence[RunRecord] | Path | str | None" = None,
+    kernel: str | None = None,
+) -> "Path | str":
+    """Render a run record as a self-contained HTML dashboard.
+
+    ``record`` may be a :class:`~repro.runner.record.RunRecord` or the
+    path of a record JSON file (multi-kernel files pick the last
+    record, or the one named by ``kernel``).  With ``out`` the HTML is
+    written there and the path returned; without, the HTML string
+    itself is returned.  ``history`` (records or a bench-history file)
+    adds the throughput-trend section.
+    """
+    from repro.obs.report import load_run_records
+    from repro.obs.report import render_report as _render
+    from repro.obs.report import write_report
+
+    if not isinstance(record, RunRecord):
+        records = load_run_records(record)
+        if kernel is not None:
+            records = [r for r in records if r.kernel == kernel]
+            if not records:
+                raise ValueError(f"{record}: no record for kernel {kernel!r}")
+        record = records[-1]
+    past: Sequence[RunRecord] | None
+    if history is None or isinstance(history, (list, tuple)):
+        past = history
+    else:
+        past = load_run_records(history)
+    if out is None:
+        return _render(record, past)
+    return write_report(out, record, past)

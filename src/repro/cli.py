@@ -4,9 +4,14 @@
 
 * ``list``          -- the kernel catalogue with Tables II/III metadata
 * ``run``           -- execute kernels through the parallel engine
+  (``--executor local|serial|distributed`` picks the dispatch backend;
+  ``--hosts host:port,...`` names the worker daemons for distributed)
+* ``worker``        -- run one distributed worker daemon
+* ``serve-workers`` -- run N worker daemons on consecutive ports
 * ``characterize``  -- regenerate a figure or table from the paper
 * ``datasets``      -- show the synthetic dataset parameters
-* ``runner``        -- engine/cache introspection
+* ``runner``        -- engine/cache introspection (``runner executors``
+  lists the registered execution backends and their capabilities)
 * ``bench``         -- record runs to a per-host history and gate on
   throughput (and, with ``--rss-threshold``, peak-RSS) regressions
   (``bench record`` / ``bench check``)
@@ -43,7 +48,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core.datasets import DatasetSize, dataset_params
+from repro.core.datasets import DatasetSize, coerce_size, dataset_params
 from repro.core.registry import KERNELS, get_kernel, kernel_names
 from repro.perf.report import FORMAT_CHOICES, Report, get_formatter
 
@@ -114,13 +119,23 @@ def _fault_plan_arg(text: str):
         raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
+def _hosts_arg(text: str) -> list[str]:
+    """argparse type for ``--hosts`` (bad addresses become usage errors)."""
+    from repro.runner.distributed import parse_hosts
+
+    try:
+        return parse_hosts(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.runner import ParallelRunner
+    import repro.api as api
 
     names = args.kernels or kernel_names()
     for name in names:
         get_kernel(name)  # validate all names early with a helpful error
-    size = DatasetSize(args.size)
+    size = coerce_size(args.size)
     tracer = None
     if args.trace:
         from repro.obs.trace import Tracer
@@ -129,28 +144,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
     fault_plan = args.inject_faults or None
     if args.resume and args.no_cache:
         print("warning: --resume needs the workload cache; ignoring", file=sys.stderr)
-    runner = ParallelRunner(
-        jobs=args.jobs,
-        chunk_size=args.chunk_size,
-        cache=_make_cache(args),
-        measure_serial=False if args.no_baseline else None,
+    obs = api.ObsOptions(
         tracer=tracer,
         instrument=bool(args.metrics),
-        timeout=args.timeout,
-        retries=args.retries,
-        on_failure=args.on_failure,
-        fault_plan=fault_plan,
-        resume=args.resume,
         profile=args.profile,
         profile_hz=args.profile_hz,
         telemetry=args.telemetry,
     )
+    cache = _make_cache(args)
     rows = []
     records = []
     metrics_by_kernel = {}
     incomplete = []
     for name in names:
-        run = runner.run(name, size)
+        run = api.run(
+            name,
+            size,
+            executor=args.executor,
+            hosts=args.hosts,
+            jobs=args.jobs,
+            chunk_size=args.chunk_size,
+            cache=cache,
+            measure_serial=False if args.no_baseline else None,
+            timeout=args.timeout,
+            retries=args.retries,
+            on_failure=args.on_failure,
+            fault_plan=fault_plan,
+            resume=args.resume,
+            obs=obs,
+        )
         rec = run.record
         records.append(rec.to_dict())
         metrics_by_kernel[name] = rec.metrics
@@ -388,6 +410,36 @@ def _cmd_runner(args: argparse.Namespace) -> int:
     from repro.core.benchmark import load_benchmark
     from repro.runner import WorkloadCache, default_chunk_size, default_cache_dir
 
+    if getattr(args, "topic", None) == "executors":
+        from repro.runner import available_executors
+
+        rows = []
+        data = []
+        for name, cls in available_executors().items():
+            caps = cls.capabilities.as_dict()
+            doclines = (cls.__doc__ or "").strip().splitlines()
+            summary = doclines[0] if doclines else ""
+            rows.append(
+                (
+                    name,
+                    ", ".join(k for k, v in sorted(caps.items()) if v) or "-",
+                    summary,
+                )
+            )
+            data.append({"name": name, "capabilities": caps, "summary": summary})
+        _emit(
+            [
+                Report(
+                    title="registered executors",
+                    headers=["name", "capabilities", "summary"],
+                    rows=rows,
+                    data=data,
+                )
+            ],
+            args,
+        )
+        return 0
+
     cache = WorkloadCache(args.cache_dir)
     if args.clear_cache:
         removed = cache.clear()
@@ -455,37 +507,36 @@ def _cmd_runner(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_record(args: argparse.Namespace) -> int:
+    import repro.api as api
     from repro.obs.history import BenchHistory, throughput
-    from repro.runner import ParallelRunner
 
     names = args.kernels or kernel_names()
-    for name in names:
-        get_kernel(name)
-    size = DatasetSize(args.size)
-    runner = ParallelRunner(
+    size = coerce_size(args.size)
+    recorded = api.bench_record(
+        names,
+        size,
+        executor=args.executor,
+        hosts=args.hosts,
         jobs=args.jobs,
         chunk_size=args.chunk_size,
         cache=_make_cache(args),
-        measure_serial=False,  # histories track parallel throughput only
+        history=args.history,
         telemetry=args.telemetry,
     )
-    history = BenchHistory(args.history)
     rows = []
-    recorded = []
-    for name in names:
-        rec = runner.run(name, size).record
-        recorded.append(rec)
+    for rec in recorded:
         tp = throughput(rec)
         rows.append(
             (
-                name,
+                rec.kernel,
                 rec.n_tasks,
                 f"{rec.execute_seconds:.3f}s",
                 f"{tp:,.0f}" if tp is not None else "-",
             )
         )
-        print(f"  {name}: {rec.execute_seconds:.3f}s", file=sys.stderr)
-    total = history.append(recorded)
+        print(f"  {rec.kernel}: {rec.execute_seconds:.3f}s", file=sys.stderr)
+    history = BenchHistory(args.history)
+    total = len(history.load())
     print(f"recorded {len(recorded)} run(s); {history.path} now holds {total}", file=sys.stderr)
     _emit(
         [
@@ -498,6 +549,42 @@ def _cmd_bench_record(args: argparse.Namespace) -> int:
         ],
         args,
     )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.runner.distributed import serve_worker
+
+    def on_bound(host: str, port: int) -> None:
+        print(f"worker listening on {host}:{port}", file=sys.stderr)
+
+    try:
+        serve_worker(args.bind, once=args.once, on_bound=on_bound)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_serve_workers(args: argparse.Namespace) -> int:
+    from repro.runner.distributed import serve_workers
+
+    daemons = serve_workers(args.count, args.bind_host, args.base_port)
+    addrs = ", ".join(
+        f"{args.bind_host}:{args.base_port + i}" for i in range(args.count)
+    )
+    print(f"{args.count} worker daemon(s) on {addrs}", file=sys.stderr)
+    print("press Ctrl-C to stop", file=sys.stderr)
+    try:
+        for proc in daemons:
+            proc.join()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for proc in daemons:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in daemons:
+            proc.join(2.0)
     return 0
 
 
@@ -679,6 +766,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for task sharding (default: 1 = serial)",
     )
     run.add_argument(
+        "--executor", default=None, metavar="NAME",
+        help="execution backend: local (supervised pool, default), serial, "
+        "distributed, or a third-party registration (see `runner executors`)",
+    )
+    run.add_argument(
+        "--hosts", default=None, metavar="HOST:PORT,...", type=_hosts_arg,
+        help="worker-daemon addresses for --executor distributed "
+        "(start them with `worker` or `serve-workers`)",
+    )
+    run.add_argument(
         "--chunk-size", type=int, default=None, metavar="K",
         help="tasks per dynamically scheduled chunk (default: auto)",
     )
@@ -744,6 +841,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_options(run)
     run.set_defaults(func=_cmd_run)
 
+    wrk = sub.add_parser(
+        "worker", help="run one distributed worker daemon (TCP)"
+    )
+    wrk.add_argument(
+        "--bind", default="127.0.0.1:9701", metavar="HOST:PORT",
+        help="address to listen on; port 0 picks an ephemeral port "
+        "(default: 127.0.0.1:9701)",
+    )
+    wrk.add_argument(
+        "--once", action="store_true",
+        help="exit after the first coordinator session ends",
+    )
+    wrk.set_defaults(func=_cmd_worker)
+
+    srv = sub.add_parser(
+        "serve-workers", help="run N worker daemons on consecutive ports"
+    )
+    srv.add_argument("count", type=int, help="number of worker daemons")
+    srv.add_argument(
+        "--bind-host", default="127.0.0.1", metavar="HOST",
+        help="address the daemons listen on (default: 127.0.0.1)",
+    )
+    srv.add_argument(
+        "--base-port", type=int, default=9701, metavar="PORT",
+        help="first port; daemon i listens on PORT+i (default: 9701)",
+    )
+    srv.set_defaults(func=_cmd_serve_workers)
+
     char = sub.add_parser("characterize", help="regenerate a paper artifact")
     char.add_argument(
         "artifact",
@@ -767,6 +892,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     eng = sub.add_parser("runner", help="inspect the execution engine and cache")
     eng.add_argument(
+        "topic", nargs="?", choices=["executors"], default=None,
+        help="optional focus: 'executors' lists the registered "
+        "execution backends and their capabilities",
+    )
+    eng.add_argument(
         "--cache-dir", metavar="DIR", default=None, help="workload cache root"
     )
     eng.add_argument(
@@ -786,6 +916,14 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("kernels", nargs="*", help="kernels (default: all)")
     rec.add_argument("--size", choices=["small", "large"], default="small")
     rec.add_argument("--jobs", type=int, default=1, metavar="N")
+    rec.add_argument(
+        "--executor", default=None, metavar="NAME",
+        help="execution backend (see `runner executors`)",
+    )
+    rec.add_argument(
+        "--hosts", default=None, metavar="HOST:PORT,...", type=_hosts_arg,
+        help="worker-daemon addresses for --executor distributed",
+    )
     rec.add_argument("--chunk-size", type=int, default=None, metavar="K")
     rec.add_argument(
         "--no-cache", action="store_true", help="skip the on-disk workload cache"

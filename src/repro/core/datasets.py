@@ -26,6 +26,25 @@ class DatasetSize(enum.Enum):
     LARGE = "large"
 
 
+def coerce_size(size: "DatasetSize | str") -> DatasetSize:
+    """Normalize a size argument (enum member or its string value).
+
+    The one place ``"small"`` becomes :attr:`DatasetSize.SMALL`: every
+    public entry point (``repro.api``, the engine, the CLI) funnels
+    through here, so an unknown size fails with the same message that
+    lists the valid values everywhere.
+    """
+    if isinstance(size, DatasetSize):
+        return size
+    try:
+        return DatasetSize(size)
+    except ValueError:
+        valid = ", ".join(member.value for member in DatasetSize)
+        raise ValueError(
+            f"unknown dataset size {size!r}; valid sizes: {valid}"
+        ) from None
+
+
 #: Base seed; per-kernel seeds are derived so workloads are independent.
 BASE_SEED = 20210328  # ISPASS 2021 conference date
 

@@ -75,7 +75,6 @@ nothing beyond a few ``None`` checks on the serial fast path.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import platform
 import time
@@ -90,7 +89,7 @@ from repro.core.benchmark import (
     as_execution_result,
     load_benchmark,
 )
-from repro.core.datasets import DatasetSize
+from repro.core.datasets import DatasetSize, coerce_size
 from repro.core.instrument import Instrumentation, OpCounts
 from repro.obs.metrics import (
     ATTEMPT_BUCKETS,
@@ -115,6 +114,7 @@ from repro.obs.telemetry import (
 )
 from repro.obs.trace import Span, Tracer, activated
 from repro.runner.cache import ShardCheckpoint, WorkloadCache
+from repro.runner.executors import ExecutionContext, Executor, make_executor
 from repro.runner.faults import FaultPlan
 from repro.runner.record import ChunkTrace, RunRecord, WorkerStats
 from repro.runner.retry import BackoffPolicy
@@ -123,8 +123,6 @@ from repro.runner.supervisor import (
     ChunkPayload,
     ChunkSupervisor,
     SupervisedExecution,
-    clear_worker_state,
-    set_worker_state,
 )
 
 #: Chunks handed out per worker on average; OpenMP's dynamic default is
@@ -183,6 +181,14 @@ class ParallelRunner:
     jobs:
         Worker processes.  ``1`` executes in-process through exactly the
         serial path (no pool, no IPC).
+    executor:
+        Which execution backend dispatches chunks: a registered name
+        (``"local"``, ``"serial"``, ``"distributed"`` or a third-party
+        registration), an :class:`~repro.runner.executors.Executor`
+        instance, or ``None`` for the default supervised local pool.
+    hosts:
+        ``host:port`` worker-daemon addresses for the distributed
+        backend (ignored by local backends).
     chunk_size:
         Tasks per dynamically scheduled chunk; default
         :func:`default_chunk_size`.
@@ -237,6 +243,8 @@ class ParallelRunner:
     def __init__(
         self,
         jobs: int = 1,
+        executor: "str | Executor | None" = None,
+        hosts: list[str] | None = None,
         chunk_size: int | None = None,
         cache: WorkloadCache | None = None,
         measure_serial: bool | None = None,
@@ -270,6 +278,8 @@ class ParallelRunner:
         if telemetry_interval <= 0:
             raise ValueError("telemetry_interval must be positive seconds")
         self.jobs = jobs
+        self.executor = executor
+        self.hosts = list(hosts) if hosts else None
         self.chunk_size = chunk_size
         self.cache = cache
         self.measure_serial = measure_serial
@@ -329,8 +339,7 @@ class ParallelRunner:
 
     def run(self, kernel: str, size: DatasetSize | str = DatasetSize.SMALL) -> EngineRun:
         """Prepare (or load) the workload for ``kernel`` and execute it."""
-        if isinstance(size, str):
-            size = DatasetSize(size)
+        size = coerce_size(size)
         bench = load_benchmark(kernel)
         workload, prepare_seconds, cached = self.prepare(bench, size)
         return self.execute(
@@ -345,15 +354,31 @@ class ParallelRunner:
         prepare_seconds: float = 0.0,
         prepare_cached: bool = False,
     ) -> EngineRun:
-        """Execute a prepared workload, sharded across ``jobs`` workers."""
+        """Execute a prepared workload, sharded through the executor."""
         metrics = MetricsRegistry()
         n_tasks = bench.task_count(workload)
         jobs = self._effective_jobs()
+        spec = self.executor
+        executor_name = spec.name if isinstance(spec, Executor) else (spec or "local")
+        # the in-process fast path: unshardable workloads always, and the
+        # default backend at jobs=1 (no pool, no IPC, no chunking)
+        fast_serial = (
+            n_tasks is None
+            or n_tasks <= 1
+            or (executor_name == "local" and not isinstance(spec, Executor) and jobs == 1)
+        )
+        executor: Executor | None = None
+        slots = 1
+        if not fast_serial:
+            executor = make_executor(
+                spec, jobs=jobs, hosts=self.hosts, tracer=self.tracer
+            )
+            slots = max(1, executor.parallelism)
         serial_seconds = None
         measure = (
             self.measure_serial
             if self.measure_serial is not None
-            else jobs > 1
+            else slots > 1
         )
         if measure:
             with self._span("engine.serial_baseline", kernel=bench.name):
@@ -369,30 +394,33 @@ class ParallelRunner:
         supervised: SupervisedExecution | None = None
         resumed_chunks = 0
         degraded = False
-        if jobs == 1 or n_tasks is None or n_tasks <= 1:
+        hosts_seen: list[str] = []
+        if executor is None:
             result, chunks, workers, elapsed, obs = self._execute_serial(
                 bench, workload, metrics
             )
             chunk_size = max(1, len(result.task_work))
         else:
-            chunk_size = self._effective_chunk_size(n_tasks, jobs)
+            chunk_size = self._effective_chunk_size(n_tasks, slots)
             try:
                 result, chunks, workers, elapsed, supervised, resumed_chunks, obs = (
                     self._execute_parallel(
-                        bench, workload, size, n_tasks, chunk_size, jobs
+                        bench, workload, size, n_tasks, chunk_size, executor
                     )
                 )
             except POOL_UNAVAILABLE_ERRORS as exc:
-                # no worker pool on this host/config: a complete serial
-                # run beats no run at all -- degrade gracefully
+                # backend cannot start (or lost every worker): a complete
+                # serial run beats no run at all -- degrade gracefully
                 warnings.warn(
-                    f"worker pool unavailable ({type(exc).__name__}: {exc}); "
+                    f"{executor.name} executor unavailable "
+                    f"({type(exc).__name__}: {exc}); "
                     "degrading to in-process serial execution",
                     RuntimeWarning,
                     stacklevel=2,
                 )
                 degraded = True
-                jobs = 1
+                slots = 1
+                supervised = None
                 if self.tracer is not None:
                     self.tracer.instant(
                         "engine.degraded", cat="engine", error=str(exc)
@@ -400,6 +428,8 @@ class ParallelRunner:
                 result, chunks, workers, elapsed, obs = self._execute_serial(
                     bench, workload, metrics
                 )
+            else:
+                hosts_seen = sorted({w.host for w in workers if w.host})
         phase_profiles.update(obs.profiles)
         if self.telemetry:
             publish_telemetry(metrics, obs.telemetry)
@@ -416,7 +446,7 @@ class ParallelRunner:
             prepare_cached=prepare_cached,
             execute_seconds=elapsed,
             serial_seconds=serial_seconds,
-            jobs=jobs,
+            jobs=slots,
             supervised=supervised,
             resumed_chunks=resumed_chunks,
             degraded=degraded,
@@ -424,7 +454,7 @@ class ParallelRunner:
         record = RunRecord(
             kernel=bench.name,
             size=size.value,
-            jobs=jobs if n_tasks is not None else 1,
+            jobs=slots,
             chunk_size=chunk_size,
             n_tasks=result.n_tasks,
             total_work=result.total_work,
@@ -444,6 +474,8 @@ class ParallelRunner:
             quarantined=list(supervised.quarantined) if supervised is not None else [],
             resumed_chunks=resumed_chunks,
             degraded=degraded,
+            executor=executor_name,
+            hosts=hosts_seen,
             fault_tolerance=self._fault_tolerance_config(),
             profile=profile_doc,
             telemetry=(
@@ -667,7 +699,7 @@ class ParallelRunner:
                     bench.execute_shard(workload, range(start, stop)), bench.name
                 )
             t1 = time.perf_counter()
-            return start, stop, result, os.getpid(), t0, t1, None, None
+            return start, stop, result, os.getpid(), t0, t1, None, None, None
 
         return fallback
 
@@ -678,7 +710,7 @@ class ParallelRunner:
         size: DatasetSize,
         n_tasks: int,
         chunk_size: int,
-        jobs: int,
+        executor: Executor,
     ) -> tuple[
         ExecutionResult,
         list[ChunkTrace],
@@ -692,20 +724,14 @@ class ParallelRunner:
             (lo, min(lo + chunk_size, n_tasks))
             for lo in range(0, n_tasks, chunk_size)
         ]
-        methods = multiprocessing.get_all_start_methods()
-        use_fork = "fork" in methods
-        ctx = multiprocessing.get_context("fork" if use_fork else "spawn")
-        jobs = min(jobs, len(bounds))
-        trace_enabled = self.tracer is not None
-        state = (
-            bench,
-            workload,
-            trace_enabled,
-            self.fault_plan,
-            self.profile_hz if self.profile else None,
-            self.telemetry_interval if self.telemetry else None,
+        context = ExecutionContext(
+            bench=bench,
+            workload=workload,
+            tracer=self.tracer,
+            fault_plan=self.fault_plan,
+            profile_hz=self.profile_hz if self.profile else None,
+            telemetry_interval=self.telemetry_interval if self.telemetry else None,
         )
-        set_worker_state(*state)  # forked children inherit
 
         checkpoint = self._checkpoint_for(bench, size, n_tasks, chunk_size)
         preloaded: dict[tuple[int, int], ChunkPayload] = {}
@@ -716,7 +742,7 @@ class ParallelRunner:
                 if chunk in wanted:
                     # zero-width placeholder timings: the work happened
                     # in an earlier, interrupted run
-                    preloaded[chunk] = (*chunk, result, pid, 0.0, 0.0, None, None)
+                    preloaded[chunk] = (*chunk, result, pid, 0.0, 0.0, None, None, None)
             if preloaded and self.tracer is not None:
                 self.tracer.instant(
                     "engine.resume", cat="engine", chunks=len(preloaded)
@@ -724,9 +750,7 @@ class ParallelRunner:
         resumed_chunks = len(preloaded)
 
         supervisor = ChunkSupervisor(
-            ctx,
-            jobs,
-            spawn_state=None if use_fork else state,
+            executor,
             timeout=self.timeout,
             retries=self.retries,
             backoff=self.backoff,
@@ -737,22 +761,30 @@ class ParallelRunner:
         )
         t0 = time.perf_counter()
         try:
+            # open() raising OSError (no pool, no reachable host) rides
+            # the same degrade path as a supervisor-detected total loss
+            executor.open(context)
             with self._span(
-                "engine.execute", kernel=bench.name, jobs=jobs, chunks=len(bounds)
+                "engine.execute",
+                kernel=bench.name,
+                executor=executor.name,
+                jobs=executor.parallelism,
+                chunks=len(bounds),
             ):
                 supervised = supervisor.run(bounds, preloaded)
         finally:
-            clear_worker_state()
+            executor.shutdown()
         elapsed = time.perf_counter() - t0
 
         raw = sorted(supervised.payloads, key=lambda r: r[0])
-        pids: dict[int, int] = {}
+        # worker identity is (host, pid): pids are only unique per host
+        keys: dict[tuple[str | None, int], int] = {}
         chunks: list[ChunkTrace] = []
         per_worker: dict[int, WorkerStats] = {}
         obs = ObsCapture(epoch=t0)
         execute_profile = StackProfile(hz=self.profile_hz)
-        for start, stop, _, pid, w0, w1, spans, chunk_obs in raw:
-            worker = pids.setdefault(pid, len(pids))
+        for start, stop, _, pid, w0, w1, spans, chunk_obs, host in raw:
+            worker = keys.setdefault((host, pid), len(keys))
             chunks.append(
                 ChunkTrace(
                     worker=worker,
@@ -764,7 +796,10 @@ class ParallelRunner:
             )
             stats = per_worker.setdefault(
                 worker,
-                WorkerStats(worker=worker, pid=pid, chunks=0, tasks=0, busy_seconds=0.0),
+                WorkerStats(
+                    worker=worker, pid=pid, chunks=0, tasks=0,
+                    busy_seconds=0.0, host=host,
+                ),
             )
             stats.chunks += 1
             stats.tasks += stop - start
@@ -798,8 +833,9 @@ class ParallelRunner:
                     )
                 )
         if self.tracer is not None:
-            for pid, worker in pids.items():
-                self.tracer.name_track(pid, 0, f"worker {worker}")
+            for (host, pid), worker in keys.items():
+                label = f"worker {worker}" + (f" @ {host}" if host else "")
+                self.tracer.name_track(pid, 0, label)
             self._emit_worker_counter(raw)
         merge_profiler = SamplingProfiler(self.profile_hz) if self.profile else None
         merge_ctx = merge_profiler if merge_profiler is not None else nullcontext()
@@ -823,7 +859,7 @@ class ParallelRunner:
         """``workers.active`` counter series from the chunk timings."""
         assert self.tracer is not None
         boundaries: list[tuple[float, int]] = []
-        for _, _, _, _, w0, w1, _, _ in raw:
+        for _, _, _, _, w0, w1, _, _, _ in raw:
             if w1 <= w0:
                 continue  # resumed placeholder, no live execution window
             boundaries.append((w0, +1))
@@ -855,23 +891,34 @@ def run_kernel(
     telemetry: bool = False,
     telemetry_interval: float = DEFAULT_INTERVAL,
 ) -> EngineRun:
-    """One-call convenience over :class:`ParallelRunner`."""
-    runner = ParallelRunner(
+    """Deprecated shim over :func:`repro.api.run` (use that instead)."""
+    warnings.warn(
+        "run_kernel() is deprecated; use repro.api.run() (also exported "
+        "as repro.run)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import ObsOptions, run
+
+    return run(
+        kernel,
+        size,
         jobs=jobs,
         chunk_size=chunk_size,
         cache=cache,
         measure_serial=measure_serial,
-        tracer=tracer,
-        instrument=instrument,
         timeout=timeout,
         retries=retries,
         on_failure=on_failure,
         backoff=backoff,
         fault_plan=fault_plan,
         resume=resume,
-        profile=profile,
-        profile_hz=profile_hz,
-        telemetry=telemetry,
-        telemetry_interval=telemetry_interval,
+        obs=ObsOptions(
+            tracer=tracer,
+            instrument=instrument,
+            profile=profile,
+            profile_hz=profile_hz,
+            telemetry=telemetry,
+            telemetry_interval=telemetry_interval,
+        ),
     )
-    return runner.run(kernel, size)

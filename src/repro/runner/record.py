@@ -31,6 +31,12 @@ Schema history
   ``telemetry`` (per-worker CPU/RSS/context-switch series and
   peak/mean summaries, see :mod:`repro.obs.telemetry`).  Both are
   ``None`` unless the run enabled ``--profile`` / ``--telemetry``.
+  Later additions to v4 (additions are free): ``executor`` (the
+  backend that dispatched chunks), ``hosts`` (remote worker endpoints
+  that contributed results) and a per-worker ``host`` label on
+  :class:`WorkerStats` -- a distributed run merges into *one* record
+  with every chunk, span and telemetry series attributable to the
+  machine that produced it.
 
 :func:`RunRecord.from_dict` accepts all four; older documents load
 with the newer fields at their empty defaults and are upgraded in
@@ -78,13 +84,19 @@ class ChunkTrace:
 
 @dataclass
 class WorkerStats:
-    """Aggregate view of one worker process."""
+    """Aggregate view of one worker process.
+
+    ``host`` is ``None`` for workers on the coordinator machine;
+    distributed runs label each worker with its daemon endpoint
+    (``"host:port"``), so pids stay unambiguous across machines.
+    """
 
     worker: int
     pid: int
     chunks: int
     tasks: int
     busy_seconds: float
+    host: str | None = None
 
 
 @dataclass
@@ -105,7 +117,8 @@ class FailureEvent:
     stop: int
     attempt: int
     action: str
-    worker: int | None = None
+    #: Pool worker index, or the remote host label for distributed runs.
+    worker: int | str | None = None
     pid: int | None = None
     error: str | None = None
     exitcode: int | None = None
@@ -138,6 +151,8 @@ class RunRecord:
     quarantined: list[tuple[int, int]] = field(default_factory=list)
     resumed_chunks: int = 0
     degraded: bool = False
+    executor: str | None = None
+    hosts: list[str] = field(default_factory=list)
     fault_tolerance: dict[str, Any] | None = None
     profile: dict[str, Any] | None = None
     telemetry: dict[str, Any] | None = None
@@ -221,6 +236,8 @@ class RunRecord:
             quarantined=[tuple(q) for q in d.get("quarantined", [])],
             resumed_chunks=d.get("resumed_chunks", 0),
             degraded=d.get("degraded", False),
+            executor=d.get("executor"),
+            hosts=list(d.get("hosts", [])),
             fault_tolerance=d.get("fault_tolerance"),
             profile=d.get("profile"),
             telemetry=d.get("telemetry"),

@@ -1,20 +1,23 @@
-"""Supervised worker pool: timeouts, retries, respawn, quarantine.
+"""Backend-agnostic chunk supervision: retries, backoff, quarantine.
 
 ``multiprocessing.Pool`` assumes a perfect world -- a hung worker stalls
 ``get()`` forever and an abruptly dead one can wedge the whole pool.
 Long-running data-parallel benchmark runs need the opposite guarantees,
-so this module implements the engine's *supervised* execution model
-with dedicated worker processes the parent fully controls:
+so this module implements the engine's *supervised* execution model --
+now over any pluggable :class:`~repro.runner.executors.Executor`
+backend rather than a baked-in process pool:
 
-* each worker owns an inbox queue and shares one outbox queue;
-* the supervisor assigns exactly one chunk at a time per worker, so it
-  always knows which chunk a silent death or deadline overrun belongs
-  to (dynamic scheduling falls out for free: an idle worker gets the
-  next pending chunk);
+* the supervisor keeps one pending queue and hands the next chunk to
+  whichever backend slot goes idle first (dynamic scheduling -- and,
+  across distributed hosts, shard-level work stealing -- fall out for
+  free);
 * a chunk that fails -- by raised exception, by per-chunk wall-clock
-  timeout, or by its worker dying -- is retried up to a bounded budget
-  with exponential backoff (:class:`~repro.runner.retry.BackoffPolicy`),
-  and dead or hung workers are terminated and respawned;
+  timeout, or by its worker dying or its host being lost -- is retried
+  up to a bounded budget with exponential backoff
+  (:class:`~repro.runner.retry.BackoffPolicy`); the *backend* owns
+  detection and healing (kill + respawn locally, connection teardown
+  remotely) and reports each detection as a
+  :class:`~repro.runner.executors.ChunkEvent`;
 * a chunk that exhausts its budget is *poisoned*: depending on the
   ``on_failure`` policy the run fails fast, quarantines the chunk (the
   run completes with a structured gap report), or re-executes the chunk
@@ -23,6 +26,10 @@ with dedicated worker processes the parent fully controls:
   :class:`~repro.runner.record.FailureEvent` in the run record, so the
   recovery story is part of the run's machine-readable provenance.
 
+Capability flags gate what the supervisor asks of a backend: deadlines
+are only set when ``capabilities.timeouts`` holds, so a serial backend
+is never blamed for budgets it cannot enforce.
+
 Fault injection (:mod:`repro.runner.faults`) hooks in at the top of
 each worker-side chunk attempt, which is how the chaos tests drive
 every one of these paths deterministically.
@@ -30,49 +37,33 @@ every one of these paths deterministically.
 
 from __future__ import annotations
 
-import os
-import queue as queue_mod
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
-from typing import Any, Callable
+from typing import Callable
 
-from repro.core.benchmark import Benchmark, ExecutionResult, as_execution_result
-from repro.obs.profile import SamplingProfiler, StackProfile
-from repro.obs.telemetry import TelemetrySampler, TelemetrySeries
-from repro.obs.trace import Span, Tracer, activated
-from repro.runner.faults import FaultPlan
+from repro.core.benchmark import ExecutionResult
+from repro.obs.trace import Tracer
+from repro.runner.executors import ChunkEvent, Executor
 from repro.runner.record import FailureEvent
 from repro.runner.retry import BackoffPolicy
 
-#: Seconds the supervisor blocks on the outbox per loop iteration.
-POLL_SECONDS = 0.02
+# Re-exported names that historically lived here; the worker-process
+# machinery moved to repro.runner.worker and the pool backend to
+# repro.runner.executors.
+from repro.runner.worker import (  # noqa: F401  (re-exported)
+    ChunkObs,
+    ChunkPayload,
+    clear_worker_state,
+    set_worker_state,
+)
 
-#: Grace period for joins during shutdown/termination, seconds.
-JOIN_SECONDS = 1.0
+#: Seconds the supervisor blocks on the backend per loop iteration.
+POLL_SECONDS = 0.02
 
 #: ``on_failure`` policies for chunks that exhaust their retry budget.
 ON_FAILURE_CHOICES = ("fail", "quarantine", "serial")
-
-#: Per-chunk observability capture shipped back alongside the result:
-#: the chunk's sampled stack profile and the worker's resource series
-#: over the chunk window (either may be absent when disabled).
-ChunkObs = "dict[str, StackProfile | TelemetrySeries]"
-
-#: A completed chunk attempt as shipped back from a worker:
-#: ``(start, stop, result, pid, begin, end, spans, obs)``.
-ChunkPayload = tuple[
-    int, int, ExecutionResult, int, float, float, "list[Span] | None", "ChunkObs | None"
-]
-
-#: (benchmark, workload, trace_enabled, fault_plan, profile_hz,
-#: telemetry_interval) inherited by forked workers; spawn-style
-#: platforms receive it as a process argument.  ``profile_hz`` /
-#: ``telemetry_interval`` of ``None`` disable the respective sampler.
-_WORKER_STATE: (
-    tuple[Benchmark, Any, bool, FaultPlan | None, float | None, float | None] | None
-) = None
 
 
 class ChunkFailedError(RuntimeError):
@@ -91,119 +82,6 @@ class ChunkFailedError(RuntimeError):
         self.failures = failures
 
 
-def set_worker_state(
-    bench: Benchmark,
-    workload: Any,
-    trace_enabled: bool,
-    fault_plan: FaultPlan | None,
-    profile_hz: float | None = None,
-    telemetry_interval: float | None = None,
-) -> None:
-    """Install the state forked workers inherit copy-on-write."""
-    global _WORKER_STATE
-    _WORKER_STATE = (
-        bench, workload, trace_enabled, fault_plan, profile_hz, telemetry_interval
-    )
-
-
-def clear_worker_state() -> None:
-    global _WORKER_STATE
-    _WORKER_STATE = None
-
-
-def _execute_chunk(start: int, stop: int, ordinal: int, attempt: int) -> ChunkPayload:
-    """Run tasks ``[start, stop)`` in this worker (injection-aware)."""
-    assert _WORKER_STATE is not None, "worker started without benchmark state"
-    bench, workload, trace_enabled, plan, profile_hz, telemetry_interval = _WORKER_STATE
-    if plan is not None:
-        # deterministic chaos: may raise, sleep past any deadline, or
-        # kill this process outright -- before any real work happens
-        plan.fire(ordinal, attempt)
-    spans: list[Span] | None = None
-    profiler = SamplingProfiler(profile_hz) if profile_hz else None
-    telemetry = TelemetrySampler(telemetry_interval) if telemetry_interval else None
-    t0 = time.perf_counter()
-    try:
-        if profiler is not None:
-            profiler.start()
-        if telemetry is not None:
-            telemetry.start()
-        if trace_enabled:
-            tracer = Tracer()
-            with activated(tracer):
-                result = as_execution_result(
-                    bench.execute_shard(workload, range(start, stop)), bench.name
-                )
-            spans = tracer.spans
-        else:
-            result = as_execution_result(
-                bench.execute_shard(workload, range(start, stop)), bench.name
-            )
-    finally:
-        obs: dict[str, Any] | None = None
-        if profiler is not None or telemetry is not None:
-            obs = {}
-            if profiler is not None:
-                obs["profile"] = profiler.stop()
-            if telemetry is not None:
-                obs["telemetry"] = telemetry.stop()
-    t1 = time.perf_counter()
-    return start, stop, result, os.getpid(), t0, t1, spans, obs
-
-
-def _worker_main(worker_id: int, inbox: Any, outbox: Any, state: Any) -> None:
-    """Worker loop: pull one chunk assignment, execute, report, repeat.
-
-    ``state`` is ``None`` under fork (module global inherited) and the
-    full worker-state tuple under spawn.
-    """
-    global _WORKER_STATE
-    if state is not None:
-        _WORKER_STATE = state
-    while True:
-        msg = inbox.get()
-        if msg is None:
-            return
-        start, stop, ordinal, attempt = msg
-        try:
-            payload = _execute_chunk(start, stop, ordinal, attempt)
-        except BaseException as exc:  # noqa: BLE001 - forwarded to the supervisor
-            outbox.put(
-                ("err", worker_id, start, stop, attempt, f"{type(exc).__name__}: {exc}")
-            )
-        else:
-            outbox.put(("ok", worker_id, payload))
-
-
-@dataclass
-class _Worker:
-    """Parent-side handle on one supervised worker process."""
-
-    worker_id: int
-    process: Any
-    inbox: Any
-    current: tuple[int, int] | None = None  # chunk bounds in flight
-    attempt: int = 0
-    deadline: float | None = None
-
-    @property
-    def idle(self) -> bool:
-        return self.current is None
-
-    def assign(
-        self, start: int, stop: int, ordinal: int, attempt: int, deadline: float | None
-    ) -> None:
-        self.current = (start, stop)
-        self.attempt = attempt
-        self.deadline = deadline
-        self.inbox.put((start, stop, ordinal, attempt))
-
-    def release(self) -> None:
-        self.current = None
-        self.attempt = 0
-        self.deadline = None
-
-
 @dataclass
 class SupervisedExecution:
     """Everything one supervised dispatch produced."""
@@ -219,21 +97,16 @@ class SupervisedExecution:
 
 
 class ChunkSupervisor:
-    """Dispatch chunks to supervised workers with bounded recovery.
+    """Dispatch chunks through an executor with bounded recovery.
 
     Parameters
     ----------
-    ctx:
-        A ``multiprocessing`` context (fork or spawn).
-    jobs:
-        Worker processes to keep alive.
-    spawn_state:
-        Worker-state tuple to pass to spawned processes, or ``None``
-        when fork inheritance applies (:func:`set_worker_state` must
-        have been called first).
+    executor:
+        An opened :class:`~repro.runner.executors.Executor` to dispatch
+        through (the engine owns its lifecycle).
     timeout:
-        Per-chunk wall-clock budget in seconds; a worker that exceeds
-        it is terminated and its chunk retried.  ``None`` disables.
+        Per-chunk wall-clock budget in seconds, enforced only when the
+        backend's ``capabilities.timeouts`` holds.  ``None`` disables.
     retries:
         Failed-chunk re-dispatch budget (per chunk).
     backoff:
@@ -247,7 +120,7 @@ class ChunkSupervisor:
         Parent-side executor for the ``"serial"`` policy (and only
         then); maps ``(start, stop)`` to a :data:`ChunkPayload`.
     tracer:
-        Optional tracer for retry/quarantine/respawn instants.
+        Optional tracer for retry/quarantine instants.
     on_chunk_done:
         Optional callback ``(start, stop, result)`` invoked as each
         chunk completes -- the checkpoint hook.
@@ -255,9 +128,7 @@ class ChunkSupervisor:
 
     def __init__(
         self,
-        ctx: Any,
-        jobs: int,
-        spawn_state: Any = None,
+        executor: Executor,
         timeout: float | None = None,
         retries: int = 0,
         backoff: BackoffPolicy | None = None,
@@ -274,9 +145,7 @@ class ChunkSupervisor:
             raise ValueError("retries must be >= 0")
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive seconds")
-        self.ctx = ctx
-        self.jobs = jobs
-        self.spawn_state = spawn_state
+        self.executor = executor
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff or BackoffPolicy()
@@ -284,45 +153,7 @@ class ChunkSupervisor:
         self.serial_fallback = serial_fallback
         self.tracer = tracer
         self.on_chunk_done = on_chunk_done
-        self._next_worker_id = 0
         self._seq = 0
-
-    # -- worker lifecycle ---------------------------------------------
-
-    def _spawn(self, outbox: Any) -> _Worker:
-        worker_id = self._next_worker_id
-        self._next_worker_id += 1
-        inbox = self.ctx.Queue()
-        process = self.ctx.Process(
-            target=_worker_main,
-            args=(worker_id, inbox, outbox, self.spawn_state),
-            daemon=True,
-        )
-        process.start()
-        return _Worker(worker_id=worker_id, process=process, inbox=inbox)
-
-    def _terminate(self, worker: _Worker) -> None:
-        if worker.process.is_alive():
-            worker.process.terminate()
-            worker.process.join(JOIN_SECONDS)
-            if worker.process.is_alive():
-                worker.process.kill()
-                worker.process.join(JOIN_SECONDS)
-
-    def _shutdown(self, workers: dict[int, _Worker]) -> None:
-        for worker in workers.values():
-            if worker.process.is_alive():
-                try:
-                    worker.inbox.put(None)
-                except (OSError, ValueError):
-                    pass
-        for worker in workers.values():
-            worker.process.join(JOIN_SECONDS)
-            if worker.process.is_alive():
-                worker.process.kill()
-                worker.process.join(JOIN_SECONDS)
-        for worker in workers.values():
-            worker.inbox.close()
 
     # -- supervision loop ---------------------------------------------
 
@@ -342,48 +173,29 @@ class ChunkSupervisor:
         )
         delayed: list[tuple[float, int, tuple[int, int]]] = []
         epoch = time.perf_counter()
-        outbox = self.ctx.Queue()
-        workers: dict[int, _Worker] = {}
-        try:
-            for _ in range(min(self.jobs, len(pending))):
-                worker = self._spawn(outbox)
-                workers[worker.worker_id] = worker
+        use_deadline = self.timeout is not None and self.executor.capabilities.timeouts
 
-            while len(results) + len(quarantined) < len(bounds):
-                now = time.perf_counter()
-                while delayed and delayed[0][0] <= now:
-                    _, _, chunk = heappop(delayed)
-                    pending.append(chunk)
-                for worker in workers.values():
-                    if worker.idle and pending and worker.process.is_alive():
-                        chunk = pending.popleft()
-                        if chunk in results or chunk in quarantined:
-                            continue
-                        deadline = (
-                            now + self.timeout if self.timeout is not None else None
-                        )
-                        worker.assign(
-                            *chunk, ordinals[chunk], attempts.get(chunk, 0), deadline
-                        )
-                try:
-                    msg = outbox.get(timeout=POLL_SECONDS)
-                except queue_mod.Empty:
-                    msg = None
-                if msg is not None:
-                    self._handle_message(
-                        msg, workers, results, quarantined, attempts, pending,
-                        delayed, epoch, out,
-                    )
-                self._check_liveness(
-                    workers, outbox, results, quarantined, attempts, pending,
-                    delayed, epoch, out,
+        while len(results) + len(quarantined) < len(bounds):
+            now = time.perf_counter()
+            while delayed and delayed[0][0] <= now:
+                _, _, chunk = heappop(delayed)
+                pending.append(chunk)
+            while pending and self.executor.has_capacity():
+                chunk = pending.popleft()
+                if chunk in results or chunk in quarantined:
+                    continue
+                deadline = now + self.timeout if use_deadline else None
+                self.executor.submit(
+                    *chunk, ordinals[chunk], attempts.get(chunk, 0), deadline
                 )
-        finally:
-            self._shutdown(workers)
-            outbox.close()
+            for event in self.executor.collect(POLL_SECONDS):
+                self._handle_event(
+                    event, results, quarantined, attempts, delayed, epoch, out
+                )
 
         out.payloads = [results[chunk] for chunk in bounds if chunk in results]
         out.quarantined = sorted(quarantined)
+        out.respawns = self.executor.respawns
         out.attempts_by_chunk = {
             chunk: attempts.get(chunk, 0) + 1
             for chunk in bounds
@@ -393,135 +205,38 @@ class ChunkSupervisor:
 
     # -- event handling -----------------------------------------------
 
-    def _handle_message(
+    def _handle_event(
         self,
-        msg: tuple,
-        workers: dict[int, _Worker],
+        event: ChunkEvent,
         results: dict,
         quarantined: set,
         attempts: dict,
-        pending: deque,
         delayed: list,
         epoch: float,
         out: SupervisedExecution,
     ) -> None:
-        kind = msg[0]
-        if kind == "ok":
-            _, worker_id, payload = msg
-            chunk = (payload[0], payload[1])
-            worker = workers.get(worker_id)
-            if worker is not None and worker.current == chunk:
-                worker.release()
+        chunk = event.chunk
+        if event.kind == "ok":
             if chunk not in results and chunk not in quarantined:
-                results[chunk] = payload
+                results[chunk] = event.payload
                 if self.on_chunk_done is not None:
-                    self.on_chunk_done(chunk[0], chunk[1], payload[2])
-        else:  # "err"
-            _, worker_id, start, stop, attempt, error = msg
-            worker = workers.get(worker_id)
-            pid = worker.process.pid if worker is not None else None
-            if worker is not None and worker.current == (start, stop):
-                worker.release()
-            self._chunk_failed(
-                (start, stop),
-                kind="exception",
-                error=error,
-                worker_id=worker_id,
-                pid=pid,
-                exitcode=None,
-                results=results,
-                quarantined=quarantined,
-                attempts=attempts,
-                delayed=delayed,
-                epoch=epoch,
-                out=out,
-            )
-
-    def _check_liveness(
-        self,
-        workers: dict[int, _Worker],
-        outbox: Any,
-        results: dict,
-        quarantined: set,
-        attempts: dict,
-        pending: deque,
-        delayed: list,
-        epoch: float,
-        out: SupervisedExecution,
-    ) -> None:
-        now = time.perf_counter()
-        for worker_id in list(workers):
-            worker = workers[worker_id]
-            alive = worker.process.is_alive()
-            if alive and worker.current is None:
-                continue
-            if not alive:
-                # a worker died; drain any result it managed to ship
-                # first, then attribute the death to its in-flight chunk
-                chunk = worker.current
-                exitcode = worker.process.exitcode
-                if chunk is not None and chunk not in results:
-                    out.worker_deaths += 1
-                    self._chunk_failed(
-                        chunk,
-                        kind="worker-died",
-                        error=f"worker exited with code {exitcode}",
-                        worker_id=worker_id,
-                        pid=worker.process.pid,
-                        exitcode=exitcode,
-                        results=results,
-                        quarantined=quarantined,
-                        attempts=attempts,
-                        delayed=delayed,
-                        epoch=epoch,
-                        out=out,
-                    )
-                del workers[worker_id]
-                replacement = self._spawn(outbox)
-                workers[replacement.worker_id] = replacement
-                out.respawns += 1
-                if self.tracer is not None:
-                    self.tracer.instant(
-                        "worker.respawn", cat="engine", exited=worker_id,
-                        exitcode=exitcode,
-                    )
-            elif worker.deadline is not None and now > worker.deadline:
-                chunk = worker.current
-                out.timeouts += 1
-                self._terminate(worker)
-                del workers[worker_id]
-                replacement = self._spawn(outbox)
-                workers[replacement.worker_id] = replacement
-                out.respawns += 1
-                if self.tracer is not None:
-                    self.tracer.instant(
-                        "worker.respawn", cat="engine", exited=worker_id,
-                        reason="timeout",
-                    )
-                if chunk is not None and chunk not in results:
-                    self._chunk_failed(
-                        chunk,
-                        kind="timeout",
-                        error=f"chunk exceeded {self.timeout}s wall-clock budget",
-                        worker_id=worker_id,
-                        pid=worker.process.pid,
-                        exitcode=None,
-                        results=results,
-                        quarantined=quarantined,
-                        attempts=attempts,
-                        delayed=delayed,
-                        epoch=epoch,
-                        out=out,
-                    )
+                    self.on_chunk_done(chunk[0], chunk[1], event.payload[2])
+            return
+        if chunk in results or chunk in quarantined:
+            # a stale failure (e.g. a speculative copy's host was lost
+            # after the primary already completed): nothing to recover
+            return
+        if event.kind == "timeout":
+            out.timeouts += 1
+        elif event.kind == "worker-died":
+            out.worker_deaths += 1
+        self._chunk_failed(
+            event, results, quarantined, attempts, delayed, epoch, out
+        )
 
     def _chunk_failed(
         self,
-        chunk: tuple[int, int],
-        kind: str,
-        error: str | None,
-        worker_id: int | None,
-        pid: int | None,
-        exitcode: int | None,
+        event: ChunkEvent,
         results: dict,
         quarantined: set,
         attempts: dict,
@@ -530,6 +245,7 @@ class ChunkSupervisor:
         out: SupervisedExecution,
     ) -> None:
         """Record one failed attempt and decide retry vs poison."""
+        chunk = event.chunk
         start, stop = chunk
         attempt = attempts.get(chunk, 0)
         attempts[chunk] = attempt + 1
@@ -537,15 +253,15 @@ class ChunkSupervisor:
         action = "retry" if will_retry else self.on_failure
         out.failures.append(
             FailureEvent(
-                kind=kind,
+                kind=event.kind,
                 start=start,
                 stop=stop,
                 attempt=attempt,
                 action=action,
-                worker=worker_id,
-                pid=pid,
-                error=error,
-                exitcode=exitcode,
+                worker=event.worker,
+                pid=event.pid,
+                error=event.error,
+                exitcode=event.exitcode,
                 at_seconds=time.perf_counter() - epoch,
             )
         )
@@ -557,7 +273,7 @@ class ChunkSupervisor:
             if self.tracer is not None:
                 self.tracer.instant(
                     "chunk.retry", cat="engine", start=start, stop=stop,
-                    attempt=attempt + 1, kind=kind, delay=delay,
+                    attempt=attempt + 1, kind=event.kind, delay=delay,
                 )
             return
         # retry budget exhausted: the chunk is poisoned
@@ -576,5 +292,6 @@ class ChunkSupervisor:
         quarantined.add(chunk)
         if self.tracer is not None:
             self.tracer.instant(
-                "chunk.quarantined", cat="engine", start=start, stop=stop, kind=kind
+                "chunk.quarantined", cat="engine", start=start, stop=stop,
+                kind=event.kind,
             )

@@ -1,0 +1,149 @@
+"""Worker-side chunk execution shared by every executor backend.
+
+One function -- :func:`execute_chunk` -- is the unit of work every
+execution backend dispatches: it runs a contiguous task range of the
+installed benchmark workload, with fault injection, span buffering,
+stack sampling and resource telemetry all captured *inside* the worker
+and shipped back with the result.  The :class:`~repro.runner.executors.LocalExecutor`
+calls it from forked/spawned pool processes, the
+:class:`~repro.runner.executors.SerialExecutor` calls it in the parent,
+and the ``repro worker`` daemon calls it on a remote host -- all three
+produce the same :data:`ChunkPayload` shape, which is why cross-backend
+results merge into one run record.
+
+The workload travels out-of-band: :func:`set_worker_state` installs the
+``(benchmark, workload, ...)`` tuple as a module global that forked
+children inherit copy-on-write; spawn-style pools and remote daemons
+receive the same tuple explicitly (as a process argument or over the
+wire) and install it themselves.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from repro.core.benchmark import Benchmark, ExecutionResult, as_execution_result
+from repro.obs.profile import SamplingProfiler, StackProfile
+from repro.obs.telemetry import TelemetrySampler, TelemetrySeries
+from repro.obs.trace import Span, Tracer, activated
+from repro.runner.faults import FaultPlan
+
+#: Per-chunk observability capture shipped back alongside the result:
+#: the chunk's sampled stack profile and the worker's resource series
+#: over the chunk window (either may be absent when disabled).
+ChunkObs = "dict[str, StackProfile | TelemetrySeries]"
+
+#: A completed chunk attempt as shipped back from a worker:
+#: ``(start, stop, result, pid, begin, end, spans, obs, host)``.
+#: ``host`` is ``None`` for chunks executed on the coordinator's own
+#: machine; distributed backends stamp it with the worker endpoint so
+#: per-host provenance survives into the run record.
+ChunkPayload = tuple[
+    int,
+    int,
+    ExecutionResult,
+    int,
+    float,
+    float,
+    "list[Span] | None",
+    "ChunkObs | None",
+    "str | None",
+]
+
+#: Worker state: ``(benchmark, workload, trace_enabled, fault_plan,
+#: profile_hz, telemetry_interval)``.  ``profile_hz`` /
+#: ``telemetry_interval`` of ``None`` disable the respective sampler.
+WorkerState = tuple[Benchmark, Any, bool, FaultPlan | None, float | None, float | None]
+
+_WORKER_STATE: WorkerState | None = None
+
+
+def set_worker_state(
+    bench: Benchmark,
+    workload: Any,
+    trace_enabled: bool,
+    fault_plan: FaultPlan | None,
+    profile_hz: float | None = None,
+    telemetry_interval: float | None = None,
+) -> None:
+    """Install the state forked workers inherit copy-on-write."""
+    global _WORKER_STATE
+    _WORKER_STATE = (
+        bench, workload, trace_enabled, fault_plan, profile_hz, telemetry_interval
+    )
+
+
+def clear_worker_state() -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = None
+
+
+def worker_state() -> WorkerState | None:
+    """The currently installed worker state (``None`` outside a run)."""
+    return _WORKER_STATE
+
+
+def execute_chunk(start: int, stop: int, ordinal: int, attempt: int) -> ChunkPayload:
+    """Run tasks ``[start, stop)`` in this process (injection-aware)."""
+    assert _WORKER_STATE is not None, "worker started without benchmark state"
+    bench, workload, trace_enabled, plan, profile_hz, telemetry_interval = _WORKER_STATE
+    if plan is not None:
+        # deterministic chaos: may raise, sleep past any deadline, or
+        # kill this process outright -- before any real work happens
+        plan.fire(ordinal, attempt)
+    spans: list[Span] | None = None
+    profiler = SamplingProfiler(profile_hz) if profile_hz else None
+    telemetry = TelemetrySampler(telemetry_interval) if telemetry_interval else None
+    t0 = time.perf_counter()
+    try:
+        if profiler is not None:
+            profiler.start()
+        if telemetry is not None:
+            telemetry.start()
+        if trace_enabled:
+            tracer = Tracer()
+            with activated(tracer):
+                result = as_execution_result(
+                    bench.execute_shard(workload, range(start, stop)), bench.name
+                )
+            spans = tracer.spans
+        else:
+            result = as_execution_result(
+                bench.execute_shard(workload, range(start, stop)), bench.name
+            )
+    finally:
+        obs: dict[str, Any] | None = None
+        if profiler is not None or telemetry is not None:
+            obs = {}
+            if profiler is not None:
+                obs["profile"] = profiler.stop()
+            if telemetry is not None:
+                obs["telemetry"] = telemetry.stop()
+    t1 = time.perf_counter()
+    return start, stop, result, os.getpid(), t0, t1, spans, obs, None
+
+
+def worker_main(worker_id: int, inbox: Any, outbox: Any, state: Any) -> None:
+    """Pool-worker loop: pull one chunk assignment, execute, report, repeat.
+
+    ``state`` is ``None`` under fork (module global inherited) and the
+    full worker-state tuple under spawn.
+    """
+    global _WORKER_STATE
+    if state is not None:
+        _WORKER_STATE = state
+    while True:
+        msg = inbox.get()
+        if msg is None:
+            return
+        start, stop, ordinal, attempt = msg
+        try:
+            payload = execute_chunk(start, stop, ordinal, attempt)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the supervisor
+            outbox.put(
+                ("err", worker_id, start, stop, attempt, f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            outbox.put(("ok", worker_id, payload))
