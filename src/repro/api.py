@@ -37,6 +37,7 @@ from typing import Sequence
 
 from repro.core.datasets import DatasetSize, coerce_size
 from repro.core.registry import get_kernel, kernel_names
+from repro.obs.events import EventLog
 from repro.obs.profile import DEFAULT_HZ
 from repro.obs.telemetry import DEFAULT_INTERVAL
 from repro.obs.trace import Tracer
@@ -63,8 +64,12 @@ class ObsOptions:
     collects per-category op counts on the serial path; ``profile``
     samples stacks (at ``profile_hz``); ``telemetry`` samples
     per-worker CPU/RSS from ``/proc`` (every ``telemetry_interval``
-    seconds).  The default is everything off -- observability costs
-    nothing unless asked for.
+    seconds); ``events`` publishes the run's structured event
+    narrative into a shared :class:`~repro.obs.events.EventLog` (the
+    live status server and ``--events`` JSONL sink watch it -- with
+    ``None`` the engine still keeps a private log so events land in
+    the run record).  The default is everything off -- observability
+    costs nothing unless asked for.
     """
 
     tracer: Tracer | None = None
@@ -73,6 +78,7 @@ class ObsOptions:
     profile_hz: float = DEFAULT_HZ
     telemetry: bool = False
     telemetry_interval: float = DEFAULT_INTERVAL
+    events: EventLog | None = None
 
 
 def run(
@@ -124,6 +130,7 @@ def run(
         profile_hz=o.profile_hz,
         telemetry=o.telemetry,
         telemetry_interval=o.telemetry_interval,
+        events=o.events,
     )
     return runner.run(kernel, size)
 

@@ -16,17 +16,21 @@
   throughput (and, with ``--rss-threshold``, peak-RSS) regressions
   (``bench record`` / ``bench check``)
 * ``obs``           -- render a run record as a self-contained HTML
-  dashboard (``obs report``), compare two runs (``obs diff``) or
+  dashboard (``obs report``), compare two runs (``obs diff``),
   export profiles/metrics (``obs export``: folded stacks, speedscope
-  JSON, OpenMetrics textfile)
+  JSON, OpenMetrics textfile) or print the structured event log
+  (``obs tail``, with ``--follow`` for live replay)
 
 ``run`` additionally takes ``--trace FILE`` (Chrome trace-event JSON of
 engine phases, per-worker chunk timelines and kernel-internal spans --
 load it in chrome://tracing or Perfetto), ``--metrics FILE`` (the
 run's serialized metrics registries), ``--profile`` (statistical
 sampling profiler; folded stacks and a hotspot table land in the
-schema-v4 record) and ``--telemetry`` (per-worker CPU/RSS series from
-``/proc``, a no-op off-Linux).
+record), ``--telemetry`` (per-worker CPU/RSS series from ``/proc``, a
+no-op off-Linux), ``--live-port N`` (an in-run HTTP status server:
+``GET /status``, ``/metrics``, ``/events?since=SEQ`` -- see
+``docs/live-observability.md``) and ``--events FILE`` (append every
+structured run event to FILE as JSON lines).
 
 Fault tolerance (see ``docs/fault-tolerance.md``): ``--timeout SECONDS``
 bounds each chunk's wall-clock, ``--retries N`` re-executes failed
@@ -144,72 +148,97 @@ def _cmd_run(args: argparse.Namespace) -> int:
     fault_plan = args.inject_faults or None
     if args.resume and args.no_cache:
         print("warning: --resume needs the workload cache; ignoring", file=sys.stderr)
+    # one event log shared across the multi-kernel loop, so the live
+    # server (and the --events JSONL sink) sees every run in sequence
+    event_log = None
+    live_server = None
+    if args.events or args.live_port is not None:
+        from repro.obs.events import EventLog
+
+        event_log = EventLog(logfile=args.events)
+    if args.live_port is not None:
+        from repro.obs.live import LiveServer
+
+        live_server = LiveServer(event_log, port=args.live_port).start()
+        print(
+            f"live status on {live_server.url} (/status /metrics /events)",
+            file=sys.stderr,
+        )
     obs = api.ObsOptions(
         tracer=tracer,
         instrument=bool(args.metrics),
         profile=args.profile,
         profile_hz=args.profile_hz,
         telemetry=args.telemetry,
+        events=event_log,
     )
     cache = _make_cache(args)
     rows = []
     records = []
     metrics_by_kernel = {}
     incomplete = []
-    for name in names:
-        run = api.run(
-            name,
-            size,
-            executor=args.executor,
-            hosts=args.hosts,
-            jobs=args.jobs,
-            chunk_size=args.chunk_size,
-            cache=cache,
-            measure_serial=False if args.no_baseline else None,
-            timeout=args.timeout,
-            retries=args.retries,
-            on_failure=args.on_failure,
-            fault_plan=fault_plan,
-            resume=args.resume,
-            obs=obs,
-        )
-        rec = run.record
-        records.append(rec.to_dict())
-        metrics_by_kernel[name] = rec.metrics
-        prep = "cached" if rec.prepare_cached else f"{rec.prepare_seconds:.2f}s"
-        speedup = rec.speedup_vs_serial
-        if rec.degraded:
-            health = "degraded"
-        elif rec.quarantined:
-            health = f"{len(rec.quarantined)} quarantined"
-        elif rec.retries or rec.resumed_chunks:
-            parts = []
-            if rec.retries:
-                parts.append(f"{rec.retries} retried")
-            if rec.resumed_chunks:
-                parts.append(f"{rec.resumed_chunks} resumed")
-            health = ", ".join(parts)
-        else:
-            health = "ok"
-        rows.append(
-            (
+    try:
+        for name in names:
+            run = api.run(
                 name,
-                rec.n_tasks,
-                f"{rec.total_work:,}",
-                prep,
-                f"{rec.execute_seconds:.2f}s",
-                f"{speedup:.2f}x" if speedup is not None else "-",
-                health,
+                size,
+                executor=args.executor,
+                hosts=args.hosts,
+                jobs=args.jobs,
+                chunk_size=args.chunk_size,
+                cache=cache,
+                measure_serial=False if args.no_baseline else None,
+                timeout=args.timeout,
+                retries=args.retries,
+                on_failure=args.on_failure,
+                fault_plan=fault_plan,
+                resume=args.resume,
+                obs=obs,
             )
-        )
-        print(f"  {name}: {rec.execute_seconds:.2f}s", file=sys.stderr)
-        if rec.quarantined:
-            incomplete.append(name)
-            print(
-                f"  {name}: {rec.quarantined_tasks} task(s) quarantined in "
-                f"{len(rec.quarantined)} chunk(s); see the failure report",
-                file=sys.stderr,
+            rec = run.record
+            records.append(rec.to_dict())
+            metrics_by_kernel[name] = rec.metrics
+            prep = "cached" if rec.prepare_cached else f"{rec.prepare_seconds:.2f}s"
+            speedup = rec.speedup_vs_serial
+            if rec.degraded:
+                health = "degraded"
+            elif rec.quarantined:
+                health = f"{len(rec.quarantined)} quarantined"
+            elif rec.retries or rec.resumed_chunks:
+                parts = []
+                if rec.retries:
+                    parts.append(f"{rec.retries} retried")
+                if rec.resumed_chunks:
+                    parts.append(f"{rec.resumed_chunks} resumed")
+                health = ", ".join(parts)
+            else:
+                health = "ok"
+            rows.append(
+                (
+                    name,
+                    rec.n_tasks,
+                    f"{rec.total_work:,}",
+                    prep,
+                    f"{rec.execute_seconds:.2f}s",
+                    f"{speedup:.2f}x" if speedup is not None else "-",
+                    health,
+                )
             )
+            print(f"  {name}: {rec.execute_seconds:.2f}s", file=sys.stderr)
+            if rec.quarantined:
+                incomplete.append(name)
+                print(
+                    f"  {name}: {rec.quarantined_tasks} task(s) quarantined in "
+                    f"{len(rec.quarantined)} chunk(s); see the failure report",
+                    file=sys.stderr,
+                )
+    finally:
+        if live_server is not None:
+            live_server.stop()
+        if event_log is not None:
+            event_log.close()
+            if args.events:
+                print(f"wrote event log to {args.events}", file=sys.stderr)
     if tracer is not None:
         path = tracer.export(args.trace)
         print(f"wrote Chrome trace to {path} (open in chrome://tracing)", file=sys.stderr)
@@ -423,6 +452,7 @@ def _cmd_runner(args: argparse.Namespace) -> int:
                 (
                     name,
                     ", ".join(k for k, v in sorted(caps.items()) if v) or "-",
+                    "yes" if caps.get("live_events") else "no",
                     summary,
                 )
             )
@@ -431,7 +461,7 @@ def _cmd_runner(args: argparse.Namespace) -> int:
             [
                 Report(
                     title="registered executors",
-                    headers=["name", "capabilities", "summary"],
+                    headers=["name", "capabilities", "live events", "summary"],
                     rows=rows,
                     data=data,
                 )
@@ -746,6 +776,56 @@ def _cmd_obs_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.events import format_event, level_rank, load_events, parse_jsonl
+
+    path = Path(args.source)
+    floor = level_rank(args.level) if args.level else None
+
+    def emit(docs: list[dict]) -> bool:
+        """Print the docs that pass the filters; True on run_finished."""
+        finished = False
+        for doc in docs:
+            if doc.get("seq", 0) <= args.since:
+                continue
+            if floor is None or level_rank(doc.get("level", "info")) >= floor:
+                print(format_event(doc))
+            if doc.get("name") == "run_finished":
+                finished = True
+        return finished
+
+    if not args.follow:
+        try:
+            emit(load_events(path))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc))
+        return 0
+
+    # follow a growing JSONL sink (run --events FILE): poll appended
+    # bytes, replay complete lines in order, stop when the run finishes
+    offset = 0
+    pending = ""
+    try:
+        while True:
+            try:
+                with path.open("r", encoding="utf-8") as fh:
+                    fh.seek(offset)
+                    grown = fh.read()
+                    offset = fh.tell()
+            except FileNotFoundError:
+                grown = ""  # the run has not created the sink yet
+            if grown:
+                pending += grown
+                lines, sep, pending = pending.rpartition("\n")
+                if sep and emit(parse_jsonl(lines)):
+                    return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="genomicsbench", description="GenomicsBench reproduction suite"
@@ -837,6 +917,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="FILE", default=None,
         help="write per-kernel metrics registries (JSON) to FILE; "
         "also enables op-count instrumentation on the serial path",
+    )
+    run.add_argument(
+        "--live-port", type=int, default=None, metavar="N",
+        help="serve live run status over HTTP on 127.0.0.1:N while "
+        "kernels execute (GET /status, /metrics, /events?since=SEQ); "
+        "0 picks an ephemeral port",
+    )
+    run.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="append every structured run event to FILE as JSON lines "
+        "(tail it live with `obs tail FILE --follow`)",
     )
     _add_output_options(run)
     run.set_defaults(func=_cmd_run)
@@ -1022,6 +1113,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's metrics as an OpenMetrics textfile",
     )
     exp.set_defaults(func=_cmd_obs_export)
+
+    tail = obs_sub.add_parser(
+        "tail", help="print a run's structured event log, optionally live"
+    )
+    tail.add_argument(
+        "source",
+        help="JSONL event log (run --events FILE) or any run-record JSON",
+    )
+    tail.add_argument(
+        "--follow", action="store_true",
+        help="keep polling a growing JSONL log and print events as they "
+        "land; stops when the run finishes (or on Ctrl-C)",
+    )
+    tail.add_argument(
+        "--level", choices=["debug", "info", "warning", "error"], default=None,
+        help="only print events at or above this severity",
+    )
+    tail.add_argument(
+        "--since", type=int, default=-1, metavar="SEQ",
+        help="only print events with seq > SEQ (default: all)",
+    )
+    tail.add_argument(
+        "--interval", type=float, default=0.2, metavar="SECONDS",
+        help="--follow poll interval (default: 0.2)",
+    )
+    tail.set_defaults(func=_cmd_obs_tail)
     return parser
 
 

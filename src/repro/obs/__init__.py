@@ -18,16 +18,28 @@ into:
   sampling (CPU, RSS, context switches), a graceful no-op off-Linux.
 * :mod:`repro.obs.report` -- the self-contained HTML run dashboard,
   ``obs diff`` run comparison and the OpenMetrics textfile exporter.
+* :mod:`repro.obs.events` -- the append-only structured event log
+  every engine layer publishes its run narrative into (typed,
+  severity-leveled, correlation-ID'd), merged across workers and
+  hosts onto one clock.
+* :mod:`repro.obs.live` -- the in-run HTTP status plane over that
+  log: ``/status``, ``/metrics`` (OpenMetrics) and ``/events``.
 
 The tracer and the registry share one activation model: the engine (or
 a test) installs them process-wide with :func:`activated` /
 :func:`activated_metrics`, and kernels emit through the
 ``kernel_*`` hooks, which cost one global read when observability is
-off.  :mod:`repro.obs.history` and :mod:`repro.obs.report` are
-imported on demand (they pull in the run-record schema) rather than
-re-exported here.
+off.  :mod:`repro.obs.history`, :mod:`repro.obs.report` and
+:mod:`repro.obs.live` are imported on demand (they pull in the
+run-record schema / ``http.server``) rather than re-exported here.
 """
 
+from repro.obs.events import (
+    Event,
+    EventLog,
+    format_event,
+    load_events,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -65,6 +77,8 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "Event",
+    "EventLog",
     "Gauge",
     "Histogram",
     "Hotspot",
@@ -84,10 +98,12 @@ __all__ = [
     "current_metrics",
     "current_tracer",
     "export_record_trace",
+    "format_event",
     "kernel_counter",
     "kernel_instant",
     "kernel_observe",
     "kernel_span",
+    "load_events",
     "merge_profiles",
     "telemetry_supported",
 ]

@@ -1,15 +1,17 @@
 """Run-report dashboard, run diffing and an OpenMetrics exporter.
 
 Everything the obs layer collects about a run -- the chunk trace,
-metrics registry, sampling-profiler hotspots and ``/proc`` telemetry --
-lands in one schema-v4 :class:`~repro.runner.record.RunRecord`.  This
-module turns that record into things people and machines consume:
+metrics registry, sampling-profiler hotspots, ``/proc`` telemetry and
+the structured event log -- lands in one schema-v5
+:class:`~repro.runner.record.RunRecord`.  This module turns that
+record into things people and machines consume:
 
 * :func:`render_report` / :func:`write_report` -- a **self-contained
   HTML dashboard** (inline CSS/SVG, no external assets, light and dark
   mode from the same markup): stat tiles for the headline numbers, the
-  per-worker chunk timeline, the profiler's hotspot table, per-worker
-  CPU/RSS sparklines and the metrics tables, plus an optional
+  per-worker chunk timeline with an event annotation lane, the
+  profiler's hotspot table, per-worker CPU/RSS sparklines, the run's
+  warning/error events and the metrics tables, plus an optional
   throughput trend from a bench history.
 * :func:`diff_records` -- a structured comparison of two runs
   (throughput, wall-clock, peak RSS, hotspot shifts) rendered through
@@ -196,45 +198,56 @@ def _om_value(value: float) -> str:
     return str(int(f)) if f.is_integer() else repr(f)
 
 
-def to_openmetrics(record: RunRecord) -> str:
-    """The record's metrics registry as an OpenMetrics textfile.
+def encode_openmetrics(
+    metrics: dict[str, Any], labels: dict[str, Any]
+) -> str:
+    """A metrics-registry snapshot as an OpenMetrics textfile.
 
-    Counters get the ``_total`` suffix, histograms the cumulative
-    ``_bucket{le=...}`` / ``_sum`` / ``_count`` triple, and every
-    sample carries ``kernel``/``size``/``jobs`` labels so textfiles
-    from several runs can be concatenated by a collector.  Unset
-    gauges are skipped (OpenMetrics has no "no value" sample).
+    ``metrics`` is the :meth:`~repro.obs.metrics.MetricsRegistry.as_dict`
+    shape (``counters`` / ``gauges`` / ``histograms`` keys, each
+    optional).  Counters get the ``_total`` suffix, histograms the
+    cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` triple, and
+    every sample carries the given labels so textfiles from several
+    runs can be concatenated by a collector.  Unset gauges are skipped
+    (OpenMetrics has no "no value" sample).  Shared by the ``obs
+    export`` textfile writer and the live ``/metrics`` endpoint.
     """
-    metrics = record.metrics or {}
-    labels = (
-        f'kernel="{record.kernel}",size="{record.size}",jobs="{record.jobs}"'
-    )
+    label_text = ",".join(f'{k}="{v}"' for k, v in labels.items())
     lines: list[str] = []
     for name, value in sorted((metrics.get("counters") or {}).items()):
         om = _om_name(name)
         lines.append(f"# TYPE {om} counter")
-        lines.append(f"{om}_total{{{labels}}} {_om_value(value)}")
+        lines.append(f"{om}_total{{{label_text}}} {_om_value(value)}")
     for name, value in sorted((metrics.get("gauges") or {}).items()):
         if value is None:
             continue
         om = _om_name(name)
         lines.append(f"# TYPE {om} gauge")
-        lines.append(f"{om}{{{labels}}} {_om_value(value)}")
+        lines.append(f"{om}{{{label_text}}} {_om_value(value)}")
     for name, hist in sorted((metrics.get("histograms") or {}).items()):
         om = _om_name(name)
         lines.append(f"# TYPE {om} histogram")
+        counts = list(hist.get("counts") or [])
         cumulative = 0
-        for boundary, count in zip(hist["boundaries"], hist["counts"]):
+        for boundary, count in zip(hist.get("boundaries") or [], counts):
             cumulative += count
             lines.append(
-                f'{om}_bucket{{{labels},le="{_om_value(boundary)}"}} {cumulative}'
+                f'{om}_bucket{{{label_text},le="{_om_value(boundary)}"}} {cumulative}'
             )
-        cumulative += hist["counts"][-1]
-        lines.append(f'{om}_bucket{{{labels},le="+Inf"}} {cumulative}')
-        lines.append(f"{om}_sum{{{labels}}} {_om_value(hist['sum'])}")
-        lines.append(f"{om}_count{{{labels}}} {hist['count']}")
+        cumulative += counts[-1] if counts else 0
+        lines.append(f'{om}_bucket{{{label_text},le="+Inf"}} {cumulative}')
+        lines.append(f"{om}_sum{{{label_text}}} {_om_value(hist.get('sum', 0.0))}")
+        lines.append(f"{om}_count{{{label_text}}} {hist.get('count', 0)}")
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
+
+
+def to_openmetrics(record: RunRecord) -> str:
+    """The record's metrics registry as an OpenMetrics textfile."""
+    return encode_openmetrics(
+        record.metrics or {},
+        {"kernel": record.kernel, "size": record.size, "jobs": record.jobs},
+    )
 
 
 def write_openmetrics(path: Path | str, record: RunRecord) -> Path:
@@ -379,20 +392,59 @@ def _sparkline(
     )
 
 
+#: Event-lane marker colors by severity (legible in both themes).
+_EVENT_COLORS = {"info": "#2a78d6", "warning": "#eda100", "error": "#e34948"}
+
+
+def _event_lane(record: RunRecord, span: float, left: int, plot_w: int, y: int) -> str:
+    """One marker row of info+ events under the worker tracks.
+
+    Event ``t`` is already relative to the execute-phase start -- the
+    same origin as the chunk trace -- so markers line up with the bars
+    above them; pre-execute events (negative ``t``) clamp to the left
+    edge.  ``<title>`` tooltips carry the event's formatted line.
+    """
+    from repro.obs.events import format_event, level_rank
+
+    floor = level_rank("info")
+    shown = [
+        e for e in record.events
+        if level_rank(e.get("level", "info")) >= floor
+    ]
+    if not shown:
+        return ""
+    parts = [f'<text x="0" y="{y + 13}">events</text>']
+    for doc in shown:
+        t = min(max(float(doc.get("t", 0.0)), 0.0), span)
+        x = left + t / span * plot_w
+        color = _EVENT_COLORS.get(doc.get("level", "info"), _EVENT_COLORS["info"])
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y + 9}" r="4" fill="{color}" '
+            'stroke="var(--surface-1)" stroke-width="1">'
+            f"<title>{html.escape(format_event(doc))}</title></circle>"
+        )
+    return "".join(parts)
+
+
 def _timeline_svg(record: RunRecord) -> str:
     """Per-worker chunk timeline: one track per worker, one bar per chunk.
 
     Worker identity is categorical -- each track keeps its fixed palette
     slot (folding to slot cycling only past eight tracks would break the
     CVD ordering, so tracks beyond the eighth reuse a neutral).  Native
-    ``<title>`` tooltips carry the per-chunk detail on hover.
+    ``<title>`` tooltips carry the per-chunk detail on hover.  Below
+    the worker tracks, an annotation lane marks the run's info+
+    structured events (retries, quarantines, lost hosts, ...) on the
+    same time axis.
     """
     if not record.chunks:
         return '<p class="note">no chunk trace recorded</p>'
     span = max((c.end for c in record.chunks), default=0.0) or 1.0
     n_workers = max(c.worker for c in record.chunks) + 1
     width, row_h, left = 1040, 22, 70
-    height = n_workers * row_h + 24
+    lane = _event_lane(record, span, left, 1040 - left - 8, n_workers * row_h)
+    lane_h = row_h if lane else 0
+    height = n_workers * row_h + lane_h + 24
     plot_w = width - left - 8
     parts = [
         f'<svg width="{width}" height="{height}" role="img" '
@@ -422,7 +474,8 @@ def _timeline_svg(record: RunRecord) -> str:
                 f"<title>{html.escape(tip)}</title></rect>"
             )
         parts.append("</g>")
-    axis_y = n_workers * row_h + 16
+    parts.append(lane)
+    axis_y = n_workers * row_h + lane_h + 16
     parts.append(
         f'<text x="{left}" y="{axis_y}">0s</text>'
         f'<text x="{width - 60}" y="{axis_y}">{span:.2f}s</text>'
@@ -538,6 +591,38 @@ def _metrics_tables(record: RunRecord) -> str:
     return "".join(sections) or '<p class="note">no metrics recorded</p>'
 
 
+def _events_section(record: RunRecord) -> str:
+    """Event-log summary: totals plus every warning/error, formatted."""
+    from repro.obs.events import format_event, level_rank
+
+    if not record.events:
+        return (
+            '<p class="note">no event log in this record '
+            "(written by pre-v5 suites)</p>"
+        )
+    floor = level_rank("warning")
+    noteworthy = [
+        e for e in record.events
+        if level_rank(e.get("level", "info")) >= floor
+    ]
+    note = (
+        f'<p class="note">{len(record.events)} events recorded; '
+        f"{len(noteworthy)} at warning or above "
+        "(hover the timeline markers; replay with <code>obs tail</code>)</p>"
+    )
+    if not noteworthy:
+        return note
+    rows = "".join(
+        f'<tr><td class="num">{e.get("seq", "-")}</td>'
+        f'<td class="frame">{html.escape(format_event(e))}</td></tr>'
+        for e in noteworthy[:REPORT_TOP_N * 2]
+    )
+    return (
+        note + '<table><thead><tr><th class="num">seq</th>'
+        f"<th>event</th></tr></thead><tbody>{rows}</tbody></table>"
+    )
+
+
 def _history_section(record: RunRecord, history: Sequence[RunRecord]) -> str:
     """Throughput trend of this record's configuration over the history."""
     series = [
@@ -588,6 +673,8 @@ def render_report(record: RunRecord, history: Sequence[RunRecord] | None = None)
         _hotspot_table(record),
         "<h2>worker telemetry</h2>",
         _telemetry_section(record),
+        "<h2>run events</h2>",
+        _events_section(record),
     ]
     if history is not None:
         sections += ["<h2>throughput history</h2>", _history_section(record, history)]

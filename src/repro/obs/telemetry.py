@@ -77,27 +77,31 @@ class ResourceSample:
 
 
 def read_resource_sample() -> ResourceSample | None:
-    """One sample of the current process, or ``None`` off-Linux."""
+    """One sample of the current process, or ``None`` when unreadable.
+
+    ``/proc`` reads race with the kernel: a file can vanish mid-poll
+    (teardown, pid churn), come back truncated, or hold fewer fields
+    than the format promises.  Every such failure returns ``None`` --
+    one lost tick must never kill the sampling thread or the chunk it
+    rides in -- so callers treat ``None`` as "skip this sample".
+    """
     try:
         stat = _PROC_STAT.read_text()
         statm = _PROC_STATM.read_text()
-    except OSError:
-        return None
-    ts = time.perf_counter()
-    # stat: fields after the parenthesized comm (which may itself
-    # contain spaces); utime/stime are fields 12/13 past the ")".
-    after = stat.rsplit(")", 1)[-1].split()
-    try:
+        ts = time.perf_counter()
+        # stat: fields after the parenthesized comm (which may itself
+        # contain spaces); utime/stime are fields 12/13 past the ")".
+        after = stat.rsplit(")", 1)[-1].split()
         cpu_seconds = (int(after[11]) + int(after[12])) / _CLK_TCK
         rss_bytes = int(statm.split()[1]) * _PAGE_SIZE
-    except (IndexError, ValueError):
+    except (OSError, IndexError, ValueError):
         return None
     ctx = 0
     try:
         for line in _PROC_STATUS.read_text().splitlines():
             if line.startswith(("voluntary_ctxt_switches", "nonvoluntary_ctxt_switches")):
                 ctx += int(line.rsplit(None, 1)[-1])
-    except (OSError, ValueError):
+    except (OSError, IndexError, ValueError):
         ctx = 0
     return ResourceSample(ts=ts, cpu_seconds=cpu_seconds, rss_bytes=rss_bytes, ctx_switches=ctx)
 

@@ -68,6 +68,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, ClassVar, Iterator
 
 from repro.core.benchmark import load_benchmark
+from repro.obs import events as ev
+from repro.obs.events import EventLog
 from repro.obs.trace import Span
 from repro.runner.executors import (
     ChunkEvent,
@@ -264,6 +266,9 @@ def _serve_session(conn: socket.socket) -> None:
                     msg["fault_plan"],
                     msg["profile_hz"],
                     msg["telemetry_interval"],
+                    # .get keeps old coordinators speaking to new daemons
+                    # without a protocol bump
+                    msg.get("events_enabled", False),
                 )
                 with send_lock:
                     send_frame(conn, {"type": "workload-ok"})
@@ -379,7 +384,7 @@ class DistributedExecutor(Executor):
 
     name: ClassVar[str] = "distributed"
     capabilities: ClassVar[ExecutorCapabilities] = ExecutorCapabilities(
-        timeouts=True, kill=False, remote=True
+        timeouts=True, kill=False, remote=True, live_events=True
     )
 
     def __init__(
@@ -407,6 +412,7 @@ class DistributedExecutor(Executor):
         self._events: queue_mod.Queue[ChunkEvent] = queue_mod.Queue()
         self._lock = threading.Lock()
         self._speculated: set[tuple[int, int]] = set()
+        self._event_log: EventLog | None = None
 
     @classmethod
     def from_options(
@@ -421,6 +427,7 @@ class DistributedExecutor(Executor):
     # -- lifecycle ----------------------------------------------------
 
     def open(self, context: ExecutionContext) -> None:
+        self._event_log = context.events
         workload_msg = {
             "type": "workload",
             "bench": context.bench,
@@ -430,6 +437,7 @@ class DistributedExecutor(Executor):
             "fault_plan": context.fault_plan,
             "profile_hz": context.profile_hz,
             "telemetry_interval": context.telemetry_interval,
+            "events_enabled": context.events_enabled,
         }
         errors: list[str] = []
         for spec in self.host_specs:
@@ -437,11 +445,24 @@ class DistributedExecutor(Executor):
                 self._hosts[spec] = self._connect(spec, workload_msg)
             except (OSError, ConnectionError, ValueError) as exc:
                 errors.append(f"{spec}: {exc}")
+                if self._event_log is not None:
+                    self._event_log.emit(
+                        ev.HOST_UNAVAILABLE, "warning", host=spec, error=str(exc)
+                    )
                 warnings.warn(
                     f"distributed worker {spec} unavailable: {exc}",
                     RuntimeWarning,
                     stacklevel=2,
                 )
+            else:
+                if self._event_log is not None:
+                    connected = self._hosts[spec]
+                    self._event_log.emit(
+                        ev.HOST_CONNECTED, "info", host=spec,
+                        remote_host=connected.remote_host,
+                        remote_pid=connected.remote_pid,
+                        clock_offset=round(connected.clock_offset, 6),
+                    )
         if not self._hosts:
             raise OSError(
                 "no distributed workers reachable: " + "; ".join(errors)
@@ -637,6 +658,11 @@ class DistributedExecutor(Executor):
                 thief.current = (chunk, attempt, deadline, now)
                 pairs.append((thief, chunk, attempt))
         for thief, (start, stop), attempt in pairs:
+            if self._event_log is not None:
+                self._event_log.emit(
+                    ev.CHUNK_STOLEN, "warning", chunk=(start, stop),
+                    host=thief.label, attempt=attempt,
+                )
             if self.tracer is not None:
                 self.tracer.instant(
                     "chunk.stolen", cat="engine", start=start, stop=stop,
@@ -704,6 +730,12 @@ class DistributedExecutor(Executor):
         if obs and obs.get("telemetry") is not None:
             for sample in obs["telemetry"].samples:
                 sample.ts += off
+        if obs:
+            # the worker's buffered events merge into the coordinator
+            # log here, clock-rebased exactly like the spans above
+            buffered = obs.pop("events", None)
+            if buffered and self._event_log is not None:
+                self._event_log.absorb(buffered, clock_offset=off, host=host.label)
         return (
             start, stop, result, pid, w0 + off, w1 + off, spans, obs, host.label
         )
@@ -717,6 +749,11 @@ class DistributedExecutor(Executor):
             current = host.current
             host.current = None
         self._close(host)
+        if self._event_log is not None:
+            self._event_log.emit(
+                ev.HOST_LOST, "error", host=host.label,
+                pid=host.remote_pid, reason=reason,
+            )
         if self.tracer is not None:
             self.tracer.instant(
                 "host.lost", cat="engine", host=host.label, reason=reason

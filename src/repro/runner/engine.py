@@ -91,6 +91,8 @@ from repro.core.benchmark import (
 )
 from repro.core.datasets import DatasetSize, coerce_size
 from repro.core.instrument import Instrumentation, OpCounts
+from repro.obs import events as ev
+from repro.obs.events import EventLog
 from repro.obs.metrics import (
     ATTEMPT_BUCKETS,
     SECONDS_BUCKETS,
@@ -238,6 +240,12 @@ class ParallelRunner:
         during execution (graceful no-op off-Linux).
     telemetry_interval:
         Telemetry sampling interval in seconds (default 0.05).
+    events:
+        An :class:`~repro.obs.events.EventLog` to publish the run's
+        structured event narrative into.  ``None`` (the default)
+        creates a private in-memory log -- events are always captured
+        and land in the run record; pass a shared log to watch them
+        live (the ``run --live-port`` server does exactly that).
     """
 
     def __init__(
@@ -260,6 +268,7 @@ class ParallelRunner:
         profile_hz: float = DEFAULT_HZ,
         telemetry: bool = False,
         telemetry_interval: float = DEFAULT_INTERVAL,
+        events: EventLog | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -295,9 +304,13 @@ class ParallelRunner:
         self.profile_hz = profile_hz
         self.telemetry = telemetry
         self.telemetry_interval = telemetry_interval
+        self.events = events if events is not None else EventLog()
         #: Phase profile captured by :meth:`prepare`, consumed by the
         #: next :meth:`execute` (one run at a time per runner).
         self._prepare_profile: StackProfile | None = None
+        #: Seq of this run's ``run_started`` event, set by :meth:`run`
+        #: so :meth:`execute` can slice the shared log per run.
+        self._run_start_seq: int | None = None
 
     def _span(self, name: str, **args: Any):
         """An engine-phase span, or a no-op when tracing is off."""
@@ -341,10 +354,25 @@ class ParallelRunner:
         """Prepare (or load) the workload for ``kernel`` and execute it."""
         size = coerce_size(size)
         bench = load_benchmark(kernel)
+        self._run_start_seq = self.events.next_seq
+        self.events.set_run_id(ev.new_run_id())
+        self.events.emit(
+            ev.RUN_STARTED, kernel=kernel, size=size.value,
+            jobs=self.jobs, executor=self._executor_name(),
+        )
+        self.events.emit(ev.PREPARE_STARTED, "debug", kernel=kernel)
         workload, prepare_seconds, cached = self.prepare(bench, size)
+        self.events.emit(
+            ev.PREPARE_FINISHED, "debug", kernel=kernel,
+            seconds=round(prepare_seconds, 6), cached=cached,
+        )
         return self.execute(
             bench, workload, size, prepare_seconds=prepare_seconds, prepare_cached=cached
         )
+
+    def _executor_name(self) -> str:
+        spec = self.executor
+        return spec.name if isinstance(spec, Executor) else (spec or "local")
 
     def execute(
         self,
@@ -359,7 +387,18 @@ class ParallelRunner:
         n_tasks = bench.task_count(workload)
         jobs = self._effective_jobs()
         spec = self.executor
-        executor_name = spec.name if isinstance(spec, Executor) else (spec or "local")
+        executor_name = self._executor_name()
+        start_seq = self._run_start_seq
+        self._run_start_seq = None
+        if start_seq is None:
+            # execute() called directly (no run()): open the narrative
+            # here so the log still has a well-formed run envelope
+            start_seq = self.events.next_seq
+            self.events.set_run_id(ev.new_run_id())
+            self.events.emit(
+                ev.RUN_STARTED, kernel=bench.name, size=size.value,
+                jobs=self.jobs, executor=executor_name,
+            )
         # the in-process fast path: unshardable workloads always, and the
         # default backend at jobs=1 (no pool, no IPC, no chunking)
         fast_serial = (
@@ -396,12 +435,21 @@ class ParallelRunner:
         degraded = False
         hosts_seen: list[str] = []
         if executor is None:
+            self.events.emit(
+                ev.EXECUTE_STARTED, kernel=bench.name, executor="serial",
+                chunks=1, tasks=n_tasks if n_tasks is not None else 0, jobs=1,
+            )
             result, chunks, workers, elapsed, obs = self._execute_serial(
                 bench, workload, metrics
             )
             chunk_size = max(1, len(result.task_work))
         else:
             chunk_size = self._effective_chunk_size(n_tasks, slots)
+            self.events.emit(
+                ev.EXECUTE_STARTED, kernel=bench.name, executor=executor.name,
+                chunks=-(-n_tasks // chunk_size), tasks=n_tasks,
+                chunk_size=chunk_size, jobs=slots,
+            )
             try:
                 result, chunks, workers, elapsed, supervised, resumed_chunks, obs = (
                     self._execute_parallel(
@@ -421,10 +469,18 @@ class ParallelRunner:
                 degraded = True
                 slots = 1
                 supervised = None
+                self.events.emit(
+                    ev.RUN_DEGRADED, "error", executor=executor.name,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 if self.tracer is not None:
                     self.tracer.instant(
                         "engine.degraded", cat="engine", error=str(exc)
                     )
+                self.events.emit(
+                    ev.EXECUTE_STARTED, kernel=bench.name, executor="serial",
+                    chunks=1, tasks=n_tasks if n_tasks is not None else 0, jobs=1,
+                )
                 result, chunks, workers, elapsed, obs = self._execute_serial(
                     bench, workload, metrics
                 )
@@ -449,6 +505,13 @@ class ParallelRunner:
             jobs=slots,
             supervised=supervised,
             resumed_chunks=resumed_chunks,
+            degraded=degraded,
+        )
+        self.events.emit(
+            ev.RUN_FINISHED, kernel=bench.name,
+            seconds=round(elapsed, 6), tasks=result.n_tasks, chunks=len(chunks),
+            retries=supervised.retries if supervised is not None else 0,
+            quarantined=len(supervised.quarantined) if supervised is not None else 0,
             degraded=degraded,
         )
         record = RunRecord(
@@ -483,6 +546,10 @@ class ParallelRunner:
                 if self.telemetry
                 else None
             ),
+            # this run's slice of the (possibly shared) event log, with
+            # timestamps rebased to the execute-phase start (pre-execute
+            # events land at negative t)
+            events=self.events.as_dicts(since=start_seq - 1, epoch=obs.epoch),
         )
         return EngineRun(record=record, output=result.output, result=result)
 
@@ -651,6 +718,10 @@ class ParallelRunner:
                 if telemetry is not None:
                     obs.telemetry[0] = telemetry.stop()
             elapsed = time.perf_counter() - t0
+        self.events.emit(
+            ev.CHUNK_COMPLETED, chunk=(0, result.n_tasks), worker=0,
+            tasks=result.n_tasks,
+        )
         if instr is not None:
             metrics.publish_op_counts(instr.counts)
         if self.tracer is not None:
@@ -731,6 +802,7 @@ class ParallelRunner:
             fault_plan=self.fault_plan,
             profile_hz=self.profile_hz if self.profile else None,
             telemetry_interval=self.telemetry_interval if self.telemetry else None,
+            events=self.events,
         )
 
         checkpoint = self._checkpoint_for(bench, size, n_tasks, chunk_size)
@@ -743,6 +815,15 @@ class ParallelRunner:
                     # zero-width placeholder timings: the work happened
                     # in an earlier, interrupted run
                     preloaded[chunk] = (*chunk, result, pid, 0.0, 0.0, None, None, None)
+            if preloaded:
+                self.events.emit(ev.RUN_RESUMED, chunks=len(preloaded))
+                for chunk in sorted(preloaded):
+                    # checkpointed shards count as completed in the live
+                    # status fold without ever being dispatched
+                    self.events.emit(
+                        ev.CHUNK_COMPLETED, "debug", chunk=chunk,
+                        tasks=chunk[1] - chunk[0], resumed=True,
+                    )
             if preloaded and self.tracer is not None:
                 self.tracer.instant(
                     "engine.resume", cat="engine", chunks=len(preloaded)
@@ -758,6 +839,7 @@ class ParallelRunner:
             serial_fallback=self._serial_fallback(bench, workload),
             tracer=self.tracer,
             on_chunk_done=checkpoint.store if checkpoint is not None else None,
+            events=self.events,
         )
         t0 = time.perf_counter()
         try:
@@ -807,6 +889,12 @@ class ParallelRunner:
             if chunk_obs:
                 # per-worker observability merges at the shard boundary,
                 # the same model as the span buffers below
+                buffered_events = chunk_obs.pop("events", None)
+                if buffered_events:
+                    # backends absorb worker events as payloads land (so
+                    # the live plane sees them); this is the fallback for
+                    # backends that do not
+                    self.events.absorb(buffered_events, worker=worker)
                 chunk_profile = chunk_obs.get("profile")
                 if chunk_profile is not None:
                     execute_profile.merge(chunk_profile)

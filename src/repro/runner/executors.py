@@ -43,6 +43,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, ClassVar
 
 from repro.core.benchmark import Benchmark, as_execution_result
+from repro.obs import events as ev
+from repro.obs.events import EventLog
 from repro.obs.trace import Tracer, activated
 from repro.runner.faults import FaultPlan, InjectedFault
 from repro.runner.worker import (
@@ -66,20 +68,34 @@ class ExecutorCapabilities:
     ``"timeout"`` event).  ``kill`` -- a misbehaving worker process can
     be terminated outright.  ``remote`` -- chunks execute off the
     coordinator machine, so payloads carry host provenance and clocks
-    need rebasing.
+    need rebasing.  ``live_events`` -- workers forward structured
+    events back to the coordinator's :class:`~repro.obs.events.EventLog`
+    while the run executes (the live status plane sees their progress).
     """
 
     timeouts: bool = False
     kill: bool = False
     remote: bool = False
+    live_events: bool = False
 
     def as_dict(self) -> dict[str, bool]:
-        return {"timeouts": self.timeouts, "kill": self.kill, "remote": self.remote}
+        return {
+            "timeouts": self.timeouts,
+            "kill": self.kill,
+            "remote": self.remote,
+            "live_events": self.live_events,
+        }
 
 
 @dataclass
 class ExecutionContext:
-    """Everything a backend needs to run one workload's chunks."""
+    """Everything a backend needs to run one workload's chunks.
+
+    ``events`` is the coordinator-side event log; it is never shipped
+    to workers (only the boolean ``events_enabled`` travels in the
+    worker-state tuple -- workers buffer their own events and ship them
+    back inside the chunk payload).
+    """
 
     bench: Benchmark
     workload: Any
@@ -87,10 +103,15 @@ class ExecutionContext:
     fault_plan: FaultPlan | None = None
     profile_hz: float | None = None
     telemetry_interval: float | None = None
+    events: "EventLog | None" = None
 
     @property
     def trace_enabled(self) -> bool:
         return self.tracer is not None
+
+    @property
+    def events_enabled(self) -> bool:
+        return self.events is not None
 
     def worker_state(self) -> WorkerState:
         """The picklable state tuple workers install."""
@@ -101,6 +122,7 @@ class ExecutionContext:
             self.fault_plan,
             self.profile_hz,
             self.telemetry_interval,
+            self.events_enabled,
         )
 
 
@@ -262,7 +284,7 @@ class SerialExecutor(Executor):
 
     name: ClassVar[str] = "serial"
     capabilities: ClassVar[ExecutorCapabilities] = ExecutorCapabilities(
-        timeouts=False, kill=False, remote=False
+        timeouts=False, kill=False, remote=False, live_events=True
     )
 
     def __init__(self, tracer: Tracer | None = None) -> None:
@@ -290,6 +312,12 @@ class SerialExecutor(Executor):
         assert self._context is not None, "executor not opened"
         ctx = self._context
         chunk = (start, stop)
+        if ctx.events is not None:
+            # In-process backend: worker-side events go straight into
+            # the coordinator log -- no buffering round-trip needed.
+            ctx.events.emit(
+                ev.CHUNK_STARTED, "debug", chunk=chunk, worker=0, attempt=attempt
+            )
         try:
             self._fire_translated(ctx.fault_plan, ordinal, attempt)
             tracer_ctx = activated(self.tracer) if self.tracer is not None else None
@@ -318,6 +346,11 @@ class SerialExecutor(Executor):
         payload: ChunkPayload = (
             start, stop, result, os.getpid(), t0, t1, None, None, None
         )
+        if ctx.events is not None:
+            ctx.events.emit(
+                ev.CHUNK_FINISHED, "debug", chunk=chunk, worker=0, attempt=attempt,
+                tasks=stop - start, seconds=round(t1 - t0, 6),
+            )
         self._events.append(
             ChunkEvent(kind="ok", chunk=chunk, attempt=attempt, payload=payload)
         )
@@ -398,7 +431,7 @@ class LocalExecutor(Executor):
 
     name: ClassVar[str] = "local"
     capabilities: ClassVar[ExecutorCapabilities] = ExecutorCapabilities(
-        timeouts=True, kill=True, remote=False
+        timeouts=True, kill=True, remote=False, live_events=True
     )
 
     def __init__(self, jobs: int = 1, tracer: Tracer | None = None) -> None:
@@ -413,6 +446,7 @@ class LocalExecutor(Executor):
         self._next_worker_id = 0
         self._spawn_state: WorkerState | None = None
         self._opened = False
+        self._events: EventLog | None = None
 
     @classmethod
     def from_options(
@@ -429,6 +463,7 @@ class LocalExecutor(Executor):
     def open(self, context: ExecutionContext) -> None:
         if context.tracer is not None:
             self.tracer = context.tracer
+        self._events = context.events
         use_fork = "fork" in multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context("fork" if use_fork else "spawn")
         state = context.worker_state()
@@ -450,6 +485,10 @@ class LocalExecutor(Executor):
         process.start()
         worker = _PoolWorker(worker_id=worker_id, process=process, inbox=inbox)
         self._workers[worker_id] = worker
+        if self._events is not None:
+            self._events.emit(
+                ev.WORKER_SPAWNED, "debug", worker=worker_id, pid=process.pid
+            )
         return worker
 
     def _terminate(self, worker: _PoolWorker) -> None:
@@ -525,6 +564,7 @@ class LocalExecutor(Executor):
             attempt = worker.attempt if worker is not None else 0
             if worker is not None and worker.current == chunk:
                 worker.release()
+            self._absorb_worker_events(payload, worker_id)
             return ChunkEvent(
                 kind="ok", chunk=chunk, attempt=attempt, payload=payload,
                 worker=worker_id, pid=payload[3],
@@ -539,6 +579,20 @@ class LocalExecutor(Executor):
             worker=worker_id, pid=pid, error=error,
         )
 
+    def _absorb_worker_events(self, payload: ChunkPayload, worker_id: int) -> None:
+        """Merge a pool worker's buffered events as the payload lands.
+
+        Local workers share the coordinator's ``perf_counter`` clock,
+        so no offset applies.  The buffer is popped from the obs dict
+        so downstream merging never double-counts it.
+        """
+        obs = payload[7]
+        if self._events is None or not obs:
+            return
+        buffered = obs.pop("events", None)
+        if buffered:
+            self._events.absorb(buffered, worker=worker_id)
+
     def _heal(self) -> list[ChunkEvent]:
         """Deadline and liveness pass: kill overruns, respawn the dead."""
         events: list[ChunkEvent] = []
@@ -551,6 +605,12 @@ class LocalExecutor(Executor):
             if not alive:
                 chunk = worker.current
                 exitcode = worker.process.exitcode
+                if self._events is not None:
+                    self._events.emit(
+                        ev.WORKER_DIED, "error", chunk=chunk, worker=worker_id,
+                        pid=worker.process.pid, attempt=worker.attempt,
+                        exitcode=exitcode,
+                    )
                 if chunk is not None:
                     events.append(
                         ChunkEvent(
@@ -577,8 +637,13 @@ class LocalExecutor(Executor):
 
     def _respawn(self, worker_id: int, **instant_args: Any) -> None:
         del self._workers[worker_id]
-        self._spawn()
+        replacement = self._spawn()
         self.respawns += 1
+        if self._events is not None:
+            self._events.emit(
+                ev.WORKER_RESPAWNED, "warning", worker=replacement.worker_id,
+                pid=replacement.process.pid, replaced=worker_id, **instant_args,
+            )
         if self.tracer is not None:
             self.tracer.instant("worker.respawn", cat="engine", **instant_args)
 

@@ -37,10 +37,16 @@ Schema history
   :class:`WorkerStats` -- a distributed run merges into *one* record
   with every chunk, span and telemetry series attributable to the
   machine that produced it.
+* ``genomicsbench.run/5`` -- adds ``events``: the run's append-only
+  structured event log (see :mod:`repro.obs.events`) as a list of
+  JSON event dicts in ``seq`` order, timestamps relative to the
+  execute-phase start (pre-execute events carry negative ``t``).
+  Remote workers' events arrive clock-rebased onto the coordinator's
+  timeline, so one list narrates a whole distributed run.
 
-:func:`RunRecord.from_dict` accepts all four; older documents load
+:func:`RunRecord.from_dict` accepts all five; older documents load
 with the newer fields at their empty defaults and are upgraded in
-memory, so re-serializing an old record yields a valid v4 document.
+memory, so re-serializing an old record yields a valid v5 document.
 """
 
 from __future__ import annotations
@@ -54,9 +60,10 @@ from repro.core.serialize import dumps
 
 #: Schema identifier embedded in every serialized record.  Bump the
 #: trailing version only for incompatible changes; additions are free.
-SCHEMA = "genomicsbench.run/4"
+SCHEMA = "genomicsbench.run/5"
 
 #: Previous schema versions, still accepted by :func:`RunRecord.from_dict`.
+SCHEMA_V4 = "genomicsbench.run/4"
 SCHEMA_V3 = "genomicsbench.run/3"
 SCHEMA_V2 = "genomicsbench.run/2"
 SCHEMA_V1 = "genomicsbench.run/1"
@@ -156,6 +163,7 @@ class RunRecord:
     fault_tolerance: dict[str, Any] | None = None
     profile: dict[str, Any] | None = None
     telemetry: dict[str, Any] | None = None
+    events: list[dict[str, Any]] = field(default_factory=list)
     schema: str = SCHEMA
 
     @property
@@ -172,7 +180,7 @@ class RunRecord:
         1.0 means no worker ever idled -- the quantity OpenMP dynamic
         scheduling maximizes and Fig. 7's imbalance degrades.
         """
-        if not self.workers or self.execute_seconds <= 0:
+        if not self.workers or self.jobs <= 0 or self.execute_seconds <= 0:
             return None
         busy = sum(w.busy_seconds for w in self.workers)
         return busy / (self.jobs * self.execute_seconds)
@@ -211,7 +219,7 @@ class RunRecord:
     @classmethod
     def from_dict(cls, d: dict[str, Any]) -> "RunRecord":
         schema = d.get("schema", SCHEMA)
-        if schema not in (SCHEMA, SCHEMA_V3, SCHEMA_V2, SCHEMA_V1):
+        if schema not in (SCHEMA, SCHEMA_V4, SCHEMA_V3, SCHEMA_V2, SCHEMA_V1):
             raise ValueError(f"unsupported run-record schema {schema!r}")
         return cls(
             kernel=d["kernel"],
@@ -241,6 +249,7 @@ class RunRecord:
             fault_tolerance=d.get("fault_tolerance"),
             profile=d.get("profile"),
             telemetry=d.get("telemetry"),
+            events=list(d.get("events", [])),
             # older documents upgrade in memory: the loaded object
             # carries every newer field (empty defaults), so it
             # re-serializes as the current schema.

@@ -44,6 +44,8 @@ from heapq import heappop, heappush
 from typing import Callable
 
 from repro.core.benchmark import ExecutionResult
+from repro.obs import events as ev
+from repro.obs.events import EventLog
 from repro.obs.trace import Tracer
 from repro.runner.executors import ChunkEvent, Executor
 from repro.runner.record import FailureEvent
@@ -124,6 +126,10 @@ class ChunkSupervisor:
     on_chunk_done:
         Optional callback ``(start, stop, result)`` invoked as each
         chunk completes -- the checkpoint hook.
+    events:
+        Optional :class:`~repro.obs.events.EventLog` receiving the
+        chunk-lifecycle narrative (dispatched/completed/retried/
+        quarantined/failed/fallback-serial) as it happens.
     """
 
     def __init__(
@@ -136,6 +142,7 @@ class ChunkSupervisor:
         serial_fallback: Callable[[int, int], ChunkPayload] | None = None,
         tracer: Tracer | None = None,
         on_chunk_done: Callable[[int, int, ExecutionResult], None] | None = None,
+        events: EventLog | None = None,
     ) -> None:
         if on_failure not in ON_FAILURE_CHOICES:
             raise ValueError(
@@ -153,7 +160,12 @@ class ChunkSupervisor:
         self.serial_fallback = serial_fallback
         self.tracer = tracer
         self.on_chunk_done = on_chunk_done
+        self.events = events
         self._seq = 0
+
+    def _emit(self, name: str, level: str = "info", **kwargs) -> None:
+        if self.events is not None:
+            self.events.emit(name, level, **kwargs)
 
     # -- supervision loop ---------------------------------------------
 
@@ -185,6 +197,10 @@ class ChunkSupervisor:
                 if chunk in results or chunk in quarantined:
                     continue
                 deadline = now + self.timeout if use_deadline else None
+                self._emit(
+                    ev.CHUNK_DISPATCHED, "debug", chunk=chunk,
+                    attempt=attempts.get(chunk, 0),
+                )
                 self.executor.submit(
                     *chunk, ordinals[chunk], attempts.get(chunk, 0), deadline
                 )
@@ -219,6 +235,11 @@ class ChunkSupervisor:
         if event.kind == "ok":
             if chunk not in results and chunk not in quarantined:
                 results[chunk] = event.payload
+                self._emit(
+                    ev.CHUNK_COMPLETED, "info", chunk=chunk,
+                    attempt=event.attempt, worker=event.worker,
+                    pid=event.pid, tasks=chunk[1] - chunk[0],
+                )
                 if self.on_chunk_done is not None:
                     self.on_chunk_done(chunk[0], chunk[1], event.payload[2])
             return
@@ -270,6 +291,11 @@ class ChunkSupervisor:
             delay = self.backoff.delay(attempt + 1)
             self._seq += 1
             heappush(delayed, (time.perf_counter() + delay, self._seq, chunk))
+            self._emit(
+                ev.CHUNK_RETRIED, "warning", chunk=chunk, attempt=attempt + 1,
+                worker=event.worker, pid=event.pid,
+                kind=event.kind, error=event.error, delay=round(delay, 6),
+            )
             if self.tracer is not None:
                 self.tracer.instant(
                     "chunk.retry", cat="engine", start=start, stop=stop,
@@ -278,8 +304,16 @@ class ChunkSupervisor:
             return
         # retry budget exhausted: the chunk is poisoned
         if self.on_failure == "fail":
+            self._emit(
+                ev.CHUNK_FAILED, "error", chunk=chunk, attempt=attempt,
+                worker=event.worker, kind=event.kind, error=event.error,
+            )
             raise ChunkFailedError(start, stop, out.failures)
         if self.on_failure == "serial" and self.serial_fallback is not None:
+            self._emit(
+                ev.FALLBACK_SERIAL, "warning", chunk=chunk, attempt=attempt,
+                kind=event.kind, error=event.error,
+            )
             if self.tracer is not None:
                 self.tracer.instant(
                     "chunk.serial_fallback", cat="engine", start=start, stop=stop
@@ -290,6 +324,10 @@ class ChunkSupervisor:
                 self.on_chunk_done(start, stop, payload[2])
             return
         quarantined.add(chunk)
+        self._emit(
+            ev.CHUNK_QUARANTINED, "error", chunk=chunk, attempt=attempt,
+            worker=event.worker, kind=event.kind, error=event.error,
+        )
         if self.tracer is not None:
             self.tracer.instant(
                 "chunk.quarantined", cat="engine", start=start, stop=stop,

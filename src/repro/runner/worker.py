@@ -25,15 +25,17 @@ import time
 from typing import Any
 
 from repro.core.benchmark import Benchmark, ExecutionResult, as_execution_result
+from repro.obs import events as ev
 from repro.obs.profile import SamplingProfiler, StackProfile
 from repro.obs.telemetry import TelemetrySampler, TelemetrySeries
 from repro.obs.trace import Span, Tracer, activated
 from repro.runner.faults import FaultPlan
 
 #: Per-chunk observability capture shipped back alongside the result:
-#: the chunk's sampled stack profile and the worker's resource series
-#: over the chunk window (either may be absent when disabled).
-ChunkObs = "dict[str, StackProfile | TelemetrySeries]"
+#: the chunk's sampled stack profile, the worker's resource series over
+#: the chunk window, and the worker-side event buffer (each key may be
+#: absent when the corresponding capture is disabled).
+ChunkObs = "dict[str, StackProfile | TelemetrySeries | list[ev.Event]]"
 
 #: A completed chunk attempt as shipped back from a worker:
 #: ``(start, stop, result, pid, begin, end, spans, obs, host)``.
@@ -53,9 +55,12 @@ ChunkPayload = tuple[
 ]
 
 #: Worker state: ``(benchmark, workload, trace_enabled, fault_plan,
-#: profile_hz, telemetry_interval)``.  ``profile_hz`` /
-#: ``telemetry_interval`` of ``None`` disable the respective sampler.
-WorkerState = tuple[Benchmark, Any, bool, FaultPlan | None, float | None, float | None]
+#: profile_hz, telemetry_interval, events_enabled)``.  ``profile_hz`` /
+#: ``telemetry_interval`` of ``None`` disable the respective sampler;
+#: ``events_enabled`` turns on the worker-side event buffer.
+WorkerState = tuple[
+    Benchmark, Any, bool, FaultPlan | None, float | None, float | None, bool
+]
 
 _WORKER_STATE: WorkerState | None = None
 
@@ -67,11 +72,18 @@ def set_worker_state(
     fault_plan: FaultPlan | None,
     profile_hz: float | None = None,
     telemetry_interval: float | None = None,
+    events_enabled: bool = False,
 ) -> None:
     """Install the state forked workers inherit copy-on-write."""
     global _WORKER_STATE
     _WORKER_STATE = (
-        bench, workload, trace_enabled, fault_plan, profile_hz, telemetry_interval
+        bench,
+        workload,
+        trace_enabled,
+        fault_plan,
+        profile_hz,
+        telemetry_interval,
+        events_enabled,
     )
 
 
@@ -88,7 +100,32 @@ def worker_state() -> WorkerState | None:
 def execute_chunk(start: int, stop: int, ordinal: int, attempt: int) -> ChunkPayload:
     """Run tasks ``[start, stop)`` in this process (injection-aware)."""
     assert _WORKER_STATE is not None, "worker started without benchmark state"
-    bench, workload, trace_enabled, plan, profile_hz, telemetry_interval = _WORKER_STATE
+    (
+        bench,
+        workload,
+        trace_enabled,
+        plan,
+        profile_hz,
+        telemetry_interval,
+        events_enabled,
+    ) = _WORKER_STATE
+    chunk = (start, stop)
+    events: list[ev.Event] | None = [] if events_enabled else None
+    if events is not None:
+        # Buffered locally on this process's clock; the coordinator
+        # re-sequences (and, for remote hosts, clock-rebases) them when
+        # the payload lands -- same contract as spans.
+        events.append(
+            ev.Event(
+                seq=len(events),
+                ts=time.perf_counter(),
+                name=ev.CHUNK_STARTED,
+                level="debug",
+                chunk=chunk,
+                attempt=attempt,
+                pid=os.getpid(),
+            )
+        )
     if plan is not None:
         # deterministic chaos: may raise, sleep past any deadline, or
         # kill this process outright -- before any real work happens
@@ -115,13 +152,27 @@ def execute_chunk(start: int, stop: int, ordinal: int, attempt: int) -> ChunkPay
             )
     finally:
         obs: dict[str, Any] | None = None
-        if profiler is not None or telemetry is not None:
+        if profiler is not None or telemetry is not None or events is not None:
             obs = {}
             if profiler is not None:
                 obs["profile"] = profiler.stop()
             if telemetry is not None:
                 obs["telemetry"] = telemetry.stop()
     t1 = time.perf_counter()
+    if events is not None and obs is not None:
+        events.append(
+            ev.Event(
+                seq=len(events),
+                ts=t1,
+                name=ev.CHUNK_FINISHED,
+                level="debug",
+                chunk=chunk,
+                attempt=attempt,
+                pid=os.getpid(),
+                data={"tasks": stop - start, "seconds": round(t1 - t0, 6)},
+            )
+        )
+        obs["events"] = events
     return start, stop, result, os.getpid(), t0, t1, spans, obs, None
 
 

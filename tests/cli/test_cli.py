@@ -228,7 +228,7 @@ class TestObs:
     def test_run_profile_telemetry_lands_in_record(self, tmp_path):
         out = self._json_run(tmp_path / "run.json")
         record = RunRecord.from_dict(json.loads(out.read_text())["data"])
-        assert record.schema == SCHEMA == "genomicsbench.run/4"
+        assert record.schema == SCHEMA == "genomicsbench.run/5"
         assert record.profile is not None
         assert record.profile["hz"] == 997.0
         assert set(record.profile) >= {"hz", "samples", "phases", "hotspots"}
@@ -283,3 +283,79 @@ class TestObs:
         run = self._json_run(tmp_path / "run.json")
         with pytest.raises(SystemExit, match="nothing to export"):
             main(["obs", "export", str(run)])
+
+
+class TestLiveObservability:
+    def _run_args(self, *extra):
+        return ["run", "grm", "--no-cache", "--no-baseline", *extra]
+
+    def test_run_events_writes_a_jsonl_sink(self, tmp_path, capsys):
+        sink = tmp_path / "events.jsonl"
+        assert main(self._run_args("--events", str(sink))) == 0
+        captured = capsys.readouterr()
+        assert "wrote event log" in captured.err
+        from repro.obs.events import parse_jsonl
+
+        docs = parse_jsonl(sink.read_text())
+        names = [d["name"] for d in docs]
+        assert names[0] == "run_started"
+        assert names[-1] == "run_finished"
+        assert "chunk_completed" in names
+        seqs = [d["seq"] for d in docs]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_run_live_port_serves_and_tears_down(self, capsys):
+        assert main(self._run_args("--live-port", "0")) == 0
+        assert "live status on http://127.0.0.1:" in capsys.readouterr().err
+
+    def test_record_out_is_schema_v5_with_events(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        assert main(
+            self._run_args("--format", "json", "--out", str(out))
+        ) == 0
+        record = RunRecord.from_dict(json.loads(out.read_text())["data"])
+        assert record.schema == SCHEMA
+        assert record.events
+        assert record.events[0]["name"] == "run_started"
+
+    def test_obs_tail_replays_a_jsonl_log(self, tmp_path, capsys):
+        sink = tmp_path / "events.jsonl"
+        assert main(self._run_args("--events", str(sink))) == 0
+        capsys.readouterr()
+        assert main(["obs", "tail", str(sink)]) == 0
+        out = capsys.readouterr().out
+        assert "run_started" in out
+        assert "run_finished" in out
+        # severity floor drops the routine narration
+        assert main(["obs", "tail", str(sink), "--level", "error"]) == 0
+        assert "run_started" not in capsys.readouterr().out
+
+    def test_obs_tail_reads_a_run_record(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        assert main(
+            self._run_args("--format", "json", "--out", str(out))
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "tail", str(out)]) == 0
+        tailed = capsys.readouterr().out
+        assert "run_started" in tailed and "run_finished" in tailed
+
+    def test_obs_tail_since_skips_replayed_events(self, tmp_path, capsys):
+        sink = tmp_path / "events.jsonl"
+        assert main(self._run_args("--events", str(sink))) == 0
+        capsys.readouterr()
+        from repro.obs.events import parse_jsonl
+
+        last = parse_jsonl(sink.read_text())[-1]["seq"]
+        assert main(["obs", "tail", str(sink), "--since", str(last)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_obs_tail_missing_file_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["obs", "tail", str(tmp_path / "nope.jsonl")])
+
+    def test_runner_executors_lists_live_event_support(self, capsys):
+        assert main(["runner", "executors"]) == 0
+        out = capsys.readouterr().out
+        assert "live events" in out
+        assert "yes" in out

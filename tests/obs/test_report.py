@@ -179,6 +179,54 @@ class TestRenderReport:
         path = write_report(tmp_path / "deep" / "r.html", _profiled())
         assert path.read_text().startswith("<!doctype html>")
 
+    def test_event_lane_marks_timeline_and_lists_warnings(self):
+        rec = _record(
+            events=[
+                {"seq": 0, "t": -0.5, "name": "run_started", "level": "info",
+                 "run_id": "r1", "data": {"kernel": "grm"}},
+                {"seq": 1, "t": 0.5, "name": "chunk_retried",
+                 "level": "warning", "chunk": [0, 2], "worker": 0,
+                 "data": {"kind": "timeout"}},
+                {"seq": 2, "t": 1.9, "name": "run_finished", "level": "info"},
+            ]
+        )
+        html = render_report(rec)
+        assert "run events" in html
+        assert "<circle" in html  # markers in the timeline lane
+        assert "3 events recorded" in html
+        assert "chunk_retried" in html
+        assert "kind=timeout" in html
+
+    def test_record_without_events_renders_pre_v5_note(self):
+        html = render_report(_record())
+        assert "no event log" in html
+
+    def test_degenerate_record_renders_stub_not_traceback(self):
+        """An empty-but-valid v5 record must still produce a report."""
+        empty = RunRecord(
+            kernel="fmi", size="small", jobs=0, chunk_size=0, n_tasks=0,
+            total_work=0, task_work=[], prepare_seconds=0.0,
+            prepare_cached=False, execute_seconds=0.0,
+        )
+        html = render_report(empty, history=[])
+        assert html.startswith("<!doctype html>")
+        assert "no chunk trace recorded" in html
+        assert "no metrics recorded" in html
+        assert "no event log" in html
+
+    def test_degenerate_record_with_workers_but_zero_jobs(self):
+        # a hand-built record can have worker rows with jobs=0; the
+        # efficiency tile must degrade to "-", not divide by zero
+        rec = RunRecord(
+            kernel="fmi", size="small", jobs=0, chunk_size=0, n_tasks=0,
+            total_work=0, task_work=[], prepare_seconds=0.0,
+            prepare_cached=False, execute_seconds=1.0,
+            workers=[WorkerStats(worker=0, pid=1, chunks=0, tasks=0,
+                                 busy_seconds=0.0)],
+        )
+        assert rec.scheduling_efficiency is None
+        assert render_report(rec).startswith("<!doctype html>")
+
 
 class TestDiff:
     def test_quantities_and_deltas(self):
@@ -249,3 +297,25 @@ class TestOpenMetrics:
         rec = _record(metrics=None)
         path = write_openmetrics(tmp_path / "m.om", rec)
         assert path.read_text() == "# EOF\n"
+
+    def test_shared_encoder_takes_any_registry_snapshot(self):
+        from repro.obs.report import encode_openmetrics
+
+        text = encode_openmetrics(
+            {"counters": {"live.chunks_done": 3},
+             "gauges": {"live.eta_seconds": None}},
+            {"kernel": "fmi", "jobs": 2},
+        )
+        assert 'genomicsbench_live_chunks_done_total{kernel="fmi",jobs="2"} 3' in text
+        assert "eta_seconds" not in text  # None gauges skipped
+        assert text.endswith("# EOF\n")
+
+    def test_empty_histogram_encodes_without_raising(self):
+        from repro.obs.report import encode_openmetrics
+
+        text = encode_openmetrics(
+            {"histograms": {"h": {"boundaries": [], "counts": [],
+                                  "sum": 0.0, "count": 0}}},
+            {"kernel": "x"},
+        )
+        assert 'genomicsbench_h_bucket{kernel="x",le="+Inf"} 0' in text

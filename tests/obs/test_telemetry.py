@@ -47,6 +47,69 @@ class TestReadSample:
         assert not telemetry_supported()
 
 
+class TestRacyProcReads:
+    """/proc reads race with the kernel: every failure mode is a skipped
+    sample (None), never an exception out of the sampling thread."""
+
+    VALID_STAT = "42 (python) R 1 1 1 0 -1 4194304 500 0 0 0 120 30 0 0 20 0 1 0"
+    VALID_STATM = "2000 500 300 50 0 600 0"
+
+    def _patch(self, monkeypatch, stat, statm, status=None):
+        monkeypatch.setattr(tm, "_PROC_STAT", stat)
+        monkeypatch.setattr(tm, "_PROC_STATM", statm)
+        if status is not None:
+            monkeypatch.setattr(tm, "_PROC_STATUS", status)
+
+    def test_truncated_stat_returns_none(self, tmp_path, monkeypatch):
+        stat = tmp_path / "stat"
+        stat.write_text("42 (python) R 1 1")  # fewer fields than the format promises
+        statm = tmp_path / "statm"
+        statm.write_text(self.VALID_STATM)
+        self._patch(monkeypatch, stat, statm)
+        assert read_resource_sample() is None
+
+    def test_garbage_statm_returns_none(self, tmp_path, monkeypatch):
+        stat = tmp_path / "stat"
+        stat.write_text(self.VALID_STAT)
+        statm = tmp_path / "statm"
+        statm.write_text("total notanumber rest")
+        self._patch(monkeypatch, stat, statm)
+        assert read_resource_sample() is None
+
+    def test_statm_vanishing_mid_poll_returns_none(self, tmp_path, monkeypatch):
+        # the stat read succeeds, then statm is gone: the teardown race
+        stat = tmp_path / "stat"
+        stat.write_text(self.VALID_STAT)
+        self._patch(monkeypatch, stat, tmp_path / "statm-gone")
+        assert read_resource_sample() is None
+
+    def test_status_failure_degrades_ctx_switches_to_zero(self, tmp_path, monkeypatch):
+        stat = tmp_path / "stat"
+        stat.write_text(self.VALID_STAT)
+        statm = tmp_path / "statm"
+        statm.write_text(self.VALID_STATM)
+        self._patch(monkeypatch, stat, statm, status=tmp_path / "status-gone")
+        sample = read_resource_sample()
+        assert sample is not None
+        assert sample.ctx_switches == 0
+        assert sample.cpu_seconds == pytest.approx(150 / tm._CLK_TCK)
+        assert sample.rss_bytes == 500 * tm._PAGE_SIZE
+
+    def test_malformed_status_line_degrades_ctx_switches_to_zero(
+        self, tmp_path, monkeypatch
+    ):
+        stat = tmp_path / "stat"
+        stat.write_text(self.VALID_STAT)
+        statm = tmp_path / "statm"
+        statm.write_text(self.VALID_STATM)
+        status = tmp_path / "status"
+        status.write_text("voluntary_ctxt_switches:\tnotanumber\n")
+        self._patch(monkeypatch, stat, statm, status=status)
+        sample = read_resource_sample()
+        assert sample is not None
+        assert sample.ctx_switches == 0
+
+
 class TestSampler:
     @requires_procfs
     def test_live_sampling_collects_a_series(self):

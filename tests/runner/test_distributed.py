@@ -197,3 +197,48 @@ class TestChaosRecovery:
             f.kind == "exception" and f.action == "quarantine"
             for f in rec.failures
         )
+
+
+class TestDistributedEvents:
+    """Remote events merge into the coordinator log, clock-rebased."""
+
+    def test_remote_events_merge_host_stamped_and_ordered(self, daemons):
+        rec = api.run(
+            "grm", "small", executor="distributed", hosts=daemons,
+            jobs=2, chunk_size=1,
+        ).record
+        events = rec.events
+        assert events[0]["name"] == "run_started"
+        assert events[-1]["name"] == "run_finished"
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        connected = {
+            e["host"] for e in events if e["name"] == "host_connected"
+        }
+        assert connected == set(daemons)
+        # worker-side events arrived from both daemons, stamped with
+        # the producing host's label
+        remote = [
+            e for e in events
+            if e["name"] in ("chunk_started", "chunk_finished")
+        ]
+        assert remote
+        assert {e.get("host") for e in remote} == set(daemons)
+        # clock rebasing: remote timestamps sit inside the run's span
+        # on the coordinator timeline (generous slack for slow CI)
+        finish_t = events[-1]["t"]
+        assert all(-1.0 <= e["t"] <= finish_t + 1.0 for e in remote)
+
+    def test_lost_host_lands_in_the_event_log(self):
+        with worker_daemons(2) as hosts:
+            rec = api.run(
+                "grm", "small", executor="distributed", hosts=hosts,
+                jobs=2, chunk_size=1, retries=2,
+                fault_plan=FaultPlan.parse("kill@1"),
+            ).record
+        lost = [e for e in rec.events if e["name"] == "host_lost"]
+        assert lost and lost[0]["level"] == "error"
+        assert lost[0]["host"] in hosts
+        retried = [e for e in rec.events if e["name"] == "chunk_retried"]
+        assert retried
+        assert rec.events[-1]["name"] == "run_finished"

@@ -87,15 +87,16 @@ class TestRegistry:
 class TestCapabilities:
     def test_capability_flags(self):
         assert LocalExecutor.capabilities == ExecutorCapabilities(
-            timeouts=True, kill=True, remote=False
+            timeouts=True, kill=True, remote=False, live_events=True
         )
         assert SerialExecutor.capabilities == ExecutorCapabilities(
-            timeouts=False, kill=False, remote=False
+            timeouts=False, kill=False, remote=False, live_events=True
         )
 
     def test_as_dict_round_trip(self):
         d = LocalExecutor.capabilities.as_dict()
-        assert d == {"timeouts": True, "kill": True, "remote": False}
+        assert d == {"timeouts": True, "kill": True, "remote": False,
+                     "live_events": True}
 
     def test_describe_reports_name_and_capabilities(self):
         info = SerialExecutor().describe()

@@ -79,7 +79,7 @@ class TestProfiledRuns:
     def test_schema_v4_record_round_trips(self):
         run = _execute(jobs=2, chunk_size=1, profile=True, telemetry=True)
         rec = run.record
-        assert rec.schema == SCHEMA == "genomicsbench.run/4"
+        assert rec.schema == SCHEMA == "genomicsbench.run/5"
         clone = RunRecord.from_json(rec.to_json())
         assert clone.profile == json.loads(json.dumps(rec.profile))
         assert clone.telemetry is not None

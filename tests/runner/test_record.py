@@ -9,6 +9,7 @@ from repro.runner.record import (
     SCHEMA_V1,
     SCHEMA_V2,
     SCHEMA_V3,
+    SCHEMA_V4,
     ChunkTrace,
     FailureEvent,
     RunRecord,
@@ -134,6 +135,42 @@ def test_v4_profile_and_telemetry_round_trip():
     clone = RunRecord.from_json(rec.to_json())
     assert clone == rec
     assert clone.peak_rss_bytes == 4096.0
+
+
+def test_v4_record_migrates_to_v5():
+    """A pre-event-log v4 document loads with an empty event list."""
+    doc = json.loads(_record().to_json())
+    doc["schema"] = SCHEMA_V4
+    doc.pop("events", None)
+    rec = RunRecord.from_dict(doc)
+    assert rec.schema == SCHEMA
+    assert rec.events == []
+    # v4 observability fields survive the migration untouched
+    assert rec.kernel == "grm" and rec.complete
+    assert json.loads(rec.to_json())["schema"] == SCHEMA
+
+
+def test_v5_events_round_trip():
+    events = [
+        {"seq": 0, "t": -0.5, "name": "run_started", "level": "info",
+         "run_id": "abc123", "data": {"kernel": "grm"}},
+        {"seq": 1, "t": 1.0, "name": "chunk_completed", "level": "info",
+         "chunk": [0, 4], "worker": 0, "data": {"tasks": 4}},
+        {"seq": 2, "t": 2.0, "name": "run_finished", "level": "info"},
+    ]
+    rec = _record(events=events)
+    clone = RunRecord.from_json(rec.to_json())
+    assert clone.events == events
+    assert clone == rec
+
+
+def test_every_legacy_schema_version_loads():
+    base = json.loads(_record().to_json())
+    for legacy in (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4):
+        doc = dict(base, schema=legacy)
+        rec = RunRecord.from_dict(doc)
+        assert rec.schema == SCHEMA
+        assert rec.events == [] or rec.events == base.get("events")
 
 
 def test_peak_rss_falls_back_to_metrics_gauge():
