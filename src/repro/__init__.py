@@ -45,9 +45,10 @@ __all__ = [
     "load_benchmark",
     "render_report",
     "run",
+    "sweep",
 ]
 
-_API_NAMES = {"run", "bench_record", "render_report", "ObsOptions", "EngineRun"}
+_API_NAMES = {"run", "bench_record", "render_report", "sweep", "ObsOptions", "EngineRun"}
 
 
 def __getattr__(name: str):

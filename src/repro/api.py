@@ -8,7 +8,10 @@ with the engine's many knobs normalized at this boundary once:
 * :func:`bench_record` -- run kernels and append their records to the
   per-host bench history used by regression gating;
 * :func:`render_report` -- turn a run record into the self-contained
-  HTML dashboard.
+  HTML dashboard;
+* :func:`sweep` -- expand a configuration grid over kernels and drive
+  every cell through the engine, aggregating a
+  :class:`~repro.sweep.aggregate.SweepRecord` with leaderboards.
 
 Everything here is importable straight off the top-level package::
 
@@ -53,6 +56,7 @@ __all__ = [
     "bench_record",
     "render_report",
     "run",
+    "sweep",
 ]
 
 
@@ -174,6 +178,65 @@ def bench_record(
     records = [runner.run(name, size).record for name in names]
     BenchHistory(history).append(records)
     return records
+
+
+def sweep(
+    kernels: Sequence[str] | None = None,
+    size: DatasetSize | str = DatasetSize.SMALL,
+    *,
+    sweep_dir: "Path | str",
+    axes: "dict[str, Sequence] | None" = None,
+    per_kernel: "dict[str, dict[str, Sequence]] | None" = None,
+    filters: Sequence[str] = (),
+    max_cells: int | None = None,
+    executor: "str | None" = None,
+    hosts: Sequence[str] | None = None,
+    cache: WorkloadCache | None = None,
+    resume: bool = False,
+    on_cell_failure: str = "skip",
+    obs: ObsOptions | None = None,
+):
+    """Expand a grid over kernels and run every cell through the engine.
+
+    ``axes`` maps engine knobs to value lists (``{"jobs": [1, 2],
+    "chunk_size": [4, 8]}``; see :data:`repro.sweep.ENGINE_AXES`),
+    crossed per kernel and optionally overridden per kernel via
+    ``per_kernel``.  Finished cells persist under ``sweep_dir`` --
+    ``resume=True`` skips them on a re-run, keyed by the same config
+    digest the workload cache uses.  Returns the aggregated
+    :class:`~repro.sweep.aggregate.SweepRecord`; ``sweep_dir`` also
+    receives ``sweep.json`` plus leaderboard JSON/CSV.  See
+    ``docs/sweeps.md`` for the spec format and resume semantics.
+    """
+    from repro.sweep import SweepSpec, run_sweep
+
+    base: dict = {}
+    if executor is not None:
+        base["executor"] = executor
+    if hosts:
+        base["hosts"] = list(hosts)
+    spec_kwargs: dict = {
+        "kernels": list(kernels) if kernels else kernel_names(),
+        "size": coerce_size(size).value,
+        "per_kernel": {
+            kern: {k: list(v) for k, v in over.items()}
+            for kern, over in (per_kernel or {}).items()
+        },
+        "filters": list(filters),
+        "max_cells": max_cells,
+        "base": base,
+    }
+    if axes:
+        spec_kwargs["axes"] = {k: list(v) for k, v in axes.items()}
+    spec = SweepSpec(**spec_kwargs)
+    return run_sweep(
+        spec,
+        sweep_dir,
+        resume=resume,
+        on_cell_failure=on_cell_failure,
+        cache=cache,
+        obs=obs,
+    )
 
 
 def render_report(

@@ -6,6 +6,11 @@
 * ``run``           -- execute kernels through the parallel engine
   (``--executor local|serial|distributed`` picks the dispatch backend;
   ``--hosts host:port,...`` names the worker daemons for distributed)
+* ``sweep``         -- expand a configuration grid (``--grid jobs=1,2
+  chunk_size=4,8`` and/or a TOML/JSON ``--spec`` file) over kernels,
+  run every cell through the engine, and aggregate per-kernel
+  leaderboards into a sweep directory (``--resume`` skips finished
+  cells; ``--on-cell-failure skip|fail`` picks the abort policy)
 * ``worker``        -- run one distributed worker daemon
 * ``serve-workers`` -- run N worker daemons on consecutive ports
 * ``characterize``  -- regenerate a figure or table from the paper
@@ -16,7 +21,8 @@
   throughput (and, with ``--rss-threshold``, peak-RSS) regressions
   (``bench record`` / ``bench check``)
 * ``obs``           -- render a run record as a self-contained HTML
-  dashboard (``obs report``), compare two runs (``obs diff``),
+  dashboard (``obs report``, or ``obs report --sweep DIR`` for a
+  sweep's leaderboard/grid dashboard), compare two runs (``obs diff``),
   export profiles/metrics (``obs export``: folded stacks, speedscope
   JSON, OpenMetrics textfile) or print the structured event log
   (``obs tail``, with ``--follow`` for live replay)
@@ -263,6 +269,157 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if incomplete:
         print(f"incomplete runs (quarantined chunks): {', '.join(incomplete)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import (
+        SweepCellError,
+        SweepSpec,
+        load_spec_file,
+        parse_grid,
+        run_sweep,
+    )
+    from repro.sweep.aggregate import best_per_kernel, leaderboard
+
+    try:
+        grid = parse_grid(args.grid or [])
+    except ValueError as exc:
+        raise SystemExit(f"sweep: {exc}")
+    try:
+        if args.spec:
+            spec = load_spec_file(args.spec)
+            doc = spec.to_dict()
+            # CLI flags override the file where both name the same thing
+            if args.kernels:
+                doc["kernels"] = args.kernels
+            if grid:
+                doc["axes"] = {**doc["axes"], **grid}
+            if args.size is not None:
+                doc["size"] = args.size
+            if args.max_cells is not None:
+                doc["max_cells"] = args.max_cells
+            if args.executor is not None:
+                doc["base"] = {**doc["base"], "executor": args.executor}
+            if args.hosts:
+                doc["base"] = {**doc["base"], "hosts": args.hosts}
+            spec = SweepSpec.from_dict(doc)
+        else:
+            kwargs: dict = {
+                "size": args.size or "small",
+                "max_cells": args.max_cells,
+                "base": {},
+            }
+            if args.kernels:
+                kwargs["kernels"] = args.kernels
+            if grid:
+                kwargs["axes"] = grid
+            if args.executor is not None:
+                kwargs["base"]["executor"] = args.executor
+            if args.hosts:
+                kwargs["base"]["hosts"] = args.hosts
+            spec = SweepSpec(**kwargs)
+    except ValueError as exc:
+        raise SystemExit(f"sweep: {exc}")
+
+    event_log = None
+    if args.events:
+        from repro.obs.events import EventLog
+
+        event_log = EventLog(logfile=args.events)
+
+    def progress(index: int, total: int, cell, result) -> None:
+        tp = result.throughput
+        detail = f"{tp:,.0f} work/s" if tp is not None else (result.error or "")
+        secs = (
+            f" {result.execute_seconds:.2f}s"
+            if result.execute_seconds is not None
+            else ""
+        )
+        print(
+            f"  [{index + 1}/{total}] {cell.label}: {result.status}{secs}"
+            f"{' (' + detail + ')' if detail else ''}",
+            file=sys.stderr,
+        )
+
+    aborted = False
+    try:
+        sweep = run_sweep(
+            spec,
+            args.sweep_dir,
+            resume=args.resume,
+            on_cell_failure=args.on_cell_failure,
+            extra_filters=args.filter or (),
+            cache=_make_cache(args),
+            events=event_log,
+            progress=progress,
+        )
+    except SweepCellError as exc:
+        from repro.sweep import load_sweep
+
+        print(f"sweep aborted: {exc}", file=sys.stderr)
+        sweep = load_sweep(args.sweep_dir)
+        aborted = True
+    except ValueError as exc:
+        raise SystemExit(f"sweep: {exc}")
+    finally:
+        if event_log is not None:
+            event_log.close()
+            if args.events:
+                print(f"wrote event log to {args.events}", file=sys.stderr)
+
+    if args.report:
+        from repro.obs.report import write_sweep_report
+
+        path = write_sweep_report(Path(args.sweep_dir) / "sweep-report.html", sweep)
+        print(f"wrote sweep report to {path}", file=sys.stderr)
+    rows = []
+    for row in leaderboard(sweep):
+        tp = row["throughput"]
+        secs = row["execute_seconds"]
+        eff = row["scheduling_efficiency"]
+        rows.append(
+            (
+                row["rank"],
+                row["kernel"],
+                row["config"],
+                row["status"],
+                f"{tp:,.0f}" if tp is not None else "-",
+                f"{secs:.3f}s" if secs is not None else "-",
+                f"{100 * eff:.0f}%" if eff is not None else "-",
+            )
+        )
+    _emit(
+        [
+            Report(
+                title=(
+                    f"sweep {sweep.sweep_id}: {len(sweep.cells)} cells "
+                    f"({sweep.n_ok} ok, {sweep.n_failed} failed, "
+                    f"{sweep.n_resumed} resumed)"
+                ),
+                headers=[
+                    "rank", "kernel", "config", "status", "work/s",
+                    "kernel time", "sched eff",
+                ],
+                rows=rows,
+                data={
+                    "sweep": sweep.to_dict(),
+                    "leaderboard": leaderboard(sweep),
+                    "best": best_per_kernel(sweep),
+                },
+            )
+        ],
+        args,
+    )
+    print(
+        f"sweep artifacts in {args.sweep_dir}: sweep.json, "
+        "leaderboard.json, leaderboard.csv, cells/",
+        file=sys.stderr,
+    )
+    if aborted:
+        return 2
+    if sweep.n_failed or sweep.n_incomplete:
         return 1
     return 0
 
@@ -723,6 +880,20 @@ def _load_one_record(path: str, kernel: str | None = None):
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs.report import load_run_records, write_report
 
+    if args.sweep:
+        from repro.obs.report import write_sweep_report
+        from repro.sweep import load_sweep
+
+        try:
+            sweep = load_sweep(args.sweep)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        out = args.out or str(Path(args.sweep) / "sweep-report.html")
+        path = write_sweep_report(out, sweep)
+        print(f"wrote sweep report to {path}", file=sys.stderr)
+        return 0
+    if not args.record:
+        raise SystemExit("obs report: give a run-record JSON or --sweep DIR")
     record = _load_one_record(args.record, args.kernel)
     history = load_run_records(args.history) if args.history else None
     out = args.out or f"{Path(args.record).stem}-report.html"
@@ -932,6 +1103,76 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_options(run)
     run.set_defaults(func=_cmd_run)
 
+    swp = sub.add_parser(
+        "sweep",
+        help="expand a configuration grid over kernels and aggregate leaderboards",
+    )
+    swp.add_argument("kernels", nargs="*", help="kernels (default: all)")
+    swp.add_argument(
+        "--size", choices=["small", "large"], default=None,
+        help="dataset size every cell shares unless swept (default: small)",
+    )
+    swp.add_argument(
+        "--grid", nargs="+", metavar="AXIS=V,V,...", default=None,
+        help="one token per swept axis, e.g. --grid jobs=1,2,4 chunk_size=8,16 "
+        "(axes: jobs, chunk_size, size, executor, retries, timeout, on_failure)",
+    )
+    swp.add_argument(
+        "--spec", metavar="FILE", default=None,
+        help="TOML/JSON sweep file (kernels, axes, per-kernel overrides, "
+        "filters, max_cells); CLI flags override its fields",
+    )
+    swp.add_argument(
+        "--filter", action="append", metavar="EXPR", default=None,
+        help="boolean expression over axis names plus kernel/size; cells "
+        "failing any filter are pruned, e.g. --filter 'jobs*chunk_size<=64'",
+    )
+    swp.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="keep only the first N cells of the deterministic expansion order",
+    )
+    swp.add_argument(
+        "--sweep-dir", metavar="DIR", default="sweep-out",
+        help="directory for cell records and aggregates (default: sweep-out)",
+    )
+    swp.add_argument(
+        "--resume", action="store_true",
+        help="skip cells whose finished RunRecord already exists in the "
+        "sweep directory (and resume interrupted cells from their "
+        "shard checkpoints)",
+    )
+    swp.add_argument(
+        "--on-cell-failure", choices=["skip", "fail"], default="skip",
+        help="skip: record the failure and keep sweeping (exit 1); "
+        "fail: abort at the first broken cell (exit 2; default: skip)",
+    )
+    swp.add_argument(
+        "--executor", default=None, metavar="NAME",
+        help="execution backend every cell uses unless swept "
+        "(see `runner executors`)",
+    )
+    swp.add_argument(
+        "--hosts", default=None, metavar="HOST:PORT,...", type=_hosts_arg,
+        help="worker-daemon addresses for --executor distributed",
+    )
+    swp.add_argument(
+        "--no-cache", action="store_true", help="skip the on-disk workload cache"
+    )
+    swp.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="workload cache root shared by every cell",
+    )
+    swp.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="append sweep and cell events to FILE as JSON lines",
+    )
+    swp.add_argument(
+        "--report", action="store_true",
+        help="also render the sweep HTML dashboard into the sweep directory",
+    )
+    _add_output_options(swp)
+    swp.set_defaults(func=_cmd_sweep)
+
     wrk = sub.add_parser(
         "worker", help="run one distributed worker daemon (TCP)"
     )
@@ -1067,10 +1308,19 @@ def build_parser() -> argparse.ArgumentParser:
     rep = obs_sub.add_parser(
         "report", help="render a run record as a self-contained HTML dashboard"
     )
-    rep.add_argument("record", help="run-record JSON (run --format json output)")
+    rep.add_argument(
+        "record", nargs="?", default=None,
+        help="run-record JSON (run --format json output)",
+    )
+    rep.add_argument(
+        "--sweep", metavar="DIR", default=None,
+        help="render a sweep directory's leaderboard/grid dashboard "
+        "instead of a single run record",
+    )
     rep.add_argument(
         "--out", metavar="FILE", default=None,
-        help="output HTML file (default: <record>-report.html)",
+        help="output HTML file (default: <record>-report.html, or "
+        "<sweep dir>/sweep-report.html with --sweep)",
     )
     rep.add_argument(
         "--history", metavar="FILE", default=None,

@@ -87,6 +87,12 @@ HOST_LOST = "host_lost"
 RUN_RESUMED = "run_resumed"
 RUN_DEGRADED = "run_degraded"
 RUN_FINISHED = "run_finished"
+SWEEP_STARTED = "sweep_started"
+SWEEP_FINISHED = "sweep_finished"
+CELL_STARTED = "cell_started"
+CELL_FINISHED = "cell_finished"
+CELL_SKIPPED = "cell_skipped"  # resume found a finished cell record
+CELL_FAILED = "cell_failed"
 
 
 @dataclass

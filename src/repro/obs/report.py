@@ -23,6 +23,10 @@ record into things people and machines consume:
 * :func:`load_run_records` -- loads records from any JSON the suite
   writes: a raw record, ``run --format json`` output (single or
   multi-kernel) or a bench-history file.
+* :func:`render_sweep_report` / :func:`write_sweep_report` -- the
+  sweep dashboard (``obs report --sweep DIR``): leaderboard, a
+  heatmap-style grid of cells over the two busiest axes, and per-axis
+  throughput trends, from a :class:`~repro.sweep.aggregate.SweepRecord`.
 """
 
 from __future__ import annotations
@@ -31,11 +35,14 @@ import html
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.obs.history import HISTORY_SCHEMA, throughput
 from repro.perf.report import Report, sig
 from repro.runner.record import RunRecord
+
+if TYPE_CHECKING:  # sweep imports obs-free modules only; keep it that way
+    from repro.sweep.aggregate import SweepRecord as SweepRecordT
 
 #: Hotspot rows shown in the dashboard and compared by ``obs diff``.
 REPORT_TOP_N = 15
@@ -703,4 +710,233 @@ def write_report(
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(render_report(record, history))
+    return path
+
+
+# -- sweep dashboard ---------------------------------------------------
+
+#: Status chip colors for sweep cells (legible in both themes).
+_STATUS_COLORS = {
+    "ok": "#1baf7a",
+    "resumed": "#2a78d6",
+    "incomplete": "#eda100",
+    "failed": "#e34948",
+}
+
+
+def _fmt_tp(value: float | None) -> str:
+    return f"{value:,.0f}" if value is not None else "-"
+
+
+def _sweep_axes(sweep: "SweepRecordT", kernel: str) -> list[tuple[str, list[Any]]]:
+    """Axes that actually vary for one kernel, busiest first.
+
+    Sorted by distinct-value count (descending) then name, so the
+    heatmap always spans the two axes with the most cells.
+    """
+    cells = [c for c in sweep.cells if c.kernel == kernel]
+    axes: dict[str, dict[Any, None]] = {}
+    for cell in cells:
+        for name, value in cell.config.items():
+            axes.setdefault(name, {}).setdefault(value, None)
+    varying = [
+        (name, list(values))
+        for name, values in axes.items()
+        if len(values) > 1
+    ]
+    varying.sort(key=lambda item: (-len(item[1]), item[0]))
+    return varying
+
+
+def _axis_sorted(values: list[Any]) -> list[Any]:
+    """Axis values in display order (numeric sort when possible)."""
+    try:
+        return sorted(values)
+    except TypeError:
+        return sorted(values, key=str)
+
+
+def _sweep_grid(sweep: "SweepRecordT", kernel: str) -> str:
+    """Heatmap-style grid of one kernel's cells over its two busiest axes.
+
+    Cell tint encodes throughput relative to the kernel's best (full
+    saturation = fastest configuration); failed cells show their
+    status instead of a number.  With a single varying axis the grid
+    collapses to one row; with none there is nothing to chart.
+    """
+    cells = [c for c in sweep.cells if c.kernel == kernel]
+    varying = _sweep_axes(sweep, kernel)
+    if not varying:
+        return '<p class="note">single configuration; no grid to chart</p>'
+    x_axis, x_values = varying[0]
+    x_values = _axis_sorted(x_values)
+    if len(varying) > 1:
+        y_axis, y_values = varying[1]
+        y_values = _axis_sorted(y_values)
+    else:
+        y_axis, y_values = None, [None]
+    best = max((c.throughput for c in cells if c.throughput is not None), default=0.0)
+
+    def pick(xv: Any, yv: Any):
+        for c in cells:
+            if c.config.get(x_axis) != xv:
+                continue
+            if y_axis is not None and c.config.get(y_axis) != yv:
+                continue
+            return c
+        return None
+
+    head = "".join(
+        f'<th class="num">{html.escape(f"{x_axis}={v}")}</th>' for v in x_values
+    )
+    corner = html.escape(y_axis or "")
+    rows = []
+    for yv in y_values:
+        tds = []
+        for xv in x_values:
+            cell = pick(xv, yv)
+            if cell is None:
+                tds.append('<td class="num">-</td>')
+                continue
+            if cell.throughput is None:
+                color = _STATUS_COLORS.get(cell.status, _STATUS_COLORS["failed"])
+                tds.append(
+                    f'<td class="num" style="color:{color}">'
+                    f"{html.escape(cell.status)}</td>"
+                )
+                continue
+            alpha = 0.08 + 0.72 * (cell.throughput / best if best else 0.0)
+            tip = (
+                f"{cell.cell_id}: {cell.throughput:,.0f} work/s, "
+                f"{cell.execute_seconds:.3f}s"
+                if cell.execute_seconds is not None
+                else f"{cell.throughput:,.0f} work/s"
+            )
+            tds.append(
+                f'<td class="num" style="background:rgba(42,120,214,{alpha:.2f})" '
+                f'title="{html.escape(tip)}">{_fmt_tp(cell.throughput)}</td>'
+            )
+        label = html.escape(f"{y_axis}={yv}") if y_axis is not None else ""
+        rows.append(f"<tr><td>{label}</td>{''.join(tds)}</tr>")
+    return (
+        f'<table><thead><tr><th>{corner}</th>{head}</tr></thead>'
+        f"<tbody>{''.join(rows)}</tbody></table>"
+        '<p class="note">cell tint = throughput relative to the kernel&#39;s '
+        "best configuration</p>"
+    )
+
+
+def _sweep_trends(sweep: "SweepRecordT", kernel: str) -> str:
+    """Per-axis throughput trends: best cell at each numeric axis value."""
+    figures = []
+    for axis, values in _sweep_axes(sweep, kernel):
+        if not all(isinstance(v, (int, float)) for v in values):
+            continue
+        points = []
+        for value in _axis_sorted(values):
+            tps = [
+                c.throughput
+                for c in sweep.cells
+                if c.kernel == kernel
+                and c.config.get(axis) == value
+                and c.throughput is not None
+            ]
+            if tps:
+                points.append((float(value), max(tps)))
+        if len(points) < 2:
+            continue
+        peak_at = max(points, key=lambda p: p[1])
+        figures.append(
+            _sparkline(
+                points,
+                f"{kernel}: throughput vs {axis}",
+                f"best {peak_at[1]:,.0f} work/s at {axis}={peak_at[0]:g}",
+            )
+        )
+    if not figures:
+        return ""
+    return f'<div class="spark">{"".join(figures)}</div>'
+
+
+def _sweep_leaderboard_table(sweep: "SweepRecordT") -> str:
+    from repro.sweep.aggregate import leaderboard
+
+    body = []
+    for row in leaderboard(sweep):
+        status = str(row["status"])
+        color = _STATUS_COLORS.get(status.split(":")[0], _STATUS_COLORS["failed"])
+        eff = row["scheduling_efficiency"]
+        secs = row["execute_seconds"]
+        body.append(
+            "<tr>"
+            f'<td class="num">{row["rank"]}</td>'
+            f'<td>{html.escape(row["kernel"])}</td>'
+            f'<td class="frame">{html.escape(str(row["config"]))}</td>'
+            f'<td style="color:{color}">{html.escape(status)}</td>'
+            f'<td class="num">{_fmt_tp(row["throughput"])}</td>'
+            f'<td class="num">{f"{secs:.3f}s" if secs is not None else "-"}</td>'
+            f'<td class="num">{_fmt_bytes(row["peak_rss_bytes"])}</td>'
+            f'<td class="num">{f"{100 * eff:.0f}%" if eff is not None else "-"}</td>'
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr>"
+        '<th class="num">rank</th><th>kernel</th><th>config</th><th>status</th>'
+        '<th class="num">work/s</th><th class="num">kernel time</th>'
+        '<th class="num">peak RSS</th><th class="num">sched eff</th>'
+        f"</tr></thead><tbody>{''.join(body)}</tbody></table>"
+    )
+
+
+def render_sweep_report(sweep: "SweepRecordT") -> str:
+    """The sweep's self-contained HTML dashboard (one file, no assets)."""
+    from repro.sweep.aggregate import best_per_kernel
+
+    best = best_per_kernel(sweep)
+    best_tp = max(
+        (row["throughput"] for row in best if row["throughput"] is not None),
+        default=None,
+    )
+    tiles = [
+        _tile(str(len(sweep.cells)), "cells"),
+        _tile(str(sweep.n_ok), "ok"),
+        _tile(str(sweep.n_failed), "failed"),
+        _tile(str(sweep.n_incomplete), "incomplete"),
+        _tile(str(sweep.n_resumed), "resumed"),
+        _tile(str(len(sweep.kernels)), "kernels"),
+        _tile(_fmt_tp(best_tp), "best work/s"),
+    ]
+    sections = ["<h2>leaderboard</h2>", _sweep_leaderboard_table(sweep)]
+    for kernel in sweep.kernels:
+        sections.append(f"<h2>{html.escape(kernel)}: cell grid</h2>")
+        sections.append(_sweep_grid(sweep, kernel))
+        trends = _sweep_trends(sweep, kernel)
+        if trends:
+            sections.append(trends)
+    title = f"sweep {sweep.sweep_id} &middot; {len(sweep.cells)} cells"
+    axes = (sweep.spec.get("axes") or {}) if isinstance(sweep.spec, dict) else {}
+    axes_text = ", ".join(
+        f"{name}={'/'.join(str(v) for v in values)}" for name, values in axes.items()
+    )
+    return (
+        "<!doctype html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>genomicsbench sweep {html.escape(sweep.sweep_id)}</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        '<body class="viz-root">\n'
+        "<h1>genomicsbench sweep report</h1>\n"
+        f'<p class="sub">{title} &middot; '
+        f"{html.escape(', '.join(sweep.kernels))}"
+        f"{' &middot; ' + html.escape(axes_text) if axes_text else ''}"
+        f" &middot; schema {html.escape(sweep.schema)}</p>\n"
+        f'<div class="tiles">{"".join(tiles)}</div>\n'
+        + "\n".join(sections)
+        + "\n</body></html>\n"
+    )
+
+
+def write_sweep_report(path: Path | str, sweep: "SweepRecordT") -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_sweep_report(sweep))
     return path

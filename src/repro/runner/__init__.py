@@ -30,6 +30,7 @@ from repro.runner.cache import (
     ShardCheckpoint,
     WorkloadCache,
     cache_key,
+    config_digest,
     default_cache_dir,
 )
 from repro.runner.engine import (
@@ -98,6 +99,7 @@ __all__ = [
     "WorkloadCache",
     "available_executors",
     "cache_key",
+    "config_digest",
     "default_cache_dir",
     "default_chunk_size",
     "get_executor",

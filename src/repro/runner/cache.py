@@ -71,11 +71,23 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "genomicsbench" / "workloads"
 
 
-def cache_key(kernel: str, size: DatasetSize | str) -> str:
-    """Deterministic entry name for ``(kernel, size)``.
+def config_digest(
+    kernel: str,
+    size: DatasetSize | str,
+    config: dict[str, Any] | None = None,
+    version: int = CACHE_VERSION,
+) -> str:
+    """Short hex digest identifying one ``(suite, config)`` pair.
 
-    The digest covers dataset parameters, the derived seed and the cache
-    format version, so parameter or seed changes invalidate by renaming.
+    The single hashing authority for every layer that needs "same
+    configuration" to mean the same thing: the workload cache
+    (:func:`cache_key`), ``run --resume`` shard checkpoints, and sweep
+    cell dedup (:mod:`repro.sweep`) all key off this digest.  It covers
+    the kernel, the dataset size, the registered dataset parameters and
+    derived seed for that ``(kernel, size)``, the fingerprint version,
+    and any extra ``config`` items (engine knobs like jobs or
+    chunk_size) in key-sorted order -- so equal configurations collide
+    and any parameter, seed or config change renames the key.
     """
     if isinstance(size, str):
         size = DatasetSize(size)
@@ -87,10 +99,27 @@ def cache_key(kernel: str, size: DatasetSize | str) -> str:
         # without registered parameters there is nothing to fingerprint
         params, seed = {}, None
     fingerprint = repr(
-        (CACHE_VERSION, kernel, size.value, seed, sorted(params.items()))
+        (
+            version,
+            kernel,
+            size.value,
+            seed,
+            sorted(params.items()),
+            sorted(config.items()) if config else None,
+        )
     )
-    digest = hashlib.sha256(fingerprint.encode()).hexdigest()[:16]
-    return f"{kernel}-{size.value}-{digest}"
+    return hashlib.sha256(fingerprint.encode()).hexdigest()[:16]
+
+
+def cache_key(kernel: str, size: DatasetSize | str) -> str:
+    """Deterministic entry name for ``(kernel, size)``.
+
+    The digest covers dataset parameters, the derived seed and the cache
+    format version, so parameter or seed changes invalidate by renaming.
+    """
+    if isinstance(size, str):
+        size = DatasetSize(size)
+    return f"{kernel}-{size.value}-{config_digest(kernel, size)}"
 
 
 @dataclass

@@ -43,6 +43,10 @@ Schema history
   execute-phase start (pre-execute events carry negative ``t``).
   Remote workers' events arrive clock-rebased onto the coordinator's
   timeline, so one list narrates a whole distributed run.
+  Later additions to v5 (additions are free): ``sweep`` -- provenance
+  of the sweep cell that produced this record (``sweep_id``,
+  ``cell_id`` and the cell's engine ``config``, see
+  :mod:`repro.sweep`); ``None`` for standalone runs.
 
 :func:`RunRecord.from_dict` accepts all five; older documents load
 with the newer fields at their empty defaults and are upgraded in
@@ -164,6 +168,7 @@ class RunRecord:
     profile: dict[str, Any] | None = None
     telemetry: dict[str, Any] | None = None
     events: list[dict[str, Any]] = field(default_factory=list)
+    sweep: dict[str, Any] | None = None
     schema: str = SCHEMA
 
     @property
@@ -250,6 +255,7 @@ class RunRecord:
             profile=d.get("profile"),
             telemetry=d.get("telemetry"),
             events=list(d.get("events", [])),
+            sweep=d.get("sweep"),
             # older documents upgrade in memory: the loaded object
             # carries every newer field (empty defaults), so it
             # re-serializes as the current schema.

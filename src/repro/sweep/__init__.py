@@ -1,0 +1,74 @@
+"""Scenario-matrix sweeps: grid expansion, driving and aggregation.
+
+The sweep subsystem turns the suite's twelve one-off benchmarks into a
+matrix instrument (``repro sweep`` on the CLI, :func:`repro.api.sweep`
+programmatically):
+
+* :mod:`repro.sweep.spec` -- the declarative grid (CLI ``--grid``
+  tokens or a TOML/JSON sweep file) normalized into a
+  :class:`SweepSpec`;
+* :mod:`repro.sweep.expand` -- deterministic cartesian expansion into
+  :class:`SweepCell` values, with filter predicates and a
+  ``max_cells`` budget;
+* :mod:`repro.sweep.drive` -- :func:`run_sweep` fans cells through the
+  engine via :mod:`repro.api`, shares one workload cache across cells,
+  persists every finished cell's RunRecord and resumes past them;
+* :mod:`repro.sweep.aggregate` -- the :class:`SweepRecord` summary
+  plus per-kernel leaderboards (rows, JSON, CSV).
+
+The sweep HTML dashboard (``obs report --sweep DIR``) lives with the
+other renderers in :mod:`repro.obs.report`.
+"""
+
+from repro.sweep.aggregate import (
+    LEADERBOARD_COLUMNS,
+    SWEEP_SCHEMA,
+    CellResult,
+    SweepRecord,
+    best_per_kernel,
+    leaderboard,
+    leaderboard_csv,
+    load_sweep,
+    write_sweep,
+)
+from repro.sweep.drive import (
+    CELL_FAILURE_POLICIES,
+    SweepCellError,
+    cell_record_path,
+    run_sweep,
+)
+from repro.sweep.expand import compile_filter, expand
+from repro.sweep.spec import (
+    DEFAULT_AXES,
+    ENGINE_AXES,
+    SweepCell,
+    SweepSpec,
+    load_spec_file,
+    make_cell,
+    parse_grid,
+)
+
+__all__ = [
+    "CELL_FAILURE_POLICIES",
+    "CellResult",
+    "DEFAULT_AXES",
+    "ENGINE_AXES",
+    "LEADERBOARD_COLUMNS",
+    "SWEEP_SCHEMA",
+    "SweepCell",
+    "SweepCellError",
+    "SweepRecord",
+    "SweepSpec",
+    "best_per_kernel",
+    "cell_record_path",
+    "compile_filter",
+    "expand",
+    "leaderboard",
+    "leaderboard_csv",
+    "load_spec_file",
+    "load_sweep",
+    "make_cell",
+    "parse_grid",
+    "run_sweep",
+    "write_sweep",
+]

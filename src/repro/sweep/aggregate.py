@@ -1,0 +1,299 @@
+"""Cross-run aggregation: RunRecords into a SweepRecord + leaderboards.
+
+One sweep produces one :class:`SweepRecord` -- the schema-versioned
+JSON summary of every cell (ok, failed, incomplete or resumed) with
+the headline measurements pulled out of each cell's
+:class:`~repro.runner.record.RunRecord`:
+
+* throughput (work units / second, the quantity ``bench check`` gates),
+* execute/prepare wall time,
+* peak worker RSS (when the run telemetered),
+* scheduling efficiency and speedup vs serial (when measured).
+
+:func:`leaderboard` ranks cells per kernel by throughput -- failed
+cells rank last and carry their error -- and :func:`best_per_kernel`
+keeps each kernel's rank-1 row, the ``leaderboard_by_rank`` shape.
+Both emit as rows (for the CLI table), JSON and CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.core.serialize import write_json
+from repro.obs.history import throughput
+from repro.runner.record import RunRecord
+
+#: Schema identifier of the sweep summary document.
+SWEEP_SCHEMA = "genomicsbench.sweep/1"
+
+#: Leaderboard columns, in emission order (table header == CSV header).
+LEADERBOARD_COLUMNS = (
+    "rank",
+    "kernel",
+    "size",
+    "config",
+    "status",
+    "throughput",
+    "execute_seconds",
+    "peak_rss_bytes",
+    "scheduling_efficiency",
+    "speedup_vs_serial",
+    "cell_id",
+)
+
+#: Cell outcome states, as recorded in :class:`CellResult.status`.
+STATUS_OK = "ok"
+STATUS_INCOMPLETE = "incomplete"  # ran, but quarantined task ranges
+STATUS_FAILED = "failed"
+STATUS_RESUMED = "resumed"  # skipped: a finished record already existed
+
+
+@dataclass
+class CellResult:
+    """One sweep cell's outcome, flattened for aggregation."""
+
+    cell_id: str
+    kernel: str
+    size: str
+    config: dict[str, Any]
+    status: str
+    throughput: float | None = None
+    execute_seconds: float | None = None
+    prepare_seconds: float | None = None
+    peak_rss_bytes: float | None = None
+    scheduling_efficiency: float | None = None
+    speedup_vs_serial: float | None = None
+    error: str | None = None
+    record_path: str | None = None
+
+    @property
+    def ran(self) -> bool:
+        """True when a run record exists (ok, incomplete or resumed)."""
+        return self.status != STATUS_FAILED
+
+    @classmethod
+    def from_record(
+        cls,
+        cell_id: str,
+        record: RunRecord,
+        status: str,
+        record_path: str | None = None,
+    ) -> "CellResult":
+        config = (record.sweep or {}).get("config", {})
+        return cls(
+            cell_id=cell_id,
+            kernel=record.kernel,
+            size=record.size,
+            config=dict(config),
+            status=status,
+            throughput=throughput(record),
+            execute_seconds=record.execute_seconds,
+            prepare_seconds=record.prepare_seconds,
+            peak_rss_bytes=record.peak_rss_bytes,
+            scheduling_efficiency=record.scheduling_efficiency,
+            speedup_vs_serial=record.speedup_vs_serial,
+            record_path=record_path,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cell_id": self.cell_id,
+            "kernel": self.kernel,
+            "size": self.size,
+            "config": dict(self.config),
+            "status": self.status,
+            "throughput": self.throughput,
+            "execute_seconds": self.execute_seconds,
+            "prepare_seconds": self.prepare_seconds,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "scheduling_efficiency": self.scheduling_efficiency,
+            "speedup_vs_serial": self.speedup_vs_serial,
+            "error": self.error,
+            "record_path": self.record_path,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "CellResult":
+        return cls(**{k: d.get(k) for k in cls.__dataclass_fields__})
+
+
+@dataclass
+class SweepRecord:
+    """The JSON-ready summary of one whole sweep."""
+
+    sweep_id: str
+    spec: dict[str, Any]
+    cells: list[CellResult] = field(default_factory=list)
+    host: str | None = None
+    created_unix: float | None = None
+    schema: str = SWEEP_SCHEMA
+
+    def __post_init__(self) -> None:
+        if self.host is None:
+            self.host = platform.node() or None
+        if self.created_unix is None:
+            self.created_unix = time.time()
+
+    # -- folds ---------------------------------------------------------
+
+    @property
+    def n_ok(self) -> int:
+        return sum(c.status in (STATUS_OK, STATUS_RESUMED) for c in self.cells)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(c.status == STATUS_FAILED for c in self.cells)
+
+    @property
+    def n_incomplete(self) -> int:
+        return sum(c.status == STATUS_INCOMPLETE for c in self.cells)
+
+    @property
+    def n_resumed(self) -> int:
+        return sum(c.status == STATUS_RESUMED for c in self.cells)
+
+    @property
+    def kernels(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for cell in self.cells:
+            seen.setdefault(cell.kernel, None)
+        return list(seen)
+
+    def axis_values(self, axis: str) -> list[Any]:
+        """Distinct values the sweep actually covered for one axis."""
+        seen: dict[Any, None] = {}
+        for cell in self.cells:
+            if axis in cell.config:
+                seen.setdefault(cell.config[axis], None)
+        return list(seen)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "sweep_id": self.sweep_id,
+            "host": self.host,
+            "created_unix": self.created_unix,
+            "spec": dict(self.spec),
+            "cells": [c.to_dict() for c in self.cells],
+            "n_ok": self.n_ok,
+            "n_failed": self.n_failed,
+            "n_incomplete": self.n_incomplete,
+            "n_resumed": self.n_resumed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "SweepRecord":
+        schema = d.get("schema", SWEEP_SCHEMA)
+        if schema != SWEEP_SCHEMA:
+            raise ValueError(f"unsupported sweep schema {schema!r}")
+        return cls(
+            sweep_id=d["sweep_id"],
+            spec=dict(d.get("spec", {})),
+            cells=[CellResult.from_dict(c) for c in d.get("cells", [])],
+            host=d.get("host"),
+            created_unix=d.get("created_unix"),
+            schema=SWEEP_SCHEMA,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepRecord":
+        return cls.from_dict(json.loads(text))
+
+
+def load_sweep(path: Path | str) -> SweepRecord:
+    """A :class:`SweepRecord` from a sweep directory or its summary file."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / "sweep.json"
+    try:
+        return SweepRecord.from_json(path.read_text())
+    except FileNotFoundError:
+        raise ValueError(
+            f"{path} not found; point --sweep at a sweep directory "
+            "(or its sweep.json) produced by `repro sweep`"
+        ) from None
+
+
+# -- leaderboards ------------------------------------------------------
+
+
+def _config_label(config: dict[str, Any]) -> str:
+    return " ".join(f"{k}={v}" for k, v in sorted(config.items())) or "-"
+
+
+def leaderboard(sweep: SweepRecord) -> list[dict[str, Any]]:
+    """One row per cell, ranked by throughput within each kernel.
+
+    Cells that measured a throughput rank 1..N from fastest down;
+    failed cells (and cells without a throughput) rank after every
+    measured cell, in enumeration order, with their status -- the
+    leaderboard never hides a cell, so row count always equals cell
+    count.
+    """
+    rows: list[dict[str, Any]] = []
+    for kernel in sweep.kernels:
+        cells = [c for c in sweep.cells if c.kernel == kernel]
+        measured = [c for c in cells if c.throughput is not None]
+        unmeasured = [c for c in cells if c.throughput is None]
+        measured.sort(key=lambda c: -c.throughput)
+        for rank, cell in enumerate([*measured, *unmeasured], start=1):
+            rows.append(
+                {
+                    "rank": rank,
+                    "kernel": cell.kernel,
+                    "size": cell.size,
+                    "config": _config_label(cell.config),
+                    "status": cell.status + (f": {cell.error}" if cell.error else ""),
+                    "throughput": cell.throughput,
+                    "execute_seconds": cell.execute_seconds,
+                    "peak_rss_bytes": cell.peak_rss_bytes,
+                    "scheduling_efficiency": cell.scheduling_efficiency,
+                    "speedup_vs_serial": cell.speedup_vs_serial,
+                    "cell_id": cell.cell_id,
+                }
+            )
+    return rows
+
+
+def best_per_kernel(sweep: SweepRecord) -> list[dict[str, Any]]:
+    """Each kernel's rank-1 leaderboard row (fastest configuration)."""
+    return [row for row in leaderboard(sweep) if row["rank"] == 1]
+
+
+def leaderboard_csv(rows: Sequence[dict[str, Any]]) -> str:
+    """The leaderboard as CSV text with the canonical column order."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=LEADERBOARD_COLUMNS, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: row.get(k) for k in LEADERBOARD_COLUMNS})
+    return buf.getvalue()
+
+
+def write_sweep(sweep_dir: Path | str, sweep: SweepRecord) -> Path:
+    """Persist the summary plus both leaderboard artifacts.
+
+    Writes ``sweep.json`` (the full :class:`SweepRecord`),
+    ``leaderboard.json`` (per-cell rows plus the best-per-kernel
+    ranking) and ``leaderboard.csv`` under the sweep directory;
+    returns the summary path.
+    """
+    sweep_dir = Path(sweep_dir)
+    rows = leaderboard(sweep)
+    path = write_json(sweep_dir / "sweep.json", sweep.to_dict())
+    write_json(
+        sweep_dir / "leaderboard.json",
+        {"sweep_id": sweep.sweep_id, "rows": rows, "best": best_per_kernel(sweep)},
+    )
+    (sweep_dir / "leaderboard.csv").write_text(leaderboard_csv(rows))
+    return path

@@ -1,0 +1,77 @@
+"""Grid expansion: a :class:`~repro.sweep.spec.SweepSpec` into cells.
+
+Expansion is deterministic end to end, which is what makes resume and
+``--max-cells`` meaningful:
+
+* kernels expand in spec order, axes in sorted-name order, values in
+  declaration order -- the cartesian product enumerates like an
+  odometer, so the same spec always yields the same cell sequence;
+* filters only ever remove cells (pruning is monotone: adding a filter
+  can never introduce a cell);
+* ``max_cells`` keeps the first N surviving cells of that fixed order,
+  so re-expanding a truncated spec reproduces exactly the same subset.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Sequence
+
+from repro.sweep.spec import SweepCell, SweepSpec, make_cell
+
+#: Variables a filter expression may reference besides the axis names.
+FILTER_BUILTINS = ("kernel", "size", "min", "max", "abs")
+
+
+def compile_filter(expr: str) -> Callable[[dict[str, Any]], bool]:
+    """A predicate over cell variables from a boolean expression.
+
+    The expression sees each axis name, ``kernel`` and ``size`` as
+    variables plus ``min``/``max``/``abs`` -- nothing else (no
+    builtins), so specs stay declarative: ``"jobs * chunk_size <= 64"``,
+    ``"not (kernel == 'chain' and jobs == 1)"``.  Syntax errors raise
+    :class:`ValueError` at compile time; referencing a name the cell
+    does not define raises :class:`ValueError` at evaluation time.
+    """
+    try:
+        code = compile(expr, "<sweep filter>", "eval")
+    except SyntaxError as exc:
+        raise ValueError(f"bad filter expression {expr!r}: {exc.msg}") from exc
+
+    def predicate(variables: dict[str, Any]) -> bool:
+        scope = {"min": min, "max": max, "abs": abs}
+        scope.update(variables)
+        try:
+            return bool(eval(code, {"__builtins__": {}}, scope))  # noqa: S307
+        except NameError as exc:
+            raise ValueError(
+                f"filter {expr!r} references an unknown name: {exc}; "
+                f"cells define {', '.join(sorted(variables))}"
+            ) from None
+        except Exception as exc:
+            raise ValueError(f"filter {expr!r} failed on a cell: {exc}") from exc
+
+    return predicate
+
+
+def expand(spec: SweepSpec, extra_filters: Sequence[str] = ()) -> list[SweepCell]:
+    """Every cell of the sweep, in the deterministic enumeration order.
+
+    ``extra_filters`` (CLI ``--filter``) compose with the spec's own;
+    a cell must satisfy all of them to survive.  ``max_cells``
+    truncation happens last.
+    """
+    predicates = [compile_filter(f) for f in [*spec.filters, *extra_filters]]
+    cells: list[SweepCell] = []
+    for kernel in spec.kernels:
+        axes = spec.axes_for(kernel)
+        names = sorted(axes)
+        for values in itertools.product(*(axes[name] for name in names)):
+            assignment = dict(zip(names, values))
+            cell = make_cell(kernel, spec.size, assignment, spec.base)
+            variables = {"kernel": cell.kernel, "size": cell.size, **assignment}
+            if all(p(variables) for p in predicates):
+                cells.append(cell)
+    if spec.max_cells is not None:
+        cells = cells[: spec.max_cells]
+    return cells

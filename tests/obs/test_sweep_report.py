@@ -1,0 +1,81 @@
+"""Tests for the sweep HTML dashboard renderer."""
+
+from repro.obs.report import render_sweep_report, write_sweep_report
+from repro.runner.record import RunRecord
+from repro.sweep import CellResult, SweepRecord
+from repro.sweep.aggregate import STATUS_FAILED, STATUS_OK
+
+
+def _cell(cell_id, kernel, config, throughput=2000.0, status=STATUS_OK):
+    record = RunRecord(
+        kernel=kernel,
+        size="small",
+        jobs=config.get("jobs", 1),
+        chunk_size=config.get("chunk_size", 4),
+        n_tasks=8,
+        total_work=1000,
+        task_work=[125] * 8,
+        prepare_seconds=0.1,
+        prepare_cached=False,
+        execute_seconds=1000 / throughput,
+    )
+    result = CellResult.from_record(cell_id, record, status)
+    result.config = dict(config)
+    return result
+
+
+def _sweep():
+    cells = [
+        _cell("grm-1", "grm", {"jobs": 1, "chunk_size": 4}, 1000.0),
+        _cell("grm-2", "grm", {"jobs": 2, "chunk_size": 4}, 2000.0),
+        _cell("grm-3", "grm", {"jobs": 1, "chunk_size": 8}, 1500.0),
+        _cell("grm-4", "grm", {"jobs": 2, "chunk_size": 8}, 2500.0),
+        CellResult(
+            cell_id="chain-1",
+            kernel="chain",
+            size="small",
+            config={"jobs": 1, "chunk_size": 4},
+            status=STATUS_FAILED,
+            error="RuntimeError: boom",
+        ),
+    ]
+    return SweepRecord(
+        sweep_id="deadbeef",
+        spec={"kernels": ["grm", "chain"], "axes": {"jobs": [1, 2]}},
+        cells=cells,
+    )
+
+
+class TestSweepReport:
+    def test_renders_self_contained_html(self):
+        html = render_sweep_report(_sweep())
+        assert html.startswith("<!doctype html>")
+        assert "deadbeef" in html
+        assert "src=" not in html  # no external assets
+
+    def test_shows_leaderboard_grid_and_failures(self):
+        html = render_sweep_report(_sweep())
+        assert "grm" in html and "chain" in html
+        # the heatmap grid covers both swept axes
+        assert "jobs" in html and "chunk_size" in html
+        # the failed cell is visibly marked, not hidden
+        assert "failed" in html
+
+    def test_single_cell_sweep_renders(self):
+        sweep = SweepRecord(
+            sweep_id="tiny",
+            spec={},
+            cells=[_cell("grm-1", "grm", {"jobs": 1})],
+        )
+        html = render_sweep_report(sweep)
+        assert "grm" in html
+
+    def test_empty_sweep_renders(self):
+        html = render_sweep_report(SweepRecord(sweep_id="empty", spec={}, cells=[]))
+        assert "empty" in html
+
+    def test_write_sweep_report(self, tmp_path):
+        out = tmp_path / "sweep.html"
+        path = write_sweep_report(out, _sweep())
+        assert path == out
+        assert out.read_text().startswith("<!doctype html>")

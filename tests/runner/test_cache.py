@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.core.benchmark import load_benchmark
 from repro.core.datasets import DatasetSize
-from repro.runner.cache import WorkloadCache, cache_key
+from repro.runner.cache import WorkloadCache, cache_key, config_digest
 from repro.runner.engine import ParallelRunner
 
 
@@ -14,6 +14,38 @@ def test_cache_key_is_stable_and_distinct():
     assert cache_key("grm", "small") == cache_key("grm", DatasetSize.SMALL)
     assert cache_key("grm", "small") != cache_key("grm", "large")
     assert cache_key("grm", "small") != cache_key("fmi", "small")
+
+
+class TestConfigDigest:
+    """The one hashing authority shared by cache, resume and sweeps."""
+
+    def test_equal_configs_collide(self):
+        # the same configuration must hash identically no matter how
+        # the caller spells it: size enum vs string, key order, copies
+        a = config_digest("grm", "small", {"jobs": 2, "chunk_size": 8})
+        b = config_digest("grm", DatasetSize.SMALL, {"chunk_size": 8, "jobs": 2})
+        c = config_digest("grm", "small", dict({"jobs": 2, "chunk_size": 8}))
+        assert a == b == c
+
+    def test_unequal_configs_do_not_collide(self):
+        base = config_digest("grm", "small", {"jobs": 2})
+        assert config_digest("grm", "small", {"jobs": 4}) != base
+        assert config_digest("grm", "small", {"jobs": 2, "retries": 1}) != base
+        assert config_digest("grm", "large", {"jobs": 2}) != base
+        assert config_digest("fmi", "small", {"jobs": 2}) != base
+
+    def test_no_config_and_empty_config_are_the_same_workload(self):
+        # the workload cache hashes (kernel, size) only; an empty engine
+        # config must land on the same entry
+        assert config_digest("grm", "small") == config_digest("grm", "small", {})
+
+    def test_digest_is_filename_safe_hex(self):
+        digest = config_digest("grm", "small", {"jobs": 2})
+        assert len(digest) == 16
+        assert int(digest, 16) >= 0
+
+    def test_cache_key_embeds_the_digest(self):
+        assert cache_key("grm", "small").endswith(config_digest("grm", "small"))
 
 
 def test_cache_key_tracks_dataset_params(monkeypatch):

@@ -1,0 +1,196 @@
+"""Tests for sweep aggregation: SweepRecord, leaderboards, persistence."""
+
+import csv
+import io
+
+import pytest
+
+from repro.runner.record import RunRecord
+from repro.sweep import (
+    LEADERBOARD_COLUMNS,
+    SWEEP_SCHEMA,
+    CellResult,
+    SweepRecord,
+    best_per_kernel,
+    leaderboard,
+    leaderboard_csv,
+    load_sweep,
+    write_sweep,
+)
+from repro.sweep.aggregate import STATUS_FAILED, STATUS_OK, STATUS_RESUMED
+
+
+def make_record(kernel="grm", total_work=1000, execute_seconds=0.5, **kwargs):
+    """A minimal hand-built RunRecord for aggregation tests."""
+    defaults = dict(
+        kernel=kernel,
+        size="small",
+        jobs=2,
+        chunk_size=4,
+        n_tasks=10,
+        total_work=total_work,
+        task_work=[total_work // 10] * 10,
+        prepare_seconds=0.1,
+        prepare_cached=False,
+        execute_seconds=execute_seconds,
+    )
+    defaults.update(kwargs)
+    return RunRecord(**defaults)
+
+
+def ok_cell(cell_id, kernel="grm", config=None, throughput=2000.0):
+    record = make_record(kernel, total_work=1000, execute_seconds=1000 / throughput)
+    result = CellResult.from_record(cell_id, record, STATUS_OK)
+    result.config = dict(config or {})
+    return result
+
+
+def failed_cell(cell_id, kernel="grm", config=None, error="RuntimeError: boom"):
+    return CellResult(
+        cell_id=cell_id,
+        kernel=kernel,
+        size="small",
+        config=dict(config or {}),
+        status=STATUS_FAILED,
+        error=error,
+    )
+
+
+def make_sweep(cells):
+    return SweepRecord(sweep_id="abc123", spec={"kernels": ["grm"]}, cells=cells)
+
+
+class TestCellResult:
+    def test_from_record_pulls_headline_measurements(self):
+        record = make_record(total_work=1000, execute_seconds=0.5, serial_seconds=1.0)
+        result = CellResult.from_record("grm-small-xyz", record, STATUS_OK)
+        assert result.throughput == pytest.approx(2000.0)
+        assert result.execute_seconds == 0.5
+        assert result.speedup_vs_serial == pytest.approx(2.0)
+        assert result.ran is True
+
+    def test_config_comes_from_sweep_provenance(self):
+        record = make_record(sweep={"cell_id": "x", "config": {"jobs": 2}})
+        result = CellResult.from_record("x", record, STATUS_OK)
+        assert result.config == {"jobs": 2}
+
+    def test_failed_cell_never_ran(self):
+        assert failed_cell("x").ran is False
+
+    def test_round_trips_through_dict(self):
+        result = ok_cell("grm-small-1", config={"jobs": 2})
+        assert CellResult.from_dict(result.to_dict()) == result
+
+
+class TestSweepRecord:
+    def test_counts_and_kernels(self):
+        sweep = make_sweep(
+            [
+                ok_cell("a", kernel="grm"),
+                failed_cell("b", kernel="grm"),
+                ok_cell("c", kernel="chain"),
+            ]
+        )
+        sweep.cells[2].status = STATUS_RESUMED
+        assert sweep.n_ok == 2  # ok + resumed both count as healthy
+        assert sweep.n_failed == 1
+        assert sweep.n_resumed == 1
+        assert sweep.kernels == ["grm", "chain"]  # insertion order, deduped
+
+    def test_axis_values_in_first_seen_order(self):
+        sweep = make_sweep(
+            [
+                ok_cell("a", config={"jobs": 2}),
+                ok_cell("b", config={"jobs": 1}),
+                ok_cell("c", config={"jobs": 2}),
+            ]
+        )
+        assert sweep.axis_values("jobs") == [2, 1]
+        assert sweep.axis_values("chunk_size") == []
+
+    def test_round_trips_through_json(self):
+        import json
+
+        sweep = make_sweep([ok_cell("a"), failed_cell("b")])
+        loaded = SweepRecord.from_json(json.dumps(sweep.to_dict()))
+        assert loaded.sweep_id == sweep.sweep_id
+        assert loaded.schema == SWEEP_SCHEMA
+        assert loaded.cells == sweep.cells
+
+    def test_unknown_schema_is_rejected(self):
+        with pytest.raises(ValueError, match="unsupported sweep schema"):
+            SweepRecord.from_dict({"schema": "genomicsbench.sweep/99", "sweep_id": "x"})
+
+
+class TestLeaderboard:
+    def sweep_with_failure(self):
+        return make_sweep(
+            [
+                ok_cell("grm-1", kernel="grm", config={"jobs": 1}, throughput=1000.0),
+                ok_cell("grm-2", kernel="grm", config={"jobs": 2}, throughput=3000.0),
+                failed_cell("grm-3", kernel="grm", config={"jobs": 4}),
+                ok_cell("chain-1", kernel="chain", config={"jobs": 1}),
+            ]
+        )
+
+    def test_one_row_per_cell_even_when_cells_failed(self):
+        sweep = self.sweep_with_failure()
+        rows = leaderboard(sweep)
+        assert len(rows) == len(sweep.cells)
+
+    def test_ranked_by_throughput_within_each_kernel(self):
+        rows = leaderboard(self.sweep_with_failure())
+        grm = [r for r in rows if r["kernel"] == "grm"]
+        assert [r["rank"] for r in grm] == [1, 2, 3]
+        assert grm[0]["config"] == "jobs=2"  # fastest first
+        assert grm[1]["config"] == "jobs=1"
+
+    def test_failed_cell_ranks_last_and_carries_its_error(self):
+        rows = leaderboard(self.sweep_with_failure())
+        failed = [r for r in rows if r["cell_id"] == "grm-3"]
+        assert len(failed) == 1
+        assert failed[0]["rank"] == 3
+        assert failed[0]["status"] == "failed: RuntimeError: boom"
+        assert failed[0]["throughput"] is None
+
+    def test_best_per_kernel_keeps_each_rank_one_row(self):
+        best = best_per_kernel(self.sweep_with_failure())
+        assert [(r["kernel"], r["rank"]) for r in best] == [("grm", 1), ("chain", 1)]
+
+    def test_csv_has_the_canonical_header_and_every_row(self):
+        sweep = self.sweep_with_failure()
+        text = leaderboard_csv(leaderboard(sweep))
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert tuple(parsed[0]) == LEADERBOARD_COLUMNS
+        assert len(parsed) == 1 + len(sweep.cells)
+
+
+class TestPersistence:
+    def test_write_sweep_emits_all_three_artifacts(self, tmp_path):
+        sweep = make_sweep([ok_cell("a"), failed_cell("b")])
+        path = write_sweep(tmp_path, sweep)
+        assert path == tmp_path / "sweep.json"
+        assert (tmp_path / "leaderboard.json").exists()
+        assert (tmp_path / "leaderboard.csv").exists()
+
+    def test_load_sweep_accepts_directory_or_file(self, tmp_path):
+        sweep = make_sweep([ok_cell("a")])
+        write_sweep(tmp_path, sweep)
+        from_dir = load_sweep(tmp_path)
+        from_file = load_sweep(tmp_path / "sweep.json")
+        assert from_dir.sweep_id == from_file.sweep_id == "abc123"
+        assert len(from_dir.cells) == 1
+
+    def test_leaderboard_json_has_one_row_per_cell(self, tmp_path):
+        import json
+
+        sweep = make_sweep([ok_cell("a"), failed_cell("b")])
+        write_sweep(tmp_path, sweep)
+        doc = json.loads((tmp_path / "leaderboard.json").read_text())
+        assert doc["sweep_id"] == "abc123"
+        assert len(doc["rows"]) == len(sweep.cells)
+        assert len(doc["best"]) == 1
+
+    def test_missing_sweep_is_a_helpful_error(self, tmp_path):
+        with pytest.raises(ValueError, match="repro sweep"):
+            load_sweep(tmp_path / "nowhere")

@@ -1,0 +1,168 @@
+"""Tests for the sweep driver: cell execution, resume, failure policy."""
+
+import json
+
+import pytest
+
+import repro.api
+from repro.obs import events as ev
+from repro.obs.events import EventLog
+from repro.runner.cache import WorkloadCache
+from repro.sweep import (
+    SweepCellError,
+    SweepSpec,
+    cell_record_path,
+    expand,
+    load_sweep,
+    run_sweep,
+)
+from repro.sweep.aggregate import STATUS_FAILED, STATUS_OK, STATUS_RESUMED
+
+
+@pytest.fixture
+def cache(tmp_path_factory):
+    # one on-disk cache per module run keeps cell prepare() fast
+    return WorkloadCache(tmp_path_factory.mktemp("workloads"))
+
+
+def tiny_spec(**kwargs):
+    kwargs.setdefault("kernels", ["grm"])
+    kwargs.setdefault("axes", {"jobs": [1, 2]})
+    return SweepSpec(**kwargs)
+
+
+def test_sweep_runs_every_cell_and_persists_artifacts(tmp_path, cache):
+    spec = tiny_spec()
+    sweep = run_sweep(spec, tmp_path / "sw", cache=cache)
+    assert [c.status for c in sweep.cells] == [STATUS_OK, STATUS_OK]
+    assert sweep.n_ok == 2 and sweep.n_failed == 0
+    for cell in expand(spec):
+        assert cell_record_path(tmp_path / "sw", cell).exists()
+    for name in ("sweep.json", "leaderboard.json", "leaderboard.csv", "spec.json"):
+        assert (tmp_path / "sw" / name).exists()
+
+
+def test_cell_records_carry_sweep_provenance(tmp_path, cache):
+    spec = tiny_spec(axes={"jobs": [2]})
+    sweep = run_sweep(spec, tmp_path / "sw", cache=cache)
+    [cell] = expand(spec)
+    doc = json.loads(cell_record_path(tmp_path / "sw", cell).read_text())
+    assert doc["sweep"] == {
+        "sweep_id": sweep.sweep_id,
+        "cell_id": cell.cell_id,
+        "config": {"jobs": 2},
+    }
+
+
+def test_resume_skips_finished_cells(tmp_path, cache, monkeypatch):
+    spec = tiny_spec()
+    run_sweep(spec, tmp_path / "sw", cache=cache)
+
+    # prove no cell re-runs: the api facade must never be called again
+    def boom(*args, **kwargs):
+        raise AssertionError("api.run called despite finished cell records")
+
+    monkeypatch.setattr(repro.api, "run", boom)
+    sweep = run_sweep(spec, tmp_path / "sw", resume=True, cache=cache)
+    assert [c.status for c in sweep.cells] == [STATUS_RESUMED, STATUS_RESUMED]
+    assert sweep.n_resumed == 2 and sweep.n_ok == 2
+
+
+def test_corrupt_cell_record_reruns_that_cell(tmp_path, cache):
+    spec = tiny_spec()
+    run_sweep(spec, tmp_path / "sw", cache=cache)
+    first, second = expand(spec)
+    cell_record_path(tmp_path / "sw", first).write_text("{ truncated")
+    sweep = run_sweep(spec, tmp_path / "sw", resume=True, cache=cache)
+    by_id = {c.cell_id: c.status for c in sweep.cells}
+    assert by_id[first.cell_id] == STATUS_OK  # re-ran
+    assert by_id[second.cell_id] == STATUS_RESUMED
+
+
+def test_without_resume_cells_rerun(tmp_path, cache):
+    spec = tiny_spec(axes={"jobs": [1]})
+    run_sweep(spec, tmp_path / "sw", cache=cache)
+    sweep = run_sweep(spec, tmp_path / "sw", cache=cache)
+    assert [c.status for c in sweep.cells] == [STATUS_OK]
+
+
+def test_skip_policy_records_the_failure_and_keeps_sweeping(
+    tmp_path, cache, monkeypatch
+):
+    real_run = repro.api.run
+
+    def flaky(kernel, size, **kwargs):
+        if kwargs.get("jobs") == 2:
+            raise RuntimeError("worker exploded")
+        return real_run(kernel, size, **kwargs)
+
+    monkeypatch.setattr(repro.api, "run", flaky)
+    sweep = run_sweep(tiny_spec(), tmp_path / "sw", cache=cache)
+    assert [c.status for c in sweep.cells] == [STATUS_OK, STATUS_FAILED]
+    failed = sweep.cells[1]
+    assert failed.error == "RuntimeError: worker exploded"
+    assert sweep.n_failed == 1
+
+
+def test_fail_policy_aborts_but_persists_what_ran(tmp_path, cache, monkeypatch):
+    real_run = repro.api.run
+
+    def flaky(kernel, size, **kwargs):
+        if kwargs.get("jobs") == 2:
+            raise RuntimeError("worker exploded")
+        return real_run(kernel, size, **kwargs)
+
+    monkeypatch.setattr(repro.api, "run", flaky)
+    spec = tiny_spec(axes={"jobs": [1, 2, 4]})
+    with pytest.raises(SweepCellError, match="worker exploded"):
+        run_sweep(spec, tmp_path / "sw", cache=cache, on_cell_failure="fail")
+    # the summary is still on disk, truncated at the broken cell
+    sweep = load_sweep(tmp_path / "sw")
+    assert [c.status for c in sweep.cells] == [STATUS_OK, STATUS_FAILED]
+    assert sweep.n_failed == 1
+
+
+def test_unknown_failure_policy_is_rejected(tmp_path):
+    with pytest.raises(ValueError, match="on_cell_failure"):
+        run_sweep(tiny_spec(), tmp_path / "sw", on_cell_failure="explode")
+
+
+def test_sweep_emits_structured_events(tmp_path, cache):
+    log = EventLog()
+    spec = tiny_spec(axes={"jobs": [1]})
+    run_sweep(spec, tmp_path / "sw", cache=cache, events=log)
+    assert len(log.find(ev.SWEEP_STARTED)) == 1
+    assert len(log.find(ev.CELL_STARTED)) == 1
+    assert len(log.find(ev.CELL_FINISHED)) == 1
+    [finished] = log.find(ev.SWEEP_FINISHED)
+    assert finished.data["ok"] == 1
+
+    # a resumed pass narrates skips instead of starts
+    resumed_log = EventLog()
+    run_sweep(spec, tmp_path / "sw", resume=True, cache=cache, events=resumed_log)
+    assert len(resumed_log.find(ev.CELL_SKIPPED)) == 1
+    assert resumed_log.find(ev.CELL_STARTED) == []
+
+
+def test_extra_filters_compose_with_the_spec(tmp_path, cache):
+    spec = tiny_spec(axes={"jobs": [1, 2]})
+    sweep = run_sweep(
+        spec, tmp_path / "sw", cache=cache, extra_filters=["jobs == 1"]
+    )
+    assert len(sweep.cells) == 1
+    assert sweep.cells[0].config == {"jobs": 1}
+
+
+def test_progress_callback_sees_every_cell(tmp_path, cache):
+    seen = []
+    spec = tiny_spec()
+    run_sweep(
+        spec,
+        tmp_path / "sw",
+        cache=cache,
+        progress=lambda i, total, cell, result: seen.append(
+            (i, total, cell.cell_id, result.status)
+        ),
+    )
+    assert [(i, total) for i, total, *_ in seen] == [(0, 2), (1, 2)]
+    assert all(status == STATUS_OK for *_, status in seen)
