@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Minimal client for the ``repro serve`` job API (stdlib only).
+
+Submits one run job to a running daemon, polls it to completion with
+exponential backoff -- honoring the ``Retry-After`` header whenever
+admission control answers 429 -- and saves the finished record and the
+self-contained HTML report.  This is the reference client the job API
+documentation (``docs/service.md``) walks through; everything it does
+is plain ``urllib``, so it works anywhere Python does.
+
+Start a daemon first::
+
+    python -m repro serve --port 8765
+
+then::
+
+    python examples/service_client.py grm --jobs 2 --report report.html
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def request(url: str, body: dict | None = None, tenant: str | None = None):
+    """One HTTP exchange; returns ``(status, parsed body, headers)``."""
+    data = json.dumps(body).encode() if body is not None else None
+    headers = {"X-Tenant": tenant} if tenant else {}
+    req = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, resp.read(), dict(resp.headers)
+    except urllib.error.HTTPError as exc:  # 4xx/5xx still carry a JSON body
+        return exc.code, exc.read(), dict(exc.headers)
+
+
+def submit(base: str, job: dict, tenant: str | None, tries: int = 10) -> dict:
+    """POST the job, backing off as told when the service pushes back."""
+    for attempt in range(tries):
+        code, raw, headers = request(f"{base}/jobs", body=job, tenant=tenant)
+        doc = json.loads(raw)
+        if code in (200, 202):
+            verb = "deduped" if doc.get("deduped") else "accepted"
+            print(f"{verb}: job {doc['id']} ({doc['summary']})")
+            return doc
+        if code == 409:  # identical job already in flight: adopt it
+            print(f"already in flight as job {doc['job']}; polling that")
+            return json.loads(request(f"{base}/jobs/{doc['job']}")[1])
+        if code == 429:  # queue full or quota: wait exactly as long as told
+            wait = float(headers.get("Retry-After", 2 ** attempt))
+            print(f"backpressure ({doc.get('error')}); retrying in {wait:.0f}s")
+            time.sleep(wait)
+            continue
+        sys.exit(f"submission failed ({code}): {doc.get('error')}")
+    sys.exit(f"gave up after {tries} rejected submissions")
+
+
+def poll(base: str, job_id: str, timeout: float = 600.0) -> dict:
+    """Poll ``GET /jobs/{id}`` with gentle backoff until it settles."""
+    deadline = time.monotonic() + timeout
+    delay = 0.2
+    while time.monotonic() < deadline:
+        doc = json.loads(request(f"{base}/jobs/{job_id}")[1])
+        status = doc["status"]
+        if status in ("done", "failed"):
+            return doc
+        live = doc.get("live", {})
+        tasks = live.get("tasks", {})
+        if tasks.get("total"):
+            print(f"  {status}: {tasks.get('done', 0)}/{tasks['total']} tasks")
+        else:
+            print(f"  {status}")
+        time.sleep(delay)
+        delay = min(delay * 1.5, 5.0)
+    sys.exit(f"job {job_id} did not finish within {timeout:.0f}s")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("kernel", help="kernel to run (e.g. grm)")
+    parser.add_argument("--base", default="http://127.0.0.1:8765",
+                        help="service URL (default: http://127.0.0.1:8765)")
+    parser.add_argument("--size", choices=["small", "large"], default="small")
+    parser.add_argument("--jobs", type=int, default=None, help="engine workers")
+    parser.add_argument("--tenant", default=None, help="X-Tenant header value")
+    parser.add_argument("--record", metavar="FILE", default=None,
+                        help="save the finished record JSON to FILE")
+    parser.add_argument("--report", metavar="FILE", default=None,
+                        help="save the HTML report to FILE")
+    args = parser.parse_args()
+
+    job: dict = {"type": "run", "kernel": args.kernel, "size": args.size}
+    if args.jobs is not None:
+        job["config"] = {"jobs": args.jobs}
+
+    doc = submit(args.base, job, args.tenant)
+    if doc["status"] not in ("done", "failed"):
+        doc = poll(args.base, doc["id"])
+    if doc["status"] == "failed":
+        sys.exit(f"job {doc['id']} failed: {doc['error']}")
+
+    code, raw, _ = request(f"{args.base}/jobs/{doc['id']}/record")
+    record = json.loads(raw)
+    print(f"done: schema={record.get('schema')} "
+          f"execute={record.get('execute_seconds', 0):.3f}s")
+    if args.record:
+        with open(args.record, "w") as fh:
+            json.dump(record, fh, indent=2)
+        print(f"wrote {args.record}")
+    if args.report:
+        _, html, _ = request(f"{args.base}/jobs/{doc['id']}/report")
+        with open(args.report, "wb") as fh:
+            fh.write(html)
+        print(f"wrote {args.report}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,10 @@
   cells; ``--on-cell-failure skip|fail`` picks the abort policy)
 * ``worker``        -- run one distributed worker daemon
 * ``serve-workers`` -- run N worker daemons on consecutive ports
+* ``serve``         -- the benchmark-as-a-service job daemon: an HTTP
+  API (``POST /jobs``, ``GET /jobs/{id}[/record|/report]``) with a
+  bounded priority queue, per-tenant quotas and a result store that
+  answers duplicate submissions without re-running (``docs/service.md``)
 * ``characterize``  -- regenerate a figure or table from the paper
 * ``datasets``      -- show the synthetic dataset parameters
 * ``runner``        -- engine/cache introspection (``runner executors``
@@ -775,6 +779,56 @@ def _cmd_serve_workers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.obs.events import EventLog
+    from repro.service import JobService, ServiceServer
+
+    events = EventLog(run_id="service", logfile=args.events)
+    service = JobService(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        tenant_tokens=args.tenant_tokens,
+        tenant_refill_per_s=args.tenant_refill,
+        state_dir=args.state_dir,
+        cache=_make_cache(args),
+        events=events,
+    )
+    server = ServiceServer(service, port=args.port, host=args.host)
+    server.start()
+    print(f"repro serve listening on {server.url}", file=sys.stderr)
+    print(
+        f"  workers={args.workers} queue_depth={args.queue_depth} "
+        f"git_sha={service.git_sha}",
+        file=sys.stderr,
+    )
+    print("press Ctrl-C to drain and stop", file=sys.stderr)
+
+    stop = threading.Event()
+
+    def _signal(signum, frame) -> None:  # noqa: ANN001, ARG001
+        stop.set()
+
+    signal.signal(signal.SIGINT, _signal)
+    signal.signal(signal.SIGTERM, _signal)
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    print("draining: finishing queued and in-flight jobs...", file=sys.stderr)
+    clean = server.stop(drain=True, timeout=args.drain_timeout)
+    if not clean:
+        print(
+            f"drain did not finish within {args.drain_timeout}s; exiting anyway",
+            file=sys.stderr,
+        )
+        return 1
+    print("stopped", file=sys.stderr)
+    return 0
+
+
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     from repro.obs.history import BenchHistory, check_regressions
     from repro.perf.report import sig
@@ -1200,6 +1254,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="first port; daemon i listens on PORT+i (default: 9701)",
     )
     srv.set_defaults(func=_cmd_serve_workers)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the benchmark-as-a-service job daemon (HTTP job API)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765, metavar="PORT",
+        help="port to listen on; 0 picks an ephemeral port (default: 8765)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="HOST",
+        help="address to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="concurrent job workers (default: 1)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="max queued jobs before submissions get 429 (default: 16)",
+    )
+    serve.add_argument(
+        "--tenant-tokens", type=int, default=16, metavar="N",
+        help="per-tenant token-bucket capacity (default: 16)",
+    )
+    serve.add_argument(
+        "--tenant-refill", type=float, default=1.0, metavar="PER_S",
+        help="per-tenant token refill rate per second; 0 disables refill "
+        "(default: 1.0)",
+    )
+    serve.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="result store and sweep output root "
+        "(default: $GENOMICSBENCH_SERVICE_DIR or ~/.cache/genomicsbench/service)",
+    )
+    serve.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="append service lifecycle events to FILE as JSON lines",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="how long shutdown waits for in-flight jobs (default: 60)",
+    )
+    serve.add_argument(
+        "--cache-dir", metavar="DIR", default=None, help="workload cache root"
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="disable the workload cache"
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     char = sub.add_parser("characterize", help="regenerate a paper artifact")
     char.add_argument(

@@ -93,6 +93,16 @@ CELL_STARTED = "cell_started"
 CELL_FINISHED = "cell_finished"
 CELL_SKIPPED = "cell_skipped"  # resume found a finished cell record
 CELL_FAILED = "cell_failed"
+# service plane (``repro serve``; see repro.service.server)
+SERVICE_STARTED = "service_started"
+SERVICE_STOPPING = "service_stopping"
+SERVICE_STOPPED = "service_stopped"
+JOB_SUBMITTED = "job_submitted"
+JOB_DEDUPED = "job_deduped"  # answered from the result store
+JOB_REJECTED = "job_rejected"  # admission control said no (429)
+JOB_STARTED = "job_started"
+JOB_FINISHED = "job_finished"
+JOB_FAILED = "job_failed"
 
 
 @dataclass

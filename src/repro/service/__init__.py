@@ -1,0 +1,57 @@
+"""Benchmark-as-a-service: the ``repro serve`` job daemon.
+
+The package behind ``repro serve`` and the HTTP job API documented in
+``docs/service.md``:
+
+* :mod:`repro.service.schemas` -- the ``POST /jobs`` JSON contract and
+  the job's ``(suite, config digest)`` identity;
+* :mod:`repro.service.queue` -- bounded priority queue and per-tenant
+  token buckets (admission control, HTTP 429 + ``Retry-After``);
+* :mod:`repro.service.store` -- the on-disk result store keyed on
+  ``(suite, digest, git sha)`` that answers duplicate submissions
+  without re-execution;
+* :mod:`repro.service.server` -- :class:`JobService` (workers over the
+  :mod:`repro.api` facade) and :class:`ServiceServer` (the stdlib HTTP
+  daemon).
+"""
+
+from repro.service.queue import JobQueue, QueueClosed, QueueFull, TokenBucket
+from repro.service.schemas import (
+    JOB_TYPES,
+    RUN_CONFIG_KEYS,
+    JobSpec,
+    JobSpecError,
+    parse_job_spec,
+)
+from repro.service.server import (
+    DEFAULT_PORT,
+    DEFAULT_TENANT,
+    JOB_STATES,
+    ROUTES,
+    Job,
+    JobService,
+    ServiceServer,
+)
+from repro.service.store import ResultStore, current_git_sha, result_key
+
+__all__ = [
+    "DEFAULT_PORT",
+    "DEFAULT_TENANT",
+    "JOB_STATES",
+    "JOB_TYPES",
+    "ROUTES",
+    "RUN_CONFIG_KEYS",
+    "Job",
+    "JobQueue",
+    "JobService",
+    "JobSpec",
+    "JobSpecError",
+    "QueueClosed",
+    "QueueFull",
+    "ResultStore",
+    "ServiceServer",
+    "TokenBucket",
+    "current_git_sha",
+    "parse_job_spec",
+    "result_key",
+]

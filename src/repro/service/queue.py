@@ -1,0 +1,170 @@
+"""Admission-controlled priority queue and per-tenant token quotas.
+
+The service survives heavy traffic by refusing work it cannot absorb
+*at the door* rather than collapsing under it later:
+
+* :class:`JobQueue` is a bounded priority queue.  ``push`` on a full
+  queue raises :class:`QueueFull` -- the server maps that to HTTP 429
+  with a ``Retry-After`` hint -- so queue depth (and therefore worst-
+  case latency and coordinator memory) is capped no matter how many
+  clients submit.  Higher ``priority`` values pop first; within one
+  priority the queue is FIFO (a monotonic admission counter breaks
+  ties), so equal-priority tenants cannot starve each other.
+* :class:`TokenBucket` meters submissions per tenant (keyed on the
+  ``X-Tenant`` header).  Each admission costs one token; tokens refill
+  continuously at ``refill_per_s`` up to ``capacity``.  A drained
+  bucket reports *when* the next token lands, which becomes the 429's
+  ``Retry-After`` -- clients that honor it self-organize into the
+  sustainable rate instead of hammering the door.
+
+Both take an injectable ``clock`` so tests control time exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import threading
+import time
+from typing import Any, Callable
+
+
+class QueueFull(RuntimeError):
+    """The bounded queue rejected an admission (HTTP 429)."""
+
+    def __init__(self, depth: int, max_depth: int) -> None:
+        super().__init__(f"queue full: {depth}/{max_depth} jobs queued")
+        self.depth = depth
+        self.max_depth = max_depth
+
+
+class QueueClosed(RuntimeError):
+    """``push`` after ``close()`` -- the service is draining (HTTP 503)."""
+
+
+class JobQueue:
+    """Bounded, thread-safe priority queue of pending jobs.
+
+    ``max_depth`` bounds only *queued* jobs -- a popped job belongs to
+    its worker and frees a slot, which is exactly the backpressure
+    contract: depth measures wait, not work in flight.
+    """
+
+    def __init__(self, max_depth: int = 16) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self._heap: list[tuple[int, int, Any]] = []
+        self._seq = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def push(self, job: Any, priority: int = 0) -> int:
+        """Admit one job; returns its queue position (0 = next to run).
+
+        Raises :class:`QueueFull` when ``max_depth`` jobs are already
+        waiting and :class:`QueueClosed` after :meth:`close`.
+        """
+        with self._ready:
+            if self._closed:
+                raise QueueClosed("queue closed: the service is draining")
+            if len(self._heap) >= self.max_depth:
+                raise QueueFull(len(self._heap), self.max_depth)
+            # heapq is a min-heap: negate priority so higher pops first,
+            # and tie-break on admission order for FIFO fairness
+            entry = (-priority, self._seq, job)
+            self._seq += 1
+            heapq.heappush(self._heap, entry)
+            position = sum(1 for e in self._heap if e < entry)
+            self._ready.notify()
+            return position
+
+    def pop(self, timeout: float | None = None) -> Any | None:
+        """The highest-priority job, blocking up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or when the queue is closed and
+        drained -- the worker-loop exit signal.
+        """
+        with self._ready:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while not self._heap:
+                if self._closed:
+                    return None
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._ready.wait(remaining)
+            return heapq.heappop(self._heap)[2]
+
+    def close(self) -> None:
+        """Refuse new pushes and wake every blocked ``pop``.
+
+        Already-queued jobs stay poppable so a draining shutdown can
+        finish them; workers see ``None`` once the heap is empty.
+        """
+        with self._ready:
+            self._closed = True
+            self._ready.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (one per tenant).
+
+    Starts full.  :meth:`try_take` spends one token and returns 0.0,
+    or -- when drained -- leaves the bucket untouched and returns the
+    seconds until a whole token is available (the ``Retry-After``
+    hint).  With ``refill_per_s=0`` a drained bucket never refills and
+    the hint is ``inf`` (a hard per-tenant cap).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 16,
+        refill_per_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if refill_per_s < 0:
+            raise ValueError(f"refill_per_s must be >= 0, got {refill_per_s}")
+        self.capacity = capacity
+        self.refill_per_s = refill_per_s
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(float(self.capacity), self._tokens + elapsed * self.refill_per_s)
+
+    def try_take(self) -> float:
+        """Spend one token (0.0) or report seconds until one exists."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            if self.refill_per_s <= 0:
+                return math.inf
+            return (1.0 - self._tokens) / self.refill_per_s
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (after refill) -- introspection only."""
+        with self._lock:
+            self._refill()
+            return self._tokens

@@ -1,0 +1,691 @@
+"""``repro serve``: the benchmark-as-a-service job daemon.
+
+This is the layer that turns the CLI suite into a traffic-serving
+system: a long-lived stdlib HTTP daemon (the same
+``ThreadingHTTPServer`` pattern as the live plane in
+:mod:`repro.obs.live`) in front of a :class:`JobService` --
+
+* an admission-controlled **priority queue** (bounded depth -> HTTP
+  429 with ``Retry-After``; see :mod:`repro.service.queue`),
+* per-tenant **token quotas** keyed on the ``X-Tenant`` header,
+* a **worker loop** driving jobs through the stable
+  :mod:`repro.api` facade, so executors, fault policies, events and
+  profiling all compose for free,
+* a **result store** keyed on ``(suite, config digest, git sha)``
+  (:mod:`repro.service.store`) that answers resubmitted identical
+  jobs from disk without re-execution.
+
+The HTTP surface (reference: ``docs/service.md``) is enumerated in
+:data:`ROUTES` -- the one table the index endpoint, the documentation
+and the doc-drift test all read, so the docs cannot silently diverge
+from the server.  Every job runs with its own
+:class:`~repro.obs.events.EventLog`; ``GET /jobs/{id}`` folds it
+through the same :func:`repro.obs.live.status_from_events` the live
+plane uses, so polling a running job shows chunk-level progress, and
+the finished record carries the full narrative.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs import events as ev
+from repro.obs.events import EventLog, new_run_id
+from repro.obs.live import DEFAULT_HOST, status_from_events
+from repro.service.queue import JobQueue, QueueClosed, QueueFull, TokenBucket
+from repro.service.schemas import JobSpec, JobSpecError, parse_job_spec
+from repro.service.store import ResultStore, current_git_sha, result_key
+
+#: Default service port (loopback; front a reverse proxy for real traffic).
+DEFAULT_PORT = 8765
+
+#: Tenant label used when a request carries no ``X-Tenant`` header.
+DEFAULT_TENANT = "default"
+
+#: Job lifecycle states, in order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: The service's public HTTP surface.  ``docs/service.md`` documents
+#: exactly these routes and ``tests/service/test_docs.py`` diffs the
+#: two, so adding a route without documenting it fails CI.
+ROUTES: tuple[dict[str, str], ...] = (
+    {"method": "GET", "path": "/", "description": "service index: endpoints and version"},
+    {"method": "GET", "path": "/healthz", "description": "liveness probe"},
+    {"method": "GET", "path": "/stats", "description": "queue depth, tenants, counters"},
+    {"method": "POST", "path": "/jobs", "description": "submit a run or sweep job"},
+    {"method": "GET", "path": "/jobs", "description": "list jobs (?status=, ?tenant=)"},
+    {"method": "GET", "path": "/jobs/{id}", "description": "job status (live fold while running)"},
+    {"method": "GET", "path": "/jobs/{id}/record", "description": "the finished record JSON"},
+    {"method": "GET", "path": "/jobs/{id}/report", "description": "self-contained HTML report"},
+)
+
+
+@dataclass
+class Job:
+    """One submitted job and everything the API reports about it."""
+
+    id: str
+    spec: JobSpec
+    tenant: str
+    digest: str
+    git_sha: str
+    status: str = "queued"
+    deduped: bool = False
+    error: str | None = None
+    submitted_unix: float = field(default_factory=time.time)
+    started_unix: float | None = None
+    finished_unix: float | None = None
+    #: Per-job event log; the engine narrates into it while the job
+    #: runs and ``GET /jobs/{id}`` folds it into live status.
+    events: EventLog = field(default_factory=EventLog)
+
+    @property
+    def store_key(self) -> str:
+        return result_key(self.spec.suite, self.digest, self.git_sha)
+
+    def as_dict(self, live: bool = True) -> dict[str, Any]:
+        """The JSON document ``GET /jobs/{id}`` serves."""
+        doc: dict[str, Any] = {
+            "id": self.id,
+            "status": self.status,
+            "tenant": self.tenant,
+            "spec": self.spec.as_dict(),
+            "summary": self.spec.summary(),
+            "priority": self.spec.priority,
+            "digest": self.digest,
+            "git_sha": self.git_sha,
+            "deduped": self.deduped,
+            "error": self.error,
+            "submitted_unix": self.submitted_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "events": len(self.events),
+            "links": {
+                "self": f"/jobs/{self.id}",
+                "record": f"/jobs/{self.id}/record",
+                "report": f"/jobs/{self.id}/report",
+            },
+        }
+        if live and self.status == "running":
+            doc["live"] = status_from_events(self.events.events)
+        return doc
+
+
+class JobService:
+    """The job engine behind the HTTP surface.
+
+    Owns the queue, the quotas, the store and the worker threads;
+    :class:`ServiceServer` is a thin HTTP skin over :meth:`submit`,
+    :meth:`get` and :meth:`jobs`.  ``runner`` is the function a worker
+    applies to a job (default: :meth:`execute_job`, which drives
+    :mod:`repro.api`); tests inject stubs to model slow or failing
+    jobs without running kernels.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        queue_depth: int = 16,
+        tenant_tokens: int = 16,
+        tenant_refill_per_s: float = 1.0,
+        state_dir: "Path | str | None" = None,
+        store: ResultStore | None = None,
+        cache: Any = None,
+        events: EventLog | None = None,
+        runner: "Callable[[Job], dict[str, Any]] | None" = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.store = store if store is not None else ResultStore(
+            self.state_dir if self.state_dir is not None else None
+        )
+        self.cache = cache
+        self.queue = JobQueue(queue_depth)
+        self.events = events if events is not None else EventLog(run_id="service")
+        self.git_sha = current_git_sha()
+        self._runner = runner if runner is not None else self.execute_job
+        self._clock = clock
+        self._tenant_tokens = tenant_tokens
+        self._tenant_refill = tenant_refill_per_s
+        self._buckets: dict[str, TokenBucket] = {}
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._durations: deque[float] = deque(maxlen=32)
+        self._counters = {
+            "submitted": 0, "deduped": 0, "rejected_queue": 0,
+            "rejected_quota": 0, "conflicts": 0, "done": 0, "failed": 0,
+        }
+        self._accepting = True
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        self.started_unix = time.time()
+        for thread in self._threads:
+            thread.start()
+        self.events.emit(
+            ev.SERVICE_STARTED, workers=workers, queue_depth=queue_depth,
+            git_sha=self.git_sha,
+        )
+
+    # -- admission -----------------------------------------------------
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self._tenant_tokens, self._tenant_refill, clock=self._clock
+                )
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def retry_after_hint(self) -> int:
+        """Seconds a 429'd client should wait before resubmitting.
+
+        Scaled from the observed mean job duration and the current
+        backlog per worker, so the hint tracks real drain speed; with
+        no history yet it is a flat 1 second.
+        """
+        with self._lock:
+            if not self._durations:
+                avg = 1.0
+            else:
+                avg = sum(self._durations) / len(self._durations)
+        backlog = self.queue.depth / max(1, len(self._threads))
+        return max(1, math.ceil(avg * (backlog + 1)))
+
+    def submit(
+        self, doc: Any, tenant: str = DEFAULT_TENANT
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """Admit one job document; returns (HTTP status, body, headers).
+
+        The admission ladder, in order: drain check (503), spec
+        validation (400), tenant quota (429), result-store dedup
+        (200, instant), duplicate in-flight (409), bounded queue
+        (429 or 202).
+        """
+        if not self._accepting:
+            return 503, {"error": "service is draining; not accepting jobs"}, {}
+        try:
+            spec = parse_job_spec(doc)
+        except JobSpecError as exc:
+            return 400, {"error": str(exc)}, {}
+
+        wait = self._bucket(tenant).try_take()
+        if wait > 0:
+            retry = 2**31 if math.isinf(wait) else max(1, math.ceil(wait))
+            with self._lock:
+                self._counters["rejected_quota"] += 1
+            self.events.emit(
+                ev.JOB_REJECTED, "warning", tenant=tenant,
+                reason="quota", retry_after=retry, summary=spec.summary(),
+            )
+            return (
+                429,
+                {"error": f"tenant {tenant!r} is out of tokens", "retry_after": retry},
+                {"Retry-After": str(retry)},
+            )
+
+        digest = spec.digest()
+        key = result_key(spec.suite, digest, self.git_sha)
+
+        # an identical finished job answers from the store, instantly
+        if self.store.load(key) is not None:
+            job = Job(
+                id=new_run_id(), spec=spec, tenant=tenant, digest=digest,
+                git_sha=self.git_sha, status="done", deduped=True,
+                started_unix=time.time(), finished_unix=time.time(),
+            )
+            with self._lock:
+                self._jobs[job.id] = job
+                self._counters["submitted"] += 1
+                self._counters["deduped"] += 1
+            self.events.emit(
+                ev.JOB_DEDUPED, job_id=job.id, tenant=tenant,
+                digest=digest, summary=spec.summary(),
+            )
+            return 200, job.as_dict(), {"Location": f"/jobs/{job.id}"}
+
+        # an identical job already queued or running is a conflict:
+        # point the client at it instead of doubling the work
+        with self._lock:
+            for other in self._jobs.values():
+                if other.store_key == key and other.status in ("queued", "running"):
+                    self._counters["conflicts"] += 1
+                    return (
+                        409,
+                        {
+                            "error": "an identical job is already "
+                            f"{other.status}; poll it instead",
+                            "job": other.id,
+                        },
+                        {"Location": f"/jobs/{other.id}"},
+                    )
+
+        job = Job(
+            id=new_run_id(), spec=spec, tenant=tenant, digest=digest,
+            git_sha=self.git_sha,
+        )
+        job.events.set_run_id(job.id)
+        try:
+            position = self.queue.push(job, spec.priority)
+        except QueueClosed:
+            return 503, {"error": "service is draining; not accepting jobs"}, {}
+        except QueueFull as exc:
+            retry = self.retry_after_hint()
+            with self._lock:
+                self._counters["rejected_queue"] += 1
+            self.events.emit(
+                ev.JOB_REJECTED, "warning", tenant=tenant, reason="queue_full",
+                depth=exc.depth, retry_after=retry, summary=spec.summary(),
+            )
+            return (
+                429,
+                {"error": str(exc), "retry_after": retry},
+                {"Retry-After": str(retry)},
+            )
+        with self._lock:
+            self._jobs[job.id] = job
+            self._counters["submitted"] += 1
+        self.events.emit(
+            ev.JOB_SUBMITTED, job_id=job.id, tenant=tenant, digest=digest,
+            priority=spec.priority, position=position, summary=spec.summary(),
+        )
+        doc_out = job.as_dict()
+        doc_out["position"] = position
+        return 202, doc_out, {"Location": f"/jobs/{job.id}"}
+
+    # -- execution -----------------------------------------------------
+
+    def execute_job(self, job: Job) -> dict[str, Any]:
+        """Drive one job through the :mod:`repro.api` facade."""
+        import repro.api as api
+
+        obs = api.ObsOptions(events=job.events)
+        if job.spec.kind == "run":
+            run = api.run(
+                job.spec.kernel,
+                job.spec.size,
+                cache=self.cache,
+                measure_serial=False,
+                obs=obs,
+                **job.spec.config,
+            )
+            return run.record.to_dict()
+        from repro.sweep import SweepSpec, run_sweep
+
+        sweep_root = (
+            self.state_dir if self.state_dir is not None else self.store.root
+        ) / "sweeps" / job.id
+        sweep = run_sweep(
+            SweepSpec.from_dict(dict(job.spec.sweep_spec)),
+            sweep_root,
+            cache=self.cache,
+            obs=obs,
+            events=job.events,
+        )
+        return sweep.to_dict()
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self.queue.pop(timeout=0.5)
+            if job is None:
+                if self.queue.closed:
+                    return
+                continue
+            job.status = "running"
+            job.started_unix = time.time()
+            started = time.perf_counter()
+            self.events.emit(
+                ev.JOB_STARTED, job_id=job.id, tenant=job.tenant,
+                summary=job.spec.summary(),
+            )
+            try:
+                record = self._runner(job)
+                self.store.store(job.store_key, record)
+            except Exception as exc:  # noqa: BLE001 - job errors are data
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.status = "failed"
+                job.finished_unix = time.time()
+                with self._lock:
+                    self._counters["failed"] += 1
+                self.events.emit(
+                    ev.JOB_FAILED, "error", job_id=job.id, tenant=job.tenant,
+                    error=job.error,
+                )
+                continue
+            job.status = "done"
+            job.finished_unix = time.time()
+            seconds = time.perf_counter() - started
+            with self._lock:
+                self._counters["done"] += 1
+                self._durations.append(seconds)
+            self.events.emit(
+                ev.JOB_FINISHED, job_id=job.id, tenant=job.tenant,
+                seconds=round(seconds, 6),
+            )
+
+    # -- reading -------------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(
+        self, status: str | None = None, tenant: str | None = None
+    ) -> list[Job]:
+        """All known jobs, newest first, optionally filtered."""
+        with self._lock:
+            out = list(self._jobs.values())
+        if status is not None:
+            out = [j for j in out if j.status == status]
+        if tenant is not None:
+            out = [j for j in out if j.tenant == tenant]
+        return sorted(out, key=lambda j: j.submitted_unix, reverse=True)
+
+    def record_for(self, job: Job) -> dict[str, Any] | None:
+        """The finished record of a done job (store-backed)."""
+        return self.store.load(job.store_key)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            counters = dict(self._counters)
+            tenants = {
+                name: round(bucket.tokens, 3)
+                for name, bucket in self._buckets.items()
+            }
+            states: dict[str, int] = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                states[job.status] = states.get(job.status, 0) + 1
+        return {
+            "accepting": self._accepting,
+            "queue": {"depth": self.queue.depth, "max_depth": self.queue.max_depth},
+            "workers": len(self._threads),
+            "jobs": states,
+            "counters": counters,
+            "tenant_tokens": tenants,
+            "git_sha": self.git_sha,
+            "uptime_seconds": round(time.time() - self.started_unix, 3),
+            "retry_after_hint": self.retry_after_hint(),
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> bool:
+        """Stop the workers; returns True when every job finished.
+
+        ``drain=True`` (the default) closes the queue to new work but
+        lets workers finish queued and in-flight jobs before joining;
+        ``drain=False`` abandons queued jobs (in-flight ones still run
+        to completion -- the engine has no preemption point).
+        """
+        self._accepting = False
+        self.events.emit(ev.SERVICE_STOPPING, drain=drain)
+        if not drain:
+            # drop queued jobs so workers exit at the next poll
+            while self.queue.pop(timeout=0) is not None:
+                pass
+        self.queue.close()
+        deadline = time.monotonic() + timeout
+        clean = True
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+            clean = clean and not thread.is_alive()
+        self.events.emit(ev.SERVICE_STOPPED, clean=clean)
+        return clean
+
+
+# -- HTTP skin ---------------------------------------------------------
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes the job API over one :class:`JobService`."""
+
+    #: Set by :class:`ServiceServer` on the handler subclass it serves with.
+    service: JobService
+
+    server_version = "repro-serve/1"
+    # every reply carries Content-Length, so keep-alive is safe
+    protocol_version = "HTTP/1.1"
+    #: Submissions larger than this are rejected outright (413).
+    max_body_bytes = 1 << 20
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # the event log is the narrative; stderr stays quiet
+
+    # -- helpers -------------------------------------------------------
+
+    def _send_json(
+        self, doc: Any, code: int = 200, headers: dict[str, str] | None = None
+    ) -> None:
+        payload = (json.dumps(doc, indent=2, default=str) + "\n").encode("utf-8")
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-reply
+
+    def _send_html(self, body: str, code: int = 200) -> None:
+        payload = body.encode("utf-8")
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", "text/html; charset=utf-8")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _job_or_404(self, job_id: str) -> Job | None:
+        job = self.service.get(job_id)
+        if job is None:
+            self._send_json({"error": f"no such job {job_id!r}"}, code=404)
+        return job
+
+    def _finished_record(self, job: Job) -> dict[str, Any] | None:
+        """The job's record, or an error response (None) when not ready."""
+        if job.status in ("queued", "running"):
+            self._send_json(
+                {
+                    "error": f"job {job.id} is {job.status}; no record yet",
+                    "status": job.status,
+                },
+                code=409,
+            )
+            return None
+        if job.status == "failed":
+            self._send_json(
+                {"error": f"job {job.id} failed: {job.error}", "status": "failed"},
+                code=409,
+            )
+            return None
+        record = self.service.record_for(job)
+        if record is None:
+            self._send_json(
+                {"error": f"job {job.id} finished but its record is gone"}, code=404
+            )
+            return None
+        return record
+
+    # -- verbs ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        query = parse_qs(parsed.query)
+        if route == "/":
+            from repro import __version__
+
+            self._send_json(
+                {
+                    "service": "genomicsbench repro serve",
+                    "version": __version__,
+                    "git_sha": self.service.git_sha,
+                    "endpoints": [
+                        f"{r['method']} {r['path']} -- {r['description']}"
+                        for r in ROUTES
+                    ],
+                }
+            )
+        elif route == "/healthz":
+            self._send_json({"status": "ok", "accepting": self.service._accepting})
+        elif route == "/stats":
+            self._send_json(self.service.stats())
+        elif route == "/jobs":
+            status = query.get("status", [None])[0]
+            if status is not None and status not in JOB_STATES:
+                self._send_json(
+                    {
+                        "error": f"unknown status {status!r}; "
+                        f"valid: {', '.join(JOB_STATES)}"
+                    },
+                    code=400,
+                )
+                return
+            jobs = self.service.jobs(status, query.get("tenant", [None])[0])
+            self._send_json({"jobs": [j.as_dict(live=False) for j in jobs]})
+        elif route.startswith("/jobs/"):
+            parts = route.split("/")[2:]  # ['<id>'] or ['<id>', 'record'|'report']
+            job = self._job_or_404(parts[0])
+            if job is None:
+                return
+            if len(parts) == 1:
+                self._send_json(job.as_dict())
+            elif parts[1] == "record":
+                record = self._finished_record(job)
+                if record is not None:
+                    self._send_json(record)
+            elif parts[1] == "report":
+                record = self._finished_record(job)
+                if record is not None:
+                    self._send_html(_render_report(job, record))
+            else:
+                self._send_json(
+                    {"error": f"no such endpoint {route!r}"}, code=404
+                )
+        else:
+            self._send_json({"error": f"no such endpoint {route!r}"}, code=404)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        route = urlparse(self.path).path.rstrip("/")
+        if route != "/jobs":
+            self._send_json({"error": f"no such endpoint {route!r}"}, code=404)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_json({"error": "bad Content-Length"}, code=400)
+            return
+        if length > self.max_body_bytes:
+            self._send_json(
+                {"error": f"body exceeds {self.max_body_bytes} bytes"}, code=413
+            )
+            return
+        try:
+            doc = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            self._send_json({"error": f"invalid JSON body: {exc}"}, code=400)
+            return
+        tenant = self.headers.get("X-Tenant", DEFAULT_TENANT).strip() or DEFAULT_TENANT
+        code, body, headers = self.service.submit(doc, tenant)
+        self._send_json(body, code=code, headers=headers)
+
+
+def _render_report(job: Job, record: dict[str, Any]) -> str:
+    """The job's self-contained HTML report, from its stored record."""
+    if job.spec.kind == "sweep":
+        from repro.obs.report import render_sweep_report
+        from repro.sweep.aggregate import SweepRecord
+
+        return render_sweep_report(SweepRecord.from_dict(record))
+    from repro.obs.report import render_report
+    from repro.runner.record import RunRecord
+
+    return render_report(RunRecord.from_dict(record))
+
+
+class ServiceServer:
+    """The HTTP daemon bound to one :class:`JobService`.
+
+    The same lifecycle contract as :class:`repro.obs.live.LiveServer`:
+    a daemon serving thread, ``port=0`` binds an ephemeral port, use
+    as a context manager or call :meth:`start`/:meth:`stop`.
+    ``stop`` shuts the HTTP listener *after* draining the job service,
+    so in-flight work finishes before the socket disappears.
+    """
+
+    def __init__(
+        self,
+        service: JobService,
+        port: int = DEFAULT_PORT,
+        host: str = DEFAULT_HOST,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        if self._server is not None:
+            return self
+        handler = type(
+            "BoundServiceHandler", (_ServiceHandler,), {"service": self.service}
+        )
+        self._server = ThreadingHTTPServer((self.host, self._requested_port), handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-serve-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> bool:
+        if self._server is None:
+            return True
+        clean = self.service.stop(drain=drain, timeout=timeout)
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(2.0)
+        self._server = None
+        self._thread = None
+        return clean
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

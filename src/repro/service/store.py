@@ -1,0 +1,137 @@
+"""Result store: finished records indexed by (suite, config digest, git sha).
+
+The store is what turns the service from a job runner into a cache of
+*answers*: a benchmark result is a pure function of the suite, the
+submitted configuration and the code that ran it, so the store keys
+every finished record on exactly that triple --
+
+* **suite** -- the kernel name (or ``"sweep"`` for sweep jobs);
+* **config digest** -- :func:`repro.runner.cache.config_digest`, the
+  same hashing authority the workload cache, ``run --resume``
+  checkpoints and sweep cells already share, covering dataset
+  parameters, seeds and every engine knob the job set;
+* **git sha** -- the code revision (``GENOMICSBENCH_GIT_SHA`` override,
+  else ``git rev-parse``), so upgrading the repo naturally invalidates
+  old answers instead of serving stale ones forever.
+
+A resubmitted identical job is answered from disk without touching the
+queue.  Records are written atomically (tmp + rename, the same
+discipline as the workload cache) and unreadable entries are misses,
+never errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Any
+
+_ENV_DIR = "GENOMICSBENCH_SERVICE_DIR"
+_ENV_SHA = "GENOMICSBENCH_GIT_SHA"
+
+#: Fallback revision label when no git metadata is discoverable
+#: (installed wheel, exported tree).  Dedup still works within one
+#: deployment; distinct deployments without git just share the label.
+UNKNOWN_SHA = "unknown"
+
+
+def default_store_dir() -> Path:
+    """Resolve the store root (env override, else next to the cache)."""
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "genomicsbench" / "service"
+
+
+def current_git_sha() -> str:
+    """The short git revision of the running code.
+
+    ``GENOMICSBENCH_GIT_SHA`` wins (CI images and tests pin it); a
+    ``git rev-parse`` from the package's source tree is the normal
+    path; anything that fails collapses to :data:`UNKNOWN_SHA`.
+    """
+    env = os.environ.get(_ENV_SHA)
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return UNKNOWN_SHA
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else UNKNOWN_SHA
+
+
+def result_key(suite: str, digest: str, git_sha: str) -> str:
+    """The store filename stem for one ``(suite, digest, sha)`` triple."""
+    return f"{suite}-{digest}-{git_sha}"
+
+
+class ResultStore:
+    """JSON-on-disk store of finished job records.
+
+    One file per key under ``root`` (default:
+    ``~/.cache/genomicsbench/service``, override with
+    ``$GENOMICSBENCH_SERVICE_DIR`` or ``--state-dir``).  Values are the
+    records' JSON-ready dict forms -- schema-v5 RunRecords for run
+    jobs, ``genomicsbench.sweep/1`` SweepRecords for sweep jobs.
+    """
+
+    def __init__(self, root: "Path | str | None" = None) -> None:
+        self.root = Path(root) if root is not None else default_store_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / "results" / f"{key}.json"
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        """The stored record dict, or ``None`` on any kind of miss."""
+        path = self.path_for(key)
+        try:
+            doc = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            # truncated or corrupt entry: drop it and treat as a miss
+            path.unlink(missing_ok=True)
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    def store(self, key: str, record: dict[str, Any]) -> Path:
+        """Atomically persist one record dict under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, indent=2, default=str)
+            os.replace(tmp, path)
+        except BaseException:
+            os.unlink(tmp)
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def keys(self) -> list[str]:
+        """Every stored key, sorted."""
+        root = self.root / "results"
+        if not root.is_dir():
+            return []
+        return sorted(p.stem for p in root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every stored record; returns how many were removed."""
+        removed = 0
+        for key in self.keys():
+            self.path_for(key).unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,42 @@
+"""docs/service.md must document exactly the routes the server exposes.
+
+The endpoint table in the doc and the server's ``ROUTES`` constant are
+diffed both ways, so adding a route without documenting it (or
+documenting a route that does not exist) fails here.
+"""
+
+import re
+from pathlib import Path
+
+from repro.service import ROUTES
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "service.md"
+
+#: A row of the endpoint table: | `GET` | `/jobs/{id}` | ... |
+_ROW = re.compile(r"^\|\s*`(GET|POST|PUT|DELETE)`\s*\|\s*`(/[^`]*)`\s*\|", re.M)
+
+
+def documented_routes() -> set[tuple[str, str]]:
+    return set(_ROW.findall(DOC.read_text()))
+
+
+def test_doc_exists_and_has_an_endpoint_table():
+    assert DOC.is_file(), "docs/service.md is missing"
+    assert documented_routes(), "docs/service.md has no endpoint table"
+
+
+def test_every_served_route_is_documented():
+    served = {(r["method"], r["path"]) for r in ROUTES}
+    missing = served - documented_routes()
+    assert not missing, f"routes served but not in docs/service.md: {sorted(missing)}"
+
+
+def test_every_documented_route_is_served():
+    served = {(r["method"], r["path"]) for r in ROUTES}
+    phantom = documented_routes() - served
+    assert not phantom, f"routes documented but not served: {sorted(phantom)}"
+
+
+def test_routes_all_carry_descriptions():
+    for route in ROUTES:
+        assert route["description"].strip(), f"{route['path']} has no description"

@@ -1,0 +1,121 @@
+"""Tests for the bounded priority queue and per-tenant token buckets."""
+
+import math
+import threading
+
+import pytest
+
+from repro.service.queue import JobQueue, QueueClosed, QueueFull, TokenBucket
+
+
+class TestJobQueue:
+    def test_fifo_within_one_priority(self):
+        q = JobQueue(max_depth=4)
+        for name in ("a", "b", "c"):
+            q.push(name)
+        assert [q.pop(0) for _ in range(3)] == ["a", "b", "c"]
+
+    def test_higher_priority_pops_first(self):
+        q = JobQueue(max_depth=4)
+        q.push("low", priority=0)
+        q.push("high", priority=9)
+        q.push("mid", priority=5)
+        assert [q.pop(0) for _ in range(3)] == ["high", "mid", "low"]
+
+    def test_push_reports_queue_position(self):
+        q = JobQueue(max_depth=4)
+        assert q.push("a") == 0
+        assert q.push("b") == 1
+        assert q.push("vip", priority=1) == 0  # jumps the line
+
+    def test_full_queue_raises_queuefull_with_depths(self):
+        q = JobQueue(max_depth=2)
+        q.push("a")
+        q.push("b")
+        with pytest.raises(QueueFull) as exc:
+            q.push("c")
+        assert exc.value.depth == 2
+        assert exc.value.max_depth == 2
+        # a pop frees a slot: depth measures wait, not work in flight
+        q.pop(0)
+        q.push("c")
+
+    def test_pop_timeout_returns_none(self):
+        q = JobQueue()
+        assert q.pop(timeout=0.01) is None
+
+    def test_pop_blocks_until_push(self):
+        q = JobQueue()
+        got = []
+        t = threading.Thread(target=lambda: got.append(q.pop(timeout=5)))
+        t.start()
+        q.push("x")
+        t.join(5)
+        assert got == ["x"]
+
+    def test_close_refuses_pushes_but_drains_queued(self):
+        q = JobQueue(max_depth=4)
+        q.push("a")
+        q.push("b")
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.push("c")
+        assert q.pop(0) == "a"
+        assert q.pop(0) == "b"
+        assert q.pop(0) is None  # closed + drained: the worker exit signal
+
+    def test_close_wakes_blocked_pop(self):
+        q = JobQueue()
+        got = []
+        t = threading.Thread(target=lambda: got.append(q.pop(timeout=30)))
+        t.start()
+        q.close()
+        t.join(5)
+        assert got == [None]
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            JobQueue(max_depth=0)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = [0.0]
+        b = TokenBucket(capacity=2, refill_per_s=1.0, clock=lambda: clock[0])
+        assert b.try_take() == 0.0
+        assert b.try_take() == 0.0
+        assert b.try_take() == pytest.approx(1.0)
+
+    def test_drained_take_does_not_consume(self):
+        clock = [0.0]
+        b = TokenBucket(capacity=1, refill_per_s=2.0, clock=lambda: clock[0])
+        b.try_take()
+        first = b.try_take()
+        second = b.try_take()
+        assert first == second == pytest.approx(0.5)  # 1 token / 2 per s
+
+    def test_continuous_refill_up_to_capacity(self):
+        clock = [0.0]
+        b = TokenBucket(capacity=2, refill_per_s=1.0, clock=lambda: clock[0])
+        b.try_take()
+        b.try_take()
+        clock[0] = 0.5
+        assert b.try_take() == pytest.approx(0.5)  # half a token so far
+        clock[0] = 1.0
+        assert b.try_take() == 0.0
+        clock[0] = 100.0
+        assert b.tokens == pytest.approx(2.0)  # capped at capacity
+
+    def test_zero_refill_is_a_hard_cap(self):
+        clock = [0.0]
+        b = TokenBucket(capacity=1, refill_per_s=0.0, clock=lambda: clock[0])
+        assert b.try_take() == 0.0
+        assert math.isinf(b.try_take())
+        clock[0] = 1e9
+        assert math.isinf(b.try_take())
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TokenBucket(capacity=0)
+        with pytest.raises(ValueError, match="refill_per_s"):
+            TokenBucket(refill_per_s=-1.0)

@@ -1,0 +1,431 @@
+"""Tests for the ``repro serve`` job daemon: JobService + HTTP surface.
+
+Most tests inject a stub ``runner`` into :class:`JobService` so
+admission control, dedup, quotas and drain are exercised without
+running kernels; one end-to-end test drives a real ``grm`` run through
+the full HTTP round trip.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from contextlib import contextmanager
+
+from repro.obs import events as ev
+from repro.service import JobService, ServiceServer
+
+RUN_A = {"type": "run", "kernel": "grm", "config": {"jobs": 1}}
+RUN_B = {"type": "run", "kernel": "grm", "config": {"jobs": 2}}
+
+
+def _distinct_run(i):
+    """Run specs with distinct config digests (retries is inert here)."""
+    return {"type": "run", "kernel": "grm", "config": {"retries": i}}
+
+
+@contextmanager
+def service(tmp_path, **kwargs):
+    kwargs.setdefault("state_dir", tmp_path)
+    svc = JobService(**kwargs)
+    try:
+        yield svc
+    finally:
+        svc.stop(drain=False, timeout=10)
+
+
+@contextmanager
+def served(tmp_path, **kwargs):
+    kwargs.setdefault("state_dir", tmp_path)
+    svc = JobService(**kwargs)
+    server = ServiceServer(svc, port=0).start()
+    try:
+        yield server
+    finally:
+        server.stop(drain=False, timeout=10)
+
+
+def post(base, doc, tenant=None, raw=None):
+    body = raw if raw is not None else json.dumps(doc).encode()
+    headers = {"X-Tenant": tenant} if tenant else {}
+    req = urllib.request.Request(base + "/jobs", data=body, method="POST", headers=headers)
+    try:
+        with urllib.request.urlopen(req) as r:
+            return r.status, json.loads(r.read()), dict(r.headers)
+    except urllib.error.HTTPError as e:
+        return e.code, json.loads(e.read()), dict(e.headers)
+
+
+def get(base, path):
+    try:
+        with urllib.request.urlopen(base + path) as r:
+            return r.status, r.read(), dict(r.headers)
+    except urllib.error.HTTPError as e:
+        return e.code, e.read(), dict(e.headers)
+
+
+def wait_status(svc, job_id, statuses=("done", "failed"), timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = svc.get(job_id)
+        if job is not None and job.status in statuses:
+            return job
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} never reached {statuses}")
+
+
+def fake_runner(job):
+    return {"fake": True, "digest": job.digest}
+
+
+class BlockingRunner:
+    """A runner that parks jobs on an event until the test releases it."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.ran = []
+
+    def __call__(self, job):
+        self.started.set()
+        assert self.release.wait(30), "test never released the runner"
+        self.ran.append(job.id)
+        return {"fake": True}
+
+
+class TestSubmission:
+    def test_accepted_job_runs_and_stores_its_record(self, tmp_path):
+        with service(tmp_path, runner=fake_runner) as svc:
+            code, body, headers = svc.submit(RUN_A)
+            assert code == 202
+            assert headers["Location"] == f"/jobs/{body['id']}"
+            job = wait_status(svc, body["id"])
+            assert job.status == "done"
+            assert svc.record_for(job) == {"fake": True, "digest": job.digest}
+
+    def test_invalid_spec_is_400_not_a_failed_job(self, tmp_path):
+        with service(tmp_path, runner=fake_runner) as svc:
+            code, body, _ = svc.submit({"kernel": "nope"})
+            assert code == 400
+            assert "unknown kernel" in body["error"]
+            assert svc.jobs() == []
+
+    def test_failed_job_reports_its_error(self, tmp_path):
+        def boom(job):
+            raise RuntimeError("kernel exploded")
+
+        with service(tmp_path, runner=boom) as svc:
+            _, body, _ = svc.submit(RUN_A)
+            job = wait_status(svc, body["id"])
+            assert job.status == "failed"
+            assert "kernel exploded" in job.error
+
+    def test_priority_orders_the_queue(self, tmp_path):
+        blocker = BlockingRunner()
+        with service(tmp_path, runner=blocker, queue_depth=8) as svc:
+            svc.submit(_distinct_run(0))  # occupies the worker
+            assert blocker.started.wait(10)
+            low = svc.submit({**_distinct_run(1), "priority": 0})[1]["id"]
+            high = svc.submit({**_distinct_run(2), "priority": 9})[1]["id"]
+            blocker.release.set()
+            wait_status(svc, low)
+            wait_status(svc, high)
+            # the high-priority job ran before the earlier-submitted low one
+            assert blocker.ran.index(high) < blocker.ran.index(low)
+
+
+class TestBackpressure:
+    def test_full_queue_is_429_with_retry_after(self, tmp_path):
+        blocker = BlockingRunner()
+        with service(tmp_path, runner=blocker, queue_depth=1) as svc:
+            svc.submit(_distinct_run(0))
+            assert blocker.started.wait(10)  # worker busy; queue empty
+            assert svc.submit(_distinct_run(1))[0] == 202  # fills the queue
+            code, body, headers = svc.submit(_distinct_run(2))
+            assert code == 429
+            assert int(headers["Retry-After"]) >= 1
+            assert body["retry_after"] == int(headers["Retry-After"])
+            blocker.release.set()
+
+    def test_concurrent_submissions_respect_the_bound(self, tmp_path):
+        blocker = BlockingRunner()
+        with service(tmp_path, runner=blocker, queue_depth=2) as svc:
+            svc.submit(_distinct_run(0))
+            assert blocker.started.wait(10)  # worker parked: depth is now exact
+            results = [None] * 6
+            def submit(i):
+                results[i] = svc.submit(_distinct_run(i + 1))
+            threads = [threading.Thread(target=submit, args=(i,)) for i in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(10)
+            codes = sorted(r[0] for r in results)
+            assert codes == [202, 202, 429, 429, 429, 429]
+            for code, body, headers in results:
+                if code == 429:
+                    assert "Retry-After" in headers
+            blocker.release.set()
+
+    def test_retry_after_hint_tracks_observed_durations(self, tmp_path):
+        with service(tmp_path, runner=fake_runner) as svc:
+            assert svc.retry_after_hint() == 1  # no history yet
+            job_id = svc.submit(RUN_A)[1]["id"]
+            wait_status(svc, job_id)
+            assert svc.retry_after_hint() >= 1
+
+    def test_queue_full_over_http(self, tmp_path):
+        blocker = BlockingRunner()
+        with served(tmp_path, runner=blocker, queue_depth=1) as server:
+            svc = server.service
+            post(server.url, _distinct_run(0))
+            assert blocker.started.wait(10)
+            assert post(server.url, _distinct_run(1))[0] == 202
+            code, body, headers = post(server.url, _distinct_run(2))
+            assert code == 429
+            assert int(headers["Retry-After"]) >= 1
+            blocker.release.set()
+            assert svc.events.find(ev.JOB_REJECTED)
+
+
+class TestDedup:
+    def test_identical_resubmission_served_from_store(self, tmp_path):
+        calls = []
+
+        def counting(job):
+            calls.append(job.id)
+            return {"fake": True}
+
+        with service(tmp_path, runner=counting) as svc:
+            first = svc.submit(RUN_A)
+            wait_status(svc, first[1]["id"])
+            code, body, headers = svc.submit(RUN_A)
+            assert code == 200
+            assert body["deduped"] is True
+            assert body["status"] == "done"
+            assert len(calls) == 1  # never re-executed
+            job = svc.get(body["id"])
+            assert svc.record_for(job) == {"fake": True}
+            assert svc.events.find(ev.JOB_DEDUPED)
+
+    def test_different_config_is_not_a_dedup_hit(self, tmp_path):
+        with service(tmp_path, runner=fake_runner) as svc:
+            wait_status(svc, svc.submit(RUN_A)[1]["id"])
+            code, _, _ = svc.submit(RUN_B)
+            assert code == 202
+
+    def test_dedup_survives_service_restart(self, tmp_path):
+        with service(tmp_path, runner=fake_runner) as svc:
+            wait_status(svc, svc.submit(RUN_A)[1]["id"])
+        with service(tmp_path, runner=fake_runner) as svc:
+            code, body, _ = svc.submit(RUN_A)
+            assert code == 200
+            assert body["deduped"] is True
+
+    def test_identical_inflight_job_is_409_pointing_at_it(self, tmp_path):
+        blocker = BlockingRunner()
+        with service(tmp_path, runner=blocker, queue_depth=4) as svc:
+            first = svc.submit(RUN_A)[1]["id"]
+            assert blocker.started.wait(10)
+            code, body, headers = svc.submit(RUN_A)
+            assert code == 409
+            assert body["job"] == first
+            assert headers["Location"] == f"/jobs/{first}"
+            blocker.release.set()
+
+
+class TestTenantQuota:
+    def test_quota_exhaustion_is_429_with_retry_after(self, tmp_path):
+        with service(
+            tmp_path, runner=fake_runner, queue_depth=16,
+            tenant_tokens=2, tenant_refill_per_s=0.0,
+        ) as svc:
+            assert svc.submit(_distinct_run(0), tenant="alice")[0] == 202
+            assert svc.submit(_distinct_run(1), tenant="alice")[0] == 202
+            code, body, headers = svc.submit(_distinct_run(2), tenant="alice")
+            assert code == 429
+            assert "out of tokens" in body["error"]
+            assert "Retry-After" in headers
+            # another tenant has its own bucket
+            assert svc.submit(_distinct_run(3), tenant="bob")[0] == 202
+            assert svc.stats()["counters"]["rejected_quota"] == 1
+
+    def test_quota_refills_over_time(self, tmp_path):
+        clock = [0.0]
+        with service(
+            tmp_path, runner=fake_runner,
+            tenant_tokens=1, tenant_refill_per_s=1.0, clock=lambda: clock[0],
+        ) as svc:
+            assert svc.submit(_distinct_run(0), tenant="t")[0] == 202
+            code, _, headers = svc.submit(_distinct_run(1), tenant="t")
+            assert code == 429
+            assert int(headers["Retry-After"]) == 1
+            clock[0] = 1.5
+            assert svc.submit(_distinct_run(1), tenant="t")[0] == 202
+
+    def test_x_tenant_header_keys_the_bucket(self, tmp_path):
+        with served(
+            tmp_path, runner=fake_runner,
+            tenant_tokens=1, tenant_refill_per_s=0.0,
+        ) as server:
+            assert post(server.url, _distinct_run(0), tenant="alice")[0] == 202
+            assert post(server.url, _distinct_run(1), tenant="alice")[0] == 429
+            assert post(server.url, _distinct_run(1), tenant="bob")[0] == 202
+
+
+class TestDrain:
+    def test_graceful_shutdown_finishes_inflight_and_queued(self, tmp_path):
+        blocker = BlockingRunner()
+        svc = JobService(state_dir=tmp_path, runner=blocker, queue_depth=4)
+        running = svc.submit(_distinct_run(0))[1]["id"]
+        queued = svc.submit(_distinct_run(1))[1]["id"]
+        assert blocker.started.wait(10)
+
+        done = []
+        stopper = threading.Thread(target=lambda: done.append(svc.stop(drain=True)))
+        stopper.start()
+        time.sleep(0.05)
+        # draining: new submissions refused while old work continues
+        assert svc.submit(_distinct_run(2))[0] == 503
+        blocker.release.set()
+        stopper.join(10)
+        assert done == [True]
+        assert svc.get(running).status == "done"
+        assert svc.get(queued).status == "done"
+        names = [e.name for e in svc.events.events]
+        assert ev.SERVICE_STOPPING in names
+        assert ev.SERVICE_STOPPED in names
+
+    def test_non_drain_stop_abandons_queued_jobs(self, tmp_path):
+        blocker = BlockingRunner()
+        svc = JobService(state_dir=tmp_path, runner=blocker, queue_depth=4)
+        svc.submit(_distinct_run(0))
+        queued = svc.submit(_distinct_run(1))[1]["id"]
+        assert blocker.started.wait(10)
+        blocker.release.set()
+        assert svc.stop(drain=False, timeout=10) is True
+        assert svc.get(queued).status == "queued"  # never ran
+
+    def test_drain_timeout_reports_unclean(self, tmp_path):
+        blocker = BlockingRunner()
+        svc = JobService(state_dir=tmp_path, runner=blocker)
+        svc.submit(_distinct_run(0))
+        assert blocker.started.wait(10)
+        assert svc.stop(drain=True, timeout=0.2) is False
+        blocker.release.set()  # let the thread die
+
+
+class TestHTTPSurface:
+    def test_index_lists_every_route(self, tmp_path):
+        from repro.service import ROUTES
+
+        with served(tmp_path, runner=fake_runner) as server:
+            code, raw, _ = get(server.url, "/")
+            doc = json.loads(raw)
+            assert code == 200
+            assert len(doc["endpoints"]) == len(ROUTES)
+            for route in ROUTES:
+                assert any(
+                    line.startswith(f"{route['method']} {route['path']}")
+                    for line in doc["endpoints"]
+                )
+
+    def test_healthz_and_stats(self, tmp_path):
+        with served(tmp_path, runner=fake_runner) as server:
+            code, raw, _ = get(server.url, "/healthz")
+            assert code == 200
+            assert json.loads(raw)["status"] == "ok"
+            code, raw, _ = get(server.url, "/stats")
+            stats = json.loads(raw)
+            assert stats["queue"]["max_depth"] == 16
+            assert stats["workers"] == 1
+
+    def test_job_listing_filters(self, tmp_path):
+        with served(tmp_path, runner=fake_runner) as server:
+            jid = post(server.url, RUN_A, tenant="alice")[1]["id"]
+            wait_status(server.service, jid)
+            done = json.loads(get(server.url, "/jobs?status=done")[1])["jobs"]
+            assert [j["id"] for j in done] == [jid]
+            assert json.loads(get(server.url, "/jobs?status=failed")[1])["jobs"] == []
+            alice = json.loads(get(server.url, "/jobs?tenant=alice")[1])["jobs"]
+            assert [j["id"] for j in alice] == [jid]
+            assert json.loads(get(server.url, "/jobs?tenant=bob")[1])["jobs"] == []
+            assert get(server.url, "/jobs?status=bogus")[0] == 400
+
+    def test_unknown_job_and_route_are_404(self, tmp_path):
+        with served(tmp_path, runner=fake_runner) as server:
+            assert get(server.url, "/jobs/doesnotexist")[0] == 404
+            assert get(server.url, "/nope")[0] == 404
+            assert get(server.url, "/jobs/x/y/z")[0] == 404
+
+    def test_record_before_finish_is_409(self, tmp_path):
+        blocker = BlockingRunner()
+        with served(tmp_path, runner=blocker) as server:
+            jid = post(server.url, RUN_A)[1]["id"]
+            code, raw, _ = get(server.url, f"/jobs/{jid}/record")
+            assert code == 409
+            assert json.loads(raw)["status"] in ("queued", "running")
+            code, _, _ = get(server.url, f"/jobs/{jid}/report")
+            assert code == 409
+            blocker.release.set()
+
+    def test_record_of_failed_job_is_409_with_error(self, tmp_path):
+        def boom(job):
+            raise RuntimeError("nope")
+
+        with served(tmp_path, runner=boom) as server:
+            jid = post(server.url, RUN_A)[1]["id"]
+            wait_status(server.service, jid)
+            code, raw, _ = get(server.url, f"/jobs/{jid}/record")
+            assert code == 409
+            assert "nope" in json.loads(raw)["error"]
+
+    def test_malformed_json_body_is_400(self, tmp_path):
+        with served(tmp_path, runner=fake_runner) as server:
+            code, body, _ = post(server.url, None, raw=b"{not json")
+            assert code == 400
+            assert "invalid JSON" in body["error"]
+
+    def test_running_job_status_includes_live_fold(self, tmp_path):
+        blocker = BlockingRunner()
+        with served(tmp_path, runner=blocker) as server:
+            jid = post(server.url, RUN_A)[1]["id"]
+            wait_status(server.service, jid, statuses=("running",))
+            doc = json.loads(get(server.url, f"/jobs/{jid}")[1])
+            assert doc["status"] == "running"
+            assert "live" in doc  # the status_from_events fold
+            blocker.release.set()
+
+
+class TestEndToEnd:
+    def test_real_grm_round_trip_over_http(self, tmp_path):
+        with served(tmp_path, workers=1) as server:  # real runner
+            code, body, _ = post(
+                server.url,
+                {"type": "run", "kernel": "grm", "size": "small", "config": {"jobs": 1}},
+            )
+            assert code == 202
+            jid = body["id"]
+            job = wait_status(server.service, jid, timeout=120)
+            assert job.status == "done", job.error
+            code, raw, _ = get(server.url, f"/jobs/{jid}/record")
+            record = json.loads(raw)
+            assert code == 200
+            assert record["schema"] == "genomicsbench.run/5"
+            assert record["kernel"] == "grm"
+            code, html, headers = get(server.url, f"/jobs/{jid}/report")
+            assert code == 200
+            assert headers["Content-Type"].startswith("text/html")
+            text = html.decode()
+            assert text.lstrip().startswith("<!doctype html>")
+            # self-contained: no external assets
+            assert "src=\"http" not in text
+            assert "href=\"http" not in text
+            # identical resubmission: answered from the store, no re-run
+            code, body, _ = post(
+                server.url,
+                {"type": "run", "kernel": "grm", "size": "small", "config": {"jobs": 1}},
+            )
+            assert code == 200
+            assert body["deduped"] is True

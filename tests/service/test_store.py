@@ -1,0 +1,69 @@
+"""Tests for the (suite, digest, git sha)-keyed result store."""
+
+from repro.service.store import (
+    UNKNOWN_SHA,
+    ResultStore,
+    current_git_sha,
+    result_key,
+)
+
+
+class TestResultKey:
+    def test_key_is_the_identity_triple(self):
+        assert result_key("grm", "abc123", "deadbee") == "grm-abc123-deadbee"
+
+    def test_different_shas_are_different_answers(self):
+        assert result_key("grm", "abc", "v1") != result_key("grm", "abc", "v2")
+
+
+class TestCurrentGitSha:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("GENOMICSBENCH_GIT_SHA", "pinned1")
+        assert current_git_sha() == "pinned1"
+
+    def test_discovers_a_sha_or_falls_back(self, monkeypatch):
+        monkeypatch.delenv("GENOMICSBENCH_GIT_SHA", raising=False)
+        sha = current_git_sha()
+        # in a checkout this is a short hex sha; elsewhere the fallback
+        assert sha == UNKNOWN_SHA or (len(sha) >= 4 and sha.strip())
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = {"schema": "genomicsbench.run/5", "kernel": "grm"}
+        path = store.store("grm-abc-sha1", record)
+        assert path.is_file()
+        assert store.load("grm-abc-sha1") == record
+        assert "grm-abc-sha1" in store
+
+    def test_miss_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load("nope") is None
+        assert "nope" not in store
+
+    def test_corrupt_entry_is_a_miss_and_gets_dropped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store("k", {"ok": True})
+        store.path_for("k").write_text("{truncated")
+        assert store.load("k") is None
+        assert not store.path_for("k").exists()
+
+    def test_non_dict_payload_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.path_for("k").parent.mkdir(parents=True)
+        store.path_for("k").write_text("[1, 2]")
+        assert store.load("k") is None
+
+    def test_keys_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.keys() == []
+        store.store("b", {})
+        store.store("a", {})
+        assert store.keys() == ["a", "b"]
+        assert store.clear() == 2
+        assert store.keys() == []
+
+    def test_env_dir_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("GENOMICSBENCH_SERVICE_DIR", str(tmp_path / "svc"))
+        assert ResultStore().root == tmp_path / "svc"
