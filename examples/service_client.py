@@ -15,6 +15,13 @@ Start a daemon first::
 then::
 
     python examples/service_client.py grm --jobs 2 --report report.html
+
+``--watch`` skips job submission entirely and instead polls
+``GET /stats`` and ``GET /metrics``, rendering a one-line ticker of
+queue depth, busy workers, job outcomes and request latency -- a
+terminal's-eye view of the same numbers the fleet dashboard charts::
+
+    python examples/service_client.py --watch --interval 2
 """
 
 from __future__ import annotations
@@ -80,9 +87,84 @@ def poll(base: str, job_id: str, timeout: float = 600.0) -> dict:
     sys.exit(f"job {job_id} did not finish within {timeout:.0f}s")
 
 
+def metric_value(metrics_text: str, name: str) -> float | None:
+    """Pull one sample value out of an OpenMetrics exposition.
+
+    Matches any sample line whose metric name is ``name`` regardless of
+    its label set, returning the first value found.
+    """
+    for line in metrics_text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        ident, _, value = line.rpartition(" ")
+        bare = ident.split("{", 1)[0]
+        if bare == name:
+            try:
+                return float(value)
+            except ValueError:
+                return None
+    return None
+
+
+def render_ticker(stats: dict, metrics_text: str) -> str:
+    """One ticker line from a ``/stats`` doc plus ``/metrics`` text.
+
+    Pure function of its inputs so tests can feed canned payloads; the
+    busy-worker count deliberately comes from the OpenMetrics side to
+    exercise both surfaces.
+    """
+    queue = stats.get("queue", {})
+    counters = stats.get("counters", {})
+    latency = stats.get("latency_seconds") or {}
+    busy = metric_value(metrics_text, "genomicsbench_workers_busy")
+    requests_total = sum(
+        int(n) for by_status in (stats.get("requests") or {}).values()
+        for n in by_status.values()
+    )
+    parts = [
+        f"q {queue.get('depth', '?')}/{queue.get('max_depth', '?')}",
+        f"busy {'?' if busy is None else int(busy)}/{stats.get('workers', '?')}",
+        "jobs done {done} fail {failed} dedup {deduped}".format(
+            done=counters.get("done", 0),
+            failed=counters.get("failed", 0),
+            deduped=counters.get("deduped", 0),
+        ),
+        f"http {requests_total}",
+    ]
+    p50, p95 = latency.get("p50"), latency.get("p95")
+    if p50 is not None and p95 is not None:
+        parts.append(f"p50 {p50 * 1000:.0f}ms p95 {p95 * 1000:.0f}ms")
+    else:
+        parts.append("p50 - p95 -")
+    return " | ".join(parts)
+
+
+def watch(base: str, interval: float, count: int) -> None:
+    """Poll ``/stats`` + ``/metrics`` and print the ticker each round.
+
+    ``count`` of 0 loops until interrupted; otherwise that many rounds
+    (which is what CI uses to take a bounded peek).
+    """
+    rounds = 0
+    while count <= 0 or rounds < count:
+        if rounds:
+            time.sleep(interval)
+        rounds += 1
+        code, raw, _ = request(f"{base}/stats")
+        if code != 200:
+            print(f"stats unavailable ({code}); retrying")
+            continue
+        mcode, mraw, _ = request(f"{base}/metrics")
+        metrics_text = mraw.decode() if mcode == 200 else ""
+        stamp = time.strftime("%H:%M:%S")
+        print(f"{stamp} {render_ticker(json.loads(raw), metrics_text)}",
+              flush=True)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("kernel", help="kernel to run (e.g. grm)")
+    parser.add_argument("kernel", nargs="?", default=None,
+                        help="kernel to run (e.g. grm); optional with --watch")
     parser.add_argument("--base", default="http://127.0.0.1:8765",
                         help="service URL (default: http://127.0.0.1:8765)")
     parser.add_argument("--size", choices=["small", "large"], default="small")
@@ -92,7 +174,23 @@ def main() -> None:
                         help="save the finished record JSON to FILE")
     parser.add_argument("--report", metavar="FILE", default=None,
                         help="save the HTML report to FILE")
+    parser.add_argument("--watch", action="store_true",
+                        help="poll /stats + /metrics and print a ticker "
+                             "instead of submitting a job")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="--watch poll interval in seconds (default: 2)")
+    parser.add_argument("--count", type=int, default=0,
+                        help="--watch rounds before exiting (0 = forever)")
     args = parser.parse_args()
+
+    if args.watch:
+        try:
+            watch(args.base, args.interval, args.count)
+        except KeyboardInterrupt:
+            pass
+        return
+    if args.kernel is None:
+        parser.error("kernel is required unless --watch is given")
 
     job: dict = {"type": "run", "kernel": args.kernel, "size": args.size}
     if args.jobs is not None:

@@ -40,6 +40,7 @@ __all__ = [
     "RunResult",
     "__version__",
     "bench_record",
+    "fleet_report",
     "get_kernel",
     "kernel_names",
     "load_benchmark",
@@ -48,7 +49,10 @@ __all__ = [
     "sweep",
 ]
 
-_API_NAMES = {"run", "bench_record", "render_report", "sweep", "ObsOptions", "EngineRun"}
+_API_NAMES = {
+    "run", "bench_record", "render_report", "fleet_report", "sweep",
+    "ObsOptions", "EngineRun",
+}
 
 
 def __getattr__(name: str):

@@ -11,7 +11,9 @@ with the engine's many knobs normalized at this boundary once:
   HTML dashboard;
 * :func:`sweep` -- expand a configuration grid over kernels and drive
   every cell through the engine, aggregating a
-  :class:`~repro.sweep.aggregate.SweepRecord` with leaderboards.
+  :class:`~repro.sweep.aggregate.SweepRecord` with leaderboards;
+* :func:`fleet_report` -- render a ``repro serve`` state-dir's
+  persisted series as the fleet HTML dashboard.
 
 Everything here is importable straight off the top-level package::
 
@@ -61,6 +63,7 @@ from repro.runner.retry import BackoffPolicy
 __all__ = [
     "ObsOptions",
     "bench_record",
+    "fleet_report",
     "render_report",
     "run",
     "sweep",
@@ -280,3 +283,23 @@ def render_report(
     if out is None:
         return _render(record, past)
     return write_report(out, record, past)
+
+
+def fleet_report(
+    state_dir: "Path | str",
+    out: "Path | str | None" = None,
+    slo: "Path | str | None" = None,
+) -> "Path | str":
+    """Render a service state-dir's fleet dashboard (``obs report
+    --service`` as a function).
+
+    ``state_dir`` is a ``repro serve --state-dir`` root whose
+    ``series/`` holds persisted samples; ``slo`` optionally overlays a
+    spec's burn-rate verdicts.  With ``out`` the HTML is written there
+    and the path returned; without, the HTML string is returned.
+    """
+    from repro.obs.fleet import render_fleet_report, write_fleet_report
+
+    if out is None:
+        return render_fleet_report(state_dir, slo)
+    return write_fleet_report(out, state_dir, slo)

@@ -787,15 +787,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import JobService, ServiceServer
 
     events = EventLog(run_id="service", logfile=args.events)
-    service = JobService(
-        workers=args.workers,
-        queue_depth=args.queue_depth,
-        tenant_tokens=args.tenant_tokens,
-        tenant_refill_per_s=args.tenant_refill,
-        state_dir=args.state_dir,
-        cache=_make_cache(args),
-        events=events,
-    )
+    try:
+        service = JobService(
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            tenant_tokens=args.tenant_tokens,
+            tenant_refill_per_s=args.tenant_refill,
+            state_dir=args.state_dir,
+            cache=_make_cache(args),
+            events=events,
+            slo=args.slo,
+            sample_interval=args.sample_interval if args.sample_interval > 0 else None,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     server = ServiceServer(service, port=args.port, host=args.host)
     server.start()
     print(f"repro serve listening on {server.url}", file=sys.stderr)
@@ -934,6 +939,17 @@ def _load_one_record(path: str, kernel: str | None = None):
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs.report import load_run_records, write_report
 
+    if args.service:
+        from repro.obs.fleet import write_fleet_report
+        from repro.obs.slo import SloSpecError
+
+        out = args.out or str(Path(args.service) / "fleet-report.html")
+        try:
+            path = write_fleet_report(out, args.service, args.slo)
+        except SloSpecError as exc:
+            raise SystemExit(str(exc))
+        print(f"wrote fleet report to {path}", file=sys.stderr)
+        return 0
     if args.sweep:
         from repro.obs.report import write_sweep_report
         from repro.sweep import load_sweep
@@ -947,12 +963,62 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         print(f"wrote sweep report to {path}", file=sys.stderr)
         return 0
     if not args.record:
-        raise SystemExit("obs report: give a run-record JSON or --sweep DIR")
+        raise SystemExit(
+            "obs report: give a run-record JSON, --sweep DIR or --service DIR"
+        )
     record = _load_one_record(args.record, args.kernel)
     history = load_run_records(args.history) if args.history else None
     out = args.out or f"{Path(args.record).stem}-report.html"
     path = write_report(out, record, history)
     print(f"wrote run report to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_obs_slo_check(args: argparse.Namespace) -> int:
+    from repro.obs.series import load_series
+    from repro.obs.slo import SloSpecError, evaluate_slo, load_slo_spec
+
+    try:
+        spec = load_slo_spec(args.spec)
+    except SloSpecError as exc:
+        raise SystemExit(str(exc))
+    samples = load_series(args.state_dir)
+    if not samples:
+        print(
+            f"{args.state_dir}: no series samples (did the daemon run with "
+            "--state-dir and a nonzero --sample-interval?)",
+            file=sys.stderr,
+        )
+        return 2
+    report = evaluate_slo(spec, samples)
+    rows = []
+    for status in report.objectives:
+        burns = " / ".join(
+            f"{w.burn:.2f}x@{int(w.seconds)}s" if w.burn is not None else f"-@{int(w.seconds)}s"
+            for w in status.windows
+        )
+        rows.append(
+            (
+                status.objective.name,
+                status.objective.kind,
+                status.status,
+                "-" if status.measured is None else f"{status.measured:.4g}",
+                burns,
+            )
+        )
+    _emit(
+        [
+            Report(
+                title=f"SLO check over {len(samples)} samples",
+                headers=["objective", "kind", "status", "measured", "burn rates"],
+                rows=rows,
+            )
+        ],
+        args,
+    )
+    if report.breached:
+        print(f"SLO breach: {', '.join(report.breached)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -1294,6 +1360,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="append service lifecycle events to FILE as JSON lines",
     )
     serve.add_argument(
+        "--slo", metavar="FILE", default=None,
+        help="SLO spec (TOML or JSON); breaches emit events and surface "
+        "in /healthz?verbose=1",
+    )
+    serve.add_argument(
+        "--sample-interval", type=float, default=5.0, metavar="SECONDS",
+        help="seconds between persisted series samples under "
+        "<state-dir>/series; 0 disables sampling (default: 5)",
+    )
+    serve.add_argument(
         "--drain-timeout", type=float, default=60.0, metavar="SECONDS",
         help="how long shutdown waits for in-flight jobs (default: 60)",
     )
@@ -1422,9 +1498,20 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of a single run record",
     )
     rep.add_argument(
+        "--service", metavar="DIR", default=None,
+        help="render the fleet dashboard from a service state dir's "
+        "persisted series (the daemon's --state-dir)",
+    )
+    rep.add_argument(
+        "--slo", metavar="FILE", default=None,
+        help="with --service: overlay this SLO spec's verdicts and "
+        "breach timeline",
+    )
+    rep.add_argument(
         "--out", metavar="FILE", default=None,
-        help="output HTML file (default: <record>-report.html, or "
-        "<sweep dir>/sweep-report.html with --sweep)",
+        help="output HTML file (default: <record>-report.html, "
+        "<sweep dir>/sweep-report.html with --sweep, or "
+        "<state dir>/fleet-report.html with --service)",
     )
     rep.add_argument(
         "--history", metavar="FILE", default=None,
@@ -1467,6 +1554,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's metrics as an OpenMetrics textfile",
     )
     exp.set_defaults(func=_cmd_obs_export)
+
+    slo = obs_sub.add_parser(
+        "slo", help="evaluate declared SLOs over a service's persisted series"
+    )
+    slo_sub = slo.add_subparsers(dest="slo_command", required=True)
+    slo_check = slo_sub.add_parser(
+        "check",
+        help="gate on SLO burn rates: exit 1 on breach, 2 with no samples",
+    )
+    slo_check.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="service state dir holding the series (the daemon's --state-dir)",
+    )
+    slo_check.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="SLO spec (TOML or JSON; see docs/fleet-observability.md)",
+    )
+    _add_output_options(slo_check)
+    slo_check.set_defaults(func=_cmd_obs_slo_check)
 
     tail = obs_sub.add_parser(
         "tail", help="print a run's structured event log, optionally live"

@@ -24,14 +24,22 @@ into:
   hosts onto one clock.
 * :mod:`repro.obs.live` -- the in-run HTTP status plane over that
   log: ``/status``, ``/metrics`` (OpenMetrics) and ``/events``.
+* :mod:`repro.obs.series` -- the persistent service time-series store
+  (append-only JSONL segments + background sampler) behind
+  ``repro serve --state-dir``.
+* :mod:`repro.obs.slo` -- declarative availability/latency/queue-wait
+  objectives evaluated as multi-window burn rates over that series.
+* :mod:`repro.obs.fleet` -- the fleet HTML dashboard
+  (``obs report --service``).
 
 The tracer and the registry share one activation model: the engine (or
 a test) installs them process-wide with :func:`activated` /
 :func:`activated_metrics`, and kernels emit through the
 ``kernel_*`` hooks, which cost one global read when observability is
-off.  :mod:`repro.obs.history`, :mod:`repro.obs.report` and
-:mod:`repro.obs.live` are imported on demand (they pull in the
-run-record schema / ``http.server``) rather than re-exported here.
+off.  :mod:`repro.obs.history`, :mod:`repro.obs.report`,
+:mod:`repro.obs.live`, :mod:`repro.obs.slo` and :mod:`repro.obs.fleet`
+are imported on demand (they pull in the run-record schema /
+``http.server``) rather than re-exported here.
 """
 
 from repro.obs.events import (
@@ -44,14 +52,18 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LATENCY_BUCKETS,
     MetricsRegistry,
     SECONDS_BUCKETS,
     WORK_BUCKETS,
     activated_metrics,
     current_metrics,
+    estimate_quantile,
     kernel_counter,
     kernel_observe,
+    quantile_from_dict,
 )
+from repro.obs.series import SAMPLE_SCHEMA, Sampler, SeriesStore, load_series
 from repro.obs.profile import (
     Hotspot,
     SamplingProfiler,
@@ -82,10 +94,14 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Hotspot",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
     "ResourceSample",
+    "SAMPLE_SCHEMA",
     "SECONDS_BUCKETS",
+    "Sampler",
     "SamplingProfiler",
+    "SeriesStore",
     "Span",
     "StackProfile",
     "TelemetrySampler",
@@ -97,6 +113,7 @@ __all__ = [
     "chrome_events_from_record",
     "current_metrics",
     "current_tracer",
+    "estimate_quantile",
     "export_record_trace",
     "format_event",
     "kernel_counter",
@@ -104,6 +121,8 @@ __all__ = [
     "kernel_observe",
     "kernel_span",
     "load_events",
+    "load_series",
     "merge_profiles",
+    "quantile_from_dict",
     "telemetry_supported",
 ]

@@ -103,6 +103,9 @@ JOB_REJECTED = "job_rejected"  # admission control said no (429)
 JOB_STARTED = "job_started"
 JOB_FINISHED = "job_finished"
 JOB_FAILED = "job_failed"
+# SLO engine (repro.obs.slo, evaluated over the service series)
+SLO_BREACHED = "slo_breached"  # every burn-rate window over threshold
+SLO_RECOVERED = "slo_recovered"  # a breached objective back within budget
 
 
 @dataclass

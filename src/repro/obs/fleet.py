@@ -1,0 +1,400 @@
+"""The fleet dashboard: one HTML page over a service's persisted series.
+
+``obs report --service STATE_DIR`` renders everything the daemon's
+background sampler wrote under ``<state-dir>/series`` -- across *all*
+daemon lifetimes, since the series store survives restarts -- as the
+same self-contained light/dark single-file HTML the run and sweep
+dashboards use (shared CSS, tiles and sparklines from
+:mod:`repro.obs.report`):
+
+* headline tiles (samples, lifetimes, jobs done/failed, dedup ratio,
+  latest queue depth and p95 latency);
+* sparklines for queue depth, busy workers, request totals and the
+  p50/p95/p99 job-latency estimates;
+* per-tenant submission traffic and per-route request tables;
+* a job-outcome stacked bar (done / failed / deduped / rejected);
+* with an SLO spec, the current burn-rate verdicts plus a breach
+  timeline strip evaluated at each sample.
+
+Counter signals are folded across restarts with the same
+reset-tolerant delta rule the SLO engine uses, so totals cover the
+whole retained history, not just the last lifetime.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.obs.report import _CSS, _sparkline, _tile
+from repro.obs.series import SeriesStore
+
+#: Outcome slice colors (legible in both themes; match report palette).
+_OUTCOME_COLORS = {
+    "done": "#1baf7a",
+    "failed": "#e34948",
+    "deduped": "#2a78d6",
+    "rejected": "#eda100",
+}
+
+_SLO_COLORS = {"ok": "#1baf7a", "breach": "#e34948", "no_data": "#8a8984"}
+
+
+def _gauge(sample: dict[str, Any], name: str) -> float | None:
+    value = (sample.get("gauges") or {}).get(name)
+    try:
+        return None if value is None else float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def _counter(sample: dict[str, Any], name: str) -> float:
+    try:
+        return float((sample.get("counters") or {}).get(name, 0.0))
+    except (TypeError, ValueError):
+        return 0.0
+
+
+def _series_total(
+    samples: list[dict[str, Any]], value_of: Callable[[dict[str, Any]], float]
+) -> float:
+    """Fold a monotonic-per-lifetime counter across restarts.
+
+    The first sample contributes its absolute value (everything since
+    that daemon's start); each following sample contributes its
+    increase, or its absolute value again after a reset (restart).
+    """
+    total = 0.0
+    prev: float | None = None
+    for sample in samples:
+        value = value_of(sample)
+        if prev is None or value < prev:
+            total += value
+        else:
+            total += value - prev
+        prev = value
+    return total
+
+
+def _lifetimes(samples: list[dict[str, Any]]) -> int:
+    """How many daemon lifetimes the series spans (1 + resets seen)."""
+    if not samples:
+        return 0
+    lives = 1
+    prev: float | None = None
+    for sample in samples:
+        uptime = _gauge(sample, "service.uptime_seconds")
+        if uptime is None:
+            continue
+        if prev is not None and uptime < prev:
+            lives += 1
+        prev = uptime
+    return lives
+
+
+def _points(
+    samples: list[dict[str, Any]],
+    value_of: Callable[[dict[str, Any]], "float | None"],
+) -> list[tuple[float, float]]:
+    out = []
+    for sample in samples:
+        value = value_of(sample)
+        if value is not None:
+            out.append((float(sample.get("t", 0.0)), float(value)))
+    return out
+
+
+def _spark(
+    samples: list[dict[str, Any]],
+    value_of: Callable[[dict[str, Any]], "float | None"],
+    caption: str,
+    fmt: Callable[[float], str] = lambda v: f"{v:g}",
+) -> str:
+    points = _points(samples, value_of)
+    if not points:
+        return ""
+    last = points[-1][1]
+    peak = max(p[1] for p in points)
+    return _sparkline(
+        points, caption, f"now {fmt(last)} · peak {fmt(peak)}"
+    )
+
+
+def _outcome_bar(totals: dict[str, float], width: int = 640, height: int = 22) -> str:
+    """One horizontal stacked bar of job outcomes, with a legend."""
+    grand = sum(totals.values())
+    if grand <= 0:
+        return '<p class="note">no job outcomes recorded yet</p>'
+    rects, legend, x = [], [], 0.0
+    for name, color in _OUTCOME_COLORS.items():
+        value = totals.get(name, 0.0)
+        if value <= 0:
+            continue
+        w = value / grand * width
+        rects.append(
+            f'<rect x="{x:.1f}" y="0" width="{max(w, 1.0):.1f}" '
+            f'height="{height}" fill="{color}" rx="3"/>'
+        )
+        legend.append(
+            f'<span style="color:{color}">&#9632;</span> '
+            f"{html.escape(name)} {value:,.0f}"
+        )
+        x += w
+    return (
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="job outcomes">{"".join(rects)}</svg>'
+        f'<p class="note">{" &middot; ".join(legend)}</p>'
+    )
+
+
+def _tenant_table(samples: list[dict[str, Any]]) -> str:
+    tenants: dict[str, float] = {}
+    names = {
+        name for sample in samples for name in (sample.get("tenants") or {})
+    }
+    for name in sorted(names):
+        tenants[name] = _series_total(
+            samples, lambda s, n=name: float((s.get("tenants") or {}).get(n, 0.0))
+        )
+    if not tenants:
+        return '<p class="note">no tenant traffic recorded yet</p>'
+    peak = max(tenants.values()) or 1.0
+    rows = [
+        "<tr>"
+        f"<td>{html.escape(name)}</td>"
+        f'<td class="num">{count:,.0f}</td>'
+        f'<td><div class="barwrap"><div class="bar" '
+        f'style="width:{max(2, round(100 * count / peak))}%"></div></div></td>'
+        "</tr>"
+        for name, count in sorted(tenants.items(), key=lambda kv: -kv[1])
+    ]
+    return (
+        "<table><thead><tr><th>tenant</th>"
+        '<th class="num">submitted</th><th></th></tr></thead>'
+        f'<tbody>{"".join(rows)}</tbody></table>'
+    )
+
+
+def _request_table(samples: list[dict[str, Any]]) -> str:
+    """Per-route request totals folded across lifetimes."""
+    keys: set[tuple[str, str]] = set()
+    for sample in samples:
+        for route, by_status in (sample.get("requests") or {}).items():
+            for status in by_status:
+                keys.add((route, status))
+    if not keys:
+        return '<p class="note">no requests recorded yet</p>'
+    totals = {
+        (route, status): _series_total(
+            samples,
+            lambda s, r=route, st=status: float(
+                ((s.get("requests") or {}).get(r) or {}).get(st, 0.0)
+            ),
+        )
+        for route, status in keys
+    }
+    rows = [
+        "<tr>"
+        f'<td class="frame">{html.escape(route)}</td>'
+        f"<td>{html.escape(status)}</td>"
+        f'<td class="num">{count:,.0f}</td>'
+        "</tr>"
+        for (route, status), count in sorted(
+            totals.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+    ]
+    return (
+        "<table><thead><tr><th>route</th><th>status</th>"
+        '<th class="num">requests</th></tr></thead>'
+        f'<tbody>{"".join(rows)}</tbody></table>'
+    )
+
+
+def _slo_section(
+    spec: Any, samples: list[dict[str, Any]], max_eval_points: int = 120
+) -> str:
+    """Current SLO verdicts plus a per-objective breach timeline."""
+    from repro.obs.slo import evaluate_slo
+
+    report = evaluate_slo(spec, samples)
+    rows = []
+    for status in report.objectives:
+        color = _SLO_COLORS.get(status.status, _SLO_COLORS["no_data"])
+        burns = " / ".join(
+            f"{w.burn:.2f}x@{int(w.seconds)}s" if w.burn is not None else "-"
+            for w in status.windows
+        )
+        measured = "-" if status.measured is None else f"{status.measured:.4g}"
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(status.objective.name)}</td>"
+            f"<td>{html.escape(status.objective.kind)}</td>"
+            f'<td><span style="color:{color}">&#9632;</span> '
+            f"{html.escape(status.status)}</td>"
+            f'<td class="num">{html.escape(measured)}</td>'
+            f'<td class="frame">{html.escape(burns)}</td>'
+            "</tr>"
+        )
+    table = (
+        "<table><thead><tr><th>objective</th><th>kind</th><th>status</th>"
+        '<th class="num">measured</th><th>burn rates</th></tr></thead>'
+        f'<tbody>{"".join(rows)}</tbody></table>'
+    )
+
+    # breach timeline: evaluate the SLO as of each sample (subsampled)
+    step = max(1, len(samples) // max_eval_points)
+    indices = list(range(0, len(samples), step))
+    if len(indices) < 2:
+        return table
+    verdicts = [
+        {
+            o.objective.name: o.status
+            for o in evaluate_slo(
+                spec, samples[: idx + 1], now=float(samples[idx].get("t", 0.0))
+            ).objectives
+        }
+        for idx in indices
+    ]
+    width, row_h = 640, 14
+    lanes = []
+    for lane, objective in enumerate(spec.objectives):
+        cells = []
+        for i, verdict in enumerate(verdicts):
+            st = verdict.get(objective.name, "no_data")
+            x = i / len(indices) * width
+            cells.append(
+                f'<rect x="{x:.1f}" y="{lane * (row_h + 4)}" '
+                f'width="{width / len(indices):.1f}" height="{row_h}" '
+                f'fill="{_SLO_COLORS.get(st, _SLO_COLORS["no_data"])}"/>'
+            )
+        lanes.append("".join(cells))
+        lanes.append(
+            f'<text x="{width + 8}" y="{lane * (row_h + 4) + row_h - 3}">'
+            f"{html.escape(objective.name)}</text>"
+        )
+    svg_h = len(spec.objectives) * (row_h + 4)
+    timeline = (
+        f'<svg width="{width + 160}" height="{svg_h}" role="img" '
+        f'aria-label="SLO timeline">{"".join(lanes)}</svg>'
+        '<p class="note">each cell: the SLO verdict using only samples '
+        "up to that moment &mdash; green ok, red breach, grey no data</p>"
+    )
+    return table + timeline
+
+
+def render_fleet_report(
+    state_dir: "Path | str", slo_spec: Any = None
+) -> str:
+    """The service's fleet dashboard HTML from its persisted series.
+
+    ``slo_spec`` is an :class:`~repro.obs.slo.SloSpec`, a spec file
+    path, or ``None`` to skip the SLO section.
+    """
+    state_dir = Path(state_dir)
+    store = SeriesStore(state_dir / "series")
+    samples = store.load()
+    if slo_spec is not None and not hasattr(slo_spec, "objectives"):
+        from repro.obs.slo import load_slo_spec
+
+        slo_spec = load_slo_spec(slo_spec)
+
+    done = _series_total(samples, lambda s: _counter(s, "jobs.done"))
+    failed = _series_total(samples, lambda s: _counter(s, "jobs.failed"))
+    deduped = _series_total(samples, lambda s: _counter(s, "jobs.deduped"))
+    rejected = _series_total(
+        samples, lambda s: _counter(s, "jobs.rejected_queue")
+    ) + _series_total(samples, lambda s: _counter(s, "jobs.rejected_quota"))
+    submitted = _series_total(samples, lambda s: _counter(s, "jobs.submitted"))
+    last = samples[-1] if samples else {}
+    span_s = (
+        float(samples[-1].get("t", 0.0)) - float(samples[0].get("t", 0.0))
+        if len(samples) > 1
+        else 0.0
+    )
+    p95_now = (last.get("latency") or {}).get("p95")
+
+    tiles = [
+        _tile(str(len(samples)), "samples"),
+        _tile(str(_lifetimes(samples)), "lifetimes"),
+        _tile(f"{span_s / 3600:.2f}h" if span_s >= 3600 else f"{span_s:.0f}s", "span"),
+        _tile(f"{submitted:,.0f}", "submitted"),
+        _tile(f"{done:,.0f}", "done"),
+        _tile(f"{failed:,.0f}", "failed"),
+        _tile(
+            f"{deduped / submitted:.0%}" if submitted else "-", "dedup ratio"
+        ),
+        _tile(
+            f"{_gauge(last, 'queue.depth'):g}"
+            if _gauge(last, "queue.depth") is not None
+            else "-",
+            "queue depth now",
+        ),
+        _tile(f"{p95_now:.3f}s" if isinstance(p95_now, (int, float)) else "-", "p95 now"),
+    ]
+
+    sparks = [
+        _spark(samples, lambda s: _gauge(s, "queue.depth"), "queue depth"),
+        _spark(samples, lambda s: _gauge(s, "workers.busy"), "busy workers"),
+        _spark(
+            samples,
+            lambda s: _counter(s, "http.requests"),
+            "http requests (per lifetime)",
+            fmt=lambda v: f"{v:,.0f}",
+        ),
+    ]
+    for q in ("p50", "p95", "p99"):
+        sparks.append(
+            _spark(
+                samples,
+                lambda s, q=q: (s.get("latency") or {}).get(q),
+                f"job latency {q}",
+                fmt=lambda v: f"{v:.3f}s",
+            )
+        )
+    sparks = [s for s in sparks if s]
+
+    sections = [
+        "<h2>fleet signals</h2>",
+        f'<div class="spark">{"".join(sparks)}</div>'
+        if sparks
+        else '<p class="note">no samples yet; start the daemon with '
+        "--state-dir to begin sampling</p>",
+        "<h2>job outcomes</h2>",
+        _outcome_bar(
+            {"done": done, "failed": failed, "deduped": deduped, "rejected": rejected}
+        ),
+        "<h2>tenant traffic</h2>",
+        _tenant_table(samples),
+        "<h2>requests by route</h2>",
+        _request_table(samples),
+    ]
+    if slo_spec is not None:
+        sections += ["<h2>SLO</h2>", _slo_section(slo_spec, samples)]
+
+    generated = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime())
+    title = str(state_dir)
+    return (
+        "<!doctype html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>genomicsbench fleet: {html.escape(title)}</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        '<body class="viz-root">\n'
+        "<h1>genomicsbench fleet report</h1>\n"
+        f'<p class="sub">{html.escape(title)} &middot; '
+        f"{len(samples)} samples across {_lifetimes(samples)} lifetime(s) "
+        f"&middot; generated {html.escape(generated)}</p>\n"
+        f'<div class="tiles">{"".join(tiles)}</div>\n'
+        + "\n".join(sections)
+        + "\n</body></html>\n"
+    )
+
+
+def write_fleet_report(
+    path: "Path | str", state_dir: "Path | str", slo_spec: Any = None
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_fleet_report(state_dir, slo_spec))
+    return path

@@ -44,6 +44,14 @@ SECONDS_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
 #: that burned through most of a retry budget.
 ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0)
 
+#: Quantile-friendly latency boundaries in seconds: dense enough that
+#: interpolated p50/p95/p99 estimates stay within a bucket's width of
+#: the truth across the ms..minutes range the service observes.
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
 _ACTIVE: "MetricsRegistry | None" = None
 
 
@@ -95,6 +103,11 @@ class Histogram:
     @property
     def mean(self) -> float | None:
         return self.sum / self.count if self.count else None
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile of the observations (see
+        :func:`estimate_quantile`); ``None`` when empty."""
+        return estimate_quantile(self.boundaries, self.counts, q)
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -165,6 +178,59 @@ class MetricsRegistry:
             hist.sum = h["sum"]
             hist.count = h["count"]
         return reg
+
+
+# -- quantile estimation ----------------------------------------------
+
+
+def estimate_quantile(
+    boundaries: "tuple[float, ...] | list[float]",
+    counts: "list[int] | tuple[int, ...]",
+    q: float,
+) -> float | None:
+    """Estimate the ``q``-quantile from fixed-bucket histogram counts.
+
+    The Prometheus ``histogram_quantile`` model: observations are
+    assumed uniformly distributed inside each bucket, so the estimate
+    interpolates linearly between the bucket's bounds at the fraction
+    of the target rank that falls inside it.  The first bucket's lower
+    bound is taken as ``min(0, upper)`` (latencies start at zero) and
+    any rank landing in the overflow (+Inf) bucket collapses to the
+    last finite boundary -- the estimate is then a lower bound, which
+    is the honest answer a capped histogram can give.
+
+    Returns ``None`` for an empty histogram.  The estimate is
+    non-decreasing in ``q`` for fixed data, which is what dashboards
+    and SLO evaluation rely on.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    bounds = [float(b) for b in boundaries]
+    total = sum(counts)
+    if total <= 0:
+        return None
+    rank = q * total
+    cumulative = 0.0
+    for i, count in enumerate(counts):
+        if count <= 0:
+            continue
+        cumulative += count
+        if cumulative >= rank:
+            if i >= len(bounds):  # overflow bucket: clamp to last boundary
+                return bounds[-1] if bounds else None
+            upper = bounds[i]
+            lower = bounds[i - 1] if i > 0 else min(0.0, upper)
+            inside = max(0.0, rank - (cumulative - count))
+            return lower + (upper - lower) * (inside / count)
+    # float slack pushed rank past the final cumulative count
+    return bounds[-1] if bounds else None  # pragma: no cover
+
+
+def quantile_from_dict(doc: dict[str, Any], q: float) -> float | None:
+    """:func:`estimate_quantile` over a ``Histogram.as_dict`` document."""
+    return estimate_quantile(
+        tuple(doc.get("boundaries") or ()), list(doc.get("counts") or []), q
+    )
 
 
 # -- module-level activation ------------------------------------------

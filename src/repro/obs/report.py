@@ -205,6 +205,18 @@ def _om_value(value: float) -> str:
     return str(int(f)) if f.is_integer() else repr(f)
 
 
+def _om_label_value(value: Any) -> str:
+    """Escape a label value per the OpenMetrics exposition format:
+    backslash, double quote and line feed are the three characters the
+    spec requires escaping inside quoted label values."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def encode_openmetrics(
     metrics: dict[str, Any], labels: dict[str, Any]
 ) -> str:
@@ -219,7 +231,9 @@ def encode_openmetrics(
     (OpenMetrics has no "no value" sample).  Shared by the ``obs
     export`` textfile writer and the live ``/metrics`` endpoint.
     """
-    label_text = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    label_text = ",".join(
+        f'{k}="{_om_label_value(v)}"' for k, v in labels.items()
+    )
     lines: list[str] = []
     for name, value in sorted((metrics.get("counters") or {}).items()):
         om = _om_name(name)

@@ -1,0 +1,263 @@
+"""Persistent service time-series: append-only JSONL segments.
+
+The run record answers "what happened in one run"; the series store
+answers "what has the *daemon* been doing" -- queue depth, worker
+utilization, latency histograms and outcome counters sampled on an
+interval and persisted under the service state-dir, so the history
+survives a restart and `obs report --service` can draw sparklines
+that span daemon lifetimes.
+
+Layout (under ``<state-dir>/series/``)::
+
+    segment-<unix-ms>-<nonce>.jsonl   one sample dict per line
+
+Each daemon lifetime opens its own segment (and rotates to a fresh one
+every ``segment_max_samples`` appends), so a restart is visible in the
+file list and a crash can corrupt at most the tail of one segment --
+malformed lines are skipped on read, never errors.  Old segments are
+dropped once their newest sample falls outside the retention window,
+and sealed segments are periodically compacted into one merged file so
+the directory stays O(retention), not O(uptime).
+
+:class:`Sampler` is the feeder: a daemon thread that appends one
+sample on an interval (plus one final sample at stop, so short-lived
+runs still leave a record) and hands each sample to an optional
+``on_sample`` callback -- the hook the SLO monitor rides.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Callable
+
+#: Schema tag stamped into every sample the service emits.
+SAMPLE_SCHEMA = "genomicsbench.service-sample/1"
+
+#: Default retention window: one day of samples.
+DEFAULT_RETENTION_S = 24 * 3600.0
+
+#: Default samples per segment before rotating to a fresh file.
+DEFAULT_SEGMENT_SAMPLES = 512
+
+#: Sealed segments are merged into one file past this count.
+COMPACT_AFTER_SEGMENTS = 8
+
+
+def _segment_name(now: float) -> str:
+    """A sortable, collision-free segment filename."""
+    return f"segment-{int(now * 1000):015d}-{uuid.uuid4().hex[:6]}.jsonl"
+
+
+class SeriesStore:
+    """Append-only JSONL sample store under one directory.
+
+    Thread-safe for one writer process; readers (the fleet dashboard,
+    ``obs slo check``) only ever read whole files, so they can run
+    against a live daemon's directory.
+    """
+
+    def __init__(
+        self,
+        root: "Path | str",
+        retention_seconds: float = DEFAULT_RETENTION_S,
+        segment_max_samples: int = DEFAULT_SEGMENT_SAMPLES,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if retention_seconds <= 0:
+            raise ValueError(f"retention_seconds must be > 0, got {retention_seconds}")
+        if segment_max_samples < 1:
+            raise ValueError(
+                f"segment_max_samples must be >= 1, got {segment_max_samples}"
+            )
+        self.root = Path(root)
+        self.retention_seconds = retention_seconds
+        self.segment_max_samples = segment_max_samples
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._current: Path | None = None
+        self._current_count = 0
+
+    # -- writing -------------------------------------------------------
+
+    def append(self, sample: dict[str, Any]) -> Path:
+        """Persist one sample; returns the segment it landed in."""
+        line = json.dumps(sample, separators=(",", ":"), default=str)
+        with self._lock:
+            if (
+                self._current is None
+                or self._current_count >= self.segment_max_samples
+            ):
+                self._rotate_locked()
+            assert self._current is not None
+            with self._current.open("a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+            self._current_count += 1
+            return self._current
+
+    def _rotate_locked(self) -> None:
+        """Open a fresh segment; prune and maybe compact sealed ones."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._current = None  # seal the outgoing segment before housekeeping
+        self.prune(locked=True)
+        sealed = self._segments()
+        if len(sealed) > COMPACT_AFTER_SEGMENTS:
+            self._compact_locked(sealed)
+        self._current = self.root / _segment_name(self._clock())
+        self._current.touch()
+        self._current_count = 0
+
+    def prune(self, locked: bool = False) -> int:
+        """Drop segments whose newest sample left the retention window.
+
+        A segment's mtime is its last append time, so the check never
+        has to parse the file; returns how many files were removed.
+        """
+        horizon = self._clock() - self.retention_seconds
+        removed = 0
+        for path in self._segments():
+            if path == self._current:
+                continue
+            try:
+                if os.path.getmtime(path) < horizon:
+                    path.unlink(missing_ok=True)
+                    removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def _compact_locked(self, sealed: list[Path]) -> None:
+        """Merge sealed segments into one, dropping out-of-retention rows."""
+        horizon = self._clock() - self.retention_seconds
+        samples = [
+            s
+            for path in sorted(sealed)
+            for s in _read_segment(path)
+            if float(s.get("t", 0.0)) >= horizon
+        ]
+        samples.sort(key=lambda s: float(s.get("t", 0.0)))
+        merged = self.root / _segment_name(self._clock())
+        tmp = merged.with_suffix(".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            for sample in samples:
+                fh.write(json.dumps(sample, separators=(",", ":"), default=str) + "\n")
+        os.replace(tmp, merged)
+        for path in sealed:
+            path.unlink(missing_ok=True)
+
+    # -- reading -------------------------------------------------------
+
+    def _segments(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("segment-*.jsonl"))
+
+    def segments(self) -> list[Path]:
+        """Every segment file, oldest first."""
+        with self._lock:
+            return self._segments()
+
+    def load(
+        self, since: float | None = None, until: float | None = None
+    ) -> list[dict[str, Any]]:
+        """Every retained sample, sorted by ``t``, optionally windowed."""
+        out: list[dict[str, Any]] = []
+        for path in self._segments():
+            for sample in _read_segment(path):
+                t = float(sample.get("t", 0.0))
+                if since is not None and t < since:
+                    continue
+                if until is not None and t > until:
+                    continue
+                out.append(sample)
+        out.sort(key=lambda s: float(s.get("t", 0.0)))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+
+def _read_segment(path: Path) -> list[dict[str, Any]]:
+    """One segment's samples; malformed lines (crash tails) are skipped."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return []
+    out = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(doc, dict):
+            out.append(doc)
+    return out
+
+
+def load_series(state_dir: "Path | str") -> list[dict[str, Any]]:
+    """Every sample under ``<state_dir>/series``, sorted by time."""
+    return SeriesStore(Path(state_dir) / "series").load()
+
+
+class Sampler:
+    """Background thread feeding a :class:`SeriesStore` on an interval.
+
+    ``sample_fn`` produces one JSON-ready sample dict per tick (the
+    service's :meth:`~repro.service.server.JobService.sample`); the
+    first tick fires immediately on :meth:`start` and one final sample
+    is taken on :meth:`stop`, so even a seconds-long daemon lifetime
+    leaves two points to draw a line through.
+    """
+
+    def __init__(
+        self,
+        sample_fn: Callable[[], dict[str, Any]],
+        store: SeriesStore,
+        interval: float = 5.0,
+        on_sample: "Callable[[dict[str, Any]], None] | None" = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.sample_fn = sample_fn
+        self.store = store
+        self.interval = interval
+        self.on_sample = on_sample
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-series-sampler", daemon=True
+        )
+
+    def _tick(self) -> None:
+        try:
+            sample = self.sample_fn()
+            self.store.append(sample)
+        except Exception:  # noqa: BLE001 - sampling must never kill the daemon
+            return
+        if self.on_sample is not None:
+            try:
+                self.on_sample(sample)
+            except Exception:  # noqa: BLE001
+                pass
+
+    def _loop(self) -> None:
+        self._tick()
+        while not self._stop.wait(self.interval):
+            self._tick()
+
+    def start(self) -> "Sampler":
+        self._thread.start()
+        return self
+
+    def stop(self, final_sample: bool = True) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(5.0)
+        if final_sample:
+            self._tick()

@@ -1,0 +1,507 @@
+"""Declarative SLOs over the service series: multi-window burn rates.
+
+A spec (TOML or JSON) declares objectives over the signals the series
+store persists:
+
+* ``availability`` -- at least ``target`` of finished jobs succeed;
+* ``latency`` -- the ``quantile`` of job run time stays at or under
+  ``threshold_seconds`` (p_q <= T is evaluated as its exact
+  equivalent: the fraction of observations above T must not exceed
+  ``1 - quantile``);
+* ``queue_wait`` -- the same form over queue wait time.
+
+Each objective is judged by **burn rate**: the fraction of the error
+budget (``1 - target``) consumed per unit of budget, i.e.
+``bad_fraction / (1 - target)``.  A burn rate of 1.0 spends the budget
+exactly; higher burns spend it faster.  Following the SRE multi-window
+pattern, an objective *breaches* only when **every** configured window
+exceeds its burn threshold -- the short window proves the problem is
+happening *now*, the long window proves it is sustained, and requiring
+both suppresses flapping on blips.
+
+Windowed fractions come from pairwise deltas between consecutive
+samples inside the window, with a negative delta read as a counter
+reset (daemon restart) and replaced by the sample's absolute value --
+so a window spanning two lifetimes still accounts for both.
+
+Spec example (TOML; JSON mirrors the same shape)::
+
+    schema = "genomicsbench.slo/1"
+
+    [[objective]]
+    name = "availability"
+    kind = "availability"
+    target = 0.99
+
+    [[objective]]
+    name = "latency-p95"
+    kind = "latency"
+    quantile = 0.95
+    threshold_seconds = 2.0
+
+    [[window]]
+    seconds = 300
+    burn = 6.0
+
+    [[window]]
+    seconds = 3600
+    burn = 1.0
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import estimate_quantile
+
+#: Schema tag for SLO spec documents.
+SLO_SCHEMA = "genomicsbench.slo/1"
+
+#: Objective kinds and the histogram (if any) they evaluate.
+OBJECTIVE_KINDS = ("availability", "latency", "queue_wait")
+
+_KIND_HISTOGRAM = {"latency": "job.run_seconds", "queue_wait": "queue.wait_seconds"}
+
+#: Default multi-window burn thresholds: a fast 5-minute window that
+#: must burn 6x budget and a slow 1-hour window that must burn 1x.
+DEFAULT_WINDOWS = ((300.0, 6.0), (3600.0, 1.0))
+
+
+class SloSpecError(ValueError):
+    """The spec document is malformed."""
+
+
+@dataclass(frozen=True)
+class SloWindow:
+    """One burn-rate evaluation window."""
+
+    seconds: float
+    burn: float
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "SloWindow":
+        try:
+            seconds = float(doc["seconds"])
+            burn = float(doc.get("burn", 1.0))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SloSpecError(f"bad window {doc!r}: {exc}")
+        if seconds <= 0 or burn <= 0:
+            raise SloSpecError(f"window seconds and burn must be > 0: {doc!r}")
+        return cls(seconds, burn)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declared objective."""
+
+    name: str
+    kind: str
+    target: float
+    quantile: float | None = None
+    threshold_seconds: float | None = None
+
+    @property
+    def budget(self) -> float:
+        """The error budget: tolerated bad fraction."""
+        return 1.0 - self.target
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "SloObjective":
+        kind = doc.get("kind")
+        if kind not in OBJECTIVE_KINDS:
+            raise SloSpecError(
+                f"objective kind must be one of {', '.join(OBJECTIVE_KINDS)}; "
+                f"got {kind!r}"
+            )
+        quantile = doc.get("quantile")
+        threshold = doc.get("threshold_seconds")
+        if kind == "availability":
+            target = float(doc.get("target", 0.99))
+        else:
+            if quantile is None or threshold is None:
+                raise SloSpecError(
+                    f"{kind} objectives need 'quantile' and 'threshold_seconds'"
+                )
+            quantile = float(quantile)
+            threshold = float(threshold)
+            if threshold <= 0:
+                raise SloSpecError(f"threshold_seconds must be > 0, got {threshold}")
+            # "p_q <= T" tolerates a 1-q fraction above T
+            target = quantile
+        if not 0.0 < target < 1.0:
+            raise SloSpecError(f"target/quantile must be in (0, 1), got {target}")
+        name = str(doc.get("name") or kind)
+        return cls(
+            name=name, kind=kind, target=target,
+            quantile=quantile, threshold_seconds=threshold,
+        )
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """The full declared SLO: objectives plus shared windows."""
+
+    objectives: tuple[SloObjective, ...]
+    windows: tuple[SloWindow, ...]
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "SloSpec":
+        if not isinstance(doc, dict):
+            raise SloSpecError(f"spec must be a table/object, got {type(doc).__name__}")
+        raw_objectives = doc.get("objective") or doc.get("objectives") or []
+        if not raw_objectives:
+            raise SloSpecError("spec declares no objectives")
+        objectives = tuple(SloObjective.from_dict(o) for o in raw_objectives)
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise SloSpecError(f"duplicate objective names: {names}")
+        raw_windows = doc.get("window") or doc.get("windows")
+        if raw_windows:
+            windows = tuple(SloWindow.from_dict(w) for w in raw_windows)
+        else:
+            windows = tuple(SloWindow(s, b) for s, b in DEFAULT_WINDOWS)
+        return cls(objectives=objectives, windows=windows)
+
+
+def load_slo_spec(path: "Path | str") -> SloSpec:
+    """Parse a TOML (``.toml``) or JSON spec file."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise SloSpecError(f"cannot read SLO spec {path}: {exc}")
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        try:
+            doc = tomllib.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, tomllib.TOMLDecodeError) as exc:
+            raise SloSpecError(f"{path}: invalid TOML: {exc}")
+    else:
+        try:
+            doc = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SloSpecError(f"{path}: invalid JSON: {exc}")
+    return SloSpec.from_dict(doc)
+
+
+# -- windowed signal extraction ---------------------------------------
+
+
+def _counter(sample: dict[str, Any], name: str) -> float:
+    try:
+        return float((sample.get("counters") or {}).get(name, 0.0))
+    except (TypeError, ValueError):
+        return 0.0
+
+
+def _hist_counts(sample: dict[str, Any], name: str) -> "list[float] | None":
+    hist = (sample.get("hists") or {}).get(name)
+    if not isinstance(hist, dict):
+        return None
+    counts = hist.get("counts")
+    if not isinstance(counts, list):
+        return None
+    return [float(c) for c in counts]
+
+
+def _hist_boundaries(samples: list[dict[str, Any]], name: str) -> list[float]:
+    for sample in reversed(samples):
+        hist = (sample.get("hists") or {}).get(name)
+        if isinstance(hist, dict) and hist.get("boundaries"):
+            return [float(b) for b in hist["boundaries"]]
+    return []
+
+
+def _delta(prev: float, curr: float) -> float:
+    """Pairwise counter delta, reading a decrease as a reset."""
+    return curr if curr < prev else curr - prev
+
+
+def _window_samples(
+    samples: list[dict[str, Any]], seconds: float, now: float
+) -> list[dict[str, Any]]:
+    return [s for s in samples if float(s.get("t", 0.0)) >= now - seconds]
+
+
+def _windowed_counter_delta(samples: list[dict[str, Any]], name: str) -> float:
+    """Total increase of counter ``name`` across the window's samples.
+
+    The first sample contributes its absolute value only when it is the
+    series' own start (the daemon booted inside the window); otherwise
+    history before the window is deliberately excluded.
+    """
+    total = 0.0
+    prev: float | None = None
+    for sample in samples:
+        value = _counter(sample, name)
+        if prev is None:
+            total += value if sample.get("first", False) else 0.0
+        else:
+            total += _delta(prev, value)
+        prev = value
+    return total
+
+
+def _windowed_hist_delta(
+    samples: list[dict[str, Any]], name: str
+) -> "list[float]":
+    """Bucket-wise count increase of histogram ``name`` over the window.
+
+    A histogram is only serialized once it has observations, so one
+    that *appears* partway through the window (after samples that lack
+    it) was born inside the window and its first counts are all new --
+    they are taken absolutely, exactly like a post-restart reset.
+    """
+    acc: list[float] = []
+    prev: "list[float] | None" = None
+    born_inside = False
+    for sample in samples:
+        counts = _hist_counts(sample, name)
+        if counts is None:
+            born_inside = True  # it will first appear after this point
+            continue
+        if not acc:
+            acc = [0.0] * len(counts)
+        if len(counts) != len(acc):
+            prev = counts  # boundary change: restart the pairing
+            continue
+        if prev is None:
+            if sample.get("first", False) or born_inside:
+                acc = [a + c for a, c in zip(acc, counts)]
+        elif len(prev) != len(counts) or sum(counts) < sum(prev):
+            acc = [a + c for a, c in zip(acc, counts)]  # reset: take absolute
+        else:
+            acc = [a + max(0.0, c - p) for a, c, p in zip(acc, counts, prev)]
+        prev = counts
+    return acc
+
+
+def count_above(
+    boundaries: list[float], counts: list[float], threshold: float
+) -> float:
+    """Estimated observations strictly above ``threshold``.
+
+    The dual of :func:`~repro.obs.metrics.estimate_quantile`: uniform
+    spread inside each bucket, the overflow bucket counts fully once
+    the threshold is below +Inf.
+    """
+    above = 0.0
+    lower = min(0.0, boundaries[0]) if boundaries else 0.0
+    for i, count in enumerate(counts):
+        upper = boundaries[i] if i < len(boundaries) else math.inf
+        if lower >= threshold:
+            above += count
+        elif upper > threshold and count > 0:
+            if math.isinf(upper):
+                above += count
+            else:
+                above += count * (upper - threshold) / (upper - lower)
+        lower = upper
+    return above
+
+
+# -- evaluation --------------------------------------------------------
+
+
+@dataclass
+class WindowBurn:
+    """One objective's burn measurement over one window."""
+
+    seconds: float
+    threshold: float
+    bad: float
+    total: float
+    burn: float | None  # None when the window saw no eligible traffic
+
+    @property
+    def exceeded(self) -> bool:
+        return self.burn is not None and self.burn >= self.threshold
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seconds": self.seconds,
+            "burn_threshold": self.threshold,
+            "bad": round(self.bad, 6),
+            "total": round(self.total, 6),
+            "burn": None if self.burn is None else round(self.burn, 4),
+            "exceeded": self.exceeded,
+        }
+
+
+@dataclass
+class ObjectiveStatus:
+    """One objective's verdict: ``ok``, ``breach`` or ``no_data``."""
+
+    objective: SloObjective
+    windows: list[WindowBurn] = field(default_factory=list)
+    measured: float | None = None  # latest long-window quantile/availability
+
+    @property
+    def status(self) -> str:
+        with_data = [w for w in self.windows if w.burn is not None]
+        if not with_data:
+            return "no_data"
+        if len(with_data) == len(self.windows) and all(w.exceeded for w in self.windows):
+            return "breach"
+        return "ok"
+
+    def as_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "name": self.objective.name,
+            "kind": self.objective.kind,
+            "target": self.objective.target,
+            "status": self.status,
+            "measured": None if self.measured is None else round(self.measured, 6),
+            "windows": [w.as_dict() for w in self.windows],
+        }
+        if self.objective.threshold_seconds is not None:
+            doc["threshold_seconds"] = self.objective.threshold_seconds
+        return doc
+
+
+@dataclass
+class SloReport:
+    """The full evaluation: one status per declared objective."""
+
+    generated_unix: float
+    objectives: list[ObjectiveStatus] = field(default_factory=list)
+    samples: int = 0
+
+    @property
+    def breached(self) -> list[str]:
+        return [o.objective.name for o in self.objectives if o.status == "breach"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.breached
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SLO_SCHEMA,
+            "generated_unix": self.generated_unix,
+            "samples": self.samples,
+            "ok": self.ok,
+            "breached": self.breached,
+            "objectives": [o.as_dict() for o in self.objectives],
+        }
+
+
+def _mark_first(samples: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Tag the series' very first sample: a window containing the
+    daemon's birth counts that sample's absolute totals (everything
+    before it happened inside the window too)."""
+    if not samples:
+        return samples
+    out = [dict(s) for s in samples]
+    out[0]["first"] = True
+    return out
+
+
+def _objective_windows(
+    objective: SloObjective,
+    spec: SloSpec,
+    samples: list[dict[str, Any]],
+    now: float,
+) -> list[WindowBurn]:
+    out = []
+    for window in spec.windows:
+        inside = _window_samples(samples, window.seconds, now)
+        if objective.kind == "availability":
+            bad = _windowed_counter_delta(inside, "jobs.failed")
+            total = bad + _windowed_counter_delta(inside, "jobs.done")
+        else:
+            name = _KIND_HISTOGRAM[objective.kind]
+            counts = _windowed_hist_delta(inside, name)
+            boundaries = _hist_boundaries(inside, name)
+            total = sum(counts)
+            bad = (
+                count_above(boundaries, counts, objective.threshold_seconds or 0.0)
+                if counts
+                else 0.0
+            )
+        burn = None if total <= 0 else (bad / total) / max(objective.budget, 1e-9)
+        out.append(
+            WindowBurn(
+                seconds=window.seconds, threshold=window.burn,
+                bad=bad, total=total, burn=burn,
+            )
+        )
+    return out
+
+
+def _objective_measured(
+    objective: SloObjective, samples: list[dict[str, Any]], now: float, seconds: float
+) -> float | None:
+    inside = _window_samples(samples, seconds, now)
+    if objective.kind == "availability":
+        bad = _windowed_counter_delta(inside, "jobs.failed")
+        total = bad + _windowed_counter_delta(inside, "jobs.done")
+        return None if total <= 0 else 1.0 - bad / total
+    name = _KIND_HISTOGRAM[objective.kind]
+    counts = _windowed_hist_delta(inside, name)
+    boundaries = _hist_boundaries(inside, name)
+    if not counts or not boundaries:
+        return None
+    return estimate_quantile(boundaries, counts, objective.quantile or 0.5)
+
+
+def evaluate_slo(
+    spec: SloSpec, samples: list[dict[str, Any]], now: float | None = None
+) -> SloReport:
+    """Judge every objective over the given series samples."""
+    samples = _mark_first(sorted(samples, key=lambda s: float(s.get("t", 0.0))))
+    if now is None:
+        now = (
+            float(samples[-1].get("t", 0.0)) if samples else 0.0
+        )
+    longest = max((w.seconds for w in spec.windows), default=3600.0)
+    report = SloReport(generated_unix=now, samples=len(samples))
+    for objective in spec.objectives:
+        status = ObjectiveStatus(
+            objective=objective,
+            windows=_objective_windows(objective, spec, samples, now),
+            measured=_objective_measured(objective, samples, now, longest),
+        )
+        report.objectives.append(status)
+    return report
+
+
+class SloMonitor:
+    """Stateful wrapper: evaluates on every sample tick, emits events
+    on status *transitions* (breach and recovery) only, so a sustained
+    breach is one event, not one per tick."""
+
+    def __init__(self, spec: SloSpec, events: Any = None) -> None:
+        self.spec = spec
+        self.events = events
+        self._breached: set[str] = set()
+
+    def update(
+        self, samples: list[dict[str, Any]], now: float | None = None
+    ) -> SloReport:
+        report = evaluate_slo(self.spec, samples, now)
+        current = set(report.breached)
+        if self.events is not None:
+            from repro.obs import events as ev
+
+            for status in report.objectives:
+                name = status.objective.name
+                if name in current and name not in self._breached:
+                    self.events.emit(
+                        ev.SLO_BREACHED, "error", objective=name,
+                        kind=status.objective.kind,
+                        measured=status.measured,
+                        windows=[w.as_dict() for w in status.windows],
+                    )
+                elif name in self._breached and name not in current:
+                    self.events.emit(
+                        ev.SLO_RECOVERED, objective=name,
+                        kind=status.objective.kind, measured=status.measured,
+                    )
+        self._breached = current
+        return report

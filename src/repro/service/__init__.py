@@ -28,9 +28,11 @@ from repro.service.server import (
     DEFAULT_TENANT,
     JOB_STATES,
     ROUTES,
+    STATS_SCHEMA,
     Job,
     JobService,
     ServiceServer,
+    route_template,
 )
 from repro.service.store import ResultStore, current_git_sha, result_key
 
@@ -49,9 +51,11 @@ __all__ = [
     "QueueClosed",
     "QueueFull",
     "ResultStore",
+    "STATS_SCHEMA",
     "ServiceServer",
     "TokenBucket",
     "current_git_sha",
     "parse_job_spec",
     "result_key",
+    "route_template",
 ]

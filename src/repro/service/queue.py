@@ -50,11 +50,18 @@ class JobQueue:
     contract: depth measures wait, not work in flight.
     """
 
-    def __init__(self, max_depth: int = 16) -> None:
+    def __init__(
+        self,
+        max_depth: int = 16,
+        on_wait: "Callable[[float], None] | None" = None,
+    ) -> None:
         if max_depth < 1:
             raise ValueError(f"max_depth must be >= 1, got {max_depth}")
         self.max_depth = max_depth
-        self._heap: list[tuple[int, int, Any]] = []
+        #: Called with each popped job's queue wait in seconds -- the
+        #: server's hook into the queue-wait histogram.
+        self.on_wait = on_wait
+        self._heap: list[tuple[int, int, float, Any]] = []
         self._seq = 0
         self._closed = False
         self._lock = threading.Lock()
@@ -78,10 +85,10 @@ class JobQueue:
                 raise QueueFull(len(self._heap), self.max_depth)
             # heapq is a min-heap: negate priority so higher pops first,
             # and tie-break on admission order for FIFO fairness
-            entry = (-priority, self._seq, job)
+            entry = (-priority, self._seq, time.monotonic(), job)
             self._seq += 1
             heapq.heappush(self._heap, entry)
-            position = sum(1 for e in self._heap if e < entry)
+            position = sum(1 for e in self._heap if e[:2] < entry[:2])
             self._ready.notify()
             return position
 
@@ -100,7 +107,13 @@ class JobQueue:
                 if remaining is not None and remaining <= 0:
                     return None
                 self._ready.wait(remaining)
-            return heapq.heappop(self._heap)[2]
+            _, _, enqueued, job = heapq.heappop(self._heap)
+        if self.on_wait is not None:
+            try:
+                self.on_wait(max(0.0, time.monotonic() - enqueued))
+            except Exception:  # noqa: BLE001 - observers must not break popping
+                pass
+        return job
 
     def close(self) -> None:
         """Refuse new pushes and wake every blocked ``pop``.

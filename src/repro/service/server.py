@@ -41,6 +41,8 @@ from urllib.parse import parse_qs, urlparse
 from repro.obs import events as ev
 from repro.obs.events import EventLog, new_run_id
 from repro.obs.live import DEFAULT_HOST, status_from_events
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry, quantile_from_dict
+from repro.obs.series import SAMPLE_SCHEMA, Sampler, SeriesStore
 from repro.service.queue import JobQueue, QueueClosed, QueueFull, TokenBucket
 from repro.service.schemas import JobSpec, JobSpecError, parse_job_spec
 from repro.service.store import ResultStore, current_git_sha, result_key
@@ -54,19 +56,47 @@ DEFAULT_TENANT = "default"
 #: Job lifecycle states, in order.
 JOB_STATES = ("queued", "running", "done", "failed")
 
+#: Schema tag of the ``GET /stats`` document -- the stable scraper
+#: contract (monotonic counter totals under ``counters``/``requests``).
+STATS_SCHEMA = "genomicsbench.service-stats/1"
+
+#: Default seconds between series-store samples (``--sample-interval``).
+DEFAULT_SAMPLE_INTERVAL = 5.0
+
 #: The service's public HTTP surface.  ``docs/service.md`` documents
 #: exactly these routes and ``tests/service/test_docs.py`` diffs the
 #: two, so adding a route without documenting it fails CI.
 ROUTES: tuple[dict[str, str], ...] = (
     {"method": "GET", "path": "/", "description": "service index: endpoints and version"},
     {"method": "GET", "path": "/healthz", "description": "liveness probe"},
+    {"method": "GET", "path": "/healthz?verbose=1", "description": "health plus SLO burn-rate detail"},
     {"method": "GET", "path": "/stats", "description": "queue depth, tenants, counters"},
+    {"method": "GET", "path": "/metrics", "description": "OpenMetrics exposition of service metrics"},
     {"method": "POST", "path": "/jobs", "description": "submit a run or sweep job"},
     {"method": "GET", "path": "/jobs", "description": "list jobs (?status=, ?tenant=)"},
     {"method": "GET", "path": "/jobs/{id}", "description": "job status (live fold while running)"},
     {"method": "GET", "path": "/jobs/{id}/record", "description": "the finished record JSON"},
     {"method": "GET", "path": "/jobs/{id}/report", "description": "self-contained HTML report"},
 )
+
+
+def route_template(path: str) -> str:
+    """Collapse a concrete request path onto its :data:`ROUTES` pattern.
+
+    Per-route metrics label on the *pattern* (``/jobs/{id}``, not each
+    job id) so request-counter cardinality stays bounded; anything off
+    the route table lands in ``other``.
+    """
+    path = path.rstrip("/") or "/"
+    if path in ("/", "/healthz", "/stats", "/metrics", "/jobs"):
+        return path
+    parts = path.split("/")
+    if len(parts) >= 2 and parts[1] == "jobs":
+        if len(parts) == 3:
+            return "/jobs/{id}"
+        if len(parts) == 4 and parts[3] in ("record", "report"):
+            return f"/jobs/{{id}}/{parts[3]}"
+    return "other"
 
 
 @dataclass
@@ -144,6 +174,8 @@ class JobService:
         events: EventLog | None = None,
         runner: "Callable[[Job], dict[str, Any]] | None" = None,
         clock: Callable[[], float] = time.monotonic,
+        slo: Any = None,
+        sample_interval: float | None = DEFAULT_SAMPLE_INTERVAL,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -152,7 +184,12 @@ class JobService:
             self.state_dir if self.state_dir is not None else None
         )
         self.cache = cache
-        self.queue = JobQueue(queue_depth)
+        self.metrics = MetricsRegistry()
+        self._mlock = threading.Lock()
+        self._requests: dict[str, dict[str, int]] = {}
+        self._tenant_submitted: dict[str, int] = {}
+        self._busy_workers = 0
+        self.queue = JobQueue(queue_depth, on_wait=self._observe_queue_wait)
         self.events = events if events is not None else EventLog(run_id="service")
         self.git_sha = current_git_sha()
         self._runner = runner if runner is not None else self.execute_job
@@ -168,6 +205,17 @@ class JobService:
             "rejected_quota": 0, "conflicts": 0, "done": 0, "failed": 0,
         }
         self._accepting = True
+
+        # SLO engine: a spec object or file path; breaches are judged
+        # on every sample tick and emitted as events (transitions only)
+        self.slo_spec = None
+        self._slo_monitor = None
+        if slo is not None:
+            from repro.obs.slo import SloMonitor, SloSpec, load_slo_spec
+
+            self.slo_spec = slo if isinstance(slo, SloSpec) else load_slo_spec(slo)
+            self._slo_monitor = SloMonitor(self.slo_spec, events=self.events)
+
         self._threads = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-serve-worker-{i}", daemon=True
@@ -181,6 +229,149 @@ class JobService:
             ev.SERVICE_STARTED, workers=workers, queue_depth=queue_depth,
             git_sha=self.git_sha,
         )
+
+        # persistent series: only with an explicit state-dir (a library
+        # embedding without one should not write under the homedir)
+        self.series: SeriesStore | None = None
+        self._sampler: Sampler | None = None
+        if self.state_dir is not None and sample_interval:
+            self.series = SeriesStore(self.state_dir / "series")
+            self._sampler = Sampler(
+                self.sample, self.series,
+                interval=sample_interval, on_sample=self._on_sample,
+            ).start()
+
+    # -- instrumentation ----------------------------------------------
+
+    def _mcount(self, name: str, n: float = 1) -> None:
+        with self._mlock:
+            self.metrics.counter(name).inc(n)
+
+    def _mobserve(self, name: str, value: float) -> None:
+        with self._mlock:
+            self.metrics.histogram(name, LATENCY_BUCKETS).observe(value)
+
+    def _observe_queue_wait(self, seconds: float) -> None:
+        self._mobserve("queue.wait_seconds", seconds)
+
+    def _count_tenant(self, tenant: str) -> None:
+        with self._lock:
+            self._tenant_submitted[tenant] = self._tenant_submitted.get(tenant, 0) + 1
+        self._mcount(f"tenant.submitted.{tenant}")
+
+    def observe_request(
+        self, method: str, template: str, status: int, seconds: float
+    ) -> None:
+        """Record one handled HTTP request (the handler's exit hook)."""
+        key = f"{method} {template}"
+        with self._mlock:
+            self.metrics.counter(f"http.requests.{key}.{status}").inc()
+            self.metrics.histogram(
+                f"http.request_seconds.{key}", LATENCY_BUCKETS
+            ).observe(seconds)
+        with self._lock:
+            by_status = self._requests.setdefault(key, {})
+            by_status[str(status)] = by_status.get(str(status), 0) + 1
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The registry's dict snapshot plus point-in-time gauges.
+
+        This is what ``GET /metrics`` encodes: monotonic counters and
+        latency histograms straight from the registry, with live
+        queue/worker/store gauges layered on top.
+        """
+        with self._mlock:
+            doc = self.metrics.as_dict()
+        with self._lock:
+            busy = self._busy_workers
+            submitted = self._counters["submitted"]
+            deduped = self._counters["deduped"]
+            states: dict[str, int] = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                states[job.status] = states.get(job.status, 0) + 1
+        gauges = doc["gauges"]
+        gauges["queue.depth"] = float(self.queue.depth)
+        gauges["queue.max_depth"] = float(self.queue.max_depth)
+        gauges["workers.total"] = float(len(self._threads))
+        gauges["workers.busy"] = float(busy)
+        gauges["service.accepting"] = 1.0 if self._accepting else 0.0
+        gauges["service.uptime_seconds"] = round(time.time() - self.started_unix, 3)
+        for state, n in states.items():
+            gauges[f"jobs.state.{state}"] = float(n)
+        ratio = self.store.hit_ratio
+        if ratio is not None:
+            gauges["store.hit_ratio"] = round(ratio, 6)
+        if submitted:
+            gauges["jobs.dedup_ratio"] = round(deduped / submitted, 6)
+        return doc
+
+    def _latency_quantiles(self) -> dict[str, float | None]:
+        with self._mlock:
+            hist = self.metrics.as_dict()["histograms"].get("job.run_seconds")
+        if not hist:
+            return {"p50": None, "p95": None, "p99": None}
+        return {
+            label: quantile_from_dict(hist, q)
+            for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99))
+        }
+
+    def sample(self) -> dict[str, Any]:
+        """One JSON-ready series sample (what the background sampler
+        persists every tick)."""
+        snap = self.metrics_snapshot()
+        with self._lock:
+            counters = dict(self._counters)
+            tenants = dict(self._tenant_submitted)
+            requests = {k: dict(v) for k, v in self._requests.items()}
+        sample_counters = {f"jobs.{k}": v for k, v in counters.items()}
+        sample_counters["http.requests"] = sum(
+            n for by_status in requests.values() for n in by_status.values()
+        )
+        return {
+            "schema": SAMPLE_SCHEMA,
+            "t": time.time(),
+            "gauges": {k: v for k, v in snap["gauges"].items() if v is not None},
+            "counters": sample_counters,
+            "requests": requests,
+            "tenants": tenants,
+            "hists": {
+                name: hist
+                for name, hist in snap["histograms"].items()
+                if name in ("job.run_seconds", "queue.wait_seconds")
+            },
+            "latency": self._latency_quantiles(),
+        }
+
+    def _on_sample(self, sample: dict[str, Any]) -> None:
+        """Sampler hook: judge the SLO over the freshly-extended series."""
+        if self._slo_monitor is None or self.series is None:
+            return
+        longest = max(w.seconds for w in self.slo_spec.windows)
+        since = float(sample.get("t", time.time())) - longest - 1.0
+        self._slo_monitor.update(self.series.load(since=since))
+
+    def healthz(self, verbose: bool = False) -> dict[str, Any]:
+        """The ``GET /healthz`` document; ``verbose`` adds SLO detail."""
+        doc: dict[str, Any] = {"status": "ok", "accepting": self._accepting}
+        if not verbose:
+            return doc
+        doc["uptime_seconds"] = round(time.time() - self.started_unix, 3)
+        doc["queue"] = {"depth": self.queue.depth, "max_depth": self.queue.max_depth}
+        with self._lock:
+            doc["workers"] = {"total": len(self._threads), "busy": self._busy_workers}
+        doc["series_samples"] = len(self.series) if self.series is not None else 0
+        if self.slo_spec is not None and self.series is not None:
+            from repro.obs.slo import evaluate_slo
+
+            report = evaluate_slo(self.slo_spec, self.series.load())
+            doc["slo"] = report.as_dict()
+            if not report.ok:
+                doc["status"] = "degraded"
+        elif self.slo_spec is not None:
+            doc["slo"] = {"error": "no series store; start with --state-dir"}
+        else:
+            doc["slo"] = {"error": "no SLO spec; start with --slo"}
+        return doc
 
     # -- admission -----------------------------------------------------
 
@@ -231,6 +422,7 @@ class JobService:
             retry = 2**31 if math.isinf(wait) else max(1, math.ceil(wait))
             with self._lock:
                 self._counters["rejected_quota"] += 1
+            self._mcount("jobs.rejected_quota")
             self.events.emit(
                 ev.JOB_REJECTED, "warning", tenant=tenant,
                 reason="quota", retry_after=retry, summary=spec.summary(),
@@ -255,6 +447,9 @@ class JobService:
                 self._jobs[job.id] = job
                 self._counters["submitted"] += 1
                 self._counters["deduped"] += 1
+            self._mcount("jobs.submitted")
+            self._mcount("jobs.deduped")
+            self._count_tenant(tenant)
             self.events.emit(
                 ev.JOB_DEDUPED, job_id=job.id, tenant=tenant,
                 digest=digest, summary=spec.summary(),
@@ -267,6 +462,7 @@ class JobService:
             for other in self._jobs.values():
                 if other.store_key == key and other.status in ("queued", "running"):
                     self._counters["conflicts"] += 1
+                    self._mcount("jobs.conflicts")
                     return (
                         409,
                         {
@@ -290,6 +486,7 @@ class JobService:
             retry = self.retry_after_hint()
             with self._lock:
                 self._counters["rejected_queue"] += 1
+            self._mcount("jobs.rejected_queue")
             self.events.emit(
                 ev.JOB_REJECTED, "warning", tenant=tenant, reason="queue_full",
                 depth=exc.depth, retry_after=retry, summary=spec.summary(),
@@ -302,6 +499,8 @@ class JobService:
         with self._lock:
             self._jobs[job.id] = job
             self._counters["submitted"] += 1
+        self._mcount("jobs.submitted")
+        self._count_tenant(tenant)
         self.events.emit(
             ev.JOB_SUBMITTED, job_id=job.id, tenant=tenant, digest=digest,
             priority=spec.priority, position=position, summary=spec.summary(),
@@ -343,7 +542,9 @@ class JobService:
 
     def _worker_loop(self) -> None:
         while True:
+            idle_from = time.perf_counter()
             job = self.queue.pop(timeout=0.5)
+            self._mcount("workers.idle_seconds", time.perf_counter() - idle_from)
             if job is None:
                 if self.queue.closed:
                     return
@@ -351,34 +552,46 @@ class JobService:
             job.status = "running"
             job.started_unix = time.time()
             started = time.perf_counter()
+            with self._lock:
+                self._busy_workers += 1
             self.events.emit(
                 ev.JOB_STARTED, job_id=job.id, tenant=job.tenant,
                 summary=job.spec.summary(),
             )
             try:
-                record = self._runner(job)
-                self.store.store(job.store_key, record)
-            except Exception as exc:  # noqa: BLE001 - job errors are data
-                job.error = f"{type(exc).__name__}: {exc}"
-                job.status = "failed"
+                try:
+                    record = self._runner(job)
+                    self.store.store(job.store_key, record)
+                except Exception as exc:  # noqa: BLE001 - job errors are data
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.status = "failed"
+                    job.finished_unix = time.time()
+                    with self._lock:
+                        self._counters["failed"] += 1
+                    self._mcount("jobs.failed")
+                    self._mobserve("job.run_seconds", time.perf_counter() - started)
+                    self.events.emit(
+                        ev.JOB_FAILED, "error", job_id=job.id, tenant=job.tenant,
+                        error=job.error,
+                    )
+                    continue
+                job.status = "done"
                 job.finished_unix = time.time()
+                seconds = time.perf_counter() - started
                 with self._lock:
-                    self._counters["failed"] += 1
+                    self._counters["done"] += 1
+                    self._durations.append(seconds)
+                self._mcount("jobs.done")
+                self._mobserve("job.run_seconds", seconds)
                 self.events.emit(
-                    ev.JOB_FAILED, "error", job_id=job.id, tenant=job.tenant,
-                    error=job.error,
+                    ev.JOB_FINISHED, job_id=job.id, tenant=job.tenant,
+                    seconds=round(seconds, 6),
                 )
-                continue
-            job.status = "done"
-            job.finished_unix = time.time()
-            seconds = time.perf_counter() - started
-            with self._lock:
-                self._counters["done"] += 1
-                self._durations.append(seconds)
-            self.events.emit(
-                ev.JOB_FINISHED, job_id=job.id, tenant=job.tenant,
-                seconds=round(seconds, 6),
-            )
+            finally:
+                busy = time.perf_counter() - started
+                with self._lock:
+                    self._busy_workers -= 1
+                self._mcount("workers.busy_seconds", busy)
 
     # -- reading -------------------------------------------------------
 
@@ -405,6 +618,7 @@ class JobService:
     def stats(self) -> dict[str, Any]:
         with self._lock:
             counters = dict(self._counters)
+            requests = {k: dict(v) for k, v in self._requests.items()}
             tenants = {
                 name: round(bucket.tokens, 3)
                 for name, bucket in self._buckets.items()
@@ -413,11 +627,15 @@ class JobService:
             for job in self._jobs.values():
                 states[job.status] = states.get(job.status, 0) + 1
         return {
+            "schema": STATS_SCHEMA,
             "accepting": self._accepting,
             "queue": {"depth": self.queue.depth, "max_depth": self.queue.max_depth},
             "workers": len(self._threads),
             "jobs": states,
             "counters": counters,
+            # monotonic totals per "<METHOD> <route pattern>" and status
+            "requests": requests,
+            "latency_seconds": self._latency_quantiles(),
             "tenant_tokens": tenants,
             "git_sha": self.git_sha,
             "uptime_seconds": round(time.time() - self.started_unix, 3),
@@ -446,6 +664,10 @@ class JobService:
         for thread in self._threads:
             thread.join(max(0.0, deadline - time.monotonic()))
             clean = clean and not thread.is_alive()
+        if self._sampler is not None:
+            # one final sample so even a short lifetime leaves a record
+            self._sampler.stop(final_sample=True)
+            self._sampler = None
         self.events.emit(ev.SERVICE_STOPPED, clean=clean)
         return clean
 
@@ -470,6 +692,27 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # -- helpers -------------------------------------------------------
 
+    def send_response(self, code: int, message: str | None = None) -> None:
+        self._status_code = code  # remembered for the request metrics
+        super().send_response(code, message)
+
+    def _instrumented(self, handler: Callable[[], None]) -> None:
+        """Time one request and feed the per-route metrics on the way out."""
+        started = time.perf_counter()
+        self._status_code = 500
+        try:
+            handler()
+        finally:
+            try:
+                self.service.observe_request(
+                    self.command,
+                    route_template(urlparse(self.path).path),
+                    getattr(self, "_status_code", 500),
+                    time.perf_counter() - started,
+                )
+            except Exception:  # noqa: BLE001 - metrics must not break replies
+                pass
+
     def _send_json(
         self, doc: Any, code: int = 200, headers: dict[str, str] | None = None
     ) -> None:
@@ -486,10 +729,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             pass  # client went away mid-reply
 
     def _send_html(self, body: str, code: int = 200) -> None:
+        self._send_text(body, "text/html; charset=utf-8", code)
+
+    def _send_text(self, body: str, content_type: str, code: int = 200) -> None:
         payload = body.encode("utf-8")
         try:
             self.send_response(code)
-            self.send_header("Content-Type", "text/html; charset=utf-8")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(payload)))
             self.end_headers()
             self.wfile.write(payload)
@@ -530,6 +776,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     # -- verbs ---------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        self._instrumented(self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        self._instrumented(self._handle_post)
+
+    def _handle_get(self) -> None:
         parsed = urlparse(self.path)
         route = parsed.path.rstrip("/") or "/"
         query = parse_qs(parsed.query)
@@ -548,9 +800,20 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 }
             )
         elif route == "/healthz":
-            self._send_json({"status": "ok", "accepting": self.service._accepting})
+            verbose = query.get("verbose", ["0"])[0] not in ("", "0", "false")
+            self._send_json(self.service.healthz(verbose))
         elif route == "/stats":
             self._send_json(self.service.stats())
+        elif route == "/metrics":
+            from repro.obs.report import encode_openmetrics
+
+            self._send_text(
+                encode_openmetrics(
+                    self.service.metrics_snapshot(),
+                    {"service": "repro-serve", "git_sha": self.service.git_sha},
+                ),
+                "application/openmetrics-text; version=1.0.0; charset=utf-8",
+            )
         elif route == "/jobs":
             status = query.get("status", [None])[0]
             if status is not None and status not in JOB_STATES:
@@ -586,7 +849,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         else:
             self._send_json({"error": f"no such endpoint {route!r}"}, code=404)
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+    def _handle_post(self) -> None:
         route = urlparse(self.path).path.rstrip("/")
         if route != "/jobs":
             self._send_json({"error": f"no such endpoint {route!r}"}, code=404)

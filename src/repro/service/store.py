@@ -26,6 +26,7 @@ import json
 import os
 import subprocess
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any
 
@@ -87,6 +88,18 @@ class ResultStore:
 
     def __init__(self, root: "Path | str | None" = None) -> None:
         self.root = Path(root) if root is not None else default_store_dir()
+        #: Lookup outcome tallies since process start -- the dedup
+        #: hit ratio the service's ``/metrics`` gauge reports.
+        self.hits = 0
+        self.misses = 0
+        self._stats_lock = threading.Lock()
+
+    @property
+    def hit_ratio(self) -> float | None:
+        """Hits over lookups this process, ``None`` before any lookup."""
+        with self._stats_lock:
+            lookups = self.hits + self.misses
+            return self.hits / lookups if lookups else None
 
     def path_for(self, key: str) -> Path:
         return self.root / "results" / f"{key}.json"
@@ -97,12 +110,25 @@ class ResultStore:
         try:
             doc = json.loads(path.read_text())
         except FileNotFoundError:
+            self._count(hit=False)
             return None
         except (OSError, json.JSONDecodeError):
             # truncated or corrupt entry: drop it and treat as a miss
             path.unlink(missing_ok=True)
+            self._count(hit=False)
             return None
-        return doc if isinstance(doc, dict) else None
+        if not isinstance(doc, dict):
+            self._count(hit=False)
+            return None
+        self._count(hit=True)
+        return doc
+
+    def _count(self, hit: bool) -> None:
+        with self._stats_lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
 
     def store(self, key: str, record: dict[str, Any]) -> Path:
         """Atomically persist one record dict under ``key``."""

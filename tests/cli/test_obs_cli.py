@@ -1,0 +1,119 @@
+"""Tests for the observability CLI: ``obs slo check`` and the fleet
+``obs report --service`` path."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs.series import SAMPLE_SCHEMA, SeriesStore
+
+OK_SPEC = (
+    "[[objective]]\n"
+    'name = "avail"\nkind = "availability"\ntarget = 0.5\n'
+    "[[window]]\nseconds = 300\nburn = 1.0\n"
+)
+VIOLATED_SPEC = (
+    "[[objective]]\n"
+    'name = "lat-p50"\nkind = "latency"\n'
+    "quantile = 0.5\nthreshold_seconds = 1e-9\n"
+    "[[window]]\nseconds = 300\nburn = 1.0\n"
+)
+
+
+def seed_state(state_dir, failed=0):
+    store = SeriesStore(state_dir / "series")
+    hist = {"boundaries": [0.1, 1.0], "counts": [0, 5, 0]}
+    for i, t in enumerate((100.0, 160.0)):
+        store.append({
+            "schema": SAMPLE_SCHEMA,
+            "t": t,
+            "counters": {"jobs.done": 5 * (i + 1), "jobs.failed": failed * (i + 1)},
+            "hists": {"job.run_seconds": hist},
+        })
+    return state_dir
+
+
+class TestSloCheck:
+    def test_passing_spec_exits_zero(self, tmp_path, capsys):
+        seed_state(tmp_path)
+        spec = tmp_path / "slo.toml"
+        spec.write_text(OK_SPEC)
+        rc = main(["obs", "slo", "check", "--state-dir", str(tmp_path),
+                   "--spec", str(spec)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "avail" in out and "ok" in out
+
+    def test_violated_spec_exits_one(self, tmp_path, capsys):
+        seed_state(tmp_path)
+        spec = tmp_path / "slo.toml"
+        spec.write_text(VIOLATED_SPEC)
+        rc = main(["obs", "slo", "check", "--state-dir", str(tmp_path),
+                   "--spec", str(spec)])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "breach" in captured.out
+        assert "SLO breach: lat-p50" in captured.err
+
+    def test_empty_state_dir_exits_two(self, tmp_path, capsys):
+        spec = tmp_path / "slo.toml"
+        spec.write_text(OK_SPEC)
+        rc = main(["obs", "slo", "check", "--state-dir", str(tmp_path),
+                   "--spec", str(spec)])
+        assert rc == 2
+        assert "no series samples" in capsys.readouterr().err
+
+    def test_malformed_spec_is_a_usage_error(self, tmp_path):
+        seed_state(tmp_path)
+        spec = tmp_path / "slo.toml"
+        spec.write_text("[[objective]]\n")  # empty objective table
+        with pytest.raises(SystemExit):
+            main(["obs", "slo", "check", "--state-dir", str(tmp_path),
+                  "--spec", str(spec)])
+
+    def test_json_output_mode(self, tmp_path, capsys):
+        seed_state(tmp_path)
+        spec = tmp_path / "slo.json"
+        spec.write_text(
+            '{"objectives": [{"kind": "availability", "target": 0.5}],'
+            ' "windows": [{"seconds": 300, "burn": 1.0}]}'
+        )
+        rc = main(["obs", "slo", "check", "--state-dir", str(tmp_path),
+                   "--spec", str(spec), "--format", "json"])
+        assert rc == 0
+        assert '"SLO check' in capsys.readouterr().out
+
+
+class TestFleetReportCli:
+    def test_writes_default_path_in_state_dir(self, tmp_path, capsys):
+        seed_state(tmp_path)
+        rc = main(["obs", "report", "--service", str(tmp_path)])
+        assert rc == 0
+        out_file = tmp_path / "fleet-report.html"
+        assert out_file.is_file()
+        assert "genomicsbench fleet report" in out_file.read_text()
+        assert "wrote fleet report" in capsys.readouterr().err
+
+    def test_explicit_out_and_slo_overlay(self, tmp_path):
+        seed_state(tmp_path)
+        spec = tmp_path / "slo.toml"
+        spec.write_text(OK_SPEC)
+        out = tmp_path / "custom.html"
+        rc = main(["obs", "report", "--service", str(tmp_path),
+                   "--slo", str(spec), "--out", str(out)])
+        assert rc == 0
+        assert "<h2>SLO</h2>" in out.read_text()
+
+    def test_bad_slo_spec_is_a_usage_error(self, tmp_path):
+        seed_state(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["obs", "report", "--service", str(tmp_path),
+                  "--slo", str(tmp_path / "missing.toml")])
+
+
+class TestServeFlags:
+    def test_serve_rejects_bad_slo_spec(self, tmp_path):
+        bad = tmp_path / "bad.toml"
+        bad.write_text("[[objective]]\n")
+        with pytest.raises(SystemExit):
+            main(["serve", "--state-dir", str(tmp_path / "state"),
+                  "--slo", str(bad), "--port", "0"])

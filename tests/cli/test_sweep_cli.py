@@ -140,7 +140,7 @@ def test_obs_report_sweep_default_output_lands_in_sweep_dir(sweep_args, tmp_path
 
 
 def test_obs_report_requires_a_record_or_sweep():
-    with pytest.raises(SystemExit, match="run-record JSON or --sweep"):
+    with pytest.raises(SystemExit, match="run-record JSON, --sweep DIR or --service"):
         main(["obs", "report"])
 
 

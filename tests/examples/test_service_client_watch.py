@@ -1,0 +1,81 @@
+"""Tests for the example client's ``--watch`` ticker mode."""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SCRIPT = REPO / "examples" / "service_client.py"
+
+
+@pytest.fixture(scope="module")
+def client():
+    spec = importlib.util.spec_from_file_location("service_client", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+STATS = {
+    "queue": {"depth": 1, "max_depth": 16},
+    "workers": 2,
+    "counters": {"done": 3, "failed": 1, "deduped": 2},
+    "requests": {"GET /stats": {"200": 5}, "POST /jobs": {"202": 4}},
+    "latency_seconds": {"p50": 0.075, "p95": 0.0975},
+}
+METRICS = (
+    "# TYPE genomicsbench_workers_busy gauge\n"
+    'genomicsbench_workers_busy{service="repro-serve"} 1\n'
+    "# EOF\n"
+)
+
+
+def test_render_ticker_line(client):
+    line = client.render_ticker(STATS, METRICS)
+    assert line == (
+        "q 1/16 | busy 1/2 | jobs done 3 fail 1 dedup 2 | http 9 "
+        "| p50 75ms p95 98ms"
+    )
+
+
+def test_render_ticker_degrades_on_empty_payloads(client):
+    line = client.render_ticker({}, "")
+    assert "q ?/?" in line and "busy ?/?" in line and "p50 -" in line
+
+
+def test_metric_value_parses_exposition(client):
+    assert client.metric_value(METRICS, "genomicsbench_workers_busy") == 1.0
+    assert client.metric_value(METRICS, "genomicsbench_missing") is None
+    # comment lines never match, label sets are ignored
+    assert client.metric_value("# TYPE x counter\n# EOF\n", "x") is None
+
+
+def test_watch_against_live_daemon(tmp_path):
+    from repro.service import JobService, ServiceServer
+
+    svc = JobService(workers=1, state_dir=tmp_path, runner=lambda job: {"ok": True})
+    server = ServiceServer(svc, port=0).start()
+    try:
+        result = subprocess.run(
+            [sys.executable, str(SCRIPT), "--watch", "--count", "2",
+             "--interval", "0.1", "--base", server.url],
+            capture_output=True, text=True, timeout=60, cwd=REPO,
+        )
+    finally:
+        server.stop(drain=False, timeout=10)
+    assert result.returncode == 0, result.stderr[-2000:]
+    lines = [ln for ln in result.stdout.splitlines() if "|" in ln]
+    assert len(lines) == 2
+    assert "busy 0/1" in lines[0]
+
+
+def test_kernel_required_without_watch():
+    result = subprocess.run(
+        [sys.executable, str(SCRIPT)],
+        capture_output=True, text=True, timeout=60, cwd=REPO,
+    )
+    assert result.returncode != 0
+    assert "kernel is required" in result.stderr

@@ -1,0 +1,187 @@
+"""Tests for the fleet HTML dashboard (``obs report --service``)."""
+
+import pytest
+
+from repro.obs.fleet import render_fleet_report, write_fleet_report
+from repro.obs.series import SAMPLE_SCHEMA, SeriesStore
+from repro.obs.slo import SloSpec
+
+
+def _sample(t, uptime, done=0, failed=0, requests=0, depth=0, busy=0,
+            tenants=None, by_route=None, latency=None):
+    return {
+        "schema": SAMPLE_SCHEMA,
+        "t": t,
+        "gauges": {
+            "queue.depth": depth,
+            "workers.busy": busy,
+            "service.uptime_seconds": uptime,
+        },
+        "counters": {
+            "jobs.done": done,
+            "jobs.failed": failed,
+            "jobs.submitted": done + failed,
+            "jobs.deduped": 0,
+            "jobs.rejected_queue": 0,
+            "jobs.rejected_quota": 0,
+            "http.requests": requests,
+        },
+        "requests": by_route or {},
+        "tenants": tenants or {},
+        "latency": latency or {},
+    }
+
+
+def _seed(state_dir, samples):
+    store = SeriesStore(state_dir / "series")
+    for s in samples:
+        store.append(s)
+    return store
+
+
+TWO_LIFETIMES = [
+    # lifetime one: uptime climbs, 3 jobs done
+    _sample(100.0, uptime=1.0, done=0, requests=1, depth=2, busy=1,
+            latency={"p50": 0.05, "p95": 0.2, "p99": 0.3},
+            by_route={"POST /jobs": {"202": 3}},
+            tenants={"public": 3.0}),
+    _sample(160.0, uptime=61.0, done=3, failed=1, requests=9,
+            latency={"p50": 0.06, "p95": 0.25, "p99": 0.4},
+            by_route={"POST /jobs": {"202": 4}}),
+    # lifetime two: uptime resets, counters restart
+    _sample(220.0, uptime=2.0, done=2, requests=4,
+            latency={"p50": 0.04, "p95": 0.1, "p99": 0.2},
+            by_route={"POST /jobs": {"202": 2}}),
+]
+
+
+def test_dashboard_renders_and_spans_lifetimes(tmp_path):
+    _seed(tmp_path, TWO_LIFETIMES)
+    html = render_fleet_report(tmp_path)
+    assert html.startswith("<!doctype html>")
+    assert "genomicsbench fleet report" in html
+    assert "3 samples across 2 lifetime(s)" in html
+    # counters folded across the restart: 3 + 2 done, 1 failed
+    assert ">5<" in html and ">1<" in html
+    # sparklines for the headline signals
+    for caption in ("queue depth", "busy workers", "job latency p95"):
+        assert caption in html
+    assert "<svg" in html
+
+
+def test_empty_state_dir_still_renders(tmp_path):
+    html = render_fleet_report(tmp_path)
+    assert "0 samples across 0 lifetime(s)" in html
+    assert "no samples yet" in html
+    assert "no job outcomes recorded yet" in html
+
+
+def test_request_and_tenant_tables(tmp_path):
+    _seed(tmp_path, TWO_LIFETIMES)
+    html = render_fleet_report(tmp_path)
+    assert "POST /jobs" in html
+    # 4 (lifetime one) + 2 (after reset) route requests folded
+    assert "public" in html
+
+
+def test_slo_section_requires_spec(tmp_path):
+    _seed(tmp_path, TWO_LIFETIMES)
+    assert "<h2>SLO</h2>" not in render_fleet_report(tmp_path)
+    spec = SloSpec.from_dict(
+        {"objective": [{"kind": "availability", "target": 0.5}],
+         "window": [{"seconds": 300, "burn": 1.0}]}
+    )
+    html = render_fleet_report(tmp_path, spec)
+    assert "<h2>SLO</h2>" in html
+    assert "availability" in html
+
+
+def test_slo_section_accepts_spec_path(tmp_path):
+    _seed(tmp_path, TWO_LIFETIMES)
+    spec_path = tmp_path / "slo.toml"
+    spec_path.write_text(
+        "[[objective]]\n"
+        'name = "avail"\nkind = "availability"\ntarget = 0.5\n'
+        "[[window]]\nseconds = 300\nburn = 1.0\n"
+    )
+    html = render_fleet_report(tmp_path, spec_path)
+    assert "<h2>SLO</h2>" in html and "avail" in html
+
+
+def test_breach_timeline_marks_bad_stretch(tmp_path):
+    samples = [
+        _sample(100.0, uptime=1.0, done=10),
+        _sample(160.0, uptime=61.0, done=10, failed=10),
+    ]
+    _seed(tmp_path, samples)
+    spec = SloSpec.from_dict(
+        {"objective": [{"kind": "availability", "target": 0.9}],
+         "window": [{"seconds": 300, "burn": 1.0}]}
+    )
+    html = render_fleet_report(tmp_path, spec)
+    # the timeline strip colors ok and breach stretches differently
+    assert "#1baf7a" in html  # ok green
+    assert "#e34948" in html  # breach red
+
+
+def test_write_fleet_report_creates_parents(tmp_path):
+    _seed(tmp_path, TWO_LIFETIMES)
+    out = write_fleet_report(tmp_path / "deep" / "fleet.html", tmp_path)
+    assert out.is_file()
+    assert "fleet report" in out.read_text()
+
+
+def test_api_facade_fleet_report(tmp_path):
+    import repro
+
+    _seed(tmp_path, TWO_LIFETIMES)
+    html = repro.fleet_report(tmp_path)
+    assert "genomicsbench fleet report" in html
+    out = repro.fleet_report(tmp_path, out=tmp_path / "f.html")
+    assert str(out).endswith("f.html")
+    assert (tmp_path / "f.html").is_file()
+
+
+def test_latency_sparkline_spans_lifetimes(tmp_path):
+    _seed(tmp_path, TWO_LIFETIMES)
+    html = render_fleet_report(tmp_path)
+    # every sample carries latency, so the p50 polyline has 3 points
+    assert "job latency p50" in html
+    assert html.count("polyline") >= 2
+
+
+def test_samples_missing_optional_keys_render(tmp_path):
+    store = SeriesStore(tmp_path / "series")
+    store.append({"t": 1.0})
+    store.append({"t": 2.0, "counters": {"jobs.done": 1}})
+    html = render_fleet_report(tmp_path)
+    assert "fleet report" in html
+
+
+def test_no_data_slo_color_present_without_traffic(tmp_path):
+    store = SeriesStore(tmp_path / "series")
+    store.append(_sample(10.0, uptime=1.0))
+    spec = SloSpec.from_dict(
+        {"objective": [{"kind": "availability", "target": 0.9}],
+         "window": [{"seconds": 300, "burn": 1.0}]}
+    )
+    html = render_fleet_report(tmp_path, spec)
+    assert "no_data" in html or "#8a8984" in html
+
+
+def test_dedup_ratio_tile(tmp_path):
+    store = SeriesStore(tmp_path / "series")
+    s = _sample(5.0, uptime=1.0, done=4)
+    s["counters"]["jobs.submitted"] = 8
+    s["counters"]["jobs.deduped"] = 2
+    store.append(s)
+    html = render_fleet_report(tmp_path)
+    assert "25%" in html  # 2 of 8 submissions answered from the store
+
+
+def test_render_rejects_nothing_on_bad_slo_path(tmp_path):
+    from repro.obs.slo import SloSpecError
+
+    _seed(tmp_path, TWO_LIFETIMES)
+    with pytest.raises(SloSpecError):
+        render_fleet_report(tmp_path, tmp_path / "missing.toml")

@@ -1,0 +1,88 @@
+"""Tests for histogram quantile estimation (``repro.obs.metrics``)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Histogram,
+    estimate_quantile,
+    quantile_from_dict,
+)
+
+BOUNDS = (0.1, 0.5, 1.0)
+
+
+def test_exact_bucket_boundary():
+    # 10 observations all landing exactly on 0.5's bucket: the q=1.0
+    # estimate is that bucket's upper boundary, and lower quantiles
+    # interpolate linearly inside [0.1, 0.5].
+    counts = [0, 10, 0, 0]
+    assert estimate_quantile(BOUNDS, counts, 1.0) == pytest.approx(0.5)
+    assert estimate_quantile(BOUNDS, counts, 0.5) == pytest.approx(0.3)
+
+    # rank falling exactly on a cumulative-count edge resolves to the
+    # earlier bucket's upper boundary, not the next bucket's interior
+    counts = [5, 5, 0, 0]
+    assert estimate_quantile(BOUNDS, counts, 0.5) == pytest.approx(0.1)
+
+
+def test_single_bucket_histogram():
+    # one boundary -> two counts (bucket + overflow)
+    assert estimate_quantile((2.0,), [4, 0], 0.5) == pytest.approx(1.0)
+    # first bucket's lower edge is min(0, upper), so negative
+    # boundaries interpolate from the boundary itself, not from zero
+    assert estimate_quantile((-1.0,), [2, 0], 0.0) == pytest.approx(-1.0)
+
+
+def test_empty_histogram_returns_none():
+    assert estimate_quantile(BOUNDS, [0, 0, 0, 0], 0.5) is None
+    assert estimate_quantile(BOUNDS, [], 0.5) is None
+    assert quantile_from_dict({}, 0.5) is None
+    assert Histogram(BOUNDS).quantile(0.5) is None
+
+
+def test_inf_bucket_clamps_to_last_finite_boundary():
+    # all mass in the +Inf overflow bucket: nothing finite to
+    # interpolate against, so the estimate clamps to the last boundary
+    counts = [0, 0, 0, 7]
+    assert estimate_quantile(BOUNDS, counts, 0.5) == pytest.approx(1.0)
+    assert estimate_quantile(BOUNDS, counts, 0.99) == pytest.approx(1.0)
+    # mixed: median in a finite bucket, tail clamped
+    counts = [6, 0, 0, 4]
+    assert estimate_quantile(BOUNDS, counts, 0.99) == pytest.approx(1.0)
+    assert estimate_quantile(BOUNDS, counts, 0.25) == pytest.approx(0.1 * 2.5 / 6)
+
+
+def test_rejects_out_of_range_q():
+    with pytest.raises(ValueError):
+        estimate_quantile(BOUNDS, [1, 0, 0, 0], -0.1)
+    with pytest.raises(ValueError):
+        estimate_quantile(BOUNDS, [1, 0, 0, 0], 1.5)
+
+
+def test_histogram_method_and_dict_roundtrip_agree():
+    h = Histogram(LATENCY_BUCKETS)
+    for v in (0.002, 0.002, 0.03, 0.2, 7.0, 1000.0):
+        h.observe(v)
+    doc = h.as_dict()
+    for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+        assert h.quantile(q) == quantile_from_dict(doc, q)
+    # estimates stay within the observed buckets' span
+    assert 0.0 <= h.quantile(0.5) <= LATENCY_BUCKETS[-1]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    counts=st.lists(st.integers(0, 50), min_size=4, max_size=4),
+    qs=st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0)),
+)
+def test_quantile_monotone_in_q(counts, qs):
+    lo, hi = sorted(qs)
+    a = estimate_quantile(BOUNDS, counts, lo)
+    b = estimate_quantile(BOUNDS, counts, hi)
+    if sum(counts) == 0:
+        assert a is None and b is None
+    else:
+        assert a <= b

@@ -319,3 +319,27 @@ class TestOpenMetrics:
             {"kernel": "x"},
         )
         assert 'genomicsbench_h_bucket{kernel="x",le="+Inf"} 0' in text
+
+    def test_label_values_escaped(self):
+        from repro.obs.report import encode_openmetrics
+
+        text = encode_openmetrics(
+            {"counters": {"c": 1}},
+            {"path": 'C:\\state\\"dir"', "note": "line one\nline two"},
+        )
+        line = next(
+            ln for ln in text.splitlines() if ln.startswith("genomicsbench_c_total")
+        )
+        # backslash, quote and newline each escaped per the OpenMetrics ABNF
+        assert 'path="C:\\\\state\\\\\\"dir\\""' in line
+        assert 'note="line one\\nline two"' in line
+        # a raw newline inside a label would split the sample line
+        assert "\n" not in line
+
+    def test_benign_label_values_untouched(self):
+        from repro.obs.report import encode_openmetrics
+
+        text = encode_openmetrics(
+            {"counters": {"c": 2}}, {"kernel": "grm", "size": "small"}
+        )
+        assert 'genomicsbench_c_total{kernel="grm",size="small"} 2' in text

@@ -1,0 +1,205 @@
+"""Tests for the persistent service time-series store."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.obs.series import (
+    COMPACT_AFTER_SEGMENTS,
+    SAMPLE_SCHEMA,
+    Sampler,
+    SeriesStore,
+    load_series,
+)
+
+
+class FakeClock:
+    def __init__(self, t=1_000_000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+        return self.t
+
+
+def _sample(t, **extra):
+    return {"schema": SAMPLE_SCHEMA, "t": t, **extra}
+
+
+def test_append_and_load_roundtrip(tmp_path):
+    store = SeriesStore(tmp_path / "series")
+    for i in range(3):
+        store.append(_sample(100.0 + i, n=i))
+    samples = store.load()
+    assert [s["n"] for s in samples] == [0, 1, 2]
+    assert len(store) == 3
+    assert all(s["schema"] == SAMPLE_SCHEMA for s in samples)
+
+
+def test_load_is_sorted_across_segments(tmp_path):
+    store = SeriesStore(tmp_path / "s", segment_max_samples=2)
+    for t in (5.0, 1.0, 9.0, 3.0, 7.0):
+        store.append(_sample(t))
+    assert [s["t"] for s in store.load()] == [1.0, 3.0, 5.0, 7.0, 9.0]
+    assert len(store.segments()) == 3
+
+
+def test_load_window_bounds(tmp_path):
+    store = SeriesStore(tmp_path / "s")
+    for t in (1.0, 2.0, 3.0, 4.0):
+        store.append(_sample(t))
+    assert [s["t"] for s in store.load(since=2.0)] == [2.0, 3.0, 4.0]
+    assert [s["t"] for s in store.load(until=3.0)] == [1.0, 2.0, 3.0]
+    assert [s["t"] for s in store.load(since=2.0, until=3.0)] == [2.0, 3.0]
+
+
+def test_rotation_at_segment_capacity(tmp_path):
+    store = SeriesStore(tmp_path / "s", segment_max_samples=3)
+    paths = {str(store.append(_sample(float(i)))) for i in range(7)}
+    assert len(paths) == 3  # 3 + 3 + 1
+    assert len(store.load()) == 7
+
+
+def test_retention_prunes_old_segments(tmp_path):
+    clock = FakeClock()
+    store = SeriesStore(
+        tmp_path / "s", retention_seconds=100.0, segment_max_samples=1, clock=clock
+    )
+    old = store.append(_sample(clock()))
+    # age the sealed segment's mtime past the horizon
+    os.utime(old, (clock() - 500, clock() - 500))
+    clock.advance(200)
+    store.append(_sample(clock()))
+    assert not old.exists()
+    assert len(store.load()) == 1
+
+
+def test_prune_never_drops_current_segment(tmp_path):
+    clock = FakeClock()
+    store = SeriesStore(tmp_path / "s", retention_seconds=100.0, clock=clock)
+    current = store.append(_sample(clock()))
+    os.utime(current, (clock() - 500, clock() - 500))
+    assert store.prune() == 0
+    assert current.exists()
+
+
+def test_compaction_merges_sealed_segments(tmp_path):
+    clock = FakeClock()
+    store = SeriesStore(tmp_path / "s", segment_max_samples=1, clock=clock)
+    n = COMPACT_AFTER_SEGMENTS + 3
+    times = [clock.advance(1.0) for _ in range(n)]
+    for t in times:
+        store.append(_sample(t))
+    # every sample survived compaction, in order, in fewer files
+    assert [s["t"] for s in store.load()] == times
+    assert len(store.segments()) < n
+
+
+def test_compaction_drops_out_of_retention_rows(tmp_path):
+    clock = FakeClock()
+    store = SeriesStore(
+        tmp_path / "s", retention_seconds=5.0, segment_max_samples=1, clock=clock
+    )
+    stale = clock() - 100.0
+    store.append(_sample(stale))
+    fresh = [clock() + i * 0.1 for i in range(COMPACT_AFTER_SEGMENTS + 2)]
+    for t in fresh:
+        store.append(_sample(t))
+    loaded = [s["t"] for s in store.load()]
+    assert stale not in loaded
+    assert set(fresh) <= set(loaded)
+
+
+def test_malformed_tail_lines_are_skipped(tmp_path):
+    store = SeriesStore(tmp_path / "s")
+    seg = store.append(_sample(1.0))
+    with seg.open("a", encoding="utf-8") as fh:
+        fh.write('{"t": 2.0}\n')
+        fh.write('{"t": 3.0, "broken...\n')  # crash tail
+        fh.write("[1, 2, 3]\n")  # not a dict
+    samples = store.load()
+    assert [s["t"] for s in samples] == [1.0, 2.0]
+
+
+def test_two_lifetimes_share_one_store(tmp_path):
+    root = tmp_path / "state"
+    first = SeriesStore(root / "series")
+    first.append(_sample(10.0, lifetime=1))
+    # a restart constructs a fresh store over the same directory
+    second = SeriesStore(root / "series")
+    second.append(_sample(20.0, lifetime=2))
+    merged = load_series(root)
+    assert [s["lifetime"] for s in merged] == [1, 2]
+    # each lifetime opened its own segment
+    assert len(second.segments()) == 2
+
+
+def test_constructor_validation(tmp_path):
+    with pytest.raises(ValueError):
+        SeriesStore(tmp_path, retention_seconds=0)
+    with pytest.raises(ValueError):
+        SeriesStore(tmp_path, segment_max_samples=0)
+
+
+def test_load_series_missing_dir_is_empty(tmp_path):
+    assert load_series(tmp_path / "nowhere") == []
+
+
+class TestSampler:
+    def test_immediate_first_tick_and_final_sample(self, tmp_path):
+        store = SeriesStore(tmp_path / "s")
+        ticks = []
+        sampler = Sampler(
+            lambda: _sample(time.time()), store, interval=60.0,
+            on_sample=ticks.append,
+        )
+        sampler.start()
+        deadline = time.monotonic() + 5.0
+        while not ticks and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert len(ticks) == 1  # first tick fires without waiting a period
+        sampler.stop(final_sample=True)
+        assert len(ticks) == 2
+        assert len(store.load()) == 2
+
+    def test_stop_without_final_sample(self, tmp_path):
+        store = SeriesStore(tmp_path / "s")
+        sampler = Sampler(lambda: _sample(1.0), store, interval=60.0).start()
+        time.sleep(0.05)
+        sampler.stop(final_sample=False)
+        assert len(store.load()) == 1
+
+    def test_sample_fn_errors_do_not_kill_the_thread(self, tmp_path):
+        store = SeriesStore(tmp_path / "s")
+        calls = threading.Event()
+
+        def flaky():
+            if not calls.is_set():
+                calls.set()
+                raise RuntimeError("first tick explodes")
+            return _sample(2.0)
+
+        sampler = Sampler(flaky, store, interval=0.02).start()
+        deadline = time.monotonic() + 5.0
+        while not store.load() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        sampler.stop(final_sample=False)
+        assert store.load()  # later ticks landed despite the first error
+
+    def test_rejects_nonpositive_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            Sampler(lambda: {}, SeriesStore(tmp_path / "s"), interval=0.0)
+
+
+def test_samples_are_compact_json(tmp_path):
+    store = SeriesStore(tmp_path / "s")
+    seg = store.append(_sample(1.0, nested={"a": 1}))
+    line = seg.read_text().strip()
+    assert json.loads(line)["nested"] == {"a": 1}
+    assert ": " not in line  # compact separators keep segments small

@@ -1,0 +1,258 @@
+"""Tests for the declarative SLO engine (``repro.obs.slo``)."""
+
+import math
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.events import EventLog
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    SloMonitor,
+    SloSpec,
+    SloSpecError,
+    count_above,
+    evaluate_slo,
+    load_slo_spec,
+)
+
+BOUNDS = (0.1, 1.0, 10.0)
+
+
+def spec(target=0.9, windows=((300.0, 1.0),), latency=None):
+    doc = {"objective": [{"name": "avail", "kind": "availability",
+                          "target": target}],
+           "window": [{"seconds": s, "burn": b} for s, b in windows]}
+    if latency is not None:
+        q, threshold = latency
+        doc["objective"].append({
+            "name": "lat", "kind": "latency",
+            "quantile": q, "threshold_seconds": threshold,
+        })
+    return SloSpec.from_dict(doc)
+
+
+def sample(t, done=0, failed=0, hist=None):
+    doc = {"t": t, "counters": {"jobs.done": done, "jobs.failed": failed}}
+    if hist is not None:
+        doc["hists"] = {"job.run_seconds": hist}
+    return doc
+
+
+def hist(counts, boundaries=BOUNDS):
+    return {"boundaries": list(boundaries), "counts": list(counts)}
+
+
+class TestSpecParsing:
+    def test_toml_roundtrip(self, tmp_path):
+        path = tmp_path / "slo.toml"
+        path.write_text(
+            'schema = "genomicsbench.slo/1"\n'
+            "[[objective]]\n"
+            'name = "avail"\nkind = "availability"\ntarget = 0.95\n'
+            "[[objective]]\n"
+            'name = "lat-p95"\nkind = "latency"\n'
+            "quantile = 0.95\nthreshold_seconds = 2.0\n"
+            "[[window]]\nseconds = 60\nburn = 4.0\n"
+        )
+        parsed = load_slo_spec(path)
+        assert [o.name for o in parsed.objectives] == ["avail", "lat-p95"]
+        assert parsed.objectives[0].budget == pytest.approx(0.05)
+        # latency objectives adopt the quantile as their target
+        assert parsed.objectives[1].target == 0.95
+        assert parsed.windows == ((parsed.windows[0]),)
+        assert (parsed.windows[0].seconds, parsed.windows[0].burn) == (60.0, 4.0)
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            '{"objectives": [{"kind": "queue_wait", "quantile": 0.5,'
+            ' "threshold_seconds": 1.5}]}'
+        )
+        parsed = load_slo_spec(path)
+        obj = parsed.objectives[0]
+        assert obj.name == "queue_wait"  # name defaults to the kind
+        assert obj.threshold_seconds == 1.5
+        # no windows declared: the default multi-window pair applies
+        assert tuple((w.seconds, w.burn) for w in parsed.windows) == DEFAULT_WINDOWS
+
+    @pytest.mark.parametrize("doc", [
+        {},  # no objectives
+        {"objective": [{"kind": "nonsense"}]},
+        {"objective": [{"kind": "latency"}]},  # missing quantile/threshold
+        {"objective": [{"kind": "latency", "quantile": 0.5,
+                        "threshold_seconds": -1.0}]},
+        {"objective": [{"kind": "availability", "target": 1.0}]},
+        {"objective": [{"kind": "availability"},
+                       {"kind": "availability"}]},  # duplicate names
+        {"objective": [{"kind": "availability"}],
+         "window": [{"seconds": 0}]},
+        {"objective": [{"kind": "availability"}],
+         "window": [{"burn": 1.0}]},  # window missing seconds
+    ])
+    def test_malformed_specs_raise(self, doc):
+        with pytest.raises(SloSpecError):
+            SloSpec.from_dict(doc)
+
+    def test_unreadable_and_invalid_files_raise(self, tmp_path):
+        with pytest.raises(SloSpecError):
+            load_slo_spec(tmp_path / "missing.toml")
+        bad = tmp_path / "bad.toml"
+        bad.write_text("[[objective\n")
+        with pytest.raises(SloSpecError):
+            load_slo_spec(bad)
+        bad_json = tmp_path / "bad.json"
+        bad_json.write_text("{")
+        with pytest.raises(SloSpecError):
+            load_slo_spec(bad_json)
+
+
+class TestCountAbove:
+    def test_interpolates_inside_bucket(self):
+        # 10 observations uniform in (0.1, 1.0]: threshold at 0.55
+        # leaves half the bucket above
+        counts = [0, 10, 0, 0]
+        assert count_above(list(BOUNDS), counts, 0.55) == pytest.approx(5.0)
+
+    def test_overflow_bucket_counts_fully(self):
+        counts = [0, 0, 0, 4]
+        assert count_above(list(BOUNDS), counts, 10.0) == pytest.approx(4.0)
+        assert count_above(list(BOUNDS), counts, 1e9) == pytest.approx(4.0)
+
+    def test_threshold_below_everything(self):
+        counts = [2, 3, 0, 1]
+        assert count_above(list(BOUNDS), counts, 0.0) == pytest.approx(6.0)
+        assert count_above(list(BOUNDS), counts, math.inf) == 0.0
+
+
+class TestEvaluation:
+    def test_all_good_is_ok(self):
+        samples = [sample(0.0, done=5), sample(60.0, done=10)]
+        report = evaluate_slo(spec(), samples)
+        (avail,) = report.objectives
+        assert avail.status == "ok"
+        assert avail.measured == pytest.approx(1.0)
+        assert report.ok and report.breached == []
+
+    def test_sustained_failures_breach(self):
+        samples = [sample(0.0, failed=5), sample(60.0, failed=10)]
+        report = evaluate_slo(spec(target=0.9), samples)
+        (avail,) = report.objectives
+        # bad fraction 1.0 against a 0.1 budget: burn 10x >= 1.0
+        assert avail.windows[0].burn == pytest.approx(10.0)
+        assert avail.status == "breach"
+        assert report.breached == ["avail"]
+
+    def test_breach_requires_every_window(self):
+        # short window demands 6x burn; a 5x burn breaches only the
+        # long window, so the objective holds (no flapping on blips)
+        samples = [sample(0.0, done=5, failed=5)]
+        report = evaluate_slo(
+            spec(target=0.9, windows=((300.0, 6.0), (3600.0, 1.0))), samples
+        )
+        (avail,) = report.objectives
+        burns = [w.burn for w in avail.windows]
+        assert burns == [pytest.approx(5.0), pytest.approx(5.0)]
+        assert [w.exceeded for w in avail.windows] == [False, True]
+        assert avail.status == "ok"
+
+    def test_no_traffic_is_no_data(self):
+        report = evaluate_slo(spec(), [sample(0.0), sample(60.0)])
+        assert report.objectives[0].status == "no_data"
+        assert report.ok  # no_data is not a breach
+
+    def test_empty_series_is_no_data(self):
+        report = evaluate_slo(spec(latency=(0.5, 1.0)), [])
+        assert {o.status for o in report.objectives} == {"no_data"}
+
+    def test_counter_reset_reads_as_restart(self):
+        # second lifetime's counters restart from zero; the window
+        # total must span both lifetimes, not go negative
+        samples = [
+            sample(0.0, done=10),   # series start: absolute counts in
+            sample(10.0, done=12),
+            sample(20.0, done=3),   # restart: 3 new jobs, not -9
+            sample(30.0, done=5),
+        ]
+        report = evaluate_slo(spec(target=0.9), samples)
+        assert report.objectives[0].windows[0].total == pytest.approx(17.0)
+
+    def test_history_before_window_excluded(self):
+        # the first in-window sample carries pre-window history; only
+        # increases inside the window count
+        samples = [
+            sample(0.0, done=100),
+            sample(1000.0, done=110),
+            sample(1060.0, done=115),
+        ]
+        report = evaluate_slo(spec(target=0.9, windows=((300.0, 1.0),)), samples)
+        assert report.objectives[0].windows[0].total == pytest.approx(5.0)
+
+    def test_latency_quantile_over_threshold_breaches(self):
+        h1 = hist([0, 10, 0, 0])  # all runs in (0.1, 1.0]
+        samples = [sample(0.0, done=5, hist=h1), sample(60.0, done=10, hist=h1)]
+        report = evaluate_slo(spec(latency=(0.5, 0.05)), samples)
+        lat = report.objectives[1]
+        assert lat.status == "breach"
+        assert lat.measured == pytest.approx(0.55)  # interpolated p50
+        # a generous threshold instead holds
+        relaxed = evaluate_slo(spec(latency=(0.5, 5.0)), samples)
+        assert relaxed.objectives[1].status == "ok"
+
+    def test_histogram_born_mid_series_still_counts(self):
+        # the first samples predate any finished job, so they carry no
+        # histogram at all; once it appears its absolute counts are new
+        samples = [
+            sample(0.0),
+            sample(30.0),
+            sample(60.0, done=10, hist=hist([0, 10, 0, 0])),
+        ]
+        report = evaluate_slo(spec(latency=(0.5, 0.05)), samples)
+        lat = report.objectives[1]
+        assert lat.windows[0].total == pytest.approx(10.0)
+        assert lat.status == "breach"
+
+    def test_histogram_reset_takes_absolute(self):
+        samples = [
+            sample(0.0, done=4, hist=hist([4, 0, 0, 0])),
+            sample(10.0, done=6, hist=hist([4, 2, 0, 0])),
+            sample(20.0, done=3, hist=hist([0, 3, 0, 0])),  # restart
+        ]
+        report = evaluate_slo(spec(latency=(0.5, 0.05)), samples)
+        assert report.objectives[1].windows[0].total == pytest.approx(9.0)
+
+    def test_report_dict_shape(self):
+        report = evaluate_slo(spec(), [sample(0.0, done=1)])
+        doc = report.as_dict()
+        assert doc["schema"] == "genomicsbench.slo/1"
+        assert doc["ok"] is True
+        assert doc["objectives"][0]["windows"][0]["burn"] == 0.0
+
+
+class TestMonitor:
+    def test_emits_on_transitions_only(self):
+        log = EventLog()
+        monitor = SloMonitor(spec(target=0.5), events=log)
+
+        good = [sample(0.0, done=10)]
+        bad = [sample(0.0, failed=10)]
+
+        monitor.update(good)
+        assert [e.name for e in log.events] == []
+
+        monitor.update(bad)
+        monitor.update(bad)  # sustained breach: still one event
+        breaches = [e for e in log.events if e.name == ev.SLO_BREACHED]
+        assert len(breaches) == 1
+        assert breaches[0].level == "error"
+        assert breaches[0].data["objective"] == "avail"
+
+        monitor.update(good)
+        recoveries = [e for e in log.events if e.name == ev.SLO_RECOVERED]
+        assert len(recoveries) == 1
+        assert recoveries[0].data["objective"] == "avail"
+
+    def test_monitor_without_events_still_reports(self):
+        monitor = SloMonitor(spec(target=0.5))
+        report = monitor.update([sample(0.0, failed=3)])
+        assert report.breached == ["avail"]

@@ -40,3 +40,12 @@ def test_every_documented_route_is_served():
 def test_routes_all_carry_descriptions():
     for route in ROUTES:
         assert route["description"].strip(), f"{route['path']} has no description"
+
+
+def test_stats_schema_is_documented():
+    # the /stats contract is versioned; the doc must quote the exact
+    # schema tag the server stamps so clients can pin against it
+    from repro.service import STATS_SCHEMA
+
+    assert STATS_SCHEMA == "genomicsbench.service-stats/1"
+    assert f'"schema": "{STATS_SCHEMA}"' in DOC.read_text()

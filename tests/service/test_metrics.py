@@ -1,0 +1,242 @@
+"""Tests for the service metrics plane: ``/metrics``, ``/stats``
+request totals, ``/healthz?verbose=1`` and the instrumented internals.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+from contextlib import contextmanager
+
+from repro.service import JobService, ServiceServer, STATS_SCHEMA, route_template
+
+RUN_A = {"type": "run", "kernel": "grm", "config": {"jobs": 1}}
+
+
+def fake_runner(job):
+    return {"fake": True, "digest": job.digest}
+
+
+@contextmanager
+def served(tmp_path, **kwargs):
+    kwargs.setdefault("state_dir", tmp_path)
+    kwargs.setdefault("runner", fake_runner)
+    svc = JobService(**kwargs)
+    server = ServiceServer(svc, port=0).start()
+    try:
+        yield server
+    finally:
+        server.stop(drain=False, timeout=10)
+
+
+def get(base, path):
+    try:
+        with urllib.request.urlopen(base + path) as r:
+            return r.status, r.read(), dict(r.headers)
+    except urllib.error.HTTPError as e:
+        return e.code, e.read(), dict(e.headers)
+
+
+def post(base, doc):
+    req = urllib.request.Request(
+        base + "/jobs", data=json.dumps(doc).encode(), method="POST"
+    )
+    try:
+        with urllib.request.urlopen(req) as r:
+            return r.status, json.loads(r.read())
+    except urllib.error.HTTPError as e:
+        return e.code, json.loads(e.read())
+
+
+def wait_done(svc, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = svc.get(job_id)
+        if job is not None and job.status in ("done", "failed"):
+            return job
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} never settled")
+
+
+class TestRouteTemplate:
+    def test_known_routes_collapse(self):
+        assert route_template("/jobs/abc123") == "/jobs/{id}"
+        assert route_template("/jobs/abc123/record") == "/jobs/{id}/record"
+        assert route_template("/jobs/abc123/report") == "/jobs/{id}/report"
+        assert route_template("/jobs") == "/jobs"
+        for fixed in ("/", "/healthz", "/stats", "/metrics"):
+            assert route_template(fixed) == fixed
+
+    def test_unknown_paths_share_one_bucket(self):
+        # unbounded label cardinality would leak memory per bad URL
+        assert route_template("/nope") == "other"
+        assert route_template("/jobs/a/b/c/d") == "other"
+
+
+class TestMetricsEndpoint:
+    def test_exposition_is_valid_openmetrics(self, tmp_path):
+        with served(tmp_path) as server:
+            code, body = post(server.url, RUN_A)
+            assert code == 202
+            wait_done(server.service, body["id"])
+            status, raw, headers = get(server.url, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/openmetrics-text")
+        text = raw.decode()
+        lines = text.strip().splitlines()
+        assert lines[-1] == "# EOF"
+        # every sample carries the service-level labels
+        assert 'service="repro-serve"' in text
+        # job outcome counter and run-time histogram made it out
+        assert "genomicsbench_jobs_done_total" in text
+        assert "genomicsbench_job_run_seconds_bucket" in text
+        # histogram buckets are cumulative
+        buckets = [
+            int(ln.rsplit(" ", 1)[1])
+            for ln in lines
+            if ln.startswith("genomicsbench_job_run_seconds_bucket")
+        ]
+        assert buckets == sorted(buckets)
+
+    def test_request_counters_by_route_and_status(self, tmp_path):
+        with served(tmp_path) as server:
+            get(server.url, "/stats")
+            get(server.url, "/stats")
+            get(server.url, "/jobs/nope")  # 404 on the /jobs/{id} template
+            _, raw, _ = get(server.url, "/metrics")
+        text = raw.decode()
+        # route template and status ride in the sanitized metric name
+        assert "genomicsbench_http_requests_GET__stats_200_total" in text
+        assert "genomicsbench_http_requests_GET__jobs__id__404_total" in text
+        assert "genomicsbench_http_request_seconds_GET__stats_bucket" in text
+
+
+class TestStats:
+    def test_schema_and_monotonic_request_totals(self, tmp_path):
+        with served(tmp_path) as server:
+            _, raw, _ = get(server.url, "/stats")
+            doc = json.loads(raw)
+            # totals keyed "<METHOD> <route template>" then status; a
+            # request is counted once its response is sent, so each
+            # /stats body reports the scrapes completed before it --
+            # poll until the first scrape's own count has landed
+            counts = []
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                _, raw, _ = get(server.url, "/stats")
+                by_status = json.loads(raw)["requests"].get("GET /stats", {})
+                counts.append(by_status.get("200", 0))
+                if len(counts) >= 2 and counts[-1] > counts[0] >= 1:
+                    break
+                time.sleep(0.02)
+        assert doc["schema"] == STATS_SCHEMA == "genomicsbench.service-stats/1"
+        assert counts[-1] > counts[0] >= 1
+        assert counts == sorted(counts)  # only ever grows
+
+    def test_latency_quantiles_populate_after_a_job(self, tmp_path):
+        with served(tmp_path) as server:
+            _, raw, _ = get(server.url, "/stats")
+            # quantiles are explicit nulls until a job has finished
+            assert json.loads(raw)["latency_seconds"] == {
+                "p50": None, "p95": None, "p99": None,
+            }
+            code, body = post(server.url, RUN_A)
+            wait_done(server.service, body["id"])
+            _, raw, _ = get(server.url, "/stats")
+            latency = json.loads(raw)["latency_seconds"]
+        assert set(latency) == {"p50", "p95", "p99"}
+        assert 0.0 <= latency["p50"] <= latency["p99"]
+
+
+class TestHealthz:
+    def test_basic_healthz_is_unchanged(self, tmp_path):
+        with served(tmp_path) as server:
+            _, raw, _ = get(server.url, "/healthz")
+        doc = json.loads(raw)
+        assert doc == {"status": "ok", "accepting": True}
+
+    def test_verbose_healthz_adds_detail(self, tmp_path):
+        with served(tmp_path) as server:
+            _, raw, _ = get(server.url, "/healthz?verbose=1")
+        doc = json.loads(raw)
+        assert doc["status"] == "ok"
+        assert doc["queue"]["depth"] == 0
+        assert "uptime_seconds" in doc
+        # no spec configured: verbose says so instead of guessing
+        assert "slo" in doc
+
+    def test_verbose_healthz_reports_slo_breach(self, tmp_path):
+        spec = tmp_path / "slo.toml"
+        spec.write_text(
+            "[[objective]]\n"
+            'name = "lat"\nkind = "latency"\n'
+            "quantile = 0.5\nthreshold_seconds = 1e-9\n"
+            "[[window]]\nseconds = 300\nburn = 1.0\n"
+        )
+        with served(
+            tmp_path / "state", slo=spec, sample_interval=0.1
+        ) as server:
+            code, body = post(server.url, RUN_A)
+            wait_done(server.service, body["id"])
+            deadline = time.monotonic() + 10.0
+            doc = {}
+            while time.monotonic() < deadline:
+                _, raw, _ = get(server.url, "/healthz?verbose=1")
+                doc = json.loads(raw)
+                if doc.get("status") == "degraded":
+                    break
+                time.sleep(0.05)
+        assert doc["status"] == "degraded"
+        statuses = {o["name"]: o["status"] for o in doc["slo"]["objectives"]}
+        assert statuses["lat"] == "breach"
+
+
+class TestInternals:
+    def test_queue_wait_histogram_observes_pops(self, tmp_path):
+        with served(tmp_path) as server:
+            code, body = post(server.url, RUN_A)
+            wait_done(server.service, body["id"])
+            snap = server.service.metrics_snapshot()
+        hist = snap["histograms"]["queue.wait_seconds"]
+        assert sum(hist["counts"]) >= 1
+
+    def test_dedup_hit_ratio_surfaces_in_gauges(self, tmp_path):
+        with served(tmp_path) as server:
+            code, body = post(server.url, RUN_A)
+            wait_done(server.service, body["id"])
+            code2, body2 = post(server.url, RUN_A)  # same digest: dedup
+            assert code2 == 200 and body2.get("deduped")
+            snap = server.service.metrics_snapshot()
+        assert snap["counters"]["jobs.deduped"] == 1
+        assert snap["gauges"]["store.hit_ratio"] is not None
+        assert snap["gauges"]["jobs.dedup_ratio"] == 0.5
+
+    def test_worker_utilization_counters_accumulate(self, tmp_path):
+        with served(tmp_path) as server:
+            code, body = post(server.url, RUN_A)
+            wait_done(server.service, body["id"])
+            snap = server.service.metrics_snapshot()
+        assert snap["gauges"]["workers.total"] >= 1
+        assert snap["counters"]["jobs.done"] == 1
+
+    def test_sampler_persists_and_final_sample_on_stop(self, tmp_path):
+        svc = JobService(
+            workers=1, state_dir=tmp_path, runner=fake_runner,
+            sample_interval=60.0,
+        )
+        svc.stop(drain=False, timeout=10)
+        from repro.obs.series import load_series
+
+        samples = load_series(tmp_path)
+        # one immediate tick plus one final sample at stop
+        assert len(samples) == 2
+        assert all(s["schema"] == "genomicsbench.service-sample/1" for s in samples)
+        assert "jobs.done" in samples[-1]["counters"]
+
+    def test_sampling_disabled_without_interval(self, tmp_path):
+        svc = JobService(
+            workers=1, state_dir=tmp_path, runner=fake_runner,
+            sample_interval=None,
+        )
+        svc.stop(drain=False, timeout=10)
+        assert not (tmp_path / "series").exists()
